@@ -1,0 +1,83 @@
+//! **Ablation** — tree-indexed pattern matching vs a naive all-pairs scan
+//! over the materialized component pattern base.
+//!
+//! The paper's Appendix B matches component patterns per antecedent.  The
+//! detector instead matches on the patterns tree via an endpoint index,
+//! which avoids materializing pattern prefixes and skips the quadratic
+//! scan.  The naive arm here does what a direct reading of the pattern
+//! base suggests: group materialized patterns by root, then test every
+//! (type-(b), any) pair for the `Ai ≡ Cj` condition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_core::{generate_pattern_base, match_root, segment_tpiin, PatternsTree, SubTpiin};
+use tpiin_graph::NodeId;
+
+/// The naive matcher: all-pairs over the materialized pattern base.
+/// Returns the number of matched pairs (a cost model; the tree matcher's
+/// dedup semantics differ slightly, so counts are not compared here).
+fn naive_match(sub: &SubTpiin) -> usize {
+    let base = generate_pattern_base(sub, usize::MAX).expect("no overflow");
+    // Group patterns by antecedent (first node).
+    let mut by_root: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for (i, p) in base.iter().enumerate() {
+        by_root.entry(p.nodes[0]).or_default().push(i);
+    }
+    let mut matches = 0usize;
+    for indices in by_root.values() {
+        for &i in indices {
+            let Some(end) = base[i].trading_target else {
+                continue;
+            };
+            for &j in indices {
+                if i == j {
+                    continue;
+                }
+                if base[j].nodes.contains(&end) {
+                    matches += 1;
+                }
+            }
+        }
+    }
+    matches
+}
+
+fn tree_match(sub: &SubTpiin) -> usize {
+    let mut groups = 0usize;
+    for root in sub.roots() {
+        let tree = PatternsTree::build(sub, root, usize::MAX).expect("no overflow");
+        match_root(sub, &tree, |_| groups += 1);
+    }
+    groups
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let tpiin = tpiin_fixture(1.0, 0.01, 20170417);
+    let subs = segment_tpiin(&tpiin);
+    let sub = subs
+        .iter()
+        .max_by_key(|s| s.node_count())
+        .expect("province has components");
+    let mut group = c.benchmark_group("ablation_matching");
+    group.sample_size(15);
+    group.bench_with_input(
+        BenchmarkId::new("tree_indexed", sub.node_count()),
+        sub,
+        |b, sub| {
+            b.iter(|| black_box(tree_match(black_box(sub))));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("naive_all_pairs", sub.node_count()),
+        sub,
+        |b, sub| {
+            b.iter(|| black_box(naive_match(black_box(sub))));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

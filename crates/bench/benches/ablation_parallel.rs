@@ -1,0 +1,30 @@
+//! **Ablation** — parallel detection over (subTPIIN, root) work items,
+//! the paper's "parallel and distributed computation" future-work item.
+//!
+//! Output is bit-identical across thread counts (ordered merge); this
+//! bench measures the speedup on the dense end of the sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_core::{Detector, DetectorConfig};
+
+fn bench_parallel(c: &mut Criterion) {
+    let tpiin = tpiin_fixture(1.0, 0.05, 20170417);
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(15);
+    for threads in [1usize, 2, 4, 8] {
+        let detector = Detector::new(DetectorConfig {
+            collect_groups: false,
+            threads,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &tpiin, |b, tpiin| {
+            b.iter(|| black_box(detector.detect(black_box(tpiin)).group_count()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

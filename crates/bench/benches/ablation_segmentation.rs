@@ -1,0 +1,37 @@
+//! **Ablation** — the divide-and-conquer subTPIIN segmentation of
+//! Algorithm 1 vs mining the whole TPIIN as a single unit.
+//!
+//! Segmentation discards cross-component trading arcs before any pattern
+//! tree is built and keeps per-root working sets small.  Correctness is
+//! identical (tested in `tpiin-core`); this measures what the strategy
+//! buys in time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_core::{whole_tpiin, Detector, DetectorConfig};
+
+fn bench_segmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_segmentation");
+    group.sample_size(15);
+    let detector = Detector::new(DetectorConfig {
+        collect_groups: false,
+        ..Default::default()
+    });
+    for p in [0.002, 0.02] {
+        let tpiin = tpiin_fixture(1.0, p, 20170417);
+        group.bench_with_input(BenchmarkId::new("segmented", p), &tpiin, |b, tpiin| {
+            b.iter(|| black_box(detector.detect(black_box(tpiin)).group_count()));
+        });
+        group.bench_with_input(BenchmarkId::new("unsegmented", p), &tpiin, |b, tpiin| {
+            b.iter(|| {
+                let whole = whole_tpiin(black_box(tpiin));
+                black_box(detector.detect_segmented(tpiin, &[whole]).group_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segmentation);
+criterion_main!(benches);

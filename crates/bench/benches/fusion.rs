@@ -1,0 +1,39 @@
+//! **Figs. 11–16** — multi-network fusion cost.
+//!
+//! The figures show the homogeneous stage graphs (`G1`, `G2`, `G3`, the
+//! antecedent network, `G4`) and the final TPIIN for the province
+//! dataset.  This bench measures building them: the individual stage
+//! builders and the fused end-to-end pipeline, at two trading densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpiin_bench::fixtures::province_with_trading;
+use tpiin_fusion::{fuse, stages};
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(20);
+    for p in [0.002, 0.05] {
+        let registry = province_with_trading(1.0, p, 20170417);
+        group.bench_with_input(BenchmarkId::new("fuse_end_to_end", p), &registry, |b, r| {
+            b.iter(|| black_box(fuse(black_box(r)).unwrap().1.tpiin_nodes));
+        });
+    }
+    let registry = province_with_trading(1.0, 0.002, 20170417);
+    group.bench_function("stage_g1_interdependence", |b| {
+        b.iter(|| black_box(stages::build_g1(black_box(&registry)).edge_count()));
+    });
+    group.bench_function("stage_g2_influence", |b| {
+        b.iter(|| black_box(stages::build_g2(black_box(&registry)).edge_count()));
+    });
+    group.bench_function("stage_investment_scc_partition", |b| {
+        b.iter(|| black_box(stages::company_syndicates(black_box(&registry)).group_count()));
+    });
+    group.bench_function("stage_g4_trading", |b| {
+        b.iter(|| black_box(stages::build_trading_graph(black_box(&registry)).edge_count()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! **Two-phase pipeline (Fig. 4)** — ITE screening cost, one-by-one over
+//! every transaction vs restricted to the MSG phase's suspicious arcs.
+//!
+//! The end-to-end two-phase arm includes the MSG detection itself, so the
+//! comparison is fair: (detect + screen suspicious) vs (screen all).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpiin_bench::fixtures::province_with_trading;
+use tpiin_core::{Detector, DetectorConfig};
+use tpiin_fusion::fuse;
+use tpiin_ite::generator::{generate_transactions, TransactionGenConfig};
+use tpiin_ite::{ItePhase, MarketModel, ScreeningScope};
+
+fn bench_two_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ite_two_phase");
+    group.sample_size(10);
+    for p in [0.002, 0.01] {
+        let registry = province_with_trading(1.0, p, 20170417);
+        let (tpiin, _) = fuse(&registry).expect("generated registry fuses");
+        let detector = Detector::new(DetectorConfig {
+            collect_groups: false,
+            ..Default::default()
+        });
+        let msg = detector.detect(&tpiin);
+        let scope = ScreeningScope::from_msg(&tpiin, &msg);
+        let ScreeningScope::SuspiciousArcs(ref pairs) = scope else {
+            unreachable!()
+        };
+        // More detail records per arc to make screening volume realistic.
+        let gen = generate_transactions(
+            &registry,
+            pairs,
+            &TransactionGenConfig {
+                transactions_per_arc: (3, 8),
+                ..Default::default()
+            },
+        );
+        let market = MarketModel::estimate(&gen.db);
+        let ite = ItePhase::default();
+
+        group.bench_with_input(BenchmarkId::new("one_by_one", p), &gen.db, |b, db| {
+            b.iter(|| {
+                let (findings, examined) =
+                    ite.screen(black_box(db), &market, &ScreeningScope::AllTransactions);
+                black_box((findings.len(), examined))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("two_phase_incl_msg", p),
+            &gen.db,
+            |b, db| {
+                b.iter(|| {
+                    let msg = detector.detect(black_box(&tpiin));
+                    let scope = ScreeningScope::from_msg(&tpiin, &msg);
+                    let (findings, examined) = ite.screen(black_box(db), &market, &scope);
+                    black_box((findings.len(), examined))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_phase);
+criterion_main!(benches);

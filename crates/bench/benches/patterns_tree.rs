@@ -1,0 +1,52 @@
+//! **Figs. 9–10 / Algorithm 2** — patterns-tree construction and component
+//! pattern base generation.
+//!
+//! Measures the per-subTPIIN cost of Algorithm 2: building the patterns
+//! tree for every root, and materializing the potential component pattern
+//! base, on the largest conglomerate component of the province network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_core::{generate_pattern_base, segment_tpiin, PatternsTree, SubTpiin};
+
+fn largest_sub(tpiin: &tpiin_fusion::Tpiin) -> SubTpiin {
+    segment_tpiin(tpiin)
+        .into_iter()
+        .max_by_key(SubTpiin::node_count)
+        .expect("province has components")
+}
+
+fn bench_patterns_tree(c: &mut Criterion) {
+    let tpiin = tpiin_fixture(1.0, 0.01, 20170417);
+    let sub = largest_sub(&tpiin);
+    let roots: Vec<u32> = sub.roots().collect();
+    let mut group = c.benchmark_group("patterns_tree");
+    group.sample_size(30);
+
+    group.bench_function("build_all_roots", |b| {
+        b.iter(|| {
+            let mut total_nodes = 0usize;
+            for &root in &roots {
+                let tree = PatternsTree::build(black_box(&sub), root, usize::MAX)
+                    .expect("no overflow at province scale");
+                total_nodes += tree.nodes.len();
+            }
+            black_box(total_nodes)
+        });
+    });
+
+    group.bench_function("generate_pattern_base", |b| {
+        b.iter(|| {
+            black_box(
+                generate_pattern_base(black_box(&sub), usize::MAX)
+                    .expect("no overflow")
+                    .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns_tree);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! **Efficiency claim (§5.2)** — the proposed pattern-tree detector vs the
+//! global traversing baseline on the same TPIIN.
+//!
+//! The paper's central efficiency argument is that matching component
+//! patterns from indegree-zero roots avoids the combinatorial explosion of
+//! enumerating trails between *all* node pairs.  Both arms produce
+//! identical group sets (verified by tests); this bench shows the cost
+//! gap and how it widens with trading density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_core::baseline::detect_baseline;
+use tpiin_core::{Detector, DetectorConfig};
+
+fn bench_proposed_vs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proposed_vs_baseline");
+    group.sample_size(10);
+    let detector = Detector::new(DetectorConfig {
+        collect_groups: true,
+        ..Default::default()
+    });
+    for p in [0.002, 0.01, 0.05] {
+        let tpiin = tpiin_fixture(1.0, p, 20170417);
+        group.bench_with_input(BenchmarkId::new("proposed", p), &tpiin, |b, tpiin| {
+            b.iter(|| black_box(detector.detect(black_box(tpiin)).group_count()));
+        });
+        group.bench_with_input(BenchmarkId::new("baseline", p), &tpiin, |b, tpiin| {
+            b.iter(|| black_box(detect_baseline(black_box(tpiin), usize::MAX).groups.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_proposed_vs_baseline);
+criterion_main!(benches);

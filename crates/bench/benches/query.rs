@@ -1,0 +1,54 @@
+//! **Section 6 drill-down** — per-arc group query vs running the full
+//! detector and filtering.
+//!
+//! The deployed monitoring system answers "show me the suspicious groups
+//! behind this transaction" interactively.  `groups_behind_arc` restricts
+//! mining to the ancestor cone of the arc's two endpoints; this bench
+//! measures the gap vs re-running Algorithm 1 on the whole TPIIN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_core::{detect, groups_behind_arc};
+
+fn bench_query(c: &mut Criterion) {
+    let tpiin = tpiin_fixture(1.0, 0.01, 20170417);
+    // Pick a handful of genuinely suspicious arcs to query.
+    let arcs: Vec<_> = detect(&tpiin)
+        .suspicious_trading_arcs
+        .iter()
+        .copied()
+        .take(8)
+        .collect();
+    assert!(!arcs.is_empty());
+
+    let mut group = c.benchmark_group("query_one_arc");
+    group.sample_size(20);
+    group.bench_function("groups_behind_arc_x8", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &(s, t) in &arcs {
+                total += groups_behind_arc(black_box(&tpiin), s, t).len();
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function("full_detect_then_filter", |b| {
+        b.iter(|| {
+            let result = detect(black_box(&tpiin));
+            let mut total = 0usize;
+            for &(s, t) in &arcs {
+                total += result
+                    .groups
+                    .iter()
+                    .filter(|g| g.trading_arc == (s, t))
+                    .count();
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

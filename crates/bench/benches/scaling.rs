@@ -1,0 +1,58 @@
+//! **Big-data scaling** — end-to-end cost (fusion + detection) as the
+//! province grows.
+//!
+//! The paper motivates the method with national-scale volumes (31.9 M
+//! taxpayers, a billion records a year); its future work points at
+//! parallel graph processing.  This bench measures how the pipeline
+//! scales with population size at fixed trading probability, serial vs
+//! parallel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tpiin_bench::fixtures::province_with_trading;
+use tpiin_core::{Detector, DetectorConfig};
+use tpiin_fusion::fuse;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for scale in [0.25, 0.5, 1.0] {
+        let registry = province_with_trading(scale, 0.01, 20170417);
+        let (tpiin, _) = fuse(&registry).expect("generated registry fuses");
+        let arcs = tpiin.graph.edge_count() as u64;
+        group.throughput(Throughput::Elements(arcs));
+
+        let serial = Detector::new(DetectorConfig {
+            collect_groups: false,
+            ..Default::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("detect_serial", scale),
+            &tpiin,
+            |b, tpiin| {
+                b.iter(|| black_box(serial.detect(black_box(tpiin)).group_count()));
+            },
+        );
+
+        let parallel = Detector::new(DetectorConfig {
+            collect_groups: false,
+            threads: 8,
+            ..Default::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("detect_parallel8", scale),
+            &tpiin,
+            |b, tpiin| {
+                b.iter(|| black_box(parallel.detect(black_box(tpiin)).group_count()));
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("fuse", scale), &registry, |b, registry| {
+            b.iter(|| black_box(fuse(black_box(registry)).unwrap().1.tpiin_nodes));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! **Table 1** — detection over the trading-probability sweep.
+//!
+//! The paper's Table 1 reports suspicious-group and suspicious-arc counts
+//! for twenty trading probabilities on the 4578-node province network.
+//! This bench measures the MSG-phase (Algorithm 1 + 2 + matching) at a
+//! representative subset of the sweep; the full table with counts is
+//! printed by `cargo run --release -p tpiin-cli -- table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_core::{Detector, DetectorConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_detection");
+    group.sample_size(20);
+    let detector = Detector::new(DetectorConfig {
+        collect_groups: false,
+        ..Default::default()
+    });
+    for p in [0.002, 0.01, 0.05, 0.1] {
+        let tpiin = tpiin_fixture(1.0, p, 20170417);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &tpiin, |b, tpiin| {
+            b.iter(|| {
+                let result = detector.detect(black_box(tpiin));
+                black_box(result.group_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmark fixtures: pre-built registries and TPIINs.
+
+use tpiin_datagen::{add_random_trading, generate_province, ProvinceConfig};
+use tpiin_fusion::{fuse, Tpiin};
+use tpiin_model::SourceRegistry;
+
+/// A scaled province registry with a trading network at probability `p`.
+pub fn province_with_trading(scale: f64, p: f64, seed: u64) -> SourceRegistry {
+    let config = if (scale - 1.0).abs() < f64::EPSILON {
+        ProvinceConfig {
+            seed,
+            ..ProvinceConfig::default()
+        }
+    } else {
+        ProvinceConfig {
+            seed,
+            ..ProvinceConfig::scaled(scale)
+        }
+    };
+    let mut registry = generate_province(&config);
+    add_random_trading(&mut registry, p, seed ^ 0x7ead);
+    registry
+}
+
+/// Fused TPIIN for the same fixture.
+pub fn tpiin_fixture(scale: f64, p: f64, seed: u64) -> Tpiin {
+    let registry = province_with_trading(scale, p, seed);
+    let (tpiin, _) = fuse(&registry).expect("generated registry always fuses");
+    tpiin
+}

@@ -1,0 +1,7 @@
+//! `tpiin-bench` — shared helpers for the Criterion benchmarks.
+//!
+//! Bench targets live under `benches/`; this library holds the fixture
+//! builders they share so each bench measures only the operation under
+//! test, not fixture construction.
+
+pub mod fixtures;

@@ -1,0 +1,183 @@
+//! Minimal flag parsing (no external dependency).
+
+/// Parsed command-line options shared by all subcommands.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Province scale factor (1.0 = the paper's 4578-node network).
+    pub scale: f64,
+    /// RNG seed for the province and trading networks.
+    pub seed: u64,
+    /// Worker threads for detection (0 = serial).
+    pub threads: usize,
+    /// Trading probabilities for sweeps / single runs.
+    pub probs: Vec<f64>,
+    /// Verify against the global-traversal baseline.
+    pub verify: bool,
+    /// Groups to print for `detect`.
+    pub top: usize,
+    /// Output path for `export-dot` / `export-graphml`.
+    pub out: Option<String>,
+    /// Directory for `import` / `save-province` / `report`.
+    pub dir: Option<String>,
+    /// Trading arc for `query`, as `SELLER,BUYER` company labels.
+    pub arc: Option<(String, String)>,
+    /// Company label for `company`.
+    pub company: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 1.0,
+            seed: 20170417,
+            threads: 0,
+            probs: Vec::new(),
+            verify: false,
+            top: 10,
+            out: None,
+            dir: None,
+            arc: None,
+            company: None,
+        }
+    }
+}
+
+/// The paper's twenty trading-probability settings (Table 1, column 1).
+pub const PAPER_PROBS: [f64; 20] = [
+    0.002, 0.003, 0.004, 0.005, 0.006, 0.008, 0.010, 0.012, 0.014, 0.016, 0.018, 0.020, 0.030,
+    0.040, 0.050, 0.060, 0.070, 0.080, 0.090, 0.100,
+];
+
+impl Options {
+    /// Parses `--flag value` pairs; unknown flags are errors.
+    pub fn parse(argv: &[String]) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    opts.scale = value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?;
+                    if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                        return Err("--scale must be in (0, 1]".into());
+                    }
+                }
+                "--seed" => {
+                    opts.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--threads" => {
+                    opts.threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--probs" => {
+                    opts.probs = value("--probs")?
+                        .split(',')
+                        .map(|s| s.trim().parse::<f64>().map_err(|e| format!("--probs: {e}")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "--top" => {
+                    opts.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?;
+                }
+                "--out" => opts.out = Some(value("--out")?),
+                "--dir" => opts.dir = Some(value("--dir")?),
+                "--company" => opts.company = Some(value("--company")?),
+                "--arc" => {
+                    let raw = value("--arc")?;
+                    let (s_label, b_label) = raw
+                        .split_once(',')
+                        .ok_or_else(|| "--arc expects SELLER,BUYER".to_string())?;
+                    opts.arc = Some((s_label.trim().to_string(), b_label.trim().to_string()));
+                }
+                "--verify" => opts.verify = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The probability list to sweep: `--probs` if given, else the
+    /// paper's twenty settings.
+    pub fn sweep_probs(&self) -> Vec<f64> {
+        if self.probs.is_empty() {
+            PAPER_PROBS.to_vec()
+        } else {
+            self.probs.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&argv)
+    }
+
+    #[test]
+    fn defaults() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.scale, 1.0);
+        assert_eq!(opts.seed, 20170417);
+        assert_eq!(opts.threads, 0);
+        assert!(!opts.verify);
+        assert_eq!(opts.sweep_probs().len(), PAPER_PROBS.len());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let opts = parse(&[
+            "--scale",
+            "0.5",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+            "--probs",
+            "0.01, 0.02",
+            "--verify",
+            "--top",
+            "3",
+            "--out",
+            "x.dot",
+            "--dir",
+            "d",
+            "--arc",
+            "C1, C2",
+        ])
+        .unwrap();
+        assert_eq!(opts.scale, 0.5);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.probs, vec![0.01, 0.02]);
+        assert!(opts.verify);
+        assert_eq!(opts.top, 3);
+        assert_eq!(opts.out.as_deref(), Some("x.dot"));
+        assert_eq!(opts.dir.as_deref(), Some("d"));
+        assert_eq!(opts.arc, Some(("C1".to_string(), "C2".to_string())));
+        assert_eq!(opts.sweep_probs(), vec![0.01, 0.02]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--scale"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse(&["--scale", "2.0"]).unwrap_err().contains("(0, 1]"));
+        assert!(parse(&["--bogus"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["--probs", "a,b"]).unwrap_err().contains("--probs"));
+        assert!(parse(&["--arc", "C1"])
+            .unwrap_err()
+            .contains("SELLER,BUYER"));
+    }
+}

@@ -1,0 +1,551 @@
+//! Subcommand implementations.
+
+use crate::args::Options;
+use std::time::Instant;
+use tpiin_core::baseline::detect_baseline;
+use tpiin_core::{detect, generate_pattern_base, segment_tpiin, Detector, DetectorConfig};
+use tpiin_datagen::{
+    add_random_trading, case1_registry, case2_registry, case3_registry, fig7_registry,
+    generate_province, ProvinceConfig,
+};
+use tpiin_fusion::{fuse, ArcColor, NodeColor, Tpiin};
+use tpiin_model::SourceRegistry;
+
+pub const HELP: &str = "\
+tpiin — mining suspicious tax evasion groups (ICDE 2017 reproduction)
+
+USAGE: tpiin <command> [flags]
+
+COMMANDS:
+  table1          Regenerate Table 1: the trading-probability sweep
+  stats           Fusion-stage statistics (Figs. 11-16)
+  worked-example  Figs. 7-10: pattern base and groups with explanations
+  cases           The three Section 3.1 case studies
+  detect          Mine one random TPIIN; print top-scored groups
+  query           Groups behind one trading arc (--arc SELLER,BUYER)
+  save-province   Write the synthetic province as CSV files (--dir)
+  import          Load a CSV registry (--dir), detect, print summary
+  report          Detect and write susGroup/susTrade/summary files (--dir)
+  two-phase       Full Fig. 4 flow: MSG + ITE screening vs one-by-one
+  company         Fig. 17/18 investment-tree view (--company LABEL)
+  analyze         Fig. 19 preliminary analysis of one company's IATs
+  export-dot      Export a generated TPIIN as Graphviz DOT
+  export-graphml  Export a generated TPIIN as GraphML (Gephi)
+  help            Show this help
+
+FLAGS:
+  --scale F     province scale factor in (0,1] (default 1.0 = 4578 nodes)
+  --seed N      RNG seed (default 20170417)
+  --threads N   detection worker threads (default 0 = serial)
+  --probs LIST  comma-separated trading probabilities (default: paper's 20)
+  --verify      also run the global-traversal baseline and compare
+  --top N       groups to print for `detect`/`query` (default 10)
+  --out PATH    output file for exports (default stdout)
+  --dir PATH    directory for save-province/import/report
+  --arc S,B     seller,buyer company labels for `query`
+  --company L   company label for `company`
+";
+
+fn province(opts: &Options) -> (SourceRegistry, ProvinceConfig) {
+    let config = if (opts.scale - 1.0).abs() < f64::EPSILON {
+        ProvinceConfig {
+            seed: opts.seed,
+            ..ProvinceConfig::default()
+        }
+    } else {
+        ProvinceConfig {
+            seed: opts.seed,
+            ..ProvinceConfig::scaled(opts.scale)
+        }
+    };
+    (generate_province(&config), config)
+}
+
+fn detector(opts: &Options, collect: bool) -> Detector {
+    Detector::new(DetectorConfig {
+        collect_groups: collect,
+        threads: opts.threads,
+        ..Default::default()
+    })
+}
+
+/// `tpiin table1` — one row per trading probability, same columns as the
+/// paper's Table 1 plus wall-clock time.
+pub fn table1(opts: &Options) -> Result<(), String> {
+    let (base_registry, config) = province(opts);
+    println!(
+        "# Table 1 reproduction — {} directors, {} legal persons, {} companies (seed {})",
+        config.directors, config.legal_persons, config.companies, config.seed
+    );
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>9} {:>8} {:>9} {:>8} {:>8} {:>9}",
+        "p",
+        "avg_deg",
+        "complex",
+        "simple",
+        "susp_arcs",
+        "acc_grp",
+        "total_arcs",
+        "acc_arc",
+        "susp_%",
+        "time_ms"
+    );
+    for p in opts.sweep_probs() {
+        let mut registry = base_registry.clone();
+        // Each probability gets its own trading network, seeded from the
+        // base seed and the probability (the paper regenerates per row).
+        let trade_seed = opts.seed ^ (p * 1e6) as u64;
+        add_random_trading(&mut registry, p, trade_seed);
+        let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+        // The paper's "average node degree" divides by the source node
+        // count (4578), not the post-contraction TPIIN node count.
+        let source_nodes = registry.person_count() + registry.company_count();
+        let avg_degree = tpiin.graph.edge_count() as f64 / source_nodes as f64;
+        let start = Instant::now();
+        let result = detector(opts, false).detect(&tpiin);
+        let elapsed = start.elapsed().as_millis();
+        let (acc_groups, acc_arcs) = if opts.verify {
+            let full = detector(opts, true).detect(&tpiin);
+            let baseline = detect_baseline(&tpiin, 100_000_000);
+            let mut a: Vec<_> = full.groups.iter().map(|g| g.key()).collect();
+            let mut b: Vec<_> = baseline.groups.iter().map(|g| g.key()).collect();
+            a.sort();
+            b.sort();
+            let ga = if a == b && !baseline.overflowed {
+                "100%"
+            } else {
+                "DIFF"
+            };
+            let aa = if full.suspicious_trading_arcs == baseline.suspicious_trading_arcs {
+                "100%"
+            } else {
+                "DIFF"
+            };
+            (ga, aa)
+        } else {
+            ("-", "-")
+        };
+        println!(
+            "{:>7.3} {:>9.3} {:>9} {:>9} {:>9} {:>8} {:>9} {:>8} {:>8.4} {:>9}",
+            p,
+            avg_degree,
+            result.complex_group_count,
+            result.simple_group_count,
+            result.suspicious_trading_arcs.len(),
+            acc_groups,
+            result.total_trading_arcs,
+            acc_arcs,
+            result.suspicious_percentage(),
+            elapsed
+        );
+    }
+    Ok(())
+}
+
+/// `tpiin stats` — the fusion report (Figs. 11–16 numbers) plus
+/// segmentation statistics.
+pub fn stats(opts: &Options) -> Result<(), String> {
+    let (mut registry, config) = province(opts);
+    let p = *opts.sweep_probs().first().unwrap_or(&0.002);
+    add_random_trading(&mut registry, p, opts.seed);
+    let (tpiin, report) = fuse(&registry).map_err(|e| e.to_string())?;
+    println!("# Network construction (Figs. 11-16), trading probability {p}");
+    println!("{}", report.summary());
+    let subs = segment_tpiin(&tpiin);
+    let with_trades = subs.iter().filter(|s| s.trading_arc_count > 0).count();
+    let largest = subs.iter().map(|s| s.node_count()).max().unwrap_or(0);
+    println!(
+        "segmentation: {} subTPIINs ({} with trading arcs), largest has {} nodes",
+        subs.len(),
+        with_trades,
+        largest
+    );
+    println!(
+        "expected suspicious fraction from cluster spectrum: {:.3}%",
+        100.0 * config.expected_suspicious_fraction()
+    );
+    if opts.verify {
+        println!("\n# Appendix A property verification");
+        println!("{}", tpiin_fusion::verify_tpiin(&tpiin, true).summary());
+    }
+    Ok(())
+}
+
+/// `tpiin worked-example` — Figs. 7–10 and the three groups.
+pub fn worked_example() -> Result<(), String> {
+    let registry = fig7_registry();
+    let (tpiin, report) = fuse(&registry).map_err(|e| e.to_string())?;
+    println!("# Fig. 7 -> Fig. 8 fusion");
+    println!("{}", report.summary());
+    let subs = segment_tpiin(&tpiin);
+    println!("\n# Fig. 10 — potential component pattern base");
+    let base = generate_pattern_base(&subs[0], usize::MAX)
+        .ok_or("pattern tree overflow on the worked example")?;
+    for (i, pattern) in base.iter().enumerate() {
+        println!("{:>2}. {}", i + 1, pattern.render(&tpiin));
+    }
+    println!("\n# Suspicious groups (Section 4.3)");
+    let result = detect(&tpiin);
+    for group in &result.groups {
+        println!("- {}", group.explain(&tpiin));
+    }
+    Ok(())
+}
+
+/// `tpiin cases` — Section 3.1 case studies.
+pub fn cases() -> Result<(), String> {
+    for (name, registry, expected_adjustment) in [
+        (
+            "Case 1 (transfer pricing via kin legal persons)",
+            case1_registry(),
+            "25.52M RMB",
+        ),
+        (
+            "Case 2 (same partial investor, cross-border)",
+            case2_registry(),
+            "$5000",
+        ),
+        (
+            "Case 3 (interlocked directors, export)",
+            case3_registry(),
+            "19.89M RMB",
+        ),
+    ] {
+        let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+        let result = detect(&tpiin);
+        println!("# {name} — tax adjustment in the paper: {expected_adjustment}");
+        for group in &result.groups {
+            println!("  {}", group.explain(&tpiin));
+            let score = tpiin_core::score_group(&tpiin, group);
+            println!(
+                "  score: chain strength {:.3} x volume {:.0} = {:.0}",
+                score.chain_strength, score.trade_volume, score.score
+            );
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// `tpiin detect` — one random TPIIN, top-scored groups printed.
+pub fn detect_one(opts: &Options) -> Result<(), String> {
+    let (mut registry, _) = province(opts);
+    let p = *opts.sweep_probs().first().unwrap_or(&0.002);
+    add_random_trading(&mut registry, p, opts.seed);
+    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    let result = detector(opts, true).detect(&tpiin);
+    println!(
+        "detected {} groups ({} complex, {} simple) behind {} of {} trading arcs in {:?}",
+        result.group_count(),
+        result.complex_group_count,
+        result.simple_group_count,
+        result.suspicious_trading_arcs.len(),
+        result.total_trading_arcs,
+        start.elapsed()
+    );
+    let mut scored: Vec<_> = result
+        .groups
+        .iter()
+        .map(|g| (tpiin_core::score_group(&tpiin, g), g))
+        .collect();
+    scored.sort_by(|a, b| b.0.score.total_cmp(&a.0.score));
+    println!("\ntop {} groups by score:", opts.top.min(scored.len()));
+    for (score, group) in scored.iter().take(opts.top) {
+        println!("  [{:>12.0}] {}", score.score, group.explain(&tpiin));
+    }
+    Ok(())
+}
+
+/// `tpiin export-dot` — Graphviz rendering of a generated TPIIN, colored
+/// like the paper's figures (red companies, black persons, blue influence
+/// arcs, black trading arcs).
+pub fn export_dot(opts: &Options) -> Result<(), String> {
+    let (mut registry, _) = province(opts);
+    let p = *opts.sweep_probs().first().unwrap_or(&0.002);
+    add_random_trading(&mut registry, p, opts.seed);
+    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let text = render_dot(&tpiin);
+    match &opts.out {
+        Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn render_dot(tpiin: &Tpiin) -> String {
+    let style = tpiin_graph::DotStyle {
+        node_label: Box::new(|_, n: &tpiin_fusion::TpiinNode| n.label().to_string()),
+        node_attrs: Box::new(|_, n| match n.color() {
+            NodeColor::Company => "color=red".to_string(),
+            NodeColor::Person => "color=black".to_string(),
+        }),
+        edge_attrs: Box::new(|arc: &tpiin_fusion::TpiinArc| match arc.color {
+            ArcColor::Influence => "color=blue".to_string(),
+            ArcColor::Trading => "color=black".to_string(),
+        }),
+    };
+    tpiin_graph::dot(&tpiin.graph, &style)
+}
+
+/// `tpiin save-province` — write the synthetic registry as CSV files.
+pub fn save_province(opts: &Options) -> Result<(), String> {
+    let dir = opts.dir.as_deref().ok_or("save-province requires --dir")?;
+    let (mut registry, _) = province(opts);
+    let p = *opts.sweep_probs().first().unwrap_or(&0.002);
+    add_random_trading(&mut registry, p, opts.seed);
+    tpiin_io::registry_csv::save_registry(&registry, std::path::Path::new(dir))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} persons, {} companies, {} trading records to {dir}/",
+        registry.person_count(),
+        registry.company_count(),
+        registry.tradings().len()
+    );
+    Ok(())
+}
+
+/// `tpiin import` — load a CSV registry, fuse, detect, print a summary.
+pub fn import(opts: &Options) -> Result<(), String> {
+    let dir = opts.dir.as_deref().ok_or("import requires --dir")?;
+    let registry = tpiin_io::registry_csv::load_registry(std::path::Path::new(dir))
+        .map_err(|e| e.to_string())?;
+    let (tpiin, report) = fuse(&registry).map_err(|e| e.to_string())?;
+    println!("{}", report.summary());
+    let result = detector(opts, false).detect(&tpiin);
+    println!("{}", result.summary());
+    Ok(())
+}
+
+/// `tpiin report` — detect on a generated (or imported) TPIIN and write
+/// the paper's susGroup/susTrade files plus summary.json.
+pub fn report(opts: &Options) -> Result<(), String> {
+    let dir = opts.dir.as_deref().ok_or("report requires --dir")?;
+    let (mut registry, _) = province(opts);
+    let p = *opts.sweep_probs().first().unwrap_or(&0.002);
+    add_random_trading(&mut registry, p, opts.seed);
+    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let result = detector(opts, true).detect(&tpiin);
+    let files = tpiin_io::reports::write_reports(&tpiin, &result, std::path::Path::new(dir))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {files} files to {dir}/ ({} groups across {} subTPIINs)",
+        result.group_count(),
+        result.per_subtpiin.iter().filter(|s| s.groups > 0).count()
+    );
+    Ok(())
+}
+
+/// `tpiin query` — the Section 6 drill-down: proof chains behind one
+/// trading relationship.
+pub fn query(opts: &Options) -> Result<(), String> {
+    let (seller_label, buyer_label) = opts
+        .arc
+        .as_ref()
+        .ok_or("query requires --arc SELLER,BUYER")?;
+    let (mut registry, _) = province(opts);
+    let p = *opts.sweep_probs().first().unwrap_or(&0.002);
+    add_random_trading(&mut registry, p, opts.seed);
+    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let find = |label: &str| {
+        tpiin
+            .graph
+            .nodes()
+            .find(|(_, n)| n.label() == label)
+            .map(|(id, _)| id)
+            .ok_or_else(|| format!("no node labelled `{label}`"))
+    };
+    let seller = find(seller_label)?;
+    let buyer = find(buyer_label)?;
+    let groups = tpiin_core::groups_behind_arc(&tpiin, seller, buyer);
+    if groups.is_empty() {
+        println!("no suspicious group behind {seller_label} -> {buyer_label}");
+        return Ok(());
+    }
+    println!(
+        "{} group(s) behind {seller_label} -> {buyer_label}:",
+        groups.len()
+    );
+    for group in groups.iter().take(opts.top) {
+        println!("- {}", group.explain(&tpiin));
+    }
+    if let Some(path) = &opts.out {
+        // Drill-down view of the first group, Servyou-style.
+        let dot = tpiin_io::groupviz::group_dot(&tpiin, &groups[0]);
+        std::fs::write(path, dot).map_err(|e| e.to_string())?;
+        println!("wrote drill-down DOT of the first group to {path}");
+    }
+    Ok(())
+}
+
+/// `tpiin export-graphml` — Gephi-compatible export.
+pub fn export_graphml(opts: &Options) -> Result<(), String> {
+    let (mut registry, _) = province(opts);
+    let p = *opts.sweep_probs().first().unwrap_or(&0.002);
+    add_random_trading(&mut registry, p, opts.seed);
+    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let text = tpiin_io::graphml::tpiin_graphml(&tpiin);
+    match &opts.out {
+        Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// `tpiin two-phase` — the full Fig. 4 pipeline with evaluation.
+pub fn two_phase(opts: &Options) -> Result<(), String> {
+    let (mut registry, _) = province(opts);
+    let p = *opts.sweep_probs().first().unwrap_or(&0.002);
+    add_random_trading(&mut registry, p, opts.seed);
+    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let msg = detector(opts, false).detect(&tpiin);
+    println!(
+        "MSG: {} of {} trading relationships suspicious ({:.2}%)",
+        msg.suspicious_trading_arcs.len(),
+        msg.total_trading_arcs,
+        msg.suspicious_percentage()
+    );
+    let scope = tpiin_ite::ScreeningScope::from_msg(&tpiin, &msg);
+    let tpiin_ite::ScreeningScope::SuspiciousArcs(ref pairs) = scope else {
+        unreachable!("from_msg always returns SuspiciousArcs");
+    };
+    let gen = tpiin_ite::generator::generate_transactions(
+        &registry,
+        pairs,
+        &tpiin_ite::generator::TransactionGenConfig {
+            seed: opts.seed,
+            ..Default::default()
+        },
+    );
+    let market = tpiin_ite::MarketModel::estimate(&gen.db);
+    let ite = tpiin_ite::ItePhase::default();
+    println!(
+        "ITE over {} transactions ({} truly evading):",
+        gen.db.len(),
+        gen.evading_transactions.len()
+    );
+    for (name, scope) in [
+        ("one-by-one", tpiin_ite::ScreeningScope::AllTransactions),
+        ("two-phase ", scope.clone()),
+    ] {
+        let eval = ite.screen_and_evaluate(&gen.db, &market, &scope, &gen.evading_transactions);
+        println!(
+            "  {name}: examined {:>6.2}%  recall {:>6.2}%  precision {:>6.2}%  recovered {:.0}",
+            100.0 * eval.examined_fraction(),
+            100.0 * eval.recall(),
+            100.0 * eval.precision(),
+            eval.recovered_revenue
+        );
+    }
+    Ok(())
+}
+
+/// `tpiin company` — the Fig. 17/18 investment-tree view.
+pub fn company(opts: &Options) -> Result<(), String> {
+    let label = opts
+        .company
+        .as_deref()
+        .ok_or("company requires --company LABEL")?;
+    let (registry, _) = province(opts);
+    let id = registry
+        .company_by_name(label)
+        .ok_or_else(|| format!("no company named `{label}`"))?;
+    print!(
+        "{}",
+        tpiin_io::company_tree::investment_tree(&registry, id, 5)
+    );
+    Ok(())
+}
+
+/// `tpiin analyze` — Fig. 19: preliminary analysis of one company.  Shows
+/// its controlling persons and affiliates, its suspicious trading
+/// relationships with proof chains, and the ALP screening of the detail
+/// transactions behind them.
+pub fn analyze(opts: &Options) -> Result<(), String> {
+    let label = opts
+        .company
+        .as_deref()
+        .ok_or("analyze requires --company LABEL")?;
+    let (mut registry, _) = province(opts);
+    let p = *opts.sweep_probs().first().unwrap_or(&0.002);
+    add_random_trading(&mut registry, p, opts.seed);
+    let company_id = registry
+        .company_by_name(label)
+        .ok_or_else(|| format!("no company named `{label}`"))?;
+
+    println!("# Investment structure (Fig. 17)");
+    print!(
+        "{}",
+        tpiin_io::company_tree::investment_tree(&registry, company_id, 3)
+    );
+
+    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let node = tpiin.company_node[company_id.index()];
+    let msg = detector(opts, true).detect(&tpiin);
+
+    println!("\n# Suspicious trading relationships involving {label}");
+    let arcs: Vec<_> = msg
+        .suspicious_trading_arcs
+        .iter()
+        .filter(|&&(s, t)| s == node || t == node)
+        .copied()
+        .collect();
+    if arcs.is_empty() {
+        println!("(none — {label} is not party to any suspicious relationship)");
+        return Ok(());
+    }
+    for &(s, t) in &arcs {
+        println!("- {} -> {}", tpiin.label(s), tpiin.label(t));
+    }
+
+    println!("\n# Proof chains (first {} groups)", opts.top);
+    let groups: Vec<_> = msg
+        .groups
+        .iter()
+        .filter(|g| g.trading_arc.0 == node || g.trading_arc.1 == node)
+        .take(opts.top)
+        .collect();
+    for group in &groups {
+        println!("- {}", group.explain(&tpiin));
+    }
+
+    println!("\n# ALP screening of the detail transactions (ITE phase)");
+    let scope = tpiin_ite::ScreeningScope::from_msg(&tpiin, &msg);
+    let tpiin_ite::ScreeningScope::SuspiciousArcs(ref pairs) = scope else {
+        unreachable!();
+    };
+    let gen = tpiin_ite::generator::generate_transactions(
+        &registry,
+        pairs,
+        &tpiin_ite::generator::TransactionGenConfig {
+            seed: opts.seed,
+            ..Default::default()
+        },
+    );
+    let market = tpiin_ite::MarketModel::estimate(&gen.db);
+    let (findings, _) = tpiin_ite::ItePhase::default().screen(&gen.db, &market, &scope);
+    let mine: Vec<_> = findings
+        .iter()
+        .filter(|f| {
+            let tx = gen.db.get(f.transaction);
+            tx.seller == company_id || tx.buyer == company_id
+        })
+        .collect();
+    if mine.is_empty() {
+        println!("(no transaction of {label} deviates from the arm's-length principle)");
+    }
+    for f in mine.iter().take(opts.top) {
+        let tx = gen.db.get(f.transaction);
+        let methods: Vec<String> = f.methods.iter().map(|m| m.to_string()).collect();
+        println!(
+            "- {} -> {}: {:.0} units at {:.2} ({}), understated revenue {:.0}",
+            registry.company(tx.seller).name,
+            registry.company(tx.buyer).name,
+            tx.quantity,
+            tx.unit_price,
+            methods.join("+"),
+            f.understated_revenue
+        );
+    }
+    Ok(())
+}

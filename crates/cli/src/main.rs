@@ -1,0 +1,56 @@
+//! `tpiin` — end-to-end command-line interface.
+//!
+//! Subcommands map onto the paper's experiments:
+//!
+//! * `table1`         — regenerate Table 1 (the trading-probability sweep);
+//! * `stats`          — fusion-stage statistics (Figs. 11–16);
+//! * `worked-example` — Figs. 7–10: pattern base and groups with proofs;
+//! * `cases`          — the three Section 3.1 case studies;
+//! * `detect`         — mine one random TPIIN and print top-scored groups;
+//! * `export-dot`     — Graphviz export of a generated TPIIN.
+//!
+//! Run `tpiin help` for flags.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&argv) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print!("{}", commands::HELP);
+        return Ok(());
+    };
+    let opts = args::Options::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "table1" => commands::table1(&opts),
+        "stats" => commands::stats(&opts),
+        "worked-example" => commands::worked_example(),
+        "cases" => commands::cases(),
+        "detect" => commands::detect_one(&opts),
+        "export-dot" => commands::export_dot(&opts),
+        "export-graphml" => commands::export_graphml(&opts),
+        "query" => commands::query(&opts),
+        "save-province" => commands::save_province(&opts),
+        "import" => commands::import(&opts),
+        "report" => commands::report(&opts),
+        "two-phase" => commands::two_phase(&opts),
+        "company" => commands::company(&opts),
+        "analyze" => commands::analyze(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; see `tpiin help`")),
+    }
+}

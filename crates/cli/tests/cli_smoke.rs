@@ -1,0 +1,134 @@
+//! End-to-end smoke tests driving the compiled `tpiin` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tpiin"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    for cmd in ["table1", "worked-example", "cases", "query", "report"] {
+        assert!(stdout.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn worked_example_prints_fifteen_patterns_and_three_groups() {
+    let (stdout, _, ok) = run(&["worked-example"]);
+    assert!(ok);
+    assert!(stdout.contains("15. "), "{stdout}");
+    assert_eq!(stdout.matches("group (").count(), 3, "{stdout}");
+    assert!(stdout.contains("L6+LB"));
+}
+
+#[test]
+fn cases_reports_all_three() {
+    let (stdout, _, ok) = run(&["cases"]);
+    assert!(ok);
+    assert!(stdout.contains("Case 1"));
+    assert!(stdout.contains("Case 2"));
+    assert!(stdout.contains("Case 3"));
+    assert!(stdout.contains("25.52M RMB"));
+}
+
+#[test]
+fn table1_small_sweep_with_verification() {
+    let (stdout, _, ok) = run(&["table1", "--scale", "0.2", "--probs", "0.004", "--verify"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("100%"), "verification column: {stdout}");
+}
+
+#[test]
+fn stats_prints_all_stages() {
+    let (stdout, _, ok) = run(&["stats", "--scale", "0.2"]);
+    assert!(ok);
+    for stage in ["G1", "G2", "G123", "TPIIN", "segmentation"] {
+        assert!(stdout.contains(stage), "{stdout}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn save_then_import_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("tpiin-cli-smoke-{}", std::process::id()));
+    let dir_str = dir.to_str().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    let (_, _, ok) = run(&["save-province", "--scale", "0.1", "--dir", dir_str]);
+    assert!(ok);
+    let (stdout, _, ok) = run(&["import", "--dir", dir_str]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("suspicious groups"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn export_graphml_emits_xml() {
+    let (stdout, _, ok) = run(&["export-graphml", "--scale", "0.05"]);
+    assert!(ok);
+    assert!(stdout.starts_with("<?xml"));
+    assert!(stdout.contains("</graphml>"));
+}
+
+#[test]
+fn two_phase_reports_both_scopes() {
+    let (stdout, _, ok) = run(&["two-phase", "--scale", "0.2"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("one-by-one"), "{stdout}");
+    assert!(stdout.contains("two-phase"), "{stdout}");
+    assert!(stdout.contains("recall"), "{stdout}");
+}
+
+#[test]
+fn company_view_renders_a_tree() {
+    let (stdout, _, ok) = run(&["company", "--company", "C0", "--scale", "0.1"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.starts_with("C0"), "{stdout}");
+    assert!(stdout.contains("LP:"), "{stdout}");
+}
+
+#[test]
+fn analyze_handles_companies_without_findings() {
+    // C-last is a singleton cluster company: cannot be suspicious.
+    let (stdout, _, ok) = run(&["analyze", "--company", "C244", "--scale", "0.1"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Investment structure"), "{stdout}");
+}
+
+#[test]
+fn missing_required_flags_error_cleanly() {
+    for args in [
+        vec!["company"],
+        vec!["analyze"],
+        vec!["query"],
+        vec!["import"],
+        vec!["report"],
+        vec!["save-province"],
+    ] {
+        let (_, stderr, ok) = run(&args);
+        assert!(!ok, "{args:?} should fail");
+        assert!(stderr.contains("requires"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn query_without_match_is_not_an_error() {
+    let (stdout, _, ok) = run(&["query", "--scale", "0.1", "--arc", "C0,C1"]);
+    assert!(ok, "{stdout}");
+}

@@ -1,0 +1,465 @@
+//! Algorithm 1 orchestration: serial and parallel suspicious-group
+//! detection over a whole TPIIN.
+
+use crate::matching::match_root;
+use crate::result::{DetectionResult, GroupKind, SubTpiinStats, SuspiciousGroup};
+use crate::subtpiin::{segment_tpiin, SubTpiin};
+use crate::tree::PatternsTree;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tpiin_fusion::Tpiin;
+use tpiin_graph::NodeId;
+
+/// Detection options.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectorConfig {
+    /// Materialize [`SuspiciousGroup`]s (set `false` for counting-only
+    /// sweeps like Table 1, which avoids per-group allocations).
+    pub collect_groups: bool,
+    /// Worker threads; `0` or `1` runs serially.  Parallelism is over
+    /// (subTPIIN, root) work items, the paper's future-work direction.
+    pub threads: usize,
+    /// Upper bound on patterns-tree nodes per root; trees beyond it mark
+    /// the result [`DetectionResult::overflowed`].
+    pub max_tree_nodes: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            collect_groups: true,
+            threads: 0,
+            max_tree_nodes: 10_000_000,
+        }
+    }
+}
+
+/// The suspicious-group detector (Algorithm 1 + Algorithm 2 + matching).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Detector {
+    /// Configuration used by [`Detector::detect`].
+    pub config: DetectorConfig,
+}
+
+/// Output of mining one root of one subTPIIN.
+#[derive(Default)]
+struct RootOutcome {
+    groups: Vec<SuspiciousGroup>,
+    complex: usize,
+    simple: usize,
+    arcs: Vec<(NodeId, NodeId)>,
+    /// Circle groups with their local dedup key (circle trail); merged
+    /// across roots because every root reaching a circle re-discovers it.
+    circles: Vec<(Vec<u32>, SuspiciousGroup)>,
+    tree_nodes: usize,
+    patterns: usize,
+    overflowed: bool,
+}
+
+fn mine_root(sub: &SubTpiin, root: u32, config: &DetectorConfig) -> RootOutcome {
+    let mut out = RootOutcome::default();
+    let Some(tree) = PatternsTree::build(sub, root, config.max_tree_nodes) else {
+        out.overflowed = true;
+        return out;
+    };
+    out.tree_nodes = tree.nodes.len();
+    out.patterns = tree.a_leaves.len() + tree.b_leaves.len();
+    let to_global = |v: u32| sub.global[v as usize];
+    match_root(sub, &tree, |view| {
+        let arc = (to_global(view.trade_source), to_global(view.target));
+        if view.circle {
+            let group = SuspiciousGroup {
+                subtpiin: sub.index,
+                kind: GroupKind::Circle,
+                antecedent: to_global(view.target),
+                end: to_global(view.target),
+                trading_arc: arc,
+                trail_with_trade: view.prefix.iter().map(|&v| to_global(v)).collect(),
+                trail_plain: view.plain.iter().map(|&v| to_global(v)).collect(),
+                simple: view.simple,
+            };
+            out.circles.push((view.prefix.to_vec(), group));
+            return;
+        }
+        if view.simple {
+            out.simple += 1;
+        } else {
+            out.complex += 1;
+        }
+        out.arcs.push(arc);
+        if config.collect_groups {
+            out.groups.push(SuspiciousGroup {
+                subtpiin: sub.index,
+                kind: GroupKind::Matched,
+                antecedent: to_global(view.prefix[0]),
+                end: to_global(view.target),
+                trading_arc: arc,
+                trail_with_trade: view.prefix.iter().map(|&v| to_global(v)).collect(),
+                trail_plain: view.plain.iter().map(|&v| to_global(v)).collect(),
+                simple: view.simple,
+            });
+        }
+    });
+    out
+}
+
+/// Merges ordered root outcomes into the final result.
+fn merge(
+    tpiin: &Tpiin,
+    subs: &[SubTpiin],
+    work: &[(usize, u32)],
+    outcomes: Vec<RootOutcome>,
+    config: &DetectorConfig,
+) -> DetectionResult {
+    let mut result = DetectionResult {
+        total_trading_arcs: tpiin.trading_arc_count + tpiin.intra_syndicate_trades.len(),
+        intra_syndicate_trades: tpiin.intra_syndicate_trades.len(),
+        per_subtpiin: subs
+            .iter()
+            .map(|s| SubTpiinStats {
+                index: s.index,
+                nodes: s.node_count(),
+                influence_arcs: s.influence_arc_count(),
+                trading_arcs: s.trading_arc_count,
+                ..Default::default()
+            })
+            .collect(),
+        ..Default::default()
+    };
+    // Intra-syndicate trades are suspicious by construction (§4.3): count
+    // their arcs.
+    for t in &tpiin.intra_syndicate_trades {
+        result.suspicious_trading_arcs.insert((
+            tpiin.company_node[t.seller.index()],
+            tpiin.company_node[t.buyer.index()],
+        ));
+    }
+    // Cross-root circle dedup, per subTPIIN.
+    let mut seen_circles: Vec<HashSet<Vec<u32>>> = vec![HashSet::new(); subs.len()];
+    for (&(sub_idx, _), outcome) in work.iter().zip(outcomes) {
+        let stats = &mut result.per_subtpiin[sub_idx];
+        stats.tree_nodes += outcome.tree_nodes;
+        stats.patterns += outcome.patterns;
+        stats.groups += outcome.complex + outcome.simple;
+        result.overflowed |= outcome.overflowed;
+        result.complex_group_count += outcome.complex;
+        result.simple_group_count += outcome.simple;
+        result.suspicious_trading_arcs.extend(outcome.arcs);
+        if config.collect_groups {
+            result.groups.extend(outcome.groups);
+        }
+        for (key, group) in outcome.circles {
+            if seen_circles[sub_idx].insert(key) {
+                result.simple_group_count += 1;
+                result.per_subtpiin[sub_idx].groups += 1;
+                result.suspicious_trading_arcs.insert(group.trading_arc);
+                if config.collect_groups {
+                    result.groups.push(group);
+                }
+            }
+        }
+    }
+    result
+}
+
+impl Detector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: DetectorConfig) -> Self {
+        Detector { config }
+    }
+
+    /// Segments `tpiin` and mines every subTPIIN (Algorithm 1).
+    pub fn detect(&self, tpiin: &Tpiin) -> DetectionResult {
+        let subs = segment_tpiin(tpiin);
+        self.detect_segmented(tpiin, &subs)
+    }
+
+    /// Mines pre-segmented subTPIINs; exposed so benchmarks can separate
+    /// segmentation cost from mining cost.
+    pub fn detect_segmented(&self, tpiin: &Tpiin, subs: &[SubTpiin]) -> DetectionResult {
+        // Work items: one per (subTPIIN, root).  SubTPIINs without trading
+        // arcs can be skipped wholesale — no type-(b) walks exist.
+        let work: Vec<(usize, u32)> = subs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.trading_arc_count > 0)
+            .flat_map(|(i, s)| s.roots().map(move |r| (i, r)))
+            .collect();
+
+        let outcomes: Vec<RootOutcome> = if self.config.threads > 1 && work.len() > 1 {
+            // Threads claim contiguous batches of work items (amortizing
+            // the atomic) and keep outcomes in thread-local buffers; the
+            // buffers are merged back into work order afterwards, so the
+            // result is bit-identical to the serial run regardless of
+            // scheduling.
+            const BATCH: usize = 32;
+            let threads = self.config.threads.min(work.len());
+            let next = AtomicUsize::new(0);
+            let config = &self.config;
+            let collected: parking_lot::Mutex<Vec<(usize, Vec<RootOutcome>)>> =
+                parking_lot::Mutex::new(Vec::new());
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| {
+                        let mut local: Vec<(usize, Vec<RootOutcome>)> = Vec::new();
+                        loop {
+                            let start = next.fetch_add(BATCH, Ordering::Relaxed);
+                            if start >= work.len() {
+                                break;
+                            }
+                            let end = (start + BATCH).min(work.len());
+                            let outcomes: Vec<RootOutcome> = work[start..end]
+                                .iter()
+                                .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, config))
+                                .collect();
+                            local.push((start, outcomes));
+                        }
+                        collected.lock().append(&mut local);
+                    });
+                }
+            })
+            .expect("detection worker panicked");
+            let mut batches = collected.into_inner();
+            batches.sort_by_key(|&(start, _)| start);
+            let outcomes: Vec<RootOutcome> = batches.into_iter().flat_map(|(_, v)| v).collect();
+            assert_eq!(
+                outcomes.len(),
+                work.len(),
+                "every work item produced an outcome"
+            );
+            outcomes
+        } else {
+            work.iter()
+                .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, &self.config))
+                .collect()
+        };
+
+        merge(tpiin, subs, &work, outcomes, &self.config)
+    }
+}
+
+/// Convenience: detect with the default configuration (serial, collecting
+/// groups).
+///
+/// # Example
+///
+/// Two companies with the same boss trade with each other — the minimal
+/// suspicious group (the triangle of the paper's Fig. 3(a)):
+///
+/// ```
+/// use tpiin_core::detect;
+/// use tpiin_fusion::fuse;
+/// use tpiin_model::{InfluenceKind, InfluenceRecord, Role, RoleSet,
+///                   SourceRegistry, TradingRecord};
+///
+/// let mut registry = SourceRegistry::new();
+/// let boss = registry.add_person("Boss", RoleSet::of(&[Role::Ceo]));
+/// let a = registry.add_company("A");
+/// let b = registry.add_company("B");
+/// for company in [a, b] {
+///     registry.add_influence(InfluenceRecord {
+///         person: boss, company,
+///         kind: InfluenceKind::CeoOf, is_legal_person: true,
+///     });
+/// }
+/// registry.add_trading(TradingRecord { seller: a, buyer: b, volume: 1.0 });
+///
+/// let (tpiin, _) = fuse(&registry).unwrap();
+/// let result = detect(&tpiin);
+/// assert_eq!(result.group_count(), 1);
+/// assert!(result.groups[0].simple);
+/// assert_eq!(result.suspicious_trading_arcs.len(), 1);
+/// ```
+pub fn detect(tpiin: &Tpiin) -> DetectionResult {
+    Detector::default().detect(tpiin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpiin_model::{
+        InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, Role, RoleSet,
+        SourceRegistry, TradingRecord,
+    };
+
+    /// Case 1 (Fig. 1): L1 controls C1 which owns C3; L2 controls C2;
+    /// L1 and L2 are brothers; C3 sells to C2.
+    fn case1_registry() -> SourceRegistry {
+        let mut r = SourceRegistry::new();
+        let l1 = r.add_person("L1", RoleSet::of(&[Role::Ceo]));
+        let l2 = r.add_person("L2", RoleSet::of(&[Role::Ceo]));
+        let l3 = r.add_person("L3", RoleSet::of(&[Role::Ceo]));
+        let c1 = r.add_company("C1");
+        let c2 = r.add_company("C2");
+        let c3 = r.add_company("C3");
+        for (p, c) in [(l1, c1), (l2, c2), (l3, c3)] {
+            r.add_influence(InfluenceRecord {
+                person: p,
+                company: c,
+                kind: InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+        }
+        r.add_interdependence(l1, l2, InterdependenceKind::Kinship);
+        r.add_investment(InvestmentRecord {
+            investor: c1,
+            investee: c3,
+            share: 1.0,
+        });
+        r.add_trading(TradingRecord {
+            seller: c3,
+            buyer: c2,
+            volume: 2552.0,
+        });
+        r
+    }
+
+    #[test]
+    fn case1_is_detected_with_merged_kin_antecedent() {
+        let (tpiin, _) = tpiin_fusion::fuse(&case1_registry()).unwrap();
+        let result = detect(&tpiin);
+        assert_eq!(result.group_count(), 1);
+        assert_eq!(result.suspicious_trading_arcs.len(), 1);
+        let g = &result.groups[0];
+        assert_eq!(tpiin.label(g.antecedent), "L1+L2");
+        assert_eq!(tpiin.label(g.end), "C2");
+        assert!(g.simple);
+        assert_eq!(g.kind, GroupKind::Matched);
+        let explained = g.explain(&tpiin);
+        assert!(explained.contains("L1+L2"), "{explained}");
+        assert!(explained.contains("IAT"), "{explained}");
+    }
+
+    #[test]
+    fn unrelated_trade_is_not_suspicious() {
+        let mut r = case1_registry();
+        // C4 is controlled by an unrelated person; C3 -> C4 trade crosses
+        // no common antecedent (C4 joins the weak component via nothing).
+        let l4 = r.add_person("L4", RoleSet::of(&[Role::Ceo]));
+        let c4 = r.add_company("C4");
+        r.add_influence(InfluenceRecord {
+            person: l4,
+            company: c4,
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+        r.add_trading(TradingRecord {
+            seller: tpiin_model::CompanyId(2),
+            buyer: c4,
+            volume: 1.0,
+        });
+        let (tpiin, _) = tpiin_fusion::fuse(&r).unwrap();
+        let result = detect(&tpiin);
+        // Still only the Case-1 group; the C3 -> C4 arc stays clean.
+        assert_eq!(result.group_count(), 1);
+        assert_eq!(result.suspicious_trading_arcs.len(), 1);
+        assert_eq!(result.total_trading_arcs, 2);
+        assert!((result.suspicious_percentage() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counting_only_mode_matches_collecting_mode() {
+        let (tpiin, _) = tpiin_fusion::fuse(&case1_registry()).unwrap();
+        let full = detect(&tpiin);
+        let counting = Detector::new(DetectorConfig {
+            collect_groups: false,
+            ..Default::default()
+        })
+        .detect(&tpiin);
+        assert!(counting.groups.is_empty());
+        assert_eq!(counting.group_count(), full.group_count());
+        assert_eq!(
+            counting.suspicious_trading_arcs,
+            full.suspicious_trading_arcs
+        );
+    }
+
+    #[test]
+    fn parallel_detection_is_deterministic_and_equal_to_serial() {
+        // A registry with several components to give the scheduler work.
+        let mut r = SourceRegistry::new();
+        for k in 0..6u32 {
+            let l = r.add_person(format!("L{k}"), RoleSet::of(&[Role::Ceo]));
+            let a = r.add_company(format!("A{k}"));
+            let b = r.add_company(format!("B{k}"));
+            for c in [a, b] {
+                r.add_influence(InfluenceRecord {
+                    person: l,
+                    company: c,
+                    kind: InfluenceKind::CeoOf,
+                    is_legal_person: true,
+                });
+            }
+            r.add_trading(TradingRecord {
+                seller: a,
+                buyer: b,
+                volume: 1.0,
+            });
+        }
+        let (tpiin, _) = tpiin_fusion::fuse(&r).unwrap();
+        let serial = detect(&tpiin);
+        let parallel = Detector::new(DetectorConfig {
+            threads: 4,
+            ..Default::default()
+        })
+        .detect(&tpiin);
+        assert_eq!(serial.group_count(), 6);
+        assert_eq!(parallel.group_count(), serial.group_count());
+        assert_eq!(
+            parallel.suspicious_trading_arcs,
+            serial.suspicious_trading_arcs
+        );
+        let keys = |r: &DetectionResult| -> Vec<_> { r.groups.iter().map(|g| g.key()).collect() };
+        assert_eq!(
+            keys(&parallel),
+            keys(&serial),
+            "identical order, not just set"
+        );
+    }
+
+    #[test]
+    fn intra_syndicate_trades_are_counted_suspicious() {
+        let mut r = case1_registry();
+        // C2 <-> C3 mutual investment forms an SCC; their trade becomes
+        // intra-syndicate.
+        r.add_investment(InvestmentRecord {
+            investor: tpiin_model::CompanyId(1),
+            investee: tpiin_model::CompanyId(2),
+            share: 0.5,
+        });
+        r.add_investment(InvestmentRecord {
+            investor: tpiin_model::CompanyId(2),
+            investee: tpiin_model::CompanyId(1),
+            share: 0.5,
+        });
+        let (tpiin, _) = tpiin_fusion::fuse(&r).unwrap();
+        assert_eq!(tpiin.intra_syndicate_trades.len(), 1);
+        let result = detect(&tpiin);
+        assert_eq!(result.intra_syndicate_trades, 1);
+        // The intra-syndicate arc contributes a suspicious self-arc entry.
+        assert!(!result.suspicious_trading_arcs.is_empty());
+        assert_eq!(result.total_trading_arcs, 1);
+    }
+
+    #[test]
+    fn tree_overflow_sets_the_flag_instead_of_panicking() {
+        let (tpiin, _) = tpiin_fusion::fuse(&case1_registry()).unwrap();
+        let result = Detector::new(DetectorConfig {
+            max_tree_nodes: 1,
+            ..Default::default()
+        })
+        .detect(&tpiin);
+        assert!(result.overflowed);
+        assert_eq!(result.group_count(), 0);
+    }
+
+    #[test]
+    fn empty_tpiin_detects_nothing() {
+        let r = SourceRegistry::new();
+        let (tpiin, _) = tpiin_fusion::fuse(&r).unwrap();
+        let result = detect(&tpiin);
+        assert_eq!(result.group_count(), 0);
+        assert!(result.suspicious_trading_arcs.is_empty());
+        assert!(!result.overflowed);
+    }
+}

@@ -1,0 +1,350 @@
+//! Algorithm 1, steps 1–6: segmenting a TPIIN into `subTPIIN`s.
+//!
+//! A trading arc that connects two *different* weakly connected subgraphs
+//! of the antecedent network cannot hide a common interest party, so the
+//! TPIIN is split into independent mining units: the `i`-th maximal weakly
+//! connected antecedent subgraph plus every trading arc between its
+//! company nodes (Definition 4).
+
+use tpiin_fusion::{ArcColor, NodeColor, Tpiin};
+use tpiin_graph::{weakly_connected_components, DiGraph, NodeId};
+
+/// One independent mining unit: a weak component of the antecedent
+/// network with its internal trading arcs, re-indexed to dense local node
+/// ids for cache-friendly traversal.
+#[derive(Clone, Debug)]
+pub struct SubTpiin {
+    /// Position of this subTPIIN in the segmentation output.
+    pub index: usize,
+    /// Global TPIIN node for each local node id.
+    pub global: Vec<NodeId>,
+    /// Influence out-adjacency per local node.
+    pub influence_out: Vec<Vec<u32>>,
+    /// Trading out-adjacency per local node.
+    pub trading_out: Vec<Vec<u32>>,
+    /// Influence in-degree per local node (used to pick pattern-tree
+    /// roots).
+    pub influence_in_degree: Vec<u32>,
+    /// Number of trading arcs inside this subTPIIN.
+    pub trading_arc_count: usize,
+    /// Whether each local node is a Person node (else Company).
+    pub is_person: Vec<bool>,
+}
+
+impl SubTpiin {
+    /// Number of local nodes.
+    pub fn node_count(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Number of influence arcs.
+    pub fn influence_arc_count(&self) -> usize {
+        self.influence_out.iter().map(Vec::len).sum()
+    }
+
+    /// Pattern-tree roots: local nodes with zero influence in-degree.
+    ///
+    /// In a fused TPIIN these are exactly the person nodes (every company
+    /// has a legal-person arc); the influence-indegree criterion keeps the
+    /// detector complete on hand-built networks where a company may lack
+    /// influence in-arcs while still receiving trading arcs.
+    pub fn roots(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.global.len() as u32).filter(move |&v| self.influence_in_degree[v as usize] == 0)
+    }
+
+    /// Total out-degree (influence + trading) of a local node.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.influence_out[v as usize].len() + self.trading_out[v as usize].len()
+    }
+}
+
+/// Builds a local [`SubTpiin`] from a dense `graph` whose arcs carry
+/// [`ArcColor`].  Shared by [`segment_tpiin`] and the test helpers.
+fn from_component(
+    index: usize,
+    members: &[NodeId],
+    graph: &DiGraph<impl Sized, ArcColor>,
+    is_person: impl Fn(NodeId) -> bool,
+    local_of: &[u32],
+) -> SubTpiin {
+    let n = members.len();
+    let mut influence_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut trading_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut influence_in_degree = vec![0u32; n];
+    let mut trading_arc_count = 0usize;
+    for (local, &g) in members.iter().enumerate() {
+        for e in graph.out_edges(g) {
+            let t = local_of[e.target.index()];
+            if t == u32::MAX {
+                // Trading arc leaving the component: unsuspicious, skip.
+                debug_assert!(*e.weight == ArcColor::Trading);
+                continue;
+            }
+            match *e.weight {
+                ArcColor::Influence => {
+                    influence_out[local].push(t);
+                    influence_in_degree[t as usize] += 1;
+                }
+                ArcColor::Trading => {
+                    trading_out[local].push(t);
+                    trading_arc_count += 1;
+                }
+            }
+        }
+    }
+    SubTpiin {
+        index,
+        global: members.to_vec(),
+        influence_out,
+        trading_out,
+        influence_in_degree,
+        trading_arc_count,
+        is_person: members.iter().map(|&g| is_person(g)).collect(),
+    }
+}
+
+/// Segments `tpiin` into its subTPIINs (Algorithm 1 steps 1–6).
+///
+/// Components are ordered deterministically by their smallest global node
+/// id.  Isolated antecedent nodes (degree zero) still form singleton
+/// subTPIINs; they can never host a group and the detector skips them
+/// cheaply.
+pub fn segment_tpiin(tpiin: &Tpiin) -> Vec<SubTpiin> {
+    // Weak components of the *antecedent* network only.
+    let mut antecedent: DiGraph<(), ()> =
+        DiGraph::with_capacity(tpiin.graph.node_count(), tpiin.influence_arc_count);
+    for _ in 0..tpiin.graph.node_count() {
+        antecedent.add_node(());
+    }
+    for e in tpiin.graph.edges() {
+        if e.weight.color == ArcColor::Influence {
+            antecedent.add_edge(e.source, e.target, ());
+        }
+    }
+    let (labels, count) = weakly_connected_components(&antecedent);
+
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); count];
+    for v in tpiin.graph.node_ids() {
+        members[labels[v.index()] as usize].push(v);
+    }
+
+    // Map global node -> local id within its component.
+    let mut local_of = vec![u32::MAX; tpiin.graph.node_count()];
+    for comp in &members {
+        for (local, &g) in comp.iter().enumerate() {
+            local_of[g.index()] = local as u32;
+        }
+    }
+
+    // Arc colors come from the TPIIN graph; trading arcs crossing
+    // components are dropped inside `from_component` (their endpoints map
+    // to different components, detected via differing labels).
+    let colored = tpiin.graph.map(|_, _| (), |_, arc| arc.color);
+    members
+        .iter()
+        .enumerate()
+        .map(|(i, comp)| {
+            // Restrict `local_of` semantics per component: endpoints in a
+            // different component must read as absent.
+            let comp_label = labels[comp[0].index()];
+            let local_lookup: Vec<u32> = local_of
+                .iter()
+                .enumerate()
+                .map(|(g, &l)| if labels[g] == comp_label { l } else { u32::MAX })
+                .collect();
+            from_component(
+                i,
+                comp,
+                &colored,
+                |g| tpiin.color(g) == NodeColor::Person,
+                &local_lookup,
+            )
+        })
+        .collect()
+}
+
+/// Builds one [`SubTpiin`] covering the *whole* TPIIN, skipping the
+/// divide-and-conquer segmentation of Algorithm 1.  Mining it produces the
+/// same groups (trails never cross antecedent components), but without
+/// the per-component independence — this is the "no segmentation" arm of
+/// the ablation benchmark.
+pub fn whole_tpiin(tpiin: &Tpiin) -> SubTpiin {
+    let n = tpiin.graph.node_count();
+    let mut influence_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut trading_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut influence_in_degree = vec![0u32; n];
+    let mut trading_arc_count = 0usize;
+    for e in tpiin.graph.edges() {
+        let (s, t) = (e.source.index() as u32, e.target.index() as u32);
+        match e.weight.color {
+            ArcColor::Influence => {
+                influence_out[s as usize].push(t);
+                influence_in_degree[t as usize] += 1;
+            }
+            ArcColor::Trading => {
+                trading_out[s as usize].push(t);
+                trading_arc_count += 1;
+            }
+        }
+    }
+    SubTpiin {
+        index: 0,
+        global: tpiin.graph.node_ids().collect(),
+        influence_out,
+        trading_out,
+        influence_in_degree,
+        trading_arc_count,
+        is_person: tpiin
+            .graph
+            .nodes()
+            .map(|(_, node)| node.color() == NodeColor::Person)
+            .collect(),
+    }
+}
+
+/// Builds a single [`SubTpiin`] directly from explicit arc lists — a
+/// convenience for unit tests and the worked examples, bypassing fusion.
+///
+/// `n` local nodes; `influence`/`trading` are `(source, target)` pairs in
+/// local ids; `is_person[v]` tags node colors.
+pub fn subtpiin_from_arcs(
+    n: usize,
+    influence: &[(u32, u32)],
+    trading: &[(u32, u32)],
+    is_person: Vec<bool>,
+) -> SubTpiin {
+    assert_eq!(is_person.len(), n);
+    let mut influence_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut trading_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut influence_in_degree = vec![0u32; n];
+    for &(s, t) in influence {
+        influence_out[s as usize].push(t);
+        influence_in_degree[t as usize] += 1;
+    }
+    for &(s, t) in trading {
+        trading_out[s as usize].push(t);
+    }
+    SubTpiin {
+        index: 0,
+        global: (0..n).map(NodeId::from_index).collect(),
+        influence_out,
+        trading_out,
+        influence_in_degree,
+        trading_arc_count: trading.len(),
+        is_person,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpiin_model::{
+        InfluenceKind, InfluenceRecord, Role, RoleSet, SourceRegistry, TradingRecord,
+    };
+
+    /// Two disjoint conglomerates with a trading arc between them.
+    fn two_component_registry() -> SourceRegistry {
+        let mut r = SourceRegistry::new();
+        let l1 = r.add_person("L1", RoleSet::of(&[Role::Ceo]));
+        let l2 = r.add_person("L2", RoleSet::of(&[Role::Ceo]));
+        let c1 = r.add_company("C1");
+        let c2 = r.add_company("C2");
+        let c3 = r.add_company("C3");
+        let c4 = r.add_company("C4");
+        for (p, c) in [(l1, c1), (l1, c2), (l2, c3), (l2, c4)] {
+            r.add_influence(InfluenceRecord {
+                person: p,
+                company: c,
+                kind: InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+        }
+        // Intra-component trade (suspicious candidate) ...
+        r.add_trading(TradingRecord {
+            seller: c1,
+            buyer: c2,
+            volume: 1.0,
+        });
+        // ... and a cross-component trade (must be dropped).
+        r.add_trading(TradingRecord {
+            seller: c2,
+            buyer: c3,
+            volume: 2.0,
+        });
+        r
+    }
+
+    #[test]
+    fn segmentation_splits_components_and_drops_cross_trades() {
+        let (tpiin, _) = tpiin_fusion::fuse(&two_component_registry()).unwrap();
+        let subs = segment_tpiin(&tpiin);
+        assert_eq!(subs.len(), 2);
+        let total_nodes: usize = subs.iter().map(SubTpiin::node_count).sum();
+        assert_eq!(total_nodes, tpiin.node_count());
+        // Only the intra-component trading arc survives.
+        let total_trades: usize = subs.iter().map(|s| s.trading_arc_count).sum();
+        assert_eq!(total_trades, 1);
+        // Influence arcs are all preserved.
+        let total_influence: usize = subs.iter().map(SubTpiin::influence_arc_count).sum();
+        assert_eq!(total_influence, tpiin.influence_arc_count);
+    }
+
+    #[test]
+    fn roots_are_the_person_nodes_after_fusion() {
+        let (tpiin, _) = tpiin_fusion::fuse(&two_component_registry()).unwrap();
+        for sub in segment_tpiin(&tpiin) {
+            for r in sub.roots() {
+                assert!(sub.is_person[r as usize], "root {r} should be a person");
+            }
+            let person_count = sub.is_person.iter().filter(|&&p| p).count();
+            assert_eq!(sub.roots().count(), person_count);
+        }
+    }
+
+    #[test]
+    fn local_indexing_is_consistent() {
+        let (tpiin, _) = tpiin_fusion::fuse(&two_component_registry()).unwrap();
+        for sub in segment_tpiin(&tpiin) {
+            for (local, &g) in sub.global.iter().enumerate() {
+                // Node colors agree with the global TPIIN.
+                assert_eq!(
+                    sub.is_person[local],
+                    tpiin.color(g) == tpiin_fusion::NodeColor::Person
+                );
+            }
+            // All adjacency targets are in range.
+            for adj in sub.influence_out.iter().chain(sub.trading_out.iter()) {
+                for &t in adj {
+                    assert!((t as usize) < sub.node_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_tpiin_mines_the_same_groups_as_segmented() {
+        let (tpiin, _) = tpiin_fusion::fuse(&two_component_registry()).unwrap();
+        let whole = whole_tpiin(&tpiin);
+        assert_eq!(whole.node_count(), tpiin.node_count());
+        assert_eq!(whole.influence_arc_count(), tpiin.influence_arc_count);
+        // The whole view keeps cross-component trading arcs too.
+        assert_eq!(whole.trading_arc_count, tpiin.trading_arc_count);
+        let segmented = crate::detector::detect(&tpiin);
+        let unsegmented = crate::detector::Detector::default().detect_segmented(&tpiin, &[whole]);
+        assert_eq!(segmented.group_count(), unsegmented.group_count());
+        assert_eq!(
+            segmented.suspicious_trading_arcs,
+            unsegmented.suspicious_trading_arcs
+        );
+    }
+
+    #[test]
+    fn manual_builder_counts_degrees() {
+        let sub = subtpiin_from_arcs(3, &[(0, 1), (1, 2)], &[(2, 1)], vec![true, false, false]);
+        assert_eq!(sub.influence_arc_count(), 2);
+        assert_eq!(sub.trading_arc_count, 1);
+        assert_eq!(sub.roots().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(sub.out_degree(1), 1);
+        assert_eq!(sub.out_degree(2), 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! The paper's worked example: the un-contracted network of Fig. 7.
+//!
+//! Fusing this registry reproduces the subTPIIN of Fig. 8 (persons L6/LB
+//! merge into the syndicate the paper calls `L1`; directors B5/B6 merge
+//! into `B2`), the patterns tree of Fig. 9, the 15-row potential component
+//! pattern base of Fig. 10, and the three suspicious groups of Section
+//! 4.3: `(L1, C1, C2, C3, C5)`, `(B1, C5, C6)` and `(B2, C7, C8)`.
+//!
+//! Syndicate labels concatenate member names, so the paper's `L1` appears
+//! as `"L6+LB"` and its `B2` as `"B5+B6"`.
+
+use tpiin_model::{
+    InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, Role, RoleSet,
+    SourceRegistry, TradingRecord,
+};
+
+/// The expected component pattern base (Fig. 10) in label form: prefix
+/// labels plus the optional trading target label.
+pub const FIG7_EXPECTED_PATTERNS: [(&[&str], Option<&str>); 15] = [
+    (&["L6+LB", "C2", "C5"], Some("C6")),
+    (&["L6+LB", "C2", "C5"], Some("C7")),
+    (&["L6+LB", "C1", "C3"], Some("C5")),
+    (&["L6+LB", "C4"], None),
+    (&["L3", "C5"], Some("C7")),
+    (&["L3", "C5"], Some("C6")),
+    (&["L2", "C3"], Some("C5")),
+    (&["B1", "C5"], Some("C6")),
+    (&["B1", "C5"], Some("C7")),
+    (&["B1", "C6"], None),
+    (&["L4", "C6"], None),
+    (&["L4", "C7"], Some("C8")),
+    (&["B5+B6", "C7"], Some("C8")),
+    (&["B5+B6", "C8"], Some("C4")),
+    (&["L5", "C8"], Some("C4")),
+];
+
+/// Builds the un-contracted taxpayer interest interacted network of
+/// Fig. 7 as a source registry.
+pub fn fig7_registry() -> SourceRegistry {
+    let mut r = SourceRegistry::new();
+    let ceo = RoleSet::of(&[Role::Ceo]);
+    let dir = RoleSet::of(&[Role::Director]);
+
+    let l6 = r.add_person("L6", ceo);
+    let lb = r.add_person("LB", ceo);
+    let l2 = r.add_person("L2", ceo);
+    let l3 = r.add_person("L3", ceo);
+    let l4 = r.add_person("L4", ceo);
+    let l5 = r.add_person("L5", ceo);
+    let b1 = r.add_person("B1", dir);
+    let b5 = r.add_person("B5", dir);
+    let b6 = r.add_person("B6", dir);
+
+    let c: Vec<_> = (1..=8).map(|i| r.add_company(format!("C{i}"))).collect();
+    let company = |i: usize| c[i - 1];
+
+    // Kinship L6–LB (the paper's syndicate L1) and interlocking B5–B6
+    // (the paper's syndicate B2).
+    r.add_interdependence(l6, lb, InterdependenceKind::Kinship);
+    r.add_interdependence(b5, b6, InterdependenceKind::Interlocking);
+
+    // Legal-person links (every company exactly one).
+    for (p, i) in [
+        (l6, 1),
+        (lb, 2),
+        (l2, 3),
+        (lb, 4),
+        (l3, 5),
+        (l4, 6),
+        (l4, 7),
+        (l5, 8),
+    ] {
+        r.add_influence(InfluenceRecord {
+            person: p,
+            company: company(i),
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+    }
+    // Directorships.
+    for (p, i) in [(b1, 5), (b1, 6), (b5, 7), (b6, 8)] {
+        r.add_influence(InfluenceRecord {
+            person: p,
+            company: company(i),
+            kind: InfluenceKind::DirectorOf,
+            is_legal_person: false,
+        });
+    }
+    // Investment arcs C1 -> C3 and C2 -> C5.
+    r.add_investment(InvestmentRecord {
+        investor: company(1),
+        investee: company(3),
+        share: 0.8,
+    });
+    r.add_investment(InvestmentRecord {
+        investor: company(2),
+        investee: company(5),
+        share: 0.6,
+    });
+    // Trading arcs (Fig. 8's `Trade` table).
+    for (s, b) in [(3, 5), (5, 6), (5, 7), (7, 8), (8, 4)] {
+        r.add_trading(TradingRecord {
+            seller: company(s),
+            buyer: company(b),
+            volume: 100.0,
+        });
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_validates() {
+        assert!(fig7_registry().validate().is_ok());
+    }
+
+    #[test]
+    fn fusion_merges_the_two_syndicates_of_fig8() {
+        let (tpiin, report) = tpiin_fusion::fuse(&fig7_registry()).unwrap();
+        assert_eq!(report.person_syndicates_merged, 2);
+        // 9 persons -> 7 person nodes; 8 companies unchanged.
+        assert_eq!(report.person_syndicate_count, 7);
+        assert_eq!(report.company_syndicate_count, 8);
+        assert_eq!(tpiin.node_count(), 15);
+        let labels: Vec<&str> = tpiin.graph.nodes().map(|(_, n)| n.label()).collect();
+        assert!(labels.contains(&"L6+LB"), "{labels:?}");
+        assert!(labels.contains(&"B5+B6"), "{labels:?}");
+    }
+
+    #[test]
+    fn fused_arc_counts_match_fig8() {
+        let (tpiin, _) = tpiin_fusion::fuse(&fig7_registry()).unwrap();
+        // 12 person->company arcs + 2 investment arcs.
+        assert_eq!(tpiin.influence_arc_count, 14);
+        assert_eq!(tpiin.trading_arc_count, 5);
+    }
+}

@@ -1,0 +1,29 @@
+//! `tpiin-datagen` — synthetic data for the TPIIN experiments.
+//!
+//! The paper evaluates on real CSRC/HRDPSC/PTAOS extracts from one Chinese
+//! province (776 directors, 1350 legal persons, 2452 companies — 4578
+//! TPIIN nodes) plus Gephi-generated random trading networks with per-node
+//! trading probability 0.002–0.1.  The real extracts are not available, so
+//! [`generate_province`] produces a seeded synthetic population with the
+//! same node counts and a conglomerate structure calibrated so that the
+//! fraction of co-influenced company pairs — and therefore the suspicious
+//! trading-relationship percentage of Table 1 — lands in the paper's
+//! 4.9–5.4 % band.  [`add_random_trading`] reproduces the trading sweep as
+//! a directed Erdős–Rényi graph over ordered company pairs.
+//!
+//! The module also ships exact builders for the paper's worked examples:
+//! [`fig7_registry`] (the un-contracted network of Fig. 7, whose fusion
+//! and mining reproduce Figs. 8–10) and the three case studies of
+//! Section 3.1 ([`case1_registry`], [`case2_registry`], [`case3_registry`]).
+
+mod cases;
+mod fig7;
+mod nation;
+mod province;
+mod trading;
+
+pub use cases::{case1_registry, case2_registry, case3_registry};
+pub use fig7::{fig7_registry, FIG7_EXPECTED_PATTERNS};
+pub use nation::generate_nation;
+pub use province::{generate_province, ProvinceConfig};
+pub use trading::{add_random_trading, expected_trading_arcs};

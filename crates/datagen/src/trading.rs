@@ -1,0 +1,165 @@
+//! Random trading-network generation (the Gephi sweep of Section 5.1).
+//!
+//! "a trading network is produced according to the rules of random network
+//! […] the value of trading probability of each node (company) trading
+//! with other companies in the network has a range of 0.002 to 0.1".  We
+//! model this as a directed Erdős–Rényi graph over ordered company pairs:
+//! each of the `n·(n-1)` possible arcs exists independently with
+//! probability `p`.  For the paper's 2452 companies this reproduces the
+//! Table 1 totals within sampling noise (e.g. `p = 0.002` →
+//! `E ≈ 12 020` vs the paper's 11 939).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpiin_model::{CompanyId, SourceRegistry, TradingRecord};
+
+/// Expected number of trading arcs for `n` companies at probability `p`.
+pub fn expected_trading_arcs(n: usize, p: f64) -> f64 {
+    (n * (n - 1)) as f64 * p
+}
+
+/// Appends a random trading network to `registry`: each ordered company
+/// pair `(i, j)`, `i ≠ j`, trades with probability `p`.  Volumes are
+/// drawn uniformly from `10..10_000`.  Returns the number of arcs added.
+///
+/// Sampling skips between successes geometrically, so the cost is
+/// proportional to the number of arcs generated, not to `n²` — at
+/// `p = 0.002` over 2452 companies that is ~12 k samples instead of 6 M.
+pub fn add_random_trading(registry: &mut SourceRegistry, p: f64, seed: u64) -> usize {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    let n = registry.company_count();
+    if n < 2 || p == 0.0 {
+        return 0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = (n as u64) * (n as u64 - 1);
+    let mut added = 0usize;
+    if p >= 1.0 {
+        for idx in 0..total {
+            let (i, j) = unrank(idx, n as u64);
+            registry.add_trading(TradingRecord {
+                seller: CompanyId(i),
+                buyer: CompanyId(j),
+                volume: rng.gen_range(10.0..10_000.0),
+            });
+            added += 1;
+        }
+        return added;
+    }
+    let log1mp = (1.0 - p).ln();
+    // First success position via the geometric distribution, then gaps.
+    let mut idx: u64 = skip(&mut rng, log1mp);
+    while idx < total {
+        let (i, j) = unrank(idx, n as u64);
+        registry.add_trading(TradingRecord {
+            seller: CompanyId(i),
+            buyer: CompanyId(j),
+            volume: rng.gen_range(10.0..10_000.0),
+        });
+        added += 1;
+        idx = idx.saturating_add(1 + skip(&mut rng, log1mp));
+    }
+    added
+}
+
+/// Geometric gap: number of failures before the next success.
+fn skip(rng: &mut StdRng, log1mp: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let g = (u.ln() / log1mp).floor();
+    if g >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        g as u64
+    }
+}
+
+/// Maps a rank in `0..n(n-1)` to the ordered pair `(i, j)`, `i != j`.
+fn unrank(idx: u64, n: u64) -> (u32, u32) {
+    let i = idx / (n - 1);
+    let r = idx % (n - 1);
+    let j = if r >= i { r + 1 } else { r };
+    (i as u32, j as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpiin_model::{InfluenceKind, InfluenceRecord, Role, RoleSet};
+
+    fn companies(n: usize) -> SourceRegistry {
+        let mut r = SourceRegistry::new();
+        let lp = r.add_person("L", RoleSet::of(&[Role::Ceo]));
+        for i in 0..n {
+            let c = r.add_company(format!("C{i}"));
+            r.add_influence(InfluenceRecord {
+                person: lp,
+                company: c,
+                kind: InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn unrank_enumerates_all_offdiagonal_pairs() {
+        let n = 5u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) {
+            let (i, j) = unrank(idx, n);
+            assert_ne!(i, j);
+            assert!(u64::from(i) < n && u64::from(j) < n);
+            assert!(seen.insert((i, j)), "pair repeated at rank {idx}");
+        }
+        assert_eq!(seen.len(), (n * (n - 1)) as usize);
+    }
+
+    #[test]
+    fn arc_count_tracks_expectation() {
+        let mut r = companies(500);
+        let p = 0.01;
+        let added = add_random_trading(&mut r, p, 42);
+        let expect = expected_trading_arcs(500, p);
+        // Binomial std-dev is ~49.7; allow 5 sigma.
+        assert!(
+            (added as f64 - expect).abs() < 5.0 * (expect * (1.0 - p)).sqrt(),
+            "added {added}, expected {expect}"
+        );
+        assert_eq!(r.tradings().len(), added);
+        assert!(r.validate().is_ok(), "no self arcs generated");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = companies(100);
+        let mut b = companies(100);
+        add_random_trading(&mut a, 0.05, 7);
+        add_random_trading(&mut b, 0.05, 7);
+        assert_eq!(a.tradings(), b.tradings());
+        let mut c = companies(100);
+        add_random_trading(&mut c, 0.05, 8);
+        assert_ne!(a.tradings(), c.tradings());
+    }
+
+    #[test]
+    fn p_zero_and_tiny_registries_add_nothing() {
+        let mut r = companies(1);
+        assert_eq!(add_random_trading(&mut r, 0.5, 1), 0);
+        let mut r = companies(10);
+        assert_eq!(add_random_trading(&mut r, 0.0, 1), 0);
+    }
+
+    #[test]
+    fn p_one_generates_the_complete_digraph() {
+        let mut r = companies(6);
+        let added = add_random_trading(&mut r, 1.0, 1);
+        assert_eq!(added, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn invalid_probability_panics() {
+        let mut r = companies(3);
+        add_random_trading(&mut r, 1.5, 1);
+    }
+}

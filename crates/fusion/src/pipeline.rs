@@ -1,0 +1,440 @@
+//! The end-to-end fusion pipeline: `SourceRegistry -> TPIIN`.
+
+use crate::report::FusionReport;
+use crate::stages;
+use crate::tpiin::{ArcColor, IntraSyndicateTrade, Tpiin, TpiinArc, TpiinNode};
+use std::collections::HashSet;
+use tpiin_graph::{DiGraph, NodeId};
+use tpiin_model::{ModelError, SourceRegistry};
+
+/// Failure while fusing a registry into a TPIIN.
+#[derive(Debug)]
+pub enum FusionError {
+    /// The registry failed structural validation; all violations listed.
+    InvalidRegistry(Vec<ModelError>),
+    /// The antecedent network contained a directed cycle after SCC
+    /// contraction.  Appendix A proves this cannot happen for valid input;
+    /// reaching it indicates a bug or hand-built inconsistent data.
+    AntecedentNotAcyclic,
+}
+
+impl std::fmt::Display for FusionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusionError::InvalidRegistry(errs) => {
+                write!(
+                    f,
+                    "source registry failed validation with {} error(s); first: {}",
+                    errs.len(),
+                    errs.first().map(|e| e.to_string()).unwrap_or_default()
+                )
+            }
+            FusionError::AntecedentNotAcyclic => {
+                f.write_str("antecedent network is not acyclic after SCC contraction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// Fuses the source records of `registry` into a [`Tpiin`].
+///
+/// Pipeline (Section 4.1):
+/// 1. validate the registry;
+/// 2. contract interdependence-connected persons into person syndicates
+///    (`G12 -> G12'`);
+/// 3. contract strongly connected investment subgraphs into company
+///    syndicates (`G_B -> G123`), folding investment arcs into influence;
+/// 4. attach trading arcs (`G4`), diverting trades internal to a company
+///    syndicate into [`Tpiin::intra_syndicate_trades`];
+/// 5. verify the antecedent network is a DAG.
+///
+/// Influence arcs occupy edge ids `0..influence_arc_count` and trading
+/// arcs the remainder, matching the edge-list layout of Algorithm 1.
+/// Parallel arcs of equal color are deduplicated (first occurrence wins).
+///
+/// # Example
+///
+/// ```
+/// use tpiin_fusion::fuse;
+/// use tpiin_model::{InfluenceKind, InfluenceRecord, Role, RoleSet,
+///                   SourceRegistry, TradingRecord};
+///
+/// let mut registry = SourceRegistry::new();
+/// let boss = registry.add_person("Boss", RoleSet::of(&[Role::Ceo]));
+/// let a = registry.add_company("A");
+/// let b = registry.add_company("B");
+/// for company in [a, b] {
+///     registry.add_influence(InfluenceRecord {
+///         person: boss, company,
+///         kind: InfluenceKind::CeoOf, is_legal_person: true,
+///     });
+/// }
+/// registry.add_trading(TradingRecord { seller: a, buyer: b, volume: 1.0 });
+///
+/// let (tpiin, report) = fuse(&registry).unwrap();
+/// assert_eq!(tpiin.node_count(), 3);
+/// assert_eq!(report.influence_arcs, 2);
+/// assert_eq!(report.trading_arcs, 1);
+/// ```
+pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionError> {
+    registry.validate().map_err(FusionError::InvalidRegistry)?;
+
+    let person_part = stages::person_syndicates(registry);
+    let company_part = stages::company_syndicates(registry);
+
+    let n_person_nodes = person_part.group_count();
+    let n_company_nodes = company_part.group_count();
+
+    // --- Nodes: person syndicates first, then company syndicates. ---
+    let mut person_members: Vec<Vec<tpiin_model::PersonId>> = vec![Vec::new(); n_person_nodes];
+    for (pid, _) in registry.persons() {
+        person_members[person_part
+            .group_of(NodeId::from_index(pid.index()))
+            .index()]
+        .push(pid);
+    }
+    let mut company_members: Vec<Vec<tpiin_model::CompanyId>> = vec![Vec::new(); n_company_nodes];
+    for (cid, _) in registry.companies() {
+        company_members[company_part
+            .group_of(NodeId::from_index(cid.index()))
+            .index()]
+        .push(cid);
+    }
+
+    let mut graph: DiGraph<TpiinNode, TpiinArc> = DiGraph::with_capacity(
+        n_person_nodes + n_company_nodes,
+        registry.influences().len() + registry.investments().len() + registry.tradings().len(),
+    );
+
+    let mut person_syndicates_merged = 0;
+    for members in &person_members {
+        if members.len() > 1 {
+            person_syndicates_merged += 1;
+        }
+        let label = members
+            .iter()
+            .map(|&p| registry.person(p).name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        graph.add_node(TpiinNode::Person {
+            label,
+            members: members.clone(),
+        });
+    }
+    let mut company_syndicates_merged = 0;
+    for members in &company_members {
+        if members.len() > 1 {
+            company_syndicates_merged += 1;
+        }
+        let label = members
+            .iter()
+            .map(|&c| registry.company(c).name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        graph.add_node(TpiinNode::Company {
+            label,
+            members: members.clone(),
+        });
+    }
+
+    // Node lookup tables back from source ids.
+    let person_node: Vec<NodeId> = registry
+        .persons()
+        .map(|(pid, _)| person_part.group_of(NodeId::from_index(pid.index())))
+        .collect();
+    let company_node: Vec<NodeId> = registry
+        .companies()
+        .map(|(cid, _)| {
+            NodeId::from_index(
+                n_person_nodes
+                    + company_part
+                        .group_of(NodeId::from_index(cid.index()))
+                        .index(),
+            )
+        })
+        .collect();
+
+    // --- Arcs: influence (G2 + investment), then trading. ---
+    let mut seen: HashSet<(u32, u32, u8)> = HashSet::with_capacity(graph.edge_count());
+    let mut duplicate_arcs_dropped = 0usize;
+    let mut add_arc = |graph: &mut DiGraph<TpiinNode, TpiinArc>,
+                       s: NodeId,
+                       t: NodeId,
+                       color: ArcColor,
+                       weight: f64|
+     -> bool {
+        let sig = (s.index() as u32, t.index() as u32, color.code() as u8);
+        if seen.insert(sig) {
+            graph.add_edge(s, t, TpiinArc { color, weight });
+            true
+        } else {
+            duplicate_arcs_dropped += 1;
+            false
+        }
+    };
+
+    for inf in registry.influences() {
+        add_arc(
+            &mut graph,
+            person_node[inf.person.index()],
+            company_node[inf.company.index()],
+            ArcColor::Influence,
+            1.0,
+        );
+    }
+    let mut internal_investment_arcs_dropped = 0usize;
+    for inv in registry.investments() {
+        let s = company_node[inv.investor.index()];
+        let t = company_node[inv.investee.index()];
+        if s == t {
+            internal_investment_arcs_dropped += 1;
+            continue;
+        }
+        add_arc(&mut graph, s, t, ArcColor::Influence, inv.share);
+    }
+    let influence_arc_count = graph.edge_count();
+
+    let mut intra_syndicate_trades = Vec::new();
+    for tr in registry.tradings() {
+        let s = company_node[tr.seller.index()];
+        let t = company_node[tr.buyer.index()];
+        if s == t {
+            intra_syndicate_trades.push(IntraSyndicateTrade {
+                seller: tr.seller,
+                buyer: tr.buyer,
+                syndicate: s,
+                volume: tr.volume,
+            });
+            continue;
+        }
+        add_arc(&mut graph, s, t, ArcColor::Trading, tr.volume);
+    }
+    let trading_arc_count = graph.edge_count() - influence_arc_count;
+
+    // --- Verify the antecedent network is a DAG (Appendix A). ---
+    // Build a view with only influence arcs and run Kahn's algorithm.
+    let mut antecedent: DiGraph<(), ()> =
+        DiGraph::with_capacity(graph.node_count(), influence_arc_count);
+    for _ in 0..graph.node_count() {
+        antecedent.add_node(());
+    }
+    for e in graph.edges() {
+        if e.weight.color == ArcColor::Influence {
+            antecedent.add_edge(e.source, e.target, ());
+        }
+    }
+    if !tpiin_graph::is_acyclic(&antecedent) {
+        return Err(FusionError::AntecedentNotAcyclic);
+    }
+
+    let tpiin = Tpiin {
+        graph,
+        person_node,
+        company_node,
+        influence_arc_count,
+        trading_arc_count,
+        intra_syndicate_trades,
+    };
+    let report = FusionReport {
+        persons: registry.person_count(),
+        companies: registry.company_count(),
+        interdependence_edges: registry.interdependencies().len(),
+        influence_records: registry.influences().len(),
+        investment_records: registry.investments().len(),
+        trading_records: registry.tradings().len(),
+        person_syndicate_count: n_person_nodes,
+        person_syndicates_merged,
+        company_syndicate_count: n_company_nodes,
+        company_syndicates_merged,
+        internal_investment_arcs_dropped,
+        duplicate_arcs_dropped,
+        influence_arcs: tpiin.influence_arc_count,
+        trading_arcs: tpiin.trading_arc_count,
+        intra_syndicate_trades: tpiin.intra_syndicate_trades.len(),
+        tpiin_nodes: tpiin.node_count(),
+        mean_degree: tpiin.mean_degree(),
+    };
+    Ok((tpiin, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpiin::NodeColor;
+    use tpiin_model::{
+        InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, Role, RoleSet,
+        TradingRecord,
+    };
+
+    /// A registry reproducing the core of the paper's Fig. 7: kin legal
+    /// persons L6/LB, an investment cycle, and trading.
+    fn registry() -> SourceRegistry {
+        let mut r = SourceRegistry::new();
+        let l6 = r.add_person("L6", RoleSet::of(&[Role::Ceo]));
+        let lb = r.add_person("LB", RoleSet::of(&[Role::Ceo]));
+        let l9 = r.add_person("L9", RoleSet::of(&[Role::Chairman]));
+        let c1 = r.add_company("C1");
+        let c2 = r.add_company("C2");
+        let c3 = r.add_company("C3");
+        let c4 = r.add_company("C4");
+        for (p, c) in [(l6, c1), (lb, c2), (l9, c3)] {
+            r.add_influence(InfluenceRecord {
+                person: p,
+                company: c,
+                kind: InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+        }
+        r.add_influence(InfluenceRecord {
+            person: l9,
+            company: c4,
+            kind: InfluenceKind::ChairmanOf,
+            is_legal_person: true,
+        });
+        r.add_interdependence(l6, lb, InterdependenceKind::Kinship);
+        // C3 <-> C4 mutual investment cycle.
+        r.add_investment(InvestmentRecord {
+            investor: c3,
+            investee: c4,
+            share: 0.7,
+        });
+        r.add_investment(InvestmentRecord {
+            investor: c4,
+            investee: c3,
+            share: 0.7,
+        });
+        // External investment into the cycle.
+        r.add_investment(InvestmentRecord {
+            investor: c1,
+            investee: c3,
+            share: 0.6,
+        });
+        // Trading: external and internal to the SCC.
+        r.add_trading(TradingRecord {
+            seller: c1,
+            buyer: c2,
+            volume: 5.0,
+        });
+        r.add_trading(TradingRecord {
+            seller: c3,
+            buyer: c4,
+            volume: 7.0,
+        });
+        r
+    }
+
+    #[test]
+    fn fuse_contracts_persons_and_scc() {
+        let (tpiin, report) = fuse(&registry()).unwrap();
+        // L6+LB merged; L9 alone => 2 person nodes. C3+C4 merged => 3 company nodes.
+        assert_eq!(report.person_syndicate_count, 2);
+        assert_eq!(report.person_syndicates_merged, 1);
+        assert_eq!(report.company_syndicate_count, 3);
+        assert_eq!(report.company_syndicates_merged, 1);
+        assert_eq!(tpiin.node_count(), 5);
+        // Syndicate labels concatenate member names.
+        let labels: Vec<&str> = tpiin.graph.nodes().map(|(_, n)| n.label()).collect();
+        assert!(labels.contains(&"L6+LB"));
+        assert!(labels.contains(&"C3+C4"));
+    }
+
+    #[test]
+    fn intra_scc_trade_is_separated() {
+        let (tpiin, report) = fuse(&registry()).unwrap();
+        assert_eq!(report.intra_syndicate_trades, 1);
+        assert_eq!(tpiin.intra_syndicate_trades.len(), 1);
+        let t = tpiin.intra_syndicate_trades[0];
+        assert_eq!((t.seller.index(), t.buyer.index()), (2, 3));
+        // Only the external trade remains as a trading arc.
+        assert_eq!(tpiin.trading_arc_count, 1);
+    }
+
+    #[test]
+    fn influence_arcs_precede_trading_arcs() {
+        let (tpiin, _) = fuse(&registry()).unwrap();
+        let colors: Vec<ArcColor> = tpiin.graph.edges().map(|e| e.weight.color).collect();
+        let first_trading = colors.iter().position(|&c| c == ArcColor::Trading);
+        if let Some(ft) = first_trading {
+            assert!(colors[..ft].iter().all(|&c| c == ArcColor::Influence));
+            assert!(colors[ft..].iter().all(|&c| c == ArcColor::Trading));
+        }
+        assert_eq!(
+            tpiin.influence_arc_count + tpiin.trading_arc_count,
+            colors.len()
+        );
+    }
+
+    #[test]
+    fn internal_investment_arcs_dropped_and_counted() {
+        let (_, report) = fuse(&registry()).unwrap();
+        // The two arcs of the C3<->C4 cycle are internal to the syndicate.
+        assert_eq!(report.internal_investment_arcs_dropped, 2);
+    }
+
+    #[test]
+    fn persons_have_indegree_zero_companies_receive_influence() {
+        let (tpiin, _) = fuse(&registry()).unwrap();
+        for v in tpiin.graph.node_ids() {
+            match tpiin.color(v) {
+                NodeColor::Person => assert_eq!(tpiin.graph.in_degree(v), 0),
+                NodeColor::Company => assert!(tpiin.graph.in_degree(v) >= 1),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_influence_arcs_are_deduplicated() {
+        // Base registry: L9 is legal person of both C3 and C4, which merge
+        // into one syndicate -> the second arc is already a duplicate.
+        let (_, base_report) = fuse(&registry()).unwrap();
+        assert_eq!(base_report.duplicate_arcs_dropped, 1);
+
+        let mut r = registry();
+        // L9 is also a director of C3 -> a third record onto the same arc.
+        r.add_influence(InfluenceRecord {
+            person: tpiin_model::PersonId(2),
+            company: tpiin_model::CompanyId(2),
+            kind: InfluenceKind::DirectorOf,
+            is_legal_person: false,
+        });
+        let (_, report) = fuse(&r).unwrap();
+        assert_eq!(
+            report.duplicate_arcs_dropped,
+            base_report.duplicate_arcs_dropped + 1
+        );
+    }
+
+    #[test]
+    fn invalid_registry_is_rejected() {
+        let mut r = SourceRegistry::new();
+        r.add_company("orphan");
+        match fuse(&r) {
+            Err(FusionError::InvalidRegistry(errs)) => assert!(!errs.is_empty()),
+            other => panic!("expected InvalidRegistry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_lists_influence_rows_first() {
+        let (tpiin, _) = fuse(&registry()).unwrap();
+        let listing = tpiin.edge_list();
+        let rows: Vec<&str> = listing.lines().collect();
+        assert_eq!(rows.len(), tpiin.graph.edge_count());
+        // Influence rows end with "1", trading rows with "0".
+        assert!(rows[..tpiin.influence_arc_count]
+            .iter()
+            .all(|r| r.ends_with('1')));
+        assert!(rows[tpiin.influence_arc_count..]
+            .iter()
+            .all(|r| r.ends_with('0')));
+    }
+
+    #[test]
+    fn mean_degree_matches_definition() {
+        let (tpiin, report) = fuse(&registry()).unwrap();
+        let expect = tpiin.graph.edge_count() as f64 / tpiin.graph.node_count() as f64;
+        assert!((report.mean_degree - expect).abs() < 1e-12);
+    }
+}

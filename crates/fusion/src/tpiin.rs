@@ -1,0 +1,207 @@
+//! The fused Taxpayer Interest Interacted Network (Definition 1).
+
+use serde::{Deserialize, Serialize};
+use tpiin_graph::{DiGraph, NodeId};
+use tpiin_model::{CompanyId, PersonId};
+
+/// Node color of a TPIIN: `VColor = {Person, Company}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeColor {
+    /// A person or a syndicate of persons (e.g. node `B` of Fig. 3(b)).
+    Person,
+    /// A company or a syndicate of mutually-investing companies.
+    Company,
+}
+
+/// Arc color of a TPIIN: `EColor = {IN, TR}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ArcColor {
+    /// Influence relationship (directorship, legal-person link, or
+    /// investment — the paper folds investment into influence in `G123`).
+    Influence,
+    /// Trading relationship between companies.
+    Trading,
+}
+
+impl ArcColor {
+    /// The numeric code used by the paper's edge-list representation:
+    /// `0` for trading (black), `1` for influence (blue).
+    pub fn code(self) -> u32 {
+        match self {
+            ArcColor::Trading => 0,
+            ArcColor::Influence => 1,
+        }
+    }
+}
+
+/// Payload of a TPIIN node: color, display label and provenance (which
+/// source persons/companies were merged into this node by contraction).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TpiinNode {
+    /// A person node, possibly a syndicate of several source persons.
+    Person {
+        /// Display label — original name, or `+`-joined member names for
+        /// syndicates.
+        label: String,
+        /// Source persons merged into this node (singleton if no
+        /// contraction applied).
+        members: Vec<PersonId>,
+    },
+    /// A company node, possibly a syndicate (contracted investment SCC).
+    Company {
+        /// Display label.
+        label: String,
+        /// Source companies merged into this node.
+        members: Vec<CompanyId>,
+    },
+}
+
+impl TpiinNode {
+    /// The node's color.
+    pub fn color(&self) -> NodeColor {
+        match self {
+            TpiinNode::Person { .. } => NodeColor::Person,
+            TpiinNode::Company { .. } => NodeColor::Company,
+        }
+    }
+
+    /// The node's display label.
+    pub fn label(&self) -> &str {
+        match self {
+            TpiinNode::Person { label, .. } | TpiinNode::Company { label, .. } => label,
+        }
+    }
+
+    /// Whether the node merges more than one source entity.
+    pub fn is_syndicate(&self) -> bool {
+        match self {
+            TpiinNode::Person { members, .. } => members.len() > 1,
+            TpiinNode::Company { members, .. } => members.len() > 1,
+        }
+    }
+}
+
+/// Payload of a TPIIN arc: color plus an optional weight used by the
+/// weighted-scoring extension (investment share, trading volume; `1.0`
+/// for positional influence).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TpiinArc {
+    /// Arc color.
+    pub color: ArcColor,
+    /// Weight for the scoring extension.
+    pub weight: f64,
+}
+
+/// A trading record whose two endpoints were merged into the same company
+/// syndicate by SCC contraction.  By the paper's closing note in §4.3 such
+/// a trade is suspicious *by construction*: strong connectivity guarantees
+/// an influence trail between the parties.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IntraSyndicateTrade {
+    /// The selling company.
+    pub seller: CompanyId,
+    /// The buying company.
+    pub buyer: CompanyId,
+    /// TPIIN node of the syndicate both belong to.
+    pub syndicate: NodeId,
+    /// Trade volume from the source record.
+    pub volume: f64,
+}
+
+/// The fused heterogeneous network (Definition 1):
+/// `TPIIN = {V, E, VColor, EColor}` plus provenance back to the source
+/// registry.
+#[derive(Clone, Debug)]
+pub struct Tpiin {
+    /// The underlying colored digraph.  Person nodes come first, then
+    /// company nodes; influence arcs come first, then trading arcs —
+    /// matching the edge-list layout Algorithm 1 expects.
+    pub graph: DiGraph<TpiinNode, TpiinArc>,
+    /// TPIIN node of each source person.
+    pub person_node: Vec<NodeId>,
+    /// TPIIN node of each source company.
+    pub company_node: Vec<NodeId>,
+    /// Number of influence arcs (they occupy edge ids `0..`).
+    pub influence_arc_count: usize,
+    /// Number of trading arcs (they occupy the tail of the edge range).
+    pub trading_arc_count: usize,
+    /// Trades internal to a contracted investment SCC — suspicious by
+    /// construction and excluded from the arc set (contraction drops
+    /// intra-group arcs).
+    pub intra_syndicate_trades: Vec<IntraSyndicateTrade>,
+}
+
+impl Tpiin {
+    /// Number of TPIIN nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of person(-syndicate) nodes.
+    pub fn person_node_count(&self) -> usize {
+        self.graph
+            .nodes()
+            .filter(|(_, n)| n.color() == NodeColor::Person)
+            .count()
+    }
+
+    /// Number of company(-syndicate) nodes.
+    pub fn company_node_count(&self) -> usize {
+        self.graph
+            .nodes()
+            .filter(|(_, n)| n.color() == NodeColor::Company)
+            .count()
+    }
+
+    /// Color of a node.
+    pub fn color(&self, node: NodeId) -> NodeColor {
+        self.graph.node(node).color()
+    }
+
+    /// Display label of a node.
+    pub fn label(&self, node: NodeId) -> &str {
+        self.graph.node(node).label()
+    }
+
+    /// The paper's `r x 3` edge-list rendering (`0` = trading, `1` =
+    /// influence), antecedent rows first.
+    pub fn edge_list(&self) -> String {
+        tpiin_graph::edge_list(&self.graph, |arc| arc.color.code())
+    }
+
+    /// Mean arcs-per-node, the "average node degree" column of Table 1.
+    pub fn mean_degree(&self) -> f64 {
+        if self.graph.node_count() == 0 {
+            return 0.0;
+        }
+        self.graph.edge_count() as f64 / self.graph.node_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arc_color_codes_match_the_paper() {
+        assert_eq!(ArcColor::Trading.code(), 0, "black");
+        assert_eq!(ArcColor::Influence.code(), 1, "blue");
+    }
+
+    #[test]
+    fn node_accessors() {
+        let p = TpiinNode::Person {
+            label: "L1".into(),
+            members: vec![PersonId(0), PersonId(3)],
+        };
+        assert_eq!(p.color(), NodeColor::Person);
+        assert_eq!(p.label(), "L1");
+        assert!(p.is_syndicate());
+        let c = TpiinNode::Company {
+            label: "C1".into(),
+            members: vec![CompanyId(0)],
+        };
+        assert_eq!(c.color(), NodeColor::Company);
+        assert!(!c.is_syndicate());
+    }
+}

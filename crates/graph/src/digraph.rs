@@ -1,0 +1,366 @@
+//! Append-only directed multigraph with typed node and edge payloads.
+
+use crate::ids::{EdgeId, NodeId};
+
+#[derive(Clone, Debug)]
+struct EdgeSlot<E> {
+    source: NodeId,
+    target: NodeId,
+    weight: E,
+}
+
+/// A borrowed view of one edge: its id, endpoints, and payload.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeRef<'g, E> {
+    /// Identifier of the edge inside the owning graph.
+    pub id: EdgeId,
+    /// Tail of the arc.
+    pub source: NodeId,
+    /// Head of the arc.
+    pub target: NodeId,
+    /// Borrowed payload.
+    pub weight: &'g E,
+}
+
+/// An append-only directed multigraph.
+///
+/// * Parallel edges and self-loops are allowed — the fusion pipeline
+///   deduplicates where the paper requires it, not the storage layer.
+/// * Nodes and edges can never be removed; graph simplifications
+///   (syndicate contraction, SCC condensation) build *new* graphs via
+///   [`crate::Partition::quotient`], mirroring how the paper derives
+///   `G12'` and `G123` from `G12` and `G_B`.
+/// * All iteration orders are deterministic (insertion order), which keeps
+///   the detection output stable across runs — important because the
+///   paper's component-pattern base (Fig. 10) is ordered.
+#[derive(Clone, Debug)]
+pub struct DiGraph<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<EdgeSlot<E>>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl<N, E> Default for DiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            out_adj: Vec::with_capacity(nodes),
+            in_adj: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the graph already holds [`NodeId::MAX`] nodes.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        assert!(self.nodes.len() < NodeId::MAX, "node capacity exhausted");
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(weight);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge `source -> target` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a node of this graph, or the edge
+    /// capacity is exhausted.
+    pub fn add_edge(&mut self, source: NodeId, target: NodeId, weight: E) -> EdgeId {
+        assert!(
+            source.index() < self.nodes.len(),
+            "source {source:?} out of bounds"
+        );
+        assert!(
+            target.index() < self.nodes.len(),
+            "target {target:?} out of bounds"
+        );
+        assert!(self.edges.len() < EdgeId::MAX, "edge capacity exhausted");
+        let id = EdgeId::from_index(self.edges.len());
+        self.edges.push(EdgeSlot {
+            source,
+            target,
+            weight,
+        });
+        self.out_adj[source.index()].push(id);
+        self.in_adj[target.index()].push(id);
+        id
+    }
+
+    /// Borrow a node payload.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutably borrow a node payload.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Borrow an edge payload.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &E {
+        &self.edges[id.index()].weight
+    }
+
+    /// Endpoints `(source, target)` of an edge.
+    #[inline]
+    pub fn endpoints(&self, id: EdgeId) -> (NodeId, NodeId) {
+        let e = &self.edges[id.index()];
+        (e.source, e.target)
+    }
+
+    /// Iterator over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Iterator over `(id, payload)` for all nodes.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = (NodeId, &N)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (NodeId::from_index(i), w))
+    }
+
+    /// Iterator over all edges in insertion order.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = EdgeRef<'_, E>> + '_ {
+        self.edges.iter().enumerate().map(|(i, e)| EdgeRef {
+            id: EdgeId::from_index(i),
+            source: e.source,
+            target: e.target,
+            weight: &e.weight,
+        })
+    }
+
+    /// Outgoing edges of `node` in insertion order.
+    pub fn out_edges(&self, node: NodeId) -> impl ExactSizeIterator<Item = EdgeRef<'_, E>> + '_ {
+        self.out_adj[node.index()].iter().map(move |&id| {
+            let e = &self.edges[id.index()];
+            EdgeRef {
+                id,
+                source: e.source,
+                target: e.target,
+                weight: &e.weight,
+            }
+        })
+    }
+
+    /// Incoming edges of `node` in insertion order.
+    pub fn in_edges(&self, node: NodeId) -> impl ExactSizeIterator<Item = EdgeRef<'_, E>> + '_ {
+        self.in_adj[node.index()].iter().map(move |&id| {
+            let e = &self.edges[id.index()];
+            EdgeRef {
+                id,
+                source: e.source,
+                target: e.target,
+                weight: &e.weight,
+            }
+        })
+    }
+
+    /// Successor node ids of `node` (duplicates preserved for parallel edges).
+    pub fn successors(&self, node: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.out_adj[node.index()]
+            .iter()
+            .map(move |&id| self.edges[id.index()].target)
+    }
+
+    /// Predecessor node ids of `node` (duplicates preserved for parallel edges).
+    pub fn predecessors(&self, node: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.in_adj[node.index()]
+            .iter()
+            .map(move |&id| self.edges[id.index()].source)
+    }
+
+    /// Number of outgoing edges of `node`.
+    #[inline]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_adj[node.index()].len()
+    }
+
+    /// Number of incoming edges of `node`.
+    #[inline]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_adj[node.index()].len()
+    }
+
+    /// Whether at least one `source -> target` edge exists.
+    pub fn contains_edge(&self, source: NodeId, target: NodeId) -> bool {
+        // Scan the smaller adjacency list of the two endpoints.
+        if self.out_adj[source.index()].len() <= self.in_adj[target.index()].len() {
+            self.out_adj[source.index()]
+                .iter()
+                .any(|&id| self.edges[id.index()].target == target)
+        } else {
+            self.in_adj[target.index()]
+                .iter()
+                .any(|&id| self.edges[id.index()].source == source)
+        }
+    }
+
+    /// First edge id for `source -> target`, if any.
+    pub fn find_edge(&self, source: NodeId, target: NodeId) -> Option<EdgeId> {
+        self.out_adj[source.index()]
+            .iter()
+            .copied()
+            .find(|&id| self.edges[id.index()].target == target)
+    }
+
+    /// Builds a graph with identical topology whose payloads are mapped
+    /// through the two closures.  Node and edge ids are preserved.
+    pub fn map<N2, E2>(
+        &self,
+        mut node_map: impl FnMut(NodeId, &N) -> N2,
+        mut edge_map: impl FnMut(EdgeId, &E) -> E2,
+    ) -> DiGraph<N2, E2> {
+        DiGraph {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, w)| node_map(NodeId::from_index(i), w))
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, e)| EdgeSlot {
+                    source: e.source,
+                    target: e.target,
+                    weight: edge_map(EdgeId::from_index(i), &e.weight),
+                })
+                .collect(),
+            out_adj: self.out_adj.clone(),
+            in_adj: self.in_adj.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph<u32, &'static str>, Vec<NodeId>) {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..4u32).map(|i| g.add_node(i)).collect();
+        g.add_edge(n[0], n[1], "a");
+        g.add_edge(n[0], n[2], "b");
+        g.add_edge(n[1], n[3], "c");
+        g.add_edge(n[2], n[3], "d");
+        (g, n)
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let (g, n) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(n[0]), 2);
+        assert_eq!(g.in_degree(n[0]), 0);
+        assert_eq!(g.in_degree(n[3]), 2);
+        assert_eq!(g.out_degree(n[3]), 0);
+    }
+
+    #[test]
+    fn successors_and_predecessors_follow_insertion_order() {
+        let (g, n) = diamond();
+        assert_eq!(g.successors(n[0]).collect::<Vec<_>>(), vec![n[1], n[2]]);
+        assert_eq!(g.predecessors(n[3]).collect::<Vec<_>>(), vec![n[1], n[2]]);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let (g, n) = diamond();
+        assert!(g.contains_edge(n[0], n[1]));
+        assert!(!g.contains_edge(n[1], n[0]));
+        let e = g.find_edge(n[2], n[3]).unwrap();
+        assert_eq!(*g.edge(e), "d");
+        assert_eq!(g.endpoints(e), (n[2], n[3]));
+        assert_eq!(g.find_edge(n[3], n[0]), None);
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_are_preserved() {
+        let mut g: DiGraph<(), u8> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        g.add_edge(a, a, 3);
+        assert_eq!(g.out_degree(a), 3);
+        assert_eq!(g.in_degree(b), 2);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![b, b, a]);
+    }
+
+    #[test]
+    fn map_preserves_topology() {
+        let (g, n) = diamond();
+        let mapped = g.map(|_, &w| w * 10, |_, &s| s.len());
+        assert_eq!(*mapped.node(n[2]), 20);
+        assert_eq!(
+            mapped.successors(n[0]).collect::<Vec<_>>(),
+            vec![n[1], n[2]]
+        );
+        assert_eq!(*mapped.edge(EdgeId::from_index(0)), 1);
+    }
+
+    #[test]
+    fn node_and_edge_iterators() {
+        let (g, _) = diamond();
+        assert_eq!(g.node_ids().count(), 4);
+        let weights: Vec<_> = g.edges().map(|e| *e.weight).collect();
+        assert_eq!(weights, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn node_mut_updates_payload() {
+        let (mut g, n) = diamond();
+        *g.node_mut(n[1]) = 99;
+        assert_eq!(*g.node(n[1]), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn edge_to_missing_node_panics() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId::from_index(5), ());
+    }
+}

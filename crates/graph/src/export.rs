@@ -1,0 +1,133 @@
+//! Graph export helpers (Graphviz DOT and plain edge lists).
+//!
+//! The paper's Algorithm 1 takes a TPIIN "in the form of edge list (a
+//! `r x 3` array)", and its figures (Figs. 11–16) are network drawings;
+//! [`edge_list`] and [`dot`] regenerate both representations.
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+use std::fmt::Write as _;
+
+/// Rendering callback for a node: `(id, payload) -> text`.
+pub type NodeRender<'a, N> = Box<dyn Fn(NodeId, &N) -> String + 'a>;
+/// Rendering callback for an edge payload: `&payload -> attributes`.
+pub type EdgeRender<'a, E> = Box<dyn Fn(&E) -> String + 'a>;
+
+/// Per-element styling callbacks for [`dot`].
+pub struct DotStyle<'a, N, E> {
+    /// Node label text.
+    pub node_label: NodeRender<'a, N>,
+    /// Extra node attributes, e.g. `color=red` (empty for none).
+    pub node_attrs: NodeRender<'a, N>,
+    /// Extra edge attributes, e.g. `color=blue` (empty for none).
+    pub edge_attrs: EdgeRender<'a, E>,
+}
+
+impl<'a, N: std::fmt::Debug, E> DotStyle<'a, N, E> {
+    /// Style that labels nodes with their `Debug` payload and no colors.
+    pub fn debug_labels() -> Self {
+        DotStyle {
+            node_label: Box::new(|_, w| format!("{w:?}")),
+            node_attrs: Box::new(|_, _| String::new()),
+            edge_attrs: Box::new(|_| String::new()),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders `graph` in Graphviz DOT syntax.
+pub fn dot<N, E>(graph: &DiGraph<N, E>, style: &DotStyle<'_, N, E>) -> String {
+    let mut out = String::with_capacity(64 + graph.node_count() * 24 + graph.edge_count() * 16);
+    out.push_str("digraph tpiin {\n");
+    for (id, w) in graph.nodes() {
+        let label = escape(&(style.node_label)(id, w));
+        let attrs = (style.node_attrs)(id, w);
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", id, label);
+        } else {
+            let _ = writeln!(out, "  n{} [label=\"{}\", {}];", id, label, attrs);
+        }
+    }
+    for e in graph.edges() {
+        let attrs = (style.edge_attrs)(e.weight);
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  n{} -> n{};", e.source, e.target);
+        } else {
+            let _ = writeln!(out, "  n{} -> n{} [{}];", e.source, e.target, attrs);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders `graph` as the paper's `r x 3` edge list: one
+/// `source<TAB>target<TAB>color` row per arc, where `color` is produced by
+/// the callback (the paper uses `0` for trading/black and `1` for
+/// influence/blue).
+pub fn edge_list<N, E>(graph: &DiGraph<N, E>, mut color: impl FnMut(&E) -> u32) -> String {
+    let mut out = String::with_capacity(graph.edge_count() * 12);
+    for e in graph.edges() {
+        let _ = writeln!(out, "{}\t{}\t{}", e.source, e.target, color(e.weight));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph<&'static str, u8> {
+        let mut g = DiGraph::new();
+        let a = g.add_node("P1");
+        let b = g.add_node("C\"1\"");
+        g.add_edge(a, b, 1);
+        g.add_edge(b, a, 0);
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_escapes_quotes() {
+        let g = sample();
+        let style = DotStyle {
+            node_label: Box::new(|_, w: &&str| w.to_string()),
+            node_attrs: Box::new(|_, w| {
+                if w.starts_with('P') {
+                    "color=black".into()
+                } else {
+                    "color=red".into()
+                }
+            }),
+            edge_attrs: Box::new(|&c| {
+                if c == 1 {
+                    "color=blue".into()
+                } else {
+                    String::new()
+                }
+            }),
+        };
+        let text = dot(&g, &style);
+        assert!(text.starts_with("digraph tpiin {"));
+        assert!(text.contains("n0 [label=\"P1\", color=black];"));
+        assert!(text.contains("C\\\"1\\\""), "quotes escaped: {text}");
+        assert!(text.contains("n0 -> n1 [color=blue];"));
+        assert!(text.contains("n1 -> n0;"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn debug_style_renders() {
+        let g = sample();
+        let text = dot(&g, &DotStyle::debug_labels());
+        assert!(text.contains("label=\"\\\"P1\\\"\"") || text.contains("P1"));
+    }
+
+    #[test]
+    fn edge_list_rows_match_paper_format() {
+        let g = sample();
+        let text = edge_list(&g, |&c| c as u32);
+        assert_eq!(text, "0\t1\t1\n1\t0\t0\n");
+    }
+}

@@ -1,0 +1,112 @@
+//! Dense integer identifiers for nodes and edges.
+//!
+//! Both identifiers wrap a `u32`: TPIIN instances in the paper's evaluation
+//! top out at a few thousand nodes and ~600 k arcs, and a `u32` keeps
+//! side-table entries half the size of `usize` on 64-bit targets (see the
+//! "Smaller Integers" guidance in the Rust Performance Book).
+
+use std::fmt;
+
+/// Identifier of a node inside one [`crate::DiGraph`].
+///
+/// Ids are dense: the `k`-th added node receives index `k`.  They are only
+/// meaningful relative to the graph that issued them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of an edge inside one [`crate::DiGraph`].
+///
+/// Ids are dense: the `k`-th added edge receives index `k`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// Largest number of nodes a graph may hold.
+    pub const MAX: usize = u32::MAX as usize;
+
+    /// Creates an id from a raw index.
+    ///
+    /// Intended for rebuilding ids that were previously obtained from
+    /// [`NodeId::index`]; constructing an id for a node that does not exist
+    /// yields lookups that panic.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= Self::MAX);
+        NodeId(index as u32)
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Largest number of edges a graph may hold.
+    pub const MAX: usize = u32::MAX as usize;
+
+    /// Creates an id from a raw index (see [`NodeId::from_index`]).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= Self::MAX);
+        EdgeId(index as u32)
+    }
+
+    /// Returns the dense index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id:?}"), "n42");
+        assert_eq!(format!("{id}"), "42");
+    }
+
+    #[test]
+    fn edge_id_roundtrips_through_index() {
+        let id = EdgeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id:?}"), "e7");
+        assert_eq!(format!("{id}"), "7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(EdgeId::from_index(0) < EdgeId::from_index(9));
+    }
+}

@@ -1,0 +1,130 @@
+//! Derived graphs: transpose and induced subgraphs.
+//!
+//! The per-arc query of the detection crate works on the *ancestor cone*
+//! of a trading arc's endpoints — an induced subgraph over a node subset
+//! reached by walking the transpose.  These helpers implement both
+//! operations generically with provenance back to the original node ids.
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+
+/// The transpose (edge-reversed) graph.  Node ids are preserved; edge
+/// payloads are cloned; edge insertion order follows the original.
+pub fn transpose<N: Clone, E: Clone>(graph: &DiGraph<N, E>) -> DiGraph<N, E> {
+    let mut out: DiGraph<N, E> = DiGraph::with_capacity(graph.node_count(), graph.edge_count());
+    for (_, w) in graph.nodes() {
+        out.add_node(w.clone());
+    }
+    for e in graph.edges() {
+        out.add_edge(e.target, e.source, e.weight.clone());
+    }
+    out
+}
+
+/// An induced subgraph with provenance.
+pub struct InducedSubgraph<N, E> {
+    /// The subgraph over dense local ids.
+    pub graph: DiGraph<N, E>,
+    /// Original node id of each local node.
+    pub original: Vec<NodeId>,
+    /// Local id of each original node (`None` when excluded).
+    pub local: Vec<Option<NodeId>>,
+}
+
+/// Builds the subgraph induced by `keep` (deduplicated, order preserved):
+/// the kept nodes and every edge whose two endpoints are kept.
+pub fn induced_subgraph<N: Clone, E: Clone>(
+    graph: &DiGraph<N, E>,
+    keep: impl IntoIterator<Item = NodeId>,
+) -> InducedSubgraph<N, E> {
+    let mut local: Vec<Option<NodeId>> = vec![None; graph.node_count()];
+    let mut original = Vec::new();
+    let mut sub: DiGraph<N, E> = DiGraph::new();
+    for node in keep {
+        if local[node.index()].is_some() {
+            continue;
+        }
+        let l = sub.add_node(graph.node(node).clone());
+        local[node.index()] = Some(l);
+        original.push(node);
+    }
+    for e in graph.edges() {
+        if let (Some(s), Some(t)) = (local[e.source.index()], local[e.target.index()]) {
+            sub.add_edge(s, t, e.weight.clone());
+        }
+    }
+    InducedSubgraph {
+        graph: sub,
+        original,
+        local,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph<u8, char>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let n: Vec<_> = (0..4u8).map(|i| g.add_node(i)).collect();
+        g.add_edge(n[0], n[1], 'a');
+        g.add_edge(n[0], n[2], 'b');
+        g.add_edge(n[1], n[3], 'c');
+        g.add_edge(n[2], n[3], 'd');
+        (g, n)
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge() {
+        let (g, n) = diamond();
+        let t = transpose(&g);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.edge_count(), 4);
+        assert!(t.contains_edge(n[1], n[0]));
+        assert!(t.contains_edge(n[3], n[2]));
+        assert!(!t.contains_edge(n[0], n[1]));
+        // Payloads preserved.
+        assert_eq!(*t.edge(t.find_edge(n[3], n[1]).unwrap()), 'c');
+    }
+
+    #[test]
+    fn double_transpose_is_identity_on_structure() {
+        let (g, _) = diamond();
+        let tt = transpose(&transpose(&g));
+        let arcs = |g: &DiGraph<u8, char>| -> Vec<(usize, usize, char)> {
+            g.edges()
+                .map(|e| (e.source.index(), e.target.index(), *e.weight))
+                .collect()
+        };
+        assert_eq!(arcs(&g), arcs(&tt));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let (g, n) = diamond();
+        let sub = induced_subgraph(&g, [n[0], n[1], n[3]]);
+        assert_eq!(sub.graph.node_count(), 3);
+        // Edges 0->1 and 1->3 survive; 0->2 and 2->3 are cut.
+        assert_eq!(sub.graph.edge_count(), 2);
+        assert_eq!(sub.original.len(), 3);
+        assert!(sub.local[n[2].index()].is_none());
+        let l0 = sub.local[n[0].index()].unwrap();
+        assert_eq!(*sub.graph.node(l0), 0);
+    }
+
+    #[test]
+    fn duplicate_keep_entries_are_ignored() {
+        let (g, n) = diamond();
+        let sub = induced_subgraph(&g, [n[1], n[1], n[1]]);
+        assert_eq!(sub.graph.node_count(), 1);
+        assert_eq!(sub.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn empty_keep_yields_empty_graph() {
+        let (g, _) = diamond();
+        let sub = induced_subgraph(&g, []);
+        assert_eq!(sub.graph.node_count(), 0);
+        assert!(sub.original.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Disjoint-set forest (union–find) with path halving and union by size.
+//!
+//! Used for weakly-connected-component segmentation (Algorithm 1, step 3)
+//! and for contracting interdependence edges into person syndicates.
+
+/// A disjoint-set forest over the dense index range `0..len`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    /// Parent pointer per element; roots point to themselves.
+    parent: Vec<u32>,
+    /// Size of the set rooted at each root (arbitrary for non-roots).
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize);
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            sets: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of the set containing `x`, with path halving.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Collapses the forest into a dense labelling: returns `(labels,
+    /// count)` where `labels[x]` is in `0..count` and two elements share a
+    /// label iff they share a set.  Labels are assigned in order of first
+    /// appearance, so the output is deterministic.
+    pub fn into_labels(mut self) -> (Vec<u32>, usize) {
+        let n = self.parent.len();
+        let mut label = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for x in 0..n {
+            let r = self.find(x);
+            if label[r] == u32::MAX {
+                label[r] = next;
+                next += 1;
+            }
+            label[x] = label[r];
+        }
+        (label, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0), "repeated union reports no change");
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.same_set(0, 1));
+        assert!(!uf.same_set(1, 2));
+        assert_eq!(uf.set_size(4), 2);
+        assert_eq!(uf.set_size(2), 1);
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same_set(0, 2));
+        assert_eq!(uf.set_size(0), 3);
+    }
+
+    #[test]
+    fn labels_are_dense_and_first_appearance_ordered() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 5);
+        uf.union(1, 2);
+        let (labels, count) = uf.into_labels();
+        assert_eq!(count, 4);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[4], labels[5]);
+        assert!(labels.iter().all(|&l| (l as usize) < count));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+        let (labels, count) = uf.into_labels();
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+    }
+}

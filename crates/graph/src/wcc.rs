@@ -1,0 +1,91 @@
+//! Weakly connected components.
+//!
+//! Step 3 of the paper's Algorithm 1 segments the antecedent network into
+//! maximal weakly connected subgraphs (`MWCS`): a trading arc whose two
+//! endpoints fall into different antecedent components cannot be backed by
+//! a common interest party, so each component can be mined independently
+//! (divide and conquer).
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+use crate::unionfind::UnionFind;
+
+/// Computes the weakly connected components of `graph` (edge direction
+/// ignored).
+///
+/// Returns `(labels, count)`: `labels[v]` is the component of node `v`,
+/// with labels dense in `0..count` and assigned in order of first
+/// appearance by node index — deterministic across runs.
+pub fn weakly_connected_components<N, E>(graph: &DiGraph<N, E>) -> (Vec<u32>, usize) {
+    let mut uf = UnionFind::new(graph.node_count());
+    for edge in graph.edges() {
+        uf.union(edge.source.index(), edge.target.index());
+    }
+    uf.into_labels()
+}
+
+/// Groups node ids by weak component, preserving node order inside each
+/// component.  Convenience wrapper over [`weakly_connected_components`].
+pub fn weak_component_members<N, E>(graph: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    let (labels, count) = weakly_connected_components(graph);
+    let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); count];
+    for v in graph.node_ids() {
+        groups[labels[v.index()] as usize].push(v);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_from(edges: &[(usize, usize)], n: usize) -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+        for &(a, b) in edges {
+            g.add_edge(ids[a], ids[b], ());
+        }
+        g
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // 0 -> 1 and 2 -> 1: all three weakly connected.
+        let g = graph_from(&[(0, 1), (2, 1)], 3);
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let g = graph_from(&[(0, 1)], 4);
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[2], labels[3]);
+    }
+
+    #[test]
+    fn members_grouped_in_order() {
+        let g = graph_from(&[(0, 2), (1, 3)], 4);
+        let groups = weak_component_members(&g);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(
+            groups[0],
+            vec![NodeId::from_index(0), NodeId::from_index(2)]
+        );
+        assert_eq!(
+            groups[1],
+            vec![NodeId::from_index(1), NodeId::from_index(3)]
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let (labels, count) = weakly_connected_components(&g);
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+    }
+}

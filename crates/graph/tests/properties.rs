@@ -1,0 +1,178 @@
+//! Property-based tests for the graph substrate: the algorithms are
+//! checked against independent naive reference implementations on random
+//! graphs.
+
+use proptest::prelude::*;
+use tpiin_graph::{
+    condensation_partition, is_acyclic, reachable_from, tarjan_scc, topological_sort,
+    weakly_connected_components, DiGraph, NodeId, Partition, UnionFind,
+};
+
+/// Strategy: a random digraph with up to `max_n` nodes and `max_m` edges.
+fn arb_digraph(max_n: usize, max_m: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..=max_m).prop_map(move |edges| {
+            let mut g = DiGraph::new();
+            let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+            for (a, b) in edges {
+                g.add_edge(ids[a], ids[b], ());
+            }
+            g
+        })
+    })
+}
+
+/// Strategy: a random DAG (edges only from lower to higher index).
+fn arb_dag(max_n: usize, max_m: usize) -> impl Strategy<Value = DiGraph<(), ()>> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..=max_m).prop_map(move |edges| {
+            let mut g = DiGraph::new();
+            let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+            for (a, b) in edges {
+                if a < b {
+                    g.add_edge(ids[a], ids[b], ());
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Naive SCC labelling: mutual reachability via per-node DFS masks.
+fn naive_scc_labels(g: &DiGraph<(), ()>) -> Vec<usize> {
+    let n = g.node_count();
+    let reach: Vec<Vec<bool>> = (0..n)
+        .map(|v| reachable_from(g, NodeId::from_index(v)))
+        .collect();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0;
+    for v in 0..n {
+        if label[v] != usize::MAX {
+            continue;
+        }
+        for w in v..n {
+            if reach[v][w] && reach[w][v] {
+                label[w] = next;
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+proptest! {
+    #[test]
+    fn tarjan_matches_naive_mutual_reachability(g in arb_digraph(12, 30)) {
+        let (labels, _) = condensation_partition(&g);
+        let naive = naive_scc_labels(&g);
+        for a in 0..g.node_count() {
+            for b in 0..g.node_count() {
+                prop_assert_eq!(
+                    labels[a] == labels[b],
+                    naive[a] == naive[b],
+                    "SCC disagreement on nodes {} and {}", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tarjan_components_partition_the_nodes(g in arb_digraph(20, 60)) {
+        let comps = tarjan_scc(&g);
+        let mut seen = vec![false; g.node_count()];
+        for comp in &comps {
+            for &v in comp {
+                prop_assert!(!seen[v.index()], "node {:?} in two components", v);
+                seen[v.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn condensation_is_acyclic(g in arb_digraph(15, 40)) {
+        let (labels, count) = condensation_partition(&g);
+        let part = Partition::from_labels(labels, count);
+        let out = part.quotient(&g, |_| ());
+        prop_assert!(is_acyclic(&out.graph), "condensation must be a DAG");
+    }
+
+    #[test]
+    fn topological_sort_respects_all_edges(g in arb_dag(20, 80)) {
+        let order = topological_sort(&g).expect("generated graph is a DAG");
+        let mut pos = vec![0usize; g.node_count()];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for e in g.edges() {
+            prop_assert!(pos[e.source.index()] < pos[e.target.index()]);
+        }
+    }
+
+    #[test]
+    fn graph_with_cycle_fails_topological_sort(n in 2usize..10) {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g.add_edge(ids[n - 1], ids[0], ());
+        prop_assert!(topological_sort(&g).is_err());
+        prop_assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn wcc_labels_agree_with_union_find_over_edges(g in arb_digraph(25, 50)) {
+        let (labels, count) = weakly_connected_components(&g);
+        prop_assert!(labels.iter().all(|&l| (l as usize) < count));
+        // Endpoint labels agree for every edge.
+        for e in g.edges() {
+            prop_assert_eq!(labels[e.source.index()], labels[e.target.index()]);
+        }
+        // Count matches an independent union-find run.
+        let mut uf = UnionFind::new(g.node_count());
+        for e in g.edges() {
+            uf.union(e.source.index(), e.target.index());
+        }
+        prop_assert_eq!(uf.set_count(), count);
+    }
+
+    #[test]
+    fn quotient_conserves_external_edges(g in arb_digraph(12, 30)) {
+        // Merge nodes by parity: a partition with at most two groups.
+        let n = g.node_count();
+        let labels: Vec<u32> = (0..n).map(|v| (v % 2) as u32).collect();
+        let groups = if n >= 2 { 2 } else { 1 };
+        let part = Partition::from_labels(labels, groups);
+        let out = part.quotient(&g, |members| members.len());
+        let internal = g
+            .edges()
+            .filter(|e| e.source.index() % 2 == e.target.index() % 2)
+            .count();
+        prop_assert_eq!(out.dropped_internal_edges, internal);
+        prop_assert_eq!(out.graph.edge_count(), g.edge_count() - internal);
+        let member_total: usize = (0..out.graph.node_count())
+            .map(|k| *out.graph.node(NodeId::from_index(k)))
+            .sum();
+        prop_assert_eq!(member_total, n);
+    }
+
+    #[test]
+    fn reachability_is_transitive(g in arb_digraph(12, 24)) {
+        let n = g.node_count();
+        let reach: Vec<Vec<bool>> =
+            (0..n).map(|v| reachable_from(&g, NodeId::from_index(v))).collect();
+        for a in 0..n {
+            for b in 0..n {
+                if !reach[a][b] {
+                    continue;
+                }
+                for (c, &reachable) in reach[b].iter().enumerate() {
+                    if reachable {
+                        prop_assert!(reach[a][c], "reach not transitive: {}->{}->{}", a, b, c);
+                    }
+                }
+            }
+        }
+    }
+}

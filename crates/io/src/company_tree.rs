@@ -1,0 +1,184 @@
+//! Investment-tree view of one company (Fig. 17) and its influence
+//! surroundings (Fig. 18).
+//!
+//! The deployed monitoring system shows "a tree-like structure that
+//! describes investment relationships between companies related to a
+//! specific company"; [`investment_tree`] renders that structure as
+//! text: the company's controlling persons, its investee subtree (with
+//! shares) and its investor chain upwards.
+
+use std::fmt::Write as _;
+use tpiin_model::{CompanyId, SourceRegistry};
+
+fn persons_of(registry: &SourceRegistry, company: CompanyId) -> String {
+    let mut lp = None;
+    let mut others = Vec::new();
+    for inf in registry.influences() {
+        if inf.company != company {
+            continue;
+        }
+        let name = &registry.person(inf.person).name;
+        if inf.is_legal_person {
+            lp = Some(name.clone());
+        } else {
+            others.push(name.clone());
+        }
+    }
+    let mut parts = Vec::new();
+    if let Some(lp) = lp {
+        parts.push(format!("LP: {lp}"));
+    }
+    if !others.is_empty() {
+        parts.push(format!("directors: {}", others.join(", ")));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(" ({})", parts.join("; "))
+    }
+}
+
+fn descend(
+    registry: &SourceRegistry,
+    company: CompanyId,
+    prefix: &str,
+    depth: usize,
+    path: &mut Vec<CompanyId>,
+    out: &mut String,
+) {
+    if depth == 0 {
+        return;
+    }
+    let children: Vec<_> = registry
+        .investments()
+        .iter()
+        .filter(|inv| inv.investor == company)
+        .collect();
+    for (i, inv) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let branch = if last { "`-" } else { "|-" };
+        let cont = if last { "  " } else { "| " };
+        if path.contains(&inv.investee) {
+            let _ = writeln!(
+                out,
+                "{prefix}{branch} {} [{}%] (cycle)",
+                registry.company(inv.investee).name,
+                (inv.share * 100.0).round()
+            );
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{prefix}{branch} {} [{}%]{}",
+            registry.company(inv.investee).name,
+            (inv.share * 100.0).round(),
+            persons_of(registry, inv.investee)
+        );
+        path.push(inv.investee);
+        descend(
+            registry,
+            inv.investee,
+            &format!("{prefix}{cont}"),
+            depth - 1,
+            path,
+            out,
+        );
+        path.pop();
+    }
+}
+
+/// Renders the investment neighbourhood of `company`: controlling
+/// persons, the investee subtree down to `depth` levels, and the direct
+/// investors above.  Cycles (mutual investments) are marked rather than
+/// recursed into.
+pub fn investment_tree(registry: &SourceRegistry, company: CompanyId, depth: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}{}",
+        registry.company(company).name,
+        persons_of(registry, company)
+    );
+    let mut path = vec![company];
+    descend(registry, company, "", depth, &mut path, &mut out);
+
+    let investors: Vec<_> = registry
+        .investments()
+        .iter()
+        .filter(|inv| inv.investee == company)
+        .collect();
+    if !investors.is_empty() {
+        out.push_str("investors:\n");
+        for inv in investors {
+            let _ = writeln!(
+                out,
+                "  <- {} holds {}%{}",
+                registry.company(inv.investor).name,
+                (inv.share * 100.0).round(),
+                persons_of(registry, inv.investor)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpiin_model::{InfluenceKind, InfluenceRecord, InvestmentRecord, Role, RoleSet};
+
+    #[test]
+    fn fig7_c1_subtree() {
+        let registry = tpiin_datagen::fig7_registry();
+        // C1 (id 0) invests in C3; C3's LP is L2.
+        let text = investment_tree(&registry, CompanyId(0), 3);
+        assert!(text.starts_with("C1 (LP: L6)"), "{text}");
+        assert!(text.contains("`- C3 [80%] (LP: L2)"), "{text}");
+    }
+
+    #[test]
+    fn investors_listed_upward() {
+        let registry = tpiin_datagen::fig7_registry();
+        // C5 (id 4) is owned by C2.
+        let text = investment_tree(&registry, CompanyId(4), 1);
+        assert!(text.contains("investors:"), "{text}");
+        assert!(text.contains("<- C2 holds 60%"), "{text}");
+    }
+
+    #[test]
+    fn cycles_are_marked_not_recursed() {
+        let mut r = SourceRegistry::new();
+        let l = r.add_person("L", RoleSet::of(&[Role::Ceo]));
+        let a = r.add_company("A");
+        let b = r.add_company("B");
+        for c in [a, b] {
+            r.add_influence(InfluenceRecord {
+                person: l,
+                company: c,
+                kind: InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+        }
+        r.add_investment(InvestmentRecord {
+            investor: a,
+            investee: b,
+            share: 0.5,
+        });
+        r.add_investment(InvestmentRecord {
+            investor: b,
+            investee: a,
+            share: 0.5,
+        });
+        let text = investment_tree(&r, a, 10);
+        assert!(text.contains("(cycle)"), "{text}");
+        // Terminates (depth guard + cycle mark) with both companies shown.
+        assert!(text.contains("B [50%]"));
+    }
+
+    #[test]
+    fn depth_zero_shows_only_the_root() {
+        let registry = tpiin_datagen::fig7_registry();
+        let text = investment_tree(&registry, CompanyId(0), 0);
+        assert_eq!(text.lines().count(), 1);
+    }
+}

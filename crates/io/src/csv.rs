@@ -1,0 +1,189 @@
+//! A small RFC-4180-style CSV reader and writer.
+//!
+//! Supports quoted fields (embedded commas, quotes doubled as `""`, and
+//! newlines inside quotes), CRLF and LF line endings.  No external
+//! dependency — the offline crate policy of this workspace.
+
+use crate::error::IoError;
+
+/// Parses CSV `text` into records of fields.
+///
+/// Empty trailing lines are skipped; an entirely empty input yields no
+/// records.  `context` names the source for error messages.
+///
+/// # Example
+///
+/// ```
+/// let rows = tpiin_io::csv::parse("a,\"b,c\"\n", "inline").unwrap();
+/// assert_eq!(rows, vec![vec!["a".to_string(), "b,c".to_string()]]);
+/// ```
+pub fn parse(text: &str, context: &str) -> Result<Vec<Vec<String>>, IoError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut after_quoted = false; // just closed a quoted section
+    let mut line = 1usize;
+    let mut started = false; // current record has content
+    let mut chars = text.chars().peekable();
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                        after_quoted = true;
+                    }
+                }
+                '\n' => {
+                    field.push(ch);
+                    line += 1;
+                }
+                _ => field.push(ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                if after_quoted || !field.is_empty() {
+                    return Err(IoError::parse(
+                        context,
+                        line,
+                        "unexpected quote inside field",
+                    ));
+                }
+                in_quotes = true;
+                started = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                after_quoted = false;
+                started = true;
+            }
+            '\r' => {
+                // Consumed as part of CRLF; a bare CR is an error.
+                if chars.peek() != Some(&'\n') {
+                    return Err(IoError::parse(context, line, "bare carriage return"));
+                }
+            }
+            '\n' => {
+                if started || !field.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                started = false;
+                after_quoted = false;
+                line += 1;
+            }
+            _ => {
+                field.push(ch);
+                started = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(IoError::parse(context, line, "unterminated quoted field"));
+    }
+    if started || !field.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Escapes one field for CSV output (quotes only when needed).
+pub fn escape_field(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders records as CSV text with LF line endings.
+pub fn render(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for record in records {
+        let escaped: Vec<String> = record.iter().map(|f| escape_field(f)).collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_rows() {
+        let rows = parse("a,b,c\nd,e,f\n", "t").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b", "c"], vec!["d", "e", "f"]]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_quotes_and_newlines() {
+        let text = "name,desc\n\"Li, Wei\",\"said \"\"hi\"\"\"\n\"multi\nline\",x\n";
+        let rows = parse(text, "t").unwrap();
+        assert_eq!(rows[1], vec!["Li, Wei", "said \"hi\""]);
+        assert_eq!(rows[2], vec!["multi\nline", "x"]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let rows = parse("a,b\r\nc,d\r\n", "t").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn empty_fields_and_trailing_comma() {
+        let rows = parse("a,,c\n,,\n", "t").unwrap();
+        assert_eq!(rows[0], vec!["a", "", "c"]);
+        assert_eq!(rows[1], vec!["", "", ""]);
+    }
+
+    #[test]
+    fn missing_final_newline() {
+        let rows = parse("a,b", "t").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"]]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert!(parse("", "t").unwrap().is_empty());
+        assert!(parse("\n\n", "t").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = parse("\"abc", "file.csv").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn stray_quote_is_an_error() {
+        assert!(parse("ab\"c\n", "t").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["with\"quote".to_string(), "multi\nline".to_string()],
+        ];
+        let text = render(&records);
+        let parsed = parse(&text, "t").unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn escape_only_when_needed() {
+        assert_eq!(escape_field("plain"), "plain");
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("a\"b"), "\"a\"\"b\"");
+    }
+}

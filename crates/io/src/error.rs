@@ -1,0 +1,88 @@
+//! Error type shared by the readers and writers.
+
+use std::fmt;
+
+/// Failure while reading or writing a TPIIN-related file.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error, with the path involved.
+    Fs {
+        /// The file being accessed.
+        path: std::path::PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A file's content did not match its format.
+    Parse {
+        /// Which file (or format name, for string inputs).
+        context: String,
+        /// 1-based line of the offending record, when known.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parsed records failed registry validation.
+    Invalid(Vec<tpiin_model::ModelError>),
+}
+
+impl IoError {
+    pub(crate) fn parse(
+        context: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        IoError::Parse {
+            context: context.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn fs(path: impl Into<std::path::PathBuf>, source: std::io::Error) -> Self {
+        IoError::Fs {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Fs { path, source } => write!(f, "{}: {}", path.display(), source),
+            IoError::Parse {
+                context,
+                line,
+                message,
+            } => {
+                write!(f, "{context}:{line}: {message}")
+            }
+            IoError::Invalid(errs) => write!(
+                f,
+                "loaded records failed validation ({} error(s); first: {})",
+                errs.len(),
+                errs.first().map(|e| e.to_string()).unwrap_or_default()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Fs { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context_and_line() {
+        let e = IoError::parse("persons.csv", 7, "bad role");
+        assert_eq!(e.to_string(), "persons.csv:7: bad role");
+    }
+}

@@ -1,0 +1,97 @@
+//! GraphML export of a TPIIN.
+//!
+//! The paper generated and rendered its networks in Gephi, whose native
+//! interchange format is GraphML.  [`tpiin_graphml`] writes the fused
+//! network with the paper's coloring convention as node/edge attributes:
+//! red companies vs black persons, blue influence vs black trading arcs,
+//! plus labels, syndicate flags and arc weights.
+
+use tpiin_fusion::{ArcColor, NodeColor, Tpiin};
+
+fn escape_xml(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Renders `tpiin` as a GraphML document.
+pub fn tpiin_graphml(tpiin: &Tpiin) -> String {
+    let mut out =
+        String::with_capacity(512 + tpiin.graph.node_count() * 96 + tpiin.graph.edge_count() * 96);
+    out.push_str(
+        r#"<?xml version="1.0" encoding="UTF-8"?>
+<graphml xmlns="http://graphml.graphdrawing.org/xmlns">
+  <key id="label" for="node" attr.name="label" attr.type="string"/>
+  <key id="ncolor" for="node" attr.name="color" attr.type="string"/>
+  <key id="syndicate" for="node" attr.name="syndicate" attr.type="boolean"/>
+  <key id="ecolor" for="edge" attr.name="color" attr.type="string"/>
+  <key id="weight" for="edge" attr.name="weight" attr.type="double"/>
+  <graph id="tpiin" edgedefault="directed">
+"#,
+    );
+    for (id, node) in tpiin.graph.nodes() {
+        let color = match node.color() {
+            NodeColor::Company => "red",
+            NodeColor::Person => "black",
+        };
+        out.push_str(&format!(
+            "    <node id=\"n{id}\">\n      <data key=\"label\">{}</data>\n      <data key=\"ncolor\">{color}</data>\n      <data key=\"syndicate\">{}</data>\n    </node>\n",
+            escape_xml(node.label()),
+            node.is_syndicate(),
+        ));
+    }
+    for edge in tpiin.graph.edges() {
+        let color = match edge.weight.color {
+            ArcColor::Influence => "blue",
+            ArcColor::Trading => "black",
+        };
+        out.push_str(&format!(
+            "    <edge id=\"e{}\" source=\"n{}\" target=\"n{}\">\n      <data key=\"ecolor\">{color}</data>\n      <data key=\"weight\">{}</data>\n    </edge>\n",
+            edge.id, edge.source, edge.target, edge.weight.weight,
+        ));
+    }
+    out.push_str("  </graph>\n</graphml>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure_and_counts() {
+        let (tpiin, _) = tpiin_fusion::fuse(&tpiin_datagen::fig7_registry()).unwrap();
+        let xml = tpiin_graphml(&tpiin);
+        assert!(xml.starts_with("<?xml"));
+        assert!(xml.trim_end().ends_with("</graphml>"));
+        assert_eq!(xml.matches("<node ").count(), tpiin.graph.node_count());
+        assert_eq!(xml.matches("<edge ").count(), tpiin.graph.edge_count());
+        // The paper's color convention.
+        assert!(xml.contains(">red<"));
+        assert!(xml.contains(">blue<"));
+        // Syndicates are flagged.
+        assert!(xml.contains(">true<"));
+    }
+
+    #[test]
+    fn labels_are_xml_escaped() {
+        let mut r = tpiin_model::SourceRegistry::new();
+        let p = r.add_person(
+            "A&B <LP>",
+            tpiin_model::RoleSet::of(&[tpiin_model::Role::Ceo]),
+        );
+        let c = r.add_company("C\"1\"");
+        r.add_influence(tpiin_model::InfluenceRecord {
+            person: p,
+            company: c,
+            kind: tpiin_model::InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+        let (tpiin, _) = tpiin_fusion::fuse(&r).unwrap();
+        let xml = tpiin_graphml(&tpiin);
+        assert!(xml.contains("A&amp;B &lt;LP&gt;"), "{xml}");
+        assert!(xml.contains("C&quot;1&quot;"), "{xml}");
+        assert!(!xml.contains("A&B"), "raw ampersand leaked");
+    }
+}

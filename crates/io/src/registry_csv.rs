@@ -1,0 +1,358 @@
+//! Load/save a [`SourceRegistry`] as a directory of six CSV files — the
+//! shape the CSRC/HRDPSC/PTAOS extracts arrive in:
+//!
+//! | file | columns |
+//! |---|---|
+//! | `persons.csv` | `name,roles` (roles `+`-joined from CB/CEO/D/S) |
+//! | `companies.csv` | `name` |
+//! | `interdependence.csv` | `a,b,kind` (person indices; `kinship`/`interlocking`) |
+//! | `influence.csv` | `person,company,kind,legal_person` (`ceo_and_d`/`ceo`/`cb`/`d`; `1`/`0`) |
+//! | `investment.csv` | `investor,investee,share` |
+//! | `trading.csv` | `seller,buyer,volume` |
+//!
+//! Entity references are dense row indices (0-based, matching id order),
+//! so a saved registry round-trips exactly.
+
+use crate::csv;
+use crate::error::IoError;
+use std::path::Path;
+use tpiin_model::{
+    CompanyId, InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, PersonId,
+    Role, RoleSet, SourceRegistry, TradingRecord,
+};
+
+fn roles_to_string(roles: RoleSet) -> String {
+    let names: Vec<String> = roles.iter().map(|r| r.to_string()).collect();
+    names.join("+")
+}
+
+fn roles_from_string(text: &str, context: &str, line: usize) -> Result<RoleSet, IoError> {
+    let mut set = RoleSet::EMPTY;
+    if text.is_empty() {
+        return Ok(set);
+    }
+    for token in text.split('+') {
+        let role = match token {
+            "CB" => Role::Chairman,
+            "CEO" => Role::Ceo,
+            "D" => Role::Director,
+            "S" => Role::Shareholder,
+            other => {
+                return Err(IoError::parse(
+                    context,
+                    line,
+                    format!("unknown role `{other}`"),
+                ))
+            }
+        };
+        set = set.with(role);
+    }
+    Ok(set)
+}
+
+fn influence_kind_to_string(kind: InfluenceKind) -> &'static str {
+    match kind {
+        InfluenceKind::CeoAndDirectorOf => "ceo_and_d",
+        InfluenceKind::CeoOf => "ceo",
+        InfluenceKind::ChairmanOf => "cb",
+        InfluenceKind::DirectorOf => "d",
+    }
+}
+
+fn influence_kind_from_string(
+    s: &str,
+    context: &str,
+    line: usize,
+) -> Result<InfluenceKind, IoError> {
+    Ok(match s {
+        "ceo_and_d" => InfluenceKind::CeoAndDirectorOf,
+        "ceo" => InfluenceKind::CeoOf,
+        "cb" => InfluenceKind::ChairmanOf,
+        "d" => InfluenceKind::DirectorOf,
+        other => {
+            return Err(IoError::parse(
+                context,
+                line,
+                format!("unknown influence kind `{other}`"),
+            ))
+        }
+    })
+}
+
+fn write(path: &Path, content: &str) -> Result<(), IoError> {
+    std::fs::write(path, content).map_err(|e| IoError::fs(path, e))
+}
+
+fn read(path: &Path) -> Result<String, IoError> {
+    std::fs::read_to_string(path).map_err(|e| IoError::fs(path, e))
+}
+
+/// Saves `registry` into `dir` (created if missing), one CSV per record
+/// type, each with a header row.
+pub fn save_registry(registry: &SourceRegistry, dir: &Path) -> Result<(), IoError> {
+    std::fs::create_dir_all(dir).map_err(|e| IoError::fs(dir, e))?;
+
+    let mut rows = vec![vec!["name".to_string(), "roles".to_string()]];
+    rows.extend(
+        registry
+            .persons()
+            .map(|(_, p)| vec![p.name.clone(), roles_to_string(p.roles)]),
+    );
+    write(&dir.join("persons.csv"), &csv::render(&rows))?;
+
+    let mut rows = vec![vec!["name".to_string()]];
+    rows.extend(registry.companies().map(|(_, c)| vec![c.name.clone()]));
+    write(&dir.join("companies.csv"), &csv::render(&rows))?;
+
+    let mut rows = vec![vec!["a".into(), "b".into(), "kind".into()]];
+    rows.extend(registry.interdependencies().iter().map(|i| {
+        vec![
+            i.a.index().to_string(),
+            i.b.index().to_string(),
+            match i.kind {
+                InterdependenceKind::Kinship => "kinship".to_string(),
+                InterdependenceKind::Interlocking => "interlocking".to_string(),
+            },
+        ]
+    }));
+    write(&dir.join("interdependence.csv"), &csv::render(&rows))?;
+
+    let mut rows = vec![vec![
+        "person".into(),
+        "company".into(),
+        "kind".into(),
+        "legal_person".into(),
+    ]];
+    rows.extend(registry.influences().iter().map(|r| {
+        vec![
+            r.person.index().to_string(),
+            r.company.index().to_string(),
+            influence_kind_to_string(r.kind).to_string(),
+            if r.is_legal_person {
+                "1".to_string()
+            } else {
+                "0".to_string()
+            },
+        ]
+    }));
+    write(&dir.join("influence.csv"), &csv::render(&rows))?;
+
+    let mut rows = vec![vec!["investor".into(), "investee".into(), "share".into()]];
+    rows.extend(registry.investments().iter().map(|r| {
+        vec![
+            r.investor.index().to_string(),
+            r.investee.index().to_string(),
+            r.share.to_string(),
+        ]
+    }));
+    write(&dir.join("investment.csv"), &csv::render(&rows))?;
+
+    let mut rows = vec![vec!["seller".into(), "buyer".into(), "volume".into()]];
+    rows.extend(registry.tradings().iter().map(|r| {
+        vec![
+            r.seller.index().to_string(),
+            r.buyer.index().to_string(),
+            r.volume.to_string(),
+        ]
+    }));
+    write(&dir.join("trading.csv"), &csv::render(&rows))?;
+
+    Ok(())
+}
+
+fn parse_u32(field: &str, context: &str, line: usize) -> Result<u32, IoError> {
+    field
+        .parse()
+        .map_err(|e| IoError::parse(context, line, format!("bad integer `{field}`: {e}")))
+}
+
+fn parse_f64(field: &str, context: &str, line: usize) -> Result<f64, IoError> {
+    field
+        .parse()
+        .map_err(|e| IoError::parse(context, line, format!("bad number `{field}`: {e}")))
+}
+
+fn check_columns(
+    record: &[String],
+    expected: usize,
+    context: &str,
+    line: usize,
+) -> Result<(), IoError> {
+    if record.len() != expected {
+        return Err(IoError::parse(
+            context,
+            line,
+            format!("expected {expected} columns, found {}", record.len()),
+        ));
+    }
+    Ok(())
+}
+
+/// Loads a registry saved by [`save_registry`] and validates it.
+pub fn load_registry(dir: &Path) -> Result<SourceRegistry, IoError> {
+    let mut registry = SourceRegistry::new();
+
+    let context = "persons.csv";
+    let text = read(&dir.join(context))?;
+    for (i, record) in csv::parse(&text, context)?.into_iter().enumerate().skip(1) {
+        check_columns(&record, 2, context, i + 1)?;
+        let roles = roles_from_string(&record[1], context, i + 1)?;
+        registry.add_person(record[0].clone(), roles);
+    }
+
+    let context = "companies.csv";
+    let text = read(&dir.join(context))?;
+    for (i, record) in csv::parse(&text, context)?.into_iter().enumerate().skip(1) {
+        check_columns(&record, 1, context, i + 1)?;
+        registry.add_company(record[0].clone());
+    }
+
+    let context = "interdependence.csv";
+    let text = read(&dir.join(context))?;
+    for (i, record) in csv::parse(&text, context)?.into_iter().enumerate().skip(1) {
+        check_columns(&record, 3, context, i + 1)?;
+        let kind = match record[2].as_str() {
+            "kinship" => InterdependenceKind::Kinship,
+            "interlocking" => InterdependenceKind::Interlocking,
+            other => {
+                return Err(IoError::parse(
+                    context,
+                    i + 1,
+                    format!("unknown interdependence kind `{other}`"),
+                ))
+            }
+        };
+        registry.add_interdependence(
+            PersonId(parse_u32(&record[0], context, i + 1)?),
+            PersonId(parse_u32(&record[1], context, i + 1)?),
+            kind,
+        );
+    }
+
+    let context = "influence.csv";
+    let text = read(&dir.join(context))?;
+    for (i, record) in csv::parse(&text, context)?.into_iter().enumerate().skip(1) {
+        check_columns(&record, 4, context, i + 1)?;
+        registry.add_influence(InfluenceRecord {
+            person: PersonId(parse_u32(&record[0], context, i + 1)?),
+            company: CompanyId(parse_u32(&record[1], context, i + 1)?),
+            kind: influence_kind_from_string(&record[2], context, i + 1)?,
+            is_legal_person: match record[3].as_str() {
+                "1" => true,
+                "0" => false,
+                other => {
+                    return Err(IoError::parse(
+                        context,
+                        i + 1,
+                        format!("legal_person must be 0 or 1, found `{other}`"),
+                    ))
+                }
+            },
+        });
+    }
+
+    let context = "investment.csv";
+    let text = read(&dir.join(context))?;
+    for (i, record) in csv::parse(&text, context)?.into_iter().enumerate().skip(1) {
+        check_columns(&record, 3, context, i + 1)?;
+        registry.add_investment(InvestmentRecord {
+            investor: CompanyId(parse_u32(&record[0], context, i + 1)?),
+            investee: CompanyId(parse_u32(&record[1], context, i + 1)?),
+            share: parse_f64(&record[2], context, i + 1)?,
+        });
+    }
+
+    let context = "trading.csv";
+    let text = read(&dir.join(context))?;
+    for (i, record) in csv::parse(&text, context)?.into_iter().enumerate().skip(1) {
+        check_columns(&record, 3, context, i + 1)?;
+        registry.add_trading(TradingRecord {
+            seller: CompanyId(parse_u32(&record[0], context, i + 1)?),
+            buyer: CompanyId(parse_u32(&record[1], context, i + 1)?),
+            volume: parse_f64(&record[2], context, i + 1)?,
+        });
+    }
+
+    registry.validate().map_err(IoError::Invalid)?;
+    Ok(registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tpiin-io-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_record() {
+        let registry = tpiin_datagen::fig7_registry();
+        let dir = tmpdir("roundtrip");
+        save_registry(&registry, &dir).unwrap();
+        let loaded = load_registry(&dir).unwrap();
+        assert_eq!(loaded.person_count(), registry.person_count());
+        assert_eq!(loaded.company_count(), registry.company_count());
+        assert_eq!(loaded.interdependencies(), registry.interdependencies());
+        assert_eq!(loaded.influences(), registry.influences());
+        assert_eq!(loaded.investments(), registry.investments());
+        assert_eq!(loaded.tradings(), registry.tradings());
+        for (id, p) in registry.persons() {
+            assert_eq!(loaded.person(id), p);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn roles_roundtrip_including_multi_role_sets() {
+        for roles in [
+            RoleSet::of(&[Role::Ceo]),
+            RoleSet::of(&[Role::Chairman, Role::Director, Role::Shareholder]),
+            RoleSet::EMPTY,
+        ] {
+            let text = roles_to_string(roles);
+            assert_eq!(roles_from_string(&text, "t", 1).unwrap(), roles);
+        }
+    }
+
+    #[test]
+    fn invalid_loaded_registry_is_rejected() {
+        let mut registry = SourceRegistry::new();
+        registry.add_company("orphan"); // no legal person
+        let dir = tmpdir("invalid");
+        save_registry(&registry, &dir).unwrap();
+        match load_registry(&dir) {
+            Err(IoError::Invalid(errs)) => assert!(!errs.is_empty()),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_kind_reports_file_and_line() {
+        let dir = tmpdir("badkind");
+        let registry = tpiin_datagen::fig7_registry();
+        save_registry(&registry, &dir).unwrap();
+        std::fs::write(
+            dir.join("influence.csv"),
+            "person,company,kind,legal_person\n0,0,emperor,1\n",
+        )
+        .unwrap();
+        let err = load_registry(&dir).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("influence.csv:2"), "{text}");
+        assert!(text.contains("emperor"), "{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let dir = tmpdir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = load_registry(&dir).unwrap_err();
+        assert!(err.to_string().contains("persons.csv"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

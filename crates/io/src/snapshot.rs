@@ -1,0 +1,380 @@
+//! Snapshot format for a fused TPIIN.
+//!
+//! Fusion runs nightly against the master data; detection, queries and
+//! streaming ingestion happen all day.  A snapshot lets those processes
+//! share the fused network without re-running fusion: a small header,
+//! a node table (color, label, member ids) and the arc list, in a plain
+//! line-oriented text format.
+//!
+//! ```text
+//! tpiin-snapshot v1
+//! nodes <count>
+//! P|C <label> <member-ids,comma-separated>
+//! ...
+//! arcs <influence-count> <trading-count>
+//! <source> <target> <color 0|1> <weight>
+//! ...
+//! intra <count>
+//! <seller> <buyer> <syndicate-node> <volume>
+//! ```
+//!
+//! Labels are percent-escaped so whitespace and newlines round-trip.
+
+use crate::error::IoError;
+use std::fmt::Write as _;
+use tpiin_fusion::{ArcColor, IntraSyndicateTrade, Tpiin, TpiinArc, TpiinNode};
+use tpiin_graph::{DiGraph, NodeId};
+use tpiin_model::{CompanyId, PersonId};
+
+fn escape_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for ch in label.chars() {
+        match ch {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0A"),
+            '\t' => out.push_str("%09"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_label(text: &str, line: usize) -> Result<String, IoError> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '%' {
+            out.push(ch);
+            continue;
+        }
+        let hex: String = chars.by_ref().take(2).collect();
+        let code = u8::from_str_radix(&hex, 16)
+            .map_err(|_| IoError::parse("snapshot", line, format!("bad escape %{hex}")))?;
+        out.push(code as char);
+    }
+    Ok(out)
+}
+
+/// Serializes a fused TPIIN.
+pub fn write_snapshot(tpiin: &Tpiin) -> String {
+    let mut out = String::new();
+    out.push_str("tpiin-snapshot v1\n");
+    let _ = writeln!(out, "nodes {}", tpiin.graph.node_count());
+    for (_, node) in tpiin.graph.nodes() {
+        match node {
+            TpiinNode::Person { label, members } => {
+                let ids: Vec<String> = members.iter().map(|m| m.0.to_string()).collect();
+                let _ = writeln!(out, "P {} {}", escape_label(label), ids.join(","));
+            }
+            TpiinNode::Company { label, members } => {
+                let ids: Vec<String> = members.iter().map(|m| m.0.to_string()).collect();
+                let _ = writeln!(out, "C {} {}", escape_label(label), ids.join(","));
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "arcs {} {}",
+        tpiin.influence_arc_count, tpiin.trading_arc_count
+    );
+    for e in tpiin.graph.edges() {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            e.source,
+            e.target,
+            e.weight.color.code(),
+            e.weight.weight
+        );
+    }
+    let _ = writeln!(out, "intra {}", tpiin.intra_syndicate_trades.len());
+    for t in &tpiin.intra_syndicate_trades {
+        let _ = writeln!(
+            out,
+            "{} {} {} {}",
+            t.seller.0, t.buyer.0, t.syndicate, t.volume
+        );
+    }
+    out
+}
+
+struct Lines<'a> {
+    iter: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Lines<'a> {
+    fn next(&mut self) -> Result<(usize, &'a str), IoError> {
+        self.iter
+            .next()
+            .map(|(i, l)| (i + 1, l))
+            .ok_or_else(|| IoError::parse("snapshot", 0, "unexpected end of file"))
+    }
+}
+
+/// Deserializes a snapshot produced by [`write_snapshot`].
+pub fn read_snapshot(text: &str) -> Result<Tpiin, IoError> {
+    let mut lines = Lines {
+        iter: text.lines().enumerate(),
+    };
+    let (ln, header) = lines.next()?;
+    if header != "tpiin-snapshot v1" {
+        return Err(IoError::parse("snapshot", ln, "bad header"));
+    }
+
+    let (ln, nodes_line) = lines.next()?;
+    let node_count: usize = nodes_line
+        .strip_prefix("nodes ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| IoError::parse("snapshot", ln, "bad nodes line"))?;
+
+    let mut graph: DiGraph<TpiinNode, TpiinArc> = DiGraph::with_capacity(node_count, 0);
+    let mut person_node: Vec<(u32, NodeId)> = Vec::new();
+    let mut company_node: Vec<(u32, NodeId)> = Vec::new();
+    for _ in 0..node_count {
+        let (ln, line) = lines.next()?;
+        let mut parts = line.splitn(3, ' ');
+        let tag = parts.next().unwrap_or("");
+        let label = unescape_label(
+            parts
+                .next()
+                .ok_or_else(|| IoError::parse("snapshot", ln, "missing label"))?,
+            ln,
+        )?;
+        let members_raw = parts.next().unwrap_or("");
+        let member_ids: Vec<u32> = if members_raw.is_empty() {
+            Vec::new()
+        } else {
+            members_raw
+                .split(',')
+                .map(|m| {
+                    m.parse()
+                        .map_err(|_| IoError::parse("snapshot", ln, format!("bad member id {m}")))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        match tag {
+            "P" => {
+                let node = graph.add_node(TpiinNode::Person {
+                    label,
+                    members: member_ids.iter().map(|&m| PersonId(m)).collect(),
+                });
+                person_node.extend(member_ids.iter().map(|&m| (m, node)));
+            }
+            "C" => {
+                let node = graph.add_node(TpiinNode::Company {
+                    label,
+                    members: member_ids.iter().map(|&m| CompanyId(m)).collect(),
+                });
+                company_node.extend(member_ids.iter().map(|&m| (m, node)));
+            }
+            other => {
+                return Err(IoError::parse(
+                    "snapshot",
+                    ln,
+                    format!("bad node tag `{other}`"),
+                ))
+            }
+        }
+    }
+
+    let (ln, arcs_line) = lines.next()?;
+    let counts: Vec<usize> = arcs_line
+        .strip_prefix("arcs ")
+        .map(|rest| rest.split(' ').filter_map(|n| n.parse().ok()).collect())
+        .unwrap_or_default();
+    if counts.len() != 2 {
+        return Err(IoError::parse("snapshot", ln, "bad arcs line"));
+    }
+    let (influence_arc_count, trading_arc_count) = (counts[0], counts[1]);
+    for _ in 0..influence_arc_count + trading_arc_count {
+        let (ln, line) = lines.next()?;
+        let fields: Vec<&str> = line.split(' ').collect();
+        if fields.len() != 4 {
+            return Err(IoError::parse("snapshot", ln, "bad arc line"));
+        }
+        let parse_u32 = |s: &str| -> Result<u32, IoError> {
+            s.parse()
+                .map_err(|_| IoError::parse("snapshot", ln, format!("bad id {s}")))
+        };
+        let source = NodeId::from_index(parse_u32(fields[0])? as usize);
+        let target = NodeId::from_index(parse_u32(fields[1])? as usize);
+        let color = match fields[2] {
+            "0" => ArcColor::Trading,
+            "1" => ArcColor::Influence,
+            other => return Err(IoError::parse("snapshot", ln, format!("bad color {other}"))),
+        };
+        let weight: f64 = fields[3]
+            .parse()
+            .map_err(|_| IoError::parse("snapshot", ln, "bad weight"))?;
+        if source.index() >= node_count || target.index() >= node_count {
+            return Err(IoError::parse("snapshot", ln, "arc endpoint out of range"));
+        }
+        graph.add_edge(source, target, TpiinArc { color, weight });
+    }
+
+    let (ln, intra_line) = lines.next()?;
+    let intra_count: usize = intra_line
+        .strip_prefix("intra ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| IoError::parse("snapshot", ln, "bad intra line"))?;
+    let mut intra = Vec::with_capacity(intra_count);
+    for _ in 0..intra_count {
+        let (ln, line) = lines.next()?;
+        let fields: Vec<&str> = line.split(' ').collect();
+        if fields.len() != 4 {
+            return Err(IoError::parse("snapshot", ln, "bad intra line"));
+        }
+        intra.push(IntraSyndicateTrade {
+            seller: CompanyId(
+                fields[0]
+                    .parse()
+                    .map_err(|_| IoError::parse("snapshot", ln, "bad seller"))?,
+            ),
+            buyer: CompanyId(
+                fields[1]
+                    .parse()
+                    .map_err(|_| IoError::parse("snapshot", ln, "bad buyer"))?,
+            ),
+            syndicate: NodeId::from_index(
+                fields[2]
+                    .parse::<usize>()
+                    .map_err(|_| IoError::parse("snapshot", ln, "bad syndicate"))?,
+            ),
+            volume: fields[3]
+                .parse()
+                .map_err(|_| IoError::parse("snapshot", ln, "bad volume"))?,
+        });
+    }
+
+    // Rebuild the dense member -> node lookup tables.
+    let build_table = |mut pairs: Vec<(u32, NodeId)>| -> Vec<NodeId> {
+        pairs.sort_by_key(|&(m, _)| m);
+        pairs.into_iter().map(|(_, n)| n).collect()
+    };
+    Ok(Tpiin {
+        graph,
+        person_node: build_table(person_node),
+        company_node: build_table(company_node),
+        influence_arc_count,
+        trading_arc_count,
+        intra_syndicate_trades: intra,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpiin_core::detect;
+
+    fn roundtrip(tpiin: &Tpiin) -> Tpiin {
+        read_snapshot(&write_snapshot(tpiin)).expect("snapshot parses")
+    }
+
+    #[test]
+    fn fig7_roundtrips_and_detects_identically() {
+        let (tpiin, _) = tpiin_fusion::fuse(&tpiin_datagen::fig7_registry()).unwrap();
+        let restored = roundtrip(&tpiin);
+        assert_eq!(restored.node_count(), tpiin.node_count());
+        assert_eq!(restored.influence_arc_count, tpiin.influence_arc_count);
+        assert_eq!(restored.trading_arc_count, tpiin.trading_arc_count);
+        assert_eq!(restored.person_node, tpiin.person_node);
+        assert_eq!(restored.company_node, tpiin.company_node);
+        let a = detect(&tpiin);
+        let b = detect(&restored);
+        assert_eq!(a.group_count(), b.group_count());
+        let keys = |r: &tpiin_core::DetectionResult| -> Vec<_> {
+            r.groups.iter().map(|g| g.key()).collect()
+        };
+        assert_eq!(keys(&a), keys(&b));
+    }
+
+    #[test]
+    fn labels_with_spaces_and_percent_roundtrip() {
+        let mut r = tpiin_model::SourceRegistry::new();
+        let p = r.add_person(
+            "Li Wei 100%",
+            tpiin_model::RoleSet::of(&[tpiin_model::Role::Ceo]),
+        );
+        let c = r.add_company("ACME Ltd.");
+        r.add_influence(tpiin_model::InfluenceRecord {
+            person: p,
+            company: c,
+            kind: tpiin_model::InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+        let (tpiin, _) = tpiin_fusion::fuse(&r).unwrap();
+        let restored = roundtrip(&tpiin);
+        assert_eq!(restored.label(tpiin.person_node[0]), "Li Wei 100%");
+        assert_eq!(restored.label(tpiin.company_node[0]), "ACME Ltd.");
+    }
+
+    #[test]
+    fn intra_syndicate_trades_survive() {
+        let mut r = tpiin_model::SourceRegistry::new();
+        let l = r.add_person("L", tpiin_model::RoleSet::of(&[tpiin_model::Role::Ceo]));
+        let c1 = r.add_company("C1");
+        let c2 = r.add_company("C2");
+        for c in [c1, c2] {
+            r.add_influence(tpiin_model::InfluenceRecord {
+                person: l,
+                company: c,
+                kind: tpiin_model::InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+        }
+        r.add_investment(tpiin_model::InvestmentRecord {
+            investor: c1,
+            investee: c2,
+            share: 0.5,
+        });
+        r.add_investment(tpiin_model::InvestmentRecord {
+            investor: c2,
+            investee: c1,
+            share: 0.5,
+        });
+        r.add_trading(tpiin_model::TradingRecord {
+            seller: c1,
+            buyer: c2,
+            volume: 7.0,
+        });
+        let (tpiin, _) = tpiin_fusion::fuse(&r).unwrap();
+        assert_eq!(tpiin.intra_syndicate_trades.len(), 1);
+        let restored = roundtrip(&tpiin);
+        assert_eq!(restored.intra_syndicate_trades.len(), 1);
+        assert_eq!(restored.intra_syndicate_trades[0].volume, 7.0);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected_with_context() {
+        for (bad, needle) in [
+            ("", "unexpected end"),
+            ("wrong header\n", "bad header"),
+            ("tpiin-snapshot v1\nnodes x\n", "bad nodes line"),
+            (
+                "tpiin-snapshot v1\nnodes 1\nX lbl 0\narcs 0 0\nintra 0\n",
+                "bad node tag",
+            ),
+            (
+                "tpiin-snapshot v1\nnodes 1\nP lbl 0\narcs 1 0\n0 5 1 1.0\nintra 0\n",
+                "out of range",
+            ),
+        ] {
+            let err = read_snapshot(bad).unwrap_err().to_string();
+            assert!(err.contains(needle), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn province_scale_roundtrip() {
+        let config = tpiin_datagen::ProvinceConfig::scaled(0.1);
+        let mut registry = tpiin_datagen::generate_province(&config);
+        tpiin_datagen::add_random_trading(&mut registry, 0.01, 3);
+        let (tpiin, _) = tpiin_fusion::fuse(&registry).unwrap();
+        let restored = roundtrip(&tpiin);
+        let a = detect(&tpiin);
+        let b = detect(&restored);
+        assert_eq!(a.group_count(), b.group_count());
+        assert_eq!(a.suspicious_trading_arcs, b.suspicious_trading_arcs);
+    }
+}

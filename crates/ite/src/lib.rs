@@ -1,0 +1,41 @@
+//! `tpiin-ite` — the ITE phase: identifying tax evasion inside the
+//! suspicious groups.
+//!
+//! The paper's Fig. 4 splits detection into two phases.  The MSG phase
+//! (`tpiin-core`) mines suspicious *relationships*; "in the ITE-phase,
+//! traditional tax evasion identification methods can be used to detect
+//! IATs-based tax evasion from a set of transactions in these suspicious
+//! groups".  The case studies name the methods the tax administration
+//! actually applied: comparison against comparable market prices (Case
+//! 2's smart meters at \$20 vs \$30), the transactional net margin method
+//! (Case 1's chronically loss-making producer) and the cost-plus method
+//! (Case 3's exporter priced below cost plus typical markup) — all
+//! operationalizations of the arm's-length principle (ALP).
+//!
+//! This crate supplies that phase:
+//!
+//! * [`Transaction`] / [`TransactionDb`] — individual transactions under
+//!   the trading relationships (a trading arc of the TPIIN is a
+//!   *behaviour*; the ITE phase needs the detail records);
+//! * [`MarketModel`] — robust per-product price statistics and industry
+//!   margins estimated from the transaction population;
+//! * [`methods`] — the three ALP screening methods;
+//! * [`ItePhase`] — the screening driver, runnable one-by-one over the
+//!   whole database (the traditional approach the paper criticizes) or
+//!   restricted to the MSG phase's suspicious arcs (the proposed
+//!   two-phase pipeline), with an [`Evaluation`] against ground truth;
+//! * [`generator`] — a synthetic transaction generator that plants
+//!   transfer-pricing evasion on interest-affiliated pairs, providing the
+//!   ground truth the paper's confidential data cannot.
+
+pub mod generator;
+pub mod methods;
+
+mod analyzer;
+mod market;
+mod transaction;
+
+pub use analyzer::{render_findings, Evaluation, Finding, ItePhase, ScreeningScope};
+pub use market::{MarketModel, ProductStats};
+pub use methods::{Method, MethodKind};
+pub use transaction::{ProductCategory, Transaction, TransactionDb, TransactionId};

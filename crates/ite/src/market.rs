@@ -1,0 +1,174 @@
+//! Market statistics per product category.
+//!
+//! The ALP compares controlled prices to what independent parties pay:
+//! "by reference to the average net profit of the same products produced
+//! by the similar scale enterprises in the same industry" (Case 1).  The
+//! model estimates, per category, a robust central price (median) with a
+//! robust spread (median absolute deviation scaled to a normal sigma) and
+//! a typical margin — robust statistics so that the planted evasion
+//! transactions cannot drag the baseline toward themselves.
+
+use crate::transaction::{ProductCategory, TransactionDb};
+use std::collections::HashMap;
+
+/// Robust per-category statistics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProductStats {
+    /// Median unit price.
+    pub median_price: f64,
+    /// Robust sigma: `1.4826 * MAD` (consistent with a normal sample).
+    pub price_sigma: f64,
+    /// Median margin over the category's transactions.
+    pub typical_margin: f64,
+    /// Transactions observed.
+    pub samples: usize,
+}
+
+/// Market model: statistics per product category.
+#[derive(Clone, Debug, Default)]
+pub struct MarketModel {
+    stats: HashMap<ProductCategory, ProductStats>,
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+impl MarketModel {
+    /// Estimates the model from a transaction database.
+    pub fn estimate(db: &TransactionDb) -> Self {
+        let mut prices: HashMap<ProductCategory, Vec<f64>> = HashMap::new();
+        let mut margins: HashMap<ProductCategory, Vec<f64>> = HashMap::new();
+        for (_, tx) in db.iter() {
+            prices.entry(tx.product).or_default().push(tx.unit_price);
+            margins.entry(tx.product).or_default().push(tx.margin());
+        }
+        let mut stats = HashMap::with_capacity(prices.len());
+        for (category, mut values) in prices {
+            values.sort_by(f64::total_cmp);
+            let med = median(&values);
+            let mut deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+            deviations.sort_by(f64::total_cmp);
+            let mad = median(&deviations);
+            let mut ms = margins.remove(&category).unwrap_or_default();
+            ms.sort_by(f64::total_cmp);
+            stats.insert(
+                category,
+                ProductStats {
+                    median_price: med,
+                    price_sigma: 1.4826 * mad,
+                    typical_margin: median(&ms),
+                    samples: values.len(),
+                },
+            );
+        }
+        MarketModel { stats }
+    }
+
+    /// Statistics for one category, if observed.
+    pub fn product(&self, category: ProductCategory) -> Option<&ProductStats> {
+        self.stats.get(&category)
+    }
+
+    /// Number of categories observed.
+    pub fn category_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// The z-score of a price within its category, using the robust
+    /// sigma.  `None` when the category is unseen or degenerate (zero
+    /// spread yields `None` unless the price equals the median exactly).
+    pub fn price_zscore(&self, category: ProductCategory, price: f64) -> Option<f64> {
+        let s = self.stats.get(&category)?;
+        if s.price_sigma == 0.0 {
+            return if price == s.median_price {
+                Some(0.0)
+            } else {
+                None
+            };
+        }
+        Some((price - s.median_price) / s.price_sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Transaction;
+    use tpiin_model::CompanyId;
+
+    fn db_with_prices(prices: &[f64]) -> TransactionDb {
+        let mut db = TransactionDb::new();
+        for (i, &p) in prices.iter().enumerate() {
+            db.add(Transaction {
+                seller: CompanyId(i as u32),
+                buyer: CompanyId(100),
+                product: ProductCategory(1),
+                quantity: 1.0,
+                unit_price: p,
+                unit_cost: p * 0.8,
+            });
+        }
+        db
+    }
+
+    #[test]
+    fn median_and_mad_are_robust_to_one_outlier() {
+        // Nine market prices ~30 and one dumped price at 5.
+        let db = db_with_prices(&[29.0, 30.0, 31.0, 30.5, 29.5, 30.2, 29.8, 30.1, 29.9, 5.0]);
+        let model = MarketModel::estimate(&db);
+        let s = model.product(ProductCategory(1)).unwrap();
+        assert!(
+            (s.median_price - 29.95).abs() < 0.2,
+            "median {}",
+            s.median_price
+        );
+        assert!(s.price_sigma < 1.0, "sigma {}", s.price_sigma);
+        // The outlier is many sigmas away; the cluster is not.
+        assert!(model.price_zscore(ProductCategory(1), 5.0).unwrap() < -8.0);
+        assert!(model.price_zscore(ProductCategory(1), 30.0).unwrap().abs() < 1.0);
+    }
+
+    #[test]
+    fn unseen_category_yields_none() {
+        let db = db_with_prices(&[10.0]);
+        let model = MarketModel::estimate(&db);
+        assert!(model.product(ProductCategory(9)).is_none());
+        assert!(model.price_zscore(ProductCategory(9), 10.0).is_none());
+    }
+
+    #[test]
+    fn degenerate_spread() {
+        let db = db_with_prices(&[10.0, 10.0, 10.0]);
+        let model = MarketModel::estimate(&db);
+        assert_eq!(model.price_zscore(ProductCategory(1), 10.0), Some(0.0));
+        assert_eq!(model.price_zscore(ProductCategory(1), 9.0), None);
+    }
+
+    #[test]
+    fn typical_margin_estimated() {
+        let db = db_with_prices(&[30.0, 30.0, 30.0, 30.0]);
+        let model = MarketModel::estimate(&db);
+        let s = model.product(ProductCategory(1)).unwrap();
+        assert!((s.typical_margin - 0.2).abs() < 1e-9);
+        assert_eq!(s.samples, 4);
+    }
+
+    #[test]
+    fn even_sample_median() {
+        let db = db_with_prices(&[10.0, 20.0]);
+        let model = MarketModel::estimate(&db);
+        assert_eq!(
+            model.product(ProductCategory(1)).unwrap().median_price,
+            15.0
+        );
+    }
+}

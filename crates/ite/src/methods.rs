@@ -1,0 +1,245 @@
+//! The three arm's-length screening methods from the paper's case
+//! studies.
+//!
+//! | Method | Case | Signal |
+//! |---|---|---|
+//! | Comparable uncontrolled price (CUP) | Case 2 | unit price far below the market median for the product |
+//! | Transactional net margin (TNMM) | Case 1 | the seller's overall net margin sits far below the industry's typical margin |
+//! | Cost plus | Case 3 | the price fails to cover unit cost plus the typical markup |
+//!
+//! Each method looks at one transaction in the context of the market
+//! model and the seller's aggregates, and produces a *deviation score* —
+//! `0` at arm's length, growing with the evidence of underpricing.  A
+//! transaction is flagged when the score reaches `1`.
+
+use crate::market::MarketModel;
+use crate::transaction::{CompanyAggregate, Transaction};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tpiin_model::CompanyId;
+
+/// Which screening method produced a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// Comparable uncontrolled price.
+    ComparableUncontrolledPrice,
+    /// Transactional net margin method.
+    TransactionalNetMargin,
+    /// Cost-plus method.
+    CostPlus,
+}
+
+impl std::fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MethodKind::ComparableUncontrolledPrice => "CUP",
+            MethodKind::TransactionalNetMargin => "TNMM",
+            MethodKind::CostPlus => "cost-plus",
+        })
+    }
+}
+
+/// A configured screening method.
+#[derive(Clone, Copy, Debug)]
+pub enum Method {
+    /// Flag when the price's robust z-score is below `-threshold_sigmas`.
+    ComparableUncontrolledPrice {
+        /// How many robust sigmas below the median count as deviating.
+        threshold_sigmas: f64,
+    },
+    /// Flag when the seller's net margin is more than `margin_gap` below
+    /// the category's typical margin.
+    TransactionalNetMargin {
+        /// Allowed shortfall before flagging (e.g. `0.08` = 8 points).
+        margin_gap: f64,
+    },
+    /// Flag when the price is below `unit_cost * (1 + minimum_markup)`.
+    CostPlus {
+        /// Minimum acceptable markup over cost as a fraction of the
+        /// category's typical margin (e.g. `0.5` = half of typical).
+        markup_fraction: f64,
+    },
+}
+
+impl Method {
+    /// The method's kind tag.
+    pub fn kind(&self) -> MethodKind {
+        match self {
+            Method::ComparableUncontrolledPrice { .. } => MethodKind::ComparableUncontrolledPrice,
+            Method::TransactionalNetMargin { .. } => MethodKind::TransactionalNetMargin,
+            Method::CostPlus { .. } => MethodKind::CostPlus,
+        }
+    }
+
+    /// Deviation score of `tx` (`>= 1.0` means flagged).
+    ///
+    /// `aggregates` provides seller-level margins for the TNMM; it may be
+    /// empty for the other two methods.
+    pub fn score(
+        &self,
+        tx: &Transaction,
+        market: &MarketModel,
+        aggregates: &HashMap<CompanyId, CompanyAggregate>,
+    ) -> f64 {
+        match *self {
+            Method::ComparableUncontrolledPrice { threshold_sigmas } => {
+                match market.price_zscore(tx.product, tx.unit_price) {
+                    Some(z) if z < 0.0 => -z / threshold_sigmas,
+                    _ => 0.0,
+                }
+            }
+            Method::TransactionalNetMargin { margin_gap } => {
+                let Some(stats) = market.product(tx.product) else {
+                    return 0.0;
+                };
+                let Some(agg) = aggregates.get(&tx.seller) else {
+                    return 0.0;
+                };
+                let shortfall = stats.typical_margin - agg.net_margin();
+                if shortfall <= 0.0 {
+                    0.0
+                } else {
+                    shortfall / margin_gap
+                }
+            }
+            Method::CostPlus { markup_fraction } => {
+                let Some(stats) = market.product(tx.product) else {
+                    return 0.0;
+                };
+                // Typical margin m over price implies markup over cost of
+                // m / (1 - m); require at least `markup_fraction` of it.
+                let typical = stats.typical_margin.clamp(0.0, 0.95);
+                let required_markup = markup_fraction * typical / (1.0 - typical);
+                let floor = tx.unit_cost * (1.0 + required_markup);
+                if floor <= 0.0 || tx.unit_price >= floor {
+                    0.0
+                } else {
+                    // 1.0 exactly at the floor boundary, growing to 2.0 at
+                    // price zero.
+                    1.0 + (floor - tx.unit_price) / floor
+                }
+            }
+        }
+    }
+
+    /// The default battery used by the analyzer: CUP at 4 robust sigmas,
+    /// TNMM at an 8-point margin gap, cost-plus at half the typical
+    /// markup.
+    pub fn default_battery() -> Vec<Method> {
+        vec![
+            Method::ComparableUncontrolledPrice {
+                threshold_sigmas: 4.0,
+            },
+            Method::TransactionalNetMargin { margin_gap: 0.08 },
+            Method::CostPlus {
+                markup_fraction: 0.5,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{ProductCategory, TransactionDb};
+
+    fn market_of(prices: &[f64]) -> (MarketModel, TransactionDb) {
+        let mut db = TransactionDb::new();
+        for (i, &p) in prices.iter().enumerate() {
+            db.add(Transaction {
+                seller: CompanyId(i as u32),
+                buyer: CompanyId(99),
+                product: ProductCategory(0),
+                quantity: 1.0,
+                unit_price: p,
+                unit_cost: 22.0,
+            });
+        }
+        (MarketModel::estimate(&db), db)
+    }
+
+    fn tx(price: f64, cost: f64) -> Transaction {
+        Transaction {
+            seller: CompanyId(0),
+            buyer: CompanyId(1),
+            product: ProductCategory(0),
+            quantity: 5000.0,
+            unit_price: price,
+            unit_cost: cost,
+        }
+    }
+
+    #[test]
+    fn cup_flags_case2_smart_meters() {
+        // Market sells at ~$30; the controlled transaction at $20.
+        let (market, _) = market_of(&[29.0, 30.0, 31.0, 30.5, 29.5, 30.2, 29.8, 30.1, 29.9, 30.3]);
+        let method = Method::ComparableUncontrolledPrice {
+            threshold_sigmas: 4.0,
+        };
+        let cheap = method.score(&tx(20.0, 22.0), &market, &HashMap::new());
+        let fair = method.score(&tx(30.0, 22.0), &market, &HashMap::new());
+        assert!(cheap >= 1.0, "cheap score {cheap}");
+        assert!(fair < 1.0, "fair score {fair}");
+        // Overpricing is not underreporting: no score.
+        assert_eq!(method.score(&tx(45.0, 22.0), &market, &HashMap::new()), 0.0);
+    }
+
+    #[test]
+    fn tnmm_flags_case1_loss_maker() {
+        let (market, db) = market_of(&[30.0; 8]);
+        let mut aggregates = db.company_aggregates();
+        // Seller 0 with chronic losses: margin -10% vs typical ~26.7%.
+        aggregates.insert(
+            CompanyId(0),
+            crate::transaction::CompanyAggregate {
+                revenue: 100.0,
+                cost_of_sales: 110.0,
+                purchases: 0.0,
+            },
+        );
+        let method = Method::TransactionalNetMargin { margin_gap: 0.08 };
+        assert!(method.score(&tx(30.0, 22.0), &market, &aggregates) >= 1.0);
+        // A healthy seller passes.
+        aggregates.insert(
+            CompanyId(0),
+            crate::transaction::CompanyAggregate {
+                revenue: 100.0,
+                cost_of_sales: 73.0,
+                purchases: 0.0,
+            },
+        );
+        assert!(method.score(&tx(30.0, 22.0), &market, &aggregates) < 1.0);
+    }
+
+    #[test]
+    fn cost_plus_flags_below_cost_exports() {
+        let (market, _) = market_of(&[30.0; 8]); // typical margin ~26.7%
+        let method = Method::CostPlus {
+            markup_fraction: 0.5,
+        };
+        // Case 3 shape: selling at cost (22) when cost-plus floor is
+        // 22 * (1 + 0.5 * 0.267/0.733) = ~26.
+        assert!(method.score(&tx(22.0, 22.0), &market, &HashMap::new()) >= 1.0);
+        assert!(method.score(&tx(30.0, 22.0), &market, &HashMap::new()) < 1.0);
+    }
+
+    #[test]
+    fn methods_are_silent_on_unseen_categories() {
+        let (market, _) = market_of(&[30.0; 4]);
+        let mut other = tx(1.0, 22.0);
+        other.product = ProductCategory(7);
+        for method in Method::default_battery() {
+            assert_eq!(method.score(&other, &market, &HashMap::new()), 0.0);
+        }
+    }
+
+    #[test]
+    fn kind_tags_and_display() {
+        for method in Method::default_battery() {
+            let _ = method.kind();
+        }
+        assert_eq!(MethodKind::ComparableUncontrolledPrice.to_string(), "CUP");
+        assert_eq!(MethodKind::TransactionalNetMargin.to_string(), "TNMM");
+        assert_eq!(MethodKind::CostPlus.to_string(), "cost-plus");
+    }
+}

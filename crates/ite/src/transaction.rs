@@ -1,0 +1,203 @@
+//! Individual transactions under the trading relationships.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tpiin_model::CompanyId;
+
+/// Identifier of a transaction inside one [`TransactionDb`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TransactionId(pub u32);
+
+impl TransactionId {
+    /// Dense index of this transaction.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Product/industry category of a transaction.  Prices are only
+/// comparable within a category (the ALP compares against "the same
+/// products produced by the similar scale enterprises in the same
+/// industry", Case 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProductCategory(pub u16);
+
+/// One detail transaction record from the electronic receipt database.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// The selling taxpayer.
+    pub seller: CompanyId,
+    /// The buying taxpayer.
+    pub buyer: CompanyId,
+    /// Product category.
+    pub product: ProductCategory,
+    /// Units traded.
+    pub quantity: f64,
+    /// Agreed unit price.
+    pub unit_price: f64,
+    /// Seller's unit production cost (from financial reports).
+    pub unit_cost: f64,
+}
+
+impl Transaction {
+    /// Total invoice value.
+    pub fn value(&self) -> f64 {
+        self.quantity * self.unit_price
+    }
+
+    /// Seller margin on this transaction: `(price - cost) / price`.
+    /// Negative when sold below cost.
+    pub fn margin(&self) -> f64 {
+        if self.unit_price == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.unit_price - self.unit_cost) / self.unit_price
+    }
+}
+
+/// The transaction database of one jurisdiction, indexed by trading pair.
+#[derive(Clone, Debug, Default)]
+pub struct TransactionDb {
+    transactions: Vec<Transaction>,
+    by_pair: HashMap<(CompanyId, CompanyId), Vec<TransactionId>>,
+}
+
+impl TransactionDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a transaction; returns its id.
+    pub fn add(&mut self, tx: Transaction) -> TransactionId {
+        let id = TransactionId(self.transactions.len() as u32);
+        self.by_pair
+            .entry((tx.seller, tx.buyer))
+            .or_default()
+            .push(id);
+        self.transactions.push(tx);
+        id
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Borrow a transaction.
+    pub fn get(&self, id: TransactionId) -> &Transaction {
+        &self.transactions[id.index()]
+    }
+
+    /// All transactions in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (TransactionId, &Transaction)> {
+        self.transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TransactionId(i as u32), t))
+    }
+
+    /// Transactions between one ordered pair of companies.
+    pub fn between(&self, seller: CompanyId, buyer: CompanyId) -> &[TransactionId] {
+        self.by_pair
+            .get(&(seller, buyer))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Distinct ordered trading pairs present in the database.
+    pub fn pair_count(&self) -> usize {
+        self.by_pair.len()
+    }
+
+    /// Total revenue (sales) and total cost of purchases per company —
+    /// the aggregates the net-margin method needs.  Returned maps are
+    /// keyed by company.
+    pub fn company_aggregates(&self) -> HashMap<CompanyId, CompanyAggregate> {
+        let mut map: HashMap<CompanyId, CompanyAggregate> = HashMap::new();
+        for tx in &self.transactions {
+            let s = map.entry(tx.seller).or_default();
+            s.revenue += tx.value();
+            s.cost_of_sales += tx.quantity * tx.unit_cost;
+            map.entry(tx.buyer).or_default().purchases += tx.value();
+        }
+        map
+    }
+}
+
+/// Per-company aggregates over the transaction database.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompanyAggregate {
+    /// Revenue from sales.
+    pub revenue: f64,
+    /// Production cost of the goods sold.
+    pub cost_of_sales: f64,
+    /// Value of goods purchased.
+    pub purchases: f64,
+}
+
+impl CompanyAggregate {
+    /// Net margin over sales: `(revenue - cost) / revenue`.
+    pub fn net_margin(&self) -> f64 {
+        if self.revenue == 0.0 {
+            return 0.0;
+        }
+        (self.revenue - self.cost_of_sales) / self.revenue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(seller: u32, buyer: u32, price: f64, cost: f64) -> Transaction {
+        Transaction {
+            seller: CompanyId(seller),
+            buyer: CompanyId(buyer),
+            product: ProductCategory(0),
+            quantity: 10.0,
+            unit_price: price,
+            unit_cost: cost,
+        }
+    }
+
+    #[test]
+    fn value_and_margin() {
+        let t = tx(0, 1, 30.0, 24.0);
+        assert_eq!(t.value(), 300.0);
+        assert!((t.margin() - 0.2).abs() < 1e-12);
+        assert_eq!(tx(0, 1, 0.0, 5.0).margin(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn pair_index() {
+        let mut db = TransactionDb::new();
+        let a = db.add(tx(0, 1, 30.0, 24.0));
+        let b = db.add(tx(0, 1, 28.0, 24.0));
+        db.add(tx(1, 0, 50.0, 40.0));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.pair_count(), 2);
+        assert_eq!(db.between(CompanyId(0), CompanyId(1)), &[a, b]);
+        assert!(db.between(CompanyId(2), CompanyId(0)).is_empty());
+        assert_eq!(db.get(a).unit_price, 30.0);
+    }
+
+    #[test]
+    fn aggregates_accumulate_both_sides() {
+        let mut db = TransactionDb::new();
+        db.add(tx(0, 1, 30.0, 24.0)); // seller 0: rev 300, cost 240
+        db.add(tx(0, 2, 20.0, 24.0)); // seller 0: rev 200, cost 240 (loss)
+        let agg = db.company_aggregates();
+        let c0 = agg[&CompanyId(0)];
+        assert_eq!(c0.revenue, 500.0);
+        assert_eq!(c0.cost_of_sales, 480.0);
+        assert!((c0.net_margin() - 0.04).abs() < 1e-12);
+        assert_eq!(agg[&CompanyId(1)].purchases, 300.0);
+        assert_eq!(CompanyAggregate::default().net_margin(), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Registered companies (taxpayers).
+
+use serde::{Deserialize, Serialize};
+
+/// A legally and separately registered company / corporate / trust /
+/// institution that pays taxes singly — a *Company* node.
+///
+/// Every company must have exactly one legal person; that constraint is
+/// enforced by [`crate::SourceRegistry::validate`], not here, because it
+/// spans the company and the influence records.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Company {
+    /// Human-readable label (e.g. `"C3"` in the paper's case studies).
+    pub name: String,
+}
+
+impl Company {
+    /// Creates a company with the given label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Company { name: name.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Company::new("C3").name, "C3");
+    }
+}

@@ -1,0 +1,101 @@
+//! Validation errors for source registries.
+
+use crate::ids::{CompanyId, PersonId};
+use std::fmt;
+
+/// A structural defect found while validating a [`crate::SourceRegistry`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// A record references a person id outside the registry.
+    UnknownPerson(PersonId),
+    /// A record references a company id outside the registry.
+    UnknownCompany(CompanyId),
+    /// An interdependence edge joins a person to itself.
+    SelfInterdependence(PersonId),
+    /// An investment or trading arc joins a company to itself.
+    SelfCompanyArc(CompanyId),
+    /// A company has no legal-person influence record.
+    MissingLegalPerson(CompanyId),
+    /// A company has more than one legal-person influence record.
+    MultipleLegalPersons(CompanyId),
+    /// The designated legal person's roles do not admit the position.
+    InadmissibleLegalPerson {
+        /// Company whose legal person is inadmissible.
+        company: CompanyId,
+        /// The offending person.
+        person: PersonId,
+    },
+    /// An influence record's kind is inconsistent with the person's
+    /// declared roles (strict validation only).
+    RoleMismatch {
+        /// The influencing person.
+        person: PersonId,
+        /// The influenced company.
+        company: CompanyId,
+    },
+    /// An investment share lies outside `(0, 1]`.
+    InvalidShare {
+        /// The investing company.
+        investor: CompanyId,
+        /// The owned company.
+        investee: CompanyId,
+        /// The rejected share value.
+        share: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownPerson(p) => write!(f, "record references unknown person {p}"),
+            ModelError::UnknownCompany(c) => write!(f, "record references unknown company {c}"),
+            ModelError::SelfInterdependence(p) => {
+                write!(f, "interdependence edge joins {p} to itself")
+            }
+            ModelError::SelfCompanyArc(c) => {
+                write!(f, "investment/trading arc joins {c} to itself")
+            }
+            ModelError::MissingLegalPerson(c) => {
+                write!(f, "company {c} has no legal-person record")
+            }
+            ModelError::MultipleLegalPersons(c) => {
+                write!(f, "company {c} has more than one legal-person record")
+            }
+            ModelError::InadmissibleLegalPerson { company, person } => write!(
+                f,
+                "person {person} cannot serve as legal person of {company}: role set not admissible"
+            ),
+            ModelError::RoleMismatch { person, company } => write!(
+                f,
+                "influence record {person} -> {company} is inconsistent with the person's roles"
+            ),
+            ModelError::InvalidShare {
+                investor,
+                investee,
+                share,
+            } => write!(
+                f,
+                "investment {investor} -> {investee} has share {share} outside (0, 1]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = ModelError::MissingLegalPerson(CompanyId(4));
+        assert_eq!(e.to_string(), "company C4 has no legal-person record");
+        let e = ModelError::InvalidShare {
+            investor: CompanyId(1),
+            investee: CompanyId(2),
+            share: 1.5,
+        };
+        assert!(e.to_string().contains("outside (0, 1]"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Typed identifiers for persons and companies.
+//!
+//! Distinct newtypes prevent the classic bug of indexing a person table
+//! with a company id; both are dense indices into the owning
+//! [`crate::SourceRegistry`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a natural person in a [`crate::SourceRegistry`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PersonId(pub u32);
+
+/// Identifier of a registered company/corporate/trust in a
+/// [`crate::SourceRegistry`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CompanyId(pub u32);
+
+impl PersonId {
+    /// Dense index of this person.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CompanyId {
+    /// Dense index of this company.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PersonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for PersonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Debug for CompanyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for CompanyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PersonId(3).to_string(), "P3");
+        assert_eq!(CompanyId(7).to_string(), "C7");
+        assert_eq!(format!("{:?}", PersonId(3)), "P3");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(PersonId(9).index(), 9);
+        assert_eq!(CompanyId(0).index(), 0);
+    }
+}

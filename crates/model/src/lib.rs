@@ -1,0 +1,34 @@
+//! `tpiin-model` — the taxpayer domain model behind a TPIIN.
+//!
+//! Section 4.1 of the paper starts from an *un-contracted* taxpayer
+//! interest interacted network whose nodes are persons and companies and
+//! whose edges carry five source relationships: kinship, director
+//! interlocking, influence (directorship / legal-person subtypes),
+//! investment and trading.  This crate models exactly those inputs:
+//!
+//! * [`RoleSet`] — the CB/CEO/D/S position bitset, with the paper's
+//!   15 → 7 subclass reduction and legal-person admissibility rule;
+//! * [`Person`] / [`Company`] with typed [`PersonId`] / [`CompanyId`];
+//! * the source relationship records ([`Interdependence`],
+//!   [`InfluenceRecord`], [`InvestmentRecord`], [`TradingRecord`]);
+//! * [`SourceRegistry`] — a validated container for one province's worth
+//!   of records, the input to `tpiin-fusion`.
+
+mod company;
+mod error;
+mod ids;
+mod person;
+mod registry;
+mod relationship;
+mod roles;
+
+pub use company::Company;
+pub use error::ModelError;
+pub use ids::{CompanyId, PersonId};
+pub use person::Person;
+pub use registry::SourceRegistry;
+pub use relationship::{
+    InfluenceKind, InfluenceRecord, Interdependence, InterdependenceKind, InvestmentRecord,
+    TradingRecord,
+};
+pub use roles::{Role, RoleSet};

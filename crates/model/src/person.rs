@@ -1,0 +1,41 @@
+//! Natural persons appearing in the source data.
+
+use crate::roles::RoleSet;
+use serde::{Deserialize, Serialize};
+
+/// A natural person involved in the operation or decision-making of at
+/// least one company.
+///
+/// In the paper's terms this is a *Person* node of the un-contracted
+/// network; its role set is the node's color subclass before reduction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Person {
+    /// Human-readable label (e.g. `"L1"` for legal persons or `"B3"` for
+    /// directors in the paper's figures).
+    pub name: String,
+    /// Union of all positions this person holds across companies.
+    pub roles: RoleSet,
+}
+
+impl Person {
+    /// Creates a person with the given label and roles.
+    pub fn new(name: impl Into<String>, roles: RoleSet) -> Self {
+        Person {
+            name: name.into(),
+            roles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roles::Role;
+
+    #[test]
+    fn construction() {
+        let p = Person::new("L1", RoleSet::of(&[Role::Ceo]));
+        assert_eq!(p.name, "L1");
+        assert!(p.roles.contains(Role::Ceo));
+    }
+}

@@ -1,0 +1,628 @@
+//! A validated container for one province's source records.
+
+use crate::company::Company;
+use crate::error::ModelError;
+use crate::ids::{CompanyId, PersonId};
+use crate::person::Person;
+use crate::relationship::{
+    InfluenceRecord, Interdependence, InterdependenceKind, InvestmentRecord, TradingRecord,
+};
+use crate::roles::RoleSet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// All source records for one fusion run: the input of the multi-network
+/// fusion pipeline (`tpiin-fusion`).
+///
+/// The registry is append-only.  [`SourceRegistry::validate`] checks the
+/// structural constraints the paper assumes — most importantly that every
+/// company links to exactly one admissible legal person ("all *Company*
+/// nodes must at least link with one *LP* node", Section 4.1).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SourceRegistry {
+    persons: Vec<Person>,
+    companies: Vec<Company>,
+    interdependencies: Vec<Interdependence>,
+    influences: Vec<InfluenceRecord>,
+    investments: Vec<InvestmentRecord>,
+    tradings: Vec<TradingRecord>,
+}
+
+impl SourceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a person; returns its id.
+    pub fn add_person(&mut self, name: impl Into<String>, roles: RoleSet) -> PersonId {
+        let id = PersonId(self.persons.len() as u32);
+        self.persons.push(Person::new(name, roles));
+        id
+    }
+
+    /// Registers a company; returns its id.
+    pub fn add_company(&mut self, name: impl Into<String>) -> CompanyId {
+        let id = CompanyId(self.companies.len() as u32);
+        self.companies.push(Company::new(name));
+        id
+    }
+
+    /// Records an interdependence edge between two persons.
+    ///
+    /// Following the paper ("if there exist both a kinship and an
+    /// interlocking relationship between a pair of persons, we only keep
+    /// one"), a duplicate edge over the same unordered pair is ignored and
+    /// `false` is returned.
+    pub fn add_interdependence(
+        &mut self,
+        a: PersonId,
+        b: PersonId,
+        kind: InterdependenceKind,
+    ) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let exists = self.interdependencies.iter().any(|i| {
+            let k = if i.a <= i.b { (i.a, i.b) } else { (i.b, i.a) };
+            k == key
+        });
+        if exists {
+            return false;
+        }
+        self.interdependencies.push(Interdependence { a, b, kind });
+        true
+    }
+
+    /// Records a Person→Company influence arc.
+    pub fn add_influence(&mut self, record: InfluenceRecord) {
+        self.influences.push(record);
+    }
+
+    /// Records a Company→Company investment arc.
+    pub fn add_investment(&mut self, record: InvestmentRecord) {
+        self.investments.push(record);
+    }
+
+    /// Records a Company→Company trading arc.
+    pub fn add_trading(&mut self, record: TradingRecord) {
+        self.tradings.push(record);
+    }
+
+    /// Absorbs all records of `other` into `self`, remapping ids past the
+    /// existing entities and prefixing names with `prefix` (e.g. `"P3:"`).
+    /// Used to assemble national-scale registries out of per-province
+    /// extracts; the absorbed records stay disjoint from the existing
+    /// ones, so validity is preserved.
+    pub fn absorb(&mut self, other: &SourceRegistry, prefix: &str) {
+        let person_offset = self.persons.len() as u32;
+        let company_offset = self.companies.len() as u32;
+        for p in &other.persons {
+            self.persons
+                .push(Person::new(format!("{prefix}{}", p.name), p.roles));
+        }
+        for c in &other.companies {
+            self.companies
+                .push(Company::new(format!("{prefix}{}", c.name)));
+        }
+        let rp = |p: PersonId| PersonId(p.0 + person_offset);
+        let rc = |c: CompanyId| CompanyId(c.0 + company_offset);
+        for i in &other.interdependencies {
+            self.interdependencies.push(Interdependence {
+                a: rp(i.a),
+                b: rp(i.b),
+                kind: i.kind,
+            });
+        }
+        for r in &other.influences {
+            self.influences.push(InfluenceRecord {
+                person: rp(r.person),
+                company: rc(r.company),
+                kind: r.kind,
+                is_legal_person: r.is_legal_person,
+            });
+        }
+        for r in &other.investments {
+            self.investments.push(InvestmentRecord {
+                investor: rc(r.investor),
+                investee: rc(r.investee),
+                share: r.share,
+            });
+        }
+        for r in &other.tradings {
+            self.tradings.push(TradingRecord {
+                seller: rc(r.seller),
+                buyer: rc(r.buyer),
+                volume: r.volume,
+            });
+        }
+    }
+
+    /// Removes every trading record.  The evaluation sweep fuses one
+    /// antecedent network with twenty different random trading networks;
+    /// clearing trading records lets a registry be reused across settings.
+    pub fn clear_trading(&mut self) {
+        self.tradings.clear();
+    }
+
+    /// Number of registered persons.
+    pub fn person_count(&self) -> usize {
+        self.persons.len()
+    }
+
+    /// Number of registered companies.
+    pub fn company_count(&self) -> usize {
+        self.companies.len()
+    }
+
+    /// Borrow a person record.
+    pub fn person(&self, id: PersonId) -> &Person {
+        &self.persons[id.index()]
+    }
+
+    /// Borrow a company record.
+    pub fn company(&self, id: CompanyId) -> &Company {
+        &self.companies[id.index()]
+    }
+
+    /// Iterator over `(id, person)`.
+    pub fn persons(&self) -> impl ExactSizeIterator<Item = (PersonId, &Person)> {
+        self.persons
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PersonId(i as u32), p))
+    }
+
+    /// Iterator over `(id, company)`.
+    pub fn companies(&self) -> impl ExactSizeIterator<Item = (CompanyId, &Company)> {
+        self.companies
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CompanyId(i as u32), c))
+    }
+
+    /// All interdependence edges.
+    pub fn interdependencies(&self) -> &[Interdependence] {
+        &self.interdependencies
+    }
+
+    /// All influence arcs.
+    pub fn influences(&self) -> &[InfluenceRecord] {
+        &self.influences
+    }
+
+    /// All investment arcs.
+    pub fn investments(&self) -> &[InvestmentRecord] {
+        &self.investments
+    }
+
+    /// All trading arcs.
+    pub fn tradings(&self) -> &[TradingRecord] {
+        &self.tradings
+    }
+
+    /// Checks every structural constraint; returns all violations found
+    /// (empty `Ok` on success):
+    ///
+    /// * record endpoints must reference registered persons/companies;
+    /// * interdependence edges must join two distinct persons;
+    /// * investment/trading arcs must join two distinct companies;
+    /// * every company has exactly one legal-person influence arc, and the
+    ///   designated person's role set admits the position;
+    /// * investment shares lie in `(0, 1]`.
+    pub fn validate(&self) -> Result<(), Vec<ModelError>> {
+        let mut errors = Vec::new();
+        let np = self.persons.len() as u32;
+        let nc = self.companies.len() as u32;
+        let known_p = |p: PersonId| p.0 < np;
+        let known_c = |c: CompanyId| c.0 < nc;
+
+        for i in &self.interdependencies {
+            for p in [i.a, i.b] {
+                if !known_p(p) {
+                    errors.push(ModelError::UnknownPerson(p));
+                }
+            }
+            if i.a == i.b {
+                errors.push(ModelError::SelfInterdependence(i.a));
+            }
+        }
+
+        let mut lp_of: Vec<Option<PersonId>> = vec![None; self.companies.len()];
+        let mut multiple_reported: HashSet<CompanyId> = HashSet::new();
+        for inf in &self.influences {
+            if !known_p(inf.person) {
+                errors.push(ModelError::UnknownPerson(inf.person));
+                continue;
+            }
+            if !known_c(inf.company) {
+                errors.push(ModelError::UnknownCompany(inf.company));
+                continue;
+            }
+            if inf.is_legal_person {
+                let slot = &mut lp_of[inf.company.index()];
+                if slot.is_some() {
+                    if multiple_reported.insert(inf.company) {
+                        errors.push(ModelError::MultipleLegalPersons(inf.company));
+                    }
+                } else {
+                    *slot = Some(inf.person);
+                    if !self.persons[inf.person.index()]
+                        .roles
+                        .admissible_as_legal_person()
+                    {
+                        errors.push(ModelError::InadmissibleLegalPerson {
+                            company: inf.company,
+                            person: inf.person,
+                        });
+                    }
+                }
+            }
+        }
+        for (i, slot) in lp_of.iter().enumerate() {
+            if slot.is_none() {
+                errors.push(ModelError::MissingLegalPerson(CompanyId(i as u32)));
+            }
+        }
+
+        for inv in &self.investments {
+            for c in [inv.investor, inv.investee] {
+                if !known_c(c) {
+                    errors.push(ModelError::UnknownCompany(c));
+                }
+            }
+            if inv.investor == inv.investee {
+                errors.push(ModelError::SelfCompanyArc(inv.investor));
+            }
+            if !(inv.share > 0.0 && inv.share <= 1.0) {
+                errors.push(ModelError::InvalidShare {
+                    investor: inv.investor,
+                    investee: inv.investee,
+                    share: inv.share,
+                });
+            }
+        }
+
+        for tr in &self.tradings {
+            for c in [tr.seller, tr.buyer] {
+                if !known_c(c) {
+                    errors.push(ModelError::UnknownCompany(c));
+                }
+            }
+            if tr.seller == tr.buyer {
+                errors.push(ModelError::SelfCompanyArc(tr.seller));
+            }
+        }
+
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Replaces a person's role set.  Source adapters accumulate roles as
+    /// board-roster rows arrive (one person can hold positions in many
+    /// companies).
+    pub fn set_person_roles(&mut self, person: PersonId, roles: crate::roles::RoleSet) {
+        self.persons[person.index()].roles = roles;
+    }
+
+    /// Finds a company by exact name (linear scan; registries are
+    /// append-only so callers needing many lookups should build their own
+    /// index).
+    pub fn company_by_name(&self, name: &str) -> Option<CompanyId> {
+        self.companies
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| CompanyId(i as u32))
+    }
+
+    /// Finds a person by exact name.
+    pub fn person_by_name(&self, name: &str) -> Option<PersonId> {
+        self.persons
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| PersonId(i as u32))
+    }
+
+    /// Everything [`SourceRegistry::validate`] checks, plus role
+    /// consistency: an influence record's positional subclass must be
+    /// backed by the person's declared roles (a `is-CEO-of` arc from
+    /// someone who holds no CEO position is a data-quality defect in the
+    /// source extracts).  Shareholders may hold director seats (the
+    /// paper's S -> D reduction).
+    pub fn validate_strict(&self) -> Result<(), Vec<ModelError>> {
+        let mut errors = match self.validate() {
+            Ok(()) => Vec::new(),
+            Err(e) => e,
+        };
+        for inf in &self.influences {
+            let Some(person) = self.persons.get(inf.person.index()) else {
+                continue; // already reported by validate()
+            };
+            if self.companies.get(inf.company.index()).is_none() {
+                continue;
+            }
+            use crate::relationship::InfluenceKind::*;
+            use crate::roles::Role;
+            let roles = person.roles;
+            let director_ok = roles.contains(Role::Director) || roles.contains(Role::Shareholder);
+            let consistent = match inf.kind {
+                CeoOf => roles.contains(Role::Ceo),
+                ChairmanOf => roles.contains(Role::Chairman),
+                DirectorOf => director_ok,
+                CeoAndDirectorOf => roles.contains(Role::Ceo) && director_ok,
+            };
+            if !consistent {
+                errors.push(ModelError::RoleMismatch {
+                    person: inf.person,
+                    company: inf.company,
+                });
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// The legal person of each company, if validation would assign one.
+    /// Companies with zero or multiple legal-person records yield `None`.
+    pub fn legal_persons(&self) -> Vec<Option<PersonId>> {
+        let mut lp_of: Vec<Option<PersonId>> = vec![None; self.companies.len()];
+        let mut ambiguous = vec![false; self.companies.len()];
+        for inf in &self.influences {
+            if inf.is_legal_person && inf.company.index() < lp_of.len() {
+                let slot = &mut lp_of[inf.company.index()];
+                if slot.is_some() {
+                    ambiguous[inf.company.index()] = true;
+                } else {
+                    *slot = Some(inf.person);
+                }
+            }
+        }
+        for (slot, amb) in lp_of.iter_mut().zip(ambiguous) {
+            if amb {
+                *slot = None;
+            }
+        }
+        lp_of
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationship::InfluenceKind;
+    use crate::roles::Role;
+
+    fn valid_registry() -> SourceRegistry {
+        let mut r = SourceRegistry::new();
+        let l1 = r.add_person("L1", RoleSet::of(&[Role::Ceo]));
+        let d1 = r.add_person("D1", RoleSet::of(&[Role::Director]));
+        let c1 = r.add_company("C1");
+        let c2 = r.add_company("C2");
+        r.add_influence(InfluenceRecord {
+            person: l1,
+            company: c1,
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+        r.add_influence(InfluenceRecord {
+            person: l1,
+            company: c2,
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+        r.add_influence(InfluenceRecord {
+            person: d1,
+            company: c2,
+            kind: InfluenceKind::DirectorOf,
+            is_legal_person: false,
+        });
+        r.add_investment(InvestmentRecord {
+            investor: c1,
+            investee: c2,
+            share: 0.6,
+        });
+        r.add_trading(TradingRecord {
+            seller: c2,
+            buyer: c1,
+            volume: 100.0,
+        });
+        r
+    }
+
+    #[test]
+    fn valid_registry_passes() {
+        assert!(valid_registry().validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_interdependence_pair_is_dropped() {
+        let mut r = SourceRegistry::new();
+        let a = r.add_person("a", RoleSet::of(&[Role::Director]));
+        let b = r.add_person("b", RoleSet::of(&[Role::Director]));
+        assert!(r.add_interdependence(a, b, InterdependenceKind::Kinship));
+        // Same unordered pair, different kind: the paper keeps one edge.
+        assert!(!r.add_interdependence(b, a, InterdependenceKind::Interlocking));
+        assert_eq!(r.interdependencies().len(), 1);
+        assert_eq!(r.interdependencies()[0].kind, InterdependenceKind::Kinship);
+    }
+
+    #[test]
+    fn missing_legal_person_is_reported() {
+        let mut r = SourceRegistry::new();
+        r.add_company("C1");
+        let errs = r.validate().unwrap_err();
+        assert!(errs.contains(&ModelError::MissingLegalPerson(CompanyId(0))));
+    }
+
+    #[test]
+    fn multiple_legal_persons_reported_once() {
+        let mut r = valid_registry();
+        let extra = r.add_person("L2", RoleSet::of(&[Role::Chairman]));
+        r.add_influence(InfluenceRecord {
+            person: extra,
+            company: CompanyId(0),
+            kind: InfluenceKind::ChairmanOf,
+            is_legal_person: true,
+        });
+        r.add_influence(InfluenceRecord {
+            person: extra,
+            company: CompanyId(0),
+            kind: InfluenceKind::ChairmanOf,
+            is_legal_person: true,
+        });
+        let errs = r.validate().unwrap_err();
+        let count = errs
+            .iter()
+            .filter(|e| matches!(e, ModelError::MultipleLegalPersons(c) if *c == CompanyId(0)))
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn inadmissible_legal_person_rejected() {
+        let mut r = SourceRegistry::new();
+        let d = r.add_person("D", RoleSet::of(&[Role::Director]));
+        let c = r.add_company("C");
+        r.add_influence(InfluenceRecord {
+            person: d,
+            company: c,
+            kind: InfluenceKind::DirectorOf,
+            is_legal_person: true,
+        });
+        let errs = r.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::InadmissibleLegalPerson { .. })));
+    }
+
+    #[test]
+    fn dangling_ids_and_self_arcs_reported() {
+        let mut r = valid_registry();
+        r.add_investment(InvestmentRecord {
+            investor: CompanyId(9),
+            investee: CompanyId(0),
+            share: 0.5,
+        });
+        r.add_trading(TradingRecord {
+            seller: CompanyId(0),
+            buyer: CompanyId(0),
+            volume: 1.0,
+        });
+        r.add_interdependence(PersonId(0), PersonId(0), InterdependenceKind::Kinship);
+        let errs = r.validate().unwrap_err();
+        assert!(errs.contains(&ModelError::UnknownCompany(CompanyId(9))));
+        assert!(errs.contains(&ModelError::SelfCompanyArc(CompanyId(0))));
+        assert!(errs.contains(&ModelError::SelfInterdependence(PersonId(0))));
+    }
+
+    #[test]
+    fn invalid_share_reported() {
+        let mut r = valid_registry();
+        r.add_investment(InvestmentRecord {
+            investor: CompanyId(0),
+            investee: CompanyId(1),
+            share: 0.0,
+        });
+        let errs = r.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ModelError::InvalidShare { .. })));
+    }
+
+    #[test]
+    fn strict_validation_checks_role_consistency() {
+        let mut r = valid_registry();
+        assert!(
+            r.validate_strict().is_ok(),
+            "valid registry passes strict checks"
+        );
+        // A pure-CEO person recorded as chairman: strict failure, plain
+        // validation still passes.
+        r.add_influence(InfluenceRecord {
+            person: PersonId(0), // roles: {CEO}
+            company: CompanyId(1),
+            kind: InfluenceKind::ChairmanOf,
+            is_legal_person: false,
+        });
+        assert!(r.validate().is_ok());
+        let errs = r.validate_strict().unwrap_err();
+        assert!(errs.iter().any(
+            |e| matches!(e, ModelError::RoleMismatch { person, .. } if *person == PersonId(0))
+        ));
+    }
+
+    #[test]
+    fn strict_validation_accepts_shareholder_directors() {
+        let mut r = SourceRegistry::new();
+        let s = r.add_person("S", RoleSet::of(&[Role::Shareholder, Role::Ceo]));
+        let c = r.add_company("C");
+        r.add_influence(InfluenceRecord {
+            person: s,
+            company: c,
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+        // Shareholder acting as a director (the S -> D reduction).
+        r.add_influence(InfluenceRecord {
+            person: s,
+            company: c,
+            kind: InfluenceKind::DirectorOf,
+            is_legal_person: false,
+        });
+        assert!(r.validate_strict().is_ok());
+    }
+
+    #[test]
+    fn legal_persons_lookup() {
+        let r = valid_registry();
+        let lps = r.legal_persons();
+        assert_eq!(lps, vec![Some(PersonId(0)), Some(PersonId(0))]);
+    }
+
+    #[test]
+    fn set_person_roles_replaces() {
+        let mut r = valid_registry();
+        r.set_person_roles(PersonId(1), RoleSet::of(&[Role::Chairman]));
+        assert!(r.person(PersonId(1)).roles.contains(Role::Chairman));
+        assert!(!r.person(PersonId(1)).roles.contains(Role::Director));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = valid_registry();
+        assert_eq!(r.company_by_name("C2"), Some(CompanyId(1)));
+        assert_eq!(r.person_by_name("L1"), Some(PersonId(0)));
+        assert_eq!(r.company_by_name("nope"), None);
+        assert_eq!(r.person_by_name(""), None);
+    }
+
+    #[test]
+    fn absorb_remaps_and_prefixes() {
+        let mut a = valid_registry();
+        let b = valid_registry();
+        let (p0, c0) = (a.person_count(), a.company_count());
+        a.absorb(&b, "X:");
+        assert_eq!(a.person_count(), 2 * p0);
+        assert_eq!(a.company_count(), 2 * c0);
+        assert!(a.validate().is_ok(), "absorbed registry stays valid");
+        assert_eq!(a.person(PersonId(p0 as u32)).name, "X:L1");
+        assert_eq!(a.company(CompanyId(c0 as u32)).name, "X:C1");
+        // The absorbed investment references the remapped companies.
+        let inv = a.investments().last().unwrap();
+        assert_eq!(inv.investor, CompanyId(c0 as u32));
+        assert_eq!(inv.investee, CompanyId(c0 as u32 + 1));
+    }
+
+    #[test]
+    fn clear_trading_resets_only_trading() {
+        let mut r = valid_registry();
+        assert_eq!(r.tradings().len(), 1);
+        r.clear_trading();
+        assert!(r.tradings().is_empty());
+        assert_eq!(r.investments().len(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Source relationship records gathered from the external data sources.
+//!
+//! The paper's Fig. 4 names the sources: the household registration
+//! database (kinship), CSRC disclosures (interlocking, directorships,
+//! shareholding structure) and provincial tax offices (trading records).
+//! Each record type below corresponds to one homogeneous network:
+//!
+//! * [`Interdependence`] -> `G1` (Person–Person, unidirectional);
+//! * [`InfluenceRecord`] -> `G2` (Person→Company arcs);
+//! * [`InvestmentRecord`] -> `GI`/`G3` (Company→Company arcs);
+//! * [`TradingRecord`]   -> `G4` (Company→Company arcs).
+
+use crate::ids::{CompanyId, PersonId};
+use serde::{Deserialize, Serialize};
+
+/// Why two persons are interdependent.
+///
+/// If both a kinship and an interlocking relationship exist between a pair
+/// of persons, the paper keeps only one edge; [`crate::SourceRegistry`]
+/// applies the same rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterdependenceKind {
+    /// Family relationship (brown edges in Fig. 7).
+    Kinship,
+    /// Director interlocking / acting-in-concert agreement (yellow edges).
+    Interlocking,
+}
+
+/// An undirected Person–Person interdependence edge of `G1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interdependence {
+    /// One endpoint.
+    pub a: PersonId,
+    /// The other endpoint.
+    pub b: PersonId,
+    /// Which covert relationship backs the edge.
+    pub kind: InterdependenceKind,
+}
+
+/// Subclass of a Person→Company influence arc of `G2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InfluenceKind {
+    /// The person is the company's executive/managing director
+    /// ("is-an-CEO-and-D-of").
+    CeoAndDirectorOf,
+    /// The person is the company's CEO ("is-CEO-of").
+    CeoOf,
+    /// The person is the company's chairman of the board ("is-CB-of").
+    ChairmanOf,
+    /// The person is a director of the company ("is-a-D-of").
+    DirectorOf,
+}
+
+/// A Person→Company influence arc.
+///
+/// `is_legal_person` marks the unique legal-person link every company must
+/// have; it is an attribute rather than a fifth [`InfluenceKind`] because
+/// the legal-person role is always carried by one of the four position
+/// subclasses (see [`crate::RoleSet::admissible_as_legal_person`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InfluenceRecord {
+    /// The influencing person.
+    pub person: PersonId,
+    /// The influenced company.
+    pub company: CompanyId,
+    /// Positional subclass of the influence.
+    pub kind: InfluenceKind,
+    /// Whether this person is the company's registered legal person.
+    pub is_legal_person: bool,
+}
+
+/// A Company→Company major-shareholding arc of the investment graph.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InvestmentRecord {
+    /// The investing company.
+    pub investor: CompanyId,
+    /// The owned company.
+    pub investee: CompanyId,
+    /// Fraction of shares held, in `(0, 1]`.  The paper only requires a
+    /// *major* shareholding; the exact figure feeds the weighted-scoring
+    /// extension.
+    pub share: f64,
+}
+
+/// A Company→Company trading-relationship arc of `G4`.
+///
+/// A trading arc denotes that a trading relationship *exists* (the paper
+/// calls it a transaction behaviour); it is not an individual transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TradingRecord {
+    /// The selling company.
+    pub seller: CompanyId,
+    /// The buying company.
+    pub buyer: CompanyId,
+    /// Optional aggregate volume, used by the weighted-scoring extension.
+    pub volume: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_construct() {
+        let i = Interdependence {
+            a: PersonId(0),
+            b: PersonId(1),
+            kind: InterdependenceKind::Kinship,
+        };
+        assert_eq!(i.kind, InterdependenceKind::Kinship);
+
+        let inf = InfluenceRecord {
+            person: PersonId(0),
+            company: CompanyId(0),
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        };
+        assert!(inf.is_legal_person);
+
+        let inv = InvestmentRecord {
+            investor: CompanyId(0),
+            investee: CompanyId(1),
+            share: 0.6,
+        };
+        assert!(inv.share > 0.5);
+
+        let tr = TradingRecord {
+            seller: CompanyId(1),
+            buyer: CompanyId(0),
+            volume: 1e6,
+        };
+        assert_eq!(tr.seller, CompanyId(1));
+    }
+}

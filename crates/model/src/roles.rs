@@ -1,0 +1,252 @@
+//! Person positions (roles) and the paper's subclass reduction.
+//!
+//! A person may simultaneously hold four positions: Chairman of the Board
+//! (CB), Chief Executive Officer (CEO), Shareholder (S) and Director (D).
+//! The paper observes that, for the purpose of influence analysis, the
+//! shareholder position can be folded into the director position (a
+//! shareholder who takes part in monitoring and decision-making acts as a
+//! director), reducing the fifteen non-empty CB/CEO/D/S combinations to
+//! seven CB/CEO/D combinations.  It further restricts which combinations a
+//! company's *legal person* may hold: a legal person must be a CB, or an
+//! executive/managing director (CEO and D), or a CEO — i.e. any reduced
+//! combination except "plain director" and "no position".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single position a person can hold in a company.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Chairman of the board.
+    Chairman,
+    /// Chief executive officer.
+    Ceo,
+    /// Director (board member).
+    Director,
+    /// Shareholder.
+    Shareholder,
+}
+
+impl Role {
+    const ALL: [Role; 4] = [Role::Chairman, Role::Ceo, Role::Director, Role::Shareholder];
+
+    fn bit(self) -> u8 {
+        match self {
+            Role::Chairman => 0b0001,
+            Role::Ceo => 0b0010,
+            Role::Director => 0b0100,
+            Role::Shareholder => 0b1000,
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Role::Chairman => "CB",
+            Role::Ceo => "CEO",
+            Role::Director => "D",
+            Role::Shareholder => "S",
+        })
+    }
+}
+
+/// A set of positions held by one person (the "color subclass" of a Person
+/// node before network fusion).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RoleSet(u8);
+
+impl RoleSet {
+    /// The empty role set.
+    pub const EMPTY: RoleSet = RoleSet(0);
+
+    /// Builds a set from individual roles.
+    pub fn of(roles: &[Role]) -> Self {
+        let mut s = RoleSet::EMPTY;
+        for &r in roles {
+            s = s.with(r);
+        }
+        s
+    }
+
+    /// Returns this set with `role` added.
+    #[must_use]
+    pub fn with(self, role: Role) -> Self {
+        RoleSet(self.0 | role.bit())
+    }
+
+    /// Whether `role` is in the set.
+    pub fn contains(self, role: Role) -> bool {
+        self.0 & role.bit() != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of roles in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the roles in the set in the fixed order CB, CEO, D, S.
+    pub fn iter(self) -> impl Iterator<Item = Role> {
+        Role::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+
+    /// The paper's 15 → 7 subclass reduction: the shareholder position is
+    /// folded into the director position, leaving only CB/CEO/D bits.
+    ///
+    /// A shareholder participating in monitoring and decision-making acts
+    /// as a director (realistic scenarios ① and ② in Section 4.1), so a
+    /// set containing S maps to the same set with S replaced by D.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tpiin_model::{Role, RoleSet};
+    /// let s = RoleSet::of(&[Role::Shareholder, Role::Ceo]);
+    /// assert_eq!(s.reduce(), RoleSet::of(&[Role::Director, Role::Ceo]));
+    /// ```
+    #[must_use]
+    pub fn reduce(self) -> Self {
+        if self.contains(Role::Shareholder) {
+            RoleSet(self.0 & !Role::Shareholder.bit()).with(Role::Director)
+        } else {
+            self
+        }
+    }
+
+    /// Whether a person with this (un-reduced) role set may serve as a
+    /// company's **legal person** under the paper's reading of the Company
+    /// Act of China: the reduced set must be non-empty and must not be the
+    /// bare `{D}` — i.e. one of `{CB,CEO,D}`, `{CEO,D}`, `{CEO,CB}`,
+    /// `{D,CB}`, `{CB}`, `{CEO}`.
+    pub fn admissible_as_legal_person(self) -> bool {
+        let reduced = self.reduce();
+        !reduced.is_empty() && reduced != RoleSet::of(&[Role::Director])
+    }
+
+    /// All seven non-empty reduced subclasses, in a fixed order.  Useful
+    /// for generators and reporting.
+    pub fn reduced_subclasses() -> [RoleSet; 7] {
+        use Role::*;
+        [
+            RoleSet::of(&[Ceo, Director, Chairman]),
+            RoleSet::of(&[Ceo, Director]),
+            RoleSet::of(&[Ceo, Chairman]),
+            RoleSet::of(&[Director, Chairman]),
+            RoleSet::of(&[Chairman]),
+            RoleSet::of(&[Director]),
+            RoleSet::of(&[Ceo]),
+        ]
+    }
+}
+
+impl fmt::Debug for RoleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("{}");
+        }
+        let names: Vec<String> = self.iter().map(|r| r.to_string()).collect();
+        write!(f, "{{{}}}", names.join(","))
+    }
+}
+
+impl fmt::Display for RoleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Role::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = RoleSet::of(&[Ceo, Shareholder]);
+        assert!(s.contains(Ceo));
+        assert!(s.contains(Shareholder));
+        assert!(!s.contains(Chairman));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(RoleSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn there_are_fifteen_nonempty_unreduced_subclasses() {
+        // The paper: "there are fifteen possible disjoint subclasses of
+        // colors for Person nodes".
+        let mut distinct = std::collections::HashSet::new();
+        for bits in 1u8..16 {
+            distinct.insert(RoleSet(bits));
+        }
+        assert_eq!(distinct.len(), 15);
+    }
+
+    #[test]
+    fn reduction_folds_shareholder_into_director() {
+        assert_eq!(
+            RoleSet::of(&[Shareholder]).reduce(),
+            RoleSet::of(&[Director])
+        );
+        assert_eq!(
+            RoleSet::of(&[Shareholder, Ceo]).reduce(),
+            RoleSet::of(&[Director, Ceo])
+        );
+        assert_eq!(
+            RoleSet::of(&[Shareholder, Director]).reduce(),
+            RoleSet::of(&[Director])
+        );
+        // Sets without S are untouched.
+        let s = RoleSet::of(&[Chairman, Ceo]);
+        assert_eq!(s.reduce(), s);
+    }
+
+    #[test]
+    fn reduction_maps_fifteen_subclasses_onto_seven() {
+        let mut reduced = std::collections::HashSet::new();
+        for bits in 1u8..16 {
+            reduced.insert(RoleSet(bits).reduce());
+        }
+        assert_eq!(reduced.len(), 7, "the paper's 15 -> 7 reduction");
+        for class in RoleSet::reduced_subclasses() {
+            assert!(reduced.contains(&class));
+        }
+    }
+
+    #[test]
+    fn legal_person_admissibility_matches_the_six_listed_subclasses() {
+        // Admissible: {CB,CEO,D}, {CEO,D}, {CEO,CB}, {D,CB}, {CB}, {CEO}.
+        assert!(RoleSet::of(&[Chairman, Ceo, Director]).admissible_as_legal_person());
+        assert!(RoleSet::of(&[Ceo, Director]).admissible_as_legal_person());
+        assert!(RoleSet::of(&[Ceo, Chairman]).admissible_as_legal_person());
+        assert!(RoleSet::of(&[Director, Chairman]).admissible_as_legal_person());
+        assert!(RoleSet::of(&[Chairman]).admissible_as_legal_person());
+        assert!(RoleSet::of(&[Ceo]).admissible_as_legal_person());
+        // Not admissible: bare director and empty.
+        assert!(!RoleSet::of(&[Director]).admissible_as_legal_person());
+        assert!(!RoleSet::EMPTY.admissible_as_legal_person());
+        // A bare shareholder reduces to bare director: not admissible.
+        assert!(!RoleSet::of(&[Shareholder]).admissible_as_legal_person());
+        // An executive-director shareholder reduces to {CEO,D}: admissible.
+        assert!(RoleSet::of(&[Shareholder, Ceo]).admissible_as_legal_person());
+    }
+
+    #[test]
+    fn debug_rendering_is_ordered() {
+        let s = RoleSet::of(&[Shareholder, Chairman, Director]);
+        assert_eq!(format!("{s:?}"), "{CB,D,S}");
+        assert_eq!(format!("{:?}", RoleSet::EMPTY), "{}");
+    }
+
+    #[test]
+    fn iter_yields_each_role_once() {
+        let s = RoleSet::of(&[Ceo, Ceo, Director]);
+        let roles: Vec<_> = s.iter().collect();
+        assert_eq!(roles, vec![Ceo, Director]);
+    }
+}

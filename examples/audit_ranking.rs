@@ -1,0 +1,55 @@
+//! The tax investigator's workflow (the Servyou-style system of Section
+//! 6): generate a province-scale TPIIN, mine all suspicious groups, and
+//! rank them by the weighted score so the audit queue starts with the
+//! tightest control chains moving the most money.
+//!
+//! ```sh
+//! cargo run --release --example audit_ranking
+//! ```
+
+use tpiin::datagen::{add_random_trading, generate_province, ProvinceConfig};
+use tpiin::detect::{detect, score_group};
+use tpiin::fusion::fuse;
+
+fn main() {
+    let config = ProvinceConfig::default();
+    let mut registry = generate_province(&config);
+    let arcs = add_random_trading(&mut registry, 0.002, config.seed);
+    println!(
+        "province: {} persons, {} companies, {} trading relationships",
+        registry.person_count(),
+        registry.company_count(),
+        arcs
+    );
+
+    let (tpiin, _) = fuse(&registry).expect("generated registry is valid");
+    let start = std::time::Instant::now();
+    let result = detect(&tpiin);
+    println!(
+        "mined {} suspicious groups behind {} trading arcs in {:?}",
+        result.group_count(),
+        result.suspicious_trading_arcs.len(),
+        start.elapsed()
+    );
+    println!(
+        "the MSG phase narrows the audit to {:.2}% of all trading relationships\n",
+        result.suspicious_percentage()
+    );
+
+    let mut ranked: Vec<_> = result
+        .groups
+        .iter()
+        .map(|g| (score_group(&tpiin, g), g))
+        .collect();
+    ranked.sort_by(|a, b| b.0.score.total_cmp(&a.0.score));
+
+    println!("audit queue — top 10 groups by score:");
+    for (rank, (score, group)) in ranked.iter().take(10).enumerate() {
+        println!(
+            "{:>2}. score {:>12.0}  {}",
+            rank + 1,
+            score.score,
+            group.explain(&tpiin)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! The paper's three real tax-evasion cases (Section 3.1), reproduced as
+//! graph patterns and mined end-to-end.
+//!
+//! ```sh
+//! cargo run --example case_studies
+//! ```
+
+use tpiin::datagen::{case1_registry, case2_registry, case3_registry};
+use tpiin::detect::{detect, score_group};
+use tpiin::fusion::fuse;
+use tpiin::model::SourceRegistry;
+
+fn run(name: &str, background: &str, registry: SourceRegistry) {
+    println!("== {name} ==");
+    println!("{background}");
+    let (tpiin, _) = fuse(&registry).expect("case registries are valid");
+    let result = detect(&tpiin);
+    assert_eq!(result.group_count(), 1, "each case hides exactly one group");
+    for group in &result.groups {
+        println!("  detected: {}", group.explain(&tpiin));
+        let score = score_group(&tpiin, group);
+        println!(
+            "  ranking score: {:.3} x {:.0} = {:.0}\n",
+            score.chain_strength, score.trade_volume, score.score
+        );
+    }
+}
+
+fn main() {
+    run(
+        "Case 1 — transfer pricing through kin legal persons",
+        "C3 (producer, fully owned by C1) sells everything to C2; the legal\n\
+         persons of C1 and C2 are brothers.  The TAO adjusted C3's taxable\n\
+         income by 25.52M RMB for violating the arm's-length principle.",
+        case1_registry(),
+    );
+    run(
+        "Case 2 — common partial investor, cross-border underpricing",
+        "C5 sold 5000 smart meters to Hong Kong's C6 at $20 instead of $30;\n\
+         C4 holds shares of both.  The TAO adjusted the transaction by $5000.",
+        case2_registry(),
+    );
+    run(
+        "Case 3 — interlocked directors behind an export",
+        "C7 exported 90M RMB of BMX to C8; their controlling investors B3/B4\n\
+         act in concert with B5 over C9 (director interlocking).  The TAO\n\
+         added 19.89M RMB to C7's taxable profit.",
+        case3_registry(),
+    );
+}

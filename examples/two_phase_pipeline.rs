@@ -1,0 +1,85 @@
+//! The complete Fig. 4 flow: MSG phase (mine suspicious groups from the
+//! fused TPIIN) followed by the ITE phase (arm's-length screening of the
+//! transactions inside the suspicious relationships), compared against
+//! the traditional one-by-one screening of every transaction.
+//!
+//! ```sh
+//! cargo run --release --example two_phase_pipeline
+//! ```
+
+use tpiin::datagen::{add_random_trading, generate_province, ProvinceConfig};
+use tpiin::detect::detect;
+use tpiin::fusion::fuse;
+use tpiin::ite::generator::{generate_transactions, TransactionGenConfig};
+use tpiin::ite::{ItePhase, MarketModel, ScreeningScope};
+
+fn main() {
+    // --- Data: province + trading network + detail transactions. ---
+    let config = ProvinceConfig::default();
+    let mut registry = generate_province(&config);
+    add_random_trading(&mut registry, 0.002, config.seed);
+    let (tpiin, _) = fuse(&registry).expect("generated registry is valid");
+
+    // --- MSG phase. ---
+    let msg_start = std::time::Instant::now();
+    let msg = detect(&tpiin);
+    let msg_time = msg_start.elapsed();
+    println!(
+        "MSG phase: {} suspicious groups, {} of {} trading relationships flagged ({:.2}%) in {:?}",
+        msg.group_count(),
+        msg.suspicious_trading_arcs.len(),
+        msg.total_trading_arcs,
+        msg.suspicious_percentage(),
+        msg_time
+    );
+
+    // Evasion is planted exactly on interest-affiliated relationships
+    // (the generator's ground truth comes out alongside).
+    let scope = ScreeningScope::from_msg(&tpiin, &msg);
+    let ScreeningScope::SuspiciousArcs(ref affiliated) = scope else {
+        unreachable!()
+    };
+    let gen = generate_transactions(&registry, affiliated, &TransactionGenConfig::default());
+    println!(
+        "transaction DB: {} detail records, {} truly evading\n",
+        gen.db.len(),
+        gen.evading_transactions.len()
+    );
+
+    // --- ITE phase, both scopes. ---
+    let market = MarketModel::estimate(&gen.db);
+    let ite = ItePhase::default();
+    let mut rows = Vec::new();
+    for (name, scope) in [
+        (
+            "one-by-one (all transactions)",
+            ScreeningScope::AllTransactions,
+        ),
+        ("two-phase (suspicious arcs)", scope.clone()),
+    ] {
+        let start = std::time::Instant::now();
+        let eval = ite.screen_and_evaluate(&gen.db, &market, &scope, &gen.evading_transactions);
+        rows.push((name, eval, start.elapsed()));
+    }
+
+    println!(
+        "{:<32} {:>10} {:>9} {:>9} {:>10} {:>12}",
+        "scope", "examined", "recall", "precision", "time", "recovered"
+    );
+    for (name, eval, time) in &rows {
+        println!(
+            "{:<32} {:>9.1}% {:>8.1}% {:>8.1}% {:>10.2?} {:>12.0}",
+            name,
+            100.0 * eval.examined_fraction(),
+            100.0 * eval.recall(),
+            100.0 * eval.precision(),
+            time,
+            eval.recovered_revenue
+        );
+    }
+
+    println!(
+        "\nthe MSG phase pre-filter examines {:.1}x fewer transactions at equal recall",
+        rows[0].1.candidates_examined as f64 / rows[1].1.candidates_examined.max(1) as f64
+    );
+}

@@ -1,0 +1,29 @@
+//! `tpiin` — facade crate re-exporting the whole workspace public API.
+//!
+//! This is the crate downstream users depend on.  It reproduces the system
+//! of *"Mining Suspicious Tax Evasion Groups in Big Data"* (ICDE 2017):
+//! the Taxpayer Interest Interacted Network (TPIIN) model, the
+//! multi-network fusion pipeline that builds it, and the suspicious-group
+//! detection algorithms.
+//!
+//! * [`graph`] — directed multigraph substrate (Tarjan SCC, WCC,
+//!   contraction, export).
+//! * [`model`] — taxpayer domain model (persons, roles, companies,
+//!   source relationships).
+//! * [`fusion`] — `G1 … G123 + G4 -> TPIIN` multi-network fusion.
+//! * [`detect`] — Algorithm 1/2, pattern matching, baseline, parallel
+//!   detector (the paper's contribution).
+//! * [`datagen`] — synthetic province generator and worked-example
+//!   builders.
+//! * [`io`] — CSV registries, the paper's edge-list format,
+//!   susGroup/susTrade reports, GraphML export.
+//! * [`ite`] — the ITE phase: transaction-level arm's-length screening
+//!   over the suspicious groups (Fig. 4's second stage).
+
+pub use tpiin_core as detect;
+pub use tpiin_datagen as datagen;
+pub use tpiin_fusion as fusion;
+pub use tpiin_graph as graph;
+pub use tpiin_io as io;
+pub use tpiin_ite as ite;
+pub use tpiin_model as model;

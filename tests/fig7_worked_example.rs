@@ -1,0 +1,111 @@
+//! Reproduces the paper's worked example end-to-end: Fig. 7 (un-contracted
+//! network) -> Fig. 8 (fused subTPIIN) -> Fig. 10 (potential component
+//! pattern base, 15 rows) -> the three suspicious groups of Section 4.3.
+
+use std::collections::BTreeSet;
+use tpiin::datagen::{fig7_registry, FIG7_EXPECTED_PATTERNS};
+use tpiin::detect::{detect, generate_pattern_base, segment_tpiin};
+use tpiin::fusion::fuse;
+
+#[test]
+fn fig8_single_subtpiin() {
+    let (tpiin, _) = fuse(&fig7_registry()).unwrap();
+    let subs = segment_tpiin(&tpiin);
+    assert_eq!(subs.len(), 1, "the paper obtains exactly one subTPIIN");
+    let sub = &subs[0];
+    assert_eq!(sub.node_count(), 15);
+    assert_eq!(sub.influence_arc_count(), 14);
+    assert_eq!(sub.trading_arc_count, 5);
+    // Roots are the seven person(-syndicate) nodes.
+    assert_eq!(sub.roots().count(), 7);
+}
+
+#[test]
+fn fig10_component_pattern_base() {
+    let (tpiin, _) = fuse(&fig7_registry()).unwrap();
+    let subs = segment_tpiin(&tpiin);
+    let base = generate_pattern_base(&subs[0], usize::MAX).unwrap();
+    assert_eq!(
+        base.len(),
+        15,
+        "Fig. 10 lists 15 suspicious relationship trails"
+    );
+
+    let rendered: BTreeSet<String> = base.iter().map(|p| p.render(&tpiin)).collect();
+    let expected: BTreeSet<String> = FIG7_EXPECTED_PATTERNS
+        .iter()
+        .map(|(prefix, target)| match target {
+            Some(t) => format!("{} -> {t}", prefix.join(", ")),
+            None => prefix.join(", "),
+        })
+        .collect();
+    assert_eq!(rendered, expected);
+}
+
+#[test]
+fn section_43_suspicious_groups() {
+    let (tpiin, _) = fuse(&fig7_registry()).unwrap();
+    let result = detect(&tpiin);
+
+    assert_eq!(
+        result.group_count(),
+        3,
+        "the paper finds exactly three groups"
+    );
+    assert_eq!(result.complex_group_count, 0);
+    assert_eq!(result.simple_group_count, 3);
+
+    // Group membership, by label sets.
+    let member_sets: BTreeSet<Vec<String>> = result
+        .groups
+        .iter()
+        .map(|g| {
+            let mut labels: Vec<String> = g
+                .members()
+                .into_iter()
+                .map(|n| tpiin.label(n).to_string())
+                .collect();
+            labels.sort();
+            labels
+        })
+        .collect();
+    let expected: BTreeSet<Vec<String>> = [
+        vec!["C1", "C2", "C3", "C5", "L6+LB"], // the paper's (L1, C1, C2, C3, C5)
+        vec!["B1", "C5", "C6"],
+        vec!["B5+B6", "C7", "C8"], // the paper's (B2, C7, C8)
+    ]
+    .into_iter()
+    .map(|v| v.into_iter().map(String::from).collect())
+    .collect();
+    assert_eq!(member_sets, expected);
+
+    // Suspicious trading relationships: C3 -> C5, C5 -> C6, C7 -> C8.
+    let arcs: BTreeSet<(String, String)> = result
+        .suspicious_trading_arcs
+        .iter()
+        .map(|&(s, t)| (tpiin.label(s).to_string(), tpiin.label(t).to_string()))
+        .collect();
+    let expected_arcs: BTreeSet<(String, String)> = [("C3", "C5"), ("C5", "C6"), ("C7", "C8")]
+        .into_iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    assert_eq!(arcs, expected_arcs);
+    assert_eq!(result.total_trading_arcs, 5);
+}
+
+#[test]
+fn baseline_agrees_on_the_worked_example() {
+    let (tpiin, _) = fuse(&fig7_registry()).unwrap();
+    let proposed = detect(&tpiin);
+    let base = tpiin::detect::baseline::detect_baseline(&tpiin, 1_000_000);
+    assert!(!base.overflowed);
+    let mut a: Vec<_> = proposed.groups.iter().map(|g| g.key()).collect();
+    let mut b: Vec<_> = base.groups.iter().map(|g| g.key()).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    assert_eq!(
+        proposed.suspicious_trading_arcs,
+        base.suspicious_trading_arcs
+    );
+}

@@ -1,0 +1,167 @@
+//! The graph-based pattern shapes of Fig. 3: triangle, quadrilateral,
+//! pentagon and hexagon.  Each shape hides exactly one trading
+//! relationship behind two same-antecedent trails; the detector must find
+//! exactly one group per shape, with the right members, and must *not*
+//! fire on near-miss variants (reversed influence, missing trail).
+
+use tpiin::detect::detect;
+use tpiin::fusion::fuse;
+use tpiin::model::{
+    InfluenceKind, InfluenceRecord, InvestmentRecord, Role, RoleSet, SourceRegistry, TradingRecord,
+};
+
+/// Builds a registry with `n` companies (each with its own legal person),
+/// the given investment arcs, and one trading arc.
+fn shape(
+    n: usize,
+    investments: &[(usize, usize)],
+    shared_director_of: &[usize],
+    trade: (usize, usize),
+) -> SourceRegistry {
+    let mut r = SourceRegistry::new();
+    let companies: Vec<_> = (0..n).map(|i| r.add_company(format!("C{i}"))).collect();
+    for (i, &c) in companies.iter().enumerate() {
+        let lp = r.add_person(format!("L{i}"), RoleSet::of(&[Role::Ceo]));
+        r.add_influence(InfluenceRecord {
+            person: lp,
+            company: c,
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+    }
+    if !shared_director_of.is_empty() {
+        let b = r.add_person("B", RoleSet::of(&[Role::Director]));
+        for &c in shared_director_of {
+            r.add_influence(InfluenceRecord {
+                person: b,
+                company: companies[c],
+                kind: InfluenceKind::DirectorOf,
+                is_legal_person: false,
+            });
+        }
+    }
+    for &(a, b) in investments {
+        r.add_investment(InvestmentRecord {
+            investor: companies[a],
+            investee: companies[b],
+            share: 0.6,
+        });
+    }
+    r.add_trading(TradingRecord {
+        seller: companies[trade.0],
+        buyer: companies[trade.1],
+        volume: 1.0,
+    });
+    r
+}
+
+/// Groups whose trading arc is the planted one (legal persons create no
+/// extra trails here, but each company's own LP roots one trail chain).
+fn planted_groups(r: &SourceRegistry) -> Vec<(Vec<String>, bool)> {
+    let (tpiin, _) = fuse(r).unwrap();
+    detect(&tpiin)
+        .groups
+        .iter()
+        .map(|g| {
+            let mut members: Vec<String> = g
+                .members()
+                .into_iter()
+                .map(|n| tpiin.label(n).to_string())
+                .collect();
+            members.sort();
+            (members, g.simple)
+        })
+        .collect()
+}
+
+#[test]
+fn triangle_same_investor() {
+    // Fig. 3(a): C0 invests in C1 and C2; C1 trades with C2.
+    let r = shape(3, &[(0, 1), (0, 2)], &[], (1, 2));
+    let groups = planted_groups(&r);
+    assert_eq!(groups.len(), 1);
+    // Root-anchored at C0's legal person; the triangle C0,C1,C2 plus L0.
+    assert_eq!(groups[0].0, vec!["C0", "C1", "C2", "L0"]);
+    assert!(!groups[0].1, "trails share C0: complex around the anchor");
+}
+
+#[test]
+fn triangle_shared_director() {
+    // Fig. 3(b): director syndicate B controls C0 and C1 directly.
+    let r = shape(2, &[], &[0, 1], (0, 1));
+    let groups = planted_groups(&r);
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].0, vec!["B", "C0", "C1"]);
+    assert!(groups[0].1, "two depth-1 trails: a simple group");
+}
+
+#[test]
+fn quadrilateral_one_hop_imbalance() {
+    // Fig. 3(c)-style: B directs C0 directly and C1 via C2 (B -> C2 -> C1),
+    // trading C0 -> C1.
+    let r = shape(3, &[(2, 1)], &[0, 2], (0, 1));
+    let groups = planted_groups(&r);
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].0, vec!["B", "C0", "C1", "C2"]);
+    assert!(groups[0].1, "disjoint trails B->C0 and B->C2->C1: simple");
+}
+
+#[test]
+fn pentagon_case1_shape() {
+    // Fig. 1(c): L' -> C0 -> C2 and L' -> C1, trading C2 -> C1; here the
+    // common antecedent is the shared director B over C0 and C1.
+    let r = shape(3, &[(0, 2)], &[0, 1], (2, 1));
+    let groups = planted_groups(&r);
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].0, vec!["B", "C0", "C1", "C2"]);
+    assert!(groups[0].1);
+}
+
+#[test]
+fn hexagon_two_investment_chains() {
+    // Hexagon: B -> C0 -> C2 (trade source side) and B -> C1 -> C3, with
+    // trading C2 -> C3: six nodes in the cycle B,C0,C2,(TR),C3,C1.
+    let r = shape(4, &[(0, 2), (1, 3)], &[0, 1], (2, 3));
+    let groups = planted_groups(&r);
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].0, vec!["B", "C0", "C1", "C2", "C3"]);
+    assert!(groups[0].1, "fully disjoint two-hop trails: simple");
+}
+
+#[test]
+fn reversed_trading_arc_still_matches_symmetrically() {
+    // The IAT hint is directionless in the antecedent: trading C2 -> C1
+    // vs C1 -> C2 both sit under the same antecedent.
+    let forward = shape(3, &[(0, 1), (0, 2)], &[], (1, 2));
+    let backward = shape(3, &[(0, 1), (0, 2)], &[], (2, 1));
+    assert_eq!(planted_groups(&forward).len(), 1);
+    assert_eq!(planted_groups(&backward).len(), 1);
+}
+
+#[test]
+fn no_common_antecedent_no_group() {
+    // Two disjoint ownership chains trading with each other: unsuspicious.
+    let r = shape(4, &[(0, 1), (2, 3)], &[], (1, 3));
+    assert!(planted_groups(&r).is_empty());
+}
+
+#[test]
+fn influence_direction_matters() {
+    // C1 invests in C0 (not the other way around): no antecedent trail
+    // from a common node to both C1's buyer side... construct: C0 <- C1,
+    // C0 <- C2 (both invest INTO C0), trading C1 -> C2.  The would-be
+    // antecedent C0 has no outgoing influence: no group.
+    let r = shape(3, &[(1, 0), (2, 0)], &[], (1, 2));
+    assert!(planted_groups(&r).is_empty());
+}
+
+#[test]
+fn deeper_chains_scale_the_shape() {
+    // B -> C0 -> C1 -> C2 -> C3 (chain) and B -> C4, trading C3 -> C4:
+    // a long "polygon" still forms exactly one simple group.
+    let r = shape(5, &[(0, 1), (1, 2), (2, 3)], &[0, 4], (3, 4));
+    let groups = planted_groups(&r);
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].0, vec!["B", "C0", "C1", "C2", "C3", "C4"]);
+    assert!(groups[0].1);
+}

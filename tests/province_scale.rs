@@ -1,0 +1,184 @@
+//! Province-scale integration tests: the synthetic network of Section 5.1
+//! fused end-to-end, detector vs baseline at scale, Table 1 invariants.
+
+use tpiin::datagen::{add_random_trading, generate_province, ProvinceConfig};
+use tpiin::detect::{detect, segment_tpiin, Detector, DetectorConfig};
+use tpiin::fusion::fuse;
+
+#[test]
+fn full_province_matches_paper_node_counts() {
+    let config = ProvinceConfig::default();
+    let registry = generate_province(&config);
+    assert_eq!(
+        registry.person_count(),
+        2126,
+        "776 directors + 1350 legal persons"
+    );
+    assert_eq!(registry.company_count(), 2452);
+    let (tpiin, report) = fuse(&registry).unwrap();
+    assert_eq!(
+        report.persons + report.companies,
+        4578,
+        "Fig. 16's node count"
+    );
+    // Antecedent in the same range as the paper (~6 300 arcs implied by
+    // Table 1's average degree column).
+    assert!(
+        (5_000..9_000).contains(&tpiin.influence_arc_count),
+        "antecedent arcs {}",
+        tpiin.influence_arc_count
+    );
+    // No trading yet.
+    assert_eq!(tpiin.trading_arc_count, 0);
+}
+
+#[test]
+fn antecedent_is_acyclic_and_rooted_at_persons() {
+    let registry = generate_province(&ProvinceConfig::default());
+    let (tpiin, _) = fuse(&registry).unwrap();
+    // fuse() itself verifies acyclicity; segmentation roots must be
+    // person nodes.
+    for sub in segment_tpiin(&tpiin) {
+        for root in sub.roots() {
+            assert!(sub.is_person[root as usize]);
+        }
+    }
+}
+
+#[test]
+fn scaled_province_baseline_agreement() {
+    // A quarter-scale province with trading: the detector and the
+    // independent baseline must produce identical group sets.
+    let config = ProvinceConfig {
+        seed: 99,
+        ..ProvinceConfig::scaled(0.25)
+    };
+    let mut registry = generate_province(&config);
+    add_random_trading(&mut registry, 0.004, 1234);
+    let (tpiin, _) = fuse(&registry).unwrap();
+    let proposed = detect(&tpiin);
+    let baseline = tpiin::detect::baseline::detect_baseline(&tpiin, 10_000_000);
+    assert!(!baseline.overflowed);
+    assert!(
+        proposed.group_count() > 0,
+        "a quarter province at p=0.004 has groups"
+    );
+    let mut a: Vec<_> = proposed.groups.iter().map(|g| g.key()).collect();
+    let mut b: Vec<_> = baseline.groups.iter().map(|g| g.key()).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    assert_eq!(
+        proposed.suspicious_trading_arcs,
+        baseline.suspicious_trading_arcs
+    );
+}
+
+#[test]
+fn suspicious_percentage_is_flat_across_probabilities() {
+    // Table 1's key observation: the suspicious share stays ~5 % while
+    // total trading arcs grow 50x.
+    let config = ProvinceConfig::default();
+    let base = generate_province(&config);
+    let mut percentages = Vec::new();
+    for (i, p) in [0.002, 0.01, 0.05].into_iter().enumerate() {
+        let mut registry = base.clone();
+        add_random_trading(&mut registry, p, 77 + i as u64);
+        let (tpiin, _) = fuse(&registry).unwrap();
+        let result = Detector::new(DetectorConfig {
+            collect_groups: false,
+            ..Default::default()
+        })
+        .detect(&tpiin);
+        percentages.push(result.suspicious_percentage());
+    }
+    for pct in &percentages {
+        assert!(
+            (4.5..6.0).contains(pct),
+            "suspicious percentage {pct} outside the paper's band: {percentages:?}"
+        );
+    }
+    let spread = percentages.iter().cloned().fold(f64::MIN, f64::max)
+        - percentages.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1.0, "percentage should be flat, spread {spread}");
+}
+
+#[test]
+fn group_counts_grow_linearly_with_probability() {
+    let config = ProvinceConfig::default();
+    let base = generate_province(&config);
+    let mut counts = Vec::new();
+    for p in [0.002, 0.004, 0.008] {
+        let mut registry = base.clone();
+        add_random_trading(&mut registry, p, 4242);
+        let (tpiin, _) = fuse(&registry).unwrap();
+        let result = Detector::new(DetectorConfig {
+            collect_groups: false,
+            ..Default::default()
+        })
+        .detect(&tpiin);
+        counts.push(result.group_count() as f64);
+    }
+    // Doubling p roughly doubles group counts (Table 1's trend).
+    let r1 = counts[1] / counts[0];
+    let r2 = counts[2] / counts[1];
+    assert!((1.5..3.0).contains(&r1), "ratios {counts:?}");
+    assert!((1.5..3.0).contains(&r2), "ratios {counts:?}");
+}
+
+#[test]
+fn parallel_detection_matches_serial_at_scale() {
+    let config = ProvinceConfig::default();
+    let mut registry = generate_province(&config);
+    add_random_trading(&mut registry, 0.01, 5);
+    let (tpiin, _) = fuse(&registry).unwrap();
+    let serial = Detector::new(DetectorConfig {
+        collect_groups: false,
+        ..Default::default()
+    })
+    .detect(&tpiin);
+    let parallel = Detector::new(DetectorConfig {
+        collect_groups: false,
+        threads: 8,
+        ..Default::default()
+    })
+    .detect(&tpiin);
+    assert_eq!(serial.complex_group_count, parallel.complex_group_count);
+    assert_eq!(serial.simple_group_count, parallel.simple_group_count);
+    assert_eq!(
+        serial.suspicious_trading_arcs,
+        parallel.suspicious_trading_arcs
+    );
+}
+
+#[test]
+fn segmentation_covers_every_node_exactly_once() {
+    let registry = generate_province(&ProvinceConfig::default());
+    let (tpiin, _) = fuse(&registry).unwrap();
+    let subs = segment_tpiin(&tpiin);
+    let mut seen = vec![false; tpiin.node_count()];
+    for sub in &subs {
+        for &g in &sub.global {
+            assert!(!seen[g.index()], "node {g:?} in two subTPIINs");
+            seen[g.index()] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s));
+    assert!(
+        subs.len() > 10,
+        "the province has many conglomerate components"
+    );
+}
+
+#[test]
+fn edge_list_export_round_trips_arc_counts() {
+    let config = ProvinceConfig::scaled(0.1);
+    let mut registry = generate_province(&config);
+    add_random_trading(&mut registry, 0.01, 9);
+    let (tpiin, _) = fuse(&registry).unwrap();
+    let listing = tpiin.edge_list();
+    let influence_rows = listing.lines().filter(|l| l.ends_with("\t1")).count();
+    let trading_rows = listing.lines().filter(|l| l.ends_with("\t0")).count();
+    assert_eq!(influence_rows, tpiin.influence_arc_count);
+    assert_eq!(trading_rows, tpiin.trading_arc_count);
+}
