@@ -1,0 +1,42 @@
+//! Headline detection benchmark: segments and mines a generated
+//! province TPIIN once, writing `BENCH_detect.json` (`{wall_ms, groups,
+//! subtpiins}`) for CI trend tracking.
+//!
+//! Usage: `bench_detect [OUT_PATH] [SCALE]` — defaults to
+//! `BENCH_detect.json` at scale 0.5.
+
+use std::time::Instant;
+use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_bench::record::BenchRecord;
+use tpiin_core::{segment_tpiin, Detector};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_detect.json".to_string());
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("SCALE must be a number"))
+        .unwrap_or(0.5);
+
+    let tpiin = tpiin_fixture(scale, 0.004, 20170417);
+    let subs = segment_tpiin(&tpiin);
+
+    let start = Instant::now();
+    let result = Detector::default().detect_segmented(&tpiin, &subs);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let record = BenchRecord {
+        wall_ms,
+        groups: result.group_count(),
+        subtpiins: subs.len(),
+    };
+    record
+        .write(std::path::Path::new(&path))
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "bench detect (scale {scale}): {wall_ms:.1} ms, {} groups across {} subTPIINs -> {path}",
+        record.groups, record.subtpiins
+    );
+}

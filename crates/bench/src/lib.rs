@@ -5,3 +5,4 @@
 //! test, not fixture construction.
 
 pub mod fixtures;
+pub mod record;

@@ -1,0 +1,53 @@
+//! Machine-readable benchmark records (`BENCH_*.json`).
+//!
+//! CI tracks the headline detection benchmark over time; the record is
+//! exported through `tpiin-obs`'s JSON writer so the schema matches the
+//! profile files the CLI emits.
+
+use std::path::Path;
+use tpiin_obs::Json;
+
+/// The headline numbers of one detection benchmark run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Wall-clock milliseconds for the detection pass.
+    pub wall_ms: f64,
+    /// Suspicious groups found.
+    pub groups: usize,
+    /// SubTPIINs the network segmented into.
+    pub subtpiins: usize,
+}
+
+impl BenchRecord {
+    /// The record as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("wall_ms".to_string(), Json::Float(self.wall_ms)),
+            ("groups".to_string(), Json::Int(self.groups as u64)),
+            ("subtpiins".to_string(), Json::Int(self.subtpiins as u64)),
+        ])
+    }
+
+    /// Writes the record to `path` as pretty-printed JSON.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_serializes_all_three_fields() {
+        let record = BenchRecord {
+            wall_ms: 12.5,
+            groups: 42,
+            subtpiins: 7,
+        };
+        let text = record.to_json().to_pretty();
+        assert!(text.contains("\"wall_ms\": 12.5"));
+        assert!(text.contains("\"groups\": 42"));
+        assert!(text.contains("\"subtpiins\": 7"));
+    }
+}

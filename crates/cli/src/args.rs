@@ -23,6 +23,12 @@ pub struct Options {
     pub arc: Option<(String, String)>,
     /// Company label for `company`.
     pub company: Option<String>,
+    /// Explicit log level (overrides the `TPIIN_LOG` environment variable).
+    pub log_level: Option<tpiin_obs::Level>,
+    /// Print the phase-timing table after the run.
+    pub profile: bool,
+    /// Write the run profile as JSON to this path.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -38,6 +44,9 @@ impl Default for Options {
             dir: None,
             arc: None,
             company: None,
+            log_level: None,
+            profile: false,
+            metrics_out: None,
         }
     }
 }
@@ -98,6 +107,15 @@ impl Options {
                     opts.arc = Some((s_label.trim().to_string(), b_label.trim().to_string()));
                 }
                 "--verify" => opts.verify = true,
+                "--log-level" => {
+                    opts.log_level = Some(
+                        value("--log-level")?
+                            .parse()
+                            .map_err(|e| format!("--log-level: {e}"))?,
+                    );
+                }
+                "--profile" => opts.profile = true,
+                "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -154,6 +172,11 @@ mod tests {
             "d",
             "--arc",
             "C1, C2",
+            "--log-level",
+            "debug",
+            "--profile",
+            "--metrics-out",
+            "p.json",
         ])
         .unwrap();
         assert_eq!(opts.scale, 0.5);
@@ -166,6 +189,9 @@ mod tests {
         assert_eq!(opts.dir.as_deref(), Some("d"));
         assert_eq!(opts.arc, Some(("C1".to_string(), "C2".to_string())));
         assert_eq!(opts.sweep_probs(), vec![0.01, 0.02]);
+        assert_eq!(opts.log_level, Some(tpiin_obs::Level::Debug));
+        assert!(opts.profile);
+        assert_eq!(opts.metrics_out.as_deref(), Some("p.json"));
     }
 
     #[test]
@@ -179,5 +205,8 @@ mod tests {
         assert!(parse(&["--arc", "C1"])
             .unwrap_err()
             .contains("SELLER,BUYER"));
+        let err = parse(&["--log-level", "loud"]).unwrap_err();
+        assert!(err.contains("--log-level"), "{err}");
+        assert!(err.contains("unknown log level"), "{err}");
     }
 }

@@ -44,6 +44,13 @@ FLAGS:
   --dir PATH    directory for save-province/import/report
   --arc S,B     seller,buyer company labels for `query`
   --company L   company label for `company`
+
+OBSERVABILITY (all commands):
+  --log-level L   stderr log level: error|warn|info|debug|trace
+                  (overrides the TPIIN_LOG environment variable)
+  --profile       print the phase-timing table on stderr after the run
+  --metrics-out P write the run profile (phase timings, counters,
+                  per-thread stats) as JSON to path P
 ";
 
 fn province(opts: &Options) -> (SourceRegistry, ProvinceConfig) {
@@ -187,7 +194,12 @@ pub fn worked_example() -> Result<(), String> {
     println!("\n# Suspicious groups (Section 4.3)");
     let result = detect(&tpiin);
     for group in &result.groups {
+        let score = tpiin_core::score_group(&tpiin, group);
         println!("- {}", group.explain(&tpiin));
+        println!(
+            "  score: chain strength {:.3} x volume {:.0} = {:.0}",
+            score.chain_strength, score.trade_volume, score.score
+        );
     }
     Ok(())
 }

@@ -32,21 +32,51 @@ fn run(argv: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let opts = args::Options::parse(&argv[1..])?;
-    match cmd.as_str() {
-        "table1" => commands::table1(&opts),
-        "stats" => commands::stats(&opts),
+
+    tpiin_obs::log::init_from_env();
+    if let Some(level) = opts.log_level {
+        // Explicit --log-level wins over TPIIN_LOG.
+        tpiin_obs::log::set_level(Some(level));
+    }
+    let profiled = opts.profile || opts.metrics_out.is_some();
+    if profiled {
+        tpiin_obs::set_profiling(true);
+        tpiin_obs::global().reset();
+    }
+
+    dispatch(cmd, &opts)?;
+
+    if profiled {
+        let profile = tpiin_obs::RunProfile::capture();
+        if opts.profile {
+            eprintln!("\n# phase timings");
+            eprint!("{}", profile.render_table());
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, profile.to_json().to_pretty())
+                .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+            eprintln!("profile written to {path}");
+        }
+    }
+    Ok(())
+}
+
+fn dispatch(cmd: &str, opts: &args::Options) -> Result<(), String> {
+    match cmd {
+        "table1" => commands::table1(opts),
+        "stats" => commands::stats(opts),
         "worked-example" => commands::worked_example(),
         "cases" => commands::cases(),
-        "detect" => commands::detect_one(&opts),
-        "export-dot" => commands::export_dot(&opts),
-        "export-graphml" => commands::export_graphml(&opts),
-        "query" => commands::query(&opts),
-        "save-province" => commands::save_province(&opts),
-        "import" => commands::import(&opts),
-        "report" => commands::report(&opts),
-        "two-phase" => commands::two_phase(&opts),
-        "company" => commands::company(&opts),
-        "analyze" => commands::analyze(&opts),
+        "detect" => commands::detect_one(opts),
+        "export-dot" => commands::export_dot(opts),
+        "export-graphml" => commands::export_graphml(opts),
+        "query" => commands::query(opts),
+        "save-province" => commands::save_province(opts),
+        "import" => commands::import(opts),
+        "report" => commands::report(opts),
+        "two-phase" => commands::two_phase(opts),
+        "company" => commands::company(opts),
+        "analyze" => commands::analyze(opts),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

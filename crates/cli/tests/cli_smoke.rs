@@ -132,3 +132,82 @@ fn query_without_match_is_not_an_error() {
     let (stdout, _, ok) = run(&["query", "--scale", "0.1", "--arc", "C0,C1"]);
     assert!(ok, "{stdout}");
 }
+
+#[test]
+fn profile_flag_prints_phase_timing_table() {
+    let (stdout, stderr, ok) = run(&["worked-example", "--profile"]);
+    assert!(ok, "{stderr}");
+    // Normal output is untouched; the table goes to stderr.
+    assert!(stdout.contains("L6+LB"));
+    assert!(stderr.contains("# phase timings"), "{stderr}");
+    for phase in ["fusion", "  validate", "detect", "  segment"] {
+        assert!(stderr.contains(phase), "missing {phase:?} in:\n{stderr}");
+    }
+}
+
+#[test]
+fn metrics_out_writes_parseable_profile_json() {
+    let path = std::env::temp_dir().join(format!("tpiin-metrics-{}.json", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let _ = std::fs::remove_file(&path);
+    let (_, stderr, ok) = run(&["detect", "--scale", "0.2", "--metrics-out", path_str]);
+    assert!(ok, "{stderr}");
+    let text = std::fs::read_to_string(&path).expect("profile file written");
+    let json = tpiin_io::json::Json::parse(&text).expect("profile is valid JSON");
+    assert!(json.get("phases").is_some());
+    assert!(json.get("counters").is_some());
+    // Every fusion stage and detection phase appears with a nonzero
+    // duration (paths are recorded in the flat text, durations in the
+    // parsed tree).
+    for phase in [
+        "fusion/validate",
+        "fusion/contract_persons",
+        "fusion/contract_sccs",
+        "fusion/attach_trading",
+        "fusion/verify_dag",
+        "detect/segment",
+        "detect/build_tree",
+        "detect/match_patterns",
+        "detect/score",
+    ] {
+        assert!(text.contains(&format!("\"path\": \"{phase}\"")), "{phase}");
+    }
+    fn all_phase_totals(node: &tpiin_io::json::Json, out: &mut Vec<(String, f64)>) {
+        let path = node.get("path").and_then(|p| p.as_str());
+        let total = node.get("total_ns").and_then(|t| t.as_f64());
+        if let (Some(path), Some(total)) = (path, total) {
+            out.push((path.to_string(), total));
+        }
+        if let Some(tpiin_io::json::Json::Array(children)) = node.get("children") {
+            for child in children {
+                all_phase_totals(child, out);
+            }
+        }
+    }
+    let mut totals = Vec::new();
+    if let Some(tpiin_io::json::Json::Array(roots)) = json.get("phases") {
+        for root in roots {
+            all_phase_totals(root, &mut totals);
+        }
+    }
+    for (path, total) in &totals {
+        assert!(*total > 0.0, "phase {path} has zero duration");
+    }
+    assert!(totals.iter().any(|(p, _)| p == "fusion/validate"));
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn bad_log_level_is_rejected() {
+    let (_, stderr, ok) = run(&["detect", "--scale", "0.1", "--log-level", "loud"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown log level"), "{stderr}");
+}
+
+#[test]
+fn log_level_debug_emits_stage_logs() {
+    let (_, stderr, ok) = run(&["worked-example", "--log-level", "debug"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("contract_persons"), "{stderr}");
+    assert!(stderr.contains("[debug]"), "{stderr}");
+}

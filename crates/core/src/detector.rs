@@ -9,6 +9,7 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tpiin_fusion::Tpiin;
 use tpiin_graph::NodeId;
+use tpiin_obs::{Span, ThreadStats};
 
 /// Detection options.
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +59,12 @@ struct RootOutcome {
 
 fn mine_root(sub: &SubTpiin, root: u32, config: &DetectorConfig) -> RootOutcome {
     let mut out = RootOutcome::default();
-    let Some(tree) = PatternsTree::build(sub, root, config.max_tree_nodes) else {
+    // Absolute phase path: workers on any thread aggregate into the same
+    // `detect/build_tree` node as the serial path.
+    let build_span = Span::at("detect/build_tree");
+    let tree = PatternsTree::build(sub, root, config.max_tree_nodes);
+    drop(build_span);
+    let Some(tree) = tree else {
         out.overflowed = true;
         return out;
     };
@@ -170,6 +176,7 @@ impl Detector {
 
     /// Segments `tpiin` and mines every subTPIIN (Algorithm 1).
     pub fn detect(&self, tpiin: &Tpiin) -> DetectionResult {
+        let _span = Span::at("detect");
         let subs = segment_tpiin(tpiin);
         self.detect_segmented(tpiin, &subs)
     }
@@ -199,20 +206,35 @@ impl Detector {
             let collected: parking_lot::Mutex<Vec<(usize, Vec<RootOutcome>)>> =
                 parking_lot::Mutex::new(Vec::new());
             crossbeam::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|_| {
+                for thread_index in 0..threads {
+                    let (next, collected, work) = (&next, &collected, &work);
+                    scope.spawn(move |_| {
                         let mut local: Vec<(usize, Vec<RootOutcome>)> = Vec::new();
+                        let profiling = tpiin_obs::profiling_enabled();
+                        let mut stats = ThreadStats {
+                            thread: thread_index,
+                            ..Default::default()
+                        };
                         loop {
                             let start = next.fetch_add(BATCH, Ordering::Relaxed);
                             if start >= work.len() {
                                 break;
                             }
                             let end = (start + BATCH).min(work.len());
+                            let batch_started = profiling.then(std::time::Instant::now);
                             let outcomes: Vec<RootOutcome> = work[start..end]
                                 .iter()
                                 .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, config))
                                 .collect();
+                            if let Some(started) = batch_started {
+                                stats.busy_ns += started.elapsed().as_nanos() as u64;
+                            }
+                            stats.batches += 1;
+                            stats.items += (end - start) as u64;
                             local.push((start, outcomes));
+                        }
+                        if profiling && stats.batches > 0 {
+                            tpiin_obs::global().record_thread(stats);
                         }
                         collected.lock().append(&mut local);
                     });
@@ -234,7 +256,25 @@ impl Detector {
                 .collect()
         };
 
-        merge(tpiin, subs, &work, outcomes, &self.config)
+        let result = merge(tpiin, subs, &work, outcomes, &self.config);
+        if tpiin_obs::profiling_enabled() {
+            let registry = tpiin_obs::global();
+            registry.counter("detect.subtpiins").add(subs.len() as u64);
+            registry.counter("detect.roots").add(work.len() as u64);
+            registry
+                .counter("detect.groups")
+                .add(result.group_count() as u64);
+            registry
+                .counter("detect.suspicious_arcs")
+                .add(result.suspicious_trading_arcs.len() as u64);
+        }
+        tpiin_obs::debug!(
+            "mined {} roots across {} subTPIINs -> {} groups",
+            work.len(),
+            subs.len(),
+            result.group_count()
+        );
+        result
     }
 }
 

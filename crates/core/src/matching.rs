@@ -46,6 +46,7 @@ pub struct LocalGroupView<'a> {
 /// under every root that reaches them.
 pub fn match_root(sub: &SubTpiin, tree: &PatternsTree, mut emit: impl FnMut(LocalGroupView<'_>)) {
     let _ = sub; // adjacency already baked into the tree; kept for symmetry
+    let _span = tpiin_obs::Span::at("detect/match_patterns");
     let mut prefix: Vec<u32> = Vec::new();
     let mut plain: Vec<u32> = Vec::new();
     let mut seen_circles: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();

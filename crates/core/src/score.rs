@@ -40,6 +40,7 @@ fn arc_weight(tpiin: &Tpiin, s: NodeId, t: NodeId, color: ArcColor) -> Option<f6
 /// Panics if the group's trails reference arcs that do not exist in
 /// `tpiin` (i.e. the group came from a different network).
 pub fn score_group(tpiin: &Tpiin, group: &SuspiciousGroup) -> GroupScore {
+    let _span = tpiin_obs::Span::at("detect/score");
     let mut chain_strength = 1.0;
     for trail in [&group.trail_with_trade, &group.trail_plain] {
         for pair in trail.windows(2) {

@@ -110,6 +110,7 @@ fn from_component(
 /// subTPIINs; they can never host a group and the detector skips them
 /// cheaply.
 pub fn segment_tpiin(tpiin: &Tpiin) -> Vec<SubTpiin> {
+    let _span = tpiin_obs::Span::at("detect/segment");
     // Weak components of the *antecedent* network only.
     let mut antecedent: DiGraph<(), ()> =
         DiGraph::with_capacity(tpiin.graph.node_count(), tpiin.influence_arc_count);

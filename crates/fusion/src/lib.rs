@@ -27,6 +27,6 @@ mod tpiin;
 mod verify;
 
 pub use pipeline::{fuse, FusionError};
-pub use report::FusionReport;
+pub use report::{FusionReport, StageTiming};
 pub use tpiin::{ArcColor, IntraSyndicateTrade, NodeColor, Tpiin, TpiinArc, TpiinNode};
 pub use verify::{verify_tpiin, PropertyCheck, VerificationReport};

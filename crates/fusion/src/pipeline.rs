@@ -1,11 +1,12 @@
 //! The end-to-end fusion pipeline: `SourceRegistry -> TPIIN`.
 
-use crate::report::FusionReport;
+use crate::report::{FusionReport, StageTiming};
 use crate::stages;
 use crate::tpiin::{ArcColor, IntraSyndicateTrade, Tpiin, TpiinArc, TpiinNode};
 use std::collections::HashSet;
 use tpiin_graph::{DiGraph, NodeId};
 use tpiin_model::{ModelError, SourceRegistry};
+use tpiin_obs::TimedScope;
 
 /// Failure while fusing a registry into a TPIIN.
 #[derive(Debug)]
@@ -79,15 +80,25 @@ impl std::error::Error for FusionError {}
 /// assert_eq!(report.trading_arcs, 1);
 /// ```
 pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionError> {
-    registry.validate().map_err(FusionError::InvalidRegistry)?;
+    let whole = TimedScope::start();
+    let mut stage_timings = Vec::with_capacity(5);
+    let mut time_stage = |stage: &str, scope: TimedScope| {
+        let elapsed = scope.finish(&format!("fusion/{stage}"));
+        stage_timings.push(StageTiming {
+            stage: stage.to_string(),
+            nanos: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+        });
+    };
 
+    let scope = TimedScope::start();
+    let validation = registry.validate();
+    time_stage("validate", scope);
+    validation.map_err(FusionError::InvalidRegistry)?;
+
+    // --- G12 -> G12': contract interdependence-connected persons. ---
+    let scope = TimedScope::start();
     let person_part = stages::person_syndicates(registry);
-    let company_part = stages::company_syndicates(registry);
-
     let n_person_nodes = person_part.group_count();
-    let n_company_nodes = company_part.group_count();
-
-    // --- Nodes: person syndicates first, then company syndicates. ---
     let mut person_members: Vec<Vec<tpiin_model::PersonId>> = vec![Vec::new(); n_person_nodes];
     for (pid, _) in registry.persons() {
         person_members[person_part
@@ -95,6 +106,18 @@ pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionEr
             .index()]
         .push(pid);
     }
+    time_stage("contract_persons", scope);
+    tpiin_obs::debug!(
+        "contract_persons: {} persons -> {} syndicates",
+        registry.person_count(),
+        n_person_nodes
+    );
+
+    // --- G_B -> G123: contract investment SCCs, build the antecedent
+    // network (nodes + influence/investment arcs). ---
+    let scope = TimedScope::start();
+    let company_part = stages::company_syndicates(registry);
+    let n_company_nodes = company_part.group_count();
     let mut company_members: Vec<Vec<tpiin_model::CompanyId>> = vec![Vec::new(); n_company_nodes];
     for (cid, _) in registry.companies() {
         company_members[company_part
@@ -195,7 +218,16 @@ pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionEr
         add_arc(&mut graph, s, t, ArcColor::Influence, inv.share);
     }
     let influence_arc_count = graph.edge_count();
+    time_stage("contract_sccs", scope);
+    tpiin_obs::debug!(
+        "contract_sccs: {} companies -> {} syndicates, {} influence arcs",
+        registry.company_count(),
+        n_company_nodes,
+        influence_arc_count
+    );
 
+    // --- G123 + G4 -> TPIIN: attach trading arcs. ---
+    let scope = TimedScope::start();
     let mut intra_syndicate_trades = Vec::new();
     for tr in registry.tradings() {
         let s = company_node[tr.seller.index()];
@@ -212,9 +244,11 @@ pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionEr
         add_arc(&mut graph, s, t, ArcColor::Trading, tr.volume);
     }
     let trading_arc_count = graph.edge_count() - influence_arc_count;
+    time_stage("attach_trading", scope);
 
     // --- Verify the antecedent network is a DAG (Appendix A). ---
     // Build a view with only influence arcs and run Kahn's algorithm.
+    let scope = TimedScope::start();
     let mut antecedent: DiGraph<(), ()> =
         DiGraph::with_capacity(graph.node_count(), influence_arc_count);
     for _ in 0..graph.node_count() {
@@ -225,7 +259,9 @@ pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionEr
             antecedent.add_edge(e.source, e.target, ());
         }
     }
-    if !tpiin_graph::is_acyclic(&antecedent) {
+    let acyclic = tpiin_graph::is_acyclic(&antecedent);
+    time_stage("verify_dag", scope);
+    if !acyclic {
         return Err(FusionError::AntecedentNotAcyclic);
     }
 
@@ -255,7 +291,15 @@ pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionEr
         intra_syndicate_trades: tpiin.intra_syndicate_trades.len(),
         tpiin_nodes: tpiin.node_count(),
         mean_degree: tpiin.mean_degree(),
+        stage_timings,
     };
+    let total = whole.finish("fusion");
+    tpiin_obs::info!(
+        "fused {} nodes / {} arcs in {:?}",
+        report.tpiin_nodes,
+        report.influence_arcs + report.trading_arcs,
+        total
+    );
     Ok((tpiin, report))
 }
 
@@ -429,6 +473,27 @@ mod tests {
         assert!(rows[tpiin.influence_arc_count..]
             .iter()
             .all(|r| r.ends_with('0')));
+    }
+
+    #[test]
+    fn stage_timings_cover_the_pipeline_in_order() {
+        let (_, report) = fuse(&registry()).unwrap();
+        let stages: Vec<&str> = report
+            .stage_timings
+            .iter()
+            .map(|t| t.stage.as_str())
+            .collect();
+        assert_eq!(
+            stages,
+            [
+                "validate",
+                "contract_persons",
+                "contract_sccs",
+                "attach_trading",
+                "verify_dag"
+            ]
+        );
+        assert!(report.summary().contains("t(contract_sccs): "));
     }
 
     #[test]

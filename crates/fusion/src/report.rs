@@ -1,6 +1,27 @@
 //! Per-stage statistics of a fusion run (the numbers behind Figs. 11–16).
 
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Wall-clock duration of one fusion stage.
+///
+/// Stage names match the observability phase tree (`fusion/<stage>` in
+/// `tpiin-obs`): `validate`, `contract_persons`, `contract_sccs`,
+/// `attach_trading`, `verify_dag`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name.
+    pub stage: String,
+    /// Wall-clock nanoseconds spent in the stage.
+    pub nanos: u64,
+}
+
+impl StageTiming {
+    /// The timing as a [`Duration`].
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos(self.nanos)
+    }
+}
 
 /// Statistics gathered while fusing a [`tpiin_model::SourceRegistry`] into
 /// a [`crate::Tpiin`].
@@ -10,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// (Fig. 12), the investment graph `G3` (Fig. 13), the antecedent network
 /// `G123` (Fig. 14), the trading network `G4` (Fig. 15) and the final
 /// TPIIN with 4578 nodes (Fig. 16).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FusionReport {
     /// Source persons (directors + legal persons + others).
     pub persons: usize,
@@ -47,12 +68,16 @@ pub struct FusionReport {
     pub tpiin_nodes: usize,
     /// `(influence_arcs + trading_arcs) / tpiin_nodes`.
     pub mean_degree: f64,
+    /// Wall-clock timing of each pipeline stage, in execution order.
+    #[serde(skip_serializing_if = "Vec::is_empty", default)]
+    pub stage_timings: Vec<StageTiming>,
 }
 
 impl FusionReport {
-    /// Renders a compact multi-line summary, one stage per line.
+    /// Renders a compact multi-line summary, one stage per line, plus a
+    /// timing line per pipeline stage when timings were recorded.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "G1: {} persons, {} interdependence edges\n\
              G2: +{} companies, {} influence arcs\n\
              G12': {} person nodes ({} syndicates merged)\n\
@@ -76,7 +101,15 @@ impl FusionReport {
             self.influence_arcs,
             self.trading_arcs,
             self.mean_degree,
-        )
+        );
+        for t in &self.stage_timings {
+            out.push_str(&format!(
+                "\nt({}): {}",
+                t.stage,
+                tpiin_obs::profile::fmt_ns(t.nanos)
+            ));
+        }
+        out
     }
 }
 
@@ -95,5 +128,28 @@ mod tests {
         for stage in ["G1", "G2", "G12'", "G3", "G123", "G4", "TPIIN"] {
             assert!(s.contains(stage), "missing {stage} in summary");
         }
+        // No timings recorded -> no timing lines.
+        assert!(!s.contains("t("));
+    }
+
+    #[test]
+    fn summary_appends_one_timing_line_per_stage() {
+        let r = FusionReport {
+            stage_timings: vec![
+                StageTiming {
+                    stage: "validate".to_string(),
+                    nanos: 1_500,
+                },
+                StageTiming {
+                    stage: "verify_dag".to_string(),
+                    nanos: 2_000_000,
+                },
+            ],
+            ..Default::default()
+        };
+        let s = r.summary();
+        assert!(s.contains("t(validate): 1.5us"));
+        assert!(s.contains("t(verify_dag): 2.000ms"));
+        assert_eq!(r.stage_timings[1].duration(), Duration::from_millis(2));
     }
 }

@@ -185,8 +185,12 @@ proptest! {
     #[test]
     fn refusing_then_fusing_is_deterministic(raw in arb_registry()) {
         let registry = build(&raw);
-        let (a, ra) = fuse(&registry).expect("valid registry fuses");
-        let (b, rb) = fuse(&registry).expect("valid registry fuses");
+        let (a, mut ra) = fuse(&registry).expect("valid registry fuses");
+        let (b, mut rb) = fuse(&registry).expect("valid registry fuses");
+        // Stage wall-clock timings are inherently nondeterministic; the
+        // structural statistics must match exactly.
+        ra.stage_timings.clear();
+        rb.stage_timings.clear();
         prop_assert_eq!(ra, rb);
         prop_assert_eq!(a.node_count(), b.node_count());
         let arcs = |t: &tpiin_fusion::Tpiin| -> Vec<_> {

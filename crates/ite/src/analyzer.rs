@@ -99,6 +99,7 @@ impl ItePhase {
         market: &MarketModel,
         scope: &ScreeningScope,
     ) -> (Vec<Finding>, usize) {
+        let _span = tpiin_obs::Span::at("ite/screen");
         let aggregates = db.company_aggregates();
         let mut findings = Vec::new();
         let mut examined = 0usize;
@@ -143,6 +144,12 @@ impl ItePhase {
         ground_truth: &BTreeSet<TransactionId>,
     ) -> Evaluation {
         let (findings, examined) = self.screen(db, market, scope);
+        let _span = tpiin_obs::Span::at("ite/evaluate");
+        tpiin_obs::debug!(
+            "screened {examined} candidates of {} transactions -> {} findings",
+            db.len(),
+            findings.len()
+        );
         Evaluation::new(findings, examined, db.len(), ground_truth)
     }
 }

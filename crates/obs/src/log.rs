@@ -1,0 +1,181 @@
+//! A leveled stderr logger.
+//!
+//! The active level comes from the `TPIIN_LOG` environment variable
+//! (`error`, `warn`, `info`, `debug`, `trace`, or `off`; read once via
+//! [`init_from_env`]) or an explicit [`set_level`] call — the CLI's
+//! `--log-level` flag wins over the environment.  Disabled levels cost
+//! one relaxed atomic load at the macro call site.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-corrupting conditions.
+    Error = 1,
+    /// Suspicious but tolerated conditions.
+    Warn = 2,
+    /// High-level progress (one line per pipeline phase).
+    Info = 3,
+    /// Per-stage detail (graph sizes, counts).
+    Debug = 4,
+    /// Per-item detail; very verbose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Lower-case name, as accepted by [`Level::from_str`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level `{other}` (expected error, warn, info, debug, or trace)"
+            )),
+        }
+    }
+}
+
+/// 0 = all logging off; otherwise the numeric value of the max [`Level`].
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the maximum level that will be emitted; `None` silences all logging.
+pub fn set_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// The current maximum emitted level, if logging is enabled at all.
+pub fn max_level() -> Option<Level> {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        5 => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+/// Whether a record at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Applies `TPIIN_LOG` from the environment, keeping the default
+/// (`warn`) when unset and silencing on `off`/`none`.  Unparseable
+/// values are reported on stderr and otherwise ignored.
+pub fn init_from_env() {
+    let Ok(raw) = std::env::var("TPIIN_LOG") else {
+        return;
+    };
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return;
+    }
+    match raw.to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => set_level(None),
+        other => match other.parse::<Level>() {
+            Ok(level) => set_level(Some(level)),
+            Err(err) => eprintln!("tpiin: ignoring TPIIN_LOG: {err}"),
+        },
+    }
+}
+
+/// Emits one record to stderr if `level` is enabled.  Prefer the
+/// [`error!`](crate::error)/[`warn!`](crate::warn)/… macros, which add
+/// the module path and skip argument formatting when disabled.
+pub fn log(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("[{level:>5}] {target}: {args}");
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Error) {
+            $crate::log::log($crate::Level::Error, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Warn) {
+            $crate::log::log($crate::Level::Warn, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Info) {
+            $crate::log::log($crate::Level::Info, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Debug) {
+            $crate::log::log($crate::Level::Debug, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Trace) {
+            $crate::log::log($crate::Level::Trace, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("INFO".parse::<Level>(), Ok(Level::Info));
+        assert_eq!("warning".parse::<Level>(), Ok(Level::Warn));
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::Debug.to_string(), "debug");
+    }
+}

@@ -1,0 +1,320 @@
+//! The process-global metrics registry: counters, gauges, duration
+//! histograms, the aggregated span-phase tree and per-thread detector
+//! statistics.
+//!
+//! Registration (name -> handle) takes a short-lived lock on a `BTreeMap`;
+//! the returned handles are `Arc`s whose updates are single atomic
+//! operations, so hot paths that cache their handle are lock-free.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point measurement (stored as `f64` bits).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrites the gauge value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
+/// buckets: 1µs to 4s in factor-4 steps, plus an overflow bucket.
+pub const BUCKET_BOUNDS_NS: [u64; 12] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_000_000_000,
+    4_000_000_000,
+];
+
+/// A fixed-bucket duration histogram (lock-free recording).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_NS.len() + 1],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one duration observation.
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        let idx = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(BUCKET_BOUNDS_NS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest observation in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, aligned with [`BUCKET_BOUNDS_NS`] plus the
+    /// overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Aggregated span timings for one phase path.
+#[derive(Debug, Default)]
+pub(crate) struct PhaseAgg {
+    pub(crate) total_ns: AtomicU64,
+    pub(crate) calls: AtomicU64,
+}
+
+/// Work-stealing statistics reported by one detector worker thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Worker index within the pool.
+    pub thread: usize,
+    /// Batches claimed from the shared atomic work queue.
+    pub batches: u64,
+    /// Work items (subTPIIN roots) mined.
+    pub items: u64,
+    /// Wall-clock nanoseconds spent mining (excludes queue waiting).
+    pub busy_ns: u64,
+}
+
+/// The process-global registry behind [`global`].
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    phases: RwLock<BTreeMap<String, Arc<PhaseAgg>>>,
+    threads: Mutex<Vec<ThreadStats>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(existing) = map.read().get(name) {
+        return Arc::clone(existing);
+    }
+    Arc::clone(map.write().entry(name.to_string()).or_default())
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// Returns (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// Returns (registering on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Folds one span duration into the phase aggregate at `path`.
+    pub fn record_phase(&self, path: &str, d: Duration) {
+        let agg = get_or_insert(&self.phases, path);
+        agg.total_ns
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        agg.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends one worker thread's statistics.
+    pub fn record_thread(&self, stats: ThreadStats) {
+        self.threads.lock().push(stats);
+    }
+
+    /// Sorted `(name, value)` snapshot of all counters.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect()
+    }
+
+    /// Sorted `(name, value)` snapshot of all gauges.
+    pub fn gauges_snapshot(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .read()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect()
+    }
+
+    /// Sorted `(name, histogram)` snapshot of all histograms.
+    pub fn histograms_snapshot(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(name, h)| (name.clone(), Arc::clone(h)))
+            .collect()
+    }
+
+    /// Sorted `(path, total_ns, calls)` snapshot of the phase tree.
+    pub fn phases_snapshot(&self) -> Vec<(String, u64, u64)> {
+        self.phases
+            .read()
+            .iter()
+            .map(|(path, agg)| {
+                (
+                    path.clone(),
+                    agg.total_ns.load(Ordering::Relaxed),
+                    agg.calls.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Per-thread statistics, ordered by worker index.
+    pub fn threads_snapshot(&self) -> Vec<ThreadStats> {
+        let mut threads = self.threads.lock().clone();
+        threads.sort_by_key(|t| t.thread);
+        threads
+    }
+
+    /// Clears every metric, phase aggregate and thread record.  The CLI
+    /// calls this once before a profiled run so the exported
+    /// [`crate::RunProfile`] covers exactly one command.
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+        self.phases.write().clear();
+        self.threads.lock().clear();
+    }
+}
+
+/// The process-global registry every span, counter and the CLI report to.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("c");
+        c.inc();
+        c.add(4);
+        assert_eq!(registry.counter("c").get(), 5);
+        registry.gauge("g").set(2.5);
+        assert_eq!(registry.gauge("g").get(), 2.5);
+        assert_eq!(registry.counters_snapshot(), vec![("c".to_string(), 5)]);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_magnitudes() {
+        let h = Histogram::default();
+        h.record(Duration::from_nanos(500)); // bucket 0 (<= 1µs)
+        h.record(Duration::from_micros(100)); // <= 256µs
+        h.record(Duration::from_millis(2)); // <= 4ms
+        h.record(Duration::from_secs(60)); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max_ns(), 60_000_000_000);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.iter().sum::<u64>(), 4);
+        assert_eq!(buckets[0], 1);
+        assert_eq!(*buckets.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn phase_aggregation_sums_durations_and_calls() {
+        let registry = MetricsRegistry::new();
+        registry.record_phase("a/b", Duration::from_nanos(10));
+        registry.record_phase("a/b", Duration::from_nanos(30));
+        registry.record_phase("a", Duration::from_nanos(50));
+        assert_eq!(
+            registry.phases_snapshot(),
+            vec![("a".to_string(), 50, 1), ("a/b".to_string(), 40, 2)]
+        );
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x").inc();
+        registry.record_phase("p", Duration::from_nanos(1));
+        registry.record_thread(ThreadStats::default());
+        registry.reset();
+        assert!(registry.counters_snapshot().is_empty());
+        assert!(registry.phases_snapshot().is_empty());
+        assert!(registry.threads_snapshot().is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! RAII span timers.
+//!
+//! A [`Span`] measures the wall-clock time between construction and drop
+//! and folds it into the global phase tree
+//! ([`MetricsRegistry::record_phase`]).  Two constructors cover the two
+//! threading situations in the pipeline:
+//!
+//! * [`Span::enter`] nests under whatever span is already open on the
+//!   *current thread* (a thread-local path stack), so sequential code
+//!   gets a parent/child tree for free.
+//! * [`Span::at`] records under an explicit absolute path, which keeps
+//!   phase names consistent when the same logical phase runs on many
+//!   worker threads at once.
+//!
+//! When profiling is disabled ([`crate::set_profiling`]) both
+//! constructors cost a single relaxed atomic load and record nothing.
+
+use crate::metrics::{global, MetricsRegistry};
+use crate::profiling_enabled;
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static CURRENT_PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// An RAII timer that records into the global phase tree on drop.
+#[must_use = "a span records its phase when dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    /// `None` when profiling is off — drop is then a no-op.
+    active: Option<SpanInner>,
+}
+
+struct SpanInner {
+    path: String,
+    /// Byte length of the thread-local path before this span opened;
+    /// restored on drop.  `None` for absolute ([`Span::at`]) spans,
+    /// which leave the thread-local stack untouched.
+    saved_len: Option<usize>,
+    started: Instant,
+}
+
+impl Span {
+    /// Opens a span named `name` nested under the current thread's
+    /// innermost open span (if any).
+    pub fn enter(name: &str) -> Span {
+        if !profiling_enabled() {
+            return Span { active: None };
+        }
+        let (path, saved_len) = CURRENT_PATH.with(|current| {
+            let mut current = current.borrow_mut();
+            let saved_len = current.len();
+            if !current.is_empty() {
+                current.push('/');
+            }
+            current.push_str(name);
+            (current.clone(), saved_len)
+        });
+        Span {
+            active: Some(SpanInner {
+                path,
+                saved_len: Some(saved_len),
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Opens a span at the absolute `path`, independent of any
+    /// thread-local nesting.  Use from worker threads so the phase name
+    /// matches the coordinator's tree.
+    pub fn at(path: &str) -> Span {
+        if !profiling_enabled() {
+            return Span { active: None };
+        }
+        Span {
+            active: Some(SpanInner {
+                path: path.to_string(),
+                saved_len: None,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// The full `/`-separated path this span records under, or `None`
+    /// when profiling was off at construction.
+    pub fn path(&self) -> Option<&str> {
+        self.active.as_ref().map(|inner| inner.path.as_str())
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.active.take() else {
+            return;
+        };
+        let elapsed = inner.started.elapsed();
+        if let Some(saved_len) = inner.saved_len {
+            CURRENT_PATH.with(|current| current.borrow_mut().truncate(saved_len));
+        }
+        global().record_phase(&inner.path, elapsed);
+    }
+}
+
+/// A scope timer that *always* measures and hands the duration back,
+/// recording into a registry only when profiling is on.
+///
+/// Fusion uses this for `FusionReport::stage_timings`, which must be
+/// populated on every run regardless of `--profile`.
+pub struct TimedScope {
+    started: Instant,
+}
+
+impl TimedScope {
+    /// Starts measuring.
+    pub fn start() -> TimedScope {
+        TimedScope {
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops measuring, records under `path` in the global registry when
+    /// profiling is enabled, and returns the elapsed duration either way.
+    pub fn finish(self, path: &str) -> Duration {
+        self.finish_into(global(), path)
+    }
+
+    /// As [`TimedScope::finish`], against an explicit registry (tests).
+    pub fn finish_into(self, registry: &MetricsRegistry, path: &str) -> Duration {
+        let elapsed = self.started.elapsed();
+        if profiling_enabled() {
+            registry.record_phase(path, elapsed);
+        }
+        elapsed
+    }
+}

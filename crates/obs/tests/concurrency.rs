@@ -1,0 +1,166 @@
+//! Integration tests for tpiin-obs: multi-threaded metric hammering,
+//! span-tree nesting, and `TPIIN_LOG`-style level filtering.
+//!
+//! Tests that flip process-global state (the profiling flag, the log
+//! level) serialise on [`GLOBAL_STATE`]; metric names are unique per
+//! test so assertions are immune to other tests sharing the global
+//! registry.
+
+use std::sync::Mutex;
+use std::time::Duration;
+use tpiin_obs::{global, set_profiling, Level, MetricsRegistry, Span, TimedScope};
+
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+fn lock_global() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn eight_threads_hammering_counters_and_histograms_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let registry = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                let shared = registry.counter("conc.shared");
+                let own = registry.counter(&format!("conc.thread{t}"));
+                let hist = registry.histogram("conc.latency");
+                for i in 0..PER_THREAD {
+                    shared.inc();
+                    own.add(2);
+                    hist.record(Duration::from_nanos(i % 5_000_000));
+                    registry.record_phase("conc/phase", Duration::from_nanos(1));
+                }
+            });
+        }
+    });
+
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(registry.counter("conc.shared").get(), total);
+    for t in 0..THREADS {
+        assert_eq!(
+            registry.counter(&format!("conc.thread{t}")).get(),
+            2 * PER_THREAD
+        );
+    }
+
+    let hist = registry.histogram("conc.latency");
+    assert_eq!(hist.count(), total);
+    assert_eq!(hist.bucket_counts().iter().sum::<u64>(), total);
+    let per_thread_sum: u64 = (0..PER_THREAD).map(|i| i % 5_000_000).sum();
+    assert_eq!(hist.sum_ns(), THREADS as u64 * per_thread_sum);
+
+    let phases = registry.phases_snapshot();
+    let (_, phase_ns, phase_calls) = phases
+        .iter()
+        .find(|(path, _, _)| path == "conc/phase")
+        .expect("phase recorded");
+    assert_eq!(*phase_calls, total);
+    assert_eq!(*phase_ns, total);
+}
+
+#[test]
+fn spans_nest_into_a_parent_child_tree() {
+    let _guard = lock_global();
+    set_profiling(true);
+
+    {
+        let outer = Span::enter("nest_outer");
+        assert_eq!(outer.path(), Some("nest_outer"));
+        {
+            let inner = Span::enter("nest_inner");
+            assert_eq!(inner.path(), Some("nest_outer/nest_inner"));
+            let absolute = Span::at("nest_absolute/leaf");
+            assert_eq!(absolute.path(), Some("nest_absolute/leaf"));
+        }
+        // After the inner span closed, new siblings nest under the outer
+        // span again rather than under the closed child.
+        let sibling = Span::enter("nest_sibling");
+        assert_eq!(sibling.path(), Some("nest_outer/nest_sibling"));
+    }
+
+    set_profiling(false);
+
+    let phases = global().phases_snapshot();
+    let calls = |path: &str| {
+        phases
+            .iter()
+            .find(|(p, _, _)| p == path)
+            .map(|(_, _, calls)| *calls)
+    };
+    assert_eq!(calls("nest_outer"), Some(1));
+    assert_eq!(calls("nest_outer/nest_inner"), Some(1));
+    assert_eq!(calls("nest_outer/nest_sibling"), Some(1));
+    assert_eq!(calls("nest_absolute/leaf"), Some(1));
+}
+
+#[test]
+fn spans_are_inert_when_profiling_is_off() {
+    let _guard = lock_global();
+    set_profiling(false);
+
+    {
+        let span = Span::enter("inert_outer");
+        assert_eq!(span.path(), None);
+        let inner = Span::at("inert_inner");
+        assert_eq!(inner.path(), None);
+    }
+
+    let phases = global().phases_snapshot();
+    assert!(phases
+        .iter()
+        .all(|(path, _, _)| !path.starts_with("inert_")));
+}
+
+#[test]
+fn timed_scope_measures_even_without_profiling() {
+    let _guard = lock_global();
+    set_profiling(false);
+
+    let registry = MetricsRegistry::new();
+    let scope = TimedScope::start();
+    std::thread::sleep(Duration::from_millis(2));
+    let elapsed = scope.finish_into(&registry, "scope_off");
+    assert!(elapsed >= Duration::from_millis(2));
+    assert!(registry.phases_snapshot().is_empty());
+
+    set_profiling(true);
+    let scope = TimedScope::start();
+    let elapsed = scope.finish_into(&registry, "scope_on");
+    set_profiling(false);
+    let phases = registry.phases_snapshot();
+    assert_eq!(phases.len(), 1);
+    assert_eq!(phases[0].0, "scope_on");
+    assert!(elapsed.as_nanos() > 0);
+}
+
+#[test]
+fn log_level_filtering_matches_tpiin_log_semantics() {
+    let _guard = lock_global();
+    let previous = tpiin_obs::log::max_level();
+
+    // Default CLI behaviour: explicit level wins.
+    tpiin_obs::log::set_level(Some(Level::Info));
+    assert!(tpiin_obs::log::enabled(Level::Error));
+    assert!(tpiin_obs::log::enabled(Level::Info));
+    assert!(!tpiin_obs::log::enabled(Level::Debug));
+    assert!(!tpiin_obs::log::enabled(Level::Trace));
+
+    // `TPIIN_LOG=off` silences everything, including errors.
+    tpiin_obs::log::set_level(None);
+    assert!(!tpiin_obs::log::enabled(Level::Error));
+    assert_eq!(tpiin_obs::log::max_level(), None);
+
+    tpiin_obs::log::set_level(Some(Level::Trace));
+    assert!(tpiin_obs::log::enabled(Level::Trace));
+
+    // The env-var strings the logger accepts.
+    assert_eq!("debug".parse::<Level>(), Ok(Level::Debug));
+    assert!("loud".parse::<Level>().is_err());
+
+    tpiin_obs::log::set_level(previous);
+}

@@ -19,6 +19,8 @@
 //!   susGroup/susTrade reports, GraphML export.
 //! * [`ite`] — the ITE phase: transaction-level arm's-length screening
 //!   over the suspicious groups (Fig. 4's second stage).
+//! * [`obs`] — observability substrate: metrics registry, RAII span
+//!   timers, leveled logging, run-profile export.
 
 pub use tpiin_core as detect;
 pub use tpiin_datagen as datagen;
@@ -27,3 +29,4 @@ pub use tpiin_graph as graph;
 pub use tpiin_io as io;
 pub use tpiin_ite as ite;
 pub use tpiin_model as model;
+pub use tpiin_obs as obs;

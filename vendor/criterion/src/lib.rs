@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `sample_size`, `throughput`,
+//! `BenchmarkId`, `black_box`, `Bencher::iter` — with a deliberately
+//! small measurement loop: per benchmark, one warm-up call plus a short
+//! timed run, reporting mean wall-clock per iteration to stdout.  No
+//! statistics, plots, or baselines; enough to time hot paths offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` resolves.
+pub use std::hint::black_box;
+
+/// Iteration driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    /// Mean wall-clock per iteration of the measured run.
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `iters` measured calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.per_iter = start.elapsed() / self.iters as u32;
+    }
+}
+
+/// Throughput annotation; accepted and ignored by the stub reporter.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id with an explicit function name and parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion for the id argument of `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+fn run_one(group: &str, id: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 3,
+        per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "bench {label}: {:?} per iter ({} iters)",
+        b.per_iter, b.iters
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub reports raw time only.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_one(&self.name, &id.into_id(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        run_one(&self.name, &id.into_id(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Benchmark manager mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_one("", &id.into_id(), |b| f(b));
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion;
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0usize;
+        group
+            .sample_size(10)
+            .throughput(Throughput::Elements(1))
+            .bench_function("direct", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no reachable crates.io mirror, so the real
+//! `serde` cannot be fetched.  This stub provides exactly the surface the
+//! workspace uses: the two trait names (as markers) and the `derive`
+//! re-exports.  Nothing in the workspace calls serde's runtime
+//! serialization — every JSON/CSV surface is hand-written
+//! (`tpiin-io::json`, `tpiin-obs::json`) — so marker traits suffice.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

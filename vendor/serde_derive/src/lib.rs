@@ -1,0 +1,50 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The stub `serde` traits are markers, so the derives only need to emit
+//! empty impl blocks.  The input is parsed with raw `proc_macro` tokens
+//! (no `syn`/`quote` available offline): scan top-level tokens for the
+//! `struct`/`enum` keyword and take the following identifier as the type
+//! name.  `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    for (i, tt) in tokens.iter().enumerate() {
+        let TokenTree::Ident(word) = tt else { continue };
+        let word = word.to_string();
+        if word != "struct" && word != "enum" && word != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i + 1) else {
+            break;
+        };
+        let name = name.to_string();
+        if let Some(TokenTree::Punct(p)) = tokens.get(i + 2) {
+            if p.as_char() == '<' {
+                panic!(
+                    "serde_derive stub: generic type `{name}` is not supported; \
+                     derive on concrete types only"
+                );
+            }
+        }
+        return name;
+    }
+    panic!("serde_derive stub: no struct/enum name found in derive input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
