@@ -34,6 +34,102 @@ impl BenchRecord {
     }
 }
 
+/// One workload timed across the three detection arms: the legacy
+/// nested-adjacency shards, the CSR shards run serially, and the CSR
+/// shards under the work-stealing scheduler.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadRecord {
+    /// Workload label (`fig7`, `province-0.5`, ...).
+    pub name: String,
+    /// Suspicious groups found (identical across arms by construction).
+    pub groups: usize,
+    /// SubTPIINs the network segmented into.
+    pub subtpiins: usize,
+    /// Serial detection over the legacy `Vec<Vec<u32>>` adjacency shards.
+    pub nested_serial_ms: f64,
+    /// Serial detection over the frozen CSR shards.
+    pub csr_serial_ms: f64,
+    /// Work-stealing detection over the CSR shards at [`threads`](Self::threads).
+    pub csr_threads_ms: f64,
+    /// Worker-thread count of the stealing arm.
+    pub threads: usize,
+}
+
+impl WorkloadRecord {
+    /// How much faster the CSR kernel is than the nested adjacency, serially.
+    pub fn csr_over_nested(&self) -> f64 {
+        self.nested_serial_ms / self.csr_serial_ms
+    }
+
+    /// How much faster the stealing scheduler is than serial CSR.
+    pub fn thread_speedup(&self) -> f64 {
+        self.csr_serial_ms / self.csr_threads_ms
+    }
+
+    /// The workload as a JSON value (ratios included, pre-computed).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("groups".to_string(), Json::Int(self.groups as u64)),
+            ("subtpiins".to_string(), Json::Int(self.subtpiins as u64)),
+            (
+                "nested_serial_ms".to_string(),
+                Json::Float(self.nested_serial_ms),
+            ),
+            ("csr_serial_ms".to_string(), Json::Float(self.csr_serial_ms)),
+            (
+                "csr_threads_ms".to_string(),
+                Json::Float(self.csr_threads_ms),
+            ),
+            ("threads".to_string(), Json::Int(self.threads as u64)),
+            (
+                "csr_over_nested".to_string(),
+                Json::Float(self.csr_over_nested()),
+            ),
+            (
+                "thread_speedup".to_string(),
+                Json::Float(self.thread_speedup()),
+            ),
+        ])
+    }
+}
+
+/// The full `BENCH_detect.json` payload: every workload, plus the
+/// legacy top-level `{wall_ms, groups, subtpiins}` fields (taken from
+/// the last — largest — workload's serial CSR arm) so existing trend
+/// tooling keeps parsing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DetectBench {
+    /// Hardware threads the host actually exposes; lets readers judge
+    /// whether the stealing arm could physically speed up.
+    pub host_cpus: usize,
+    /// Per-workload measurements.
+    pub workloads: Vec<WorkloadRecord>,
+}
+
+impl DetectBench {
+    /// The record as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(last) = self.workloads.last() {
+            fields.push(("wall_ms".to_string(), Json::Float(last.csr_serial_ms)));
+            fields.push(("groups".to_string(), Json::Int(last.groups as u64)));
+            fields.push(("subtpiins".to_string(), Json::Int(last.subtpiins as u64)));
+        }
+        fields.push(("host_cpus".to_string(), Json::Int(self.host_cpus as u64)));
+        fields.push((
+            "workloads".to_string(),
+            Json::Array(self.workloads.iter().map(WorkloadRecord::to_json).collect()),
+        ));
+        Json::Object(fields)
+    }
+
+    /// Writes the record to `path` as pretty-printed JSON.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,5 +145,43 @@ mod tests {
         assert!(text.contains("\"wall_ms\": 12.5"));
         assert!(text.contains("\"groups\": 42"));
         assert!(text.contains("\"subtpiins\": 7"));
+    }
+
+    #[test]
+    fn workload_ratios_divide_the_right_way() {
+        let w = WorkloadRecord {
+            name: "toy".into(),
+            groups: 3,
+            subtpiins: 2,
+            nested_serial_ms: 30.0,
+            csr_serial_ms: 20.0,
+            csr_threads_ms: 5.0,
+            threads: 8,
+        };
+        assert!((w.csr_over_nested() - 1.5).abs() < 1e-12);
+        assert!((w.thread_speedup() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detect_bench_keeps_legacy_headline_fields() {
+        let bench = DetectBench {
+            host_cpus: 8,
+            workloads: vec![WorkloadRecord {
+                name: "province-0.5".into(),
+                groups: 42,
+                subtpiins: 7,
+                nested_serial_ms: 30.0,
+                csr_serial_ms: 12.5,
+                csr_threads_ms: 4.0,
+                threads: 8,
+            }],
+        };
+        let text = bench.to_json().to_pretty();
+        assert!(text.contains("\"wall_ms\": 12.5"));
+        assert!(text.contains("\"groups\": 42"));
+        assert!(text.contains("\"subtpiins\": 7"));
+        assert!(text.contains("\"workloads\""));
+        assert!(text.contains("\"thread_speedup\""));
+        assert!(text.contains("\"csr_over_nested\""));
     }
 }

@@ -78,7 +78,7 @@ fn detector(opts: &Options, collect: bool) -> Detector {
 
 /// `tpiin table1` — one row per trading probability, same columns as the
 /// paper's Table 1 plus wall-clock time.
-pub fn table1(opts: &Options) -> Result<(), String> {
+pub fn table1(opts: &Options) -> Result<(), tpiin::Error> {
     let (base_registry, config) = province(opts);
     println!(
         "# Table 1 reproduction — {} directors, {} legal persons, {} companies (seed {})",
@@ -103,7 +103,7 @@ pub fn table1(opts: &Options) -> Result<(), String> {
         // base seed and the probability (the paper regenerates per row).
         let trade_seed = opts.seed ^ (p * 1e6) as u64;
         add_random_trading(&mut registry, p, trade_seed);
-        let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+        let (tpiin, _) = fuse(&registry)?;
         // The paper's "average node degree" divides by the source node
         // count (4578), not the post-contraction TPIIN node count.
         let source_nodes = registry.person_count() + registry.company_count();
@@ -151,11 +151,11 @@ pub fn table1(opts: &Options) -> Result<(), String> {
 
 /// `tpiin stats` — the fusion report (Figs. 11–16 numbers) plus
 /// segmentation statistics.
-pub fn stats(opts: &Options) -> Result<(), String> {
+pub fn stats(opts: &Options) -> Result<(), tpiin::Error> {
     let (mut registry, config) = province(opts);
     let p = *opts.sweep_probs().first().unwrap_or(&0.002);
     add_random_trading(&mut registry, p, opts.seed);
-    let (tpiin, report) = fuse(&registry).map_err(|e| e.to_string())?;
+    let (tpiin, report) = fuse(&registry)?;
     println!("# Network construction (Figs. 11-16), trading probability {p}");
     println!("{}", report.summary());
     let subs = segment_tpiin(&tpiin);
@@ -179,15 +179,15 @@ pub fn stats(opts: &Options) -> Result<(), String> {
 }
 
 /// `tpiin worked-example` — Figs. 7–10 and the three groups.
-pub fn worked_example() -> Result<(), String> {
+pub fn worked_example() -> Result<(), tpiin::Error> {
     let registry = fig7_registry();
-    let (tpiin, report) = fuse(&registry).map_err(|e| e.to_string())?;
+    let (tpiin, report) = fuse(&registry)?;
     println!("# Fig. 7 -> Fig. 8 fusion");
     println!("{}", report.summary());
     let subs = segment_tpiin(&tpiin);
     println!("\n# Fig. 10 — potential component pattern base");
     let base = generate_pattern_base(&subs[0], usize::MAX)
-        .ok_or("pattern tree overflow on the worked example")?;
+        .ok_or_else(|| tpiin::Error::Usage("pattern tree overflow on the worked example".into()))?;
     for (i, pattern) in base.iter().enumerate() {
         println!("{:>2}. {}", i + 1, pattern.render(&tpiin));
     }
@@ -205,7 +205,7 @@ pub fn worked_example() -> Result<(), String> {
 }
 
 /// `tpiin cases` — Section 3.1 case studies.
-pub fn cases() -> Result<(), String> {
+pub fn cases() -> Result<(), tpiin::Error> {
     for (name, registry, expected_adjustment) in [
         (
             "Case 1 (transfer pricing via kin legal persons)",
@@ -223,7 +223,7 @@ pub fn cases() -> Result<(), String> {
             "19.89M RMB",
         ),
     ] {
-        let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+        let (tpiin, _) = fuse(&registry)?;
         let result = detect(&tpiin);
         println!("# {name} — tax adjustment in the paper: {expected_adjustment}");
         for group in &result.groups {
@@ -240,11 +240,11 @@ pub fn cases() -> Result<(), String> {
 }
 
 /// `tpiin detect` — one random TPIIN, top-scored groups printed.
-pub fn detect_one(opts: &Options) -> Result<(), String> {
+pub fn detect_one(opts: &Options) -> Result<(), tpiin::Error> {
     let (mut registry, _) = province(opts);
     let p = *opts.sweep_probs().first().unwrap_or(&0.002);
     add_random_trading(&mut registry, p, opts.seed);
-    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let (tpiin, _) = fuse(&registry)?;
     let start = Instant::now();
     let result = detector(opts, true).detect(&tpiin);
     println!(
@@ -272,14 +272,14 @@ pub fn detect_one(opts: &Options) -> Result<(), String> {
 /// `tpiin export-dot` — Graphviz rendering of a generated TPIIN, colored
 /// like the paper's figures (red companies, black persons, blue influence
 /// arcs, black trading arcs).
-pub fn export_dot(opts: &Options) -> Result<(), String> {
+pub fn export_dot(opts: &Options) -> Result<(), tpiin::Error> {
     let (mut registry, _) = province(opts);
     let p = *opts.sweep_probs().first().unwrap_or(&0.002);
     add_random_trading(&mut registry, p, opts.seed);
-    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let (tpiin, _) = fuse(&registry)?;
     let text = render_dot(&tpiin);
     match &opts.out {
-        Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+        Some(path) => std::fs::write(path, text).map_err(|e| tpiin::Error::file(path, e))?,
         None => print!("{text}"),
     }
     Ok(())
@@ -301,13 +301,15 @@ fn render_dot(tpiin: &Tpiin) -> String {
 }
 
 /// `tpiin save-province` — write the synthetic registry as CSV files.
-pub fn save_province(opts: &Options) -> Result<(), String> {
-    let dir = opts.dir.as_deref().ok_or("save-province requires --dir")?;
+pub fn save_province(opts: &Options) -> Result<(), tpiin::Error> {
+    let dir = opts
+        .dir
+        .as_deref()
+        .ok_or_else(|| tpiin::Error::Usage("save-province requires --dir".into()))?;
     let (mut registry, _) = province(opts);
     let p = *opts.sweep_probs().first().unwrap_or(&0.002);
     add_random_trading(&mut registry, p, opts.seed);
-    tpiin_io::registry_csv::save_registry(&registry, std::path::Path::new(dir))
-        .map_err(|e| e.to_string())?;
+    tpiin_io::registry_csv::save_registry(&registry, std::path::Path::new(dir))?;
     println!(
         "wrote {} persons, {} companies, {} trading records to {dir}/",
         registry.person_count(),
@@ -318,11 +320,13 @@ pub fn save_province(opts: &Options) -> Result<(), String> {
 }
 
 /// `tpiin import` — load a CSV registry, fuse, detect, print a summary.
-pub fn import(opts: &Options) -> Result<(), String> {
-    let dir = opts.dir.as_deref().ok_or("import requires --dir")?;
-    let registry = tpiin_io::registry_csv::load_registry(std::path::Path::new(dir))
-        .map_err(|e| e.to_string())?;
-    let (tpiin, report) = fuse(&registry).map_err(|e| e.to_string())?;
+pub fn import(opts: &Options) -> Result<(), tpiin::Error> {
+    let dir = opts
+        .dir
+        .as_deref()
+        .ok_or_else(|| tpiin::Error::Usage("import requires --dir".into()))?;
+    let registry = tpiin_io::registry_csv::load_registry(std::path::Path::new(dir))?;
+    let (tpiin, report) = fuse(&registry)?;
     println!("{}", report.summary());
     let result = detector(opts, false).detect(&tpiin);
     println!("{}", result.summary());
@@ -331,15 +335,17 @@ pub fn import(opts: &Options) -> Result<(), String> {
 
 /// `tpiin report` — detect on a generated (or imported) TPIIN and write
 /// the paper's susGroup/susTrade files plus summary.json.
-pub fn report(opts: &Options) -> Result<(), String> {
-    let dir = opts.dir.as_deref().ok_or("report requires --dir")?;
+pub fn report(opts: &Options) -> Result<(), tpiin::Error> {
+    let dir = opts
+        .dir
+        .as_deref()
+        .ok_or_else(|| tpiin::Error::Usage("report requires --dir".into()))?;
     let (mut registry, _) = province(opts);
     let p = *opts.sweep_probs().first().unwrap_or(&0.002);
     add_random_trading(&mut registry, p, opts.seed);
-    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let (tpiin, _) = fuse(&registry)?;
     let result = detector(opts, true).detect(&tpiin);
-    let files = tpiin_io::reports::write_reports(&tpiin, &result, std::path::Path::new(dir))
-        .map_err(|e| e.to_string())?;
+    let files = tpiin_io::reports::write_reports(&tpiin, &result, std::path::Path::new(dir))?;
     println!(
         "wrote {files} files to {dir}/ ({} groups across {} subTPIINs)",
         result.group_count(),
@@ -350,22 +356,22 @@ pub fn report(opts: &Options) -> Result<(), String> {
 
 /// `tpiin query` — the Section 6 drill-down: proof chains behind one
 /// trading relationship.
-pub fn query(opts: &Options) -> Result<(), String> {
+pub fn query(opts: &Options) -> Result<(), tpiin::Error> {
     let (seller_label, buyer_label) = opts
         .arc
         .as_ref()
-        .ok_or("query requires --arc SELLER,BUYER")?;
+        .ok_or_else(|| tpiin::Error::Usage("query requires --arc SELLER,BUYER".into()))?;
     let (mut registry, _) = province(opts);
     let p = *opts.sweep_probs().first().unwrap_or(&0.002);
     add_random_trading(&mut registry, p, opts.seed);
-    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let (tpiin, _) = fuse(&registry)?;
     let find = |label: &str| {
         tpiin
             .graph
             .nodes()
             .find(|(_, n)| n.label() == label)
             .map(|(id, _)| id)
-            .ok_or_else(|| format!("no node labelled `{label}`"))
+            .ok_or_else(|| tpiin::Error::Usage(format!("no node labelled `{label}`")))
     };
     let seller = find(seller_label)?;
     let buyer = find(buyer_label)?;
@@ -384,32 +390,32 @@ pub fn query(opts: &Options) -> Result<(), String> {
     if let Some(path) = &opts.out {
         // Drill-down view of the first group, Servyou-style.
         let dot = tpiin_io::groupviz::group_dot(&tpiin, &groups[0]);
-        std::fs::write(path, dot).map_err(|e| e.to_string())?;
+        std::fs::write(path, dot).map_err(|e| tpiin::Error::file(path, e))?;
         println!("wrote drill-down DOT of the first group to {path}");
     }
     Ok(())
 }
 
 /// `tpiin export-graphml` — Gephi-compatible export.
-pub fn export_graphml(opts: &Options) -> Result<(), String> {
+pub fn export_graphml(opts: &Options) -> Result<(), tpiin::Error> {
     let (mut registry, _) = province(opts);
     let p = *opts.sweep_probs().first().unwrap_or(&0.002);
     add_random_trading(&mut registry, p, opts.seed);
-    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let (tpiin, _) = fuse(&registry)?;
     let text = tpiin_io::graphml::tpiin_graphml(&tpiin);
     match &opts.out {
-        Some(path) => std::fs::write(path, text).map_err(|e| e.to_string())?,
+        Some(path) => std::fs::write(path, text).map_err(|e| tpiin::Error::file(path, e))?,
         None => print!("{text}"),
     }
     Ok(())
 }
 
 /// `tpiin two-phase` — the full Fig. 4 pipeline with evaluation.
-pub fn two_phase(opts: &Options) -> Result<(), String> {
+pub fn two_phase(opts: &Options) -> Result<(), tpiin::Error> {
     let (mut registry, _) = province(opts);
     let p = *opts.sweep_probs().first().unwrap_or(&0.002);
     add_random_trading(&mut registry, p, opts.seed);
-    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let (tpiin, _) = fuse(&registry)?;
     let msg = detector(opts, false).detect(&tpiin);
     println!(
         "MSG: {} of {} trading relationships suspicious ({:.2}%)",
@@ -453,15 +459,15 @@ pub fn two_phase(opts: &Options) -> Result<(), String> {
 }
 
 /// `tpiin company` — the Fig. 17/18 investment-tree view.
-pub fn company(opts: &Options) -> Result<(), String> {
+pub fn company(opts: &Options) -> Result<(), tpiin::Error> {
     let label = opts
         .company
         .as_deref()
-        .ok_or("company requires --company LABEL")?;
+        .ok_or_else(|| tpiin::Error::Usage("company requires --company LABEL".into()))?;
     let (registry, _) = province(opts);
     let id = registry
         .company_by_name(label)
-        .ok_or_else(|| format!("no company named `{label}`"))?;
+        .ok_or_else(|| tpiin::Error::Usage(format!("no company named `{label}`")))?;
     print!(
         "{}",
         tpiin_io::company_tree::investment_tree(&registry, id, 5)
@@ -473,17 +479,17 @@ pub fn company(opts: &Options) -> Result<(), String> {
 /// its controlling persons and affiliates, its suspicious trading
 /// relationships with proof chains, and the ALP screening of the detail
 /// transactions behind them.
-pub fn analyze(opts: &Options) -> Result<(), String> {
+pub fn analyze(opts: &Options) -> Result<(), tpiin::Error> {
     let label = opts
         .company
         .as_deref()
-        .ok_or("analyze requires --company LABEL")?;
+        .ok_or_else(|| tpiin::Error::Usage("analyze requires --company LABEL".into()))?;
     let (mut registry, _) = province(opts);
     let p = *opts.sweep_probs().first().unwrap_or(&0.002);
     add_random_trading(&mut registry, p, opts.seed);
     let company_id = registry
         .company_by_name(label)
-        .ok_or_else(|| format!("no company named `{label}`"))?;
+        .ok_or_else(|| tpiin::Error::Usage(format!("no company named `{label}`")))?;
 
     println!("# Investment structure (Fig. 17)");
     print!(
@@ -491,7 +497,7 @@ pub fn analyze(opts: &Options) -> Result<(), String> {
         tpiin_io::company_tree::investment_tree(&registry, company_id, 3)
     );
 
-    let (tpiin, _) = fuse(&registry).map_err(|e| e.to_string())?;
+    let (tpiin, _) = fuse(&registry)?;
     let node = tpiin.company_node[company_id.index()];
     let msg = detector(opts, true).detect(&tpiin);
 

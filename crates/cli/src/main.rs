@@ -18,20 +18,43 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match run(&argv) {
         Ok(()) => 0,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            2
+        Err(err) => {
+            eprintln!("error: {err}");
+            // Walk the source chain so layered failures stay readable,
+            // skipping causes whose message the layer above already shows.
+            let mut prev = err.to_string();
+            let mut source = std::error::Error::source(&err);
+            while let Some(cause) = source {
+                let msg = cause.to_string();
+                if !prev.contains(&msg) {
+                    eprintln!("  caused by: {msg}");
+                }
+                prev = msg;
+                source = cause.source();
+            }
+            exit_code(&err)
         }
     };
     std::process::exit(code);
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+/// The single place error categories map onto process exit codes:
+/// 2 = bad invocation, 3 = invalid input data, 4 = file trouble.
+fn exit_code(err: &tpiin::Error) -> i32 {
+    match err {
+        tpiin::Error::Usage(_) => 2,
+        tpiin::Error::Model(_) | tpiin::Error::Fusion(_) => 3,
+        tpiin::Error::Io(_) | tpiin::Error::File { .. } => 4,
+        _ => 1, // `Error` is non_exhaustive
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), tpiin::Error> {
     let Some(cmd) = argv.first() else {
         print!("{}", commands::HELP);
         return Ok(());
     };
-    let opts = args::Options::parse(&argv[1..])?;
+    let opts = args::Options::parse(&argv[1..]).map_err(tpiin::Error::Usage)?;
 
     tpiin_obs::log::init_from_env();
     if let Some(level) = opts.log_level {
@@ -54,14 +77,14 @@ fn run(argv: &[String]) -> Result<(), String> {
         }
         if let Some(path) = &opts.metrics_out {
             std::fs::write(path, profile.to_json().to_pretty())
-                .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+                .map_err(|e| tpiin::Error::file(path, e))?;
             eprintln!("profile written to {path}");
         }
     }
     Ok(())
 }
 
-fn dispatch(cmd: &str, opts: &args::Options) -> Result<(), String> {
+fn dispatch(cmd: &str, opts: &args::Options) -> Result<(), tpiin::Error> {
     match cmd {
         "table1" => commands::table1(opts),
         "stats" => commands::stats(opts),
@@ -81,6 +104,8 @@ fn dispatch(cmd: &str, opts: &args::Options) -> Result<(), String> {
             print!("{}", commands::HELP);
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`; see `tpiin help`")),
+        other => Err(tpiin::Error::Usage(format!(
+            "unknown command `{other}`; see `tpiin help`"
+        ))),
     }
 }

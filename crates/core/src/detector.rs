@@ -1,12 +1,20 @@
-//! Algorithm 1 orchestration: serial and parallel suspicious-group
-//! detection over a whole TPIIN.
+//! Algorithm 1 orchestration: serial and work-stealing parallel
+//! suspicious-group detection over a whole TPIIN.
+//!
+//! The parallel path shards detection into (subTPIIN, root) work items,
+//! sorts them by estimated shard cost (nodes + trading arcs, heaviest
+//! first), seeds one deque per worker round-robin, and lets idle workers
+//! steal from siblings.  Outcomes carry their original work index and are
+//! sorted before merging, so results are bit-identical to the serial run
+//! regardless of scheduling.
 
 use crate::matching::match_root;
 use crate::result::{DetectionResult, GroupKind, SubTpiinStats, SuspiciousGroup};
-use crate::subtpiin::{segment_tpiin, SubTpiin};
+use crate::subtpiin::segment_tpiin;
+use crate::topology::ShardTopology;
 use crate::tree::PatternsTree;
+use crossbeam::deque::{Steal, Stealer, Worker};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use tpiin_fusion::Tpiin;
 use tpiin_graph::NodeId;
 use tpiin_obs::{Span, ThreadStats};
@@ -57,7 +65,11 @@ struct RootOutcome {
     overflowed: bool,
 }
 
-fn mine_root(sub: &SubTpiin, root: u32, config: &DetectorConfig) -> RootOutcome {
+fn mine_root<S: ShardTopology + ?Sized>(
+    sub: &S,
+    root: u32,
+    config: &DetectorConfig,
+) -> RootOutcome {
     let mut out = RootOutcome::default();
     // Absolute phase path: workers on any thread aggregate into the same
     // `detect/build_tree` node as the serial path.
@@ -70,12 +82,12 @@ fn mine_root(sub: &SubTpiin, root: u32, config: &DetectorConfig) -> RootOutcome 
     };
     out.tree_nodes = tree.nodes.len();
     out.patterns = tree.a_leaves.len() + tree.b_leaves.len();
-    let to_global = |v: u32| sub.global[v as usize];
+    let to_global = |v: u32| sub.global(v);
     match_root(sub, &tree, |view| {
         let arc = (to_global(view.trade_source), to_global(view.target));
         if view.circle {
             let group = SuspiciousGroup {
-                subtpiin: sub.index,
+                subtpiin: sub.shard_index(),
                 kind: GroupKind::Circle,
                 antecedent: to_global(view.target),
                 end: to_global(view.target),
@@ -95,7 +107,7 @@ fn mine_root(sub: &SubTpiin, root: u32, config: &DetectorConfig) -> RootOutcome 
         out.arcs.push(arc);
         if config.collect_groups {
             out.groups.push(SuspiciousGroup {
-                subtpiin: sub.index,
+                subtpiin: sub.shard_index(),
                 kind: GroupKind::Matched,
                 antecedent: to_global(view.prefix[0]),
                 end: to_global(view.target),
@@ -110,9 +122,9 @@ fn mine_root(sub: &SubTpiin, root: u32, config: &DetectorConfig) -> RootOutcome 
 }
 
 /// Merges ordered root outcomes into the final result.
-fn merge(
+fn merge<S: ShardTopology>(
     tpiin: &Tpiin,
-    subs: &[SubTpiin],
+    subs: &[S],
     work: &[(usize, u32)],
     outcomes: Vec<RootOutcome>,
     config: &DetectorConfig,
@@ -123,10 +135,10 @@ fn merge(
         per_subtpiin: subs
             .iter()
             .map(|s| SubTpiinStats {
-                index: s.index,
+                index: s.shard_index(),
                 nodes: s.node_count(),
                 influence_arcs: s.influence_arc_count(),
-                trading_arcs: s.trading_arc_count,
+                trading_arcs: s.trading_arc_count(),
                 ..Default::default()
             })
             .collect(),
@@ -181,75 +193,26 @@ impl Detector {
         self.detect_segmented(tpiin, &subs)
     }
 
-    /// Mines pre-segmented subTPIINs; exposed so benchmarks can separate
-    /// segmentation cost from mining cost.
-    pub fn detect_segmented(&self, tpiin: &Tpiin, subs: &[SubTpiin]) -> DetectionResult {
+    /// Mines pre-segmented shards; exposed so benchmarks can separate
+    /// segmentation cost from mining cost, and generic over the shard
+    /// representation so the CSR production path and the nested-vector
+    /// reference path run through the identical scheduler and merge.
+    pub fn detect_segmented<S: ShardTopology + Sync>(
+        &self,
+        tpiin: &Tpiin,
+        subs: &[S],
+    ) -> DetectionResult {
         // Work items: one per (subTPIIN, root).  SubTPIINs without trading
         // arcs can be skipped wholesale — no type-(b) walks exist.
         let work: Vec<(usize, u32)> = subs
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.trading_arc_count > 0)
-            .flat_map(|(i, s)| s.roots().map(move |r| (i, r)))
+            .filter(|(_, s)| s.trading_arc_count() > 0)
+            .flat_map(|(i, s)| s.zero_indegree_roots().into_iter().map(move |r| (i, r)))
             .collect();
 
         let outcomes: Vec<RootOutcome> = if self.config.threads > 1 && work.len() > 1 {
-            // Threads claim contiguous batches of work items (amortizing
-            // the atomic) and keep outcomes in thread-local buffers; the
-            // buffers are merged back into work order afterwards, so the
-            // result is bit-identical to the serial run regardless of
-            // scheduling.
-            const BATCH: usize = 32;
-            let threads = self.config.threads.min(work.len());
-            let next = AtomicUsize::new(0);
-            let config = &self.config;
-            let collected: parking_lot::Mutex<Vec<(usize, Vec<RootOutcome>)>> =
-                parking_lot::Mutex::new(Vec::new());
-            crossbeam::thread::scope(|scope| {
-                for thread_index in 0..threads {
-                    let (next, collected, work) = (&next, &collected, &work);
-                    scope.spawn(move |_| {
-                        let mut local: Vec<(usize, Vec<RootOutcome>)> = Vec::new();
-                        let profiling = tpiin_obs::profiling_enabled();
-                        let mut stats = ThreadStats {
-                            thread: thread_index,
-                            ..Default::default()
-                        };
-                        loop {
-                            let start = next.fetch_add(BATCH, Ordering::Relaxed);
-                            if start >= work.len() {
-                                break;
-                            }
-                            let end = (start + BATCH).min(work.len());
-                            let batch_started = profiling.then(std::time::Instant::now);
-                            let outcomes: Vec<RootOutcome> = work[start..end]
-                                .iter()
-                                .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, config))
-                                .collect();
-                            if let Some(started) = batch_started {
-                                stats.busy_ns += started.elapsed().as_nanos() as u64;
-                            }
-                            stats.batches += 1;
-                            stats.items += (end - start) as u64;
-                            local.push((start, outcomes));
-                        }
-                        if profiling && stats.batches > 0 {
-                            tpiin_obs::global().record_thread(stats);
-                        }
-                        collected.lock().append(&mut local);
-                    });
-                }
-            })
-            .expect("detection worker panicked");
-            let mut batches = collected.into_inner();
-            batches.sort_by_key(|&(start, _)| start);
-            let outcomes: Vec<RootOutcome> = batches.into_iter().flat_map(|(_, v)| v).collect();
-            assert_eq!(
-                outcomes.len(),
-                work.len(),
-                "every work item produced an outcome"
-            );
-            outcomes
+            self.mine_stealing(subs, &work)
         } else {
             work.iter()
                 .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, &self.config))
@@ -276,6 +239,100 @@ impl Detector {
         );
         result
     }
+
+    /// Mines `work` with a pool of work-stealing workers, returning
+    /// outcomes in work order.
+    ///
+    /// Items are scheduled heaviest-shard-first (estimated cost: nodes +
+    /// trading arcs) and dealt round-robin onto per-worker deques, so the
+    /// expensive shards start immediately and spread across workers; the
+    /// cheap tail is what gets stolen.  Per-worker counters (items, local
+    /// pops, steals, busy time) flow into the metrics registry when
+    /// profiling is on.
+    fn mine_stealing<S: ShardTopology + Sync>(
+        &self,
+        subs: &[S],
+        work: &[(usize, u32)],
+    ) -> Vec<RootOutcome> {
+        let threads = self.config.threads.min(work.len());
+        let mut schedule: Vec<usize> = (0..work.len()).collect();
+        schedule.sort_by_key(|&i| (std::cmp::Reverse(subs[work[i].0].estimated_cost()), i));
+        let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
+        for (k, &item) in schedule.iter().enumerate() {
+            workers[k % threads].push(item);
+        }
+
+        let config = &self.config;
+        let collected: parking_lot::Mutex<Vec<(usize, RootOutcome)>> =
+            parking_lot::Mutex::new(Vec::with_capacity(work.len()));
+        crossbeam::thread::scope(|scope| {
+            for (thread_index, worker) in workers.iter().enumerate() {
+                let (collected, stealers) = (&collected, &stealers);
+                scope.spawn(move |_| {
+                    let mut local: Vec<(usize, RootOutcome)> = Vec::new();
+                    let profiling = tpiin_obs::profiling_enabled();
+                    let mut stats = ThreadStats {
+                        thread: thread_index,
+                        ..Default::default()
+                    };
+                    loop {
+                        let (item, stolen) = match worker.pop() {
+                            Some(item) => (item, false),
+                            None => match steal_any(stealers, thread_index) {
+                                Some(item) => (item, true),
+                                None => break,
+                            },
+                        };
+                        let (sub_idx, root) = work[item];
+                        let started = profiling.then(std::time::Instant::now);
+                        let outcome = mine_root(&subs[sub_idx], root, config);
+                        if let Some(started) = started {
+                            stats.busy_ns += started.elapsed().as_nanos() as u64;
+                        }
+                        stats.items += 1;
+                        if stolen {
+                            stats.steals += 1;
+                        } else {
+                            stats.batches += 1;
+                        }
+                        local.push((item, outcome));
+                    }
+                    if profiling && stats.items > 0 {
+                        tpiin_obs::global().record_thread(stats);
+                    }
+                    collected.lock().append(&mut local);
+                });
+            }
+        })
+        .expect("detection worker panicked");
+
+        let mut flat = collected.into_inner();
+        flat.sort_by_key(|&(item, _)| item);
+        assert_eq!(
+            flat.len(),
+            work.len(),
+            "every work item produced an outcome"
+        );
+        flat.into_iter().map(|(_, outcome)| outcome).collect()
+    }
+}
+
+/// Steals one item for `me`, scanning siblings starting at the next
+/// worker so concurrent thieves fan out over different victims.
+fn steal_any(stealers: &[Stealer<usize>], me: usize) -> Option<usize> {
+    let n = stealers.len();
+    for k in 1..n {
+        let victim = (me + k) % n;
+        loop {
+            match stealers[victim].steal() {
+                Steal::Success(item) => return Some(item),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
 }
 
 /// Convenience: detect with the default configuration (serial, collecting

@@ -122,6 +122,10 @@ impl IncrementalDetector {
                 outcome.new_groups.extend(groups);
             }
         }
+        // Per-record queries above run on the mutable `DiGraph`; one
+        // refreeze per batch keeps the CSR kernel consistent for callers
+        // that run full detection on [`IncrementalDetector::tpiin`].
+        self.tpiin.refreeze();
         outcome
     }
 

@@ -37,18 +37,21 @@ mod detector;
 mod incremental;
 mod listd;
 mod matching;
+mod nested;
 mod patterns;
 mod query;
 mod result;
 mod score;
 mod stats;
 mod subtpiin;
+mod topology;
 mod tree;
 
 pub use detector::{detect, Detector, DetectorConfig};
 pub use incremental::{BatchOutcome, IncrementalDetector};
 pub use listd::listd_order;
 pub use matching::match_root;
+pub use nested::{segment_tpiin_nested, NestedSubTpiin};
 pub use patterns::{generate_pattern_base, ComponentPattern};
 pub use query::groups_behind_arc;
 pub use result::{DetectionResult, GroupKind, SubTpiinStats, SuspiciousGroup};
@@ -56,6 +59,7 @@ pub use stats::{
     group_size_histogram, groups_per_suspicious_arc, node_involvement, top_involved, Involvement,
 };
 pub use subtpiin::{segment_tpiin, subtpiin_from_arcs, whole_tpiin, SubTpiin};
+pub use topology::ShardTopology;
 pub use tree::{PatternsTree, TreeNode};
 
 /// The global traversal baseline (Section 5.1).

@@ -6,18 +6,18 @@
 //! component pattern base, not its contents; we keep it for fidelity and
 //! deterministic output.
 
-use crate::subtpiin::SubTpiin;
+use crate::topology::ShardTopology;
 
 /// Returns the local node ids of `sub` sorted by (indegree ascending,
 /// outdegree descending, node id ascending).
 ///
 /// Degrees are taken over the whole subTPIIN (influence + trading), as in
 /// Algorithm 2 step 1.
-pub fn listd_order(sub: &SubTpiin) -> Vec<u32> {
+pub fn listd_order<S: ShardTopology + ?Sized>(sub: &S) -> Vec<u32> {
     let n = sub.node_count();
     let mut in_deg = vec![0u32; n];
-    for adj in sub.influence_out.iter().chain(sub.trading_out.iter()) {
-        for &t in adj {
+    for v in 0..n as u32 {
+        for &t in sub.influence(v).iter().chain(sub.trading(v)) {
             in_deg[t as usize] += 1;
         }
     }

@@ -1,0 +1,187 @@
+//! The pre-CSR nested-`Vec` shard representation, kept as a reference arm.
+//!
+//! Before the graph substrate was frozen into CSR slices, every shard
+//! stored its adjacency as `Vec<Vec<u32>>` built by walking the TPIIN's
+//! mutable [`tpiin_graph::DiGraph`] edge by edge.  That path is preserved
+//! here, verbatim in behavior, for two purposes:
+//!
+//! * the `freeze_equivalence` property test differential-tests the CSR
+//!   detector against it on random registries, and
+//! * `bench_detect` measures the CSR speedup against it (the "old
+//!   adjacency" arm of the BENCH_detect.json record).
+//!
+//! Production code should use [`crate::segment_tpiin`] / [`crate::SubTpiin`].
+
+use crate::topology::ShardTopology;
+use tpiin_fusion::{ArcColor, NodeColor, Tpiin};
+use tpiin_graph::{weakly_connected_components, DiGraph, NodeId};
+
+/// One mining shard in the legacy nested-`Vec` layout: one heap
+/// allocation per node and per adjacency list.
+#[derive(Clone, Debug)]
+pub struct NestedSubTpiin {
+    /// Position of this subTPIIN in the segmentation output.
+    pub index: usize,
+    /// Global TPIIN node for each local node id.
+    pub global: Vec<NodeId>,
+    /// Influence out-adjacency per local node.
+    pub influence_out: Vec<Vec<u32>>,
+    /// Trading out-adjacency per local node.
+    pub trading_out: Vec<Vec<u32>>,
+    /// Influence in-degree per local node.
+    pub influence_in_degree: Vec<u32>,
+    /// Number of trading arcs inside this subTPIIN.
+    pub trading_arc_count: usize,
+    /// Whether each local node is a Person node (else Company).
+    pub is_person: Vec<bool>,
+}
+
+impl ShardTopology for NestedSubTpiin {
+    fn shard_index(&self) -> usize {
+        self.index
+    }
+
+    fn node_count(&self) -> usize {
+        self.global.len()
+    }
+
+    fn global(&self, v: u32) -> NodeId {
+        self.global[v as usize]
+    }
+
+    fn influence(&self, v: u32) -> &[u32] {
+        &self.influence_out[v as usize]
+    }
+
+    fn trading(&self, v: u32) -> &[u32] {
+        &self.trading_out[v as usize]
+    }
+
+    fn influence_in_degree(&self, v: u32) -> u32 {
+        self.influence_in_degree[v as usize]
+    }
+
+    fn trading_arc_count(&self) -> usize {
+        self.trading_arc_count
+    }
+
+    fn is_person(&self, v: u32) -> bool {
+        self.is_person[v as usize]
+    }
+}
+
+/// Segments `tpiin` by walking the mutable [`DiGraph`] adjacency — the
+/// pre-CSR implementation of Algorithm 1 steps 1–6.  Produces shards with
+/// identical node order, neighbor order and trading-arc filtering as
+/// [`crate::segment_tpiin`].
+pub fn segment_tpiin_nested(tpiin: &Tpiin) -> Vec<NestedSubTpiin> {
+    // Weak components of the *antecedent* network only.
+    let mut antecedent: DiGraph<(), ()> =
+        DiGraph::with_capacity(tpiin.graph.node_count(), tpiin.influence_arc_count);
+    for _ in 0..tpiin.graph.node_count() {
+        antecedent.add_node(());
+    }
+    for e in tpiin.graph.edges() {
+        if e.weight.color == ArcColor::Influence {
+            antecedent.add_edge(e.source, e.target, ());
+        }
+    }
+    let (labels, count) = weakly_connected_components(&antecedent);
+
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); count];
+    for v in tpiin.graph.node_ids() {
+        members[labels[v.index()] as usize].push(v);
+    }
+
+    // Map global node -> local id within its component.
+    let mut local_of = vec![u32::MAX; tpiin.graph.node_count()];
+    for comp in &members {
+        for (local, &g) in comp.iter().enumerate() {
+            local_of[g.index()] = local as u32;
+        }
+    }
+
+    members
+        .iter()
+        .enumerate()
+        .map(|(index, comp)| {
+            let n = comp.len();
+            let mut influence_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut trading_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut influence_in_degree = vec![0u32; n];
+            let mut trading_arc_count = 0usize;
+            for (local, &g) in comp.iter().enumerate() {
+                for e in tpiin.graph.out_edges(g) {
+                    let t = local_of[e.target.index()];
+                    match e.weight.color {
+                        ArcColor::Influence => {
+                            influence_out[local].push(t);
+                            influence_in_degree[t as usize] += 1;
+                        }
+                        ArcColor::Trading => {
+                            // Trading arcs leaving the component are
+                            // unsuspicious: skip.
+                            if labels[e.target.index()] == labels[g.index()] {
+                                trading_out[local].push(t);
+                                trading_arc_count += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            NestedSubTpiin {
+                index,
+                global: comp.clone(),
+                influence_out,
+                trading_out,
+                influence_in_degree,
+                trading_arc_count,
+                is_person: comp
+                    .iter()
+                    .map(|&g| tpiin.color(g) == NodeColor::Person)
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpiin_model::{
+        InfluenceKind, InfluenceRecord, Role, RoleSet, SourceRegistry, TradingRecord,
+    };
+
+    fn registry() -> SourceRegistry {
+        let mut r = SourceRegistry::new();
+        let boss = r.add_person("Boss", RoleSet::of(&[Role::Ceo]));
+        let a = r.add_company("A");
+        let b = r.add_company("B");
+        for c in [a, b] {
+            r.add_influence(InfluenceRecord {
+                person: boss,
+                company: c,
+                kind: InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+        }
+        r.add_trading(TradingRecord {
+            seller: a,
+            buyer: b,
+            volume: 1.0,
+        });
+        r
+    }
+
+    #[test]
+    fn nested_detection_matches_csr_detection() {
+        let (tpiin, _) = tpiin_fusion::fuse(&registry()).unwrap();
+        let csr = crate::detector::detect(&tpiin);
+        let nested_shards = segment_tpiin_nested(&tpiin);
+        let nested = crate::Detector::default().detect_segmented(&tpiin, &nested_shards);
+        assert_eq!(csr.group_count(), nested.group_count());
+        let keys =
+            |r: &crate::DetectionResult| -> Vec<_> { r.groups.iter().map(|g| g.key()).collect() };
+        assert_eq!(keys(&csr), keys(&nested));
+    }
+}

@@ -66,7 +66,6 @@ pub fn groups_behind_arc(tpiin: &Tpiin, seller: NodeId, buyer: NodeId) -> Vec<Su
 
     let n = keep.len();
     let mut influence_out: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut influence_in_degree = vec![0u32; n];
     for (local, &g) in keep.iter().enumerate() {
         for e in tpiin.graph.out_edges(g) {
             if e.weight.color != ArcColor::Influence {
@@ -75,21 +74,18 @@ pub fn groups_behind_arc(tpiin: &Tpiin, seller: NodeId, buyer: NodeId) -> Vec<Su
             let t = local_of[e.target.index()];
             if t != u32::MAX {
                 influence_out[local].push(t);
-                influence_in_degree[t as usize] += 1;
             }
         }
     }
     let mut trading_out: Vec<Vec<u32>> = vec![Vec::new(); n];
     trading_out[local_of[seller.index()] as usize].push(local_of[buyer.index()]);
-    let sub = SubTpiin {
-        index: 0,
-        global: keep,
-        influence_out,
-        trading_out,
-        influence_in_degree,
-        trading_arc_count: 1,
-        is_person: Vec::new(), // not needed for matching
-    };
+    let sub = SubTpiin::from_adjacency(
+        0,
+        keep,
+        &influence_out,
+        &trading_out,
+        vec![false; n], // node colors are not needed for matching
+    );
 
     let mut groups = Vec::new();
     let mut seen_circles: std::collections::HashSet<Vec<u32>> = std::collections::HashSet::new();

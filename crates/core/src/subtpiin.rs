@@ -5,23 +5,25 @@
 //! TPIIN is split into independent mining units: the `i`-th maximal weakly
 //! connected antecedent subgraph plus every trading arc between its
 //! company nodes (Definition 4).
+//!
+//! Segmentation reads the TPIIN's frozen CSR lanes ([`Tpiin::csr`])
+//! directly — the weak components come off the influence lane, and each
+//! shard's adjacency is re-packed into local CSR arrays so the tree DFS
+//! of Algorithm 2 walks contiguous slices.
 
-use tpiin_fusion::{ArcColor, NodeColor, Tpiin};
-use tpiin_graph::{weakly_connected_components, DiGraph, NodeId};
+use crate::topology::ShardTopology;
+use tpiin_fusion::{NodeColor, Tpiin, INFLUENCE_LANE, TRADING_LANE};
+use tpiin_graph::NodeId;
 
 /// One independent mining unit: a weak component of the antecedent
 /// network with its internal trading arcs, re-indexed to dense local node
-/// ids for cache-friendly traversal.
+/// ids and packed into per-color CSR arrays for cache-friendly traversal.
 #[derive(Clone, Debug)]
 pub struct SubTpiin {
     /// Position of this subTPIIN in the segmentation output.
     pub index: usize,
     /// Global TPIIN node for each local node id.
     pub global: Vec<NodeId>,
-    /// Influence out-adjacency per local node.
-    pub influence_out: Vec<Vec<u32>>,
-    /// Trading out-adjacency per local node.
-    pub trading_out: Vec<Vec<u32>>,
     /// Influence in-degree per local node (used to pick pattern-tree
     /// roots).
     pub influence_in_degree: Vec<u32>,
@@ -29,17 +31,81 @@ pub struct SubTpiin {
     pub trading_arc_count: usize,
     /// Whether each local node is a Person node (else Company).
     pub is_person: Vec<bool>,
+    /// CSR offsets into `influence_targets` (length `node_count + 1`).
+    influence_offsets: Vec<u32>,
+    /// Influence out-neighbors, grouped by source node.
+    influence_targets: Vec<u32>,
+    /// CSR offsets into `trading_targets` (length `node_count + 1`).
+    trading_offsets: Vec<u32>,
+    /// Trading out-neighbors, grouped by source node.
+    trading_targets: Vec<u32>,
 }
 
 impl SubTpiin {
+    /// Packs per-node adjacency lists into a [`SubTpiin`], computing
+    /// influence in-degrees and the trading-arc count.  Neighbor order
+    /// within each node is preserved.
+    pub fn from_adjacency(
+        index: usize,
+        global: Vec<NodeId>,
+        influence_out: &[Vec<u32>],
+        trading_out: &[Vec<u32>],
+        is_person: Vec<bool>,
+    ) -> SubTpiin {
+        let n = global.len();
+        assert_eq!(influence_out.len(), n);
+        assert_eq!(trading_out.len(), n);
+        let pack = |adj: &[Vec<u32>]| -> (Vec<u32>, Vec<u32>) {
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut targets = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+            offsets.push(0);
+            for list in adj {
+                targets.extend_from_slice(list);
+                offsets.push(targets.len() as u32);
+            }
+            (offsets, targets)
+        };
+        let (influence_offsets, influence_targets) = pack(influence_out);
+        let (trading_offsets, trading_targets) = pack(trading_out);
+        let mut influence_in_degree = vec![0u32; n];
+        for &t in &influence_targets {
+            influence_in_degree[t as usize] += 1;
+        }
+        SubTpiin {
+            index,
+            global,
+            influence_in_degree,
+            trading_arc_count: trading_targets.len(),
+            is_person,
+            influence_offsets,
+            influence_targets,
+            trading_offsets,
+            trading_targets,
+        }
+    }
+
     /// Number of local nodes.
     pub fn node_count(&self) -> usize {
         self.global.len()
     }
 
+    /// Influence out-neighbors of local node `v` as a packed slice.
+    #[inline]
+    pub fn influence(&self, v: u32) -> &[u32] {
+        &self.influence_targets[self.influence_offsets[v as usize] as usize
+            ..self.influence_offsets[v as usize + 1] as usize]
+    }
+
+    /// Trading out-neighbors of local node `v` as a packed slice.
+    #[inline]
+    pub fn trading(&self, v: u32) -> &[u32] {
+        &self.trading_targets[self.trading_offsets[v as usize] as usize
+            ..self.trading_offsets[v as usize + 1] as usize]
+    }
+
     /// Number of influence arcs.
     pub fn influence_arc_count(&self) -> usize {
-        self.influence_out.iter().map(Vec::len).sum()
+        self.influence_targets.len()
     }
 
     /// Pattern-tree roots: local nodes with zero influence in-degree.
@@ -54,56 +120,50 @@ impl SubTpiin {
 
     /// Total out-degree (influence + trading) of a local node.
     pub fn out_degree(&self, v: u32) -> usize {
-        self.influence_out[v as usize].len() + self.trading_out[v as usize].len()
+        self.influence(v).len() + self.trading(v).len()
     }
 }
 
-/// Builds a local [`SubTpiin`] from a dense `graph` whose arcs carry
-/// [`ArcColor`].  Shared by [`segment_tpiin`] and the test helpers.
-fn from_component(
-    index: usize,
-    members: &[NodeId],
-    graph: &DiGraph<impl Sized, ArcColor>,
-    is_person: impl Fn(NodeId) -> bool,
-    local_of: &[u32],
-) -> SubTpiin {
-    let n = members.len();
-    let mut influence_out: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut trading_out: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut influence_in_degree = vec![0u32; n];
-    let mut trading_arc_count = 0usize;
-    for (local, &g) in members.iter().enumerate() {
-        for e in graph.out_edges(g) {
-            let t = local_of[e.target.index()];
-            if t == u32::MAX {
-                // Trading arc leaving the component: unsuspicious, skip.
-                debug_assert!(*e.weight == ArcColor::Trading);
-                continue;
-            }
-            match *e.weight {
-                ArcColor::Influence => {
-                    influence_out[local].push(t);
-                    influence_in_degree[t as usize] += 1;
-                }
-                ArcColor::Trading => {
-                    trading_out[local].push(t);
-                    trading_arc_count += 1;
-                }
-            }
-        }
+impl ShardTopology for SubTpiin {
+    fn shard_index(&self) -> usize {
+        self.index
     }
-    SubTpiin {
-        index,
-        global: members.to_vec(),
-        influence_out,
-        trading_out,
-        influence_in_degree,
-        trading_arc_count,
-        is_person: members.iter().map(|&g| is_person(g)).collect(),
+
+    fn node_count(&self) -> usize {
+        self.global.len()
+    }
+
+    fn global(&self, v: u32) -> NodeId {
+        self.global[v as usize]
+    }
+
+    fn influence(&self, v: u32) -> &[u32] {
+        SubTpiin::influence(self, v)
+    }
+
+    fn trading(&self, v: u32) -> &[u32] {
+        SubTpiin::trading(self, v)
+    }
+
+    fn influence_in_degree(&self, v: u32) -> u32 {
+        self.influence_in_degree[v as usize]
+    }
+
+    fn trading_arc_count(&self) -> usize {
+        self.trading_arc_count
+    }
+
+    fn is_person(&self, v: u32) -> bool {
+        self.is_person[v as usize]
+    }
+
+    fn influence_arc_count(&self) -> usize {
+        self.influence_targets.len()
     }
 }
 
-/// Segments `tpiin` into its subTPIINs (Algorithm 1 steps 1–6).
+/// Segments `tpiin` into its subTPIINs (Algorithm 1 steps 1–6), reading
+/// the frozen CSR lanes.
 ///
 /// Components are ordered deterministically by their smallest global node
 /// id.  Isolated antecedent nodes (degree zero) still form singleton
@@ -111,54 +171,52 @@ fn from_component(
 /// cheaply.
 pub fn segment_tpiin(tpiin: &Tpiin) -> Vec<SubTpiin> {
     let _span = tpiin_obs::Span::at("detect/segment");
-    // Weak components of the *antecedent* network only.
-    let mut antecedent: DiGraph<(), ()> =
-        DiGraph::with_capacity(tpiin.graph.node_count(), tpiin.influence_arc_count);
-    for _ in 0..tpiin.graph.node_count() {
-        antecedent.add_node(());
-    }
-    for e in tpiin.graph.edges() {
-        if e.weight.color == ArcColor::Influence {
-            antecedent.add_edge(e.source, e.target, ());
-        }
-    }
-    let (labels, count) = weakly_connected_components(&antecedent);
+    let csr = tpiin.csr();
+    let n = csr.node_count();
+    // Weak components of the *antecedent* network only: the influence lane.
+    let (labels, count) = csr.weak_components(INFLUENCE_LANE);
 
     let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); count];
-    for v in tpiin.graph.node_ids() {
-        members[labels[v.index()] as usize].push(v);
+    for v in 0..n {
+        members[labels[v] as usize].push(NodeId::from_index(v));
     }
 
     // Map global node -> local id within its component.
-    let mut local_of = vec![u32::MAX; tpiin.graph.node_count()];
+    let mut local_of = vec![u32::MAX; n];
     for comp in &members {
         for (local, &g) in comp.iter().enumerate() {
             local_of[g.index()] = local as u32;
         }
     }
 
-    // Arc colors come from the TPIIN graph; trading arcs crossing
-    // components are dropped inside `from_component` (their endpoints map
-    // to different components, detected via differing labels).
-    let colored = tpiin.graph.map(|_, _| (), |_, arc| arc.color);
     members
         .iter()
         .enumerate()
         .map(|(i, comp)| {
-            // Restrict `local_of` semantics per component: endpoints in a
-            // different component must read as absent.
-            let comp_label = labels[comp[0].index()];
-            let local_lookup: Vec<u32> = local_of
-                .iter()
-                .enumerate()
-                .map(|(g, &l)| if labels[g] == comp_label { l } else { u32::MAX })
-                .collect();
-            from_component(
+            let m = comp.len();
+            let mut influence_out: Vec<Vec<u32>> = vec![Vec::new(); m];
+            let mut trading_out: Vec<Vec<u32>> = vec![Vec::new(); m];
+            for (local, &g) in comp.iter().enumerate() {
+                let gv = g.index() as u32;
+                // Influence arcs never leave a weak antecedent component.
+                for &t in csr.out(INFLUENCE_LANE, gv) {
+                    influence_out[local].push(local_of[t as usize]);
+                }
+                // Trading arcs crossing components are unsuspicious: skip.
+                for &t in csr.out(TRADING_LANE, gv) {
+                    if labels[t as usize] == labels[g.index()] {
+                        trading_out[local].push(local_of[t as usize]);
+                    }
+                }
+            }
+            SubTpiin::from_adjacency(
                 i,
-                comp,
-                &colored,
-                |g| tpiin.color(g) == NodeColor::Person,
-                &local_lookup,
+                comp.clone(),
+                &influence_out,
+                &trading_out,
+                comp.iter()
+                    .map(|&g| tpiin.color(g) == NodeColor::Person)
+                    .collect(),
             )
         })
         .collect()
@@ -170,37 +228,25 @@ pub fn segment_tpiin(tpiin: &Tpiin) -> Vec<SubTpiin> {
 /// the per-component independence — this is the "no segmentation" arm of
 /// the ablation benchmark.
 pub fn whole_tpiin(tpiin: &Tpiin) -> SubTpiin {
-    let n = tpiin.graph.node_count();
+    let csr = tpiin.csr();
+    let n = csr.node_count();
     let mut influence_out: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut trading_out: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut influence_in_degree = vec![0u32; n];
-    let mut trading_arc_count = 0usize;
-    for e in tpiin.graph.edges() {
-        let (s, t) = (e.source.index() as u32, e.target.index() as u32);
-        match e.weight.color {
-            ArcColor::Influence => {
-                influence_out[s as usize].push(t);
-                influence_in_degree[t as usize] += 1;
-            }
-            ArcColor::Trading => {
-                trading_out[s as usize].push(t);
-                trading_arc_count += 1;
-            }
-        }
+    for v in 0..n as u32 {
+        influence_out[v as usize].extend_from_slice(csr.out(INFLUENCE_LANE, v));
+        trading_out[v as usize].extend_from_slice(csr.out(TRADING_LANE, v));
     }
-    SubTpiin {
-        index: 0,
-        global: tpiin.graph.node_ids().collect(),
-        influence_out,
-        trading_out,
-        influence_in_degree,
-        trading_arc_count,
-        is_person: tpiin
+    SubTpiin::from_adjacency(
+        0,
+        tpiin.graph.node_ids().collect(),
+        &influence_out,
+        &trading_out,
+        tpiin
             .graph
             .nodes()
             .map(|(_, node)| node.color() == NodeColor::Person)
             .collect(),
-    }
+    )
 }
 
 /// Builds a single [`SubTpiin`] directly from explicit arc lists — a
@@ -217,23 +263,19 @@ pub fn subtpiin_from_arcs(
     assert_eq!(is_person.len(), n);
     let mut influence_out: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut trading_out: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut influence_in_degree = vec![0u32; n];
     for &(s, t) in influence {
         influence_out[s as usize].push(t);
-        influence_in_degree[t as usize] += 1;
     }
     for &(s, t) in trading {
         trading_out[s as usize].push(t);
     }
-    SubTpiin {
-        index: 0,
-        global: (0..n).map(NodeId::from_index).collect(),
-        influence_out,
-        trading_out,
-        influence_in_degree,
-        trading_arc_count: trading.len(),
+    SubTpiin::from_adjacency(
+        0,
+        (0..n).map(NodeId::from_index).collect(),
+        &influence_out,
+        &trading_out,
         is_person,
-    }
+    )
 }
 
 #[cfg(test)]
@@ -299,6 +341,8 @@ mod tests {
             }
             let person_count = sub.is_person.iter().filter(|&&p| p).count();
             assert_eq!(sub.roots().count(), person_count);
+            // The trait view agrees with the inherent iterator.
+            assert_eq!(sub.zero_indegree_roots(), sub.roots().collect::<Vec<u32>>());
         }
     }
 
@@ -314,8 +358,8 @@ mod tests {
                 );
             }
             // All adjacency targets are in range.
-            for adj in sub.influence_out.iter().chain(sub.trading_out.iter()) {
-                for &t in adj {
+            for v in 0..sub.node_count() as u32 {
+                for &t in sub.influence(v).iter().chain(sub.trading(v)) {
                     assert!((t as usize) < sub.node_count());
                 }
             }
@@ -347,5 +391,24 @@ mod tests {
         assert_eq!(sub.roots().collect::<Vec<_>>(), vec![0]);
         assert_eq!(sub.out_degree(1), 1);
         assert_eq!(sub.out_degree(2), 1);
+        assert_eq!(sub.influence(0), &[1]);
+        assert_eq!(sub.trading(2), &[1]);
+        assert!(sub.influence(2).is_empty());
+    }
+
+    #[test]
+    fn csr_segmentation_matches_the_nested_reference() {
+        let (tpiin, _) = tpiin_fusion::fuse(&two_component_registry()).unwrap();
+        let csr_subs = segment_tpiin(&tpiin);
+        let nested_subs = crate::nested::segment_tpiin_nested(&tpiin);
+        assert_eq!(csr_subs.len(), nested_subs.len());
+        for (a, b) in csr_subs.iter().zip(&nested_subs) {
+            assert_eq!(a.global, b.global);
+            assert_eq!(a.trading_arc_count, ShardTopology::trading_arc_count(b));
+            for v in 0..a.node_count() as u32 {
+                assert_eq!(a.influence(v), ShardTopology::influence(b, v));
+                assert_eq!(a.trading(v), ShardTopology::trading(b, v));
+            }
+        }
     }
 }

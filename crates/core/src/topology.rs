@@ -1,0 +1,64 @@
+//! The shard-topology abstraction the mining kernel iterates.
+//!
+//! Algorithm 2 and the pattern matcher only need slice-shaped neighbor
+//! lists: influence out-arcs, trading out-arcs, influence in-degrees and
+//! node colors, all in dense local ids.  Abstracting those behind a trait
+//! lets the same tree DFS run over the packed CSR [`crate::SubTpiin`]
+//! (production) and the nested-`Vec` [`crate::NestedSubTpiin`] (the
+//! pre-CSR reference arm kept for differential tests and the adjacency
+//! ablation benchmark).
+
+use tpiin_graph::NodeId;
+
+/// Slice-shaped view of one mining shard (a subTPIIN) in dense local ids.
+pub trait ShardTopology {
+    /// Position of this shard in the segmentation output.
+    fn shard_index(&self) -> usize;
+
+    /// Number of local nodes.
+    fn node_count(&self) -> usize;
+
+    /// Global TPIIN node behind local node `v`.
+    fn global(&self, v: u32) -> NodeId;
+
+    /// Influence out-neighbors of `v`, in arc insertion order.
+    fn influence(&self, v: u32) -> &[u32];
+
+    /// Trading out-neighbors of `v`, in arc insertion order.
+    fn trading(&self, v: u32) -> &[u32];
+
+    /// Influence in-degree of `v` (zero ⇒ pattern-tree root).
+    fn influence_in_degree(&self, v: u32) -> u32;
+
+    /// Number of trading arcs inside the shard.
+    fn trading_arc_count(&self) -> usize;
+
+    /// Whether local node `v` is a Person node (else Company).
+    fn is_person(&self, v: u32) -> bool;
+
+    /// Number of influence arcs inside the shard.
+    fn influence_arc_count(&self) -> usize {
+        (0..self.node_count() as u32)
+            .map(|v| self.influence(v).len())
+            .sum()
+    }
+
+    /// Total out-degree (influence + trading) of `v`.
+    fn out_degree(&self, v: u32) -> usize {
+        self.influence(v).len() + self.trading(v).len()
+    }
+
+    /// Pattern-tree roots: local nodes with zero influence in-degree.
+    fn zero_indegree_roots(&self) -> Vec<u32> {
+        (0..self.node_count() as u32)
+            .filter(|&v| self.influence_in_degree(v) == 0)
+            .collect()
+    }
+
+    /// Scheduler cost estimate for mining this shard: node count plus
+    /// trading-arc count.  Both terms bound the per-root work (tree size
+    /// scales with reachable nodes, matches with type-(b) leaves).
+    fn estimated_cost(&self) -> u64 {
+        self.node_count() as u64 + self.trading_arc_count() as u64
+    }
+}

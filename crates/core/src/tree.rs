@@ -8,7 +8,7 @@
 //! no outgoing arcs at all is a *type-(a)* leaf (Rule 1, `InOT-OutOSP`
 //! walk).
 
-use crate::subtpiin::SubTpiin;
+use crate::topology::ShardTopology;
 use std::collections::HashMap;
 
 /// One node of a patterns tree: a trail from the root ending at
@@ -57,7 +57,11 @@ impl PatternsTree {
     /// pathologically dense antecedent DAGs, whose trail count can grow
     /// exponentially; `None` on overflow.  The paper's province-scale
     /// networks stay far below any practical bound.
-    pub fn build(sub: &SubTpiin, root: u32, max_nodes: usize) -> Option<PatternsTree> {
+    pub fn build<S: ShardTopology + ?Sized>(
+        sub: &S,
+        root: u32,
+        max_nodes: usize,
+    ) -> Option<PatternsTree> {
         let mut tree = PatternsTree {
             root,
             nodes: vec![TreeNode {
@@ -75,8 +79,8 @@ impl PatternsTree {
         let mut stack: Vec<u32> = vec![0];
         while let Some(t) = stack.pop() {
             let v = tree.nodes[t as usize].local_node;
-            let influence = &sub.influence_out[v as usize];
-            let trading = &sub.trading_out[v as usize];
+            let influence = sub.influence(v);
+            let trading = sub.trading(v);
             // Rule 2: every outgoing trading arc ends one walk here.
             for &c in trading {
                 tree.b_leaves.push(TradingLeaf {
@@ -145,7 +149,7 @@ impl PatternsTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::subtpiin::subtpiin_from_arcs;
+    use crate::subtpiin::{subtpiin_from_arcs, SubTpiin};
 
     /// L(0) -> C1(1) -> C2(2); C2 trades with C3(3); C3 is also directly
     /// influenced by L.

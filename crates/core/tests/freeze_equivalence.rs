@@ -1,0 +1,183 @@
+//! Property-based round-trip testing of the CSR freeze: on random
+//! registries, the frozen [`tpiin_graph::CsrGraph`] must agree with the
+//! hash-map `DiGraph` algorithms it replaced — identical strongly
+//! connected components, identical weak components, and (through the
+//! nested-adjacency reference shards) identical detected group sets.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use tpiin_core::{segment_tpiin, segment_tpiin_nested, Detector};
+use tpiin_fusion::fuse;
+use tpiin_graph::{csr_index, tarjan_scc, weakly_connected_components, NodeId};
+use tpiin_model::{
+    InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, Role, RoleSet,
+    SourceRegistry, TradingRecord,
+};
+
+/// Random but always-valid registry (same scheme as
+/// `random_equivalence.rs`): every company gets a legal person, then
+/// random directorships, kinship, investments (cycles allowed) and
+/// trades.
+#[derive(Debug, Clone)]
+struct RawRegistry {
+    np: usize,
+    nc: usize,
+    lp_of: Vec<usize>,
+    directorships: Vec<(usize, usize)>,
+    kinship: Vec<(usize, usize)>,
+    investments: Vec<(usize, usize)>,
+    trades: Vec<(usize, usize)>,
+}
+
+fn arb_registry() -> impl Strategy<Value = RawRegistry> {
+    (2usize..6, 2usize..10).prop_flat_map(|(np, nc)| {
+        (
+            proptest::collection::vec(0..np, nc),
+            proptest::collection::vec((0..np, 0..nc), 0..8),
+            proptest::collection::vec((0..np, 0..np), 0..4),
+            proptest::collection::vec((0..nc, 0..nc), 0..12),
+            proptest::collection::vec((0..nc, 0..nc), 0..10),
+        )
+            .prop_map(
+                move |(lp_of, directorships, kinship, investments, trades)| RawRegistry {
+                    np,
+                    nc,
+                    lp_of,
+                    directorships,
+                    kinship,
+                    investments,
+                    trades,
+                },
+            )
+    })
+}
+
+fn build(raw: &RawRegistry) -> SourceRegistry {
+    let mut r = SourceRegistry::new();
+    let persons: Vec<_> = (0..raw.np)
+        .map(|i| r.add_person(format!("P{i}"), RoleSet::of(&[Role::Ceo, Role::Director])))
+        .collect();
+    let companies: Vec<_> = (0..raw.nc)
+        .map(|i| r.add_company(format!("C{i}")))
+        .collect();
+    for (c, &p) in raw.lp_of.iter().enumerate() {
+        r.add_influence(InfluenceRecord {
+            person: persons[p],
+            company: companies[c],
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+    }
+    for &(p, c) in &raw.directorships {
+        r.add_influence(InfluenceRecord {
+            person: persons[p],
+            company: companies[c],
+            kind: InfluenceKind::DirectorOf,
+            is_legal_person: false,
+        });
+    }
+    for &(a, b) in &raw.kinship {
+        if a != b {
+            r.add_interdependence(persons[a], persons[b], InterdependenceKind::Kinship);
+        }
+    }
+    for &(a, b) in &raw.investments {
+        if a != b {
+            r.add_investment(InvestmentRecord {
+                investor: companies[a],
+                investee: companies[b],
+                share: 0.5,
+            });
+        }
+    }
+    for &(a, b) in &raw.trades {
+        if a != b {
+            r.add_trading(TradingRecord {
+                seller: companies[a],
+                buyer: companies[b],
+                volume: 1.0,
+            });
+        }
+    }
+    r
+}
+
+/// Canonical form of a node partition: set of sorted member sets.
+fn canonical(components: Vec<Vec<NodeId>>) -> BTreeSet<Vec<u32>> {
+    components
+        .into_iter()
+        .map(|mut c| {
+            c.sort();
+            c.into_iter().map(csr_index).collect()
+        })
+        .collect()
+}
+
+/// Canonical form of a CSR label vector: set of sorted member sets.
+fn canonical_labels(labels: &[u32], count: usize) -> BTreeSet<Vec<u32>> {
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); count];
+    for (v, &label) in labels.iter().enumerate() {
+        groups[label as usize].push(v as u32);
+    }
+    groups.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `freeze()` preserves strongly connected components exactly.
+    #[test]
+    fn frozen_sccs_match_digraph_sccs(raw in arb_registry()) {
+        let registry = build(&raw);
+        let (tpiin, _) = fuse(&registry).expect("valid registry fuses");
+        let csr = tpiin.graph.freeze();
+        let frozen: BTreeSet<Vec<u32>> = csr
+            .tarjan_scc(0)
+            .into_iter()
+            .map(|mut c| {
+                c.sort();
+                c
+            })
+            .collect();
+        prop_assert_eq!(canonical(tarjan_scc(&tpiin.graph)), frozen);
+    }
+
+    /// `freeze()` preserves weak components exactly.
+    #[test]
+    fn frozen_weak_components_match_digraph(raw in arb_registry()) {
+        let registry = build(&raw);
+        let (tpiin, _) = fuse(&registry).expect("valid registry fuses");
+        let csr = tpiin.graph.freeze();
+        let (dg_labels, dg_count) = weakly_connected_components(&tpiin.graph);
+        let (csr_labels, csr_count) = csr.weak_components(0);
+        prop_assert_eq!(
+            canonical_labels(&dg_labels, dg_count),
+            canonical_labels(&csr_labels, csr_count)
+        );
+    }
+
+    /// CSR segmentation + detection equals the nested-adjacency reference
+    /// path end to end: same shard partition, same ordered group keys.
+    #[test]
+    fn csr_detection_round_trips_against_nested(raw in arb_registry()) {
+        let registry = build(&raw);
+        let (tpiin, _) = fuse(&registry).expect("valid registry fuses");
+        let csr_shards = segment_tpiin(&tpiin);
+        let nested_shards = segment_tpiin_nested(&tpiin);
+        prop_assert_eq!(csr_shards.len(), nested_shards.len());
+        for (c, n) in csr_shards.iter().zip(&nested_shards) {
+            prop_assert_eq!(&c.global, &n.global);
+        }
+        let detector = Detector::default();
+        let via_csr = detector.detect_segmented(&tpiin, &csr_shards);
+        let via_nested = detector.detect_segmented(&tpiin, &nested_shards);
+        let keys = |r: &tpiin_core::DetectionResult| -> Vec<_> {
+            r.groups.iter().map(|g| g.key()).collect()
+        };
+        prop_assert_eq!(keys(&via_csr), keys(&via_nested));
+        prop_assert_eq!(
+            &via_csr.suspicious_trading_arcs,
+            &via_nested.suspicious_trading_arcs
+        );
+    }
+}

@@ -28,5 +28,8 @@ mod verify;
 
 pub use pipeline::{fuse, FusionError};
 pub use report::{FusionReport, StageTiming};
-pub use tpiin::{ArcColor, IntraSyndicateTrade, NodeColor, Tpiin, TpiinArc, TpiinNode};
+pub use tpiin::{
+    ArcColor, IntraSyndicateTrade, NodeColor, Tpiin, TpiinArc, TpiinNode, INFLUENCE_LANE,
+    TRADING_LANE,
+};
 pub use verify::{verify_tpiin, PropertyCheck, VerificationReport};

@@ -49,7 +49,10 @@ impl std::error::Error for FusionError {}
 ///    syndicates (`G_B -> G123`), folding investment arcs into influence;
 /// 4. attach trading arcs (`G4`), diverting trades internal to a company
 ///    syndicate into [`Tpiin::intra_syndicate_trades`];
-/// 5. verify the antecedent network is a DAG.
+/// 5. freeze the finished topology into the two-lane CSR snapshot the
+///    mining phase iterates ([`Tpiin::csr`]);
+/// 6. verify the antecedent network is a DAG (read off the frozen
+///    influence lane).
 ///
 /// Influence arcs occupy edge ids `0..influence_arc_count` and trading
 /// arcs the remainder, matching the edge-list layout of Algorithm 1.
@@ -81,7 +84,7 @@ impl std::error::Error for FusionError {}
 /// ```
 pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionError> {
     let whole = TimedScope::start();
-    let mut stage_timings = Vec::with_capacity(5);
+    let mut stage_timings = Vec::with_capacity(6);
     let mut time_stage = |stage: &str, scope: TimedScope| {
         let elapsed = scope.finish(&format!("fusion/{stage}"));
         stage_timings.push(StageTiming {
@@ -246,33 +249,27 @@ pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionEr
     let trading_arc_count = graph.edge_count() - influence_arc_count;
     time_stage("attach_trading", scope);
 
-    // --- Verify the antecedent network is a DAG (Appendix A). ---
-    // Build a view with only influence arcs and run Kahn's algorithm.
+    // --- Freeze: pack the finished topology into the two-lane CSR the
+    // mining phase iterates (trading lane + influence lane). ---
     let scope = TimedScope::start();
-    let mut antecedent: DiGraph<(), ()> =
-        DiGraph::with_capacity(graph.node_count(), influence_arc_count);
-    for _ in 0..graph.node_count() {
-        antecedent.add_node(());
-    }
-    for e in graph.edges() {
-        if e.weight.color == ArcColor::Influence {
-            antecedent.add_edge(e.source, e.target, ());
-        }
-    }
-    let acyclic = tpiin_graph::is_acyclic(&antecedent);
-    time_stage("verify_dag", scope);
-    if !acyclic {
-        return Err(FusionError::AntecedentNotAcyclic);
-    }
-
-    let tpiin = Tpiin {
+    let tpiin = Tpiin::assemble(
         graph,
         person_node,
         company_node,
         influence_arc_count,
         trading_arc_count,
         intra_syndicate_trades,
-    };
+    );
+    time_stage("freeze", scope);
+
+    // --- Verify the antecedent network is a DAG (Appendix A), straight
+    // off the frozen influence lane. ---
+    let scope = TimedScope::start();
+    let acyclic = tpiin.csr().is_acyclic(crate::tpiin::INFLUENCE_LANE);
+    time_stage("verify_dag", scope);
+    if !acyclic {
+        return Err(FusionError::AntecedentNotAcyclic);
+    }
     let report = FusionReport {
         persons: registry.person_count(),
         companies: registry.company_count(),
@@ -490,6 +487,7 @@ mod tests {
                 "contract_persons",
                 "contract_sccs",
                 "attach_trading",
+                "freeze",
                 "verify_dag"
             ]
         );

@@ -7,7 +7,7 @@ use std::time::Duration;
 ///
 /// Stage names match the observability phase tree (`fusion/<stage>` in
 /// `tpiin-obs`): `validate`, `contract_persons`, `contract_sccs`,
-/// `attach_trading`, `verify_dag`.
+/// `attach_trading`, `freeze`, `verify_dag`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StageTiming {
     /// Stage name.

@@ -1,8 +1,13 @@
 //! The fused Taxpayer Interest Interacted Network (Definition 1).
 
 use serde::{Deserialize, Serialize};
-use tpiin_graph::{DiGraph, NodeId};
+use tpiin_graph::{CsrGraph, DiGraph, NodeId};
 use tpiin_model::{CompanyId, PersonId};
+
+/// CSR lane index of the trading arcs (the paper's edge-color code `0`).
+pub const TRADING_LANE: usize = 0;
+/// CSR lane index of the influence arcs (the paper's edge-color code `1`).
+pub const INFLUENCE_LANE: usize = 1;
 
 /// Node color of a TPIIN: `VColor = {Person, Company}`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -129,9 +134,55 @@ pub struct Tpiin {
     /// construction and excluded from the arc set (contraction drops
     /// intra-group arcs).
     pub intra_syndicate_trades: Vec<IntraSyndicateTrade>,
+    /// Frozen CSR snapshot of `graph`, with one lane per arc color
+    /// ([`TRADING_LANE`], [`INFLUENCE_LANE`]).  The mining hot path
+    /// (Algorithm 1 segmentation, Algorithm 2 tree DFS) iterates these
+    /// packed slices instead of the mutable adjacency.  Kept private so it
+    /// can only be set by [`Tpiin::assemble`] / [`Tpiin::refreeze`].
+    csr: CsrGraph,
 }
 
 impl Tpiin {
+    /// Assembles a TPIIN from its parts, freezing the graph into the
+    /// two-lane CSR snapshot in the same step.
+    pub fn assemble(
+        graph: DiGraph<TpiinNode, TpiinArc>,
+        person_node: Vec<NodeId>,
+        company_node: Vec<NodeId>,
+        influence_arc_count: usize,
+        trading_arc_count: usize,
+        intra_syndicate_trades: Vec<IntraSyndicateTrade>,
+    ) -> Tpiin {
+        let csr = Self::freeze_graph(&graph);
+        Tpiin {
+            graph,
+            person_node,
+            company_node,
+            influence_arc_count,
+            trading_arc_count,
+            intra_syndicate_trades,
+            csr,
+        }
+    }
+
+    fn freeze_graph(graph: &DiGraph<TpiinNode, TpiinArc>) -> CsrGraph {
+        graph.freeze_lanes(2, |_, arc| arc.color.code() as usize)
+    }
+
+    /// The frozen CSR view of the network (lane [`TRADING_LANE`] holds the
+    /// trading arcs, lane [`INFLUENCE_LANE`] the antecedent arcs).
+    ///
+    /// The snapshot is taken at assembly; after mutating [`Tpiin::graph`]
+    /// directly (e.g. streaming ingestion), call [`Tpiin::refreeze`] to
+    /// bring it back in sync.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Rebuilds the CSR snapshot after [`Tpiin::graph`] was mutated.
+    pub fn refreeze(&mut self) {
+        self.csr = Self::freeze_graph(&self.graph);
+    }
     /// Number of TPIIN nodes.
     pub fn node_count(&self) -> usize {
         self.graph.node_count()

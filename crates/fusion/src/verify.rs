@@ -243,14 +243,7 @@ mod tests {
                 weight: 1.0,
             },
         );
-        let tpiin = Tpiin {
-            graph,
-            person_node: vec![],
-            company_node: vec![a, b],
-            influence_arc_count: 0,
-            trading_arc_count: 1,
-            intra_syndicate_trades: vec![],
-        };
+        let tpiin = Tpiin::assemble(graph, vec![], vec![a, b], 0, 1, vec![]);
         assert!(!verify_tpiin(&tpiin, true).all_hold());
         assert!(verify_tpiin(&tpiin, false).all_hold());
     }

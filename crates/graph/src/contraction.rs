@@ -76,6 +76,11 @@ impl Partition {
         self.group_count
     }
 
+    /// The dense labelling: `labels()[v]` is the group of node `v`.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
     /// Group of node `v`, as a node id of the quotient graph.
     pub fn group_of(&self, v: NodeId) -> NodeId {
         NodeId::from_index(self.labels[v.index()] as usize)

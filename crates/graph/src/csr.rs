@@ -1,0 +1,483 @@
+//! Frozen compressed-sparse-row (CSR) snapshot of a [`DiGraph`].
+//!
+//! The mutable [`DiGraph`] is the right shape while the fusion pipeline is
+//! still contracting syndicates, but its per-node `Vec<EdgeId>` adjacency
+//! costs two pointer hops per neighbor on the mining hot path.  Once the
+//! TPIIN is final it never changes again, so [`DiGraph::freeze`] packs the
+//! whole topology into a handful of flat arrays: every neighbor scan
+//! becomes one contiguous slice, and the detector's Algorithm 2 DFS walks
+//! cache lines instead of hash buckets.
+//!
+//! Edges are partitioned into **lanes** at freeze time (one lane per edge
+//! color for a TPIIN: trading and influence), so per-color traversals —
+//! the antecedent weak components of Algorithm 1, the influence-only tree
+//! DFS of Algorithm 2 — index straight into their own offset table with no
+//! per-edge color test.
+
+use crate::digraph::DiGraph;
+use crate::ids::{EdgeId, NodeId};
+use crate::unionfind::UnionFind;
+
+/// One edge lane of a [`CsrGraph`]: a forward and a reverse CSR index over
+/// the subset of edges assigned to this lane.
+#[derive(Clone, Debug, Default)]
+struct Lane {
+    /// `out_offsets[v] .. out_offsets[v + 1]` indexes this node's slice of
+    /// `out_targets` / `out_edge_ids` (length `node_count + 1`).
+    out_offsets: Vec<u32>,
+    /// Heads of all out-arcs, grouped by source, insertion order preserved
+    /// within each source.
+    out_targets: Vec<u32>,
+    /// Original [`EdgeId`] of each `out_targets` slot, for mapping back to
+    /// payloads in the source graph.
+    out_edge_ids: Vec<EdgeId>,
+    /// Reverse index: `in_offsets[v] .. in_offsets[v + 1]` slices
+    /// `in_sources`.
+    in_offsets: Vec<u32>,
+    /// Tails of all in-arcs, grouped by target.
+    in_sources: Vec<u32>,
+}
+
+impl Lane {
+    fn out(&self, v: u32) -> &[u32] {
+        &self.out_targets
+            [self.out_offsets[v as usize] as usize..self.out_offsets[v as usize + 1] as usize]
+    }
+
+    fn sources(&self, v: u32) -> &[u32] {
+        &self.in_sources
+            [self.in_offsets[v as usize] as usize..self.in_offsets[v as usize + 1] as usize]
+    }
+}
+
+/// An immutable CSR snapshot of a digraph's topology, with edges split
+/// into color lanes.  Node indices are the dense `0..node_count` indices
+/// of the frozen [`DiGraph`] (convertible via [`NodeId::index`]).
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    node_count: usize,
+    lanes: Vec<Lane>,
+}
+
+impl CsrGraph {
+    /// Number of nodes (same as the frozen graph).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edge lanes.
+    #[inline]
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of edges in `lane`.
+    #[inline]
+    pub fn edge_count(&self, lane: usize) -> usize {
+        self.lanes[lane].out_targets.len()
+    }
+
+    /// Total edges across all lanes.
+    pub fn total_edge_count(&self) -> usize {
+        self.lanes.iter().map(|l| l.out_targets.len()).sum()
+    }
+
+    /// Out-neighbors of `v` in `lane`, insertion order preserved.
+    #[inline]
+    pub fn out(&self, lane: usize, v: u32) -> &[u32] {
+        self.lanes[lane].out(v)
+    }
+
+    /// Original edge ids of `v`'s out-arcs in `lane`, parallel to
+    /// [`CsrGraph::out`].
+    #[inline]
+    pub fn out_edge_ids(&self, lane: usize, v: u32) -> &[EdgeId] {
+        let lane = &self.lanes[lane];
+        &lane.out_edge_ids
+            [lane.out_offsets[v as usize] as usize..lane.out_offsets[v as usize + 1] as usize]
+    }
+
+    /// In-neighbors (arc tails) of `v` in `lane`.
+    #[inline]
+    pub fn sources(&self, lane: usize, v: u32) -> &[u32] {
+        self.lanes[lane].sources(v)
+    }
+
+    /// Out-degree of `v` within `lane`.
+    #[inline]
+    pub fn out_degree(&self, lane: usize, v: u32) -> usize {
+        self.lanes[lane].out(v).len()
+    }
+
+    /// In-degree of `v` within `lane`.
+    #[inline]
+    pub fn in_degree(&self, lane: usize, v: u32) -> usize {
+        self.lanes[lane].sources(v).len()
+    }
+
+    /// All `(source, target)` pairs of `lane`, grouped by source.
+    pub fn lane_edges(&self, lane: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let l = &self.lanes[lane];
+        (0..self.node_count as u32).flat_map(move |v| l.out(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// Strongly connected components of one lane, iterative Tarjan over
+    /// the packed slices.  Same contract as [`crate::tarjan_scc`]:
+    /// components come out in reverse topological order of the
+    /// condensation.
+    pub fn tarjan_scc(&self, lane: usize) -> Vec<Vec<u32>> {
+        const UNVISITED: u32 = u32::MAX;
+        let n = self.node_count;
+        let lane = &self.lanes[lane];
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut components = Vec::new();
+        // Explicit DFS call stack: (node, offset into its out slice).
+        let mut call: Vec<(u32, usize)> = Vec::new();
+
+        for root in 0..n as u32 {
+            if index[root as usize] != UNVISITED {
+                continue;
+            }
+            call.push((root, 0));
+            index[root as usize] = next_index;
+            lowlink[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+
+            while let Some(&mut (v, ref mut next)) = call.last_mut() {
+                let succ = lane.out(v);
+                if *next < succ.len() {
+                    let w = succ[*next];
+                    *next += 1;
+                    if index[w as usize] == UNVISITED {
+                        index[w as usize] = next_index;
+                        lowlink[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        lowlink[parent as usize] =
+                            lowlink[parent as usize].min(lowlink[v as usize]);
+                    }
+                    if lowlink[v as usize] == index[v as usize] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(component);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Dense SCC labelling of one lane: `(labels, count)` with labels in
+    /// reverse topological order, mirroring
+    /// [`crate::condensation_partition`].
+    pub fn condensation(&self, lane: usize) -> (Vec<u32>, usize) {
+        let components = self.tarjan_scc(lane);
+        let mut labels = vec![0u32; self.node_count];
+        for (i, comp) in components.iter().enumerate() {
+            for &v in comp {
+                labels[v as usize] = i as u32;
+            }
+        }
+        (labels, components.len())
+    }
+
+    /// Weakly connected components of one lane (direction ignored):
+    /// `(labels, count)` with labels dense and assigned in order of first
+    /// appearance by node index, mirroring
+    /// [`crate::weakly_connected_components`].
+    pub fn weak_components(&self, lane: usize) -> (Vec<u32>, usize) {
+        let mut uf = UnionFind::new(self.node_count);
+        for (s, t) in self.lane_edges(lane) {
+            uf.union(s as usize, t as usize);
+        }
+        uf.into_labels()
+    }
+
+    /// Whether one lane is a DAG, by Kahn's algorithm over the packed
+    /// degree arrays.
+    pub fn is_acyclic(&self, lane: usize) -> bool {
+        let l = &self.lanes[lane];
+        let mut in_deg: Vec<u32> = (0..self.node_count as u32)
+            .map(|v| l.sources(v).len() as u32)
+            .collect();
+        let mut queue: Vec<u32> = (0..self.node_count as u32)
+            .filter(|&v| in_deg[v as usize] == 0)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &w in l.out(v) {
+                in_deg[w as usize] -= 1;
+                if in_deg[w as usize] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        seen == self.node_count
+    }
+
+    /// Contracts the graph along `partition` (the CSR port of
+    /// [`crate::Partition::quotient`]'s topology step): each group becomes
+    /// one node, arcs between groups survive in their lane, arcs internal
+    /// to a group are dropped.  Parallel quotient arcs are preserved, and
+    /// lane/slice ordering stays deterministic.
+    pub fn quotient(&self, partition: &crate::Partition) -> CsrGraph {
+        assert_eq!(partition.labels().len(), self.node_count, "partition size");
+        let qn = partition.group_count();
+        let labels = partition.labels();
+        let lanes = (0..self.lanes.len())
+            .map(|lane| {
+                let pairs: Vec<(u32, u32, EdgeId)> = (0..self.node_count as u32)
+                    .flat_map(|v| {
+                        let qs = labels[v as usize];
+                        self.out(lane, v)
+                            .iter()
+                            .zip(self.out_edge_ids(lane, v))
+                            .filter_map(move |(&t, &id)| {
+                                let qt = labels[t as usize];
+                                (qs != qt).then_some((qs, qt, id))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                build_lane(qn, &pairs)
+            })
+            .collect();
+        CsrGraph {
+            node_count: qn,
+            lanes,
+        }
+    }
+}
+
+/// Counting-sort construction of one lane from `(source, target, id)`
+/// triples; stable, so slice order matches input order per node.
+fn build_lane(n: usize, edges: &[(u32, u32, EdgeId)]) -> Lane {
+    let mut out_offsets = vec![0u32; n + 1];
+    let mut in_offsets = vec![0u32; n + 1];
+    for &(s, t, _) in edges {
+        out_offsets[s as usize + 1] += 1;
+        in_offsets[t as usize + 1] += 1;
+    }
+    for v in 0..n {
+        out_offsets[v + 1] += out_offsets[v];
+        in_offsets[v + 1] += in_offsets[v];
+    }
+    let mut out_targets = vec![0u32; edges.len()];
+    let mut out_edge_ids = vec![EdgeId::from_index(0); edges.len()];
+    let mut in_sources = vec![0u32; edges.len()];
+    let mut out_cursor = out_offsets.clone();
+    let mut in_cursor = in_offsets.clone();
+    for &(s, t, id) in edges {
+        let slot = out_cursor[s as usize] as usize;
+        out_targets[slot] = t;
+        out_edge_ids[slot] = id;
+        out_cursor[s as usize] += 1;
+        in_sources[in_cursor[t as usize] as usize] = s;
+        in_cursor[t as usize] += 1;
+    }
+    Lane {
+        out_offsets,
+        out_targets,
+        out_edge_ids,
+        in_offsets,
+        in_sources,
+    }
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Freezes the whole graph into a single-lane [`CsrGraph`].
+    ///
+    /// Neighbor order within each node matches the graph's insertion
+    /// order, so algorithms that are order-sensitive (Tarjan's component
+    /// output, the pattern-tree DFS) produce identical results on either
+    /// representation.
+    pub fn freeze(&self) -> CsrGraph {
+        self.freeze_lanes(1, |_, _| 0)
+    }
+
+    /// Freezes the graph into a [`CsrGraph`] whose edges are split into
+    /// `lane_count` lanes by `lane_of` (e.g. the TPIIN's arc-color code).
+    ///
+    /// # Panics
+    /// Panics if `lane_of` returns an index `>= lane_count`.
+    pub fn freeze_lanes(
+        &self,
+        lane_count: usize,
+        mut lane_of: impl FnMut(EdgeId, &E) -> usize,
+    ) -> CsrGraph {
+        let mut per_lane: Vec<Vec<(u32, u32, EdgeId)>> = vec![Vec::new(); lane_count];
+        for e in self.edges() {
+            let lane = lane_of(e.id, e.weight);
+            assert!(lane < lane_count, "lane {lane} out of range");
+            per_lane[lane].push((e.source.index() as u32, e.target.index() as u32, e.id));
+        }
+        CsrGraph {
+            node_count: self.node_count(),
+            lanes: per_lane
+                .iter()
+                .map(|edges| build_lane(self.node_count(), edges))
+                .collect(),
+        }
+    }
+}
+
+/// Convenience: the dense index of `v` as the `u32` the CSR side uses.
+#[inline]
+pub fn csr_index(v: NodeId) -> u32 {
+    v.index() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        condensation_partition, is_acyclic, tarjan_scc, weakly_connected_components, Partition,
+    };
+
+    fn graph_from(edges: &[(usize, usize)], n: usize) -> DiGraph<(), u8> {
+        let mut g = DiGraph::new();
+        let ids: Vec<_> = (0..n).map(|_| g.add_node(())).collect();
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            g.add_edge(ids[a], ids[b], (i % 2) as u8);
+        }
+        g
+    }
+
+    #[test]
+    fn freeze_preserves_counts_and_slice_order() {
+        let g = graph_from(&[(0, 1), (0, 2), (1, 2), (2, 0)], 3);
+        let csr = g.freeze();
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.lane_count(), 1);
+        assert_eq!(csr.edge_count(0), 4);
+        assert_eq!(csr.out(0, 0), &[1, 2]);
+        assert_eq!(csr.out(0, 1), &[2]);
+        assert_eq!(csr.sources(0, 2), &[0, 1]);
+        assert_eq!(csr.out_degree(0, 0), 2);
+        assert_eq!(csr.in_degree(0, 0), 1);
+        let ids: Vec<usize> = csr.out_edge_ids(0, 0).iter().map(|e| e.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn lanes_partition_the_edges() {
+        // Even-indexed edges in lane 0, odd-indexed in lane 1.
+        let g = graph_from(&[(0, 1), (0, 2), (1, 2), (2, 0)], 3);
+        let csr = g.freeze_lanes(2, |_, &w| w as usize);
+        assert_eq!(csr.edge_count(0) + csr.edge_count(1), g.edge_count());
+        assert_eq!(csr.total_edge_count(), g.edge_count());
+        assert_eq!(csr.out(0, 0), &[1]); // edge 0
+        assert_eq!(csr.out(1, 0), &[2]); // edge 1
+        assert_eq!(
+            csr.lane_edges(1).collect::<Vec<_>>(),
+            vec![(0, 2), (2, 0)] // edges 1 and 3
+        );
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_survive() {
+        let g = graph_from(&[(0, 1), (0, 1), (1, 1)], 2);
+        let csr = g.freeze();
+        assert_eq!(csr.out(0, 0), &[1, 1]);
+        assert_eq!(csr.out(0, 1), &[1]);
+        assert_eq!(csr.sources(0, 1), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn csr_scc_matches_digraph_scc() {
+        let cases: &[(&[(usize, usize)], usize)] = &[
+            (&[(0, 1), (1, 2)], 3),
+            (&[(0, 1), (1, 2), (2, 0)], 3),
+            (&[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)], 4),
+            (&[(0, 0), (0, 1)], 2),
+            (&[], 4),
+        ];
+        for &(edges, n) in cases {
+            let g = graph_from(edges, n);
+            let reference: Vec<Vec<u32>> = tarjan_scc(&g)
+                .into_iter()
+                .map(|c| c.into_iter().map(|v| v.index() as u32).collect())
+                .collect();
+            assert_eq!(g.freeze().tarjan_scc(0), reference, "edges {edges:?}");
+            let (labels, count) = condensation_partition(&g);
+            assert_eq!(g.freeze().condensation(0), (labels, count));
+        }
+    }
+
+    #[test]
+    fn csr_weak_components_match_digraph() {
+        let g = graph_from(&[(0, 2), (1, 3), (4, 4)], 6);
+        let csr = g.freeze();
+        assert_eq!(csr.weak_components(0), weakly_connected_components(&g));
+    }
+
+    #[test]
+    fn csr_acyclicity_matches_digraph() {
+        let dag = graph_from(&[(0, 1), (1, 2), (0, 2)], 3);
+        assert!(dag.freeze().is_acyclic(0));
+        assert_eq!(is_acyclic(&dag), dag.freeze().is_acyclic(0));
+        let cyc = graph_from(&[(0, 1), (1, 0)], 2);
+        assert!(!cyc.freeze().is_acyclic(0));
+    }
+
+    #[test]
+    fn acyclicity_is_per_lane() {
+        // Lane 0 (even edges) holds 0->1, 1->0: cyclic.  Lane 1 holds
+        // 0->1 only: acyclic.
+        let mut g: DiGraph<(), u8> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 0);
+        g.add_edge(b, a, 0);
+        g.add_edge(a, b, 1);
+        let csr = g.freeze_lanes(2, |_, &w| w as usize);
+        assert!(!csr.is_acyclic(0));
+        assert!(csr.is_acyclic(1));
+    }
+
+    #[test]
+    fn quotient_drops_internal_arcs_and_keeps_cross_arcs() {
+        // {0,1} merge; 0->1 internal (dropped), 1->2 and 2->0 survive.
+        let g = graph_from(&[(0, 1), (1, 2), (2, 0)], 3);
+        let csr = g.freeze();
+        let partition = Partition::from_labels(vec![0, 0, 1], 2);
+        let q = csr.quotient(&partition);
+        assert_eq!(q.node_count(), 2);
+        assert_eq!(q.edge_count(0), 2);
+        assert_eq!(q.out(0, 0), &[1]);
+        assert_eq!(q.out(0, 1), &[0]);
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        let csr = g.freeze();
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.total_edge_count(), 0);
+        assert!(csr.is_acyclic(0));
+        assert_eq!(csr.weak_components(0), (vec![], 0));
+    }
+}

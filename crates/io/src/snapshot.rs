@@ -252,14 +252,14 @@ pub fn read_snapshot(text: &str) -> Result<Tpiin, IoError> {
         pairs.sort_by_key(|&(m, _)| m);
         pairs.into_iter().map(|(_, n)| n).collect()
     };
-    Ok(Tpiin {
+    Ok(Tpiin::assemble(
         graph,
-        person_node: build_table(person_node),
-        company_node: build_table(company_node),
+        build_table(person_node),
+        build_table(company_node),
         influence_arc_count,
         trading_arc_count,
-        intra_syndicate_trades: intra,
-    })
+        intra,
+    ))
 }
 
 #[cfg(test)]

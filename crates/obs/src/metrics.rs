@@ -137,10 +137,12 @@ pub(crate) struct PhaseAgg {
 pub struct ThreadStats {
     /// Worker index within the pool.
     pub thread: usize,
-    /// Batches claimed from the shared atomic work queue.
+    /// Work items popped from the worker's own deque (`items - steals`).
     pub batches: u64,
     /// Work items (subTPIIN roots) mined.
     pub items: u64,
+    /// Work items stolen from sibling workers' deques.
+    pub steals: u64,
     /// Wall-clock nanoseconds spent mining (excludes queue waiting).
     pub busy_ns: u64,
 }

@@ -42,10 +42,12 @@ pub struct HistogramSnapshot {
 pub struct ThreadProfile {
     /// Worker index.
     pub thread: usize,
-    /// Batches claimed from the shared queue.
+    /// Work items popped from the worker's own deque (`items - steals`).
     pub batches: u64,
     /// Work items mined.
     pub items: u64,
+    /// Work items stolen from sibling workers.
+    pub steals: u64,
     /// Nanoseconds spent mining.
     pub busy_ns: u64,
 }
@@ -56,6 +58,7 @@ impl From<ThreadStats> for ThreadProfile {
             thread: s.thread,
             batches: s.batches,
             items: s.items,
+            steals: s.steals,
             busy_ns: s.busy_ns,
         }
     }
@@ -150,16 +153,17 @@ impl RunProfile {
         render_nodes(&mut out, &self.phases, 0);
         if !self.threads.is_empty() {
             out.push_str(&format!(
-                "{:<40} {:>12} {:>8} {:>12}\n",
-                "thread", "busy", "batches", "items"
+                "{:<40} {:>12} {:>8} {:>12} {:>8}\n",
+                "thread", "busy", "batches", "items", "steals"
             ));
             for t in &self.threads {
                 out.push_str(&format!(
-                    "{:<40} {:>12} {:>8} {:>12}\n",
+                    "{:<40} {:>12} {:>8} {:>12} {:>8}\n",
                     format!("worker {}", t.thread),
                     fmt_ns(t.busy_ns),
                     t.batches,
-                    t.items
+                    t.items,
+                    t.steals
                 ));
             }
         }
@@ -245,6 +249,7 @@ impl RunProfile {
                                 ("thread".to_string(), Json::Int(t.thread as u64)),
                                 ("batches".to_string(), Json::Int(t.batches)),
                                 ("items".to_string(), Json::Int(t.items)),
+                                ("steals".to_string(), Json::Int(t.steals)),
                                 ("busy_ns".to_string(), Json::Int(t.busy_ns)),
                             ])
                         })
@@ -352,6 +357,7 @@ mod tests {
             thread: 0,
             batches: 2,
             items: 64,
+            steals: 3,
             busy_ns: 1_000,
         });
         let profile = RunProfile::capture_from(&registry);
@@ -369,6 +375,7 @@ mod tests {
         assert!(json.contains("\"arcs_dropped\": 7"));
         assert!(json.contains("\"suspicious_fraction\": 0.05"));
         assert!(json.contains("\"match_root\""));
+        assert!(json.contains("\"steals\": 3"));
         assert!(json.contains("\"busy_ns\": 1000"));
     }
 

@@ -1,18 +1,13 @@
-//! Quickstart: build a tiny taxpayer network by hand, fuse it into a
-//! TPIIN, and mine the suspicious groups.
+//! Quickstart: build a tiny taxpayer network by hand, run the pipeline,
+//! and read off the suspicious groups.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use tpiin::detect::{detect, score_group};
-use tpiin::fusion::fuse;
-use tpiin::model::{
-    InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, Role, RoleSet,
-    SourceRegistry, TradingRecord,
-};
+use tpiin::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // 1. Register the raw facts gathered from the data sources.
     let mut registry = SourceRegistry::new();
 
@@ -62,24 +57,23 @@ fn main() {
         volume: 500_000.0,
     });
 
-    // 2. Fuse the heterogeneous records into a TPIIN.
-    let (tpiin, report) = fuse(&registry).expect("registry is valid");
-    println!("fused network:\n{}\n", report.summary());
+    // 2. Fuse into a TPIIN and mine suspicious groups, in one chain.
+    let out = Pipeline::from_registry(&registry).threads(2).run()?;
 
-    // 3. Mine suspicious groups.
-    let result = detect(&tpiin);
+    println!("fused network:\n{}\n", out.report.summary());
     println!(
         "{} of {} trading relationships are suspicious ({:.1}%)",
-        result.suspicious_trading_arcs.len(),
-        result.total_trading_arcs,
-        result.suspicious_percentage()
+        out.groups.suspicious_trading_arcs.len(),
+        out.groups.total_trading_arcs,
+        out.groups.suspicious_percentage()
     );
-    for group in &result.groups {
-        println!("- {}", group.explain(&tpiin));
-        let score = score_group(&tpiin, group);
+    for group in &out.groups.groups {
+        println!("- {}", group.explain(&out.tpiin));
+        let score = score_group(&out.tpiin, group);
         println!(
             "  chain strength {:.2}, {:.0} at stake -> score {:.0}",
             score.chain_strength, score.trade_volume, score.score
         );
     }
+    Ok(())
 }

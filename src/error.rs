@@ -1,0 +1,108 @@
+//! The unified error type of the facade crate.
+//!
+//! Each workspace layer keeps its own precise error enum
+//! ([`tpiin_model::ModelError`], [`tpiin_fusion::FusionError`],
+//! [`tpiin_io::IoError`]); this type is the single surface downstream
+//! code matches on.  `From` impls let `?` lift any layer's failure, and
+//! [`std::error::Error::source`] preserves the underlying chain.
+
+use std::fmt;
+use std::path::PathBuf;
+use tpiin_fusion::FusionError;
+use tpiin_io::IoError;
+use tpiin_model::ModelError;
+
+/// Any failure the `tpiin` facade can surface.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard arm, so
+/// later layers (serving, sharding) can add variants without a breaking
+/// release.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Source records failed structural validation, with every violation
+    /// listed (not just the first).
+    Model(Vec<ModelError>),
+    /// The fusion pipeline failed past validation.
+    Fusion(FusionError),
+    /// Reading or writing a TPIIN-related file format.
+    Io(IoError),
+    /// A plain filesystem failure outside the format readers/writers
+    /// (e.g. writing an export or metrics file).
+    File {
+        /// The file being accessed.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The caller asked for something invalid (bad CLI flags, builder
+    /// misuse).
+    Usage(String),
+}
+
+impl Error {
+    /// Wraps a filesystem failure with the path involved.
+    pub fn file(path: impl Into<PathBuf>, source: std::io::Error) -> Error {
+        Error::File {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Model(errs) => write!(
+                f,
+                "source records failed validation with {} error(s); first: {}",
+                errs.len(),
+                errs.first().map(|e| e.to_string()).unwrap_or_default()
+            ),
+            Error::Fusion(e) => e.fmt(f),
+            Error::Io(e) => e.fmt(f),
+            Error::File { path, source } => write!(f, "{}: {}", path.display(), source),
+            Error::Usage(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(errs) => errs
+                .first()
+                .map(|e| e as &(dyn std::error::Error + 'static)),
+            Error::Fusion(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::File { source, .. } => Some(source),
+            Error::Usage(_) => None,
+        }
+    }
+}
+
+/// Validation failures lift to [`Error::Model`] no matter which layer
+/// detected them, so callers classify them uniformly.
+impl From<Vec<ModelError>> for Error {
+    fn from(errs: Vec<ModelError>) -> Error {
+        Error::Model(errs)
+    }
+}
+
+impl From<FusionError> for Error {
+    fn from(e: FusionError) -> Error {
+        match e {
+            FusionError::InvalidRegistry(errs) => Error::Model(errs),
+            other => Error::Fusion(other),
+        }
+    }
+}
+
+impl From<IoError> for Error {
+    fn from(e: IoError) -> Error {
+        match e {
+            IoError::Invalid(errs) => Error::Model(errs),
+            other => Error::Io(other),
+        }
+    }
+}

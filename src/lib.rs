@@ -11,8 +11,8 @@
 //! * [`model`] — taxpayer domain model (persons, roles, companies,
 //!   source relationships).
 //! * [`fusion`] — `G1 … G123 + G4 -> TPIIN` multi-network fusion.
-//! * [`detect`] — Algorithm 1/2, pattern matching, baseline, parallel
-//!   detector (the paper's contribution).
+//! * [`mod@detect`] — Algorithm 1/2, pattern matching, baseline,
+//!   parallel detector (the paper's contribution).
 //! * [`datagen`] — synthetic province generator and worked-example
 //!   builders.
 //! * [`io`] — CSV registries, the paper's edge-list format,
@@ -21,6 +21,37 @@
 //!   over the suspicious groups (Fig. 4's second stage).
 //! * [`obs`] — observability substrate: metrics registry, RAII span
 //!   timers, leveled logging, run-profile export.
+//!
+//! # Using the library
+//!
+//! The front door is the [`Pipeline`] builder with the [`prelude`]:
+//!
+//! ```
+//! use tpiin::prelude::*;
+//!
+//! let mut registry = SourceRegistry::new();
+//! let boss = registry.add_person("Boss", RoleSet::of(&[Role::Ceo]));
+//! let a = registry.add_company("A");
+//! let b = registry.add_company("B");
+//! for company in [a, b] {
+//!     registry.add_influence(InfluenceRecord {
+//!         person: boss, company,
+//!         kind: InfluenceKind::CeoOf, is_legal_person: true,
+//!     });
+//! }
+//! registry.add_trading(TradingRecord { seller: a, buyer: b, volume: 1.0 });
+//!
+//! let out = Pipeline::from_registry(&registry).threads(2).run()?;
+//! assert_eq!(out.groups.group_count(), 1);
+//! # Ok::<(), tpiin::Error>(())
+//! ```
+
+mod error;
+mod pipeline;
+pub mod prelude;
+
+pub use error::Error;
+pub use pipeline::{Pipeline, RunOutput};
 
 pub use tpiin_core as detect;
 pub use tpiin_datagen as datagen;
@@ -30,3 +61,23 @@ pub use tpiin_io as io;
 pub use tpiin_ite as ite;
 pub use tpiin_model as model;
 pub use tpiin_obs as obs;
+
+/// Fuses a registry into a TPIIN.
+///
+/// Thin shim over [`fusion::fuse`] kept for source compatibility.
+#[deprecated(note = "use `tpiin::Pipeline::from_registry(..).run()`")]
+pub fn fuse(
+    registry: &tpiin_model::SourceRegistry,
+) -> Result<(tpiin_fusion::Tpiin, tpiin_fusion::FusionReport), tpiin_fusion::FusionError> {
+    tpiin_fusion::fuse(registry)
+}
+
+/// Mines suspicious groups with the default detector configuration.
+///
+/// Thin shim over [`detect::detect`] kept for source compatibility.
+/// (The `detect` *module* re-export above is unaffected; functions and
+/// modules live in separate namespaces.)
+#[deprecated(note = "use `tpiin::Pipeline::from_registry(..).run()`")]
+pub fn detect(tpiin: &tpiin_fusion::Tpiin) -> tpiin_core::DetectionResult {
+    tpiin_core::detect(tpiin)
+}

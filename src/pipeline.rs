@@ -1,0 +1,158 @@
+//! The [`Pipeline`] builder: registry in, mined TPIIN out.
+//!
+//! One call chain configures and runs the whole system — fusion
+//! (Section 4.1, five stages plus the CSR freeze), then Algorithm 1/2
+//! group detection on the work-stealing scheduler:
+//!
+//! ```
+//! use tpiin::prelude::*;
+//!
+//! let registry = tpiin::datagen::fig7_registry();
+//! let out = Pipeline::from_registry(&registry).threads(4).run()?;
+//! assert!(out.groups.group_count() > 0);
+//! # Ok::<(), tpiin::Error>(())
+//! ```
+
+use crate::error::Error;
+use tpiin_core::{DetectionResult, Detector, DetectorConfig};
+use tpiin_fusion::{FusionReport, Tpiin};
+use tpiin_model::SourceRegistry;
+use tpiin_obs::{Level, RunProfile};
+
+/// Everything one [`Pipeline::run`] produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The fused network (with its frozen CSR kernel).
+    pub tpiin: Tpiin,
+    /// Per-stage fusion statistics and timings.
+    pub report: FusionReport,
+    /// The detection result: suspicious groups, arcs, per-shard stats.
+    pub groups: DetectionResult,
+    /// The run profile, when [`Pipeline::profile`] was enabled.
+    pub profile: Option<RunProfile>,
+}
+
+/// Builder over the fuse-then-detect pipeline.
+///
+/// Borrows the registry; all knobs default to the serial,
+/// group-collecting, unprofiled configuration that [`tpiin_fusion::fuse`]
+/// plus [`tpiin_core::detect`] would give.
+#[derive(Debug)]
+pub struct Pipeline<'a> {
+    registry: &'a SourceRegistry,
+    config: DetectorConfig,
+    log_level: Option<Level>,
+    profile: bool,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Starts a pipeline over `registry` with default settings.
+    pub fn from_registry(registry: &'a SourceRegistry) -> Pipeline<'a> {
+        Pipeline {
+            registry,
+            config: DetectorConfig::default(),
+            log_level: None,
+            profile: false,
+        }
+    }
+
+    /// Detection worker threads; `0` or `1` runs serially.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the global log level for the run (overrides `TPIIN_LOG`).
+    pub fn log_level(mut self, level: Level) -> Self {
+        self.log_level = Some(level);
+        self
+    }
+
+    /// Enables profiling; the captured [`RunProfile`] lands in
+    /// [`RunOutput::profile`].
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Whether to materialize [`tpiin_core::SuspiciousGroup`]s (`true` by
+    /// default); counting-only sweeps run leaner with `false`.
+    pub fn collect_groups(mut self, on: bool) -> Self {
+        self.config.collect_groups = on;
+        self
+    }
+
+    /// Upper bound on patterns-tree nodes per root (overflow guard).
+    pub fn max_tree_nodes(mut self, bound: usize) -> Self {
+        self.config.max_tree_nodes = bound;
+        self
+    }
+
+    /// Fuses the registry and mines suspicious groups.
+    pub fn run(self) -> Result<RunOutput, Error> {
+        if self.log_level.is_some() {
+            tpiin_obs::log::set_level(self.log_level);
+        }
+        if self.profile {
+            tpiin_obs::set_profiling(true);
+            tpiin_obs::global().reset();
+        }
+        let (tpiin, report) = tpiin_fusion::fuse(self.registry)?;
+        let groups = Detector::new(self.config).detect(&tpiin);
+        let profile = self.profile.then(RunProfile::capture);
+        Ok(RunOutput {
+            tpiin,
+            report,
+            groups,
+            profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_runs_the_worked_example() {
+        let registry = tpiin_datagen::fig7_registry();
+        let out = Pipeline::from_registry(&registry)
+            .threads(2)
+            .run()
+            .expect("fig7 is valid");
+        assert_eq!(out.groups.group_count(), 3);
+        assert!(out.report.tpiin_nodes > 0);
+        assert!(out.profile.is_none());
+    }
+
+    #[test]
+    fn profile_capture_is_opt_in() {
+        let registry = tpiin_datagen::fig7_registry();
+        let out = Pipeline::from_registry(&registry)
+            .profile(true)
+            .run()
+            .expect("fig7 is valid");
+        let profile = out.profile.expect("profiling was requested");
+        assert!(profile.phase("fusion").is_some());
+    }
+
+    #[test]
+    fn invalid_registry_surfaces_as_model_error() {
+        let mut registry = SourceRegistry::new();
+        registry.add_company("orphan"); // no legal person
+        let err = Pipeline::from_registry(&registry).run().unwrap_err();
+        assert!(matches!(err, Error::Model(_)), "{err:?}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn counting_only_mode_skips_group_bodies() {
+        let registry = tpiin_datagen::fig7_registry();
+        let out = Pipeline::from_registry(&registry)
+            .collect_groups(false)
+            .run()
+            .expect("fig7 is valid");
+        assert!(out.groups.groups.is_empty());
+        assert_eq!(out.groups.group_count(), 3);
+    }
+}

@@ -1,10 +1,19 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Only `crossbeam::thread::scope` is used in this workspace; it maps
-//! directly onto `std::thread::scope` (stable since 1.63).  The one
-//! behavioral difference: a panicking worker propagates through
-//! `std::thread::scope` instead of surfacing as `Err`, so the `Ok` wrapper
-//! exists purely for signature compatibility.
+//! Two slices of the crossbeam API are used in this workspace:
+//!
+//! * `crossbeam::thread::scope`, mapping directly onto
+//!   `std::thread::scope` (stable since 1.63).  The one behavioral
+//!   difference: a panicking worker propagates through
+//!   `std::thread::scope` instead of surfacing as `Err`, so the `Ok`
+//!   wrapper exists purely for signature compatibility.
+//! * `crossbeam::deque`, the `Worker`/`Stealer`/`Steal` work-stealing
+//!   deque surface.  The stand-in backs each deque with a mutexed
+//!   `VecDeque` — the *semantics* match (FIFO owner pops, FIFO steals,
+//!   every pushed item is taken exactly once) while the lock-free
+//!   performance characteristics of the real crate do not.  Detection
+//!   work items are coarse (a whole patterns tree each), so queue
+//!   overhead is noise at the scales this workspace runs.
 
 pub mod thread {
     /// Result type mirroring `crossbeam::thread::scope`'s signature.
@@ -39,6 +48,100 @@ pub mod thread {
     }
 }
 
+pub mod deque {
+    //! Work-stealing deque: one [`Worker`] per thread, any number of
+    //! [`Stealer`] handles onto it.
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The victim's deque was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.  The mutexed
+        /// stand-in never loses races, so this variant is never produced
+        /// here; callers still match on it for API compatibility.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen item, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(item) => Some(item),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owning end of a deque; pushes and pops at the front (FIFO).
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A handle for taking items from another thread's [`Worker`].
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO deque.
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Appends an item at the back.
+        pub fn push(&self, item: T) {
+            self.queue.lock().expect("deque poisoned").push_back(item);
+        }
+
+        /// Takes the oldest item, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("deque poisoned").pop_front()
+        }
+
+        /// Whether the deque currently holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("deque poisoned").len()
+        }
+
+        /// Creates a new stealing handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to take the oldest item from the victim's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,5 +156,44 @@ mod tests {
         })
         .unwrap();
         assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn deque_is_fifo_for_owner_and_stealers() {
+        let worker = crate::deque::Worker::new_fifo();
+        for v in 0..4 {
+            worker.push(v);
+        }
+        assert_eq!(worker.len(), 4);
+        assert_eq!(worker.pop(), Some(0));
+        let stealer = worker.stealer();
+        assert_eq!(stealer.steal().success(), Some(1));
+        assert_eq!(stealer.clone().steal().success(), Some(2));
+        assert_eq!(worker.pop(), Some(3));
+        assert!(worker.is_empty());
+        assert_eq!(stealer.steal().success(), None);
+    }
+
+    #[test]
+    fn every_item_is_taken_exactly_once_under_contention() {
+        const ITEMS: usize = 1_000;
+        let worker = crate::deque::Worker::new_fifo();
+        for v in 0..ITEMS {
+            worker.push(v);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| worker.stealer()).collect();
+        let taken = AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            for stealer in &stealers {
+                scope.spawn(|_| {
+                    while stealer.steal().success().is_some() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(taken.load(Ordering::Relaxed), ITEMS);
+        assert!(worker.is_empty());
     }
 }
