@@ -20,21 +20,44 @@ use tpiin_core::{segment_tpiin, segment_tpiin_nested, DetectionResult, Detector,
 use tpiin_datagen::fig7_registry;
 use tpiin_fusion::{fuse, Tpiin};
 
-/// Best-of-`reps` wall time in milliseconds, plus the last result (so
-/// callers can cross-check group counts between arms).
-fn best_ms(reps: usize, mut run: impl FnMut() -> DetectionResult) -> (f64, DetectionResult) {
-    let mut best = f64::INFINITY;
+/// Median-of-`reps` wall time in milliseconds after `warmup` untimed
+/// runs, plus the last result (so callers can cross-check group counts
+/// between arms).  The warmup pre-faults the shard memory and primes
+/// caches; the median is robust against scheduler hiccups that a
+/// best-of-N would hide and a mean would amplify.
+fn median_ms(
+    warmup: usize,
+    reps: usize,
+    mut run: impl FnMut() -> DetectionResult,
+) -> (f64, DetectionResult) {
     let mut last = None;
+    for _ in 0..warmup {
+        last = Some(run());
+    }
+    let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let start = Instant::now();
         let result = run();
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
         last = Some(result);
     }
-    (best, last.expect("reps >= 1"))
+    samples.sort_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    let median = if samples.len() % 2 == 0 {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    } else {
+        samples[mid]
+    };
+    (median, last.expect("reps >= 1"))
 }
 
-fn measure(name: &str, tpiin: &Tpiin, reps: usize, threads: usize) -> WorkloadRecord {
+fn measure(
+    name: &str,
+    tpiin: &Tpiin,
+    warmup: usize,
+    reps: usize,
+    threads: usize,
+) -> WorkloadRecord {
     let csr = segment_tpiin(tpiin);
     let nested = segment_tpiin_nested(tpiin);
     let serial = Detector::new(DetectorConfig {
@@ -46,9 +69,10 @@ fn measure(name: &str, tpiin: &Tpiin, reps: usize, threads: usize) -> WorkloadRe
         ..DetectorConfig::default()
     });
 
-    let (nested_serial_ms, r1) = best_ms(reps, || serial.detect_segmented(tpiin, &nested));
-    let (csr_serial_ms, r2) = best_ms(reps, || serial.detect_segmented(tpiin, &csr));
-    let (csr_threads_ms, r3) = best_ms(reps, || stealing.detect_segmented(tpiin, &csr));
+    let (nested_serial_ms, r1) =
+        median_ms(warmup, reps, || serial.detect_segmented(tpiin, &nested));
+    let (csr_serial_ms, r2) = median_ms(warmup, reps, || serial.detect_segmented(tpiin, &csr));
+    let (csr_threads_ms, r3) = median_ms(warmup, reps, || stealing.detect_segmented(tpiin, &csr));
     assert_eq!(r1.group_count(), r2.group_count(), "{name}: arms disagree");
     assert_eq!(r2.group_count(), r3.group_count(), "{name}: arms disagree");
 
@@ -81,10 +105,11 @@ fn main() {
     let province = tpiin_fixture(scale, 0.004, 20170417);
 
     // fig7 is tiny — repeat it enough for the timer to resolve; the
-    // province run is the headline number and gets best-of-3.
+    // province run is the headline number and gets median-of-9 after
+    // two warmup passes.
     let workloads = vec![
-        measure("fig7", &fig7, 50, threads),
-        measure(&format!("province-{scale}"), &province, 3, threads),
+        measure("fig7", &fig7, 10, 51, threads),
+        measure(&format!("province-{scale}"), &province, 2, 9, threads),
     ];
 
     let bench = DetectBench {

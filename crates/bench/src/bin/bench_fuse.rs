@@ -1,0 +1,132 @@
+//! Fusion front-end benchmark: runs the fig7 worked example and a
+//! generated province registry through the fusion pipeline twice —
+//!
+//! 1. serial (`FuseOptions { threads: 1 }`),
+//! 2. parallel front-end at `THREADS` workers —
+//!
+//! and writes `BENCH_fuse.json` with total and per-stage wall times for
+//! both arms plus the derived `parallel_speedup` ratio for CI trend
+//! tracking.  Both arms must produce bit-identical TPIINs; the benchmark
+//! asserts the edge lists match before recording anything.
+//!
+//! Usage: `bench_fuse [OUT_PATH] [SCALE] [THREADS]` — defaults to
+//! `BENCH_fuse.json`, scale 0.5, 8 threads.
+
+use std::time::Instant;
+use tpiin_bench::fixtures::province_with_trading;
+use tpiin_bench::record::{FuseArmRecord, FuseBench, FuseStageMs, FuseWorkloadRecord};
+use tpiin_datagen::fig7_registry;
+use tpiin_fusion::{fuse_with, FuseOptions, FusionReport, Tpiin};
+use tpiin_model::SourceRegistry;
+
+/// Runs one fusion arm `reps` times after `warmup` untimed passes and
+/// returns the median run's record plus its TPIIN (for the cross-arm
+/// equality check).  The per-stage breakdown is taken from the median
+/// run itself, so stages always sum to roughly the recorded total.
+fn measure_arm(
+    registry: &SourceRegistry,
+    options: FuseOptions,
+    warmup: usize,
+    reps: usize,
+) -> (FuseArmRecord, Tpiin, FusionReport) {
+    for _ in 0..warmup {
+        fuse_with(registry, options).expect("benchmark registry fuses");
+    }
+    let mut runs: Vec<(f64, Tpiin, FusionReport)> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let (tpiin, report) = fuse_with(registry, options).expect("benchmark registry fuses");
+        runs.push((start.elapsed().as_secs_f64() * 1e3, tpiin, report));
+    }
+    runs.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
+    let (total_ms, tpiin, report) = runs.swap_remove(runs.len() / 2);
+    let stages = report
+        .stage_timings
+        .iter()
+        .map(|t| FuseStageMs {
+            stage: t.stage.clone(),
+            ms: t.nanos as f64 / 1e6,
+        })
+        .collect();
+    (FuseArmRecord { total_ms, stages }, tpiin, report)
+}
+
+fn measure(
+    name: &str,
+    registry: &SourceRegistry,
+    warmup: usize,
+    reps: usize,
+    threads: usize,
+) -> FuseWorkloadRecord {
+    let (serial, serial_tpiin, report) =
+        measure_arm(registry, FuseOptions { threads: 1 }, warmup, reps);
+    let (parallel, parallel_tpiin, _) =
+        measure_arm(registry, FuseOptions { threads }, warmup, reps);
+    assert_eq!(
+        serial_tpiin.edge_list(),
+        parallel_tpiin.edge_list(),
+        "{name}: arms disagree on the fused TPIIN"
+    );
+
+    FuseWorkloadRecord {
+        name: name.to_string(),
+        tpiin_nodes: report.tpiin_nodes,
+        influence_arcs: report.influence_arcs,
+        trading_arcs: report.trading_arcs,
+        serial,
+        parallel,
+        threads,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| "BENCH_fuse.json".to_string());
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("SCALE must be a number"))
+        .unwrap_or(0.5);
+    let threads: usize = args
+        .next()
+        .map(|s| s.parse().expect("THREADS must be an integer"))
+        .unwrap_or(8);
+
+    let fig7 = fig7_registry();
+    let province = province_with_trading(scale, 0.004, 20170417);
+
+    // fig7 is tiny — repeat it enough for the timer to resolve; the
+    // province run is the headline number and gets median-of-5 after a
+    // single warmup pass.
+    let workloads = vec![
+        measure("fig7", &fig7, 10, 51, threads),
+        measure(&format!("province-{scale}"), &province, 1, 5, threads),
+    ];
+
+    let bench = FuseBench {
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        workloads,
+    };
+    for w in &bench.workloads {
+        println!(
+            "bench fuse [{}]: serial {:.2} ms, parallel@{} {:.2} ms ({:.2}x), {} nodes / {} + {} arcs",
+            w.name,
+            w.serial.total_ms,
+            w.threads,
+            w.parallel.total_ms,
+            w.parallel_speedup(),
+            w.tpiin_nodes,
+            w.influence_arcs,
+            w.trading_arcs
+        );
+        for (s, p) in w.serial.stages.iter().zip(&w.parallel.stages) {
+            println!(
+                "  {:>16}: serial {:.3} ms, parallel {:.3} ms",
+                s.stage, s.ms, p.ms
+            );
+        }
+    }
+    bench
+        .write(std::path::Path::new(&path))
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("record -> {path} (host_cpus = {})", bench.host_cpus);
+}

@@ -130,6 +130,135 @@ impl DetectBench {
     }
 }
 
+/// Wall-clock milliseconds of one fusion pipeline stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuseStageMs {
+    /// Stage name (`validate`, `contract_persons`, `contract_sccs`,
+    /// `attach_trading`, `freeze`, `verify_dag`).
+    pub stage: String,
+    /// Wall-clock milliseconds.
+    pub ms: f64,
+}
+
+/// One fusion arm (serial or parallel): total wall time plus the
+/// per-stage breakdown from [`tpiin_fusion::FusionReport::stage_timings`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuseArmRecord {
+    /// Total wall-clock milliseconds of the whole `fuse_with` call.
+    pub total_ms: f64,
+    /// Per-stage timings in execution order.
+    pub stages: Vec<FuseStageMs>,
+}
+
+impl FuseArmRecord {
+    /// The arm as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("total_ms".to_string(), Json::Float(self.total_ms)),
+            (
+                "stages".to_string(),
+                Json::Array(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            Json::Object(vec![
+                                ("stage".to_string(), Json::Str(s.stage.clone())),
+                                ("ms".to_string(), Json::Float(s.ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One workload timed across the two fusion arms: the serial pipeline
+/// (`threads = 1`) and the parallel front-end at [`threads`](Self::threads).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuseWorkloadRecord {
+    /// Workload label (`fig7`, `province-0.5`, ...).
+    pub name: String,
+    /// TPIIN nodes produced (identical across arms by construction).
+    pub tpiin_nodes: usize,
+    /// Influence arcs in the fused TPIIN.
+    pub influence_arcs: usize,
+    /// Trading arcs in the fused TPIIN.
+    pub trading_arcs: usize,
+    /// Serial arm measurements.
+    pub serial: FuseArmRecord,
+    /// Parallel arm measurements.
+    pub parallel: FuseArmRecord,
+    /// Worker-thread count of the parallel arm.
+    pub threads: usize,
+}
+
+impl FuseWorkloadRecord {
+    /// How much faster the parallel front-end is than the serial pipeline.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.serial.total_ms / self.parallel.total_ms
+    }
+
+    /// The workload as a JSON value (speedup included, pre-computed).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            (
+                "tpiin_nodes".to_string(),
+                Json::Int(self.tpiin_nodes as u64),
+            ),
+            (
+                "influence_arcs".to_string(),
+                Json::Int(self.influence_arcs as u64),
+            ),
+            (
+                "trading_arcs".to_string(),
+                Json::Int(self.trading_arcs as u64),
+            ),
+            ("serial".to_string(), self.serial.to_json()),
+            ("parallel".to_string(), self.parallel.to_json()),
+            ("threads".to_string(), Json::Int(self.threads as u64)),
+            (
+                "parallel_speedup".to_string(),
+                Json::Float(self.parallel_speedup()),
+            ),
+        ])
+    }
+}
+
+/// The full `BENCH_fuse.json` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuseBench {
+    /// Hardware threads the host actually exposes; lets readers judge
+    /// whether the parallel arm could physically speed up.
+    pub host_cpus: usize,
+    /// Per-workload measurements.
+    pub workloads: Vec<FuseWorkloadRecord>,
+}
+
+impl FuseBench {
+    /// The record as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("host_cpus".to_string(), Json::Int(self.host_cpus as u64)),
+            (
+                "workloads".to_string(),
+                Json::Array(
+                    self.workloads
+                        .iter()
+                        .map(FuseWorkloadRecord::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the record to `path` as pretty-printed JSON.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +312,41 @@ mod tests {
         assert!(text.contains("\"workloads\""));
         assert!(text.contains("\"thread_speedup\""));
         assert!(text.contains("\"csr_over_nested\""));
+    }
+
+    #[test]
+    fn fuse_bench_serializes_stages_and_speedup() {
+        let arm = |total: f64| FuseArmRecord {
+            total_ms: total,
+            stages: vec![
+                FuseStageMs {
+                    stage: "validate".into(),
+                    ms: total / 2.0,
+                },
+                FuseStageMs {
+                    stage: "freeze".into(),
+                    ms: total / 2.0,
+                },
+            ],
+        };
+        let bench = FuseBench {
+            host_cpus: 4,
+            workloads: vec![FuseWorkloadRecord {
+                name: "province-0.5".into(),
+                tpiin_nodes: 1000,
+                influence_arcs: 2000,
+                trading_arcs: 500,
+                serial: arm(8.0),
+                parallel: arm(4.0),
+                threads: 4,
+            }],
+        };
+        assert!((bench.workloads[0].parallel_speedup() - 2.0).abs() < 1e-12);
+        let text = bench.to_json().to_pretty();
+        assert!(text.contains("\"host_cpus\": 4"));
+        assert!(text.contains("\"parallel_speedup\": 2"));
+        assert!(text.contains("\"validate\""));
+        assert!(text.contains("\"freeze\""));
+        assert!(text.contains("\"tpiin_nodes\": 1000"));
     }
 }

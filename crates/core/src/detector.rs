@@ -7,6 +7,16 @@
 //! steal from siblings.  Outcomes carry their original work index and are
 //! sorted before merging, so results are bit-identical to the serial run
 //! regardless of scheduling.
+//!
+//! Scheduling is **adaptive**: the requested worker count is capped at
+//! the host's available parallelism (oversubscribing a smaller machine
+//! only adds queue traffic), the whole run drops to the serial path when
+//! the summed cost estimate is below [`DetectorConfig::serial_cutoff`]
+//! (thread spawn + steal overhead dwarfs tiny workloads — exactly the
+//! regression the first BENCH_detect.json run showed), and items from
+//! cheap shards are glued into batches of at least
+//! [`DetectorConfig::batch_min_cost`] so one deque transaction covers
+//! many tiny roots.
 
 use crate::matching::match_root;
 use crate::result::{DetectionResult, GroupKind, SubTpiinStats, SuspiciousGroup};
@@ -31,6 +41,20 @@ pub struct DetectorConfig {
     /// Upper bound on patterns-tree nodes per root; trees beyond it mark
     /// the result [`DetectionResult::overflowed`].
     pub max_tree_nodes: usize,
+    /// Summed work-item cost estimate (shard nodes + trading arcs, per
+    /// root) below which the stealing pool is skipped and mining runs
+    /// serially even when `threads > 1`.  Calibrated so fig7-sized
+    /// workloads — where the measured parallel slowdown was ~40x — never
+    /// pay for thread spawns.
+    pub serial_cutoff: usize,
+    /// Work items whose shard cost estimate is below this are glued into
+    /// batches of at least this combined cost; each batch is one deque
+    /// entry, so the cheap tail no longer causes a steal per root.
+    pub batch_min_cost: usize,
+    /// Cap the worker count at `std::thread::available_parallelism`
+    /// (default `true`).  Differential tests disable this to force the
+    /// stealing code path regardless of the host.
+    pub clamp_to_host: bool,
 }
 
 impl Default for DetectorConfig {
@@ -39,6 +63,9 @@ impl Default for DetectorConfig {
             collect_groups: true,
             threads: 0,
             max_tree_nodes: 10_000_000,
+            serial_cutoff: 4096,
+            batch_min_cost: 256,
+            clamp_to_host: true,
         }
     }
 }
@@ -211,13 +238,21 @@ impl Detector {
             .flat_map(|(i, s)| s.zero_indegree_roots().into_iter().map(move |r| (i, r)))
             .collect();
 
-        let outcomes: Vec<RootOutcome> = if self.config.threads > 1 && work.len() > 1 {
-            self.mine_stealing(subs, &work)
-        } else {
-            work.iter()
-                .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, &self.config))
-                .collect()
-        };
+        // Adaptive plan: clamp to the host, then compare the summed cost
+        // estimate against the serial cutoff.
+        let total_cost: u64 = work.iter().map(|&(i, _)| subs[i].estimated_cost()).sum();
+        let mut threads = self.config.threads;
+        if self.config.clamp_to_host {
+            threads = threads.min(std::thread::available_parallelism().map_or(1, |n| n.get()));
+        }
+        let outcomes: Vec<RootOutcome> =
+            if threads > 1 && work.len() > 1 && total_cost >= self.config.serial_cutoff as u64 {
+                self.mine_stealing(subs, &work, threads)
+            } else {
+                work.iter()
+                    .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, &self.config))
+                    .collect()
+            };
 
         let result = merge(tpiin, subs, &work, outcomes, &self.config);
         if tpiin_obs::profiling_enabled() {
@@ -244,23 +279,44 @@ impl Detector {
     /// outcomes in work order.
     ///
     /// Items are scheduled heaviest-shard-first (estimated cost: nodes +
-    /// trading arcs) and dealt round-robin onto per-worker deques, so the
-    /// expensive shards start immediately and spread across workers; the
-    /// cheap tail is what gets stolen.  Per-worker counters (items, local
-    /// pops, steals, busy time) flow into the metrics registry when
-    /// profiling is on.
+    /// trading arcs) and glued into batches of at least
+    /// `batch_min_cost` — an expensive item is a singleton batch, the
+    /// cheap tail shares deque entries.  Batches are dealt round-robin
+    /// onto per-worker deques, so the expensive shards start immediately
+    /// and spread across workers; what gets stolen is whole batches.
+    /// Per-worker counters (items, batches, steals, busy time) flow into
+    /// the metrics registry when profiling is on.
     fn mine_stealing<S: ShardTopology + Sync>(
         &self,
         subs: &[S],
         work: &[(usize, u32)],
+        threads: usize,
     ) -> Vec<RootOutcome> {
-        let threads = self.config.threads.min(work.len());
         let mut schedule: Vec<usize> = (0..work.len()).collect();
         schedule.sort_by_key(|&i| (std::cmp::Reverse(subs[work[i].0].estimated_cost()), i));
+        let mut batches: Vec<Vec<usize>> = Vec::new();
+        let mut cost_of_open_batch = u64::MAX; // force a fresh first batch
+        for &item in &schedule {
+            if cost_of_open_batch >= self.config.batch_min_cost as u64 {
+                batches.push(Vec::new());
+                cost_of_open_batch = 0;
+            }
+            batches.last_mut().expect("batch opened above").push(item);
+            cost_of_open_batch += subs[work[item].0].estimated_cost();
+        }
+        let threads = threads.min(batches.len());
+        if threads <= 1 {
+            // Batching collapsed the workload onto one worker: skip the pool.
+            return work
+                .iter()
+                .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, &self.config))
+                .collect();
+        }
         let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
         let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
-        for (k, &item) in schedule.iter().enumerate() {
-            workers[k % threads].push(item);
+        for (k, batch) in batches.iter().enumerate() {
+            debug_assert!(!batch.is_empty());
+            workers[k % threads].push(k);
         }
 
         let config = &self.config;
@@ -268,7 +324,7 @@ impl Detector {
             parking_lot::Mutex::new(Vec::with_capacity(work.len()));
         crossbeam::thread::scope(|scope| {
             for (thread_index, worker) in workers.iter().enumerate() {
-                let (collected, stealers) = (&collected, &stealers);
+                let (collected, stealers, batches) = (&collected, &stealers, &batches);
                 scope.spawn(move |_| {
                     let mut local: Vec<(usize, RootOutcome)> = Vec::new();
                     let profiling = tpiin_obs::profiling_enabled();
@@ -277,26 +333,28 @@ impl Detector {
                         ..Default::default()
                     };
                     loop {
-                        let (item, stolen) = match worker.pop() {
-                            Some(item) => (item, false),
+                        let (batch, stolen) = match worker.pop() {
+                            Some(batch) => (batch, false),
                             None => match steal_any(stealers, thread_index) {
-                                Some(item) => (item, true),
+                                Some(batch) => (batch, true),
                                 None => break,
                             },
                         };
-                        let (sub_idx, root) = work[item];
-                        let started = profiling.then(std::time::Instant::now);
-                        let outcome = mine_root(&subs[sub_idx], root, config);
-                        if let Some(started) = started {
-                            stats.busy_ns += started.elapsed().as_nanos() as u64;
+                        for &item in &batches[batch] {
+                            let (sub_idx, root) = work[item];
+                            let started = profiling.then(std::time::Instant::now);
+                            let outcome = mine_root(&subs[sub_idx], root, config);
+                            if let Some(started) = started {
+                                stats.busy_ns += started.elapsed().as_nanos() as u64;
+                            }
+                            stats.items += 1;
+                            local.push((item, outcome));
                         }
-                        stats.items += 1;
                         if stolen {
                             stats.steals += 1;
                         } else {
                             stats.batches += 1;
                         }
-                        local.push((item, outcome));
                     }
                     if profiling && stats.items > 0 {
                         tpiin_obs::global().record_thread(stats);
@@ -495,8 +553,13 @@ mod tests {
         }
         let (tpiin, _) = tpiin_fusion::fuse(&r).unwrap();
         let serial = detect(&tpiin);
+        // Force the stealing pool even on a small host: no host clamp, no
+        // serial cutoff, one item per batch.
         let parallel = Detector::new(DetectorConfig {
             threads: 4,
+            serial_cutoff: 0,
+            batch_min_cost: 1,
+            clamp_to_host: false,
             ..Default::default()
         })
         .detect(&tpiin);
@@ -512,6 +575,29 @@ mod tests {
             keys(&serial),
             "identical order, not just set"
         );
+        // Batched variant (several items glued per deque entry) and the
+        // adaptive default (which drops this tiny workload to the serial
+        // path) must produce the same result again.
+        for config in [
+            DetectorConfig {
+                threads: 4,
+                serial_cutoff: 0,
+                batch_min_cost: 8,
+                clamp_to_host: false,
+                ..Default::default()
+            },
+            DetectorConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        ] {
+            let result = Detector::new(config).detect(&tpiin);
+            assert_eq!(keys(&result), keys(&serial));
+            assert_eq!(
+                result.suspicious_trading_arcs,
+                serial.suspicious_trading_arcs
+            );
+        }
     }
 
     #[test]

@@ -65,12 +65,15 @@ pub fn match_root<S: ShardTopology + ?Sized>(
             // Circle: the trading arc re-enters the walk's prefix.  The
             // circle is `prefix[pos..] + arc`; the full walk is not a
             // simple trail, so no pairings are emitted for this leaf.
-            let circle: Vec<u32> = prefix[pos..].to_vec();
-            if seen_circles.insert(circle.clone()) {
+            // Membership is probed on the borrowed slice — the dedup set
+            // only allocates for each *distinct* circle, never for the
+            // (common) repeated rediscoveries.
+            let circle = &prefix[pos..];
+            if !seen_circles.contains(circle) {
                 plain.clear();
                 plain.push(target);
                 emit(LocalGroupView {
-                    prefix: &circle,
+                    prefix: circle,
                     trade_source,
                     target,
                     plain: &plain,
@@ -79,6 +82,7 @@ pub fn match_root<S: ShardTopology + ?Sized>(
                     // arc share only their endpoints.
                     simple: true,
                 });
+                seen_circles.insert(circle.to_vec());
             }
             continue;
         }

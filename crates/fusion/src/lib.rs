@@ -21,12 +21,13 @@
 
 pub mod stages;
 
+mod par;
 mod pipeline;
 mod report;
 mod tpiin;
 mod verify;
 
-pub use pipeline::{fuse, FusionError};
+pub use pipeline::{fuse, fuse_with, FuseOptions, FusionError};
 pub use report::{FusionReport, StageTiming};
 pub use tpiin::{
     ArcColor, IntraSyndicateTrade, NodeColor, Tpiin, TpiinArc, TpiinNode, INFLUENCE_LANE,

@@ -1,0 +1,208 @@
+//! Scoped-thread parallel primitives for the fusion front-end.
+//!
+//! The fusion pipeline parallelizes three shapes of work: independent
+//! per-record-type sweeps (validation), chunked maps over dense index
+//! ranges (node payload construction), and large sorts (the sort-based
+//! arc deduplication).  This module provides exactly those three
+//! primitives over `crossbeam::thread::scope`, so no work ever outlives
+//! the borrowed registry and no channel or queue machinery is needed —
+//! every helper is fork/join with results returned in deterministic
+//! (chunk) order, never in completion order.
+
+use crossbeam::thread;
+
+/// Resolves a requested worker count: `0` means one worker per available
+/// core, anything else is taken literally (a caller may deliberately
+/// oversubscribe, e.g. differential tests forcing the parallel code path
+/// on a single-core host).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// Splits `items` into at most `workers` near-equal contiguous chunks and
+/// maps each chunk on its own scoped thread.  `f` receives the chunk's
+/// starting offset in `items` plus the chunk itself; results come back in
+/// chunk order regardless of which worker finished first.
+pub fn map_chunks<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if workers <= 1 || items.len() == 1 {
+        return vec![f(0, items)];
+    }
+    let chunk = items.len().div_ceil(workers);
+    thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, slice)| scope.spawn(move |_| f(i * chunk, slice)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fusion worker panicked"))
+            .collect()
+    })
+    .expect("fusion scope")
+}
+
+/// Runs independent jobs of the same result type on scoped threads,
+/// returning their results in job order.  Used for the per-record-type
+/// validation sweeps.
+pub fn run_jobs<R, F>(workers: usize, jobs: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    if workers <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|job| scope.spawn(move |_| job()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fusion worker panicked"))
+            .collect()
+    })
+    .expect("fusion scope")
+}
+
+/// Unstable sort by key, parallelized as chunk-sort + bottom-up merge.
+///
+/// Each of up to `workers` contiguous chunks is sorted on its own scoped
+/// thread; sorted runs are then merged pairwise through one auxiliary
+/// buffer.  The merge is stable across runs (ties take the left run
+/// first), so for a unique key the result is identical to
+/// `slice::sort_unstable_by_key` — the arc-dedup caller always sorts by
+/// a unique `(key, seq)` pair, making the whole sort deterministic.
+pub fn par_sort_unstable_by_key<T, K, F>(workers: usize, items: &mut [T], key: F)
+where
+    T: Send + Copy,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    if workers <= 1 || items.len() < 2 {
+        items.sort_unstable_by_key(&key);
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    thread::scope(|scope| {
+        let key = &key;
+        for slice in items.chunks_mut(chunk) {
+            scope.spawn(move |_| slice.sort_unstable_by_key(key));
+        }
+    })
+    .expect("fusion scope");
+
+    // Bottom-up merge of the sorted runs; `width` doubles each pass.
+    let mut aux: Vec<T> = Vec::with_capacity(items.len());
+    let mut width = chunk;
+    while width < items.len() {
+        let mut start = 0;
+        while start + width < items.len() {
+            let mid = start + width;
+            let end = (mid + width).min(items.len());
+            merge_into(&items[start..mid], &items[mid..end], &mut aux, &key);
+            items[start..end].copy_from_slice(&aux);
+            start = end;
+        }
+        width *= 2;
+    }
+}
+
+fn merge_into<T: Copy, K: Ord>(left: &[T], right: &[T], out: &mut Vec<T>, key: &impl Fn(&T) -> K) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        if key(&left[i]) <= key(&right[j]) {
+            out.push(left[i]);
+            i += 1;
+        } else {
+            out.push(right[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_maps_to_host_cores() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(resolve_threads(0), cores);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let sums = map_chunks(4, &items, |start, chunk| (start, chunk.iter().sum::<u32>()));
+        let starts: Vec<usize> = sums.iter().map(|&(s, _)| s).collect();
+        assert_eq!(starts, [0, 25, 50, 75]);
+        let total: u32 = sums.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn map_chunks_handles_empty_and_serial() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_chunks(4, &empty, |_, c| c.len()).is_empty());
+        assert_eq!(map_chunks(1, &[1, 2, 3], |_, c| c.len()), vec![3]);
+    }
+
+    #[test]
+    fn run_jobs_keeps_job_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..5usize)
+            .map(|i| Box::new(move || i * 10) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(run_jobs(4, jobs), vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn par_sort_matches_serial_sort() {
+        // Deterministic pseudo-random data, including duplicates.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut items: Vec<(u64, u32)> = (0..10_000)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 512, i)
+            })
+            .collect();
+        let mut expected = items.clone();
+        expected.sort_unstable_by_key(|&(k, s)| (k, s));
+        for workers in [1, 2, 3, 8] {
+            let mut got = items.clone();
+            par_sort_unstable_by_key(workers, &mut got, |&(k, s)| (k, s));
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+        par_sort_unstable_by_key(4, &mut items, |&(k, s)| (k, s));
+        assert_eq!(items, expected);
+    }
+
+    #[test]
+    fn par_sort_handles_tiny_inputs() {
+        let mut one = [42u32];
+        par_sort_unstable_by_key(8, &mut one, |&x| x);
+        assert_eq!(one, [42]);
+        let mut empty: [u32; 0] = [];
+        par_sort_unstable_by_key(8, &mut empty, |&x| x);
+    }
+}

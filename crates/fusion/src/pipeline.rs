@@ -1,11 +1,10 @@
 //! The end-to-end fusion pipeline: `SourceRegistry -> TPIIN`.
 
+use crate::par;
 use crate::report::{FusionReport, StageTiming};
-use crate::stages;
 use crate::tpiin::{ArcColor, IntraSyndicateTrade, Tpiin, TpiinArc, TpiinNode};
-use std::collections::HashSet;
-use tpiin_graph::{DiGraph, NodeId};
-use tpiin_model::{ModelError, SourceRegistry};
+use tpiin_graph::{DiGraph, NodeId, SccScratch, UnionFind};
+use tpiin_model::{CompanyId, ModelError, PersonId, SourceRegistry};
 use tpiin_obs::TimedScope;
 
 /// Failure while fusing a registry into a TPIIN.
@@ -39,24 +38,67 @@ impl std::fmt::Display for FusionError {
 
 impl std::error::Error for FusionError {}
 
-/// Fuses the source records of `registry` into a [`Tpiin`].
-///
-/// Pipeline (Section 4.1):
-/// 1. validate the registry;
-/// 2. contract interdependence-connected persons into person syndicates
-///    (`G12 -> G12'`);
-/// 3. contract strongly connected investment subgraphs into company
-///    syndicates (`G_B -> G123`), folding investment arcs into influence;
-/// 4. attach trading arcs (`G4`), diverting trades internal to a company
-///    syndicate into [`Tpiin::intra_syndicate_trades`];
-/// 5. freeze the finished topology into the two-lane CSR snapshot the
-///    mining phase iterates ([`Tpiin::csr`]);
-/// 6. verify the antecedent network is a DAG (read off the frozen
-///    influence lane).
-///
-/// Influence arcs occupy edge ids `0..influence_arc_count` and trading
-/// arcs the remainder, matching the edge-list layout of Algorithm 1.
-/// Parallel arcs of equal color are deduplicated (first occurrence wins).
+/// Tuning knobs for [`fuse_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct FuseOptions {
+    /// Worker threads for the parallel stages.  `1` (the default) runs
+    /// the pipeline fully serial; `0` means one worker per available
+    /// core; any other value is taken literally, so tests can force the
+    /// parallel code path even on a single-core host.
+    pub threads: usize,
+}
+
+impl Default for FuseOptions {
+    fn default() -> Self {
+        FuseOptions { threads: 1 }
+    }
+}
+
+impl FuseOptions {
+    /// Options from the environment: `TPIIN_THREADS` picks the worker
+    /// count (`0` = one per core); unset or unparsable falls back to one
+    /// worker per core.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("TPIIN_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        FuseOptions { threads }
+    }
+}
+
+/// One candidate TPIIN arc before deduplication: the packed `(src <<
+/// 32) | dst` endpoint key, the record sequence number, and the source
+/// weight.  Color is implicit — influence and trading candidates live in
+/// separate partitions throughout.
+#[derive(Clone, Copy)]
+struct ArcItem {
+    key: u64,
+    seq: u32,
+    weight: f64,
+}
+
+#[inline]
+fn pack_key(s: NodeId, t: NodeId) -> u64 {
+    ((s.index() as u64) << 32) | t.index() as u64
+}
+
+/// Sort-based first-occurrence-wins deduplication of one color
+/// partition: sort by `(key, seq)`, keep the lowest-sequence item per
+/// key, then restore sequence order so the surviving arcs enter the
+/// graph exactly where a scan with a hash-set membership test would have
+/// placed them.  Returns the number of duplicates dropped.
+fn dedup_first_wins(workers: usize, items: &mut Vec<ArcItem>) -> usize {
+    let before = items.len();
+    par::par_sort_unstable_by_key(workers, items, |it| (it.key, it.seq));
+    items.dedup_by_key(|it| it.key);
+    par::par_sort_unstable_by_key(workers, items, |it| it.seq);
+    before - items.len()
+}
+
+/// Fuses the source records of `registry` into a [`Tpiin`], fully
+/// serially.  Equivalent to [`fuse_with`] at the default options; see
+/// there for the stage-by-stage description.
 ///
 /// # Example
 ///
@@ -83,6 +125,41 @@ impl std::error::Error for FusionError {}
 /// assert_eq!(report.trading_arcs, 1);
 /// ```
 pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionError> {
+    fuse_with(registry, FuseOptions::default())
+}
+
+/// Fuses the source records of `registry` into a [`Tpiin`].
+///
+/// Pipeline (Section 4.1):
+/// 1. validate the registry (per-record-type sweeps, one worker each);
+/// 2. contract interdependence-connected persons into person syndicates
+///    via union–find (`G12 -> G12'`);
+/// 3. contract strongly connected investment subgraphs into company
+///    syndicates (`G_B -> G123`), folding investment arcs into influence
+///    — Tarjan runs independently per weak component of the investment
+///    graph, spread over the workers;
+/// 4. attach trading arcs (`G4`), diverting trades internal to a company
+///    syndicate into [`Tpiin::intra_syndicate_trades`];
+/// 5. freeze the finished topology into the two-lane CSR snapshot the
+///    mining phase iterates ([`Tpiin::csr`]);
+/// 6. verify the antecedent network is a DAG (read off the frozen
+///    influence lane).
+///
+/// Influence arcs occupy edge ids `0..influence_arc_count` and trading
+/// arcs the remainder, matching the edge-list layout of Algorithm 1.
+/// Parallel arcs of equal color are deduplicated (first occurrence wins)
+/// by sorting packed `(src, dst)` keys instead of probing a hash set.
+///
+/// The result is **identical at every thread count**: company syndicates
+/// are numbered by their minimum source-company member (in first-
+/// appearance order over `CompanyId`), which depends only on component
+/// membership, and arc deduplication keys on record sequence numbers —
+/// so no stage's output depends on traversal or completion order.
+pub fn fuse_with(
+    registry: &SourceRegistry,
+    options: FuseOptions,
+) -> Result<(Tpiin, FusionReport), FusionError> {
+    let workers = par::resolve_threads(options.threads);
     let whole = TimedScope::start();
     let mut stage_timings = Vec::with_capacity(6);
     let mut time_stage = |stage: &str, scope: TimedScope| {
@@ -93,138 +170,183 @@ pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionEr
         });
     };
 
+    // --- Validate: four independent per-record-type sweeps. ---
     let scope = TimedScope::start();
-    let validation = registry.validate();
+    let validation = if workers > 1 {
+        type Sweep<'a> = Box<dyn FnOnce() -> Vec<ModelError> + Send + 'a>;
+        let sweeps: Vec<Sweep> = vec![
+            Box::new(|| registry.validate_interdependencies()),
+            Box::new(|| registry.validate_influences()),
+            Box::new(|| registry.validate_investments()),
+            Box::new(|| registry.validate_tradings()),
+        ];
+        let errors: Vec<ModelError> = par::run_jobs(workers, sweeps)
+            .into_iter()
+            .flatten()
+            .collect();
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    } else {
+        registry.validate()
+    };
     time_stage("validate", scope);
     validation.map_err(FusionError::InvalidRegistry)?;
 
     // --- G12 -> G12': contract interdependence-connected persons. ---
     let scope = TimedScope::start();
-    let person_part = stages::person_syndicates(registry);
-    let n_person_nodes = person_part.group_count();
-    let mut person_members: Vec<Vec<tpiin_model::PersonId>> = vec![Vec::new(); n_person_nodes];
-    for (pid, _) in registry.persons() {
-        person_members[person_part
-            .group_of(NodeId::from_index(pid.index()))
-            .index()]
-        .push(pid);
+    let np = registry.person_count();
+    let mut person_uf = UnionFind::new(np);
+    for i in registry.interdependencies() {
+        person_uf.union(i.a.index(), i.b.index());
+    }
+    let (person_labels, n_person_nodes) = person_uf.into_labels();
+    let mut person_members: Vec<Vec<PersonId>> = vec![Vec::new(); n_person_nodes];
+    for (p, &label) in person_labels.iter().enumerate() {
+        person_members[label as usize].push(PersonId(p as u32));
     }
     time_stage("contract_persons", scope);
     tpiin_obs::debug!(
         "contract_persons: {} persons -> {} syndicates",
-        registry.person_count(),
+        np,
         n_person_nodes
     );
 
     // --- G_B -> G123: contract investment SCCs, build the antecedent
     // network (nodes + influence/investment arcs). ---
     let scope = TimedScope::start();
-    let company_part = stages::company_syndicates(registry);
-    let n_company_nodes = company_part.group_count();
-    let mut company_members: Vec<Vec<tpiin_model::CompanyId>> = vec![Vec::new(); n_company_nodes];
-    for (cid, _) in registry.companies() {
-        company_members[company_part
-            .group_of(NodeId::from_index(cid.index()))
-            .index()]
-        .push(cid);
+    let nc = registry.company_count();
+    let (company_labels, n_company_nodes) = company_scc_labels(registry, workers);
+    let mut company_members: Vec<Vec<CompanyId>> = vec![Vec::new(); n_company_nodes];
+    for (c, &label) in company_labels.iter().enumerate() {
+        company_members[label as usize].push(CompanyId(c as u32));
     }
+
+    // Node payloads: the `+`-joined label strings dominate this phase,
+    // so format them in parallel chunks; nodes are appended serially in
+    // group order afterwards.
+    let mut person_syndicates_merged = 0;
+    let mut company_syndicates_merged = 0;
+    for members in &person_members {
+        if members.len() > 1 {
+            person_syndicates_merged += 1;
+        }
+    }
+    for members in &company_members {
+        if members.len() > 1 {
+            company_syndicates_merged += 1;
+        }
+    }
+    let person_payloads: Vec<TpiinNode> = par::map_chunks(workers, &person_members, |_, chunk| {
+        chunk
+            .iter()
+            .map(|members| TpiinNode::Person {
+                label: join_labels(members.iter().map(|&p| registry.person(p).name.as_str())),
+                members: members.clone(),
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let company_payloads: Vec<TpiinNode> =
+        par::map_chunks(workers, &company_members, |_, chunk| {
+            chunk
+                .iter()
+                .map(|members| TpiinNode::Company {
+                    label: join_labels(members.iter().map(|&c| registry.company(c).name.as_str())),
+                    members: members.clone(),
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     let mut graph: DiGraph<TpiinNode, TpiinArc> = DiGraph::with_capacity(
         n_person_nodes + n_company_nodes,
         registry.influences().len() + registry.investments().len() + registry.tradings().len(),
     );
-
-    let mut person_syndicates_merged = 0;
-    for members in &person_members {
-        if members.len() > 1 {
-            person_syndicates_merged += 1;
-        }
-        let label = members
-            .iter()
-            .map(|&p| registry.person(p).name.as_str())
-            .collect::<Vec<_>>()
-            .join("+");
-        graph.add_node(TpiinNode::Person {
-            label,
-            members: members.clone(),
-        });
+    for payload in person_payloads {
+        graph.add_node(payload);
     }
-    let mut company_syndicates_merged = 0;
-    for members in &company_members {
-        if members.len() > 1 {
-            company_syndicates_merged += 1;
-        }
-        let label = members
-            .iter()
-            .map(|&c| registry.company(c).name.as_str())
-            .collect::<Vec<_>>()
-            .join("+");
-        graph.add_node(TpiinNode::Company {
-            label,
-            members: members.clone(),
-        });
+    for payload in company_payloads {
+        graph.add_node(payload);
     }
 
     // Node lookup tables back from source ids.
-    let person_node: Vec<NodeId> = registry
-        .persons()
-        .map(|(pid, _)| person_part.group_of(NodeId::from_index(pid.index())))
+    let person_node: Vec<NodeId> = person_labels
+        .iter()
+        .map(|&l| NodeId::from_index(l as usize))
         .collect();
-    let company_node: Vec<NodeId> = registry
-        .companies()
-        .map(|(cid, _)| {
-            NodeId::from_index(
-                n_person_nodes
-                    + company_part
-                        .group_of(NodeId::from_index(cid.index()))
-                        .index(),
-            )
-        })
+    let company_node: Vec<NodeId> = company_labels
+        .iter()
+        .map(|&l| NodeId::from_index(n_person_nodes + l as usize))
         .collect();
 
-    // --- Arcs: influence (G2 + investment), then trading. ---
-    let mut seen: HashSet<(u32, u32, u8)> = HashSet::with_capacity(graph.edge_count());
-    let mut duplicate_arcs_dropped = 0usize;
-    let mut add_arc = |graph: &mut DiGraph<TpiinNode, TpiinArc>,
-                       s: NodeId,
-                       t: NodeId,
-                       color: ArcColor,
-                       weight: f64|
-     -> bool {
-        let sig = (s.index() as u32, t.index() as u32, color.code() as u8);
-        if seen.insert(sig) {
-            graph.add_edge(s, t, TpiinArc { color, weight });
-            true
-        } else {
-            duplicate_arcs_dropped += 1;
-            false
-        }
-    };
-
-    for inf in registry.influences() {
-        add_arc(
-            &mut graph,
-            person_node[inf.person.index()],
-            company_node[inf.company.index()],
-            ArcColor::Influence,
-            1.0,
+    // --- Arcs: influence (G2 + investment), then trading.  Candidates
+    // are gathered per color partition with their record sequence
+    // numbers, then deduplicated by sort. ---
+    let influences = registry.influences();
+    let influence_candidates: Vec<Vec<ArcItem>> =
+        par::map_chunks(workers, influences, |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(i, inf)| ArcItem {
+                    key: pack_key(
+                        person_node[inf.person.index()],
+                        company_node[inf.company.index()],
+                    ),
+                    seq: (start + i) as u32,
+                    weight: 1.0,
+                })
+                .collect::<Vec<_>>()
+        });
+    let investment_candidates: Vec<(Vec<ArcItem>, usize)> =
+        par::map_chunks(workers, registry.investments(), |start, chunk| {
+            let mut items = Vec::with_capacity(chunk.len());
+            let mut internal = 0usize;
+            for (i, inv) in chunk.iter().enumerate() {
+                let s = company_node[inv.investor.index()];
+                let t = company_node[inv.investee.index()];
+                if s == t {
+                    internal += 1;
+                    continue;
+                }
+                items.push(ArcItem {
+                    key: pack_key(s, t),
+                    seq: (influences.len() + start + i) as u32,
+                    weight: inv.share,
+                });
+            }
+            (items, internal)
+        });
+    let internal_investment_arcs_dropped: usize =
+        investment_candidates.iter().map(|(_, n)| n).sum();
+    let mut influence_items: Vec<ArcItem> = influence_candidates
+        .into_iter()
+        .chain(investment_candidates.into_iter().map(|(items, _)| items))
+        .flatten()
+        .collect();
+    let mut duplicate_arcs_dropped = dedup_first_wins(workers, &mut influence_items);
+    for it in &influence_items {
+        graph.add_edge(
+            NodeId::from_index((it.key >> 32) as usize),
+            NodeId::from_index((it.key & u32::MAX as u64) as usize),
+            TpiinArc {
+                color: ArcColor::Influence,
+                weight: it.weight,
+            },
         );
-    }
-    let mut internal_investment_arcs_dropped = 0usize;
-    for inv in registry.investments() {
-        let s = company_node[inv.investor.index()];
-        let t = company_node[inv.investee.index()];
-        if s == t {
-            internal_investment_arcs_dropped += 1;
-            continue;
-        }
-        add_arc(&mut graph, s, t, ArcColor::Influence, inv.share);
     }
     let influence_arc_count = graph.edge_count();
     time_stage("contract_sccs", scope);
     tpiin_obs::debug!(
         "contract_sccs: {} companies -> {} syndicates, {} influence arcs",
-        registry.company_count(),
+        nc,
         n_company_nodes,
         influence_arc_count
     );
@@ -232,7 +354,8 @@ pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionEr
     // --- G123 + G4 -> TPIIN: attach trading arcs. ---
     let scope = TimedScope::start();
     let mut intra_syndicate_trades = Vec::new();
-    for tr in registry.tradings() {
+    let mut trading_items: Vec<ArcItem> = Vec::with_capacity(registry.tradings().len());
+    for (seq, tr) in registry.tradings().iter().enumerate() {
         let s = company_node[tr.seller.index()];
         let t = company_node[tr.buyer.index()];
         if s == t {
@@ -244,7 +367,22 @@ pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionEr
             });
             continue;
         }
-        add_arc(&mut graph, s, t, ArcColor::Trading, tr.volume);
+        trading_items.push(ArcItem {
+            key: pack_key(s, t),
+            seq: seq as u32,
+            weight: tr.volume,
+        });
+    }
+    duplicate_arcs_dropped += dedup_first_wins(workers, &mut trading_items);
+    for it in &trading_items {
+        graph.add_edge(
+            NodeId::from_index((it.key >> 32) as usize),
+            NodeId::from_index((it.key & u32::MAX as u64) as usize),
+            TpiinArc {
+                color: ArcColor::Trading,
+                weight: it.weight,
+            },
+        );
     }
     let trading_arc_count = graph.edge_count() - influence_arc_count;
     time_stage("attach_trading", scope);
@@ -292,12 +430,135 @@ pub fn fuse(registry: &SourceRegistry) -> Result<(Tpiin, FusionReport), FusionEr
     };
     let total = whole.finish("fusion");
     tpiin_obs::info!(
-        "fused {} nodes / {} arcs in {:?}",
+        "fused {} nodes / {} arcs in {:?} ({} workers)",
         report.tpiin_nodes,
         report.influence_arcs + report.trading_arcs,
-        total
+        total,
+        workers
     );
     Ok((tpiin, report))
+}
+
+fn join_labels<'a>(mut names: impl Iterator<Item = &'a str>) -> String {
+    let first = names.next().unwrap_or_default();
+    let mut label = String::from(first);
+    for name in names {
+        label.push('+');
+        label.push_str(name);
+    }
+    label
+}
+
+/// Company-syndicate labelling: Tarjan SCCs of the investment graph,
+/// numbered canonically by first appearance of each SCC's minimum member
+/// over `CompanyId` order.  With more than one worker the investment
+/// graph is split into weak components (closed under edges), spread
+/// greedily over the workers, and each worker runs Tarjan over its
+/// components with private scratch state on the shared CSR; the
+/// min-member representatives make the merged labelling independent of
+/// the split.
+fn company_scc_labels(registry: &SourceRegistry, workers: usize) -> (Vec<u32>, usize) {
+    let nc = registry.company_count();
+    let investments = registry.investments();
+
+    // Flat CSR of the investment graph (counting sort over sources).
+    let mut offsets = vec![0u32; nc + 1];
+    for inv in investments {
+        offsets[inv.investor.index() + 1] += 1;
+    }
+    for i in 0..nc {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut targets = vec![0u32; investments.len()];
+    for inv in investments {
+        let s = inv.investor.index();
+        targets[cursor[s] as usize] = inv.investee.0;
+        cursor[s] += 1;
+    }
+
+    // SCC representative (minimum member) per company.
+    let mut reps: Vec<u32> = (0..nc as u32).collect();
+    if workers > 1 && nc > 1 {
+        // Weak components of the investment graph; each is closed under
+        // investment arcs, so Tarjan never crosses between them.
+        let mut wcc = UnionFind::new(nc);
+        for inv in investments {
+            wcc.union(inv.investor.index(), inv.investee.index());
+        }
+        let (comp_of, n_comps) = wcc.into_labels();
+        // Group companies by component (counting sort).
+        let mut comp_size = vec![0u32; n_comps];
+        for &comp in &comp_of {
+            comp_size[comp as usize] += 1;
+        }
+        let mut comp_start = vec![0u32; n_comps + 1];
+        for (i, &size) in comp_size.iter().enumerate() {
+            comp_start[i + 1] = comp_start[i] + size;
+        }
+        let mut comp_cursor = comp_start.clone();
+        let mut comp_nodes = vec![0u32; nc];
+        for (v, &comp) in comp_of.iter().enumerate() {
+            comp_nodes[comp_cursor[comp as usize] as usize] = v as u32;
+            comp_cursor[comp as usize] += 1;
+        }
+        // Greedy longest-processing-time assignment of components to
+        // workers: biggest first onto the least-loaded worker.
+        let mut order: Vec<u32> = (0..n_comps as u32).collect();
+        order.sort_unstable_by_key(|&c| std::cmp::Reverse(comp_size[c as usize]));
+        let mut subsets: Vec<Vec<u32>> = vec![Vec::new(); workers];
+        let mut load = vec![0usize; workers];
+        for comp in order {
+            let w = (0..workers).min_by_key(|&w| load[w]).expect("workers > 1");
+            let start = comp_start[comp as usize] as usize;
+            let end = comp_start[comp as usize + 1] as usize;
+            subsets[w].extend_from_slice(&comp_nodes[start..end]);
+            load[w] += end - start;
+        }
+        let (offsets, targets) = (&offsets, &targets);
+        let pair_lists: Vec<Vec<(u32, u32)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = subsets
+                .iter()
+                .filter(|subset| !subset.is_empty())
+                .map(|subset| {
+                    scope.spawn(move |_| {
+                        let mut scratch = SccScratch::new(nc);
+                        let mut pairs = Vec::with_capacity(subset.len());
+                        scratch.run(offsets, targets, subset, |v, rep| pairs.push((v, rep)));
+                        pairs
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scc worker panicked"))
+                .collect()
+        })
+        .expect("scc scope");
+        for pairs in pair_lists {
+            for (v, rep) in pairs {
+                reps[v as usize] = rep;
+            }
+        }
+    } else if nc > 0 {
+        let all: Vec<u32> = (0..nc as u32).collect();
+        let mut scratch = SccScratch::new(nc);
+        scratch.run(&offsets, &targets, &all, |v, rep| reps[v as usize] = rep);
+    }
+
+    // Canonical dense labels: first appearance of each representative.
+    let mut rank = vec![u32::MAX; nc];
+    let mut labels = vec![0u32; nc];
+    let mut count = 0u32;
+    for c in 0..nc {
+        let rep = reps[c] as usize;
+        if rank[rep] == u32::MAX {
+            rank[rep] = count;
+            count += 1;
+        }
+        labels[c] = rank[rep];
+    }
+    (labels, count as usize)
 }
 
 #[cfg(test)]
@@ -382,6 +643,15 @@ mod tests {
     }
 
     #[test]
+    fn company_nodes_follow_min_member_order() {
+        let (tpiin, _) = fuse(&registry()).unwrap();
+        // Person syndicates first (L6+LB, L9), then companies numbered by
+        // minimum member: C1, C2, then the C3+C4 syndicate.
+        let labels: Vec<&str> = tpiin.graph.nodes().map(|(_, n)| n.label()).collect();
+        assert_eq!(labels, ["L6+LB", "L9", "C1", "C2", "C3+C4"]);
+    }
+
+    #[test]
     fn intra_scc_trade_is_separated() {
         let (tpiin, report) = fuse(&registry()).unwrap();
         assert_eq!(report.intra_syndicate_trades, 1);
@@ -448,11 +718,88 @@ mod tests {
     }
 
     #[test]
+    fn first_duplicate_occurrence_wins_weight_and_position() {
+        // Two investments over the same contracted endpoints: the first
+        // record's share must be the kept arc weight.
+        let mut r = SourceRegistry::new();
+        let p = r.add_person("P", RoleSet::of(&[Role::Ceo]));
+        let a = r.add_company("A");
+        let b = r.add_company("B");
+        for company in [a, b] {
+            r.add_influence(InfluenceRecord {
+                person: p,
+                company,
+                kind: InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+        }
+        r.add_investment(InvestmentRecord {
+            investor: a,
+            investee: b,
+            share: 0.3,
+        });
+        r.add_investment(InvestmentRecord {
+            investor: a,
+            investee: b,
+            share: 0.9,
+        });
+        let (tpiin, report) = fuse(&r).unwrap();
+        assert_eq!(report.duplicate_arcs_dropped, 1);
+        let kept: Vec<f64> = tpiin
+            .graph
+            .edges()
+            .filter(|e| e.weight.weight != 1.0)
+            .map(|e| e.weight.weight)
+            .collect();
+        assert_eq!(kept, [0.3], "first occurrence wins");
+    }
+
+    #[test]
+    fn parallel_fusion_matches_serial_exactly() {
+        let r = registry();
+        let (serial, serial_report) = fuse(&r).unwrap();
+        for threads in [2, 4] {
+            let (par, par_report) = fuse_with(&r, FuseOptions { threads }).unwrap();
+            assert_eq!(par.node_count(), serial.node_count());
+            assert_eq!(par.edge_list(), serial.edge_list(), "threads = {threads}");
+            assert_eq!(par.person_node, serial.person_node);
+            assert_eq!(par.company_node, serial.company_node);
+            assert_eq!(par.intra_syndicate_trades, serial.intra_syndicate_trades);
+            assert_eq!(
+                par_report.duplicate_arcs_dropped,
+                serial_report.duplicate_arcs_dropped
+            );
+            let labels: Vec<&str> = par.graph.nodes().map(|(_, n)| n.label()).collect();
+            let serial_labels: Vec<&str> = serial.graph.nodes().map(|(_, n)| n.label()).collect();
+            assert_eq!(labels, serial_labels);
+        }
+    }
+
+    #[test]
     fn invalid_registry_is_rejected() {
         let mut r = SourceRegistry::new();
         r.add_company("orphan");
         match fuse(&r) {
             Err(FusionError::InvalidRegistry(errs)) => assert!(!errs.is_empty()),
+            other => panic!("expected InvalidRegistry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_registry_reports_same_errors_at_any_thread_count() {
+        let mut r = SourceRegistry::new();
+        r.add_company("orphan");
+        r.add_trading(TradingRecord {
+            seller: tpiin_model::CompanyId(0),
+            buyer: tpiin_model::CompanyId(0),
+            volume: 1.0,
+        });
+        let serial = match fuse(&r) {
+            Err(FusionError::InvalidRegistry(errs)) => errs,
+            other => panic!("expected InvalidRegistry, got {other:?}"),
+        };
+        match fuse_with(&r, FuseOptions { threads: 4 }) {
+            Err(FusionError::InvalidRegistry(errs)) => assert_eq!(errs, serial),
             other => panic!("expected InvalidRegistry, got {other:?}"),
         }
     }

@@ -1,0 +1,146 @@
+//! Differential property tests: the parallel fusion front-end must be
+//! bit-identical to the serial pipeline on every valid registry, at any
+//! worker count — same nodes, same labels, same arc order and weights,
+//! same report counters.  Worker counts above the host's core count are
+//! included on purpose: chunking must not depend on physical parallelism.
+
+use proptest::prelude::*;
+use tpiin_fusion::{fuse_with, FuseOptions, FusionReport};
+use tpiin_model::{
+    InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, Role, RoleSet,
+    SourceRegistry, TradingRecord,
+};
+
+#[derive(Debug, Clone)]
+struct RawRegistry {
+    np: usize,
+    nc: usize,
+    lp_of: Vec<usize>,
+    directorships: Vec<(usize, usize)>,
+    interdependence: Vec<(usize, usize, bool)>,
+    investments: Vec<(usize, usize)>,
+    trades: Vec<(usize, usize)>,
+}
+
+fn arb_registry() -> impl Strategy<Value = RawRegistry> {
+    (2usize..7, 2usize..12).prop_flat_map(|(np, nc)| {
+        (
+            proptest::collection::vec(0..np, nc),
+            proptest::collection::vec((0..np, 0..nc), 0..10),
+            proptest::collection::vec((0..np, 0..np, any::<bool>()), 0..6),
+            proptest::collection::vec((0..nc, 0..nc), 0..15),
+            proptest::collection::vec((0..nc, 0..nc), 0..12),
+        )
+            .prop_map(
+                move |(lp_of, directorships, interdependence, investments, trades)| RawRegistry {
+                    np,
+                    nc,
+                    lp_of,
+                    directorships,
+                    interdependence,
+                    investments,
+                    trades,
+                },
+            )
+    })
+}
+
+fn build(raw: &RawRegistry) -> SourceRegistry {
+    let mut r = SourceRegistry::new();
+    let persons: Vec<_> = (0..raw.np)
+        .map(|i| r.add_person(format!("P{i}"), RoleSet::of(&[Role::Ceo, Role::Director])))
+        .collect();
+    let companies: Vec<_> = (0..raw.nc)
+        .map(|i| r.add_company(format!("C{i}")))
+        .collect();
+    for (c, &p) in raw.lp_of.iter().enumerate() {
+        r.add_influence(InfluenceRecord {
+            person: persons[p],
+            company: companies[c],
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+    }
+    for &(p, c) in &raw.directorships {
+        r.add_influence(InfluenceRecord {
+            person: persons[p],
+            company: companies[c],
+            kind: InfluenceKind::DirectorOf,
+            is_legal_person: false,
+        });
+    }
+    for &(a, b, kin) in &raw.interdependence {
+        if a != b {
+            let kind = if kin {
+                InterdependenceKind::Kinship
+            } else {
+                InterdependenceKind::Interlocking
+            };
+            r.add_interdependence(persons[a], persons[b], kind);
+        }
+    }
+    for &(a, b) in &raw.investments {
+        if a != b {
+            r.add_investment(InvestmentRecord {
+                investor: companies[a],
+                investee: companies[b],
+                share: 0.5,
+            });
+        }
+    }
+    for &(a, b) in &raw.trades {
+        if a != b {
+            r.add_trading(TradingRecord {
+                seller: companies[a],
+                buyer: companies[b],
+                volume: 1.0,
+            });
+        }
+    }
+    r
+}
+
+/// The report with wall-clock noise stripped, so arms compare exactly.
+fn strip_timings(mut report: FusionReport) -> FusionReport {
+    report.stage_timings.clear();
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serial and parallel fusion agree on everything observable: node
+    /// set and labels, full arc list (order, colors, weights), node
+    /// lookup tables, intra-syndicate trades, and report counters.
+    #[test]
+    fn parallel_fusion_is_bit_identical_to_serial(
+        raw in arb_registry(),
+        threads in 2usize..6,
+    ) {
+        let registry = build(&raw);
+        let (serial, serial_report) =
+            fuse_with(&registry, FuseOptions { threads: 1 }).expect("valid registry fuses");
+        let (parallel, parallel_report) =
+            fuse_with(&registry, FuseOptions { threads }).expect("valid registry fuses");
+
+        prop_assert_eq!(serial.edge_list(), parallel.edge_list());
+        prop_assert_eq!(serial.node_count(), parallel.node_count());
+        let labels = |t: &tpiin_fusion::Tpiin| -> Vec<(String, tpiin_fusion::NodeColor)> {
+            t.graph
+                .nodes()
+                .map(|(_, n)| (n.label().to_string(), n.color()))
+                .collect()
+        };
+        prop_assert_eq!(labels(&serial), labels(&parallel));
+        prop_assert_eq!(&serial.person_node, &parallel.person_node);
+        prop_assert_eq!(&serial.company_node, &parallel.company_node);
+        prop_assert_eq!(
+            &serial.intra_syndicate_trades,
+            &parallel.intra_syndicate_trades
+        );
+        prop_assert_eq!(
+            strip_timings(serial_report),
+            strip_timings(parallel_report)
+        );
+    }
+}

@@ -45,7 +45,7 @@ pub use digraph::{DiGraph, EdgeRef};
 pub use export::{dot, edge_list, DotStyle, EdgeRender, NodeRender};
 pub use ids::{EdgeId, NodeId};
 pub use properties::{check_bipartite, degree_summary, BipartiteViolation, DegreeSummary};
-pub use scc::{condensation_partition, tarjan_scc};
+pub use scc::{condensation_partition, tarjan_scc, SccScratch};
 pub use subgraph::{induced_subgraph, transpose, InducedSubgraph};
 pub use traversal::{
     dfs_postorder, dfs_preorder, is_acyclic, reachable_from, topological_sort, CycleError,

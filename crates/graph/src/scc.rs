@@ -105,6 +105,114 @@ pub fn condensation_partition<N, E>(graph: &DiGraph<N, E>) -> (Vec<u32>, usize) 
     (labels, components.len())
 }
 
+/// Reusable scratch state for running Tarjan over node subsets of a flat
+/// CSR adjacency (`offsets`/`targets` arrays, as produced by edge
+/// counting + prefix sum).
+///
+/// The parallel fusion front-end decomposes the investment graph into
+/// weak components and hands each worker a disjoint set of components.
+/// Because a weak component is closed under edges, Tarjan never leaves
+/// the subset it was started on, so every worker can run over the same
+/// shared read-only CSR with its own `SccScratch`.  The scratch arrays
+/// are sized for the full graph but never reset between calls: each node
+/// belongs to exactly one subset, so its `visited` slot is written at
+/// most once over the scratch's lifetime.
+///
+/// For every node of the subset the callback receives `(node, rep)`
+/// where `rep` is the **minimum member** of the node's SCC.  Minimum-
+/// member representatives are what make parallel and serial runs agree:
+/// they depend only on the component's membership, never on traversal
+/// order or on which worker ran the component.
+#[derive(Debug)]
+pub struct SccScratch {
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<u32>,
+    /// Explicit DFS call stack: (node, next successor offset).
+    call: Vec<(u32, u32)>,
+    next_index: u32,
+}
+
+impl SccScratch {
+    /// Scratch for a CSR with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        SccScratch {
+            index: vec![UNVISITED; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            call: Vec::new(),
+            next_index: 0,
+        }
+    }
+
+    /// Runs Tarjan over the nodes of `subset`, which must be closed under
+    /// the CSR's edges (e.g. a union of weak components) and disjoint
+    /// from every subset previously passed to this scratch.  Emits
+    /// `(node, min_member_rep)` once per subset node, in unspecified but
+    /// deterministic order.
+    pub fn run(
+        &mut self,
+        offsets: &[u32],
+        targets: &[u32],
+        subset: &[u32],
+        mut emit: impl FnMut(u32, u32),
+    ) {
+        let mut component: Vec<u32> = Vec::new();
+        for &root in subset {
+            if self.index[root as usize] != UNVISITED {
+                continue;
+            }
+            self.visit(root);
+            while let Some(&mut (v, ref mut next)) = self.call.last_mut() {
+                let vi = v as usize;
+                let succ = offsets[vi] + *next;
+                if succ < offsets[vi + 1] {
+                    *next += 1;
+                    let w = targets[succ as usize];
+                    let wi = w as usize;
+                    if self.index[wi] == UNVISITED {
+                        self.visit(w);
+                    } else if self.on_stack[wi] {
+                        self.lowlink[vi] = self.lowlink[vi].min(self.index[wi]);
+                    }
+                } else {
+                    self.call.pop();
+                    if let Some(&(parent, _)) = self.call.last() {
+                        let pi = parent as usize;
+                        self.lowlink[pi] = self.lowlink[pi].min(self.lowlink[vi]);
+                    }
+                    if self.lowlink[vi] == self.index[vi] {
+                        component.clear();
+                        loop {
+                            let w = self.stack.pop().expect("tarjan stack underflow");
+                            self.on_stack[w as usize] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let rep = *component.iter().min().expect("non-empty SCC");
+                        for &w in &component {
+                            emit(w, rep);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn visit(&mut self, v: u32) {
+        self.index[v as usize] = self.next_index;
+        self.lowlink[v as usize] = self.next_index;
+        self.next_index += 1;
+        self.stack.push(v);
+        self.on_stack[v as usize] = true;
+        self.call.push((v, 0));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +300,63 @@ mod tests {
         // 0->1->2->0 and 1->3->1 share node 1 => one SCC of {0,1,2,3}.
         let g = graph_from(&[(0, 1), (1, 2), (2, 0), (1, 3), (3, 1)], 4);
         assert_eq!(sorted_sets(tarjan_scc(&g)), vec![vec![0, 1, 2, 3]]);
+    }
+
+    /// Builds the flat CSR used by [`SccScratch`] from an edge list.
+    fn flat_csr(edges: &[(u32, u32)], n: usize) -> (Vec<u32>, Vec<u32>) {
+        let mut offsets = vec![0u32; n + 1];
+        for &(s, _) in edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, t) in edges {
+            targets[cursor[s as usize] as usize] = t;
+            cursor[s as usize] += 1;
+        }
+        (offsets, targets)
+    }
+
+    fn scratch_reps(edges: &[(u32, u32)], n: usize, subsets: &[&[u32]]) -> Vec<u32> {
+        let (offsets, targets) = flat_csr(edges, n);
+        let mut scratch = SccScratch::new(n);
+        let mut reps = vec![u32::MAX; n];
+        for subset in subsets {
+            scratch.run(&offsets, &targets, subset, |v, rep| reps[v as usize] = rep);
+        }
+        reps
+    }
+
+    #[test]
+    fn scratch_matches_tarjan_on_full_graph() {
+        let edges = [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (4, 4)];
+        let n = 6;
+        let all: Vec<u32> = (0..n as u32).collect();
+        let reps = scratch_reps(&edges, n, &[&all]);
+        assert_eq!(reps, vec![0, 0, 2, 2, 4, 5]);
+    }
+
+    #[test]
+    fn scratch_runs_per_component_without_reset() {
+        // Two weak components: {0,1,2} with a cycle, {3,4} a path.  Run
+        // them as separate subsets through ONE scratch — the second call
+        // must not be confused by state left over from the first.
+        let edges = [(0, 1), (1, 0), (1, 2), (3, 4)];
+        let reps = scratch_reps(&edges, 5, &[&[0, 1, 2], &[3, 4]]);
+        assert_eq!(reps, vec![0, 0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scratch_reps_are_subset_order_independent() {
+        let edges = [(0, 1), (1, 0), (2, 3), (3, 2)];
+        let forward = scratch_reps(&edges, 4, &[&[0, 1], &[2, 3]]);
+        let backward = scratch_reps(&edges, 4, &[&[2, 3], &[0, 1]]);
+        let whole = scratch_reps(&edges, 4, &[&[0, 1, 2, 3]]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward, whole);
     }
 
     #[test]

@@ -22,18 +22,22 @@
 
 use crate::csv;
 use crate::error::IoError;
-use std::collections::HashMap;
 use tpiin_model::{
-    InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, Role, RoleSet,
+    InfluenceKind, InfluenceRecord, InterdependenceKind, Interner, InvestmentRecord, Role, RoleSet,
     SourceRegistry, TradingRecord,
 };
 
 /// Incremental registry builder with name resolution.
+///
+/// Names are resolved through two arena-backed [`Interner`]s (one per
+/// entity kind); symbols are dense in first-sight order, so
+/// `Symbol::index` *is* the entity id — each freshly interned name
+/// immediately registers the matching registry entity.
 #[derive(Default)]
 pub struct RegistryBuilder {
     registry: SourceRegistry,
-    persons: HashMap<String, tpiin_model::PersonId>,
-    companies: HashMap<String, tpiin_model::CompanyId>,
+    persons: Interner,
+    companies: Interner,
 }
 
 impl RegistryBuilder {
@@ -43,21 +47,23 @@ impl RegistryBuilder {
     }
 
     fn person(&mut self, name: &str) -> tpiin_model::PersonId {
-        if let Some(&id) = self.persons.get(name) {
-            return id;
+        let known = self.persons.len();
+        let symbol = self.persons.intern(name);
+        if symbol.index() == known {
+            let id = self.registry.add_person(name, RoleSet::EMPTY);
+            debug_assert_eq!(id.index(), symbol.index());
         }
-        let id = self.registry.add_person(name, RoleSet::EMPTY);
-        self.persons.insert(name.to_string(), id);
-        id
+        tpiin_model::PersonId(symbol.0)
     }
 
     fn company(&mut self, name: &str) -> tpiin_model::CompanyId {
-        if let Some(&id) = self.companies.get(name) {
-            return id;
+        let known = self.companies.len();
+        let symbol = self.companies.intern(name);
+        if symbol.index() == known {
+            let id = self.registry.add_company(name);
+            debug_assert_eq!(id.index(), symbol.index());
         }
-        let id = self.registry.add_company(name);
-        self.companies.insert(name.to_string(), id);
-        id
+        tpiin_model::CompanyId(symbol.0)
     }
 
     /// Ingests a board roster CSV (`name,company,position,legal_person`,

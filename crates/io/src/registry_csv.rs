@@ -197,14 +197,16 @@ pub fn load_registry(dir: &Path) -> Result<SourceRegistry, IoError> {
     for (i, record) in csv::parse(&text, context)?.into_iter().enumerate().skip(1) {
         check_columns(&record, 2, context, i + 1)?;
         let roles = roles_from_string(&record[1], context, i + 1)?;
-        registry.add_person(record[0].clone(), roles);
+        let name = record.into_iter().next().expect("two columns checked");
+        registry.add_person(name, roles);
     }
 
     let context = "companies.csv";
     let text = read(&dir.join(context))?;
     for (i, record) in csv::parse(&text, context)?.into_iter().enumerate().skip(1) {
         check_columns(&record, 1, context, i + 1)?;
-        registry.add_company(record[0].clone());
+        let name = record.into_iter().next().expect("one column checked");
+        registry.add_company(name);
     }
 
     let context = "interdependence.csv";

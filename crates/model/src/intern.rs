@@ -1,0 +1,238 @@
+//! Arena-backed string interning for entity names.
+//!
+//! Source extracts reference taxpayers by name; ingest has to map every
+//! occurrence of a name onto one dense id.  A `HashMap<String, Id>` does
+//! that but stores every key twice (once in the map, once in the entity
+//! record) and scatters small allocations across the heap.  [`Interner`]
+//! stores all distinct names back to back in one arena `String` and
+//! resolves lookups through an open-addressing index of `u32` slots, so
+//! interning `n` names costs one growing buffer plus `2n` table words —
+//! no per-name allocation at all.
+//!
+//! Symbols are handed out densely in first-intern order, which makes
+//! [`Symbol::index`] directly usable as a record index: the ingest
+//! adapters rely on `symbol.index() == entity id` because every
+//! first-seen name immediately registers the entity.
+
+use std::fmt;
+
+/// A dense handle to an interned string.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Dense index of this symbol (0-based, first-intern order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// FNV-1a; names are short, so a simple multiplicative hash beats SipHash
+/// setup cost and keeps the module dependency-free.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An arena-backed string interner with `u32` symbols.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    /// All interned strings, concatenated.
+    arena: String,
+    /// Byte range of each symbol inside the arena.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressing table of symbol indices; [`EMPTY_SLOT`] marks a
+    /// free slot.  Length is always a power of two.
+    slots: Vec<u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner sized for roughly `names` distinct strings of
+    /// `mean_len` bytes each.
+    pub fn with_capacity(names: usize, mean_len: usize) -> Self {
+        let table = (names * 2).next_power_of_two().max(16);
+        Interner {
+            arena: String::with_capacity(names * mean_len),
+            spans: Vec::with_capacity(names),
+            slots: vec![EMPTY_SLOT; table],
+        }
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total bytes held in the arena.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Interns `name`, returning its symbol; repeated calls with equal
+    /// strings return the same symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if self.slots.len() < (self.spans.len() + 1) * 2 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (fnv1a(name.as_bytes()) as usize) & mask;
+        loop {
+            let entry = self.slots[slot];
+            if entry == EMPTY_SLOT {
+                let start = self.arena.len() as u32;
+                self.arena.push_str(name);
+                let symbol = Symbol(self.spans.len() as u32);
+                self.spans.push((start, self.arena.len() as u32));
+                self.slots[slot] = symbol.0;
+                return symbol;
+            }
+            if self.resolve(Symbol(entry)) == name {
+                return Symbol(entry);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Looks `name` up without interning it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut slot = (fnv1a(name.as_bytes()) as usize) & mask;
+        loop {
+            let entry = self.slots[slot];
+            if entry == EMPTY_SLOT {
+                return None;
+            }
+            if self.resolve(Symbol(entry)) == name {
+                return Some(Symbol(entry));
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// The string behind `symbol`.
+    ///
+    /// # Panics
+    /// Panics if `symbol` was not produced by this interner.
+    pub fn resolve(&self, symbol: Symbol) -> &str {
+        let (start, end) = self.spans[symbol.index()];
+        &self.arena[start as usize..end as usize]
+    }
+
+    /// Iterator over `(symbol, string)` in first-intern order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.spans
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, end))| (Symbol(i as u32), &self.arena[start as usize..end as usize]))
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(16);
+        let mask = new_len - 1;
+        let mut slots = vec![EMPTY_SLOT; new_len];
+        for (i, &(start, end)) in self.spans.iter().enumerate() {
+            let name = &self.arena[start as usize..end as usize];
+            let mut slot = (fnv1a(name.as_bytes()) as usize) & mask;
+            while slots[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            slots[slot] = i as u32;
+        }
+        self.slots = slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_eq!(a, Symbol(0));
+        assert_eq!(b, Symbol(1));
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "alpha");
+        assert_eq!(i.resolve(b), "beta");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let x = i.intern("x");
+        assert_eq!(i.get("x"), Some(x));
+        assert_eq!(i.get("y"), None);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn survives_growth_past_initial_table() {
+        let mut i = Interner::with_capacity(4, 8);
+        let symbols: Vec<Symbol> = (0..1000).map(|k| i.intern(&format!("name-{k}"))).collect();
+        assert_eq!(i.len(), 1000);
+        for (k, &s) in symbols.iter().enumerate() {
+            assert_eq!(s, Symbol(k as u32), "symbols stay dense");
+            assert_eq!(i.resolve(s), format!("name-{k}"));
+            assert_eq!(i.get(&format!("name-{k}")), Some(s));
+        }
+    }
+
+    #[test]
+    fn empty_string_and_unicode_round_trip() {
+        let mut i = Interner::new();
+        let empty = i.intern("");
+        let han = i.intern("税务局");
+        assert_eq!(i.resolve(empty), "");
+        assert_eq!(i.resolve(han), "税务局");
+        assert_eq!(i.intern("税务局"), han);
+    }
+
+    #[test]
+    fn iter_yields_first_intern_order() {
+        let mut i = Interner::new();
+        i.intern("b");
+        i.intern("a");
+        i.intern("b");
+        let names: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(names, ["b", "a"]);
+    }
+
+    #[test]
+    fn arena_is_one_buffer() {
+        let mut i = Interner::new();
+        i.intern("ab");
+        i.intern("cd");
+        assert_eq!(i.arena_bytes(), 4, "no per-name allocation overhead");
+    }
+}

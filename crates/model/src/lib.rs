@@ -17,6 +17,7 @@
 mod company;
 mod error;
 mod ids;
+mod intern;
 mod person;
 mod registry;
 mod relationship;
@@ -25,6 +26,7 @@ mod roles;
 pub use company::Company;
 pub use error::ModelError;
 pub use ids::{CompanyId, PersonId};
+pub use intern::{Interner, Symbol};
 pub use person::Person;
 pub use registry::SourceRegistry;
 pub use relationship::{

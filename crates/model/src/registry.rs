@@ -208,16 +208,36 @@ impl SourceRegistry {
     /// * every company has exactly one legal-person influence arc, and the
     ///   designated person's role set admits the position;
     /// * investment shares lie in `(0, 1]`.
+    ///
+    /// The check is split per record type ([`validate_interdependencies`],
+    /// [`validate_influences`], [`validate_investments`],
+    /// [`validate_tradings`]) so the fusion front-end can run the four
+    /// sweeps on separate threads; this method concatenates their error
+    /// lists in that fixed order, so the report is the same either way.
+    ///
+    /// [`validate_interdependencies`]: SourceRegistry::validate_interdependencies
+    /// [`validate_influences`]: SourceRegistry::validate_influences
+    /// [`validate_investments`]: SourceRegistry::validate_investments
+    /// [`validate_tradings`]: SourceRegistry::validate_tradings
     pub fn validate(&self) -> Result<(), Vec<ModelError>> {
+        let mut errors = self.validate_interdependencies();
+        errors.extend(self.validate_influences());
+        errors.extend(self.validate_investments());
+        errors.extend(self.validate_tradings());
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Violations among person–person interdependence edges only.
+    pub fn validate_interdependencies(&self) -> Vec<ModelError> {
         let mut errors = Vec::new();
         let np = self.persons.len() as u32;
-        let nc = self.companies.len() as u32;
-        let known_p = |p: PersonId| p.0 < np;
-        let known_c = |c: CompanyId| c.0 < nc;
-
         for i in &self.interdependencies {
             for p in [i.a, i.b] {
-                if !known_p(p) {
+                if p.0 >= np {
                     errors.push(ModelError::UnknownPerson(p));
                 }
             }
@@ -225,15 +245,23 @@ impl SourceRegistry {
                 errors.push(ModelError::SelfInterdependence(i.a));
             }
         }
+        errors
+    }
 
+    /// Violations among influence arcs, including the legal-person
+    /// constraints (exactly one admissible LP per company).
+    pub fn validate_influences(&self) -> Vec<ModelError> {
+        let mut errors = Vec::new();
+        let np = self.persons.len() as u32;
+        let nc = self.companies.len() as u32;
         let mut lp_of: Vec<Option<PersonId>> = vec![None; self.companies.len()];
         let mut multiple_reported: HashSet<CompanyId> = HashSet::new();
         for inf in &self.influences {
-            if !known_p(inf.person) {
+            if inf.person.0 >= np {
                 errors.push(ModelError::UnknownPerson(inf.person));
                 continue;
             }
-            if !known_c(inf.company) {
+            if inf.company.0 >= nc {
                 errors.push(ModelError::UnknownCompany(inf.company));
                 continue;
             }
@@ -262,10 +290,16 @@ impl SourceRegistry {
                 errors.push(ModelError::MissingLegalPerson(CompanyId(i as u32)));
             }
         }
+        errors
+    }
 
+    /// Violations among company–company investment arcs only.
+    pub fn validate_investments(&self) -> Vec<ModelError> {
+        let mut errors = Vec::new();
+        let nc = self.companies.len() as u32;
         for inv in &self.investments {
             for c in [inv.investor, inv.investee] {
-                if !known_c(c) {
+                if c.0 >= nc {
                     errors.push(ModelError::UnknownCompany(c));
                 }
             }
@@ -280,10 +314,16 @@ impl SourceRegistry {
                 });
             }
         }
+        errors
+    }
 
+    /// Violations among company–company trading arcs only.
+    pub fn validate_tradings(&self) -> Vec<ModelError> {
+        let mut errors = Vec::new();
+        let nc = self.companies.len() as u32;
         for tr in &self.tradings {
             for c in [tr.seller, tr.buyer] {
-                if !known_c(c) {
+                if c.0 >= nc {
                     errors.push(ModelError::UnknownCompany(c));
                 }
             }
@@ -291,12 +331,7 @@ impl SourceRegistry {
                 errors.push(ModelError::SelfCompanyArc(tr.seller));
             }
         }
-
-        if errors.is_empty() {
-            Ok(())
-        } else {
-            Err(errors)
-        }
+        errors
     }
 
     /// Replaces a person's role set.  Source adapters accumulate roles as
@@ -517,6 +552,27 @@ mod tests {
         assert!(errs.contains(&ModelError::UnknownCompany(CompanyId(9))));
         assert!(errs.contains(&ModelError::SelfCompanyArc(CompanyId(0))));
         assert!(errs.contains(&ModelError::SelfInterdependence(PersonId(0))));
+    }
+
+    #[test]
+    fn per_type_validators_concatenate_to_validate() {
+        let mut r = valid_registry();
+        r.add_interdependence(PersonId(0), PersonId(0), InterdependenceKind::Kinship);
+        r.add_investment(InvestmentRecord {
+            investor: CompanyId(9),
+            investee: CompanyId(0),
+            share: 2.0,
+        });
+        r.add_trading(TradingRecord {
+            seller: CompanyId(1),
+            buyer: CompanyId(1),
+            volume: 1.0,
+        });
+        let mut split = r.validate_interdependencies();
+        split.extend(r.validate_influences());
+        split.extend(r.validate_investments());
+        split.extend(r.validate_tradings());
+        assert_eq!(r.validate().unwrap_err(), split);
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub use tpiin_obs as obs;
 /// Fuses a registry into a TPIIN.
 ///
 /// Thin shim over [`fusion::fuse`] kept for source compatibility.
+///
+/// ```
+/// #![allow(deprecated)]
+/// let registry = tpiin::datagen::fig7_registry();
+/// let (tpiin, report) = tpiin::fuse(&registry)?;
+/// assert_eq!(tpiin.node_count(), report.tpiin_nodes);
+/// # Ok::<(), tpiin::fusion::FusionError>(())
+/// ```
 #[deprecated(note = "use `tpiin::Pipeline::from_registry(..).run()`")]
 pub fn fuse(
     registry: &tpiin_model::SourceRegistry,
@@ -77,6 +85,15 @@ pub fn fuse(
 /// Thin shim over [`detect::detect`] kept for source compatibility.
 /// (The `detect` *module* re-export above is unaffected; functions and
 /// modules live in separate namespaces.)
+///
+/// ```
+/// #![allow(deprecated)]
+/// let registry = tpiin::datagen::fig7_registry();
+/// let (tpiin, _) = tpiin::fuse(&registry)?;
+/// let result = tpiin::detect(&tpiin);
+/// assert_eq!(result.group_count(), 3);
+/// # Ok::<(), tpiin::fusion::FusionError>(())
+/// ```
 #[deprecated(note = "use `tpiin::Pipeline::from_registry(..).run()`")]
 pub fn detect(tpiin: &tpiin_fusion::Tpiin) -> tpiin_core::DetectionResult {
     tpiin_core::detect(tpiin)

@@ -15,7 +15,7 @@
 
 use crate::error::Error;
 use tpiin_core::{DetectionResult, Detector, DetectorConfig};
-use tpiin_fusion::{FusionReport, Tpiin};
+use tpiin_fusion::{FuseOptions, FusionReport, Tpiin};
 use tpiin_model::SourceRegistry;
 use tpiin_obs::{Level, RunProfile};
 
@@ -41,24 +41,32 @@ pub struct RunOutput {
 pub struct Pipeline<'a> {
     registry: &'a SourceRegistry,
     config: DetectorConfig,
+    fuse_options: FuseOptions,
     log_level: Option<Level>,
     profile: bool,
 }
 
 impl<'a> Pipeline<'a> {
-    /// Starts a pipeline over `registry` with default settings.
+    /// Starts a pipeline over `registry` with default settings.  The
+    /// fusion worker count starts from the `TPIIN_THREADS` environment
+    /// variable (unset means one worker per core); [`Pipeline::threads`]
+    /// overrides it.
     pub fn from_registry(registry: &'a SourceRegistry) -> Pipeline<'a> {
         Pipeline {
             registry,
             config: DetectorConfig::default(),
+            fuse_options: FuseOptions::from_env(),
             log_level: None,
             profile: false,
         }
     }
 
-    /// Detection worker threads; `0` or `1` runs serially.
+    /// Worker threads for both the fusion front-end and detection;
+    /// `0` or `1` runs both serially.  Fusion results are bit-identical
+    /// at every thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self.fuse_options.threads = threads.max(1);
         self
     }
 
@@ -97,7 +105,7 @@ impl<'a> Pipeline<'a> {
             tpiin_obs::set_profiling(true);
             tpiin_obs::global().reset();
         }
-        let (tpiin, report) = tpiin_fusion::fuse(self.registry)?;
+        let (tpiin, report) = tpiin_fusion::fuse_with(self.registry, self.fuse_options)?;
         let groups = Detector::new(self.config).detect(&tpiin);
         let profile = self.profile.then(RunProfile::capture);
         Ok(RunOutput {
