@@ -1,0 +1,192 @@
+//! Query-latency benchmark for the `tpiin-serve` daemon: boots an
+//! in-process server on an ephemeral port for the fig7 worked example
+//! and a generated province TPIIN, hammers each read endpoint from
+//! `CLIENTS` concurrent connections, and writes client-observed
+//! p50/p95/p99 latencies to `BENCH_serve.json` for CI trend tracking.
+//!
+//! Usage: `bench_serve [OUT_PATH] [SCALE] [CLIENTS]` — defaults to
+//! `BENCH_serve.json`, scale 0.5, 4 clients.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_bench::record::{EndpointLatency, ServeBench, ServeWorkloadRecord};
+use tpiin_core::detect;
+use tpiin_datagen::fig7_registry;
+use tpiin_fusion::{fuse, Tpiin};
+use tpiin_serve::{ServeConfig, ServerHandle};
+
+/// One blocking HTTP GET over a fresh connection (the daemon speaks
+/// `Connection: close`, so per-request connections are the protocol,
+/// not an artifact of the benchmark).  Returns the elapsed time in
+/// microseconds; panics on any non-200 so a broken endpoint cannot
+/// silently publish garbage percentiles.
+fn timed_get(addr: SocketAddr, path: &str) -> f64 {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let elapsed = start.elapsed().as_secs_f64() * 1e6;
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "GET {path} failed: {}",
+        response.lines().next().unwrap_or("<empty>")
+    );
+    elapsed
+}
+
+/// Nearest-rank percentile over an already-sorted sample, `q` in 0..=1.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "no samples");
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+/// Hammers one endpoint with `clients` threads splitting `requests`
+/// sequential GETs, after a short untimed warmup that primes the
+/// daemon's thread pool and the kernel's connection path.
+fn bench_endpoint(
+    addr: SocketAddr,
+    name: &str,
+    path: &str,
+    requests: usize,
+    clients: usize,
+) -> EndpointLatency {
+    for _ in 0..clients.max(4) {
+        timed_get(addr, path);
+    }
+    let per_client = requests.div_ceil(clients);
+    let samples: Vec<f64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(move || {
+                    (0..per_client)
+                        .map(|_| timed_get(addr, path))
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect()
+    });
+    let mut sorted = samples;
+    sorted.sort_by(f64::total_cmp);
+    EndpointLatency {
+        endpoint: name.to_string(),
+        requests: sorted.len(),
+        p50_us: percentile(&sorted, 0.50),
+        p95_us: percentile(&sorted, 0.95),
+        p99_us: percentile(&sorted, 0.99),
+    }
+}
+
+/// Boots a daemon over `tpiin` and measures every read endpoint.  The
+/// arc/company query targets come from an offline [`detect`] pass so
+/// the benchmark exercises the same ancestor-cone path a real analyst
+/// would hit, not a guaranteed-miss probe.
+fn measure(
+    name: &str,
+    tpiin: Tpiin,
+    requests: usize,
+    clients: usize,
+    workers: usize,
+) -> ServeWorkloadRecord {
+    let detection = detect(&tpiin);
+    let nodes = tpiin.node_count();
+    let groups = detection.group_count();
+
+    let mut endpoints = vec![
+        ("healthz".to_string(), "/healthz".to_string()),
+        ("groups".to_string(), "/groups?limit=5".to_string()),
+    ];
+    if let Some((src, dst)) = detection.suspicious_trading_arcs.iter().next() {
+        endpoints.push((
+            "groups_behind_arc".to_string(),
+            format!(
+                "/groups_behind_arc?src={}&dst={}",
+                tpiin.label(*src),
+                tpiin.label(*dst)
+            ),
+        ));
+        endpoints.push((
+            "company".to_string(),
+            format!("/company/{}", tpiin.label(*src)),
+        ));
+    }
+
+    let config = ServeConfig {
+        workers,
+        queue_capacity: 4 * clients.max(1) + 16,
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(tpiin, config).expect("bind ephemeral daemon");
+    let addr = handle.addr();
+
+    let measured = endpoints
+        .iter()
+        .map(|(label, path)| bench_endpoint(addr, label, path, requests, clients))
+        .collect();
+    handle.shutdown();
+
+    ServeWorkloadRecord {
+        name: name.to_string(),
+        nodes,
+        groups,
+        endpoints: measured,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("SCALE must be a number"))
+        .unwrap_or(0.5);
+    let clients: usize = args
+        .next()
+        .map(|s| s.parse().expect("CLIENTS must be an integer"))
+        .unwrap_or(4);
+
+    let (fig7, _) = fuse(&fig7_registry()).expect("fig7 registry fuses");
+    let province = tpiin_fixture(scale, 0.004, 20170417);
+
+    let workers = 4;
+    let requests = 200;
+    let workloads = vec![
+        measure("fig7", fig7, requests, clients, workers),
+        measure(
+            &format!("province-{scale}"),
+            province,
+            requests,
+            clients,
+            workers,
+        ),
+    ];
+
+    let bench = ServeBench {
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        workers,
+        clients,
+        workloads,
+    };
+    for w in &bench.workloads {
+        for e in &w.endpoints {
+            println!(
+                "bench serve [{}] {:>18}: p50 {:>8.1} us, p95 {:>8.1} us, p99 {:>8.1} us ({} reqs)",
+                w.name, e.endpoint, e.p50_us, e.p95_us, e.p99_us, e.requests
+            );
+        }
+    }
+    bench
+        .write(std::path::Path::new(&path))
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("record -> {path} (host_cpus = {})", bench.host_cpus);
+}

@@ -259,6 +259,105 @@ impl FuseBench {
     }
 }
 
+/// Client-observed latency percentiles of one daemon endpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EndpointLatency {
+    /// Endpoint label (`healthz`, `groups_behind_arc`, ...).
+    pub endpoint: String,
+    /// Requests measured.
+    pub requests: usize,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+}
+
+impl EndpointLatency {
+    /// The endpoint record as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("endpoint".to_string(), Json::Str(self.endpoint.clone())),
+            ("requests".to_string(), Json::Int(self.requests as u64)),
+            ("p50_us".to_string(), Json::Float(self.p50_us)),
+            ("p95_us".to_string(), Json::Float(self.p95_us)),
+            ("p99_us".to_string(), Json::Float(self.p99_us)),
+        ])
+    }
+}
+
+/// One served network hammered across its endpoints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeWorkloadRecord {
+    /// Workload label (`fig7`, `province-0.5`, ...).
+    pub name: String,
+    /// TPIIN nodes served.
+    pub nodes: usize,
+    /// Suspicious groups in the served snapshot.
+    pub groups: usize,
+    /// Per-endpoint latency percentiles.
+    pub endpoints: Vec<EndpointLatency>,
+}
+
+impl ServeWorkloadRecord {
+    /// The workload as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("nodes".to_string(), Json::Int(self.nodes as u64)),
+            ("groups".to_string(), Json::Int(self.groups as u64)),
+            (
+                "endpoints".to_string(),
+                Json::Array(
+                    self.endpoints
+                        .iter()
+                        .map(EndpointLatency::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The full `BENCH_serve.json` payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeBench {
+    /// Hardware threads the host actually exposes.
+    pub host_cpus: usize,
+    /// Daemon worker threads used for the run.
+    pub workers: usize,
+    /// Concurrent client threads hammering each endpoint.
+    pub clients: usize,
+    /// Per-workload measurements.
+    pub workloads: Vec<ServeWorkloadRecord>,
+}
+
+impl ServeBench {
+    /// The record as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("host_cpus".to_string(), Json::Int(self.host_cpus as u64)),
+            ("workers".to_string(), Json::Int(self.workers as u64)),
+            ("clients".to_string(), Json::Int(self.clients as u64)),
+            (
+                "workloads".to_string(),
+                Json::Array(
+                    self.workloads
+                        .iter()
+                        .map(ServeWorkloadRecord::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the record to `path` as pretty-printed JSON.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +411,33 @@ mod tests {
         assert!(text.contains("\"workloads\""));
         assert!(text.contains("\"thread_speedup\""));
         assert!(text.contains("\"csr_over_nested\""));
+    }
+
+    #[test]
+    fn serve_bench_serializes_percentiles() {
+        let bench = ServeBench {
+            host_cpus: 8,
+            workers: 4,
+            clients: 8,
+            workloads: vec![ServeWorkloadRecord {
+                name: "fig7".into(),
+                nodes: 15,
+                groups: 3,
+                endpoints: vec![EndpointLatency {
+                    endpoint: "groups_behind_arc".into(),
+                    requests: 200,
+                    p50_us: 120.0,
+                    p95_us: 340.5,
+                    p99_us: 900.0,
+                }],
+            }],
+        };
+        let text = bench.to_json().to_pretty();
+        assert!(text.contains("\"workers\": 4"));
+        assert!(text.contains("\"groups_behind_arc\""));
+        assert!(text.contains("\"p50_us\": 120"));
+        assert!(text.contains("\"p95_us\": 340.5"));
+        assert!(text.contains("\"p99_us\": 900"));
     }
 
     #[test]

@@ -23,6 +23,19 @@ pub struct Options {
     pub arc: Option<(String, String)>,
     /// Company label for `company`.
     pub company: Option<String>,
+    /// Listen address for `serve` (default 127.0.0.1:7878).
+    pub addr: Option<String>,
+    /// Snapshot file for `serve` (served, reloadable) / `save-snapshot`.
+    pub snapshot: Option<String>,
+    /// Worker threads for the `serve` request pool.
+    pub workers: usize,
+    /// Per-request deadline for `serve`, in milliseconds.
+    pub request_timeout_ms: u64,
+    /// Dataset for `serve`/`save-snapshot` without a snapshot file:
+    /// `fig7` or `province`.
+    pub dataset: Option<String>,
+    /// Watch the snapshot file and hot-reload on change (`serve`).
+    pub watch: bool,
     /// Explicit log level (overrides the `TPIIN_LOG` environment variable).
     pub log_level: Option<tpiin_obs::Level>,
     /// Print the phase-timing table after the run.
@@ -44,6 +57,12 @@ impl Default for Options {
             dir: None,
             arc: None,
             company: None,
+            addr: None,
+            snapshot: None,
+            workers: 4,
+            request_timeout_ms: 2000,
+            dataset: None,
+            watch: false,
             log_level: None,
             profile: false,
             metrics_out: None,
@@ -106,6 +125,26 @@ impl Options {
                         .ok_or_else(|| "--arc expects SELLER,BUYER".to_string())?;
                     opts.arc = Some((s_label.trim().to_string(), b_label.trim().to_string()));
                 }
+                "--addr" => opts.addr = Some(value("--addr")?),
+                "--snapshot" => opts.snapshot = Some(value("--snapshot")?),
+                "--workers" => {
+                    opts.workers = value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?;
+                }
+                "--request-timeout-ms" => {
+                    opts.request_timeout_ms = value("--request-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--request-timeout-ms: {e}"))?;
+                }
+                "--dataset" => {
+                    let name = value("--dataset")?;
+                    if name != "fig7" && name != "province" {
+                        return Err(format!("--dataset must be fig7 or province, got `{name}`"));
+                    }
+                    opts.dataset = Some(name);
+                }
+                "--watch" => opts.watch = true,
                 "--verify" => opts.verify = true,
                 "--log-level" => {
                     opts.log_level = Some(
@@ -172,6 +211,17 @@ mod tests {
             "d",
             "--arc",
             "C1, C2",
+            "--addr",
+            "127.0.0.1:0",
+            "--snapshot",
+            "s.tpiin",
+            "--workers",
+            "8",
+            "--request-timeout-ms",
+            "500",
+            "--dataset",
+            "fig7",
+            "--watch",
             "--log-level",
             "debug",
             "--profile",
@@ -188,6 +238,12 @@ mod tests {
         assert_eq!(opts.out.as_deref(), Some("x.dot"));
         assert_eq!(opts.dir.as_deref(), Some("d"));
         assert_eq!(opts.arc, Some(("C1".to_string(), "C2".to_string())));
+        assert_eq!(opts.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(opts.snapshot.as_deref(), Some("s.tpiin"));
+        assert_eq!(opts.workers, 8);
+        assert_eq!(opts.request_timeout_ms, 500);
+        assert_eq!(opts.dataset.as_deref(), Some("fig7"));
+        assert!(opts.watch);
         assert_eq!(opts.sweep_probs(), vec![0.01, 0.02]);
         assert_eq!(opts.log_level, Some(tpiin_obs::Level::Debug));
         assert!(opts.profile);
@@ -208,5 +264,11 @@ mod tests {
         let err = parse(&["--log-level", "loud"]).unwrap_err();
         assert!(err.contains("--log-level"), "{err}");
         assert!(err.contains("unknown log level"), "{err}");
+        assert!(parse(&["--dataset", "mars"])
+            .unwrap_err()
+            .contains("fig7 or province"));
+        assert!(parse(&["--workers", "many"])
+            .unwrap_err()
+            .contains("--workers"));
     }
 }

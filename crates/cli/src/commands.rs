@@ -31,6 +31,8 @@ COMMANDS:
   analyze         Fig. 19 preliminary analysis of one company's IATs
   export-dot      Export a generated TPIIN as Graphviz DOT
   export-graphml  Export a generated TPIIN as GraphML (Gephi)
+  serve           Run the query/ingest daemon (Section 6 online queries)
+  save-snapshot   Write a fused TPIIN snapshot file (--out; for serve)
   help            Show this help
 
 FLAGS:
@@ -44,6 +46,14 @@ FLAGS:
   --dir PATH    directory for save-province/import/report
   --arc S,B     seller,buyer company labels for `query`
   --company L   company label for `company`
+
+SERVING (`serve` / `save-snapshot`):
+  --addr A:P    listen address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --snapshot P  serve this snapshot file; enables POST /reload
+  --workers N   request worker threads (default 4)
+  --request-timeout-ms N  per-request deadline (default 2000)
+  --dataset D   fig7 | province — dataset when no --snapshot (default fig7)
+  --watch       poll the snapshot file and hot-reload on change
 
 OBSERVABILITY (all commands):
   --log-level L   stderr log level: error|warn|info|debug|trace
@@ -455,6 +465,67 @@ pub fn two_phase(opts: &Options) -> Result<(), tpiin::Error> {
             eval.recovered_revenue
         );
     }
+    Ok(())
+}
+
+/// The TPIIN a serving command runs over: a snapshot file when given,
+/// else the `--dataset` worked example or synthetic province.
+fn serving_tpiin(opts: &Options) -> Result<Tpiin, tpiin::Error> {
+    if let Some(path) = &opts.snapshot {
+        return Ok(tpiin_serve::load_snapshot_file(std::path::Path::new(path))?);
+    }
+    match opts.dataset.as_deref().unwrap_or("fig7") {
+        "fig7" => Ok(fuse(&fig7_registry()).map(|(t, _)| t)?),
+        "province" => {
+            let (mut registry, _) = province(opts);
+            let p = *opts.sweep_probs().first().unwrap_or(&0.002);
+            add_random_trading(&mut registry, p, opts.seed);
+            Ok(fuse(&registry).map(|(t, _)| t)?)
+        }
+        other => Err(tpiin::Error::Usage(format!(
+            "--dataset must be fig7 or province, got `{other}`"
+        ))),
+    }
+}
+
+/// `tpiin serve` — the long-lived query/ingest daemon.  Runs until a
+/// `POST /shutdown` arrives, then drains in-flight requests and exits.
+pub fn serve(opts: &Options) -> Result<(), tpiin::Error> {
+    let config = tpiin_serve::ServeConfig {
+        addr: opts
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+        workers: opts.workers,
+        request_timeout: std::time::Duration::from_millis(opts.request_timeout_ms.max(1)),
+        snapshot_path: opts.snapshot.as_ref().map(std::path::PathBuf::from),
+        watch: opts.watch,
+        ..Default::default()
+    };
+    let tpiin = serving_tpiin(opts)?;
+    let handle = tpiin_serve::ServerHandle::bind(tpiin, config)?;
+    println!("serving on http://{}", handle.addr());
+    println!("stop with: curl -X POST http://{}/shutdown", handle.addr());
+    handle.wait();
+    println!("drained and stopped");
+    Ok(())
+}
+
+/// `tpiin save-snapshot` — fuse a dataset and write the snapshot file
+/// `serve --snapshot` (and CI) consume.
+pub fn save_snapshot(opts: &Options) -> Result<(), tpiin::Error> {
+    let out = opts
+        .out
+        .as_deref()
+        .ok_or_else(|| tpiin::Error::Usage("save-snapshot requires --out".into()))?;
+    let tpiin = serving_tpiin(opts)?;
+    let text = tpiin_io::snapshot::write_snapshot(&tpiin);
+    std::fs::write(out, text).map_err(|e| tpiin::Error::file(out, e))?;
+    println!(
+        "wrote snapshot of {} nodes / {} trading arcs to {out}",
+        tpiin.node_count(),
+        tpiin.trading_arc_count
+    );
     Ok(())
 }
 

@@ -39,12 +39,14 @@ fn main() {
 }
 
 /// The single place error categories map onto process exit codes:
-/// 2 = bad invocation, 3 = invalid input data, 4 = file trouble.
+/// 2 = bad invocation, 3 = invalid input data, 4 = file trouble,
+/// 5 = daemon startup failure.
 fn exit_code(err: &tpiin::Error) -> i32 {
     match err {
         tpiin::Error::Usage(_) => 2,
         tpiin::Error::Model(_) | tpiin::Error::Fusion(_) => 3,
         tpiin::Error::Io(_) | tpiin::Error::File { .. } => 4,
+        tpiin::Error::Serve(_) => 5,
         _ => 1, // `Error` is non_exhaustive
     }
 }
@@ -100,6 +102,8 @@ fn dispatch(cmd: &str, opts: &args::Options) -> Result<(), tpiin::Error> {
         "two-phase" => commands::two_phase(opts),
         "company" => commands::company(opts),
         "analyze" => commands::analyze(opts),
+        "serve" => commands::serve(opts),
+        "save-snapshot" => commands::save_snapshot(opts),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

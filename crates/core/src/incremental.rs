@@ -27,7 +27,49 @@ pub struct IncrementalDetector {
     tpiin: Tpiin,
     seen_arcs: BTreeSet<(NodeId, NodeId)>,
     suspicious_arcs: BTreeSet<(NodeId, NodeId)>,
-    groups_found: usize,
+    stats: IngestStats,
+}
+
+/// Lifetime totals of one [`IncrementalDetector`], accumulated across
+/// every [`IncrementalDetector::ingest`] call.  Mirrored into tpiin-obs
+/// gauges (`ingest.records`, `ingest.duplicates`, `ingest.intra_syndicate`,
+/// `ingest.arcs_added`, `ingest.groups`) after each batch so `/ingest`
+/// handlers and streaming examples can report progress without holding
+/// the detector lock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Trading records received (including duplicates).
+    pub records_ingested: u64,
+    /// Records skipped because the arc was already present.
+    pub duplicates: u64,
+    /// Records that fell inside a contracted company syndicate.
+    pub intra_syndicate: u64,
+    /// New trading arcs added to the network.
+    pub arcs_added: u64,
+    /// Suspicious groups discovered so far.
+    pub groups_found: u64,
+}
+
+impl IngestStats {
+    /// Publishes the totals as gauges on `registry`.  The detector calls
+    /// this with [`tpiin_obs::global`] after every batch.
+    pub fn publish_to(&self, registry: &tpiin_obs::MetricsRegistry) {
+        registry
+            .gauge("ingest.records")
+            .set(self.records_ingested as f64);
+        registry
+            .gauge("ingest.duplicates")
+            .set(self.duplicates as f64);
+        registry
+            .gauge("ingest.intra_syndicate")
+            .set(self.intra_syndicate as f64);
+        registry
+            .gauge("ingest.arcs_added")
+            .set(self.arcs_added as f64);
+        registry
+            .gauge("ingest.groups")
+            .set(self.groups_found as f64);
+    }
 }
 
 /// Outcome of one ingested batch.
@@ -59,7 +101,7 @@ impl IncrementalDetector {
             tpiin,
             seen_arcs,
             suspicious_arcs: BTreeSet::new(),
-            groups_found: 0,
+            stats: IngestStats::default(),
         }
     }
 
@@ -75,18 +117,25 @@ impl IncrementalDetector {
 
     /// Total groups discovered so far.
     pub fn groups_found(&self) -> usize {
-        self.groups_found
+        self.stats.groups_found as usize
+    }
+
+    /// Lifetime ingestion totals across all batches.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
     }
 
     /// Absorbs one batch of trading records; returns what was new.
     pub fn ingest(&mut self, batch: &[TradingRecord]) -> BatchOutcome {
         let mut outcome = BatchOutcome::default();
+        self.stats.records_ingested += batch.len() as u64;
         for record in batch {
             let seller = self.tpiin.company_node[record.seller.index()];
             let buyer = self.tpiin.company_node[record.buyer.index()];
             if seller == buyer {
                 // Intra-syndicate trade: suspicious by construction.
                 outcome.intra_syndicate += 1;
+                self.stats.intra_syndicate += 1;
                 self.tpiin
                     .intra_syndicate_trades
                     .push(tpiin_fusion::IntraSyndicateTrade {
@@ -102,8 +151,10 @@ impl IncrementalDetector {
             }
             if !self.seen_arcs.insert((seller, buyer)) {
                 outcome.duplicates += 1;
+                self.stats.duplicates += 1;
                 continue;
             }
+            self.stats.arcs_added += 1;
             self.tpiin.graph.add_edge(
                 seller,
                 buyer,
@@ -118,7 +169,7 @@ impl IncrementalDetector {
                 if self.suspicious_arcs.insert((seller, buyer)) {
                     outcome.new_suspicious_arcs.push((seller, buyer));
                 }
-                self.groups_found += groups.len();
+                self.stats.groups_found += groups.len() as u64;
                 outcome.new_groups.extend(groups);
             }
         }
@@ -126,6 +177,7 @@ impl IncrementalDetector {
         // refreeze per batch keeps the CSR kernel consistent for callers
         // that run full detection on [`IncrementalDetector::tpiin`].
         self.tpiin.refreeze();
+        self.stats.publish_to(tpiin_obs::global());
         outcome
     }
 
@@ -255,5 +307,39 @@ mod tests {
         }]);
         assert_eq!(o2.new_groups.len(), 1, "reverse direction is a new arc");
         assert_eq!(det.groups_found(), 2);
+    }
+
+    #[test]
+    fn stats_accumulate_and_publish_gauges() {
+        let mut r = tpiin_datagen::case2_registry();
+        r.clear_trading();
+        let (clean, _) = tpiin_fusion::fuse(&r).unwrap();
+        let mut det = IncrementalDetector::new(clean);
+        let batch = [
+            TradingRecord {
+                seller: CompanyId(1),
+                buyer: CompanyId(2),
+                volume: 1.0,
+            },
+            TradingRecord {
+                seller: CompanyId(1),
+                buyer: CompanyId(2),
+                volume: 2.0,
+            },
+        ];
+        det.ingest(&batch);
+        let stats = det.stats();
+        assert_eq!(stats.records_ingested, 2);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.arcs_added, 1);
+        assert_eq!(stats.groups_found, 1);
+        assert_eq!(stats.intra_syndicate, 0);
+        // Published as gauges for /ingest handlers and streaming feeds
+        // (a local registry here; ingest targets the global one, which
+        // parallel tests also write).
+        let registry = tpiin_obs::MetricsRegistry::new();
+        stats.publish_to(&registry);
+        assert_eq!(registry.gauge("ingest.records").get(), 2.0);
+        assert_eq!(registry.gauge("ingest.arcs_added").get(), 1.0);
     }
 }

@@ -48,7 +48,7 @@ mod topology;
 mod tree;
 
 pub use detector::{detect, Detector, DetectorConfig};
-pub use incremental::{BatchOutcome, IncrementalDetector};
+pub use incremental::{BatchOutcome, IncrementalDetector, IngestStats};
 pub use listd::listd_order;
 pub use matching::match_root;
 pub use nested::{segment_tpiin_nested, NestedSubTpiin};

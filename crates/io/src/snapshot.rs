@@ -26,6 +26,9 @@ use tpiin_fusion::{ArcColor, IntraSyndicateTrade, Tpiin, TpiinArc, TpiinNode};
 use tpiin_graph::{DiGraph, NodeId};
 use tpiin_model::{CompanyId, PersonId};
 
+/// Escaping works on raw bytes: only ASCII metacharacters (`%`, space,
+/// tab, CR, LF) are rewritten as `%XX`, so multi-byte UTF-8 sequences
+/// pass through untouched and the file stays valid UTF-8.
 fn escape_label(label: &str) -> String {
     let mut out = String::with_capacity(label.len());
     for ch in label.chars() {
@@ -33,27 +36,46 @@ fn escape_label(label: &str) -> String {
             '%' => out.push_str("%25"),
             ' ' => out.push_str("%20"),
             '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
             '\t' => out.push_str("%09"),
+            // Everything else — including multi-byte UTF-8 — passes
+            // through byte-for-byte.
             c => out.push(c),
         }
     }
     out
 }
 
+/// Inverse of [`escape_label`]: decode `%XX` at the byte level, then
+/// validate the assembled bytes as UTF-8.  Decoding per *character*
+/// would turn escaped bytes >= 0x80 into Latin-1 code points and corrupt
+/// multi-byte labels.
 fn unescape_label(text: &str, line: usize) -> Result<String, IoError> {
-    let mut out = String::with_capacity(text.len());
-    let mut chars = text.chars();
-    while let Some(ch) = chars.next() {
-        if ch != '%' {
-            out.push(ch);
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'%' {
+            out.push(bytes[i]);
+            i += 1;
             continue;
         }
-        let hex: String = chars.by_ref().take(2).collect();
-        let code = u8::from_str_radix(&hex, 16)
-            .map_err(|_| IoError::parse("snapshot", line, format!("bad escape %{hex}")))?;
-        out.push(code as char);
+        let hex = bytes
+            .get(i + 1..i + 3)
+            .and_then(|h| std::str::from_utf8(h).ok());
+        let code = hex
+            .and_then(|h| u8::from_str_radix(h, 16).ok())
+            .ok_or_else(|| {
+                IoError::parse(
+                    "snapshot",
+                    line,
+                    format!("bad escape %{}", hex.unwrap_or("")),
+                )
+            })?;
+        out.push(code);
+        i += 3;
     }
-    Ok(out)
+    String::from_utf8(out).map_err(|_| IoError::parse("snapshot", line, "label is not valid UTF-8"))
 }
 
 /// Serializes a fused TPIIN.

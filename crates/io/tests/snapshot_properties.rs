@@ -1,0 +1,55 @@
+//! Property-based round-trip tests for the snapshot label escaping:
+//! arbitrary Unicode labels — salted with the escape metacharacters
+//! (`%`, space, tab, CR, LF) — must survive `write_snapshot` →
+//! `read_snapshot` byte-for-byte.  Decoding `%XX` per *character*
+//! instead of per *byte* corrupted every multi-byte UTF-8 label; this
+//! test pins the byte-level contract.
+
+use proptest::prelude::*;
+use tpiin_io::snapshot::{read_snapshot, write_snapshot};
+use tpiin_model::{InfluenceKind, InfluenceRecord, Role, RoleSet, SourceRegistry};
+
+/// Characters the escaper must handle explicitly, plus multi-byte
+/// UTF-8 neighbours that a Latin-1 decode would corrupt.
+const SPECIALS: &[char] = &['%', ' ', '\t', '\r', '\n', 'é', '中', '🦀', '%'];
+
+/// An arbitrary Unicode string with escape metacharacters woven in.
+fn arb_label() -> impl Strategy<Value = String> {
+    (
+        ".*",
+        proptest::collection::vec(0usize..SPECIALS.len(), 0..8),
+    )
+        .prop_map(|(base, specials)| {
+            let mut label = String::from("x"); // labels stay non-empty
+            let mut specials = specials.into_iter();
+            for ch in base.chars() {
+                label.push(ch);
+                if let Some(i) = specials.next() {
+                    label.push(SPECIALS[i]);
+                }
+            }
+            for i in specials {
+                label.push(SPECIALS[i]);
+            }
+            label
+        })
+}
+
+proptest! {
+    #[test]
+    fn unicode_labels_roundtrip(person_label in arb_label(), company_label in arb_label()) {
+        let mut registry = SourceRegistry::new();
+        let p = registry.add_person(&person_label, RoleSet::of(&[Role::Ceo]));
+        let c = registry.add_company(&company_label);
+        registry.add_influence(InfluenceRecord {
+            person: p,
+            company: c,
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+        let (tpiin, _) = tpiin_fusion::fuse(&registry).expect("two-node registry fuses");
+        let restored = read_snapshot(&write_snapshot(&tpiin)).expect("snapshot parses");
+        prop_assert_eq!(restored.label(tpiin.person_node[0]), person_label.as_str());
+        prop_assert_eq!(restored.label(tpiin.company_node[0]), company_label.as_str());
+    }
+}

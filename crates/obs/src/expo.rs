@@ -1,0 +1,98 @@
+//! Prometheus-style text exposition of a [`MetricsRegistry`].
+//!
+//! The serving daemon's `/metrics` endpoint renders the whole registry
+//! in the classic text format (`# TYPE` lines, `_bucket{le=...}` series
+//! for histograms) so any scraper-shaped tooling can watch request
+//! counts and latency distributions without a JSON parser.  Durations
+//! stay in nanoseconds — the histogram bucket bounds are
+//! [`BUCKET_BOUNDS_NS`] verbatim, and the suffix `_sum_ns` makes the
+//! unit explicit.
+
+use crate::metrics::{MetricsRegistry, BUCKET_BOUNDS_NS};
+use std::fmt::Write as _;
+
+/// Rewrites a registry metric name (`serve.requests.healthz`) into a
+/// Prometheus-legal identifier (`tpiin_serve_requests_healthz`).
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("tpiin_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders every counter, gauge and histogram of `registry` in the
+/// Prometheus text exposition format.
+pub fn text_exposition(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in registry.counters_snapshot() {
+        let name = metric_name(&name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in registry.gauges_snapshot() {
+        let name = metric_name(&name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, histogram) in registry.histograms_snapshot() {
+        let name = metric_name(&name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (count, bound) in histogram.bucket_counts().iter().zip(
+            BUCKET_BOUNDS_NS
+                .iter()
+                .map(|b| b.to_string())
+                .chain(std::iter::once("+Inf".to_string())),
+        ) {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_sum_ns {}", histogram.sum_ns());
+        let _ = writeln!(out, "{name}_count {}", histogram.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.counter("serve.requests.healthz").add(3);
+        registry.gauge("ingest.records").set(41.5);
+        let h = registry.histogram("serve.latency.groups");
+        h.record(Duration::from_nanos(500));
+        h.record(Duration::from_secs(60));
+
+        let text = text_exposition(&registry);
+        assert!(text.contains("# TYPE tpiin_serve_requests_healthz counter"));
+        assert!(text.contains("tpiin_serve_requests_healthz 3"));
+        assert!(text.contains("# TYPE tpiin_ingest_records gauge"));
+        assert!(text.contains("tpiin_ingest_records 41.5"));
+        assert!(text.contains("# TYPE tpiin_serve_latency_groups histogram"));
+        assert!(text.contains("tpiin_serve_latency_groups_bucket{le=\"1000\"} 1"));
+        assert!(text.contains("tpiin_serve_latency_groups_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("tpiin_serve_latency_groups_count 2"));
+    }
+
+    #[test]
+    fn bucket_counts_are_cumulative() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h");
+        h.record(Duration::from_nanos(10)); // first bucket
+        h.record(Duration::from_micros(2)); // second bucket
+        let text = text_exposition(&registry);
+        assert!(text.contains("tpiin_h_bucket{le=\"1000\"} 1"));
+        assert!(text.contains("tpiin_h_bucket{le=\"4000\"} 2"));
+        assert!(text.contains("tpiin_h_bucket{le=\"+Inf\"} 2"));
+    }
+}

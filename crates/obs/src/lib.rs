@@ -26,12 +26,14 @@
 //! `segment → build_tree → match_patterns → score` follow Algorithm 1
 //! (segmentation) and Algorithm 2 (patterns tree + matching).
 
+pub mod expo;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod span;
 
+pub use expo::text_exposition;
 pub use json::Json;
 pub use log::Level;
 pub use metrics::{global, Counter, Gauge, Histogram, MetricsRegistry, ThreadStats};

@@ -1,0 +1,225 @@
+//! Request routing and endpoint handlers.
+//!
+//! Read endpoints (`/healthz`, `/metrics`, `/groups`,
+//! `/groups_behind_arc`, `/company/{id}`) clone the current snapshot
+//! `Arc` and run lock-free on that epoch.  Write endpoints (`/ingest`,
+//! `/reload`) serialize on the single writer lock, build the next
+//! [`ServeSnapshot`] off to the side and swap it in atomically — the
+//! readers that started on the old epoch finish on it.
+
+use crate::http::{Request, Response};
+use crate::responses;
+use crate::store::{ServeSnapshot, SnapshotStore};
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use tpiin_core::{groups_behind_arc, IncrementalDetector};
+use tpiin_io::json::Json;
+use tpiin_model::{CompanyId, TradingRecord};
+
+/// Everything the handlers share: the hot-swap store, the single-writer
+/// ingest state and the shutdown latch.
+pub struct ServerState {
+    pub(crate) store: SnapshotStore,
+    pub(crate) writer: Mutex<IncrementalDetector>,
+    pub(crate) epoch: AtomicU64,
+    pub(crate) snapshot_path: Option<PathBuf>,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) addr: SocketAddr,
+}
+
+impl ServerState {
+    /// Whether shutdown has been requested (by handle or `/shutdown`).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// The next epoch number (monotone across ingest and reload).
+    fn next_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+/// Dispatches one parsed request; returns the endpoint slug used for
+/// metrics plus the response.
+pub fn route(state: &ServerState, req: &Request) -> (&'static str, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("healthz", health(state)),
+        ("GET", "/metrics") => ("metrics", metrics()),
+        ("GET", "/groups") => ("groups", groups(state, req)),
+        ("GET", "/groups_behind_arc") => ("groups_behind_arc", arc_query(state, req)),
+        ("GET", path) if path.starts_with("/company/") => ("company", company(state, req)),
+        ("POST", "/ingest") => ("ingest", ingest(state, req)),
+        ("POST", "/reload") => ("reload", reload_endpoint(state)),
+        ("POST", "/shutdown") => ("shutdown", shutdown(state)),
+        ("GET" | "POST", _) => ("not_found", Response::error(404, "no such endpoint")),
+        _ => ("bad_method", Response::error(405, "method not allowed")),
+    }
+}
+
+fn health(state: &ServerState) -> Response {
+    let snap = state.store.current();
+    Response::json(200, &responses::health_json(&snap))
+}
+
+fn metrics() -> Response {
+    Response::text(200, tpiin_obs::text_exposition(tpiin_obs::global()))
+}
+
+fn groups(state: &ServerState, req: &Request) -> Response {
+    let limit = match req.query_param("limit") {
+        None => None,
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => return Response::error(400, format!("bad limit `{text}`")),
+        },
+    };
+    let snap = state.store.current();
+    Response::json(200, &responses::groups_json(&snap, limit))
+}
+
+fn arc_query(state: &ServerState, req: &Request) -> Response {
+    let (Some(src), Some(dst)) = (req.query_param("src"), req.query_param("dst")) else {
+        return Response::error(400, "src and dst query parameters are required");
+    };
+    let snap = state.store.current();
+    let Some(src_node) = snap.resolve_node(src) else {
+        return Response::error(404, format!("unknown node `{src}`"));
+    };
+    let Some(dst_node) = snap.resolve_node(dst) else {
+        return Response::error(404, format!("unknown node `{dst}`"));
+    };
+    let groups = groups_behind_arc(&snap.tpiin, src_node, dst_node);
+    Response::json(
+        200,
+        &responses::arc_query_json(&snap.tpiin, snap.epoch, src_node, dst_node, &groups),
+    )
+}
+
+fn company(state: &ServerState, req: &Request) -> Response {
+    let id = req.path.trim_start_matches("/company/");
+    if id.is_empty() {
+        return Response::error(400, "missing company id");
+    }
+    let snap = state.store.current();
+    let Some(node) = snap.resolve_node(id) else {
+        return Response::error(404, format!("unknown node `{id}`"));
+    };
+    Response::json(200, &responses::company_json(&snap, node))
+}
+
+/// Decodes `{"records": [{"seller": n, "buyer": n, "volume": x}, ...]}`.
+fn parse_records(json: &Json) -> Result<Vec<TradingRecord>, String> {
+    let Some(Json::Array(items)) = json.get("records") else {
+        return Err("body must be {\"records\": [...]}".to_string());
+    };
+    let mut records = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let field = |key: &str| {
+            item.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("record {i}: missing numeric `{key}`"))
+        };
+        let seller = field("seller")?;
+        let buyer = field("buyer")?;
+        let volume = item.get("volume").and_then(Json::as_f64).unwrap_or(1.0);
+        if seller < 0.0 || seller.fract() != 0.0 || buyer < 0.0 || buyer.fract() != 0.0 {
+            return Err(format!(
+                "record {i}: seller/buyer must be non-negative integers"
+            ));
+        }
+        records.push(TradingRecord {
+            seller: CompanyId(seller as u32),
+            buyer: CompanyId(buyer as u32),
+            volume,
+        });
+    }
+    Ok(records)
+}
+
+fn ingest(state: &ServerState, req: &Request) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let json = match Json::parse(text) {
+        Ok(json) => json,
+        Err(err) => return Response::error(400, format!("bad JSON: {err}")),
+    };
+    let records = match parse_records(&json) {
+        Ok(records) => records,
+        Err(err) => return Response::error(400, err),
+    };
+
+    // Single-writer section: ingest, then swap the next epoch in while
+    // still holding the writer lock so concurrent `/reload` serializes.
+    let mut writer = state.writer.lock();
+    let companies = writer.tpiin().company_node.len();
+    if let Some(bad) = records
+        .iter()
+        .flat_map(|r| [r.seller, r.buyer])
+        .find(|id| id.index() >= companies)
+    {
+        return Response::error(
+            400,
+            format!("company id {} out of range (have {companies})", bad.index()),
+        );
+    }
+    let outcome = writer.ingest(&records);
+    let stats = writer.stats();
+    let tpiin = writer.tpiin().clone();
+    let prev = state.store.current();
+    let detection = prev.detection_after(&outcome, &tpiin);
+    let epoch = state.next_epoch();
+    let body = responses::ingest_json(&tpiin, epoch, &outcome, stats);
+    state
+        .store
+        .swap(ServeSnapshot::with_detection(epoch, tpiin, detection));
+    drop(writer);
+    Response::json(200, &body)
+}
+
+/// Reloads the snapshot file and swaps the result in; used by both the
+/// `/reload` endpoint and the file watcher.
+pub fn reload(state: &ServerState) -> Result<u64, (u16, String)> {
+    let Some(path) = state.snapshot_path.as_ref() else {
+        return Err((400, "no snapshot path configured".to_string()));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| (500, format!("reading {}: {err}", path.display())))?;
+    let tpiin = tpiin_io::snapshot::read_snapshot(&text)
+        .map_err(|err| (400, format!("parsing {}: {err}", path.display())))?;
+
+    let mut writer = state.writer.lock();
+    let epoch = state.next_epoch();
+    let snapshot = ServeSnapshot::build(epoch, tpiin.clone());
+    *writer = IncrementalDetector::new(tpiin);
+    state.store.swap(snapshot);
+    drop(writer);
+    tpiin_obs::global().counter("serve.reloads").inc();
+    Ok(epoch)
+}
+
+fn reload_endpoint(state: &ServerState) -> Response {
+    match reload(state) {
+        Ok(epoch) => Response::json(
+            200,
+            &Json::Object(vec![
+                ("reloaded".to_string(), Json::Bool(true)),
+                ("epoch".to_string(), Json::int(epoch as usize)),
+            ]),
+        ),
+        Err((status, reason)) => Response::error(status, reason),
+    }
+}
+
+fn shutdown(state: &ServerState) -> Response {
+    state.shutting_down.store(true, Ordering::Release);
+    // Poke the accept loop so it notices the latch without another
+    // client connecting.
+    let _ = std::net::TcpStream::connect(state.addr);
+    Response::json(
+        200,
+        &Json::Object(vec![("shutting_down".to_string(), Json::Bool(true))]),
+    )
+}

@@ -1,0 +1,347 @@
+//! A deliberately small HTTP/1.1 subset over blocking sockets.
+//!
+//! The daemon speaks just enough HTTP for investigator tools and
+//! scrapers: one request per connection (`Connection: close`), GET and
+//! POST, `Content-Length` bodies, percent-encoded query strings.  The
+//! parser works on raw bytes with hard limits on every dimension
+//! (request-line length, header count and size, body size) and returns
+//! an error instead of panicking on arbitrary input — the accept loop
+//! feeds it whatever the network delivers.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on one header line (and the request line), in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Hard cap on the number of header lines.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, decoded path, decoded query pairs, body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path, query string excluded.
+    pub path: String,
+    /// Percent-decoded `key=value` pairs from the query string, in
+    /// order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; maps onto a 4xx response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed request line, header or encoding.
+    Bad(String),
+    /// A line, the header block or the body exceeded its limit.
+    TooLarge(String),
+    /// The socket closed or timed out before a full request arrived.
+    Incomplete,
+}
+
+impl ParseError {
+    /// The HTTP status this error should produce.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Bad(_) => 400,
+            ParseError::TooLarge(_) => 413,
+            ParseError::Incomplete => 408,
+        }
+    }
+
+    /// Human-readable reason for the response body.
+    pub fn reason(&self) -> String {
+        match self {
+            ParseError::Bad(msg) => format!("bad request: {msg}"),
+            ParseError::TooLarge(what) => format!("request too large: {what}"),
+            ParseError::Incomplete => "incomplete request".to_string(),
+        }
+    }
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line as raw bytes, bounded.
+fn read_line(reader: &mut BufReader<&TcpStream>) -> Result<Vec<u8>, ParseError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf().map_err(|_| ParseError::Incomplete)?;
+        if buf.is_empty() {
+            return Err(ParseError::Incomplete);
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&buf[..pos]);
+            reader.consume(pos + 1);
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(line);
+        }
+        let len = buf.len();
+        line.extend_from_slice(buf);
+        reader.consume(len);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(ParseError::TooLarge("header line".into()));
+        }
+    }
+}
+
+/// Decodes `%XX` escapes (and `+` as space) into bytes, then UTF-8.
+pub fn percent_decode(text: &str) -> Result<String, ParseError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| ParseError::Bad("bad percent escape".into()))?;
+                out.push(hex);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| ParseError::Bad("escape decodes to invalid UTF-8".into()))
+}
+
+/// Splits and decodes `a=1&b=2` query text.
+fn parse_query(raw: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let mut pairs = Vec::new();
+    for piece in raw.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = piece.split_once('=').unwrap_or((piece, ""));
+        pairs.push((percent_decode(key)?, percent_decode(value)?));
+    }
+    Ok(pairs)
+}
+
+/// Parses one request from `stream`, honouring `max_body_bytes`.
+pub fn parse_request(
+    reader: &mut BufReader<&TcpStream>,
+    max_body_bytes: usize,
+) -> Result<Request, ParseError> {
+    let request_line = read_line(reader)?;
+    let request_line = std::str::from_utf8(&request_line)
+        .map_err(|_| ParseError::Bad("request line is not UTF-8".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ParseError::Bad("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Bad("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad(format!("unsupported version `{version}`")));
+    }
+
+    let mut content_length = 0usize;
+    for _ in 0..=MAX_HEADERS {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let line = std::str::from_utf8(&line)
+            .map_err(|_| ParseError::Bad("header is not UTF-8".into()))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Bad(format!("malformed header `{line}`")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Bad("bad Content-Length".into()))?;
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(ParseError::TooLarge(format!(
+            "body of {content_length} bytes (limit {max_body_bytes})"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|_| ParseError::Incomplete)?;
+    }
+
+    let (raw_path, raw_query) = target.split_once('?').unwrap_or((target, ""));
+    Ok(Request {
+        method,
+        path: percent_decode(raw_path)?,
+        query: parse_query(raw_query)?,
+        body,
+    })
+}
+
+/// A response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response (compact encoding).
+    pub fn json(status: u16, value: &tpiin_io::json::Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: value.to_string().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope `{"error": reason}`.
+    pub fn error(status: u16, reason: impl Into<String>) -> Response {
+        Response::json(
+            status,
+            &tpiin_io::json::Json::Object(vec![(
+                "error".to_string(),
+                tpiin_io::json::Json::String(reason.into()),
+            )]),
+        )
+    }
+
+    /// Serializes status line, headers and body onto `stream`.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Runs the parser against raw bytes via a real socket pair.
+    fn parse_bytes(bytes: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(bytes).unwrap();
+        drop(client); // EOF so Incomplete surfaces instead of blocking
+        let (server, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(&server);
+        parse_request(&mut reader, 1024)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse_bytes(b"GET /groups_behind_arc?src=C%203&dst=C5 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/groups_behind_arc");
+        assert_eq!(req.query_param("src"), Some("C 3"));
+        assert_eq!(req.query_param("dst"), Some("C5"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body() {
+        let req = parse_bytes(b"POST /ingest HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_garbage_without_panicking() {
+        for bad in [
+            &b"\xff\xfe\xfd\xfc\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET / SPDY/9\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\nshort",
+            b"GET /%zz HTTP/1.1\r\n\r\n",
+            b"",
+        ] {
+            assert!(parse_bytes(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn body_limit_is_enforced() {
+        let err = parse_bytes(b"POST / HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn percent_decoding_is_byte_level() {
+        // UTF-8 bytes of '中' escaped individually must reassemble.
+        assert_eq!(percent_decode("%E4%B8%AD").unwrap(), "中");
+        assert_eq!(percent_decode("a+b").unwrap(), "a b");
+        assert!(percent_decode("%E4").is_err(), "lone UTF-8 byte rejected");
+    }
+
+    #[test]
+    fn response_serializes_with_content_length() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        Response::text(200, "hello").write_to(&mut server).unwrap();
+        drop(server);
+        let mut text = String::new();
+        let mut reader = BufReader::new(&client);
+        reader.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 5\r\n"), "{text}");
+        assert!(text.ends_with("hello"), "{text}");
+    }
+}

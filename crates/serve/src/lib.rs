@@ -1,0 +1,59 @@
+//! # tpiin-serve — the always-on query/ingest daemon
+//!
+//! The paper describes an offline pipeline feeding an online audit
+//! workflow: inspectors at the Servyou platform pull up a suspicious
+//! trading relationship and need the interest chains *behind* it
+//! (Section 6), while the national feed keeps delivering trading
+//! records at a daily peak of ten million.  This crate turns the batch
+//! pipeline into that long-lived service:
+//!
+//! * **Hand-rolled HTTP/1.1** ([`http`]) over `std::net` — no external
+//!   dependencies, one request per connection, hard limits everywhere,
+//!   and a parser that returns errors instead of panicking on
+//!   arbitrary bytes.
+//! * **A bounded worker pool** ([`pool`]) with explicit load shedding:
+//!   when the queue is full the daemon answers 503 immediately rather
+//!   than buffering without bound.
+//! * **Snapshot hot swap** ([`store`]): every request clones an
+//!   `Arc<ServeSnapshot>` (network + full detection + label index) and
+//!   runs lock-free on that epoch; `/reload`, a snapshot-file watcher
+//!   and `POST /ingest` build the next epoch off to the side and swap
+//!   it in atomically.  In-flight requests finish on the epoch they
+//!   started on.
+//! * **Incremental ingest**: `POST /ingest` feeds batches through
+//!   [`tpiin_core::IncrementalDetector`] and answers with only the
+//!   *new* suspicious groups — the ancestor-cone query per arc, never a
+//!   full re-run of Algorithm 1.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness + current epoch and headline counts |
+//! | `GET /metrics` | Prometheus text exposition of the tpiin-obs registry |
+//! | `GET /groups` | the detection result (optionally `?limit=N`) |
+//! | `GET /groups_behind_arc?src=..&dst=..` | Section 6: groups hiding behind one trading arc |
+//! | `GET /company/{label}` | one node's profile and its groups |
+//! | `POST /ingest` | `{"records": [{"seller": n, "buyer": n, "volume": x}]}` |
+//! | `POST /reload` | re-read the snapshot file and hot-swap |
+//! | `POST /shutdown` | graceful stop: drain, then exit |
+//!
+//! ```no_run
+//! let (tpiin, _) = tpiin_fusion::fuse(&tpiin_datagen::fig7_registry()).unwrap();
+//! let handle = tpiin_serve::ServerHandle::bind(tpiin, tpiin_serve::ServeConfig::default())
+//!     .expect("bind");
+//! println!("serving on {}", handle.addr());
+//! handle.shutdown(); // stop accepting, drain, join
+//! ```
+
+pub mod handlers;
+pub mod http;
+pub mod pool;
+pub mod responses;
+pub mod server;
+pub mod store;
+
+pub use http::{Request, Response};
+pub use pool::{BoundedPool, Saturated};
+pub use server::{load_snapshot_file, ServeConfig, ServeError, ServerHandle};
+pub use store::{ServeSnapshot, SnapshotStore};

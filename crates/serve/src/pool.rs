@@ -1,0 +1,180 @@
+//! A bounded worker pool with explicit load shedding.
+//!
+//! The accept loop hands each connection to the pool.  The queue has a
+//! hard capacity: when every worker is busy and the queue is full,
+//! [`BoundedPool::try_execute`] refuses the job and the caller answers
+//! 503 instead of queuing unboundedly — the paper's system faces a
+//! ten-million-record daily peak, and a daemon that buffers without
+//! bound falls over exactly when it is needed most.  Shutdown is
+//! graceful: the queue drains and every in-flight job completes before
+//! the workers exit.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool refused a job: every worker is busy and the queue is full
+/// (or shutdown has begun).  The caller still owns the work and is
+/// expected to shed it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Saturated;
+
+impl std::fmt::Display for Saturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("worker pool saturated")
+    }
+}
+
+impl std::error::Error for Saturated {}
+
+struct PoolInner {
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    capacity: usize,
+    shutting_down: AtomicBool,
+}
+
+/// Fixed worker threads over a bounded job queue.
+pub struct BoundedPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BoundedPool {
+    /// Spawns `workers` threads sharing a queue of at most
+    /// `queue_capacity` waiting jobs.
+    pub fn new(workers: usize, queue_capacity: usize) -> BoundedPool {
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(VecDeque::with_capacity(queue_capacity)),
+            not_empty: Condvar::new(),
+            capacity: queue_capacity.max(1),
+            shutting_down: AtomicBool::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("tpiin-serve-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        BoundedPool { inner, workers }
+    }
+
+    /// Queues `job`, or returns [`Saturated`] when the queue is full
+    /// (the caller load-sheds) or the pool is shutting down.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), Saturated> {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(Saturated);
+        }
+        {
+            let mut queue = self.inner.queue.lock().expect("pool queue poisoned");
+            if queue.len() >= self.inner.capacity {
+                return Err(Saturated);
+            }
+            queue.push_back(Box::new(job));
+        }
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting (not yet running).
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().expect("pool queue poisoned").len()
+    }
+
+    /// Stops accepting work, drains the queue, runs every queued job to
+    /// completion and joins the workers.
+    pub fn shutdown(mut self) {
+        self.inner.shutting_down.store(true, Ordering::Release);
+        self.inner.not_empty.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner.not_empty.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        // A panicking handler must not take the worker down with it;
+        // the connection just closes without a response.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_and_drains_on_shutdown() {
+        let pool = BoundedPool::new(2, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            pool.try_execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn sheds_load_when_saturated() {
+        let pool = BoundedPool::new(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        pool.try_execute(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        // ...fill the queue of one...
+        pool.try_execute(|| {}).unwrap();
+        // ...and the next job must be refused.
+        assert!(pool.try_execute(|| {}).is_err());
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn survives_panicking_jobs() {
+        let pool = BoundedPool::new(1, 4);
+        pool.try_execute(|| panic!("handler bug")).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        // Give the panicking job a moment to run, then verify the
+        // worker still serves.
+        std::thread::sleep(Duration::from_millis(20));
+        pool.try_execute(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

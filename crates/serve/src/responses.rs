@@ -1,0 +1,253 @@
+//! JSON response builders for every daemon endpoint.
+//!
+//! These are plain functions from snapshot data to [`Json`] values so
+//! the integration tests can assert that an HTTP body is bit-identical
+//! to what the offline pipeline produces: both sides call the same
+//! builder and the compact `Display` encoding of [`Json`] is
+//! deterministic.  Nodes are reported by label (stable across runs),
+//! never by internal node id.
+
+use crate::store::ServeSnapshot;
+use tpiin_core::{BatchOutcome, GroupKind, IngestStats, SuspiciousGroup};
+use tpiin_fusion::Tpiin;
+use tpiin_graph::NodeId;
+use tpiin_io::json::Json;
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num(value: usize) -> Json {
+    Json::Number(value as f64)
+}
+
+fn s(text: impl Into<String>) -> Json {
+    Json::String(text.into())
+}
+
+fn label_array(tpiin: &Tpiin, nodes: impl IntoIterator<Item = NodeId>) -> Json {
+    Json::Array(nodes.into_iter().map(|n| s(tpiin.label(n))).collect())
+}
+
+/// One suspicious group with its proof chain, fully labelled.
+pub fn group_json(tpiin: &Tpiin, group: &SuspiciousGroup) -> Json {
+    let kind = match group.kind {
+        GroupKind::Circle => "circle",
+        GroupKind::Matched if group.simple => "simple",
+        GroupKind::Matched => "complex",
+    };
+    obj(vec![
+        ("kind", s(kind)),
+        ("antecedent", s(tpiin.label(group.antecedent))),
+        ("end", s(tpiin.label(group.end))),
+        (
+            "trading_arc",
+            label_array(tpiin, [group.trading_arc.0, group.trading_arc.1]),
+        ),
+        (
+            "trail_with_trade",
+            label_array(tpiin, group.trail_with_trade.iter().copied()),
+        ),
+        (
+            "trail_plain",
+            label_array(tpiin, group.trail_plain.iter().copied()),
+        ),
+        ("members", label_array(tpiin, group.members())),
+        ("explanation", s(group.explain(tpiin))),
+    ])
+}
+
+/// The `/groups` body: headline counters plus (up to `limit`) groups.
+pub fn groups_json(snapshot: &ServeSnapshot, limit: Option<usize>) -> Json {
+    let detection = &snapshot.detection;
+    let shown = limit
+        .unwrap_or(detection.groups.len())
+        .min(detection.groups.len());
+    obj(vec![
+        ("epoch", num(snapshot.epoch as usize)),
+        ("group_count", num(detection.group_count())),
+        ("complex", num(detection.complex_group_count)),
+        ("simple", num(detection.simple_group_count)),
+        (
+            "suspicious_trading_arcs",
+            num(detection.suspicious_trading_arcs.len()),
+        ),
+        ("total_trading_arcs", num(detection.total_trading_arcs)),
+        (
+            "intra_syndicate_trades",
+            num(detection.intra_syndicate_trades),
+        ),
+        ("shown", num(shown)),
+        (
+            "groups",
+            Json::Array(
+                detection.groups[..shown]
+                    .iter()
+                    .map(|g| group_json(&snapshot.tpiin, g))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The `/groups_behind_arc` body: the Section 6 investigator query.
+pub fn arc_query_json(
+    tpiin: &Tpiin,
+    epoch: u64,
+    src: NodeId,
+    dst: NodeId,
+    groups: &[SuspiciousGroup],
+) -> Json {
+    obj(vec![
+        ("epoch", num(epoch as usize)),
+        ("src", s(tpiin.label(src))),
+        ("dst", s(tpiin.label(dst))),
+        (
+            "arc_exists",
+            Json::Bool(tpiin.graph.contains_edge(src, dst)),
+        ),
+        ("group_count", num(groups.len())),
+        (
+            "groups",
+            Json::Array(groups.iter().map(|g| group_json(tpiin, g)).collect()),
+        ),
+    ])
+}
+
+/// The `/company/{id}` body: one node's profile plus the groups it
+/// belongs to.
+pub fn company_json(snapshot: &ServeSnapshot, node: NodeId) -> Json {
+    let tpiin = &snapshot.tpiin;
+    let groups: Vec<&SuspiciousGroup> = snapshot.detection.groups_involving(node).collect();
+    obj(vec![
+        ("epoch", num(snapshot.epoch as usize)),
+        ("label", s(tpiin.label(node))),
+        ("node", num(node.index())),
+        (
+            "color",
+            s(format!("{:?}", tpiin.color(node)).to_ascii_lowercase()),
+        ),
+        ("out_degree", num(tpiin.graph.out_degree(node))),
+        ("in_degree", num(tpiin.graph.in_degree(node))),
+        ("group_count", num(groups.len())),
+        (
+            "groups",
+            Json::Array(groups.iter().map(|g| group_json(tpiin, g)).collect()),
+        ),
+    ])
+}
+
+/// The `POST /ingest` body: only what this batch changed, plus the
+/// detector's lifetime totals.
+pub fn ingest_json(tpiin: &Tpiin, epoch: u64, outcome: &BatchOutcome, stats: IngestStats) -> Json {
+    obj(vec![
+        ("epoch", num(epoch as usize)),
+        ("new_group_count", num(outcome.new_groups.len())),
+        (
+            "new_groups",
+            Json::Array(
+                outcome
+                    .new_groups
+                    .iter()
+                    .map(|g| group_json(tpiin, g))
+                    .collect(),
+            ),
+        ),
+        (
+            "new_suspicious_arcs",
+            Json::Array(
+                outcome
+                    .new_suspicious_arcs
+                    .iter()
+                    .map(|&(a, b)| label_array(tpiin, [a, b]))
+                    .collect(),
+            ),
+        ),
+        ("duplicates", num(outcome.duplicates)),
+        ("intra_syndicate", num(outcome.intra_syndicate)),
+        (
+            "totals",
+            obj(vec![
+                ("records", num(stats.records_ingested as usize)),
+                ("duplicates", num(stats.duplicates as usize)),
+                ("intra_syndicate", num(stats.intra_syndicate as usize)),
+                ("arcs_added", num(stats.arcs_added as usize)),
+                ("groups", num(stats.groups_found as usize)),
+            ]),
+        ),
+    ])
+}
+
+/// The `/healthz` body.
+pub fn health_json(snapshot: &ServeSnapshot) -> Json {
+    obj(vec![
+        ("status", s("ok")),
+        ("epoch", num(snapshot.epoch as usize)),
+        ("nodes", num(snapshot.tpiin.node_count())),
+        ("trading_arcs", num(snapshot.tpiin.trading_arc_count)),
+        ("groups", num(snapshot.detection.group_count())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ServeSnapshot;
+
+    fn snapshot() -> ServeSnapshot {
+        let (tpiin, _) = tpiin_fusion::fuse(&tpiin_datagen::fig7_registry()).unwrap();
+        ServeSnapshot::build(7, tpiin)
+    }
+
+    #[test]
+    fn groups_json_reports_fig7_counts() {
+        let snap = snapshot();
+        let json = groups_json(&snap, None);
+        assert_eq!(json.get("epoch").and_then(Json::as_f64), Some(7.0));
+        let count = json.get("group_count").and_then(Json::as_f64).unwrap();
+        assert!(count > 0.0);
+        let Some(Json::Array(groups)) = json.get("groups") else {
+            panic!("groups array missing");
+        };
+        assert_eq!(groups.len() as f64, count);
+        // Limit truncates the list but not the counters.
+        let limited = groups_json(&snap, Some(1));
+        let Some(Json::Array(one)) = limited.get("groups") else {
+            panic!("groups array missing");
+        };
+        assert_eq!(one.len(), 1);
+        assert_eq!(
+            limited.get("group_count").and_then(Json::as_f64),
+            Some(count)
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let snap = snapshot();
+        let a = groups_json(&snap, None).to_string();
+        let b = groups_json(&snap, None).to_string();
+        assert_eq!(a, b);
+        assert!(Json::parse(&a).is_ok(), "round-trips through the parser");
+    }
+
+    #[test]
+    fn arc_query_json_labels_both_ends() {
+        let snap = snapshot();
+        let src = snap.resolve_node("C3").unwrap();
+        let dst = snap.resolve_node("C5").unwrap();
+        let groups = tpiin_core::groups_behind_arc(&snap.tpiin, src, dst);
+        let json = arc_query_json(&snap.tpiin, snap.epoch, src, dst, &groups);
+        assert_eq!(json.get("src").and_then(Json::as_str), Some("C3"));
+        assert_eq!(json.get("arc_exists"), Some(&Json::Bool(true)));
+        assert_eq!(
+            json.get("group_count").and_then(Json::as_f64),
+            Some(groups.len() as f64)
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! The daemon: accept loop, per-request metrics, graceful shutdown and
+//! the optional snapshot file watcher.
+
+use crate::handlers::{self, ServerState};
+use crate::http::{parse_request, Response};
+use crate::pool::BoundedPool;
+use crate::store::{ServeSnapshot, SnapshotStore};
+use parking_lot::Mutex;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime};
+use tpiin_core::IncrementalDetector;
+use tpiin_fusion::Tpiin;
+
+/// How the daemon listens and sheds load.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before 503.
+    pub queue_capacity: usize,
+    /// Per-request deadline, enforced as socket read/write timeouts.
+    pub request_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Snapshot file served on `/reload` (and watched when `watch`).
+    pub snapshot_path: Option<PathBuf>,
+    /// Poll `snapshot_path` for modification and hot-reload it.
+    pub watch: bool,
+    /// Write a final [`tpiin_obs::RunProfile`] here on shutdown.
+    pub profile_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            request_timeout: Duration::from_secs(2),
+            max_body_bytes: 1 << 20,
+            snapshot_path: None,
+            watch: false,
+            profile_out: None,
+        }
+    }
+}
+
+/// Errors starting or feeding the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Could not bind the listen address.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// Could not read the snapshot file.
+    File {
+        /// The offending path.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The snapshot file did not parse.
+    Snapshot(tpiin_io::IoError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => write!(f, "binding {addr}: {source}"),
+            ServeError::File { path, source } => {
+                write!(f, "reading {}: {source}", path.display())
+            }
+            ServeError::Snapshot(err) => write!(f, "snapshot: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } | ServeError::File { source, .. } => Some(source),
+            ServeError::Snapshot(err) => Some(err),
+        }
+    }
+}
+
+/// Loads and parses a `tpiin-snapshot` file (CLI and daemon startup).
+pub fn load_snapshot_file(path: &std::path::Path) -> Result<Tpiin, ServeError> {
+    let text = std::fs::read_to_string(path).map_err(|source| ServeError::File {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    tpiin_io::snapshot::read_snapshot(&text).map_err(ServeError::Snapshot)
+}
+
+/// A running daemon; dropping it (or calling [`ServerHandle::shutdown`])
+/// stops accepting, drains in-flight requests and joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+    profile_out: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// Builds the initial snapshot from `tpiin` (full detection), binds
+    /// `config.addr` and starts serving.
+    pub fn bind(tpiin: Tpiin, config: ServeConfig) -> Result<ServerHandle, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
+            addr: config.addr.clone(),
+            source,
+        })?;
+        let addr = listener.local_addr().map_err(|source| ServeError::Bind {
+            addr: config.addr.clone(),
+            source,
+        })?;
+
+        let snapshot = ServeSnapshot::build(1, tpiin.clone());
+        let state = Arc::new(ServerState {
+            store: SnapshotStore::new(snapshot),
+            writer: Mutex::new(IncrementalDetector::new(tpiin)),
+            epoch: AtomicU64::new(1),
+            snapshot_path: config.snapshot_path.clone(),
+            shutting_down: AtomicBool::new(false),
+            addr,
+        });
+
+        let accept = {
+            let state = Arc::clone(&state);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("tpiin-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &state, &config))
+                .expect("spawning accept thread")
+        };
+        let watcher = if config.watch && config.snapshot_path.is_some() {
+            let state = Arc::clone(&state);
+            Some(
+                std::thread::Builder::new()
+                    .name("tpiin-serve-watch".to_string())
+                    .spawn(move || watch_loop(&state))
+                    .expect("spawning watcher thread"),
+            )
+        } else {
+            None
+        };
+
+        tpiin_obs::info!(
+            "serving on http://{addr} ({} workers, queue {})",
+            config.workers.max(1),
+            config.queue_capacity.max(1)
+        );
+        Ok(ServerHandle {
+            addr,
+            state,
+            accept: Some(accept),
+            watcher: Some(watcher).flatten(),
+            profile_out: config.profile_out,
+        })
+    }
+
+    /// The bound address (with the actual port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether shutdown was requested (e.g. via `POST /shutdown`).
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.is_shutting_down()
+    }
+
+    /// Blocks until a `POST /shutdown` (or Drop from another path) stops
+    /// the daemon — the CLI foreground mode.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.shutdown_impl();
+    }
+
+    /// Stops accepting, drains in-flight requests, joins all threads and
+    /// flushes the final run profile.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.state.shutting_down.store(true, Ordering::Release);
+        // Unblock `listener.incoming()` so the accept loop observes the
+        // latch even with no traffic.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
+        }
+        if let Some(path) = self.profile_out.take() {
+            let profile = tpiin_obs::RunProfile::capture();
+            let _ = std::fs::write(&path, profile.to_json().to_pretty());
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, config: &ServeConfig) {
+    let pool = BoundedPool::new(config.workers, config.queue_capacity);
+    for stream in listener.incoming() {
+        if state.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(config.request_timeout));
+        let _ = stream.set_write_timeout(Some(config.request_timeout));
+        // A second handle to the socket: if the pool refuses the job the
+        // connection must still get its 503.
+        let shed_handle = stream.try_clone();
+        let job_state = Arc::clone(state);
+        let max_body = config.max_body_bytes;
+        let accepted = pool.try_execute(move || handle_connection(&job_state, stream, max_body));
+        if accepted.is_err() {
+            tpiin_obs::global().counter("serve.shed").inc();
+            if let Ok(mut stream) = shed_handle {
+                let _ = Response::error(503, "server saturated, retry later").write_to(&mut stream);
+            }
+        }
+    }
+    // Stop accepting first, then drain: every accepted connection gets
+    // its response before the workers exit.
+    pool.shutdown();
+}
+
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body_bytes: usize) {
+    let started = Instant::now();
+    let parsed = {
+        let mut reader = BufReader::new(&stream);
+        parse_request(&mut reader, max_body_bytes)
+    };
+    let (endpoint, response) = match parsed {
+        Ok(request) => handlers::route(state, &request),
+        Err(err) => ("malformed", Response::error(err.status(), err.reason())),
+    };
+    let _ = response.write_to(&mut stream);
+
+    let registry = tpiin_obs::global();
+    registry
+        .counter(&format!("serve.requests.{endpoint}"))
+        .inc();
+    registry
+        .counter(&format!("serve.responses.{}xx", response.status / 100))
+        .inc();
+    registry
+        .histogram(&format!("serve.latency.{endpoint}"))
+        .record(started.elapsed());
+}
+
+/// Polls the snapshot file's mtime and hot-reloads on change.
+fn watch_loop(state: &Arc<ServerState>) {
+    let Some(path) = state.snapshot_path.clone() else {
+        return;
+    };
+    let mtime = |p: &std::path::Path| -> Option<SystemTime> {
+        std::fs::metadata(p).and_then(|m| m.modified()).ok()
+    };
+    let mut last = mtime(&path);
+    while !state.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(200));
+        let now = mtime(&path);
+        if now.is_some() && now != last {
+            last = now;
+            match handlers::reload(state) {
+                Ok(epoch) => tpiin_obs::info!("watch: reloaded snapshot, epoch {epoch}"),
+                Err((_, reason)) => tpiin_obs::warn!("watch: reload failed: {reason}"),
+            }
+        }
+    }
+}

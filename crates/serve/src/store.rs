@@ -1,0 +1,148 @@
+//! Immutable serving snapshots with atomic hot swap.
+//!
+//! A [`ServeSnapshot`] bundles everything one request needs — the fused
+//! TPIIN, a full detection result and a label index — behind an `Arc`.
+//! The [`SnapshotStore`] holds the current snapshot under a `RwLock`
+//! taken only long enough to clone the `Arc`: readers never block each
+//! other, never block on detection, and in-flight requests keep serving
+//! the epoch they started on while a reload or ingest swaps a newer
+//! snapshot in behind them.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tpiin_core::{detect, BatchOutcome, DetectionResult};
+use tpiin_fusion::Tpiin;
+use tpiin_graph::NodeId;
+
+/// One immutable epoch of the served network.
+pub struct ServeSnapshot {
+    /// Monotone generation counter; bumps on every swap.
+    pub epoch: u64,
+    /// The fused network this epoch serves.
+    pub tpiin: Tpiin,
+    /// Full detection over `tpiin` (groups collected).
+    pub detection: DetectionResult,
+    /// Label -> node index for query-by-label endpoints.
+    labels: BTreeMap<String, NodeId>,
+}
+
+impl ServeSnapshot {
+    /// Runs full detection over `tpiin` and indexes its labels.
+    pub fn build(epoch: u64, tpiin: Tpiin) -> ServeSnapshot {
+        let detection = detect(&tpiin);
+        ServeSnapshot::with_detection(epoch, tpiin, detection)
+    }
+
+    /// Wraps an already-computed detection result (the ingest path
+    /// extends the previous epoch's result instead of re-detecting).
+    pub fn with_detection(epoch: u64, tpiin: Tpiin, detection: DetectionResult) -> ServeSnapshot {
+        let labels = tpiin
+            .graph
+            .nodes()
+            .map(|(id, node)| (node.label().to_string(), id))
+            .collect();
+        ServeSnapshot {
+            epoch,
+            tpiin,
+            detection,
+            labels,
+        }
+    }
+
+    /// Resolves `text` to a node: exact label first, then a bare node
+    /// index (useful for syndicate nodes with long composite labels).
+    pub fn resolve_node(&self, text: &str) -> Option<NodeId> {
+        if let Some(&id) = self.labels.get(text) {
+            return Some(id);
+        }
+        let index: usize = text.parse().ok()?;
+        (index < self.tpiin.node_count()).then(|| NodeId::from_index(index))
+    }
+
+    /// Extends this epoch's detection result with one ingest batch's
+    /// outcome, producing the detection for the *next* epoch.  The
+    /// ancestor-cone query already classified the new arcs, so nothing
+    /// is re-mined.
+    pub fn detection_after(&self, outcome: &BatchOutcome, tpiin: &Tpiin) -> DetectionResult {
+        let mut next = self.detection.clone();
+        for group in &outcome.new_groups {
+            if group.simple {
+                next.simple_group_count += 1;
+            } else {
+                next.complex_group_count += 1;
+            }
+            next.groups.push(group.clone());
+        }
+        next.suspicious_trading_arcs
+            .extend(outcome.new_suspicious_arcs.iter().copied());
+        next.total_trading_arcs = tpiin.trading_arc_count;
+        next.intra_syndicate_trades += outcome.intra_syndicate;
+        next
+    }
+}
+
+/// The hot-swap cell: readers clone the `Arc`, the single writer
+/// replaces it.
+pub struct SnapshotStore {
+    current: RwLock<Arc<ServeSnapshot>>,
+}
+
+impl SnapshotStore {
+    /// Starts serving `snapshot`.
+    pub fn new(snapshot: ServeSnapshot) -> SnapshotStore {
+        SnapshotStore {
+            current: RwLock::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The snapshot to serve this request from.  The read lock is held
+    /// only for the `Arc` clone; the request then runs lock-free.
+    pub fn current(&self) -> Arc<ServeSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Atomically replaces the served snapshot; returns its epoch.
+    /// In-flight requests holding the old `Arc` finish undisturbed.
+    pub fn swap(&self, snapshot: ServeSnapshot) -> u64 {
+        let epoch = snapshot.epoch;
+        *self.current.write() = Arc::new(snapshot);
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig7_snapshot() -> ServeSnapshot {
+        let (tpiin, _) = tpiin_fusion::fuse(&tpiin_datagen::fig7_registry()).unwrap();
+        ServeSnapshot::build(1, tpiin)
+    }
+
+    #[test]
+    fn build_detects_and_indexes_labels() {
+        let snap = fig7_snapshot();
+        assert!(snap.detection.group_count() > 0);
+        let c3 = snap.resolve_node("C3").expect("C3 label resolves");
+        assert_eq!(snap.tpiin.label(c3), "C3");
+        // Bare indexes resolve too.
+        assert_eq!(snap.resolve_node("0"), Some(NodeId::from_index(0)));
+        assert_eq!(snap.resolve_node("no-such-label"), None);
+        assert_eq!(snap.resolve_node("999999"), None);
+    }
+
+    #[test]
+    fn swap_replaces_while_old_arc_keeps_serving() {
+        let store = SnapshotStore::new(fig7_snapshot());
+        let old = store.current();
+        assert_eq!(old.epoch, 1);
+        let mut next = fig7_snapshot();
+        next.epoch = 2;
+        assert_eq!(store.swap(next), 2);
+        assert_eq!(store.current().epoch, 2);
+        // The in-flight reader still owns the old epoch.
+        assert_eq!(old.epoch, 1);
+        assert!(old.detection.group_count() > 0);
+    }
+}

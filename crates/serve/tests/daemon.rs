@@ -1,0 +1,242 @@
+//! End-to-end tests against a live daemon on an ephemeral port: offline
+//! equivalence of the ancestor-cone query, concurrent clients racing a
+//! hot reload, load-shedding under saturation, and resilience to
+//! malformed bytes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tpiin_core::{detect, groups_behind_arc};
+use tpiin_datagen::fig7_registry;
+use tpiin_fusion::{fuse, Tpiin};
+use tpiin_serve::{responses, ServeConfig, ServerHandle};
+
+fn fig7() -> Tpiin {
+    let (tpiin, _) = fuse(&fig7_registry()).expect("fig7 registry fuses");
+    tpiin
+}
+
+/// One blocking request over a fresh connection; returns the status
+/// line and the body (after the blank line).
+fn request(addr: SocketAddr, raw: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+    request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn arc_query_matches_offline_pipeline_bit_for_bit() {
+    let tpiin = fig7();
+    let detection = detect(&tpiin);
+    let handle = ServerHandle::bind(tpiin.clone(), ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    // Every suspicious arc the offline pipeline found must come back
+    // from the daemon with the exact bytes the response builder
+    // produces over the same TPIIN at epoch 1.
+    assert!(!detection.suspicious_trading_arcs.is_empty());
+    for &(src, dst) in &detection.suspicious_trading_arcs {
+        let groups = groups_behind_arc(&tpiin, src, dst);
+        let expected = responses::arc_query_json(&tpiin, 1, src, dst, &groups).to_string();
+        let path = format!(
+            "/groups_behind_arc?src={}&dst={}",
+            tpiin.label(src),
+            tpiin.label(dst)
+        );
+        let (status, body) = get(addr, &path);
+        assert_eq!(status, "HTTP/1.1 200 OK", "{path}");
+        assert_eq!(body, expected, "{path} diverged from offline pipeline");
+    }
+
+    let (status, _) = get(addr, "/groups_behind_arc?src=C1&dst=nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_survive_hot_reload_without_lost_responses() {
+    let tpiin = fig7();
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "tpiin-serve-reload-{}-{:?}.tpiin",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, tpiin_io::snapshot::write_snapshot(&tpiin)).expect("write snapshot");
+
+    let config = ServeConfig {
+        workers: 4,
+        queue_capacity: 256,
+        snapshot_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(tpiin.clone(), config).expect("bind");
+    let addr = handle.addr();
+    let arc = *detect(&tpiin)
+        .suspicious_trading_arcs
+        .iter()
+        .next()
+        .expect("fig7 has suspicious arcs");
+    let query = format!(
+        "/groups_behind_arc?src={}&dst={}",
+        tpiin.label(arc.0),
+        tpiin.label(arc.1)
+    );
+
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 25;
+    let answered = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let query = &query;
+                scope.spawn(move || {
+                    let mut ok = 0;
+                    for r in 0..REQUESTS {
+                        let path = if (i + r) % 2 == 0 {
+                            query.as_str()
+                        } else {
+                            "/groups"
+                        };
+                        let (status, body) = get(addr, path);
+                        assert_eq!(status, "HTTP/1.1 200 OK", "client {i} request {r}");
+                        assert!(body.contains("\"epoch\":"), "client {i} got truncated body");
+                        ok += 1;
+                    }
+                    ok
+                })
+            })
+            .collect();
+        // Swap snapshots underneath the readers a few times.
+        for _ in 0..3 {
+            let (status, body) = post(addr, "/reload", "");
+            assert_eq!(status, "HTTP/1.1 200 OK", "reload failed: {body}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        readers
+            .into_iter()
+            .map(|r| r.join().expect("client"))
+            .sum::<usize>()
+    });
+    assert_eq!(answered, CLIENTS * REQUESTS, "lost responses during reload");
+
+    // Reloads advanced the epoch; readers kept answering throughout.
+    let (_, health) = get(addr, "/healthz");
+    assert!(
+        health.contains("\"epoch\":4"),
+        "unexpected health: {health}"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn saturated_daemon_sheds_load_with_503() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        request_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(fig7(), config).expect("bind");
+    let addr = handle.addr();
+
+    // Idle connections pin the single worker (blocked reading) and fill
+    // the one queue slot; later arrivals must be shed with a 503 rather
+    // than queued without bound or silently dropped.
+    let idle: Vec<TcpStream> = (0..6)
+        .map(|_| {
+            let stream = TcpStream::connect(addr).expect("connect");
+            std::thread::sleep(Duration::from_millis(30));
+            stream
+        })
+        .collect();
+
+    let mut shed = 0;
+    for mut stream in idle {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut response = String::new();
+        if stream.read_to_string(&mut response).is_ok() && response.starts_with("HTTP/1.1 503") {
+            shed += 1;
+        }
+    }
+    assert!(shed >= 1, "no connection was shed under saturation");
+
+    // The daemon recovers once the pile-up clears.
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_bytes_get_errors_not_panics() {
+    let handle = ServerHandle::bind(fig7(), ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let probes: [&[u8]; 6] = [
+        b"\r\n\r\n",
+        b"BOGUS\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET /healthz HTTP/1.1\r\nbroken header\r\n\r\n",
+        b"POST /ingest HTTP/1.1\r\nContent-Length: 4\r\n\r\n\x00\xff\x00\xff",
+        b"POST /ingest HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"records",
+    ];
+    for raw in probes {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream.write_all(raw).expect("write");
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(
+            response.starts_with("HTTP/1.1 4"),
+            "expected a 4xx for {raw:?}, got {:?}",
+            response.lines().next()
+        );
+    }
+
+    // Oversized bodies are refused, not buffered.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"POST /ingest HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n")
+        .expect("write");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 413"), "got {response:?}");
+
+    // Still alive after all of it.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("\"status\":\"ok\""));
+    handle.shutdown();
+}

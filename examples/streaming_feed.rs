@@ -47,10 +47,16 @@ fn main() {
             println!("       e.g. {}", group.explain(detector.tpiin()));
         }
     }
+    let stats = detector.stats();
     println!(
-        "\ntotal: {} suspicious arcs, {} groups, processed in {:?}",
+        "\ntotal: {} records ({} duplicates, {} intra-syndicate) -> {} arcs added, \
+         {} suspicious arcs, {} groups, processed in {:?}",
+        stats.records_ingested,
+        stats.duplicates,
+        stats.intra_syndicate,
+        stats.arcs_added,
         detector.suspicious_arcs().len(),
-        detector.groups_found(),
+        stats.groups_found,
         start.elapsed()
     );
 }

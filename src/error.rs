@@ -38,6 +38,9 @@ pub enum Error {
     /// The caller asked for something invalid (bad CLI flags, builder
     /// misuse).
     Usage(String),
+    /// The serving daemon failed to start or reload
+    /// (see [`tpiin_serve::ServeError`]).
+    Serve(tpiin_serve::ServeError),
 }
 
 impl Error {
@@ -63,6 +66,7 @@ impl fmt::Display for Error {
             Error::Io(e) => e.fmt(f),
             Error::File { path, source } => write!(f, "{}: {}", path.display(), source),
             Error::Usage(msg) => f.write_str(msg),
+            Error::Serve(e) => e.fmt(f),
         }
     }
 }
@@ -77,6 +81,7 @@ impl std::error::Error for Error {
             Error::Io(e) => Some(e),
             Error::File { source, .. } => Some(source),
             Error::Usage(_) => None,
+            Error::Serve(e) => Some(e),
         }
     }
 }
@@ -103,6 +108,17 @@ impl From<IoError> for Error {
         match e {
             IoError::Invalid(errs) => Error::Model(errs),
             other => Error::Io(other),
+        }
+    }
+}
+
+/// Snapshot parse failures lift to [`Error::Io`] like any other format
+/// error; daemon startup failures stay [`Error::Serve`].
+impl From<tpiin_serve::ServeError> for Error {
+    fn from(e: tpiin_serve::ServeError) -> Error {
+        match e {
+            tpiin_serve::ServeError::Snapshot(err) => Error::from(err),
+            other => Error::Serve(other),
         }
     }
 }

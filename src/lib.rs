@@ -21,6 +21,8 @@
 //!   over the suspicious groups (Fig. 4's second stage).
 //! * [`obs`] — observability substrate: metrics registry, RAII span
 //!   timers, leveled logging, run-profile export.
+//! * [`serve`] — the always-on query/ingest daemon: hot-swappable
+//!   snapshots behind a hand-rolled HTTP/1.1 front ([`Pipeline::serve`]).
 //!
 //! # Using the library
 //!
@@ -61,6 +63,7 @@ pub use tpiin_io as io;
 pub use tpiin_ite as ite;
 pub use tpiin_model as model;
 pub use tpiin_obs as obs;
+pub use tpiin_serve as serve;
 
 /// Fuses a registry into a TPIIN.
 ///

@@ -96,6 +96,26 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Fuses the registry and starts the query/ingest daemon over the
+    /// result (the [`tpiin_serve`] crate): the returned handle serves
+    /// `/groups`, `/groups_behind_arc`, `/company/{id}`, `POST /ingest`
+    /// and friends until shut down.  Detection runs once at startup to
+    /// build the first snapshot epoch.
+    pub fn serve(
+        self,
+        config: tpiin_serve::ServeConfig,
+    ) -> Result<tpiin_serve::ServerHandle, Error> {
+        if self.log_level.is_some() {
+            tpiin_obs::log::set_level(self.log_level);
+        }
+        if self.profile {
+            tpiin_obs::set_profiling(true);
+            tpiin_obs::global().reset();
+        }
+        let (tpiin, _report) = tpiin_fusion::fuse_with(self.registry, self.fuse_options)?;
+        Ok(tpiin_serve::ServerHandle::bind(tpiin, config)?)
+    }
+
     /// Fuses the registry and mines suspicious groups.
     pub fn run(self) -> Result<RunOutput, Error> {
         if self.log_level.is_some() {
@@ -151,6 +171,22 @@ mod tests {
         let err = Pipeline::from_registry(&registry).run().unwrap_err();
         assert!(matches!(err, Error::Model(_)), "{err:?}");
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn serve_binds_and_answers_healthz() {
+        use std::io::{Read as _, Write as _};
+        let registry = tpiin_datagen::fig7_registry();
+        let handle = Pipeline::from_registry(&registry)
+            .serve(tpiin_serve::ServeConfig::default())
+            .expect("ephemeral bind");
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        write!(stream, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("\"status\":\"ok\""), "{text}");
+        handle.shutdown();
     }
 
     #[test]

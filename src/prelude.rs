@@ -19,3 +19,4 @@ pub use tpiin_model::{
     Role, RoleSet, SourceRegistry, TradingRecord,
 };
 pub use tpiin_obs::Level;
+pub use tpiin_serve::{ServeConfig, ServerHandle};
