@@ -3,6 +3,8 @@
 //! and a generated province TPIIN, hammers each read endpoint from
 //! `CLIENTS` concurrent connections, and writes client-observed
 //! p50/p95/p99 latencies to `BENCH_serve.json` for CI trend tracking.
+//! A final pair of arms hammers `/groups` with per-request tracing on
+//! and off and records the p95 overhead ratio.
 //!
 //! Usage: `bench_serve [OUT_PATH] [SCALE] [CLIENTS]` — defaults to
 //! `BENCH_serve.json`, scale 0.5, 4 clients.
@@ -12,7 +14,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
 use tpiin_bench::fixtures::tpiin_fixture;
-use tpiin_bench::record::{EndpointLatency, ServeBench, ServeWorkloadRecord};
+use tpiin_bench::record::{
+    EndpointLatency, ServeBench, ServeWorkloadRecord, TracingOverheadRecord,
+};
 use tpiin_core::detect;
 use tpiin_datagen::fig7_registry;
 use tpiin_fusion::{fuse, Tpiin};
@@ -141,6 +145,38 @@ fn measure(
     }
 }
 
+/// Measures the per-request cost of tracing: the same fig7 `/groups`
+/// endpoint hammered against a daemon with tracing enabled (the
+/// default — a [`tpiin_obs::TraceContext`] per request, the
+/// `x-tpiin-trace` header, the replay ring) and one with
+/// `ServeConfig::tracing` off.  The acceptance bar is a p95 ratio
+/// within noise of 1.0; anything past 1.05 flags a regression.
+fn measure_tracing_overhead(
+    requests: usize,
+    clients: usize,
+    workers: usize,
+) -> TracingOverheadRecord {
+    let arm = |tracing: bool| {
+        let (tpiin, _) = fuse(&fig7_registry()).expect("fig7 registry fuses");
+        let config = ServeConfig {
+            workers,
+            queue_capacity: 4 * clients.max(1) + 16,
+            tracing,
+            ..ServeConfig::default()
+        };
+        let handle = ServerHandle::bind(tpiin, config).expect("bind ephemeral daemon");
+        let label = if tracing { "groups+trace" } else { "groups" };
+        let lat = bench_endpoint(handle.addr(), label, "/groups?limit=5", requests, clients);
+        handle.shutdown();
+        lat
+    };
+    TracingOverheadRecord {
+        endpoint: "groups".to_string(),
+        tracing_on: arm(true),
+        tracing_off: arm(false),
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let path = args
@@ -176,6 +212,7 @@ fn main() {
         workers,
         clients,
         workloads,
+        tracing_overhead: Some(measure_tracing_overhead(requests, clients, workers)),
     };
     for w in &bench.workloads {
         for e in &w.endpoints {
@@ -184,6 +221,14 @@ fn main() {
                 w.name, e.endpoint, e.p50_us, e.p95_us, e.p99_us, e.requests
             );
         }
+    }
+    if let Some(overhead) = &bench.tracing_overhead {
+        println!(
+            "bench serve [fig7] tracing on/off p95: {:.1} / {:.1} us (ratio {:.3})",
+            overhead.tracing_on.p95_us,
+            overhead.tracing_off.p95_us,
+            overhead.p95_ratio()
+        );
     }
     bench
         .write(std::path::Path::new(&path))

@@ -1,0 +1,112 @@
+//! `trace_check` — schema validator for exported Chrome `trace_event`
+//! files (`tpiin --trace-out`, `GET /trace/{id}`).
+//!
+//! CI runs the worked example with `--trace-out`, then this checker,
+//! before uploading the trace as an artifact: a malformed export would
+//! otherwise only be noticed when someone drags it into Perfetto weeks
+//! later.  Checks, per file:
+//!
+//! * top level: `traceId` (32 hex digits), `displayTimeUnit`, and a
+//!   non-empty `traceEvents` array;
+//! * every event: non-empty `name`, `cat`, phase `"X"` (complete
+//!   events are all the exporter emits), numeric non-negative `ts` and
+//!   `dur`, numeric `pid` and `tid`;
+//! * at least one span from each pipeline layer the trace claims to
+//!   cover (`cli/`, `fusion`, `detect`), so a trace that silently lost
+//!   a layer fails loudly.
+//!
+//! Usage: `trace_check FILE...` — exits 0 when every file passes,
+//! 1 with a per-file diagnostic otherwise.
+
+use tpiin_io::json::Json;
+
+/// One top-level check over a parsed trace; returns the number of
+/// events on success, the first violation on failure.
+fn check(json: &Json) -> Result<usize, String> {
+    let id = json
+        .get("traceId")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string field `traceId`")?;
+    if id.len() != 32 || !id.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!("traceId `{id}` is not 32 hex digits"));
+    }
+    if json
+        .get("displayTimeUnit")
+        .and_then(|v| v.as_str())
+        .is_none()
+    {
+        return Err("missing string field `displayTimeUnit`".to_string());
+    }
+    let Some(Json::Array(events)) = json.get("traceEvents") else {
+        return Err("missing array field `traceEvents`".to_string());
+    };
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    for (i, event) in events.iter().enumerate() {
+        check_event(event).map_err(|e| format!("event #{i}: {e}"))?;
+    }
+    for layer in ["cli/", "fusion", "detect"] {
+        let covered = events.iter().any(|e| {
+            e.get("name")
+                .and_then(|n| n.as_str())
+                .is_some_and(|n| n.starts_with(layer))
+        });
+        if !covered {
+            return Err(format!("no span from the `{layer}` layer"));
+        }
+    }
+    Ok(events.len())
+}
+
+/// Validates one `traceEvents` entry against the Chrome `trace_event`
+/// complete-event shape.
+fn check_event(event: &Json) -> Result<(), String> {
+    let name = event
+        .get("name")
+        .and_then(|n| n.as_str())
+        .ok_or("missing string field `name`")?;
+    if name.is_empty() {
+        return Err("empty `name`".to_string());
+    }
+    if event.get("cat").and_then(|v| v.as_str()).is_none() {
+        return Err(format!("`{name}`: missing string field `cat`"));
+    }
+    match event.get("ph").and_then(|v| v.as_str()) {
+        Some("X") => {}
+        other => return Err(format!("`{name}`: phase {other:?}, want Some(\"X\")")),
+    }
+    for field in ["ts", "dur", "pid", "tid"] {
+        let value = event
+            .get(field)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("`{name}`: missing numeric field `{field}`"))?;
+        if value < 0.0 {
+            return Err(format!("`{name}`: negative `{field}` ({value})"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check FILE...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| format!("read: {e}"))
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("parse: {e}")))
+            .and_then(|json| check(&json));
+        match verdict {
+            Ok(events) => println!("trace_check {path}: ok ({events} events)"),
+            Err(why) => {
+                eprintln!("trace_check {path}: FAIL: {why}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -320,6 +320,38 @@ impl ServeWorkloadRecord {
     }
 }
 
+/// The same endpoint measured with per-request tracing on and off —
+/// the cost of minting a [`tpiin_obs::TraceContext`], recording the
+/// `serve/{endpoint}` span, echoing `x-tpiin-trace` and keeping the
+/// replay ring, expressed as an on/off latency ratio.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TracingOverheadRecord {
+    /// Endpoint the two arms hammered (`groups`, ...).
+    pub endpoint: String,
+    /// Latencies with tracing enabled (the default daemon config).
+    pub tracing_on: EndpointLatency,
+    /// Latencies with `ServeConfig::tracing` disabled.
+    pub tracing_off: EndpointLatency,
+}
+
+impl TracingOverheadRecord {
+    /// p95 with tracing divided by p95 without; `1.05` means tracing
+    /// costs five percent at the tail.
+    pub fn p95_ratio(&self) -> f64 {
+        self.tracing_on.p95_us / self.tracing_off.p95_us
+    }
+
+    /// The overhead record as a JSON value (ratio pre-computed).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("endpoint".to_string(), Json::Str(self.endpoint.clone())),
+            ("tracing_on".to_string(), self.tracing_on.to_json()),
+            ("tracing_off".to_string(), self.tracing_off.to_json()),
+            ("p95_ratio".to_string(), Json::Float(self.p95_ratio())),
+        ])
+    }
+}
+
 /// The full `BENCH_serve.json` payload.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeBench {
@@ -331,12 +363,14 @@ pub struct ServeBench {
     pub clients: usize,
     /// Per-workload measurements.
     pub workloads: Vec<ServeWorkloadRecord>,
+    /// Tracing on-vs-off arms, when the benchmark ran them.
+    pub tracing_overhead: Option<TracingOverheadRecord>,
 }
 
 impl ServeBench {
     /// The record as a JSON value.
     pub fn to_json(&self) -> Json {
-        Json::Object(vec![
+        let mut fields = vec![
             ("host_cpus".to_string(), Json::Int(self.host_cpus as u64)),
             ("workers".to_string(), Json::Int(self.workers as u64)),
             ("clients".to_string(), Json::Int(self.clients as u64)),
@@ -349,7 +383,11 @@ impl ServeBench {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(overhead) = &self.tracing_overhead {
+            fields.push(("tracing_overhead".to_string(), overhead.to_json()));
+        }
+        Json::Object(fields)
     }
 
     /// Writes the record to `path` as pretty-printed JSON.
@@ -431,6 +469,7 @@ mod tests {
                     p99_us: 900.0,
                 }],
             }],
+            tracing_overhead: None,
         };
         let text = bench.to_json().to_pretty();
         assert!(text.contains("\"workers\": 4"));
@@ -438,6 +477,38 @@ mod tests {
         assert!(text.contains("\"p50_us\": 120"));
         assert!(text.contains("\"p95_us\": 340.5"));
         assert!(text.contains("\"p99_us\": 900"));
+        // Without the overhead arms the field is omitted, so pre-existing
+        // trend tooling sees the exact schema it always did.
+        assert!(!text.contains("tracing_overhead"));
+    }
+
+    #[test]
+    fn tracing_overhead_ratio_divides_on_by_off() {
+        let lat = |p95: f64| EndpointLatency {
+            endpoint: "groups".into(),
+            requests: 200,
+            p50_us: p95 / 2.0,
+            p95_us: p95,
+            p99_us: p95 * 2.0,
+        };
+        let overhead = TracingOverheadRecord {
+            endpoint: "groups".into(),
+            tracing_on: lat(210.0),
+            tracing_off: lat(200.0),
+        };
+        assert!((overhead.p95_ratio() - 1.05).abs() < 1e-12);
+        let bench = ServeBench {
+            host_cpus: 8,
+            workers: 4,
+            clients: 8,
+            workloads: Vec::new(),
+            tracing_overhead: Some(overhead),
+        };
+        let text = bench.to_json().to_pretty();
+        assert!(text.contains("\"tracing_overhead\""), "{text}");
+        assert!(text.contains("\"tracing_on\""), "{text}");
+        assert!(text.contains("\"tracing_off\""), "{text}");
+        assert!(text.contains("\"p95_ratio\": 1.05"), "{text}");
     }
 
     #[test]

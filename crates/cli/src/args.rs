@@ -42,6 +42,12 @@ pub struct Options {
     pub profile: bool,
     /// Write the run profile as JSON to this path.
     pub metrics_out: Option<String>,
+    /// Write a Chrome `trace_event` JSON of the whole run to this path
+    /// (one trace id spanning CLI, pipeline and detector).
+    pub trace_out: Option<String>,
+    /// Group index for `explain` (also accepted as a positional
+    /// argument: `tpiin explain 0`).
+    pub group: Option<usize>,
 }
 
 impl Default for Options {
@@ -66,6 +72,8 @@ impl Default for Options {
             log_level: None,
             profile: false,
             metrics_out: None,
+            trace_out: None,
+            group: None,
         }
     }
 }
@@ -155,6 +163,14 @@ impl Options {
                 }
                 "--profile" => opts.profile = true,
                 "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+                "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+                "--group" => {
+                    opts.group = Some(
+                        value("--group")?
+                            .parse()
+                            .map_err(|e| format!("--group: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -227,6 +243,10 @@ mod tests {
             "--profile",
             "--metrics-out",
             "p.json",
+            "--trace-out",
+            "t.json",
+            "--group",
+            "2",
         ])
         .unwrap();
         assert_eq!(opts.scale, 0.5);
@@ -248,6 +268,8 @@ mod tests {
         assert_eq!(opts.log_level, Some(tpiin_obs::Level::Debug));
         assert!(opts.profile);
         assert_eq!(opts.metrics_out.as_deref(), Some("p.json"));
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(opts.group, Some(2));
     }
 
     #[test]

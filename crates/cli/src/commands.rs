@@ -22,6 +22,9 @@ COMMANDS:
   worked-example  Figs. 7-10: pattern base and groups with explanations
   cases           The three Section 3.1 case studies
   detect          Mine one random TPIIN; print top-scored groups
+  explain         Provenance chain of one group: `explain <group-id>`
+                  (without an id: list the groups; --snapshot/--dataset
+                  pick the network, default fig7)
   query           Groups behind one trading arc (--arc SELLER,BUYER)
   save-province   Write the synthetic province as CSV files (--dir)
   import          Load a CSV registry (--dir), detect, print summary
@@ -61,6 +64,10 @@ OBSERVABILITY (all commands):
   --profile       print the phase-timing table on stderr after the run
   --metrics-out P write the run profile (phase timings, counters,
                   per-thread stats) as JSON to path P
+  --trace-out P   write a Chrome trace_event JSON of the whole run to P
+                  (one trace id across CLI, pipeline and detector;
+                  opens in Perfetto / chrome://tracing)
+  --group N       group id for `explain` (same as the positional form)
 ";
 
 fn province(opts: &Options) -> (SourceRegistry, ProvinceConfig) {
@@ -276,6 +283,55 @@ pub fn detect_one(opts: &Options) -> Result<(), tpiin::Error> {
     for (score, group) in scored.iter().take(opts.top) {
         println!("  [{:>12.0}] {}", score.score, group.explain(&tpiin));
     }
+    Ok(())
+}
+
+/// `tpiin explain` — the full provenance chain behind one mined group:
+/// matched rule, every arc resolved to its winning source record,
+/// contraction lineage and the per-term score, followed by a self-audit
+/// that every referenced node and arc exists in the TPIIN.
+pub fn explain(opts: &Options) -> Result<(), tpiin::Error> {
+    let tpiin = serving_tpiin(opts)?;
+    let result = detector(opts, true).detect(&tpiin);
+    let Some(id) = opts.group else {
+        // No id: list the groups so the investigator can pick one.
+        println!(
+            "{} groups mined; rerun as `tpiin explain <group-id>`:",
+            result.groups.len()
+        );
+        for (i, group) in result.groups.iter().enumerate() {
+            let score = tpiin_core::score_group(&tpiin, group);
+            println!(
+                "  [{i:>3}] score {:>12.0}  {}",
+                score.score,
+                group.explain(&tpiin)
+            );
+        }
+        return Ok(());
+    };
+    let Some(group) = result.groups.get(id) else {
+        return Err(tpiin::Error::Usage(format!(
+            "no group {id}: this network has {} groups (ids 0..{})",
+            result.groups.len(),
+            result.groups.len().saturating_sub(1)
+        )));
+    };
+    let assembled;
+    let prov = match result.provenances.get(id) {
+        Some(prov) => prov,
+        None => {
+            assembled = tpiin_core::Provenance::assemble(&tpiin, group);
+            &assembled
+        }
+    };
+    println!("group {id} of {}", result.groups.len());
+    print!("{}", prov.render(group, &tpiin));
+    let (influence, trading) = prov.source_records();
+    println!("  contributing records: influence feed {influence:?}, trading feed {trading:?}");
+    prov.audit(&tpiin).map_err(|violation| {
+        tpiin::Error::Usage(format!("provenance audit failed: {violation}"))
+    })?;
+    println!("  audit: every referenced node and arc exists in the TPIIN");
     Ok(())
 }
 

@@ -7,6 +7,7 @@
 //! * `worked-example` — Figs. 7–10: pattern base and groups with proofs;
 //! * `cases`          — the three Section 3.1 case studies;
 //! * `detect`         — mine one random TPIIN and print top-scored groups;
+//! * `explain`        — the provenance chain behind one mined group;
 //! * `export-dot`     — Graphviz export of a generated TPIIN.
 //!
 //! Run `tpiin help` for flags.
@@ -56,7 +57,24 @@ fn run(argv: &[String]) -> Result<(), tpiin::Error> {
         print!("{}", commands::HELP);
         return Ok(());
     };
-    let opts = args::Options::parse(&argv[1..]).map_err(tpiin::Error::Usage)?;
+    // `explain` takes its group id positionally: `tpiin explain 0`.
+    let mut rest = &argv[1..];
+    let mut positional = None;
+    if cmd == "explain" {
+        if let Some((first, tail)) = rest.split_first() {
+            if !first.starts_with("--") {
+                positional = Some(first.clone());
+                rest = tail;
+            }
+        }
+    }
+    let mut opts = args::Options::parse(rest).map_err(tpiin::Error::Usage)?;
+    if let Some(text) = positional {
+        opts.group = Some(
+            text.parse()
+                .map_err(|e| tpiin::Error::Usage(format!("bad group id `{text}`: {e}")))?,
+        );
+    }
 
     tpiin_obs::log::init_from_env();
     if let Some(level) = opts.log_level {
@@ -68,8 +86,31 @@ fn run(argv: &[String]) -> Result<(), tpiin::Error> {
         tpiin_obs::set_profiling(true);
         tpiin_obs::global().reset();
     }
+    // `--trace-out` installs one process-global trace context, so a
+    // single trace id covers CLI dispatch, pipeline and detector spans
+    // on every thread.
+    let trace = opts
+        .trace_out
+        .as_ref()
+        .map(|_| std::sync::Arc::new(tpiin_obs::TraceContext::new()));
+    if let Some(trace) = &trace {
+        tpiin_obs::set_active_trace(Some(std::sync::Arc::clone(trace)));
+    }
 
-    dispatch(cmd, &opts)?;
+    let started = std::time::Instant::now();
+    let outcome = dispatch(cmd, &opts);
+
+    if let Some(trace) = trace {
+        // Root span recorded straight into the trace (not the profiling
+        // registry, whose phase tree the CLI layer is not part of).
+        trace.record_span(&format!("cli/{cmd}"), started, started.elapsed());
+        tpiin_obs::set_active_trace(None);
+        let path = opts.trace_out.as_ref().expect("trace implies a path");
+        std::fs::write(path, trace.to_chrome_json().to_pretty())
+            .map_err(|e| tpiin::Error::file(path, e))?;
+        eprintln!("trace {} written to {path}", trace.id());
+    }
+    outcome?;
 
     if profiled {
         let profile = tpiin_obs::RunProfile::capture();
@@ -93,6 +134,7 @@ fn dispatch(cmd: &str, opts: &args::Options) -> Result<(), tpiin::Error> {
         "worked-example" => commands::worked_example(),
         "cases" => commands::cases(),
         "detect" => commands::detect_one(opts),
+        "explain" => commands::explain(opts),
         "export-dot" => commands::export_dot(opts),
         "export-graphml" => commands::export_graphml(opts),
         "query" => commands::query(opts),

@@ -198,6 +198,82 @@ fn metrics_out_writes_parseable_profile_json() {
 }
 
 #[test]
+fn explain_prints_an_audited_provenance_chain() {
+    let (stdout, stderr, ok) = run(&["explain", "0"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("rule: Rule 1"), "{stdout}");
+    assert!(stdout.contains("record #"), "{stdout}");
+    assert!(stdout.contains("(influence feed)"), "{stdout}");
+    assert!(stdout.contains("(trading feed)"), "{stdout}");
+    assert!(stdout.contains("score: chain"), "{stdout}");
+    assert!(
+        stdout.contains("audit: every referenced node and arc exists in the TPIIN"),
+        "{stdout}"
+    );
+
+    // Without an id the groups are listed for picking.
+    let (stdout, _, ok) = run(&["explain"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("3 groups mined"), "{stdout}");
+    assert!(stdout.contains("[  0]"), "{stdout}");
+
+    // Out-of-range and malformed ids fail cleanly.
+    let (_, stderr, ok) = run(&["explain", "99"]);
+    assert!(!ok);
+    assert!(stderr.contains("no group 99"), "{stderr}");
+    let (_, stderr, ok) = run(&["explain", "zebra"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad group id"), "{stderr}");
+}
+
+#[test]
+fn trace_out_exports_one_trace_spanning_cli_pipeline_detector() {
+    let path = std::env::temp_dir().join(format!("tpiin-trace-{}.json", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let _ = std::fs::remove_file(&path);
+    let (stdout, stderr, ok) = run(&["worked-example", "--trace-out", path_str]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("L6+LB"), "normal output untouched");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let json = tpiin_io::json::Json::parse(&text).expect("trace is valid JSON");
+
+    // One trace id covers CLI dispatch, the fusion pipeline and the
+    // detector: every span lives in the same file under that id, and
+    // the id the CLI reported on stderr matches.
+    let id = json
+        .get("traceId")
+        .and_then(|v| v.as_str())
+        .expect("traceId present");
+    assert_eq!(id.len(), 32, "trace id is 32 hex digits: {id}");
+    assert!(stderr.contains(id), "stderr names the trace id: {stderr}");
+    let Some(tpiin_io::json::Json::Array(events)) = json.get("traceEvents") else {
+        panic!("traceEvents array missing: {text}");
+    };
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for expected in [
+        "cli/worked-example",
+        "fusion",
+        "fusion/validate",
+        "detect",
+        "detect/build_tree",
+        "detect/provenance",
+    ] {
+        assert!(names.contains(&expected), "{expected} missing: {names:?}");
+    }
+    // Chrome trace_event schema: complete events with ts/dur/pid/tid.
+    for event in events {
+        assert_eq!(event.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert!(event.get("ts").and_then(|v| v.as_f64()).is_some());
+        assert!(event.get("dur").and_then(|v| v.as_f64()).is_some());
+        assert!(event.get("tid").and_then(|v| v.as_f64()).is_some());
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn bad_log_level_is_rejected() {
     let (_, stderr, ok) = run(&["detect", "--scale", "0.1", "--log-level", "loud"]);
     assert!(!ok);

@@ -27,7 +27,7 @@ use crossbeam::deque::{Steal, Stealer, Worker};
 use std::collections::HashSet;
 use tpiin_fusion::Tpiin;
 use tpiin_graph::NodeId;
-use tpiin_obs::{Span, ThreadStats};
+use tpiin_obs::{Span, SpanHandle, ThreadStats};
 
 /// Detection options.
 #[derive(Clone, Copy, Debug)]
@@ -96,11 +96,17 @@ fn mine_root<S: ShardTopology + ?Sized>(
     sub: &S,
     root: u32,
     config: &DetectorConfig,
+    parent: Option<&SpanHandle>,
 ) -> RootOutcome {
     let mut out = RootOutcome::default();
-    // Absolute phase path: workers on any thread aggregate into the same
-    // `detect/build_tree` node as the serial path.
-    let build_span = Span::at("detect/build_tree");
+    // Workers record under the orchestrating `detect` span via its
+    // explicit handle, so the profile tree reattaches interleaved
+    // worker-thread spans; without a handle (recording off, or callers
+    // outside the detector entry points) fall back to the absolute path.
+    let build_span = match parent {
+        Some(p) => Span::enter_under(p, "build_tree"),
+        None => Span::at("detect/build_tree"),
+    };
     let tree = PatternsTree::build(sub, root, config.max_tree_nodes);
     drop(build_span);
     let Some(tree) = tree else {
@@ -215,9 +221,10 @@ impl Detector {
 
     /// Segments `tpiin` and mines every subTPIIN (Algorithm 1).
     pub fn detect(&self, tpiin: &Tpiin) -> DetectionResult {
-        let _span = Span::at("detect");
+        let span = Span::at("detect");
+        let parent = span.handle();
         let subs = segment_tpiin(tpiin);
-        self.detect_segmented(tpiin, &subs)
+        self.detect_under(tpiin, &subs, parent.as_ref())
     }
 
     /// Mines pre-segmented shards; exposed so benchmarks can separate
@@ -228,6 +235,20 @@ impl Detector {
         &self,
         tpiin: &Tpiin,
         subs: &[S],
+    ) -> DetectionResult {
+        let span = Span::at("detect");
+        let parent = span.handle();
+        self.detect_under(tpiin, subs, parent.as_ref())
+    }
+
+    /// The shared mining body behind [`Detector::detect`] and
+    /// [`Detector::detect_segmented`]; `parent` is the handle of the
+    /// enclosing `detect` span that worker threads attach under.
+    fn detect_under<S: ShardTopology + Sync>(
+        &self,
+        tpiin: &Tpiin,
+        subs: &[S],
+        parent: Option<&SpanHandle>,
     ) -> DetectionResult {
         // Work items: one per (subTPIIN, root).  SubTPIINs without trading
         // arcs can be skipped wholesale — no type-(b) walks exist.
@@ -247,14 +268,17 @@ impl Detector {
         }
         let outcomes: Vec<RootOutcome> =
             if threads > 1 && work.len() > 1 && total_cost >= self.config.serial_cutoff as u64 {
-                self.mine_stealing(subs, &work, threads)
+                self.mine_stealing(subs, &work, threads, parent)
             } else {
                 work.iter()
-                    .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, &self.config))
+                    .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, &self.config, parent))
                     .collect()
             };
 
-        let result = merge(tpiin, subs, &work, outcomes, &self.config);
+        let mut result = merge(tpiin, subs, &work, outcomes, &self.config);
+        if self.config.collect_groups {
+            result.provenances = crate::provenance::assemble_all(tpiin, &result.groups);
+        }
         if tpiin_obs::profiling_enabled() {
             let registry = tpiin_obs::global();
             registry.counter("detect.subtpiins").add(subs.len() as u64);
@@ -291,6 +315,7 @@ impl Detector {
         subs: &[S],
         work: &[(usize, u32)],
         threads: usize,
+        parent: Option<&SpanHandle>,
     ) -> Vec<RootOutcome> {
         let mut schedule: Vec<usize> = (0..work.len()).collect();
         schedule.sort_by_key(|&i| (std::cmp::Reverse(subs[work[i].0].estimated_cost()), i));
@@ -309,7 +334,7 @@ impl Detector {
             // Batching collapsed the workload onto one worker: skip the pool.
             return work
                 .iter()
-                .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, &self.config))
+                .map(|&(sub_idx, root)| mine_root(&subs[sub_idx], root, &self.config, parent))
                 .collect();
         }
         let workers: Vec<Worker<usize>> = (0..threads).map(|_| Worker::new_fifo()).collect();
@@ -343,7 +368,7 @@ impl Detector {
                         for &item in &batches[batch] {
                             let (sub_idx, root) = work[item];
                             let started = profiling.then(std::time::Instant::now);
-                            let outcome = mine_root(&subs[sub_idx], root, config);
+                            let outcome = mine_root(&subs[sub_idx], root, config, parent);
                             if let Some(started) = started {
                                 stats.busy_ns += started.elapsed().as_nanos() as u64;
                             }

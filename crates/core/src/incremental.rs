@@ -163,6 +163,9 @@ impl IncrementalDetector {
                     weight: record.volume,
                 },
             );
+            // Streamed arcs have no source-registry sequence; keep the
+            // per-edge provenance table aligned with the edge ids.
+            self.tpiin.arc_sources.push(u32::MAX);
             self.tpiin.trading_arc_count += 1;
             let groups = groups_behind_arc(&self.tpiin, seller, buyer);
             if !groups.is_empty() {

@@ -39,6 +39,7 @@ mod listd;
 mod matching;
 mod nested;
 mod patterns;
+mod provenance;
 mod query;
 mod result;
 mod score;
@@ -53,6 +54,7 @@ pub use listd::listd_order;
 pub use matching::match_root;
 pub use nested::{segment_tpiin_nested, NestedSubTpiin};
 pub use patterns::{generate_pattern_base, ComponentPattern};
+pub use provenance::{ArcProvenance, MatchedRule, MemberLineage, Provenance, ScoreBreakdown};
 pub use query::groups_behind_arc;
 pub use result::{DetectionResult, GroupKind, SubTpiinStats, SuspiciousGroup};
 pub use stats::{

@@ -26,7 +26,7 @@ pub struct GroupScore {
     pub score: f64,
 }
 
-fn arc_weight(tpiin: &Tpiin, s: NodeId, t: NodeId, color: ArcColor) -> Option<f64> {
+pub(crate) fn arc_weight(tpiin: &Tpiin, s: NodeId, t: NodeId, color: ArcColor) -> Option<f64> {
     tpiin
         .graph
         .out_edges(s)

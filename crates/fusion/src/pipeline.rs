@@ -332,6 +332,10 @@ pub fn fuse_with(
         .flatten()
         .collect();
     let mut duplicate_arcs_dropped = dedup_first_wins(workers, &mut influence_items);
+    // Per-edge provenance: the winning record sequence of each surviving
+    // arc, aligned with the edge ids `add_edge` hands out below.
+    let mut arc_sources: Vec<u32> =
+        Vec::with_capacity(influence_items.len() + registry.tradings().len());
     for it in &influence_items {
         graph.add_edge(
             NodeId::from_index((it.key >> 32) as usize),
@@ -341,6 +345,7 @@ pub fn fuse_with(
                 weight: it.weight,
             },
         );
+        arc_sources.push(it.seq);
     }
     let influence_arc_count = graph.edge_count();
     time_stage("contract_sccs", scope);
@@ -383,6 +388,7 @@ pub fn fuse_with(
                 weight: it.weight,
             },
         );
+        arc_sources.push(it.seq);
     }
     let trading_arc_count = graph.edge_count() - influence_arc_count;
     time_stage("attach_trading", scope);
@@ -397,6 +403,7 @@ pub fn fuse_with(
         influence_arc_count,
         trading_arc_count,
         intra_syndicate_trades,
+        arc_sources,
     );
     time_stage("freeze", scope);
 
@@ -765,6 +772,7 @@ mod tests {
             assert_eq!(par.person_node, serial.person_node);
             assert_eq!(par.company_node, serial.company_node);
             assert_eq!(par.intra_syndicate_trades, serial.intra_syndicate_trades);
+            assert_eq!(par.arc_sources, serial.arc_sources);
             assert_eq!(
                 par_report.duplicate_arcs_dropped,
                 serial_report.duplicate_arcs_dropped
@@ -773,6 +781,18 @@ mod tests {
             let serial_labels: Vec<&str> = serial.graph.nodes().map(|(_, n)| n.label()).collect();
             assert_eq!(labels, serial_labels);
         }
+    }
+
+    #[test]
+    fn arc_sources_record_the_winning_record_sequence() {
+        let (tpiin, _) = fuse(&registry()).unwrap();
+        assert_eq!(tpiin.arc_sources.len(), tpiin.graph.edge_count());
+        assert!(tpiin.arc_sources.iter().all(|&s| s != u32::MAX));
+        // Influence arcs: L6->C1 (record 0), LB->C2 (1), L9->C3+C4 (2;
+        // the duplicate record 3 loses first-wins), C1->C3+C4 (investment
+        // record 2, offset by the 4 influence records => 6).  Trading:
+        // only record 0 survives (record 1 is intra-syndicate).
+        assert_eq!(tpiin.arc_sources, [0, 1, 2, 6, 0]);
     }
 
     #[test]

@@ -134,6 +134,12 @@ pub struct Tpiin {
     /// construction and excluded from the arc set (contraction drops
     /// intra-group arcs).
     pub intra_syndicate_trades: Vec<IntraSyndicateTrade>,
+    /// Per-edge provenance, aligned with the graph's edge ids: the
+    /// source-record sequence number whose arc survived first-wins
+    /// dedup (influence/investment records index the influence feed,
+    /// trading records the trading feed).  `u32::MAX` marks an arc with
+    /// no recorded source (pre-v2 snapshots, streamed ingest).
+    pub arc_sources: Vec<u32>,
     /// Frozen CSR snapshot of `graph`, with one lane per arc color
     /// ([`TRADING_LANE`], [`INFLUENCE_LANE`]).  The mining hot path
     /// (Algorithm 1 segmentation, Algorithm 2 tree DFS) iterates these
@@ -144,7 +150,9 @@ pub struct Tpiin {
 
 impl Tpiin {
     /// Assembles a TPIIN from its parts, freezing the graph into the
-    /// two-lane CSR snapshot in the same step.
+    /// two-lane CSR snapshot in the same step.  `arc_sources` carries
+    /// the winning source-record sequence per edge id; an empty vector
+    /// is padded with the `u32::MAX` "unknown" sentinel.
     pub fn assemble(
         graph: DiGraph<TpiinNode, TpiinArc>,
         person_node: Vec<NodeId>,
@@ -152,8 +160,10 @@ impl Tpiin {
         influence_arc_count: usize,
         trading_arc_count: usize,
         intra_syndicate_trades: Vec<IntraSyndicateTrade>,
+        mut arc_sources: Vec<u32>,
     ) -> Tpiin {
         let csr = Self::freeze_graph(&graph);
+        arc_sources.resize(graph.edge_count(), u32::MAX);
         Tpiin {
             graph,
             person_node,
@@ -161,6 +171,7 @@ impl Tpiin {
             influence_arc_count,
             trading_arc_count,
             intra_syndicate_trades,
+            arc_sources,
             csr,
         }
     }

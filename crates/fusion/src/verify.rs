@@ -243,7 +243,7 @@ mod tests {
                 weight: 1.0,
             },
         );
-        let tpiin = Tpiin::assemble(graph, vec![], vec![a, b], 0, 1, vec![]);
+        let tpiin = Tpiin::assemble(graph, vec![], vec![a, b], 0, 1, vec![], vec![]);
         assert!(!verify_tpiin(&tpiin, true).all_hold());
         assert!(verify_tpiin(&tpiin, false).all_hold());
     }

@@ -7,18 +7,27 @@
 //! line-oriented text format.
 //!
 //! ```text
-//! tpiin-snapshot v1
+//! tpiin-snapshot v2
 //! nodes <count>
 //! P|C <label> <member-ids,comma-separated>
 //! ...
 //! arcs <influence-count> <trading-count>
-//! <source> <target> <color 0|1> <weight>
+//! <source> <target> <color 0|1> <weight> <source-record-seq>
 //! ...
 //! intra <count>
 //! <seller> <buyer> <syndicate-node> <volume>
 //! ```
 //!
 //! Labels are percent-escaped so whitespace and newlines round-trip.
+//!
+//! ## Format versions
+//!
+//! * **v2** (current writer) appends the winning source-record sequence
+//!   number to every arc line, carrying [`Tpiin::arc_sources`] so group
+//!   provenance survives the snapshot round-trip.  `4294967295`
+//!   (`u32::MAX`) marks an arc with no recorded source.
+//! * **v1** arc lines have four fields; the reader still accepts them
+//!   and fills `arc_sources` with the unknown sentinel.
 
 use crate::error::IoError;
 use std::fmt::Write as _;
@@ -81,7 +90,7 @@ fn unescape_label(text: &str, line: usize) -> Result<String, IoError> {
 /// Serializes a fused TPIIN.
 pub fn write_snapshot(tpiin: &Tpiin) -> String {
     let mut out = String::new();
-    out.push_str("tpiin-snapshot v1\n");
+    out.push_str("tpiin-snapshot v2\n");
     let _ = writeln!(out, "nodes {}", tpiin.graph.node_count());
     for (_, node) in tpiin.graph.nodes() {
         match node {
@@ -100,14 +109,16 @@ pub fn write_snapshot(tpiin: &Tpiin) -> String {
         "arcs {} {}",
         tpiin.influence_arc_count, tpiin.trading_arc_count
     );
-    for e in tpiin.graph.edges() {
+    for (i, e) in tpiin.graph.edges().enumerate() {
+        let seq = tpiin.arc_sources.get(i).copied().unwrap_or(u32::MAX);
         let _ = writeln!(
             out,
-            "{} {} {} {}",
+            "{} {} {} {} {}",
             e.source,
             e.target,
             e.weight.color.code(),
-            e.weight.weight
+            e.weight.weight,
+            seq
         );
     }
     let _ = writeln!(out, "intra {}", tpiin.intra_syndicate_trades.len());
@@ -140,9 +151,11 @@ pub fn read_snapshot(text: &str) -> Result<Tpiin, IoError> {
         iter: text.lines().enumerate(),
     };
     let (ln, header) = lines.next()?;
-    if header != "tpiin-snapshot v1" {
-        return Err(IoError::parse("snapshot", ln, "bad header"));
-    }
+    let version = match header {
+        "tpiin-snapshot v1" => 1,
+        "tpiin-snapshot v2" => 2,
+        _ => return Err(IoError::parse("snapshot", ln, "bad header")),
+    };
 
     let (ln, nodes_line) = lines.next()?;
     let node_count: usize = nodes_line
@@ -209,10 +222,12 @@ pub fn read_snapshot(text: &str) -> Result<Tpiin, IoError> {
         return Err(IoError::parse("snapshot", ln, "bad arcs line"));
     }
     let (influence_arc_count, trading_arc_count) = (counts[0], counts[1]);
+    let arc_fields = if version >= 2 { 5 } else { 4 };
+    let mut arc_sources = Vec::with_capacity(influence_arc_count + trading_arc_count);
     for _ in 0..influence_arc_count + trading_arc_count {
         let (ln, line) = lines.next()?;
         let fields: Vec<&str> = line.split(' ').collect();
-        if fields.len() != 4 {
+        if fields.len() != arc_fields {
             return Err(IoError::parse("snapshot", ln, "bad arc line"));
         }
         let parse_u32 = |s: &str| -> Result<u32, IoError> {
@@ -231,6 +246,13 @@ pub fn read_snapshot(text: &str) -> Result<Tpiin, IoError> {
             .map_err(|_| IoError::parse("snapshot", ln, "bad weight"))?;
         if source.index() >= node_count || target.index() >= node_count {
             return Err(IoError::parse("snapshot", ln, "arc endpoint out of range"));
+        }
+        if version >= 2 {
+            arc_sources.push(
+                fields[4]
+                    .parse()
+                    .map_err(|_| IoError::parse("snapshot", ln, "bad source seq"))?,
+            );
         }
         graph.add_edge(source, target, TpiinArc { color, weight });
     }
@@ -281,6 +303,7 @@ pub fn read_snapshot(text: &str) -> Result<Tpiin, IoError> {
         influence_arc_count,
         trading_arc_count,
         intra,
+        arc_sources,
     ))
 }
 
@@ -365,6 +388,58 @@ mod tests {
         let restored = roundtrip(&tpiin);
         assert_eq!(restored.intra_syndicate_trades.len(), 1);
         assert_eq!(restored.intra_syndicate_trades[0].volume, 7.0);
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_arc_sources() {
+        let (tpiin, _) = tpiin_fusion::fuse(&tpiin_datagen::fig7_registry()).unwrap();
+        let text = write_snapshot(&tpiin);
+        assert!(text.starts_with("tpiin-snapshot v2\n"));
+        let restored = roundtrip(&tpiin);
+        assert_eq!(restored.arc_sources, tpiin.arc_sources);
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_with_unknown_sources() {
+        // Backward compatibility: rewrite a current snapshot into the v1
+        // layout (4-field arc lines) and load it.
+        let (tpiin, _) = tpiin_fusion::fuse(&tpiin_datagen::fig7_registry()).unwrap();
+        let v2 = write_snapshot(&tpiin);
+        let mut in_arcs = false;
+        let v1: String = v2
+            .lines()
+            .map(|line| {
+                let line = if line == "tpiin-snapshot v2" {
+                    "tpiin-snapshot v1".to_string()
+                } else if in_arcs && line.split(' ').count() == 5 {
+                    line.rsplit_once(' ').unwrap().0.to_string()
+                } else {
+                    line.to_string()
+                };
+                if line.starts_with("arcs ") {
+                    in_arcs = true;
+                } else if line.starts_with("intra ") {
+                    in_arcs = false;
+                }
+                line + "\n"
+            })
+            .collect();
+        let restored = read_snapshot(&v1).expect("v1 snapshot parses");
+        assert_eq!(restored.node_count(), tpiin.node_count());
+        assert_eq!(restored.graph.edge_count(), tpiin.graph.edge_count());
+        // Sources are unknown in v1 — every slot holds the sentinel.
+        assert_eq!(restored.arc_sources.len(), tpiin.graph.edge_count());
+        assert!(restored.arc_sources.iter().all(|&s| s == u32::MAX));
+        // Detection still agrees with the v2 load.
+        let a = detect(&tpiin);
+        let b = detect(&restored);
+        assert_eq!(a.group_count(), b.group_count());
+    }
+
+    #[test]
+    fn unknown_format_versions_are_rejected() {
+        let err = read_snapshot("tpiin-snapshot v3\nnodes 0\narcs 0 0\nintra 0\n").unwrap_err();
+        assert!(err.to_string().contains("bad header"));
     }
 
     #[test]

@@ -52,4 +52,25 @@ proptest! {
         prop_assert_eq!(restored.label(tpiin.person_node[0]), person_label.as_str());
         prop_assert_eq!(restored.label(tpiin.company_node[0]), company_label.as_str());
     }
+
+    /// Group provenance must survive the v2 snapshot round-trip: same
+    /// records, and every referenced arc still resolves in the restored
+    /// network.
+    #[test]
+    fn provenance_survives_snapshot_roundtrip(seed in 0u64..32) {
+        let config = tpiin_datagen::ProvinceConfig {
+            seed,
+            ..tpiin_datagen::ProvinceConfig::scaled(0.05)
+        };
+        let mut registry = tpiin_datagen::generate_province(&config);
+        tpiin_datagen::add_random_trading(&mut registry, 0.02, seed.wrapping_add(7));
+        let (tpiin, _) = tpiin_fusion::fuse(&registry).expect("generated registry fuses");
+        let restored = read_snapshot(&write_snapshot(&tpiin)).expect("snapshot parses");
+        let a = tpiin_core::detect(&tpiin);
+        let b = tpiin_core::detect(&restored);
+        prop_assert_eq!(&a.provenances, &b.provenances);
+        for prov in &b.provenances {
+            prop_assert!(prov.audit(&restored).is_ok());
+        }
+    }
 }

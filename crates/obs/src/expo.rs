@@ -43,20 +43,33 @@ pub fn text_exposition(registry: &MetricsRegistry) -> String {
     for (name, histogram) in registry.histograms_snapshot() {
         let name = metric_name(&name);
         let _ = writeln!(out, "# TYPE {name} histogram");
-        let mut cumulative = 0u64;
-        for (count, bound) in histogram.bucket_counts().iter().zip(
-            BUCKET_BOUNDS_NS
-                .iter()
-                .map(|b| b.to_string())
-                .chain(std::iter::once("+Inf".to_string())),
-        ) {
-            cumulative += count;
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
-        }
+        write_histogram_series(&mut out, &name, &histogram.bucket_counts());
         let _ = writeln!(out, "{name}_sum_ns {}", histogram.sum_ns());
         let _ = writeln!(out, "{name}_count {}", histogram.count());
+        // The sliding 60s window, as a second histogram series: the
+        // cumulative one answers "since boot", this one answers "now".
+        let window = format!("{name}_window");
+        let _ = writeln!(out, "# TYPE {window} histogram");
+        write_histogram_series(&mut out, &window, &histogram.window_bucket_counts());
+        let _ = writeln!(out, "{window}_sum_ns {}", histogram.window_sum_ns());
+        let _ = writeln!(out, "{window}_count {}", histogram.window_count());
     }
     out
+}
+
+/// Writes the `_bucket{le=...}` lines of one histogram series
+/// (cumulative-across-buckets, as the exposition format requires).
+fn write_histogram_series(out: &mut String, name: &str, buckets: &[u64]) {
+    let mut cumulative = 0u64;
+    for (count, bound) in buckets.iter().zip(
+        BUCKET_BOUNDS_NS
+            .iter()
+            .map(|b| b.to_string())
+            .chain(std::iter::once("+Inf".to_string())),
+    ) {
+        cumulative += count;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +95,11 @@ mod tests {
         assert!(text.contains("tpiin_serve_latency_groups_bucket{le=\"1000\"} 1"));
         assert!(text.contains("tpiin_serve_latency_groups_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("tpiin_serve_latency_groups_count 2"));
+        // The sliding-window twin series: both observations were just
+        // recorded, so the window agrees with the cumulative totals.
+        assert!(text.contains("# TYPE tpiin_serve_latency_groups_window histogram"));
+        assert!(text.contains("tpiin_serve_latency_groups_window_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("tpiin_serve_latency_groups_window_count 2"));
     }
 
     #[test]

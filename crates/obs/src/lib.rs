@@ -19,6 +19,10 @@
 //! * [`RunProfile`] — a snapshot of everything above (phase tree,
 //!   counters, gauges, histograms, per-thread detector stats) with a
 //!   human-readable table renderer and a JSON exporter.
+//! * [`mod@trace`] — per-run / per-request [`TraceContext`]s: 128-bit
+//!   trace ids, a thread-safe completed-span buffer fed by the same
+//!   [`Span`]s that build the phase tree, and a Chrome `trace_event`
+//!   JSON exporter so any run opens in Perfetto / `chrome://tracing`.
 //!
 //! Phase names map onto the paper's algorithms: the fusion stages
 //! `validate → contract_persons → contract_sccs → attach_trading →
@@ -32,13 +36,18 @@ pub mod log;
 pub mod metrics;
 pub mod profile;
 pub mod span;
+pub mod trace;
 
 pub use expo::text_exposition;
 pub use json::Json;
 pub use log::Level;
 pub use metrics::{global, Counter, Gauge, Histogram, MetricsRegistry, ThreadStats};
 pub use profile::{HistogramSnapshot, PhaseProfile, RunProfile, ThreadProfile};
-pub use span::{Span, TimedScope};
+pub use span::{Span, SpanHandle, TimedScope};
+pub use trace::{
+    current_trace, install_thread_trace, set_active_trace, tracing_enabled, TraceContext,
+    TraceEvent, TraceId,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

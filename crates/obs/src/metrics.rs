@@ -10,7 +10,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A monotonically increasing event count.
 #[derive(Debug, Default)]
@@ -66,13 +66,56 @@ pub const BUCKET_BOUNDS_NS: [u64; 12] = [
     4_000_000_000,
 ];
 
-/// A fixed-bucket duration histogram (lock-free recording).
+/// Number of slots in the sliding-window ring of a [`Histogram`].
+pub const WINDOW_SLOTS: usize = 12;
+
+/// Seconds covered by one window slot; the full window is
+/// `WINDOW_SLOTS * WINDOW_SLOT_SECS` = 60 seconds.
+pub const WINDOW_SLOT_SECS: u64 = 5;
+
+/// The process-wide anchor that window periods are measured from.
+fn window_anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// The current 5-second window period since process start.
+fn current_period() -> u64 {
+    window_anchor().elapsed().as_secs() / WINDOW_SLOT_SECS
+}
+
+/// One 5-second slot of a histogram's sliding window.
+#[derive(Debug)]
+struct WindowSlot {
+    /// Which period the counts below belong to; `u64::MAX` = never used.
+    period: AtomicU64,
+    buckets: [AtomicU64; BUCKET_BOUNDS_NS.len() + 1],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for WindowSlot {
+    fn default() -> Self {
+        WindowSlot {
+            period: AtomicU64::new(u64::MAX),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket duration histogram (lock-free recording) with both
+/// cumulative-since-boot totals and a sliding 60-second window (a ring
+/// of [`WINDOW_SLOTS`] five-second slots), so `/metrics` can expose
+/// percentiles that reflect current load alongside lifetime totals.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKET_BOUNDS_NS.len() + 1],
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    window: [WindowSlot; WINDOW_SLOTS],
 }
 
 impl Default for Histogram {
@@ -82,6 +125,7 @@ impl Default for Histogram {
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            window: std::array::from_fn(|_| WindowSlot::default()),
         }
     }
 }
@@ -89,6 +133,12 @@ impl Default for Histogram {
 impl Histogram {
     /// Records one duration observation.
     pub fn record(&self, d: Duration) {
+        self.record_at_period(current_period(), d);
+    }
+
+    /// As [`Histogram::record`] with an explicit window period
+    /// (deterministic tests; production recording uses the wall clock).
+    pub fn record_at_period(&self, period: u64, d: Duration) {
         let ns = d.as_nanos().min(u64::MAX as u128) as u64;
         let idx = BUCKET_BOUNDS_NS
             .iter()
@@ -98,6 +148,26 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
+
+        // Sliding window: reclaim the ring slot if it still holds a past
+        // period.  The reclaim is best-effort — a recorder racing the
+        // slot turnover can lose one observation at the 5s boundary,
+        // which is acceptable for a load-trend window.
+        let slot = &self.window[(period % WINDOW_SLOTS as u64) as usize];
+        let stamped = slot.period.load(Ordering::Acquire);
+        if stamped != period {
+            for b in &slot.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            slot.count.store(0, Ordering::Relaxed);
+            slot.sum_ns.store(0, Ordering::Relaxed);
+            let _ =
+                slot.period
+                    .compare_exchange(stamped, period, Ordering::AcqRel, Ordering::Relaxed);
+        }
+        slot.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Number of observations.
@@ -122,6 +192,42 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// `(bucket_counts, count, sum_ns)` over the live slots of the ring
+    /// at `period` — everything recorded in the last 60 seconds.
+    fn window_totals_at(&self, period: u64) -> (Vec<u64>, u64, u64) {
+        let oldest = period.saturating_sub(WINDOW_SLOTS as u64 - 1);
+        let mut buckets = vec![0u64; BUCKET_BOUNDS_NS.len() + 1];
+        let mut count = 0u64;
+        let mut sum_ns = 0u64;
+        for slot in &self.window {
+            let stamped = slot.period.load(Ordering::Acquire);
+            if stamped == u64::MAX || stamped < oldest || stamped > period {
+                continue;
+            }
+            for (total, b) in buckets.iter_mut().zip(&slot.buckets) {
+                *total += b.load(Ordering::Relaxed);
+            }
+            count += slot.count.load(Ordering::Relaxed);
+            sum_ns += slot.sum_ns.load(Ordering::Relaxed);
+        }
+        (buckets, count, sum_ns)
+    }
+
+    /// Per-bucket counts over the sliding 60-second window.
+    pub fn window_bucket_counts(&self) -> Vec<u64> {
+        self.window_totals_at(current_period()).0
+    }
+
+    /// Observations recorded in the sliding 60-second window.
+    pub fn window_count(&self) -> u64 {
+        self.window_totals_at(current_period()).1
+    }
+
+    /// Sum (nanoseconds) of observations in the sliding 60-second window.
+    pub fn window_sum_ns(&self) -> u64 {
+        self.window_totals_at(current_period()).2
     }
 }
 
@@ -154,6 +260,7 @@ pub struct MetricsRegistry {
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     phases: RwLock<BTreeMap<String, Arc<PhaseAgg>>>,
+    phase_links: RwLock<BTreeMap<String, String>>,
     threads: Mutex<Vec<ThreadStats>>,
 }
 
@@ -191,6 +298,29 @@ impl MetricsRegistry {
         agg.total_ns
             .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
         agg.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an explicit parent link for the phase at `child` —
+    /// first writer wins.  [`crate::Span::enter_under`] calls this so
+    /// profile reconstruction can re-attach spans that worker threads
+    /// recorded under bare relative paths.
+    pub fn record_phase_link(&self, child: &str, parent: &str) {
+        if self.phase_links.read().contains_key(child) {
+            return;
+        }
+        self.phase_links
+            .write()
+            .entry(child.to_string())
+            .or_insert_with(|| parent.to_string());
+    }
+
+    /// Sorted `(child_path, parent_path)` snapshot of phase links.
+    pub fn phase_links_snapshot(&self) -> Vec<(String, String)> {
+        self.phase_links
+            .read()
+            .iter()
+            .map(|(c, p)| (c.clone(), p.clone()))
+            .collect()
     }
 
     /// Appends one worker thread's statistics.
@@ -255,6 +385,7 @@ impl MetricsRegistry {
         self.gauges.write().clear();
         self.histograms.write().clear();
         self.phases.write().clear();
+        self.phase_links.write().clear();
         self.threads.lock().clear();
     }
 }
@@ -313,10 +444,59 @@ mod tests {
         let registry = MetricsRegistry::new();
         registry.counter("x").inc();
         registry.record_phase("p", Duration::from_nanos(1));
+        registry.record_phase_link("p", "root");
         registry.record_thread(ThreadStats::default());
         registry.reset();
         assert!(registry.counters_snapshot().is_empty());
         assert!(registry.phases_snapshot().is_empty());
+        assert!(registry.phase_links_snapshot().is_empty());
         assert!(registry.threads_snapshot().is_empty());
+    }
+
+    #[test]
+    fn phase_links_are_first_writer_wins() {
+        let registry = MetricsRegistry::new();
+        registry.record_phase_link("score", "detect");
+        registry.record_phase_link("score", "other");
+        assert_eq!(
+            registry.phase_links_snapshot(),
+            vec![("score".to_string(), "detect".to_string())]
+        );
+    }
+
+    #[test]
+    fn window_tracks_only_recent_periods() {
+        let h = Histogram::default();
+        // Two observations in period 0, one in period 3.
+        h.record_at_period(0, Duration::from_nanos(500));
+        h.record_at_period(0, Duration::from_micros(100));
+        h.record_at_period(3, Duration::from_millis(2));
+        // At period 3 everything is within the 12-slot window.
+        let (buckets, count, sum) = h.window_totals_at(3);
+        assert_eq!(count, 3);
+        assert_eq!(buckets.iter().sum::<u64>(), 3);
+        assert_eq!(sum, 500 + 100_000 + 2_000_000);
+        // Far in the future only period 3 survives ...
+        let (_, count, sum) = h.window_totals_at(3 + WINDOW_SLOTS as u64 - 1);
+        assert_eq!(count, 1);
+        assert_eq!(sum, 2_000_000);
+        // ... and later still the window is empty, while the cumulative
+        // totals keep everything.
+        let (_, count, _) = h.window_totals_at(100);
+        assert_eq!(count, 0);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn window_ring_slot_is_reclaimed_after_wraparound() {
+        let h = Histogram::default();
+        h.record_at_period(1, Duration::from_nanos(10));
+        // Period 1 + WINDOW_SLOTS lands on the same ring slot; the old
+        // counts must be discarded, not added to.
+        h.record_at_period(1 + WINDOW_SLOTS as u64, Duration::from_nanos(20));
+        let (_, count, sum) = h.window_totals_at(1 + WINDOW_SLOTS as u64);
+        assert_eq!(count, 1);
+        assert_eq!(sum, 20);
+        assert_eq!(h.count(), 2);
     }
 }

@@ -77,6 +77,10 @@ pub struct RunProfile {
     pub histograms: Vec<HistogramSnapshot>,
     /// Per-thread detector statistics, ordered by worker index.
     pub threads: Vec<ThreadProfile>,
+    /// Explicit `(child_path, parent_path)` span links recorded via
+    /// [`crate::Span::enter_under`]; already applied to `phases`.
+    #[serde(default)]
+    pub links: Vec<(String, String)>,
 }
 
 impl RunProfile {
@@ -87,8 +91,9 @@ impl RunProfile {
 
     /// Snapshots an explicit registry (tests).
     pub fn capture_from(registry: &MetricsRegistry) -> RunProfile {
+        let links = registry.phase_links_snapshot();
         RunProfile {
-            phases: build_tree(registry.phases_snapshot()),
+            phases: build_tree(registry.phases_snapshot(), &links),
             counters: registry.counters_snapshot(),
             gauges: registry.gauges_snapshot(),
             histograms: registry
@@ -107,6 +112,7 @@ impl RunProfile {
                 .into_iter()
                 .map(ThreadProfile::from)
                 .collect(),
+            links,
         }
     }
 
@@ -260,14 +266,55 @@ impl RunProfile {
     }
 }
 
+/// Whether `path` already sits underneath `parent` in the path tree.
+fn is_under(path: &str, parent: &str) -> bool {
+    path.len() > parent.len() && path.starts_with(parent) && path.as_bytes()[parent.len()] == b'/'
+}
+
+/// Resolves the absolute path a linked span should appear under, by
+/// following explicit parent links (bounded by `depth` against cycles).
+fn absolutize(links: &[(String, String)], path: &str, depth: usize) -> String {
+    if depth == 0 {
+        return path.to_string();
+    }
+    match links.iter().find(|(child, _)| child == path) {
+        Some((_, parent)) if !is_under(path, parent) => {
+            format!("{}/{path}", absolutize(links, parent, depth - 1))
+        }
+        _ => path.to_string(),
+    }
+}
+
 /// Builds the phase tree from sorted `(path, total_ns, calls)` rows.
 /// A child path whose parent was never recorded directly (e.g. workers
 /// recorded `detect/score` but nothing recorded `detect`) gets a
 /// zero-duration parent node so the tree stays connected.
-fn build_tree(rows: Vec<(String, u64, u64)>) -> Vec<PhaseProfile> {
+///
+/// `links` carries explicit `(child_path, parent_path)` span links: a
+/// span recorded on a worker thread under a bare relative path (where
+/// the thread-local stack was empty, so string-prefix nesting fails)
+/// is re-attached under its recorded parent, along with everything
+/// nested below it.  Before the links existed such spans surfaced as
+/// spurious roots whenever threads interleaved.
+fn build_tree(rows: Vec<(String, u64, u64)>, links: &[(String, String)]) -> Vec<PhaseProfile> {
+    // child -> rewritten absolute path, for links not already satisfied
+    // by the path prefix.
+    let remap: Vec<(String, String)> = links
+        .iter()
+        .filter(|(child, parent)| !is_under(child, parent))
+        .map(|(child, _)| (child.clone(), absolutize(links, child, links.len() + 1)))
+        .collect();
     let mut roots: Vec<PhaseProfile> = Vec::new();
     for (path, total_ns, calls) in rows {
-        insert(&mut roots, &path, total_ns, calls);
+        let best = remap
+            .iter()
+            .filter(|(child, _)| path == *child || is_under(&path, child))
+            .max_by_key(|(child, _)| child.len());
+        let effective = match best {
+            Some((child, target)) => format!("{target}{}", &path[child.len()..]),
+            None => path,
+        };
+        insert(&mut roots, &effective, total_ns, calls);
     }
     roots
 }
@@ -332,7 +379,7 @@ mod tests {
             ("fusion".to_string(), 100, 1),
             ("fusion/validate".to_string(), 60, 1),
         ];
-        let tree = build_tree(rows);
+        let tree = build_tree(rows, &[]);
         assert_eq!(tree.len(), 2);
         let detect = tree.iter().find(|n| n.path == "detect").unwrap();
         assert_eq!(detect.calls, 0);
@@ -341,6 +388,46 @@ mod tests {
         let fusion = tree.iter().find(|n| n.path == "fusion").unwrap();
         assert_eq!(fusion.total_ns, 100);
         assert_eq!(fusion.children[0].name, "validate");
+    }
+
+    #[test]
+    fn explicit_links_reattach_interleaved_worker_spans() {
+        // A worker thread recorded `match_patterns` (and a nested
+        // `match_patterns/score`) with an empty thread-local stack, so
+        // the paths lack the `detect/` prefix; the explicit link says
+        // where they belong.
+        let rows = vec![
+            ("detect".to_string(), 100, 1),
+            ("match_patterns".to_string(), 40, 4),
+            ("match_patterns/score".to_string(), 10, 4),
+        ];
+        let links = vec![("match_patterns".to_string(), "detect".to_string())];
+        let tree = build_tree(rows, &links);
+        assert_eq!(tree.len(), 1, "no spurious roots: {tree:?}");
+        let detect = &tree[0];
+        assert_eq!(detect.path, "detect");
+        let matched = detect
+            .children
+            .iter()
+            .find(|n| n.path == "detect/match_patterns")
+            .expect("re-attached under detect");
+        assert_eq!(matched.total_ns, 40);
+        assert_eq!(matched.children[0].path, "detect/match_patterns/score");
+        assert_eq!(matched.children[0].total_ns, 10);
+    }
+
+    #[test]
+    fn chained_links_resolve_transitively() {
+        let rows = vec![("leaf".to_string(), 5, 1), ("mid".to_string(), 9, 1)];
+        let links = vec![
+            ("leaf".to_string(), "mid".to_string()),
+            ("mid".to_string(), "root".to_string()),
+        ];
+        let tree = build_tree(rows, &links);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].path, "root");
+        assert_eq!(tree[0].children[0].path, "root/mid");
+        assert_eq!(tree[0].children[0].children[0].path, "root/mid/leaf");
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Request/run-scoped tracing: 128-bit trace ids, a thread-safe event
+//! buffer and a Chrome `trace_event` JSON exporter.
+//!
+//! A [`TraceContext`] collects completed spans (name + offset +
+//! duration + thread) for one logical unit of work — a whole CLI run
+//! (`--trace-out`) or a single daemon request (minted per connection,
+//! echoed in the `x-tpiin-trace` response header).  The export format
+//! is the Chrome `trace_event` "X" (complete-event) flavour, so a dump
+//! opens directly in Perfetto or `chrome://tracing`.
+//!
+//! Two installation scopes exist:
+//!
+//! * [`set_active_trace`] installs a process-global context — every
+//!   span on every thread records into it (the CLI run case, where one
+//!   trace id must cover CLI → pipeline → detector).
+//! * [`install_thread_trace`] installs a context for the *current
+//!   thread* only, returning an RAII guard — the daemon case, where
+//!   concurrent requests each own a private context.  A thread trace
+//!   shadows the global one while installed.
+//!
+//! With no context installed anywhere, the whole layer costs one
+//! relaxed atomic load per span ([`tracing_enabled`]).
+
+use crate::json::Json;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant, SystemTime};
+
+/// A 128-bit trace identifier, rendered as 32 lower-case hex digits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u128);
+
+impl TraceId {
+    /// Mints a fresh id from the wall clock and a process-wide counter
+    /// (no random-number dependency; uniqueness within and across
+    /// processes on one host is what the ring-buffer lookup needs).
+    pub fn mint() -> TraceId {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos());
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed) as u128;
+        let pid = std::process::id() as u128;
+        TraceId((nanos << 32) ^ (pid << 64) ^ seq.rotate_left(1))
+    }
+
+    /// Parses the 32-hex-digit form produced by `Display`.
+    pub fn parse(text: &str) -> Option<TraceId> {
+        if text.len() != 32 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(text, 16).ok().map(TraceId)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// One completed span inside a trace: microsecond offset from the
+/// context start, duration, and the recording thread's stable index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (the `/`-separated phase path).
+    pub name: String,
+    /// Microseconds since the context was created.
+    pub ts_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Stable per-thread index (small integers, first-use order).
+    pub tid: u64,
+}
+
+/// A thread-safe buffer of completed spans under one [`TraceId`].
+pub struct TraceContext {
+    id: TraceId,
+    started: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl std::fmt::Debug for TraceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceContext")
+            .field("id", &self.id)
+            .field("events", &self.events.lock().len())
+            .finish()
+    }
+}
+
+impl Default for TraceContext {
+    fn default() -> Self {
+        TraceContext::new()
+    }
+}
+
+impl TraceContext {
+    /// Creates an empty context with a freshly minted id.
+    pub fn new() -> TraceContext {
+        TraceContext::with_id(TraceId::mint())
+    }
+
+    /// Creates an empty context under an explicit id (tests).
+    pub fn with_id(id: TraceId) -> TraceContext {
+        TraceContext {
+            id,
+            started: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// This context's trace id.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// Records one completed span that started at `started` and ran for
+    /// `duration`.  Spans opened before the context existed clamp to
+    /// offset zero.
+    pub fn record_span(&self, name: &str, started: Instant, duration: Duration) {
+        let ts = started.saturating_duration_since(self.started);
+        self.events.lock().push(TraceEvent {
+            name: name.to_string(),
+            ts_us: ts.as_micros().min(u64::MAX as u128) as u64,
+            dur_us: duration.as_micros().min(u64::MAX as u128) as u64,
+            tid: thread_index(),
+        });
+    }
+
+    /// Records an instantaneous marker (zero-duration span) at "now".
+    pub fn record_instant(&self, name: &str) {
+        self.record_span(name, Instant::now(), Duration::ZERO);
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// A copy of the recorded events, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Exports the buffer as Chrome `trace_event` JSON (the object
+    /// form: `{"traceEvents": [...]}` plus the trace id), loadable in
+    /// Perfetto / `chrome://tracing`.
+    pub fn to_chrome_json(&self) -> Json {
+        let events = self.events.lock();
+        Json::Object(vec![
+            ("traceId".to_string(), Json::Str(self.id.to_string())),
+            ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+            (
+                "traceEvents".to_string(),
+                Json::Array(
+                    events
+                        .iter()
+                        .map(|e| {
+                            Json::Object(vec![
+                                ("name".to_string(), Json::Str(e.name.clone())),
+                                ("cat".to_string(), Json::Str("tpiin".to_string())),
+                                ("ph".to_string(), Json::Str("X".to_string())),
+                                ("ts".to_string(), Json::Int(e.ts_us)),
+                                ("dur".to_string(), Json::Int(e.dur_us)),
+                                ("pid".to_string(), Json::Int(1)),
+                                ("tid".to_string(), Json::Int(e.tid)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// How many trace contexts are currently installed (global counts as
+/// one, each thread installation as one).  Non-zero activates span
+/// emission.
+static INSTALLED: AtomicUsize = AtomicUsize::new(0);
+
+fn global_trace_cell() -> &'static RwLock<Option<Arc<TraceContext>>> {
+    static CELL: OnceLock<RwLock<Option<Arc<TraceContext>>>> = OnceLock::new();
+    CELL.get_or_init(|| RwLock::new(None))
+}
+
+thread_local! {
+    static THREAD_TRACE: std::cell::RefCell<Option<Arc<TraceContext>>> =
+        const { std::cell::RefCell::new(None) };
+    static THREAD_INDEX: std::cell::Cell<u64> = const { std::cell::Cell::new(u64::MAX) };
+}
+
+/// A stable small integer identifying the current thread in trace
+/// events, assigned in first-use order.
+pub fn thread_index() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    THREAD_INDEX.with(|cell| {
+        let mut idx = cell.get();
+        if idx == u64::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed);
+            cell.set(idx);
+        }
+        idx
+    })
+}
+
+/// Whether any trace context is installed (one relaxed load — the hot
+/// gate spans check before doing any work).
+pub fn tracing_enabled() -> bool {
+    INSTALLED.load(Ordering::Relaxed) != 0
+}
+
+/// Installs (or clears, with `None`) the process-global trace context.
+pub fn set_active_trace(trace: Option<Arc<TraceContext>>) {
+    let mut cell = global_trace_cell().write();
+    match (&*cell, &trace) {
+        (None, Some(_)) => {
+            INSTALLED.fetch_add(1, Ordering::Relaxed);
+        }
+        (Some(_), None) => {
+            INSTALLED.fetch_sub(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    *cell = trace;
+}
+
+/// The context spans on this thread record into right now: the
+/// thread-installed one if any, else the global one, else `None`.
+pub fn current_trace() -> Option<Arc<TraceContext>> {
+    if !tracing_enabled() {
+        return None;
+    }
+    if let Some(trace) = THREAD_TRACE.with(|t| t.borrow().clone()) {
+        return Some(trace);
+    }
+    global_trace_cell().read().clone()
+}
+
+/// Installs `trace` as the current thread's context until the returned
+/// guard drops (shadowing the global context).  The daemon installs the
+/// per-request context around request handling with this.
+pub fn install_thread_trace(trace: Arc<TraceContext>) -> ThreadTraceGuard {
+    let previous = THREAD_TRACE.with(|t| t.borrow_mut().replace(trace));
+    if previous.is_none() {
+        INSTALLED.fetch_add(1, Ordering::Relaxed);
+    }
+    ThreadTraceGuard { previous }
+}
+
+/// RAII guard from [`install_thread_trace`]; restores the previous
+/// thread context on drop.
+#[must_use = "dropping the guard uninstalls the thread trace immediately"]
+pub struct ThreadTraceGuard {
+    previous: Option<Arc<TraceContext>>,
+}
+
+impl Drop for ThreadTraceGuard {
+    fn drop(&mut self) {
+        let restored = self.previous.take();
+        if restored.is_none() {
+            INSTALLED.fetch_sub(1, Ordering::Relaxed);
+        }
+        THREAD_TRACE.with(|t| *t.borrow_mut() = restored);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_roundtrip() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        let text = a.to_string();
+        assert_eq!(text.len(), 32);
+        assert_eq!(TraceId::parse(&text), Some(a));
+        assert_eq!(TraceId::parse("nope"), None);
+        assert_eq!(TraceId::parse(&text[..31]), None);
+    }
+
+    #[test]
+    fn context_records_and_exports_chrome_json() {
+        let trace = TraceContext::new();
+        let started = Instant::now();
+        trace.record_span("fusion/validate", started, Duration::from_micros(250));
+        trace.record_instant("marker");
+        assert_eq!(trace.event_count(), 2);
+        let json = trace.to_chrome_json().to_pretty();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"fusion/validate\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains(&format!("\"traceId\": \"{}\"", trace.id())));
+    }
+
+    #[test]
+    fn thread_install_shadows_global_and_restores() {
+        let global = Arc::new(TraceContext::new());
+        let request = Arc::new(TraceContext::new());
+        set_active_trace(Some(Arc::clone(&global)));
+        assert_eq!(current_trace().unwrap().id(), global.id());
+        {
+            let _guard = install_thread_trace(Arc::clone(&request));
+            assert!(tracing_enabled());
+            assert_eq!(current_trace().unwrap().id(), request.id());
+        }
+        assert_eq!(current_trace().unwrap().id(), global.id());
+        set_active_trace(None);
+    }
+
+    #[test]
+    fn disabled_without_any_installation() {
+        // Other tests in this binary may install contexts; rely on the
+        // guard discipline instead of asserting a global zero.
+        let trace = Arc::new(TraceContext::new());
+        let guard = install_thread_trace(Arc::clone(&trace));
+        assert!(tracing_enabled());
+        assert!(current_trace().is_some());
+        drop(guard);
+        assert!(THREAD_TRACE.with(|t| t.borrow().is_none()));
+    }
+}

@@ -11,15 +11,18 @@ use crate::http::{Request, Response};
 use crate::responses;
 use crate::store::{ServeSnapshot, SnapshotStore};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use tpiin_core::{groups_behind_arc, IncrementalDetector};
 use tpiin_io::json::Json;
 use tpiin_model::{CompanyId, TradingRecord};
+use tpiin_obs::{TraceContext, TraceId};
 
 /// Everything the handlers share: the hot-swap store, the single-writer
-/// ingest state and the shutdown latch.
+/// ingest state, the shutdown latch and the recent-trace ring.
 pub struct ServerState {
     pub(crate) store: SnapshotStore,
     pub(crate) writer: Mutex<IncrementalDetector>,
@@ -27,6 +30,9 @@ pub struct ServerState {
     pub(crate) snapshot_path: Option<PathBuf>,
     pub(crate) shutting_down: AtomicBool,
     pub(crate) addr: SocketAddr,
+    pub(crate) tracing: bool,
+    pub(crate) trace_ring: usize,
+    pub(crate) traces: Mutex<VecDeque<Arc<TraceContext>>>,
 }
 
 impl ServerState {
@@ -39,6 +45,21 @@ impl ServerState {
     fn next_epoch(&self) -> u64 {
         self.epoch.fetch_add(1, Ordering::SeqCst) + 1
     }
+
+    /// Pushes a finished request trace into the replay ring, evicting
+    /// the oldest once `trace_ring` traces are held.
+    pub(crate) fn remember_trace(&self, trace: Arc<TraceContext>) {
+        let mut ring = self.traces.lock();
+        while ring.len() >= self.trace_ring {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// Looks a recent request trace up by id (`GET /trace/{id}`).
+    pub(crate) fn find_trace(&self, id: TraceId) -> Option<Arc<TraceContext>> {
+        self.traces.lock().iter().find(|t| t.id() == id).cloned()
+    }
 }
 
 /// Dispatches one parsed request; returns the endpoint slug used for
@@ -49,6 +70,10 @@ pub fn route(state: &ServerState, req: &Request) -> (&'static str, Response) {
         ("GET", "/metrics") => ("metrics", metrics()),
         ("GET", "/groups") => ("groups", groups(state, req)),
         ("GET", "/groups_behind_arc") => ("groups_behind_arc", arc_query(state, req)),
+        ("GET", path) if path.starts_with("/groups/") && path.ends_with("/provenance") => {
+            ("provenance", provenance(state, req))
+        }
+        ("GET", path) if path.starts_with("/trace/") => ("trace", trace_lookup(state, req)),
         ("GET", path) if path.starts_with("/company/") => ("company", company(state, req)),
         ("POST", "/ingest") => ("ingest", ingest(state, req)),
         ("POST", "/reload") => ("reload", reload_endpoint(state)),
@@ -95,6 +120,47 @@ fn arc_query(state: &ServerState, req: &Request) -> Response {
         200,
         &responses::arc_query_json(&snap.tpiin, snap.epoch, src_node, dst_node, &groups),
     )
+}
+
+/// `GET /groups/{id}/provenance` — the full evidence chain behind one
+/// mined group, by its index in the `/groups` order.
+fn provenance(state: &ServerState, req: &Request) -> Response {
+    let inner = &req.path["/groups/".len()..req.path.len() - "/provenance".len()];
+    let inner = inner.trim_end_matches('/');
+    let Ok(index) = inner.parse::<usize>() else {
+        return Response::error(400, format!("bad group id `{inner}`"));
+    };
+    let snap = state.store.current();
+    if index >= snap.detection.groups.len() {
+        return Response::error(
+            404,
+            format!(
+                "no group {index} (epoch {} has {})",
+                snap.epoch,
+                snap.detection.groups.len()
+            ),
+        );
+    }
+    Response::json(200, &responses::provenance_json(&snap, index))
+}
+
+/// `GET /trace/{id}` — replays a recent request's trace as Chrome
+/// `trace_event` JSON (Perfetto-loadable).
+fn trace_lookup(state: &ServerState, req: &Request) -> Response {
+    let text = req.path.trim_start_matches("/trace/");
+    let Some(id) = TraceId::parse(text) else {
+        return Response::error(400, format!("bad trace id `{text}` (want 32 hex digits)"));
+    };
+    let Some(trace) = state.find_trace(id) else {
+        return Response::error(
+            404,
+            format!(
+                "trace {id} not held (ring keeps the last {})",
+                state.trace_ring
+            ),
+        );
+    };
+    Response::json_text(200, trace.to_chrome_json().to_pretty())
 }
 
 fn company(state: &ServerState, req: &Request) -> Response {

@@ -205,6 +205,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written after the standard
+    /// ones — e.g. the per-request `x-tpiin-trace` id.
+    pub headers: Vec<(String, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
 }
@@ -215,7 +218,19 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: value.to_string().into_bytes(),
+        }
+    }
+
+    /// A JSON response from an already-encoded body (e.g. the Chrome
+    /// trace export, which is produced by `tpiin-obs`'s own encoder).
+    pub fn json_text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
         }
     }
 
@@ -224,8 +239,15 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// Adds an extra response header (builder style).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     /// A JSON error envelope `{"error": reason}`.
@@ -252,13 +274,20 @@ impl Response {
             503 => "Service Unavailable",
             _ => "Unknown",
         };
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason,
             self.content_type,
             self.body.len()
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
@@ -343,5 +372,24 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 5\r\n"), "{text}");
         assert!(text.ends_with("hello"), "{text}");
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_blank_line() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        Response::text(200, "ok")
+            .with_header("x-tpiin-trace", "deadbeef")
+            .write_to(&mut server)
+            .unwrap();
+        drop(server);
+        let mut text = String::new();
+        let mut reader = BufReader::new(&client);
+        reader.read_to_string(&mut text).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("x-tpiin-trace: deadbeef"), "{head}");
+        assert_eq!(body, "ok");
     }
 }

@@ -24,6 +24,15 @@
 //!   [`tpiin_core::IncrementalDetector`] and answers with only the
 //!   *new* suspicious groups — the ancestor-cone query per arc, never a
 //!   full re-run of Algorithm 1.
+//! * **Per-request tracing**: every request gets its own
+//!   [`tpiin_obs::TraceContext`]; the trace id comes back in the
+//!   `x-tpiin-trace` response header and `GET /trace/{id}` replays the
+//!   request's spans as Chrome `trace_event` JSON (a ring keeps the
+//!   last [`ServeConfig::trace_ring`] traces).
+//! * **Group provenance**: `GET /groups/{id}/provenance` serves the
+//!   full evidence chain behind one mined group — matched rule, arc
+//!   lineage with winning source records, contraction lineage, score
+//!   breakdown.
 //!
 //! ## Endpoints
 //!
@@ -32,7 +41,9 @@
 //! | `GET /healthz` | liveness + current epoch and headline counts |
 //! | `GET /metrics` | Prometheus text exposition of the tpiin-obs registry |
 //! | `GET /groups` | the detection result (optionally `?limit=N`) |
+//! | `GET /groups/{id}/provenance` | the evidence chain behind group `id` |
 //! | `GET /groups_behind_arc?src=..&dst=..` | Section 6: groups hiding behind one trading arc |
+//! | `GET /trace/{id}` | Chrome trace JSON of a recent request (`x-tpiin-trace`) |
 //! | `GET /company/{label}` | one node's profile and its groups |
 //! | `POST /ingest` | `{"records": [{"seller": n, "buyer": n, "volume": x}]}` |
 //! | `POST /reload` | re-read the snapshot file and hot-swap |

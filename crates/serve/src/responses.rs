@@ -183,6 +183,106 @@ pub fn ingest_json(tpiin: &Tpiin, epoch: u64, outcome: &BatchOutcome, stats: Ing
     ])
 }
 
+fn fnum(value: f64) -> Json {
+    Json::Number(value)
+}
+
+fn arc_provenance_json(arc: &tpiin_core::ArcProvenance) -> Json {
+    obj(vec![
+        ("source", s(arc.source_label.clone())),
+        ("target", s(arc.target_label.clone())),
+        ("color", s(format!("{:?}", arc.color).to_ascii_lowercase())),
+        ("weight", fnum(arc.weight)),
+        (
+            "source_record",
+            match arc.source_record {
+                Some(seq) => num(seq as usize),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// The `/groups/{id}/provenance` body: rule, arc lineage (each arc
+/// resolved to its winning source record), contraction lineage and the
+/// per-term score breakdown of one mined group.
+pub fn provenance_json(snapshot: &ServeSnapshot, index: usize) -> Json {
+    let tpiin = &snapshot.tpiin;
+    let group = &snapshot.detection.groups[index];
+    let assembled;
+    let prov = match snapshot.detection.provenances.get(index) {
+        Some(prov) => prov,
+        // Counting-only detections carry no provenance; assemble on
+        // demand (a handful of adjacency probes).
+        None => {
+            assembled = tpiin_core::Provenance::assemble(tpiin, group);
+            &assembled
+        }
+    };
+    let (influence_records, trading_records) = prov.source_records();
+    let record_array =
+        |records: Vec<u32>| Json::Array(records.into_iter().map(|r| num(r as usize)).collect());
+    obj(vec![
+        ("epoch", num(snapshot.epoch as usize)),
+        ("group_id", num(index)),
+        ("group", group_json(tpiin, group)),
+        ("rule", s(prov.rule.describe())),
+        (
+            "influence_arcs",
+            Json::Array(
+                prov.influence_arcs
+                    .iter()
+                    .map(arc_provenance_json)
+                    .collect(),
+            ),
+        ),
+        ("trading_arc", arc_provenance_json(&prov.trading_arc)),
+        (
+            "members",
+            Json::Array(
+                prov.members
+                    .iter()
+                    .map(|m| {
+                        obj(vec![
+                            ("label", s(m.label.clone())),
+                            ("color", s(format!("{:?}", m.color).to_ascii_lowercase())),
+                            ("person_members", record_array(m.person_members.clone())),
+                            ("company_members", record_array(m.company_members.clone())),
+                            ("syndicate", Json::Bool(m.is_syndicate())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "score",
+            obj(vec![
+                (
+                    "influence_weights",
+                    Json::Array(
+                        prov.score
+                            .influence_weights
+                            .iter()
+                            .map(|&w| fnum(w))
+                            .collect(),
+                    ),
+                ),
+                ("chain_strength", fnum(prov.score.chain_strength)),
+                ("trade_volume", fnum(prov.score.trade_volume)),
+                ("score", fnum(prov.score.score)),
+            ]),
+        ),
+        (
+            "source_records",
+            obj(vec![
+                ("influence", record_array(influence_records)),
+                ("trading", record_array(trading_records)),
+            ]),
+        ),
+        ("rendered", s(prov.render(group, tpiin))),
+    ])
+}
+
 /// The `/healthz` body.
 pub fn health_json(snapshot: &ServeSnapshot) -> Json {
     obj(vec![

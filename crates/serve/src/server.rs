@@ -35,6 +35,13 @@ pub struct ServeConfig {
     pub watch: bool,
     /// Write a final [`tpiin_obs::RunProfile`] here on shutdown.
     pub profile_out: Option<PathBuf>,
+    /// Mint a [`tpiin_obs::TraceContext`] per request, echo its id in
+    /// the `x-tpiin-trace` response header and keep the last
+    /// `trace_ring` traces for `GET /trace/{id}`.  Off for overhead
+    /// benchmarking.
+    pub tracing: bool,
+    /// How many recent request traces `GET /trace/{id}` can replay.
+    pub trace_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +55,8 @@ impl Default for ServeConfig {
             snapshot_path: None,
             watch: false,
             profile_out: None,
+            tracing: true,
+            trace_ring: 64,
         }
     }
 }
@@ -134,6 +143,9 @@ impl ServerHandle {
             snapshot_path: config.snapshot_path.clone(),
             shutting_down: AtomicBool::new(false),
             addr,
+            tracing: config.tracing,
+            trace_ring: config.trace_ring.max(1),
+            traces: Mutex::new(std::collections::VecDeque::new()),
         });
 
         let accept = {
@@ -248,15 +260,32 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, config: &ServeC
 
 fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body_bytes: usize) {
     let started = Instant::now();
+    // Per-request trace: installed for this thread only, so concurrent
+    // requests each collect their own spans; the id goes back to the
+    // client in `x-tpiin-trace` and the context into the replay ring.
+    let trace = state
+        .tracing
+        .then(|| Arc::new(tpiin_obs::TraceContext::new()));
+    let trace_guard = trace
+        .as_ref()
+        .map(|t| tpiin_obs::install_thread_trace(Arc::clone(t)));
     let parsed = {
         let mut reader = BufReader::new(&stream);
         parse_request(&mut reader, max_body_bytes)
     };
-    let (endpoint, response) = match parsed {
+    let (endpoint, mut response) = match parsed {
         Ok(request) => handlers::route(state, &request),
         Err(err) => ("malformed", Response::error(err.status(), err.reason())),
     };
+    if let Some(trace) = &trace {
+        trace.record_span(&format!("serve/{endpoint}"), started, started.elapsed());
+        response = response.with_header("x-tpiin-trace", trace.id().to_string());
+    }
     let _ = response.write_to(&mut stream);
+    drop(trace_guard);
+    if let Some(trace) = trace {
+        state.remember_trace(trace);
+    }
 
     let registry = tpiin_obs::global();
     registry

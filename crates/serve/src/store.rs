@@ -72,6 +72,8 @@ impl ServeSnapshot {
             } else {
                 next.complex_group_count += 1;
             }
+            next.provenances
+                .push(tpiin_core::Provenance::assemble(tpiin, group));
             next.groups.push(group.clone());
         }
         next.suspicious_trading_arcs

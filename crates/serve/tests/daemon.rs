@@ -40,6 +40,29 @@ fn get(addr: SocketAddr, path: &str) -> (String, String) {
     request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
 }
 
+/// Like [`get`] but keeps the raw header block: `(status, head, body)`.
+fn get_with_headers(addr: SocketAddr, path: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let (head, body) = response.split_once("\r\n\r\n").unwrap_or(("", ""));
+    (status, head.to_string(), body.to_string())
+}
+
+/// The `x-tpiin-trace` header value, if the response carried one.
+fn trace_id_of(head: &str) -> Option<String> {
+    head.lines()
+        .find_map(|line| line.strip_prefix("x-tpiin-trace: "))
+        .map(str::to_string)
+}
+
 fn post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
     request(
         addr,
@@ -191,6 +214,116 @@ fn saturated_daemon_sheds_load_with_503() {
     // The daemon recovers once the pile-up clears.
     let (status, _) = get(addr, "/healthz");
     assert_eq!(status, "HTTP/1.1 200 OK");
+    handle.shutdown();
+}
+
+#[test]
+fn every_request_is_traced_and_replayable() {
+    let handle = ServerHandle::bind(fig7(), ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    // Every response carries its trace id.
+    let (status, head, _) = get_with_headers(addr, "/groups");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let id = trace_id_of(&head).expect("x-tpiin-trace header present");
+    assert_eq!(id.len(), 32, "trace id is 32 hex digits: {id}");
+
+    // The ring replays that request's spans as Chrome trace JSON.
+    let (status, body) = get(addr, &format!("/trace/{id}"));
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"traceEvents\""), "{body}");
+    assert!(body.contains(&format!("\"traceId\": \"{id}\"")), "{body}");
+    assert!(
+        body.contains("serve/groups"),
+        "request span missing: {body}"
+    );
+
+    // Even error responses are traced.
+    let (status, head, _) = get_with_headers(addr, "/no-such-endpoint");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    assert!(trace_id_of(&head).is_some(), "404 carries a trace id too");
+
+    // Bad and unknown ids answer 400 / 404.
+    let (status, _) = get(addr, "/trace/not-hex");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    let (status, _) = get(addr, &format!("/trace/{}", "0".repeat(32)));
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    handle.shutdown();
+}
+
+#[test]
+fn tracing_off_omits_header_and_ring() {
+    let config = ServeConfig {
+        tracing: false,
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(fig7(), config).expect("bind");
+    let addr = handle.addr();
+    let (status, head, _) = get_with_headers(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        trace_id_of(&head).is_none(),
+        "tracing off must not mint ids"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn provenance_endpoint_matches_offline_assembly() {
+    let tpiin = fig7();
+    let detection = detect(&tpiin);
+    assert!(detection.group_count() > 0);
+    let handle = ServerHandle::bind(tpiin.clone(), ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    for index in 0..detection.groups.len() {
+        let (status, body) = get(addr, &format!("/groups/{index}/provenance"));
+        assert_eq!(status, "HTTP/1.1 200 OK", "group {index}");
+        assert!(body.contains("\"rule\":"), "group {index}: {body}");
+        assert!(body.contains("\"influence_arcs\":"), "group {index}");
+        // The served chain references only arcs the offline assembly
+        // resolves against the same network.
+        let offline = tpiin_core::Provenance::assemble(&tpiin, &detection.groups[index]);
+        assert!(offline.audit(&tpiin).is_ok());
+        assert!(
+            body.contains(&format!(
+                "\"trade_volume\":{}",
+                tpiin_io::json::Json::Number(offline.score.trade_volume)
+            )),
+            "group {index} trade volume diverged: {body}"
+        );
+    }
+
+    let (status, _) = get(addr, "/groups/999999/provenance");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let (status, _) = get(addr, "/groups/zebra/provenance");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    handle.shutdown();
+}
+
+#[test]
+fn ingested_groups_get_provenance_too() {
+    // Case 2 without its trades: the first ingest batch mines one new
+    // group, whose provenance must be served without a full re-detect.
+    let mut registry = tpiin_datagen::case2_registry();
+    registry.clear_trading();
+    let (clean, _) = fuse(&registry).expect("case2 fuses");
+    let before = detect(&clean).group_count();
+    let handle = ServerHandle::bind(clean, ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let (status, body) = post(
+        addr,
+        "/ingest",
+        "{\"records\": [{\"seller\": 1, \"buyer\": 2, \"volume\": 7.5}]}",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"new_group_count\":1"), "{body}");
+
+    let (status, body) = get(addr, &format!("/groups/{before}/provenance"));
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"trade_volume\":7.5"), "{body}");
+    assert!(body.contains("\"rule\":"), "{body}");
     handle.shutdown();
 }
 

@@ -14,10 +14,11 @@
 //! ```
 
 use crate::error::Error;
+use std::sync::Arc;
 use tpiin_core::{DetectionResult, Detector, DetectorConfig};
 use tpiin_fusion::{FuseOptions, FusionReport, Tpiin};
 use tpiin_model::SourceRegistry;
-use tpiin_obs::{Level, RunProfile};
+use tpiin_obs::{Level, RunProfile, TraceContext};
 
 /// Everything one [`Pipeline::run`] produces.
 #[derive(Debug)]
@@ -44,6 +45,7 @@ pub struct Pipeline<'a> {
     fuse_options: FuseOptions,
     log_level: Option<Level>,
     profile: bool,
+    trace: Option<Arc<TraceContext>>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -58,6 +60,7 @@ impl<'a> Pipeline<'a> {
             fuse_options: FuseOptions::from_env(),
             log_level: None,
             profile: false,
+            trace: None,
         }
     }
 
@@ -80,6 +83,16 @@ impl<'a> Pipeline<'a> {
     /// [`RunOutput::profile`].
     pub fn profile(mut self, on: bool) -> Self {
         self.profile = on;
+        self
+    }
+
+    /// Records the whole run into `trace`: installed as the process-wide
+    /// active context for the duration of [`Pipeline::run`], so fusion
+    /// and detector spans on every worker thread land in it under one
+    /// trace id.  Export afterwards with
+    /// [`TraceContext::to_chrome_json`].
+    pub fn trace(mut self, trace: Arc<TraceContext>) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -125,8 +138,20 @@ impl<'a> Pipeline<'a> {
             tpiin_obs::set_profiling(true);
             tpiin_obs::global().reset();
         }
-        let (tpiin, report) = tpiin_fusion::fuse_with(self.registry, self.fuse_options)?;
-        let groups = Detector::new(self.config).detect(&tpiin);
+        let installed_trace = self.trace.is_some();
+        if let Some(trace) = &self.trace {
+            tpiin_obs::set_active_trace(Some(Arc::clone(trace)));
+        }
+        let outcome = (|| {
+            let _root = tpiin_obs::Span::at("pipeline");
+            let (tpiin, report) = tpiin_fusion::fuse_with(self.registry, self.fuse_options)?;
+            let groups = Detector::new(self.config).detect(&tpiin);
+            Ok::<_, Error>((tpiin, report, groups))
+        })();
+        if installed_trace {
+            tpiin_obs::set_active_trace(None);
+        }
+        let (tpiin, report, groups) = outcome?;
         let profile = self.profile.then(RunProfile::capture);
         Ok(RunOutput {
             tpiin,
@@ -187,6 +212,29 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200"), "{text}");
         assert!(text.contains("\"status\":\"ok\""), "{text}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn trace_collects_fusion_and_detector_spans_under_one_id() {
+        let registry = tpiin_datagen::fig7_registry();
+        let trace = Arc::new(TraceContext::new());
+        let out = Pipeline::from_registry(&registry)
+            .threads(2)
+            .trace(Arc::clone(&trace))
+            .run()
+            .expect("fig7 is valid");
+        assert_eq!(out.groups.group_count(), 3);
+        let names: Vec<String> = trace.events().into_iter().map(|e| e.name).collect();
+        for expected in ["pipeline", "fusion", "detect", "detect/provenance"] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "span {expected:?} missing from {names:?}"
+            );
+        }
+        let json = trace.to_chrome_json().to_pretty();
+        assert!(json.contains(&format!("\"traceId\": \"{}\"", trace.id())));
+        // The context uninstalls when run() returns.
+        assert!(tpiin_obs::current_trace().is_none() || !tpiin_obs::tracing_enabled());
     }
 
     #[test]
