@@ -1,0 +1,151 @@
+//! CI perf-regression gate: compares fresh `BENCH_*.json` records
+//! against committed baselines and exits non-zero on any regression.
+//!
+//! For every `BENCH_*.json` in the fresh directory, the matching file
+//! in the baseline directory is loaded and the two are compared with
+//! [`tpiin_bench::check::compare`]: timing keys may grow up to
+//! `baseline × tolerance + floor`, deterministic count keys must match
+//! exactly, and an `aborted: true` fresh record always fails.  A fresh
+//! record with no committed baseline fails too — a new benchmark must
+//! land with its baseline, or the gate would silently never cover it.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_check [--tolerance RATIO] [--floor-ms MS] [--update] BASELINE_DIR FRESH_DIR
+//! ```
+//!
+//! `--update` rewrites the baselines from the fresh records instead of
+//! gating (the explicit, reviewable way to ratify a new performance
+//! level) and never fails — except on aborted fresh records, which are
+//! not fit to become baselines.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tpiin_bench::check::{compare, Tolerances};
+use tpiin_io::json::Json;
+
+struct Options {
+    baseline_dir: PathBuf,
+    fresh_dir: PathBuf,
+    tolerances: Tolerances,
+    update: bool,
+}
+
+fn parse_args() -> Options {
+    let mut tolerances = Tolerances::default();
+    let mut update = false;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let value = args.next().expect("--tolerance needs a value");
+                tolerances.ratio = value.parse().expect("--tolerance must be a number");
+            }
+            "--floor-ms" => {
+                let value = args.next().expect("--floor-ms needs a value");
+                tolerances.floor_ms = value.parse().expect("--floor-ms must be a number");
+            }
+            "--update" => update = true,
+            other => dirs.push(PathBuf::from(other)),
+        }
+    }
+    let [baseline_dir, fresh_dir] = <[PathBuf; 2]>::try_from(dirs).unwrap_or_else(|_| {
+        panic!("usage: bench_check [--tolerance RATIO] [--floor-ms MS] [--update] BASELINE_DIR FRESH_DIR")
+    });
+    Options {
+        baseline_dir,
+        fresh_dir,
+        tolerances,
+        update,
+    }
+}
+
+/// `BENCH_*.json` file names in `dir`, sorted for stable output.
+fn bench_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+}
+
+fn load(path: &Path) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    Json::parse(&text).unwrap_or_else(|e| panic!("parsing {}: {e:?}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let fresh_names = bench_files(&opts.fresh_dir);
+    if fresh_names.is_empty() {
+        eprintln!(
+            "bench_check: no BENCH_*.json records in {}",
+            opts.fresh_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for name in &fresh_names {
+        let fresh_path = opts.fresh_dir.join(name);
+        let fresh = load(&fresh_path);
+        let baseline_path = opts.baseline_dir.join(name);
+
+        if opts.update {
+            if let Some(Json::Bool(true)) = fresh.get("aborted") {
+                println!("bench_check [{name}]: FAIL — aborted record cannot become a baseline");
+                failures += 1;
+                continue;
+            }
+            std::fs::create_dir_all(&opts.baseline_dir)
+                .unwrap_or_else(|e| panic!("creating {}: {e}", opts.baseline_dir.display()));
+            std::fs::copy(&fresh_path, &baseline_path)
+                .unwrap_or_else(|e| panic!("updating {}: {e}", baseline_path.display()));
+            println!("bench_check [{name}]: baseline updated");
+            continue;
+        }
+
+        if !baseline_path.is_file() {
+            println!(
+                "bench_check [{name}]: FAIL — no committed baseline at {} (run with --update to create it)",
+                baseline_path.display()
+            );
+            failures += 1;
+            continue;
+        }
+        let baseline = load(&baseline_path);
+        let regressions = compare(&baseline, &fresh, &opts.tolerances);
+        if regressions.is_empty() {
+            println!(
+                "bench_check [{name}]: ok (tolerance {:.1}x + {:.1} ms floor)",
+                opts.tolerances.ratio, opts.tolerances.floor_ms
+            );
+        } else {
+            println!(
+                "bench_check [{name}]: FAIL — {} regression(s)",
+                regressions.len()
+            );
+            for line in &regressions {
+                println!("  {line}");
+            }
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_check: {failures} of {} record(s) failed the gate",
+            fresh_names.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

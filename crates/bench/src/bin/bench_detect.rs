@@ -13,9 +13,10 @@
 //! Usage: `bench_detect [OUT_PATH] [SCALE] [THREADS]` — defaults to
 //! `BENCH_detect.json`, scale 0.5, 8 threads.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use tpiin_bench::fixtures::tpiin_fixture;
-use tpiin_bench::record::{DetectBench, WorkloadRecord};
+use tpiin_bench::record::{self, BenchMeta, DetectBench, WorkloadRecord};
 use tpiin_core::{segment_tpiin, segment_tpiin_nested, DetectionResult, Detector, DetectorConfig};
 use tpiin_datagen::fig7_registry;
 use tpiin_fusion::{fuse, Tpiin};
@@ -107,13 +108,35 @@ fn main() {
     // fig7 is tiny — repeat it enough for the timer to resolve; the
     // province run is the headline number and gets median-of-9 after
     // two warmup passes.
-    let workloads = vec![
-        measure("fig7", &fig7, 10, 51, threads),
-        measure(&format!("province-{scale}"), &province, 2, 9, threads),
+    let specs: Vec<(String, &Tpiin, usize, usize)> = vec![
+        ("fig7".to_string(), &fig7, 10, 51),
+        (format!("province-{scale}"), &province, 2, 9),
     ];
+    let mut meta = BenchMeta::new(
+        "detect",
+        specs.iter().map(|(name, ..)| name.clone()),
+        ["nested_serial", "csr_serial", "csr_stealing"],
+    );
+
+    // Each workload runs under catch_unwind so a crash partway still
+    // writes the completed workloads — marked `aborted`, which the
+    // bench_check gate treats as a hard failure.
+    let mut workloads = Vec::new();
+    for (name, tpiin, warmup, reps) in &specs {
+        match catch_unwind(AssertUnwindSafe(|| {
+            measure(name, tpiin, *warmup, *reps, threads)
+        })) {
+            Ok(record) => workloads.push(record),
+            Err(_) => {
+                eprintln!("bench detect [{name}]: PANICKED — marking record aborted");
+                meta.aborted = true;
+                break;
+            }
+        }
+    }
 
     let bench = DetectBench {
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cpus: meta.host_cpus,
         workloads,
     };
     for w in &bench.workloads {
@@ -130,8 +153,10 @@ fn main() {
             w.subtpiins
         );
     }
-    bench
-        .write(std::path::Path::new(&path))
+    record::write_enveloped(std::path::Path::new(&path), &meta, bench.to_json())
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("record -> {path} (host_cpus = {})", bench.host_cpus);
+    if meta.aborted {
+        std::process::exit(1);
+    }
 }

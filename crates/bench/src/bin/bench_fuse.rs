@@ -12,9 +12,12 @@
 //! Usage: `bench_fuse [OUT_PATH] [SCALE] [THREADS]` — defaults to
 //! `BENCH_fuse.json`, scale 0.5, 8 threads.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use tpiin_bench::fixtures::province_with_trading;
-use tpiin_bench::record::{FuseArmRecord, FuseBench, FuseStageMs, FuseWorkloadRecord};
+use tpiin_bench::record::{
+    self, BenchMeta, FuseArmRecord, FuseBench, FuseStageMs, FuseWorkloadRecord,
+};
 use tpiin_datagen::fig7_registry;
 use tpiin_fusion::{fuse_with, FuseOptions, FusionReport, Tpiin};
 use tpiin_model::SourceRegistry;
@@ -97,13 +100,35 @@ fn main() {
     // fig7 is tiny — repeat it enough for the timer to resolve; the
     // province run is the headline number and gets median-of-5 after a
     // single warmup pass.
-    let workloads = vec![
-        measure("fig7", &fig7, 10, 51, threads),
-        measure(&format!("province-{scale}"), &province, 1, 5, threads),
+    let specs: Vec<(String, &SourceRegistry, usize, usize)> = vec![
+        ("fig7".to_string(), &fig7, 10, 51),
+        (format!("province-{scale}"), &province, 1, 5),
     ];
+    let mut meta = BenchMeta::new(
+        "fuse",
+        specs.iter().map(|(name, ..)| name.clone()),
+        ["serial", "parallel"],
+    );
+
+    // Each workload runs under catch_unwind so a crash partway still
+    // writes the completed workloads — marked `aborted`, which the
+    // bench_check gate treats as a hard failure.
+    let mut workloads = Vec::new();
+    for (name, registry, warmup, reps) in &specs {
+        match catch_unwind(AssertUnwindSafe(|| {
+            measure(name, registry, *warmup, *reps, threads)
+        })) {
+            Ok(record) => workloads.push(record),
+            Err(_) => {
+                eprintln!("bench fuse [{name}]: PANICKED — marking record aborted");
+                meta.aborted = true;
+                break;
+            }
+        }
+    }
 
     let bench = FuseBench {
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cpus: meta.host_cpus,
         workloads,
     };
     for w in &bench.workloads {
@@ -125,8 +150,10 @@ fn main() {
             );
         }
     }
-    bench
-        .write(std::path::Path::new(&path))
+    record::write_enveloped(std::path::Path::new(&path), &meta, bench.to_json())
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("record -> {path} (host_cpus = {})", bench.host_cpus);
+    if meta.aborted {
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,149 @@
+//! Open-loop load benchmark: boots an in-process `tpiin-serve` daemon
+//! over the fig7 worked example and sweeps offered throughput across a
+//! mixed read workload (`/groups`, `/company/{id}`,
+//! `/groups_behind_arc`), writing one latency-vs-offered-throughput
+//! curve per sweep to `BENCH_loadgen.json`.
+//!
+//! Unlike `bench_serve`'s closed-loop endpoint hammering, arrivals here
+//! follow a fixed timetable regardless of server speed, and latency is
+//! measured from the *scheduled* arrival — see [`tpiin_bench::loadgen`]
+//! for why that avoids coordinated omission.  Each rate step also
+//! records the process's peak live heap (the allocator-ledger
+//! watermark, reset at the step boundary).
+//!
+//! Usage: `bench_loadgen [OUT_PATH] [RATES] [STEP_SECS] [SENDERS]` —
+//! defaults to `BENCH_loadgen.json`, rates `50,100,200,400` (a
+//! comma-separated rps ladder), 1-second steps, 8 senders.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use tpiin_bench::loadgen::{self, MixEntry, SweepOptions};
+use tpiin_bench::record::{self, BenchMeta, LoadCurve, RateStep};
+use tpiin_core::detect;
+use tpiin_datagen::fig7_registry;
+use tpiin_obs::Json;
+use tpiin_serve::{ServeConfig, ServerHandle};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_loadgen.json".to_string());
+    let rates: Vec<f64> = args
+        .next()
+        .map(|s| {
+            s.split(',')
+                .map(|r| {
+                    r.trim()
+                        .parse()
+                        .expect("RATES must be comma-separated numbers")
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![50.0, 100.0, 200.0, 400.0]);
+    let step_secs: f64 = args
+        .next()
+        .map(|s| s.parse().expect("STEP_SECS must be a number"))
+        .unwrap_or(1.0);
+    let senders: usize = args
+        .next()
+        .map(|s| s.parse().expect("SENDERS must be an integer"))
+        .unwrap_or(8);
+    assert!(!rates.is_empty(), "RATES must name at least one rate");
+
+    let workers = 4;
+    let mut meta = BenchMeta::new(
+        "loadgen",
+        ["fig7".to_string()],
+        ["groups", "company", "groups_behind_arc"],
+    );
+
+    // The whole sweep runs under catch_unwind: a crash mid-ladder still
+    // writes an (aborted, gate-failing) record instead of nothing — a
+    // flight recorder that only records successful flights is useless.
+    let curves: Vec<LoadCurve> = catch_unwind(AssertUnwindSafe(|| {
+        let (tpiin, _) = fuse_fig7();
+        let detection = detect(&tpiin);
+        let mut mix = vec![MixEntry {
+            name: "groups".to_string(),
+            path: "/groups?limit=5".to_string(),
+            weight: 2,
+        }];
+        if let Some((src, dst)) = detection.suspicious_trading_arcs.iter().next() {
+            mix.push(MixEntry {
+                name: "company".to_string(),
+                path: format!("/company/{}", tpiin.label(*src)),
+                weight: 1,
+            });
+            mix.push(MixEntry {
+                name: "groups_behind_arc".to_string(),
+                path: format!(
+                    "/groups_behind_arc?src={}&dst={}",
+                    tpiin.label(*src),
+                    tpiin.label(*dst)
+                ),
+                weight: 1,
+            });
+        }
+        let config = ServeConfig {
+            workers,
+            queue_capacity: 256,
+            ..ServeConfig::default()
+        };
+        let handle = ServerHandle::bind(tpiin, config).expect("bind ephemeral daemon");
+        let opts = SweepOptions {
+            rates: rates.clone(),
+            step: Duration::from_secs_f64(step_secs),
+            senders,
+        };
+        let curve = loadgen::sweep(handle.addr(), "fig7", &mix, &opts);
+        handle.shutdown();
+        vec![curve]
+    }))
+    .unwrap_or_else(|_| {
+        eprintln!("bench loadgen [fig7]: PANICKED — marking record aborted");
+        meta.aborted = true;
+        Vec::new()
+    });
+
+    for curve in &curves {
+        for step in &curve.steps {
+            print_step(&curve.workload, step);
+        }
+    }
+
+    let payload = Json::Object(vec![
+        ("workers".to_string(), Json::Int(workers as u64)),
+        ("senders".to_string(), Json::Int(senders as u64)),
+        (
+            "load_curves".to_string(),
+            Json::Array(curves.iter().map(LoadCurve::to_json).collect()),
+        ),
+    ]);
+    record::write_enveloped(std::path::Path::new(&path), &meta, payload)
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("record -> {path} (host_cpus = {})", meta.host_cpus);
+    if meta.aborted {
+        std::process::exit(1);
+    }
+}
+
+fn fuse_fig7() -> (tpiin_fusion::Tpiin, tpiin_fusion::FusionReport) {
+    tpiin_fusion::fuse(&fig7_registry()).expect("fig7 registry fuses")
+}
+
+fn print_step(workload: &str, step: &RateStep) {
+    println!(
+        "bench loadgen [{workload}] @{:>6.0} rps: sent {:>5}, ok {:>5}, err {:>3}, p50 {:>8.1} us, p95 {:>8.1} us, p99 {:>8.1} us, achieved {:>6.1} rps, peak {} B",
+        step.offered_rps,
+        step.sent,
+        step.completed,
+        step.errors,
+        step.p50_us,
+        step.p95_us,
+        step.p99_us,
+        step.achieved_rps,
+        step.server_peak_bytes
+    );
+}

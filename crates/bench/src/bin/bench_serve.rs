@@ -11,11 +11,14 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_bench::loadgen::{self, MixEntry, SweepOptions};
 use tpiin_bench::record::{
-    EndpointLatency, ServeBench, ServeWorkloadRecord, TracingOverheadRecord,
+    self, BenchMeta, EndpointLatency, LoadCurve, ServeBench, ServeWorkloadRecord,
+    TracingOverheadRecord,
 };
 use tpiin_core::detect;
 use tpiin_datagen::fig7_registry;
@@ -177,6 +180,63 @@ fn measure_tracing_overhead(
     }
 }
 
+/// The fig7 open-loop arm: boots a dedicated daemon and sweeps a mixed
+/// read workload (groups-heavy, with company and arc lookups) across
+/// the default offered-rate ladder.
+fn load_curve_fig7(workers: usize) -> LoadCurve {
+    let (tpiin, _) = fuse(&fig7_registry()).expect("fig7 registry fuses");
+    let detection = detect(&tpiin);
+    let mut mix = vec![MixEntry {
+        name: "groups".to_string(),
+        path: "/groups?limit=5".to_string(),
+        weight: 2,
+    }];
+    if let Some((src, dst)) = detection.suspicious_trading_arcs.iter().next() {
+        mix.push(MixEntry {
+            name: "company".to_string(),
+            path: format!("/company/{}", tpiin.label(*src)),
+            weight: 1,
+        });
+        mix.push(MixEntry {
+            name: "groups_behind_arc".to_string(),
+            path: format!(
+                "/groups_behind_arc?src={}&dst={}",
+                tpiin.label(*src),
+                tpiin.label(*dst)
+            ),
+            weight: 1,
+        });
+    }
+    // A deep queue: the open-loop discipline wants queueing to show up
+    // as latency, not as shed 503s.
+    let config = ServeConfig {
+        workers,
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(tpiin, config).expect("bind ephemeral daemon");
+    let curve = loadgen::sweep(handle.addr(), "fig7", &mix, &SweepOptions::default());
+    handle.shutdown();
+    curve
+}
+
+/// Runs one bench unit under `catch_unwind`: a panic marks the whole
+/// record aborted (and skips the remaining units) but still lets main
+/// write the units that completed.
+fn guarded<T>(label: &str, aborted: &mut bool, unit: impl FnOnce() -> T) -> Option<T> {
+    if *aborted {
+        return None;
+    }
+    match catch_unwind(AssertUnwindSafe(unit)) {
+        Ok(value) => Some(value),
+        Err(_) => {
+            eprintln!("bench serve [{label}]: PANICKED — marking record aborted");
+            *aborted = true;
+            None
+        }
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let path = args
@@ -191,28 +251,45 @@ fn main() {
         .map(|s| s.parse().expect("CLIENTS must be an integer"))
         .unwrap_or(4);
 
-    let (fig7, _) = fuse(&fig7_registry()).expect("fig7 registry fuses");
-    let province = tpiin_fixture(scale, 0.004, 20170417);
-
     let workers = 4;
     let requests = 200;
-    let workloads = vec![
-        measure("fig7", fig7, requests, clients, workers),
-        measure(
-            &format!("province-{scale}"),
-            province,
-            requests,
-            clients,
-            workers,
-        ),
-    ];
+    let province_name = format!("province-{scale}");
+    let mut meta = BenchMeta::new(
+        "serve",
+        ["fig7".to_string(), province_name.clone()],
+        ["closed_loop", "open_loop"],
+    );
+    let mut aborted = false;
+
+    let mut workloads = Vec::new();
+    if let Some(w) = guarded("fig7", &mut aborted, || {
+        let (fig7, _) = fuse(&fig7_registry()).expect("fig7 registry fuses");
+        measure("fig7", fig7, requests, clients, workers)
+    }) {
+        workloads.push(w);
+    }
+    if let Some(w) = guarded(&province_name, &mut aborted, || {
+        let province = tpiin_fixture(scale, 0.004, 20170417);
+        measure(&province_name, province, requests, clients, workers)
+    }) {
+        workloads.push(w);
+    }
+    let tracing_overhead = guarded("tracing_overhead", &mut aborted, || {
+        measure_tracing_overhead(requests, clients, workers)
+    });
+    let load_curves: Vec<LoadCurve> =
+        guarded("load_curve fig7", &mut aborted, || load_curve_fig7(workers))
+            .into_iter()
+            .collect();
+    meta.aborted = aborted;
 
     let bench = ServeBench {
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cpus: meta.host_cpus,
         workers,
         clients,
         workloads,
-        tracing_overhead: Some(measure_tracing_overhead(requests, clients, workers)),
+        tracing_overhead,
+        load_curves,
     };
     for w in &bench.workloads {
         for e in &w.endpoints {
@@ -230,8 +307,24 @@ fn main() {
             overhead.p95_ratio()
         );
     }
-    bench
-        .write(std::path::Path::new(&path))
+    for curve in &bench.load_curves {
+        for step in &curve.steps {
+            println!(
+                "bench serve [{}] open-loop @{:>6.0} rps: p50 {:>8.1} us, p95 {:>8.1} us, p99 {:>8.1} us, achieved {:>6.1} rps, peak {} B",
+                curve.workload,
+                step.offered_rps,
+                step.p50_us,
+                step.p95_us,
+                step.p99_us,
+                step.achieved_rps,
+                step.server_peak_bytes
+            );
+        }
+    }
+    record::write_enveloped(std::path::Path::new(&path), &meta, bench.to_json())
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("record -> {path} (host_cpus = {})", bench.host_cpus);
+    if meta.aborted {
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,277 @@
+//! The perf-regression gate: compares a fresh `BENCH_*.json` record
+//! against a committed baseline and reports every regression.
+//!
+//! Two classes of key are gated:
+//!
+//! * **Timing keys** (`*_ms`, `*_us`, `*_ns`) regress when the fresh
+//!   value exceeds `baseline × tolerance + floor`.  The multiplicative
+//!   tolerance absorbs host-speed differences between the machine that
+//!   committed the baseline and the CI runner; the additive floor
+//!   keeps microsecond-scale jitter on trivial workloads from tripping
+//!   a gate meant for real slowdowns.
+//! * **Deterministic count keys** (`groups`, `subtpiins`,
+//!   `tpiin_nodes`, arc counts...) must match **exactly**, in both
+//!   directions — they are pure functions of the dataset, so any drift
+//!   is a correctness change sneaking in through a perf PR, the one
+//!   thing a noisy-timing gate could never catch.
+//!
+//! Everything else — host shape (`host_cpus`, `workers`), derived
+//! ratios, memory telemetry (inherently host-dependent), request
+//! tallies — is informational and skipped.  An `aborted: true` marker
+//! in the fresh record always fails: a bench that died partway must
+//! not pass the gate on the strength of the steps it skipped.
+
+use tpiin_io::json::Json;
+
+/// Gate configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Multiplicative slack on timing keys (3.0 = fresh may be up to
+    /// three times the baseline).  Generous by default: CI runners and
+    /// dev machines differ widely, and the exact-count keys provide
+    /// the machine-independent tripwire.
+    pub ratio: f64,
+    /// Additive floor in the key's own unit (ms keys get
+    /// `floor_ms`, us keys `floor_ms × 1000`, ns keys `× 1e6`).
+    pub floor_ms: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            ratio: 3.0,
+            floor_ms: 5.0,
+        }
+    }
+}
+
+/// Keys whose values are deterministic functions of the dataset and
+/// must match the baseline exactly.
+const EXACT_KEYS: &[&str] = &[
+    "groups",
+    "subtpiins",
+    "tpiin_nodes",
+    "influence_arcs",
+    "trading_arcs",
+    "nodes",
+    "threads",
+    "schema_version",
+];
+
+/// Keys that look numeric but are never gated.  Besides host shape
+/// and memory telemetry, the open-loop tail keys (`p99_us`, `max_us`)
+/// are informational: on a shared CI runner a single scheduler hiccup
+/// moves them by orders of magnitude, so gating them means flakes, not
+/// protection — p50/p95 carry the regression signal.
+const SKIP_KEYS: &[&str] = &[
+    "host_cpus",
+    "workers",
+    "clients",
+    "requests",
+    "sent",
+    "completed",
+    "errors",
+    "offered_rps",
+    "achieved_rps",
+    "server_peak_bytes",
+    "step_secs",
+    "weight",
+    "p99_us",
+    "max_us",
+];
+
+fn is_timing_key(key: &str) -> Option<f64> {
+    // Unit scale relative to milliseconds.
+    if key.ends_with("_ms") {
+        Some(1.0)
+    } else if key.ends_with("_us") {
+        Some(1e3)
+    } else if key.ends_with("_ns") {
+        Some(1e6)
+    } else {
+        None
+    }
+}
+
+/// Compares `fresh` against `baseline`; returns one human-readable
+/// line per regression (empty = gate passes).
+pub fn compare(baseline: &Json, fresh: &Json, tol: &Tolerances) -> Vec<String> {
+    let mut regressions = Vec::new();
+    if let Some(Json::Bool(true)) = fresh.get("aborted") {
+        regressions.push("fresh record is marked aborted (partial run)".to_string());
+    }
+    walk(baseline, fresh, "", tol, &mut regressions);
+    regressions
+}
+
+/// Array elements are matched by their `name`/`workload`/`stage`/
+/// `endpoint` label when present, by index otherwise — so reordering
+/// workloads doesn't fake a regression, but dropping one is caught.
+fn element_label(value: &Json) -> Option<String> {
+    for key in ["name", "workload", "stage", "endpoint"] {
+        if let Some(label) = value.get(key).and_then(Json::as_str) {
+            return Some(format!("{key}={label}"));
+        }
+    }
+    None
+}
+
+fn walk(baseline: &Json, fresh: &Json, path: &str, tol: &Tolerances, out: &mut Vec<String>) {
+    match (baseline, fresh) {
+        (Json::Object(base_fields), Json::Object(_)) => {
+            for (key, base_value) in base_fields {
+                let child_path = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match fresh.get(key) {
+                    Some(fresh_value) => {
+                        compare_leaf(key, base_value, fresh_value, &child_path, tol, out);
+                        walk(base_value, fresh_value, &child_path, tol, out);
+                    }
+                    None => out.push(format!(
+                        "{child_path}: present in baseline, missing in fresh"
+                    )),
+                }
+            }
+        }
+        (Json::Array(base_items), Json::Array(fresh_items)) => {
+            for (i, base_item) in base_items.iter().enumerate() {
+                let (fresh_item, label) = match element_label(base_item) {
+                    Some(label) => (
+                        fresh_items
+                            .iter()
+                            .find(|f| element_label(f).as_deref() == Some(label.as_str())),
+                        label,
+                    ),
+                    None => (fresh_items.get(i), format!("[{i}]")),
+                };
+                let child_path = format!("{path}[{label}]");
+                match fresh_item {
+                    Some(fresh_item) => walk(base_item, fresh_item, &child_path, tol, out),
+                    None => out.push(format!(
+                        "{child_path}: present in baseline, missing in fresh"
+                    )),
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn compare_leaf(
+    key: &str,
+    base: &Json,
+    fresh: &Json,
+    path: &str,
+    tol: &Tolerances,
+    out: &mut Vec<String>,
+) {
+    let (Some(base_num), Some(fresh_num)) = (base.as_f64(), fresh.as_f64()) else {
+        return;
+    };
+    if SKIP_KEYS.contains(&key) {
+        return;
+    }
+    if EXACT_KEYS.contains(&key) {
+        if base_num != fresh_num {
+            out.push(format!(
+                "{path}: deterministic count changed {base_num} -> {fresh_num}"
+            ));
+        }
+        return;
+    }
+    if let Some(unit_scale) = is_timing_key(key) {
+        let limit = base_num * tol.ratio + tol.floor_ms * unit_scale;
+        if fresh_num > limit {
+            out.push(format!(
+                "{path}: {fresh_num:.2} exceeds {base_num:.2} x {} + floor (limit {limit:.2})",
+                tol.ratio
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Json {
+        Json::parse(text).expect("test JSON parses")
+    }
+
+    #[test]
+    fn passes_identical_records() {
+        let record = parse(
+            r#"{"wall_ms": 10.0, "groups": 3, "workloads": [{"name": "fig7", "csr_serial_ms": 1.5}]}"#,
+        );
+        assert!(compare(&record, &record, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn fails_on_timing_regression_beyond_tolerance() {
+        let base = parse(r#"{"wall_ms": 10.0}"#);
+        let fresh = parse(r#"{"wall_ms": 100.0}"#);
+        let tol = Tolerances {
+            ratio: 3.0,
+            floor_ms: 5.0,
+        };
+        let regs = compare(&base, &fresh, &tol);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("wall_ms"));
+    }
+
+    #[test]
+    fn tolerance_and_floor_absorb_noise() {
+        let base = parse(r#"{"wall_ms": 10.0, "p95_us": 100.0}"#);
+        // 25ms < 10*3 + 5; 4000us < 100*3 + 5000.
+        let fresh = parse(r#"{"wall_ms": 25.0, "p95_us": 4000.0}"#);
+        assert!(compare(&base, &fresh, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn count_drift_fails_even_when_faster() {
+        let base = parse(r#"{"wall_ms": 10.0, "groups": 3}"#);
+        let fresh = parse(r#"{"wall_ms": 1.0, "groups": 2}"#);
+        let regs = compare(&base, &fresh, &Tolerances::default());
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("groups"), "{regs:?}");
+    }
+
+    #[test]
+    fn aborted_fresh_record_fails() {
+        let base = parse(r#"{"aborted": false, "wall_ms": 10.0}"#);
+        let fresh = parse(r#"{"aborted": true, "wall_ms": 10.0}"#);
+        let regs = compare(&base, &fresh, &Tolerances::default());
+        assert!(!regs.is_empty());
+        assert!(regs[0].contains("aborted"));
+    }
+
+    #[test]
+    fn workloads_match_by_name_not_index() {
+        let base = parse(
+            r#"{"workloads": [{"name": "a", "wall_ms": 5.0}, {"name": "b", "wall_ms": 7.0}]}"#,
+        );
+        let fresh = parse(
+            r#"{"workloads": [{"name": "b", "wall_ms": 7.0}, {"name": "a", "wall_ms": 5.0}]}"#,
+        );
+        assert!(compare(&base, &fresh, &Tolerances::default()).is_empty());
+    }
+
+    #[test]
+    fn missing_workload_is_a_regression() {
+        let base = parse(r#"{"workloads": [{"name": "a", "wall_ms": 5.0}]}"#);
+        let fresh = parse(r#"{"workloads": []}"#);
+        let regs = compare(&base, &fresh, &Tolerances::default());
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("missing"), "{regs:?}");
+    }
+
+    #[test]
+    fn host_and_memory_keys_are_not_gated() {
+        let base = parse(r#"{"host_cpus": 64, "server_peak_bytes": 1000, "p99_us": 100.0}"#);
+        let fresh = parse(r#"{"host_cpus": 1, "server_peak_bytes": 999999999, "p99_us": 90000.0}"#);
+        assert!(compare(&base, &fresh, &Tolerances::default()).is_empty());
+    }
+}

@@ -4,5 +4,7 @@
 //! builders they share so each bench measures only the operation under
 //! test, not fixture construction.
 
+pub mod check;
 pub mod fixtures;
+pub mod loadgen;
 pub mod record;

@@ -1,0 +1,231 @@
+//! Open-loop HTTP load generation against a tpiin-serve daemon.
+//!
+//! **Open-loop, not closed-loop.**  A closed-loop harness (N clients in
+//! a request/response loop, like `bench_serve`'s endpoint hammering)
+//! lets a slow server throttle its own offered load: when latency
+//! doubles, the arrival rate halves, and the measured percentiles hide
+//! exactly the queueing the users would feel — the classic coordinated
+//! omission trap.  Here arrivals are scheduled on a fixed timetable
+//! (`t_i = start + i/rate`) regardless of how the server is doing, and
+//! every latency is measured from the request's *scheduled* arrival:
+//! if the server falls behind, the wait shows up in the percentiles
+//! instead of silently deflating the load.
+//!
+//! [`sweep`] runs one rate step per offered rate and reads the
+//! process-global allocator watermark ([`tpiin_obs::alloc`]) around
+//! each step, so a curve row carries the peak memory the served
+//! process needed at that offered throughput.  This requires the
+//! daemon to run *in this process* (as the bench bins do); the
+//! generator's own allocations are included, which is the honest
+//! number for an in-process harness.
+
+use crate::record::{LoadCurve, RateStep};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One endpoint in the request mix, with a relative weight.
+#[derive(Clone, Debug)]
+pub struct MixEntry {
+    /// Label recorded in the curve (`groups`, `company`, ...).
+    pub name: String,
+    /// Request path (`/groups?limit=5`, ...).
+    pub path: String,
+    /// Relative weight in the mix (2 = twice as many requests).
+    pub weight: u32,
+}
+
+/// How to sweep offered throughput.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Offered arrival rates to sweep, in requests per second.
+    pub rates: Vec<f64>,
+    /// How long each rate step runs.
+    pub step: Duration,
+    /// Sender threads sharing the arrival timetable.  More senders
+    /// tolerate more in-flight requests before the timetable slips;
+    /// the timetable itself never changes.
+    pub senders: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            rates: vec![50.0, 100.0, 200.0, 400.0],
+            step: Duration::from_secs(1),
+            senders: 8,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted sample, `q` in 0..=1.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+/// Picks a mix entry for request `i`: deterministic weighted selection
+/// (Fibonacci-hash scatter over the cumulative weights), so a sweep is
+/// reproducible without a random-number dependency.
+fn pick(mix: &[MixEntry], i: u64) -> &MixEntry {
+    let total: u64 = mix.iter().map(|m| m.weight.max(1) as u64).sum();
+    let mut ticket = (i.wrapping_mul(0x9E3779B97F4A7C15) >> 32) % total.max(1);
+    for entry in mix {
+        let w = entry.weight.max(1) as u64;
+        if ticket < w {
+            return entry;
+        }
+        ticket -= w;
+    }
+    &mix[mix.len() - 1]
+}
+
+/// One blocking GET; returns `Ok(())` on HTTP 200, `Err` otherwise.
+fn get(addr: SocketAddr, path: &str, timeout: Duration) -> Result<(), ()> {
+    let mut stream = TcpStream::connect(addr).map_err(|_| ())?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n").map_err(|_| ())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|_| ())?;
+    if response.starts_with("HTTP/1.1 200") {
+        Ok(())
+    } else {
+        Err(())
+    }
+}
+
+/// Runs one open-loop rate step: `rate` arrivals per second for
+/// `step`, split round-robin across `senders` threads.  Returns the
+/// step record; latencies are measured from scheduled arrival.
+fn run_step(addr: SocketAddr, mix: &[MixEntry], rate: f64, opts: &SweepOptions) -> RateStep {
+    let total = (rate * opts.step.as_secs_f64()).floor().max(1.0) as u64;
+    let senders = opts.senders.max(1).min(total as usize);
+    // Generous per-request timeout: an open-loop run saturating the
+    // server must observe the long tail, not truncate it.
+    let timeout = opts.step.max(Duration::from_secs(2)) * 4;
+
+    tpiin_obs::alloc::reset_peak();
+    let started = Instant::now();
+    let results: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..senders)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut errors = 0usize;
+                    let mut i = worker as u64;
+                    while i < total {
+                        let scheduled = started + Duration::from_secs_f64(i as f64 / rate);
+                        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        // Past-due requests fire immediately — the
+                        // elapsed lateness lands in the latency.
+                        let entry = pick(mix, i);
+                        let outcome = get(addr, &entry.path, timeout);
+                        let latency_us = scheduled.elapsed().as_secs_f64() * 1e6;
+                        match outcome {
+                            Ok(()) => latencies.push(latency_us),
+                            Err(()) => errors += 1,
+                        }
+                        i += senders as u64;
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("sender thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let server_peak_bytes = tpiin_obs::alloc::stats().peak_bytes;
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut errors = 0usize;
+    for (lats, errs) in results {
+        latencies.extend(lats);
+        errors += errs;
+    }
+    latencies.sort_by(f64::total_cmp);
+    RateStep {
+        offered_rps: rate,
+        sent: total as usize,
+        completed: latencies.len(),
+        errors,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0.0),
+        achieved_rps: latencies.len() as f64 / elapsed.max(1e-9),
+        server_peak_bytes,
+    }
+}
+
+/// Sweeps offered throughput over `opts.rates` against the daemon at
+/// `addr`, producing one latency-vs-offered-throughput curve.
+pub fn sweep(addr: SocketAddr, workload: &str, mix: &[MixEntry], opts: &SweepOptions) -> LoadCurve {
+    assert!(!mix.is_empty(), "request mix must not be empty");
+    // Untimed warmup primes the daemon's pool and the connect path.
+    for entry in mix {
+        let _ = get(addr, &entry.path, Duration::from_secs(5));
+    }
+    let steps = opts
+        .rates
+        .iter()
+        .map(|&rate| run_step(addr, mix, rate, opts))
+        .collect();
+    LoadCurve {
+        workload: workload.to_string(),
+        mix: mix.iter().map(|m| m.name.clone()).collect(),
+        step_secs: opts.step.as_secs_f64(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_is_deterministic_and_respects_weights() {
+        let mix = vec![
+            MixEntry {
+                name: "a".into(),
+                path: "/a".into(),
+                weight: 3,
+            },
+            MixEntry {
+                name: "b".into(),
+                path: "/b".into(),
+                weight: 1,
+            },
+        ];
+        let counts = (0..4000u64).fold([0usize; 2], |mut acc, i| {
+            match pick(&mix, i).name.as_str() {
+                "a" => acc[0] += 1,
+                _ => acc[1] += 1,
+            }
+            acc
+        });
+        // 3:1 weighting within a loose tolerance (the scatter is a
+        // hash, not a counter).
+        let ratio = counts[0] as f64 / counts[1].max(1) as f64;
+        assert!((2.0..4.5).contains(&ratio), "ratio = {ratio}");
+        // Deterministic: same index, same entry.
+        assert_eq!(pick(&mix, 42).name, pick(&mix, 42).name);
+    }
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+    }
+}

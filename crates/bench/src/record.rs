@@ -7,6 +7,170 @@
 use std::path::Path;
 use tpiin_obs::Json;
 
+/// Version of the unified `BENCH_*.json` envelope.  Bump when the
+/// shared fields change shape; `bench_check` refuses to compare
+/// records across versions.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Run metadata shared by every bench bin: which benchmark ran, on
+/// which datasets, across which arms, on how parallel a host — plus
+/// the `aborted` marker set when a run died partway and wrote only
+/// what had completed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchMeta {
+    /// Benchmark family (`detect`, `fuse`, `serve`, `loadgen`).
+    pub bench: String,
+    /// Dataset labels the run covered (`fig7`, `province-0.5`, ...).
+    pub datasets: Vec<String>,
+    /// Arm labels the run compared (`csr_serial`, `parallel`, ...).
+    pub arms: Vec<String>,
+    /// Hardware threads the host exposes.
+    pub host_cpus: usize,
+    /// True when the run failed partway; the payload holds whatever
+    /// completed.  `bench_check` fails on an aborted fresh record.
+    pub aborted: bool,
+}
+
+impl BenchMeta {
+    /// Metadata for a completed run on this host.
+    pub fn new(
+        bench: &str,
+        datasets: impl IntoIterator<Item = String>,
+        arms: impl IntoIterator<Item = &'static str>,
+    ) -> BenchMeta {
+        BenchMeta {
+            bench: bench.to_string(),
+            datasets: datasets.into_iter().collect(),
+            arms: arms.into_iter().map(str::to_string).collect(),
+            host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            aborted: false,
+        }
+    }
+
+    /// The envelope fields, in canonical order.
+    pub fn fields(&self) -> Vec<(String, Json)> {
+        vec![
+            ("schema_version".to_string(), Json::Int(SCHEMA_VERSION)),
+            ("bench".to_string(), Json::Str(self.bench.clone())),
+            (
+                "datasets".to_string(),
+                Json::Array(self.datasets.iter().map(|d| Json::Str(d.clone())).collect()),
+            ),
+            (
+                "arms".to_string(),
+                Json::Array(self.arms.iter().map(|a| Json::Str(a.clone())).collect()),
+            ),
+            ("host_cpus".to_string(), Json::Int(self.host_cpus as u64)),
+            ("aborted".to_string(), Json::Bool(self.aborted)),
+        ]
+    }
+}
+
+/// Wraps `payload` (an object) in the unified envelope: the meta
+/// fields first, then the payload's own fields.  A payload field named
+/// like an envelope field is dropped in favour of the envelope.
+pub fn enveloped(meta: &BenchMeta, payload: Json) -> Json {
+    let mut fields = meta.fields();
+    if let Json::Object(inner) = payload {
+        let reserved: std::collections::BTreeSet<String> =
+            fields.iter().map(|(k, _)| k.clone()).collect();
+        for (key, value) in inner {
+            if !reserved.contains(&key) {
+                fields.push((key, value));
+            }
+        }
+    }
+    Json::Object(fields)
+}
+
+/// Writes `payload` under the unified envelope to `path`.  Every bench
+/// bin funnels through here — including on partial failure, where the
+/// caller sets `meta.aborted` and passes whatever completed.
+pub fn write_enveloped(path: &Path, meta: &BenchMeta, payload: Json) -> std::io::Result<()> {
+    std::fs::write(path, enveloped(meta, payload).to_pretty())
+}
+
+/// One rate step of an open-loop latency-vs-offered-throughput sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RateStep {
+    /// Offered arrival rate in requests per second (the independent
+    /// variable — fixed regardless of how fast the server answers).
+    pub offered_rps: f64,
+    /// Requests whose scheduled arrival fell inside the step.
+    pub sent: usize,
+    /// Requests that completed with HTTP 200.
+    pub completed: usize,
+    /// Requests that errored or were shed (non-200, connect failure).
+    pub errors: usize,
+    /// Median latency in microseconds, measured from the *scheduled*
+    /// arrival time so queueing delay counts (open-loop discipline).
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+    /// Worst observed latency in microseconds.
+    pub max_us: f64,
+    /// Completions per second actually achieved during the step.
+    pub achieved_rps: f64,
+    /// Server-side peak live heap during the step (allocator ledger
+    /// watermark, reset at the step boundary).
+    pub server_peak_bytes: u64,
+}
+
+impl RateStep {
+    /// The step as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("offered_rps".to_string(), Json::Float(self.offered_rps)),
+            ("sent".to_string(), Json::Int(self.sent as u64)),
+            ("completed".to_string(), Json::Int(self.completed as u64)),
+            ("errors".to_string(), Json::Int(self.errors as u64)),
+            ("p50_us".to_string(), Json::Float(self.p50_us)),
+            ("p95_us".to_string(), Json::Float(self.p95_us)),
+            ("p99_us".to_string(), Json::Float(self.p99_us)),
+            ("max_us".to_string(), Json::Float(self.max_us)),
+            ("achieved_rps".to_string(), Json::Float(self.achieved_rps)),
+            (
+                "server_peak_bytes".to_string(),
+                Json::Int(self.server_peak_bytes),
+            ),
+        ])
+    }
+}
+
+/// One latency-vs-offered-throughput curve: a workload, a request mix
+/// and the swept rate steps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadCurve {
+    /// Workload label (`fig7`, ...).
+    pub workload: String,
+    /// Endpoint labels in the request mix.
+    pub mix: Vec<String>,
+    /// Seconds each rate step ran.
+    pub step_secs: f64,
+    /// The swept steps, in offered-rate order.
+    pub steps: Vec<RateStep>,
+}
+
+impl LoadCurve {
+    /// The curve as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("workload".to_string(), Json::Str(self.workload.clone())),
+            (
+                "mix".to_string(),
+                Json::Array(self.mix.iter().map(|m| Json::Str(m.clone())).collect()),
+            ),
+            ("step_secs".to_string(), Json::Float(self.step_secs)),
+            (
+                "steps".to_string(),
+                Json::Array(self.steps.iter().map(RateStep::to_json).collect()),
+            ),
+        ])
+    }
+}
+
 /// The headline numbers of one detection benchmark run.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BenchRecord {
@@ -365,6 +529,9 @@ pub struct ServeBench {
     pub workloads: Vec<ServeWorkloadRecord>,
     /// Tracing on-vs-off arms, when the benchmark ran them.
     pub tracing_overhead: Option<TracingOverheadRecord>,
+    /// Open-loop latency-vs-offered-throughput curves, when the
+    /// benchmark swept them.
+    pub load_curves: Vec<LoadCurve>,
 }
 
 impl ServeBench {
@@ -386,6 +553,12 @@ impl ServeBench {
         ];
         if let Some(overhead) = &self.tracing_overhead {
             fields.push(("tracing_overhead".to_string(), overhead.to_json()));
+        }
+        if !self.load_curves.is_empty() {
+            fields.push((
+                "load_curves".to_string(),
+                Json::Array(self.load_curves.iter().map(LoadCurve::to_json).collect()),
+            ));
         }
         Json::Object(fields)
     }
@@ -470,6 +643,7 @@ mod tests {
                 }],
             }],
             tracing_overhead: None,
+            load_curves: Vec::new(),
         };
         let text = bench.to_json().to_pretty();
         assert!(text.contains("\"workers\": 4"));
@@ -503,6 +677,7 @@ mod tests {
             clients: 8,
             workloads: Vec::new(),
             tracing_overhead: Some(overhead),
+            load_curves: Vec::new(),
         };
         let text = bench.to_json().to_pretty();
         assert!(text.contains("\"tracing_overhead\""), "{text}");
@@ -545,5 +720,62 @@ mod tests {
         assert!(text.contains("\"validate\""));
         assert!(text.contains("\"freeze\""));
         assert!(text.contains("\"tpiin_nodes\": 1000"));
+    }
+
+    #[test]
+    fn envelope_prepends_meta_and_wins_on_collision() {
+        let meta = BenchMeta {
+            bench: "detect".into(),
+            datasets: vec!["fig7".into()],
+            arms: vec!["csr_serial".into()],
+            host_cpus: 4,
+            aborted: false,
+        };
+        let payload = Json::Object(vec![
+            ("host_cpus".to_string(), Json::Int(999)),
+            ("wall_ms".to_string(), Json::Float(1.5)),
+        ]);
+        let text = enveloped(&meta, payload).to_pretty();
+        assert!(text.contains("\"schema_version\": 2"));
+        assert!(text.contains("\"bench\": \"detect\""));
+        assert!(text.contains("\"datasets\""));
+        assert!(text.contains("\"arms\""));
+        assert!(text.contains("\"aborted\": false"));
+        assert!(text.contains("\"host_cpus\": 4"), "envelope wins: {text}");
+        assert!(!text.contains("999"));
+        assert!(text.contains("\"wall_ms\": 1.5"));
+    }
+
+    #[test]
+    fn load_curve_serializes_every_step_column() {
+        let curve = LoadCurve {
+            workload: "fig7".into(),
+            mix: vec!["groups".into(), "company".into()],
+            step_secs: 1.0,
+            steps: vec![RateStep {
+                offered_rps: 100.0,
+                sent: 100,
+                completed: 98,
+                errors: 2,
+                p50_us: 150.0,
+                p95_us: 900.0,
+                p99_us: 2500.0,
+                max_us: 9000.0,
+                achieved_rps: 97.5,
+                server_peak_bytes: 1 << 20,
+            }],
+        };
+        let text = curve.to_json().to_pretty();
+        for key in [
+            "offered_rps",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "achieved_rps",
+            "server_peak_bytes",
+            "step_secs",
+        ] {
+            assert!(text.contains(key), "missing {key}: {text}");
+        }
     }
 }

@@ -1,0 +1,131 @@
+//! End-to-end tests for the `bench_check` CI gate binary: the gate
+//! must pass on healthy records, fail (non-zero exit) on a synthetic
+//! regression, and handle the `--update` / missing-baseline flows.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_dir(stem: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpiin_check_gate_{stem}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write(dir: &Path, name: &str, text: &str) {
+    std::fs::write(dir.join(name), text).expect("write record");
+}
+
+fn run_check(args: &[&str]) -> (bool, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_bench_check"))
+        .args(args)
+        .output()
+        .expect("run bench_check");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output.status.success(), text)
+}
+
+const HEALTHY: &str = r#"{
+  "schema_version": 2,
+  "bench": "detect",
+  "aborted": false,
+  "wall_ms": 10.0,
+  "groups": 3,
+  "workloads": [{"name": "fig7", "csr_serial_ms": 1.5, "groups": 3}]
+}"#;
+
+#[test]
+fn gate_passes_when_fresh_matches_baseline() {
+    let base = temp_dir("pass_base");
+    let fresh = temp_dir("pass_fresh");
+    write(&base, "BENCH_detect.json", HEALTHY);
+    write(&fresh, "BENCH_detect.json", HEALTHY);
+    let (ok, text) = run_check(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert!(ok, "gate should pass: {text}");
+    assert!(text.contains("ok"), "{text}");
+}
+
+#[test]
+fn gate_fails_on_synthetic_timing_regression() {
+    let base = temp_dir("slow_base");
+    let fresh = temp_dir("slow_fresh");
+    write(&base, "BENCH_detect.json", HEALTHY);
+    // 500 ms >> 10 ms * 3 + 5 ms: an unambiguous slowdown.
+    write(
+        &fresh,
+        "BENCH_detect.json",
+        &HEALTHY.replace("\"wall_ms\": 10.0", "\"wall_ms\": 500.0"),
+    );
+    let (ok, text) = run_check(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert!(!ok, "gate must fail on a regression: {text}");
+    assert!(text.contains("wall_ms"), "{text}");
+    assert!(text.contains("FAIL"), "{text}");
+}
+
+#[test]
+fn gate_fails_on_count_drift_and_aborted_records() {
+    let base = temp_dir("drift_base");
+    let fresh = temp_dir("drift_fresh");
+    write(&base, "BENCH_detect.json", HEALTHY);
+    write(
+        &fresh,
+        "BENCH_detect.json",
+        &HEALTHY.replace("\"groups\": 3,", "\"groups\": 2,"),
+    );
+    let (ok, text) = run_check(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert!(!ok, "count drift must fail: {text}");
+
+    write(
+        &fresh,
+        "BENCH_detect.json",
+        &HEALTHY.replace("\"aborted\": false", "\"aborted\": true"),
+    );
+    let (ok, text) = run_check(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert!(!ok, "aborted fresh record must fail: {text}");
+    assert!(text.contains("aborted"), "{text}");
+}
+
+#[test]
+fn missing_baseline_fails_unless_updating() {
+    let base = temp_dir("missing_base");
+    let fresh = temp_dir("missing_fresh");
+    write(&fresh, "BENCH_detect.json", HEALTHY);
+
+    let (ok, text) = run_check(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert!(!ok, "missing baseline must fail: {text}");
+    assert!(text.contains("no committed baseline"), "{text}");
+
+    let (ok, text) = run_check(&["--update", base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert!(ok, "--update should create the baseline: {text}");
+    assert!(base.join("BENCH_detect.json").is_file());
+
+    // With the baseline ratified, the plain gate now passes.
+    let (ok, text) = run_check(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert!(ok, "gate should pass after --update: {text}");
+}
+
+#[test]
+fn wider_tolerance_absorbs_a_borderline_slowdown() {
+    let base = temp_dir("tol_base");
+    let fresh = temp_dir("tol_fresh");
+    write(&base, "BENCH_detect.json", HEALTHY);
+    // 80 ms fails the default 3x + 5ms gate but passes at 10x.
+    write(
+        &fresh,
+        "BENCH_detect.json",
+        &HEALTHY.replace("\"wall_ms\": 10.0", "\"wall_ms\": 80.0"),
+    );
+    let (ok, _) = run_check(&[base.to_str().unwrap(), fresh.to_str().unwrap()]);
+    assert!(!ok);
+    let (ok, text) = run_check(&[
+        "--tolerance",
+        "10",
+        base.to_str().unwrap(),
+        fresh.to_str().unwrap(),
+    ]);
+    assert!(ok, "10x tolerance should absorb it: {text}");
+}

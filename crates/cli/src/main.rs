@@ -113,6 +113,9 @@ fn run(argv: &[String]) -> Result<(), tpiin::Error> {
     outcome?;
 
     if profiled {
+        // Final allocator-ledger and /proc/self/stat gauges so the
+        // profile carries the run's process-level memory footprint.
+        tpiin_obs::proc::record_gauges(tpiin_obs::global());
         let profile = tpiin_obs::RunProfile::capture();
         if opts.profile {
             eprintln!("\n# phase timings");

@@ -231,6 +231,39 @@ impl Tpiin {
         tpiin_graph::edge_list(&self.graph, |arc| arc.color.code())
     }
 
+    /// An estimate of this network's heap footprint in bytes: node and
+    /// arc payloads, label strings, member lists, adjacency lists and
+    /// the frozen CSR lanes.  Estimated from counts rather than walked
+    /// exactly — the `/status` endpoint reports it so operators can see
+    /// how much of the process RSS the served snapshot accounts for.
+    pub fn approx_heap_bytes(&self) -> u64 {
+        let node_payload: usize = self
+            .graph
+            .nodes()
+            .map(|(_, n)| {
+                let members = match n {
+                    TpiinNode::Person { members, .. } => members.len() * 4,
+                    TpiinNode::Company { members, .. } => members.len() * 4,
+                };
+                std::mem::size_of::<TpiinNode>() + n.label().len() + members
+            })
+            .sum();
+        let edges = self.graph.edge_count();
+        // Edge slot + one out-adjacency and one in-adjacency entry.
+        let edge_payload = edges * (std::mem::size_of::<TpiinArc>() + 16);
+        // Two Vec<EdgeId> headers per node (out_adj / in_adj).
+        let adjacency_headers = self.graph.node_count() * 2 * 24;
+        // CSR: per lane, offset arrays (nodes+1 each for out/in) plus
+        // target/source/edge-id entries per edge.
+        let csr = self.csr.lane_count() * (self.graph.node_count() + 1) * 8
+            + self.csr.total_edge_count() * 16;
+        let side_tables = self.person_node.len() * 4
+            + self.company_node.len() * 4
+            + self.arc_sources.len() * 4
+            + self.intra_syndicate_trades.len() * std::mem::size_of::<IntraSyndicateTrade>();
+        (node_payload + edge_payload + adjacency_headers + csr + side_tables) as u64
+    }
+
     /// Mean arcs-per-node, the "average node degree" column of Table 1.
     pub fn mean_degree(&self) -> f64 {
         if self.graph.node_count() == 0 {

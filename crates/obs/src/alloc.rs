@@ -1,0 +1,294 @@
+//! The instrumented global allocator: the byte-level half of the
+//! resource flight recorder.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and is installed as
+//! the `#[global_allocator]` of every binary that links `tpiin-obs`
+//! (i.e. the whole workspace).  Each allocation updates two ledgers:
+//!
+//! * **thread-local counters** (plain `Cell`s, no atomics): cumulative
+//!   bytes/calls allocated and freed, the thread's current live-byte
+//!   balance and a resettable peak watermark.  [`Span`](crate::Span)
+//!   and [`TimedScope`](crate::TimedScope) snapshot these at open and
+//!   diff them at close, so every phase in a
+//!   [`RunProfile`](crate::RunProfile) carries bytes-allocated,
+//!   allocation-count and peak-live attribution next to its wall time.
+//! * **process-global atomics**: total allocated bytes/calls, the live
+//!   balance and a high-water mark, feeding `/status`, `/metrics`
+//!   gauges and the load generator's per-rate-step peak-memory column.
+//!
+//! The accounting adds a handful of thread-local `Cell` updates and
+//! four relaxed atomic RMWs per allocation — cheap enough to leave on
+//! unconditionally, which is the point: a flight recorder that must be
+//! switched on after the incident recorded nothing.
+//!
+//! Span attribution is **per-thread**: work a phase fans out to worker
+//! threads shows up in the workers' own spans (and in the global
+//! totals), not in the coordinator's span.  The serial pipeline — the
+//! default CLI configuration — attributes everything exactly.
+//!
+//! The watermark protocol is stack-shaped, matching span nesting: a
+//! child span saves the current peak, resets it to the live balance,
+//! and on close folds its own peak back into the parent's saved value.
+//! A parent therefore always reports a peak at least as high as any
+//! child's.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Cumulative allocated bytes across the process.
+static TOTAL_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Cumulative allocation calls across the process.
+static TOTAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Live heap balance (allocated minus freed); signed because frees can
+/// race ahead of the balance on other threads.
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+/// High-water mark of [`LIVE_BYTES`] since process start or the last
+/// [`reset_peak`].
+static PEAK_BYTES: AtomicI64 = AtomicI64::new(0);
+
+struct ThreadLedger {
+    allocated_bytes: Cell<u64>,
+    allocs: Cell<u64>,
+    freed_bytes: Cell<u64>,
+    /// This thread's allocated-minus-freed balance; goes negative on
+    /// threads that free buffers allocated elsewhere.
+    live: Cell<i64>,
+    /// Resettable watermark of `live` (the span attribution protocol).
+    peak: Cell<i64>,
+}
+
+thread_local! {
+    static LEDGER: ThreadLedger = const {
+        ThreadLedger {
+            allocated_bytes: Cell::new(0),
+            allocs: Cell::new(0),
+            freed_bytes: Cell::new(0),
+            live: Cell::new(0),
+            peak: Cell::new(0),
+        }
+    };
+}
+
+#[inline]
+fn note_alloc(bytes: usize) {
+    let bytes64 = bytes as u64;
+    TOTAL_BYTES.fetch_add(bytes64, Ordering::Relaxed);
+    TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    // `try_with` so a straggler allocation during thread-local teardown
+    // still lands in the global ledger instead of aborting.
+    let _ = LEDGER.try_with(|ledger| {
+        ledger
+            .allocated_bytes
+            .set(ledger.allocated_bytes.get() + bytes64);
+        ledger.allocs.set(ledger.allocs.get() + 1);
+        let live = ledger.live.get() + bytes as i64;
+        ledger.live.set(live);
+        if live > ledger.peak.get() {
+            ledger.peak.set(live);
+        }
+    });
+}
+
+#[inline]
+fn note_dealloc(bytes: usize) {
+    LIVE_BYTES.fetch_sub(bytes as i64, Ordering::Relaxed);
+    let _ = LEDGER.try_with(|ledger| {
+        ledger
+            .freed_bytes
+            .set(ledger.freed_bytes.get() + bytes as u64);
+        ledger.live.set(ledger.live.get() - bytes as i64);
+    });
+}
+
+/// A `#[global_allocator]` wrapper over the system allocator that keeps
+/// the flight-recorder ledgers (see the module docs).
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the accounting touches only
+// `Cell`s and atomics and never allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        note_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            // Accounted as free-old + alloc-new so the live balance
+            // stays exact; counts as one allocation call.
+            note_dealloc(layout.size());
+            note_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[global_allocator]
+static GLOBAL_COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+/// Process-wide allocator totals at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Cumulative bytes handed out since process start.
+    pub total_bytes: u64,
+    /// Cumulative allocation calls since process start.
+    pub total_allocs: u64,
+    /// Bytes currently live (allocated minus freed), clamped at zero.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since start or [`reset_peak`].
+    pub peak_bytes: u64,
+}
+
+/// Snapshots the process-wide allocator ledger.
+pub fn stats() -> AllocStats {
+    AllocStats {
+        total_bytes: TOTAL_BYTES.load(Ordering::Relaxed),
+        total_allocs: TOTAL_ALLOCS.load(Ordering::Relaxed),
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed).max(0) as u64,
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed).max(0) as u64,
+    }
+}
+
+/// Resets the process-wide peak watermark to the current live balance.
+/// The load generator calls this between rate steps so each step
+/// reports its own peak, not the sweep's.
+pub fn reset_peak() {
+    let live = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(live, Ordering::Relaxed);
+}
+
+/// An open span's starting position in the thread ledger, plus the
+/// parent's saved peak watermark.  Obtain with [`checkpoint`], close
+/// with [`consume`].
+#[derive(Clone, Copy, Debug)]
+pub struct AllocCheckpoint {
+    allocated_bytes: u64,
+    allocs: u64,
+    saved_peak: i64,
+}
+
+/// Resource usage attributed to one closed span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanResources {
+    /// Bytes allocated on this thread while the span was open
+    /// (children included — the counters are cumulative).
+    pub alloc_bytes: u64,
+    /// Allocation calls on this thread while the span was open.
+    pub allocs: u64,
+    /// Highest live-byte balance this thread saw while the span was
+    /// open, relative to the process-lifetime thread balance.
+    pub peak_live_bytes: u64,
+}
+
+/// Opens a resource-attribution window on the current thread: records
+/// the cumulative counters and resets the peak watermark to the current
+/// live balance (saving the parent's watermark inside the checkpoint).
+pub fn checkpoint() -> AllocCheckpoint {
+    LEDGER
+        .try_with(|ledger| {
+            let saved_peak = ledger.peak.get();
+            ledger.peak.set(ledger.live.get());
+            AllocCheckpoint {
+                allocated_bytes: ledger.allocated_bytes.get(),
+                allocs: ledger.allocs.get(),
+                saved_peak,
+            }
+        })
+        .unwrap_or(AllocCheckpoint {
+            allocated_bytes: 0,
+            allocs: 0,
+            saved_peak: 0,
+        })
+}
+
+/// Closes the window opened by [`checkpoint`]: returns the deltas and
+/// folds this span's peak back into the parent's saved watermark.
+/// Must be called on the thread that produced the checkpoint, in LIFO
+/// order with respect to other open checkpoints (span nesting
+/// guarantees both).
+pub fn consume(start: AllocCheckpoint) -> SpanResources {
+    LEDGER
+        .try_with(|ledger| {
+            let span_peak = ledger.peak.get();
+            ledger.peak.set(start.saved_peak.max(span_peak));
+            SpanResources {
+                alloc_bytes: ledger.allocated_bytes.get() - start.allocated_bytes,
+                allocs: ledger.allocs.get() - start.allocs,
+                peak_live_bytes: span_peak.max(0) as u64,
+            }
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sees_boxed_allocations() {
+        let before = stats();
+        let held: Vec<Box<[u8; 1024]>> = (0..16).map(|_| Box::new([0u8; 1024])).collect();
+        let after = stats();
+        assert!(after.total_allocs >= before.total_allocs + 16);
+        assert!(after.total_bytes >= before.total_bytes + 16 * 1024);
+        drop(held);
+    }
+
+    #[test]
+    fn checkpoint_attributes_this_threads_allocations() {
+        let start = checkpoint();
+        let held: Vec<Box<[u8; 512]>> = (0..8).map(|_| Box::new([7u8; 512])).collect();
+        let used = consume(start);
+        assert!(used.allocs >= 8, "allocs = {}", used.allocs);
+        assert!(used.alloc_bytes >= 8 * 512, "bytes = {}", used.alloc_bytes);
+        drop(held);
+    }
+
+    #[test]
+    fn nested_checkpoints_fold_peaks_into_parent() {
+        let parent = checkpoint();
+        let child = checkpoint();
+        let buffer = vec![0u8; 64 * 1024];
+        drop(buffer);
+        let child_used = consume(child);
+        // Allocate a little more on the parent after the child closed.
+        let small = vec![0u8; 128];
+        let parent_used = consume(parent);
+        drop(small);
+        assert!(parent_used.alloc_bytes >= child_used.alloc_bytes);
+        assert!(parent_used.allocs >= child_used.allocs);
+        assert!(parent_used.peak_live_bytes >= child_used.peak_live_bytes);
+    }
+
+    #[test]
+    fn reset_peak_drops_watermark_to_live() {
+        let spike = vec![0u8; 256 * 1024];
+        drop(spike);
+        reset_peak();
+        let after = stats();
+        // The watermark can only exceed live by whatever other test
+        // threads allocate between the two loads; it must no longer
+        // carry the spike.
+        assert!(after.peak_bytes <= after.live_bytes + 256 * 1024);
+    }
+}

@@ -30,18 +30,22 @@
 //! `segment → build_tree → match_patterns → score` follow Algorithm 1
 //! (segmentation) and Algorithm 2 (patterns tree + matching).
 
+pub mod alloc;
 pub mod expo;
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod proc;
 pub mod profile;
 pub mod span;
 pub mod trace;
 
+pub use alloc::{AllocStats, SpanResources};
 pub use expo::text_exposition;
 pub use json::Json;
 pub use log::Level;
-pub use metrics::{global, Counter, Gauge, Histogram, MetricsRegistry, ThreadStats};
+pub use metrics::{global, Counter, Gauge, Histogram, MetricsRegistry, PhaseRow, ThreadStats};
+pub use proc::ProcSample;
 pub use profile::{HistogramSnapshot, PhaseProfile, RunProfile, ThreadProfile};
 pub use span::{Span, SpanHandle, TimedScope};
 pub use trace::{

@@ -215,6 +215,25 @@ impl Histogram {
         (buckets, count, sum_ns)
     }
 
+    /// Discards the sliding-window ring, leaving the cumulative totals
+    /// untouched.  The serving daemon calls this (via
+    /// [`MetricsRegistry::reset_histogram_windows`]) when a snapshot
+    /// hot-swap replaces the served epoch: latencies measured against
+    /// the old snapshot must not leak into the new epoch's "now" view.
+    pub fn reset_window(&self) {
+        for slot in &self.window {
+            // Stamp first: a recorder racing this reset sees a stale
+            // period and re-zeroes the slot before adding its own
+            // observation, so the worst case is one lost sample.
+            slot.period.store(u64::MAX, Ordering::Release);
+            for b in &slot.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            slot.count.store(0, Ordering::Relaxed);
+            slot.sum_ns.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Per-bucket counts over the sliding 60-second window.
     pub fn window_bucket_counts(&self) -> Vec<u64> {
         self.window_totals_at(current_period()).0
@@ -231,11 +250,36 @@ impl Histogram {
     }
 }
 
-/// Aggregated span timings for one phase path.
+/// Aggregated span timings and resource attribution for one phase path.
 #[derive(Debug, Default)]
 pub(crate) struct PhaseAgg {
     pub(crate) total_ns: AtomicU64,
     pub(crate) calls: AtomicU64,
+    /// Bytes allocated on the recording thread, summed over calls.
+    pub(crate) alloc_bytes: AtomicU64,
+    /// Allocation calls on the recording thread, summed over calls.
+    pub(crate) allocs: AtomicU64,
+    /// Highest live-byte watermark any single call saw.
+    pub(crate) peak_live_bytes: AtomicU64,
+}
+
+/// One row of [`MetricsRegistry::phases_snapshot_full`]: a phase path
+/// with its aggregated wall-clock and allocator attribution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Full `/`-separated phase path.
+    pub path: String,
+    /// Total wall-clock nanoseconds across calls.
+    pub total_ns: u64,
+    /// Spans recorded at this path.
+    pub calls: u64,
+    /// Bytes allocated while spans at this path were open (recording
+    /// thread only), summed over calls.
+    pub alloc_bytes: u64,
+    /// Allocation calls while spans at this path were open.
+    pub allocs: u64,
+    /// Highest live-byte watermark any single call saw.
+    pub peak_live_bytes: u64,
 }
 
 /// Work-stealing statistics reported by one detector worker thread.
@@ -294,10 +338,28 @@ impl MetricsRegistry {
 
     /// Folds one span duration into the phase aggregate at `path`.
     pub fn record_phase(&self, path: &str, d: Duration) {
+        self.record_phase_resources(path, d, crate::alloc::SpanResources::default());
+    }
+
+    /// Folds one span duration plus its allocator attribution into the
+    /// phase aggregate at `path`.  [`crate::Span`] and
+    /// [`crate::TimedScope`] call this with the deltas of the span's
+    /// [`crate::alloc::checkpoint`] window.
+    pub fn record_phase_resources(
+        &self,
+        path: &str,
+        d: Duration,
+        resources: crate::alloc::SpanResources,
+    ) {
         let agg = get_or_insert(&self.phases, path);
         agg.total_ns
             .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
         agg.calls.fetch_add(1, Ordering::Relaxed);
+        agg.alloc_bytes
+            .fetch_add(resources.alloc_bytes, Ordering::Relaxed);
+        agg.allocs.fetch_add(resources.allocs, Ordering::Relaxed);
+        agg.peak_live_bytes
+            .fetch_max(resources.peak_live_bytes, Ordering::Relaxed);
     }
 
     /// Records an explicit parent link for the phase at `child` —
@@ -357,17 +419,41 @@ impl MetricsRegistry {
 
     /// Sorted `(path, total_ns, calls)` snapshot of the phase tree.
     pub fn phases_snapshot(&self) -> Vec<(String, u64, u64)> {
+        self.phases_snapshot_full()
+            .into_iter()
+            .map(|row| (row.path, row.total_ns, row.calls))
+            .collect()
+    }
+
+    /// Sorted snapshot of the phase tree with allocator attribution.
+    pub fn phases_snapshot_full(&self) -> Vec<PhaseRow> {
         self.phases
             .read()
             .iter()
-            .map(|(path, agg)| {
-                (
-                    path.clone(),
-                    agg.total_ns.load(Ordering::Relaxed),
-                    agg.calls.load(Ordering::Relaxed),
-                )
+            .map(|(path, agg)| PhaseRow {
+                path: path.clone(),
+                total_ns: agg.total_ns.load(Ordering::Relaxed),
+                calls: agg.calls.load(Ordering::Relaxed),
+                alloc_bytes: agg.alloc_bytes.load(Ordering::Relaxed),
+                allocs: agg.allocs.load(Ordering::Relaxed),
+                peak_live_bytes: agg.peak_live_bytes.load(Ordering::Relaxed),
             })
             .collect()
+    }
+
+    /// Resets the sliding 60-second window of every histogram whose
+    /// name starts with `prefix`, leaving cumulative totals untouched.
+    /// Returns how many histograms were reset.  The serving daemon
+    /// calls this with `"serve.latency."` on snapshot hot-swaps.
+    pub fn reset_histogram_windows(&self, prefix: &str) -> usize {
+        let mut reset = 0;
+        for (name, histogram) in self.histograms.read().iter() {
+            if name.starts_with(prefix) {
+                histogram.reset_window();
+                reset += 1;
+            }
+        }
+        reset
     }
 
     /// Per-thread statistics, ordered by worker index.
@@ -484,6 +570,44 @@ mod tests {
         // totals keep everything.
         let (_, count, _) = h.window_totals_at(100);
         assert_eq!(count, 0);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn phase_resources_sum_and_max() {
+        let registry = MetricsRegistry::new();
+        let res = |bytes, allocs, peak| crate::alloc::SpanResources {
+            alloc_bytes: bytes,
+            allocs,
+            peak_live_bytes: peak,
+        };
+        registry.record_phase_resources("f/v", Duration::from_nanos(5), res(100, 2, 900));
+        registry.record_phase_resources("f/v", Duration::from_nanos(5), res(50, 1, 400));
+        let rows = registry.phases_snapshot_full();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].path, "f/v");
+        assert_eq!(rows[0].calls, 2);
+        assert_eq!(rows[0].alloc_bytes, 150);
+        assert_eq!(rows[0].allocs, 3);
+        assert_eq!(rows[0].peak_live_bytes, 900, "peak is a max, not a sum");
+    }
+
+    #[test]
+    fn window_reset_clears_ring_but_keeps_totals() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("serve.latency.groups");
+        h.record_at_period(3, Duration::from_micros(10));
+        h.record_at_period(3, Duration::from_micros(20));
+        assert_eq!(h.window_totals_at(3).1, 2);
+        let other = registry.histogram("detect.match_root");
+        other.record_at_period(3, Duration::from_micros(5));
+        assert_eq!(registry.reset_histogram_windows("serve.latency."), 1);
+        assert_eq!(h.window_totals_at(3).1, 0, "window cleared");
+        assert_eq!(h.count(), 2, "cumulative totals survive");
+        assert_eq!(other.window_totals_at(3).1, 1, "other prefixes untouched");
+        // New observations land cleanly in the reset ring.
+        h.record_at_period(4, Duration::from_micros(30));
+        assert_eq!(h.window_totals_at(4).1, 1);
         assert_eq!(h.count(), 3);
     }
 

@@ -3,7 +3,7 @@
 //! exporter (for `--metrics-out`).
 
 use crate::json::Json;
-use crate::metrics::{MetricsRegistry, ThreadStats, BUCKET_BOUNDS_NS};
+use crate::metrics::{MetricsRegistry, PhaseRow, ThreadStats, BUCKET_BOUNDS_NS};
 use serde::{Deserialize, Serialize};
 
 /// One node of the phase timing tree.
@@ -17,6 +17,17 @@ pub struct PhaseProfile {
     pub total_ns: u64,
     /// Number of spans recorded at this path.
     pub calls: u64,
+    /// Bytes allocated on the recording thread while spans at this
+    /// path were open, summed over calls.
+    #[serde(default)]
+    pub alloc_bytes: u64,
+    /// Allocation calls attributed to this phase.
+    #[serde(default)]
+    pub allocs: u64,
+    /// Highest live-heap watermark any single call at this path saw on
+    /// its recording thread (a max, not a sum).
+    #[serde(default)]
+    pub peak_live_bytes: u64,
     /// Child phases, ordered by path.
     pub children: Vec<PhaseProfile>,
 }
@@ -93,7 +104,7 @@ impl RunProfile {
     pub fn capture_from(registry: &MetricsRegistry) -> RunProfile {
         let links = registry.phase_links_snapshot();
         RunProfile {
-            phases: build_tree(registry.phases_snapshot(), &links),
+            phases: build_tree(registry.phases_snapshot_full(), &links),
             counters: registry.counters_snapshot(),
             gauges: registry.gauges_snapshot(),
             histograms: registry
@@ -139,19 +150,22 @@ impl RunProfile {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<40} {:>12} {:>8} {:>12}\n",
-            "phase", "total", "calls", "mean"
+            "{:<40} {:>12} {:>8} {:>12} {:>10} {:>9} {:>10}\n",
+            "phase", "total", "calls", "mean", "alloc", "allocs", "peak"
         ));
         fn render_nodes(out: &mut String, nodes: &[PhaseProfile], depth: usize) {
             for node in nodes {
                 let label = format!("{}{}", "  ".repeat(depth), node.name);
                 let mean = node.total_ns.checked_div(node.calls).unwrap_or(0);
                 out.push_str(&format!(
-                    "{:<40} {:>12} {:>8} {:>12}\n",
+                    "{:<40} {:>12} {:>8} {:>12} {:>10} {:>9} {:>10}\n",
                     label,
                     fmt_ns(node.total_ns),
                     node.calls,
-                    fmt_ns(mean)
+                    fmt_ns(mean),
+                    fmt_bytes(node.alloc_bytes),
+                    node.allocs,
+                    fmt_bytes(node.peak_live_bytes)
                 ));
                 render_nodes(out, &node.children, depth + 1);
             }
@@ -190,6 +204,12 @@ impl RunProfile {
                 ("path".to_string(), Json::Str(node.path.clone())),
                 ("total_ns".to_string(), Json::Int(node.total_ns)),
                 ("calls".to_string(), Json::Int(node.calls)),
+                ("alloc_bytes".to_string(), Json::Int(node.alloc_bytes)),
+                ("allocs".to_string(), Json::Int(node.allocs)),
+                (
+                    "peak_live_bytes".to_string(),
+                    Json::Int(node.peak_live_bytes),
+                ),
                 (
                     "children".to_string(),
                     Json::Array(node.children.iter().map(phase_json).collect()),
@@ -285,7 +305,7 @@ fn absolutize(links: &[(String, String)], path: &str, depth: usize) -> String {
     }
 }
 
-/// Builds the phase tree from sorted `(path, total_ns, calls)` rows.
+/// Builds the phase tree from sorted [`PhaseRow`]s.
 /// A child path whose parent was never recorded directly (e.g. workers
 /// recorded `detect/score` but nothing recorded `detect`) gets a
 /// zero-duration parent node so the tree stays connected.
@@ -296,7 +316,7 @@ fn absolutize(links: &[(String, String)], path: &str, depth: usize) -> String {
 /// is re-attached under its recorded parent, along with everything
 /// nested below it.  Before the links existed such spans surfaced as
 /// spurious roots whenever threads interleaved.
-fn build_tree(rows: Vec<(String, u64, u64)>, links: &[(String, String)]) -> Vec<PhaseProfile> {
+fn build_tree(rows: Vec<PhaseRow>, links: &[(String, String)]) -> Vec<PhaseProfile> {
     // child -> rewritten absolute path, for links not already satisfied
     // by the path prefix.
     let remap: Vec<(String, String)> = links
@@ -305,21 +325,21 @@ fn build_tree(rows: Vec<(String, u64, u64)>, links: &[(String, String)]) -> Vec<
         .map(|(child, _)| (child.clone(), absolutize(links, child, links.len() + 1)))
         .collect();
     let mut roots: Vec<PhaseProfile> = Vec::new();
-    for (path, total_ns, calls) in rows {
+    for row in rows {
         let best = remap
             .iter()
-            .filter(|(child, _)| path == *child || is_under(&path, child))
+            .filter(|(child, _)| row.path == *child || is_under(&row.path, child))
             .max_by_key(|(child, _)| child.len());
         let effective = match best {
-            Some((child, target)) => format!("{target}{}", &path[child.len()..]),
-            None => path,
+            Some((child, target)) => format!("{target}{}", &row.path[child.len()..]),
+            None => row.path.clone(),
         };
-        insert(&mut roots, &effective, total_ns, calls);
+        insert(&mut roots, &effective, &row);
     }
     roots
 }
 
-fn insert(nodes: &mut Vec<PhaseProfile>, path: &str, total_ns: u64, calls: u64) {
+fn insert(nodes: &mut Vec<PhaseProfile>, path: &str, row: &PhaseRow) {
     // Walk down one level at a time, materialising missing ancestors.
     let mut level = nodes;
     let mut consumed = 0usize;
@@ -339,18 +359,37 @@ fn insert(nodes: &mut Vec<PhaseProfile>, path: &str, total_ns: u64, calls: u64) 
                     path: node_path.to_string(),
                     total_ns: 0,
                     calls: 0,
+                    alloc_bytes: 0,
+                    allocs: 0,
+                    peak_live_bytes: 0,
                     children: Vec::new(),
                 });
                 level.len() - 1
             }
         };
         if is_leaf {
-            level[idx].total_ns += total_ns;
-            level[idx].calls += calls;
+            level[idx].total_ns += row.total_ns;
+            level[idx].calls += row.calls;
+            level[idx].alloc_bytes += row.alloc_bytes;
+            level[idx].allocs += row.allocs;
+            level[idx].peak_live_bytes = level[idx].peak_live_bytes.max(row.peak_live_bytes);
             return;
         }
         consumed = node_path_len + 1;
         level = &mut level[idx].children;
+    }
+}
+
+/// Formats a byte count with an adaptive unit.
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.2}GiB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.2}MiB", bytes as f64 / (1u64 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1}KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes}B")
     }
 }
 
@@ -372,12 +411,21 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
+    fn row(path: &str, total_ns: u64, calls: u64) -> PhaseRow {
+        PhaseRow {
+            path: path.to_string(),
+            total_ns,
+            calls,
+            ..PhaseRow::default()
+        }
+    }
+
     #[test]
     fn tree_materialises_missing_parents() {
         let rows = vec![
-            ("detect/score".to_string(), 40, 4),
-            ("fusion".to_string(), 100, 1),
-            ("fusion/validate".to_string(), 60, 1),
+            row("detect/score", 40, 4),
+            row("fusion", 100, 1),
+            row("fusion/validate", 60, 1),
         ];
         let tree = build_tree(rows, &[]);
         assert_eq!(tree.len(), 2);
@@ -397,9 +445,9 @@ mod tests {
         // the paths lack the `detect/` prefix; the explicit link says
         // where they belong.
         let rows = vec![
-            ("detect".to_string(), 100, 1),
-            ("match_patterns".to_string(), 40, 4),
-            ("match_patterns/score".to_string(), 10, 4),
+            row("detect", 100, 1),
+            row("match_patterns", 40, 4),
+            row("match_patterns/score", 10, 4),
         ];
         let links = vec![("match_patterns".to_string(), "detect".to_string())];
         let tree = build_tree(rows, &links);
@@ -418,7 +466,7 @@ mod tests {
 
     #[test]
     fn chained_links_resolve_transitively() {
-        let rows = vec![("leaf".to_string(), 5, 1), ("mid".to_string(), 9, 1)];
+        let rows = vec![row("leaf", 5, 1), row("mid", 9, 1)];
         let links = vec![
             ("leaf".to_string(), "mid".to_string()),
             ("mid".to_string(), "root".to_string()),

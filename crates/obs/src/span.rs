@@ -25,6 +25,7 @@
 //! disabled, every constructor costs one relaxed atomic load each and
 //! records nothing.
 
+use crate::alloc::{checkpoint, consume, AllocCheckpoint};
 use crate::metrics::{global, MetricsRegistry};
 use crate::profiling_enabled;
 use crate::trace::{current_trace, tracing_enabled};
@@ -70,6 +71,9 @@ struct SpanInner {
     /// which leave the thread-local stack untouched.
     saved_len: Option<usize>,
     started: Instant,
+    /// The allocator-ledger position at open; diffed on drop so the
+    /// phase aggregate carries bytes/allocs/peak next to wall time.
+    alloc_start: AllocCheckpoint,
 }
 
 fn recording() -> bool {
@@ -98,6 +102,7 @@ impl Span {
                 id: next_span_id(),
                 saved_len: Some(saved_len),
                 started: Instant::now(),
+                alloc_start: checkpoint(),
             }),
         }
     }
@@ -115,6 +120,7 @@ impl Span {
                 id: next_span_id(),
                 saved_len: None,
                 started: Instant::now(),
+                alloc_start: checkpoint(),
             }),
         }
     }
@@ -152,6 +158,7 @@ impl Span {
                 id: next_span_id(),
                 saved_len: Some(saved_len),
                 started: Instant::now(),
+                alloc_start: checkpoint(),
             }),
         }
     }
@@ -178,11 +185,14 @@ impl Drop for Span {
             return;
         };
         let elapsed = inner.started.elapsed();
+        // Always consume the checkpoint (it restores the thread's peak
+        // watermark), even if profiling was switched off mid-span.
+        let resources = consume(inner.alloc_start);
         if let Some(saved_len) = inner.saved_len {
             CURRENT_PATH.with(|current| current.borrow_mut().truncate(saved_len));
         }
         if profiling_enabled() {
-            global().record_phase(&inner.path, elapsed);
+            global().record_phase_resources(&inner.path, elapsed, resources);
         }
         if let Some(trace) = current_trace() {
             trace.record_span(&inner.path, inner.started, elapsed);
@@ -198,6 +208,7 @@ impl Drop for Span {
 /// populated on every run regardless of `--profile`.
 pub struct TimedScope {
     started: Instant,
+    alloc_start: AllocCheckpoint,
 }
 
 impl TimedScope {
@@ -205,6 +216,7 @@ impl TimedScope {
     pub fn start() -> TimedScope {
         TimedScope {
             started: Instant::now(),
+            alloc_start: checkpoint(),
         }
     }
 
@@ -217,8 +229,11 @@ impl TimedScope {
     /// As [`TimedScope::finish`], against an explicit registry (tests).
     pub fn finish_into(self, registry: &MetricsRegistry, path: &str) -> Duration {
         let elapsed = self.started.elapsed();
+        // Consumed unconditionally to keep the thread's peak-watermark
+        // stack balanced (scopes nest like spans do).
+        let resources = consume(self.alloc_start);
         if profiling_enabled() {
-            registry.record_phase(path, elapsed);
+            registry.record_phase_resources(path, elapsed, resources);
         }
         if let Some(trace) = current_trace() {
             trace.record_span(path, self.started, elapsed);

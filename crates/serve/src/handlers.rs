@@ -8,6 +8,7 @@
 //! readers that started on the old epoch finish on it.
 
 use crate::http::{Request, Response};
+use crate::pool::PoolMetrics;
 use crate::responses;
 use crate::store::{ServeSnapshot, SnapshotStore};
 use parking_lot::Mutex;
@@ -16,6 +17,7 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use tpiin_core::{groups_behind_arc, IncrementalDetector};
 use tpiin_io::json::Json;
 use tpiin_model::{CompanyId, TradingRecord};
@@ -33,6 +35,10 @@ pub struct ServerState {
     pub(crate) tracing: bool,
     pub(crate) trace_ring: usize,
     pub(crate) traces: Mutex<VecDeque<Arc<TraceContext>>>,
+    /// When the daemon started, for `/status` uptime.
+    pub(crate) started: Instant,
+    /// Worker-pool occupancy, shared with the accept loop's pool.
+    pub(crate) pool: Arc<PoolMetrics>,
 }
 
 impl ServerState {
@@ -68,6 +74,7 @@ pub fn route(state: &ServerState, req: &Request) -> (&'static str, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("healthz", health(state)),
         ("GET", "/metrics") => ("metrics", metrics()),
+        ("GET", "/status") => ("status", status(state)),
         ("GET", "/groups") => ("groups", groups(state, req)),
         ("GET", "/groups_behind_arc") => ("groups_behind_arc", arc_query(state, req)),
         ("GET", path) if path.starts_with("/groups/") && path.ends_with("/provenance") => {
@@ -90,6 +97,29 @@ fn health(state: &ServerState) -> Response {
 
 fn metrics() -> Response {
     Response::text(200, tpiin_obs::text_exposition(tpiin_obs::global()))
+}
+
+/// `GET /status` — one JSON view of the daemon's runtime health: the
+/// served epoch and its approximate heap size, uptime, worker-pool
+/// occupancy, shed/reload counters and the process resource state
+/// (allocator ledger + RSS/page faults when available).  Distinct from
+/// the Prometheus text of `/metrics`: this is the operator's one-call
+/// snapshot, not a scrape target.
+fn status(state: &ServerState) -> Response {
+    let snap = state.store.current();
+    let registry = tpiin_obs::global();
+    let report = responses::StatusReport {
+        uptime_secs: state.started.elapsed().as_secs_f64(),
+        workers: state.pool.workers.load(Ordering::Relaxed),
+        busy_workers: state.pool.busy.load(Ordering::Relaxed),
+        queued_requests: state.pool.queued.load(Ordering::Relaxed),
+        queue_capacity: state.pool.capacity.load(Ordering::Relaxed),
+        shed_requests: registry.counter("serve.shed").get(),
+        reloads: registry.counter("serve.reloads").get(),
+        alloc: tpiin_obs::alloc::stats(),
+        proc: tpiin_obs::proc::sample(),
+    };
+    Response::json(200, &responses::status_json(&snap, &report))
 }
 
 fn groups(state: &ServerState, req: &Request) -> Response {
@@ -262,6 +292,10 @@ pub fn reload(state: &ServerState) -> Result<u64, (u16, String)> {
     *writer = IncrementalDetector::new(tpiin);
     state.store.swap(snapshot);
     drop(writer);
+    // The sliding 60s latency windows measured the old epoch; clear
+    // them so the twin `_window` series restarts cleanly instead of
+    // blending two snapshots' latencies mid-window.
+    tpiin_obs::global().reset_histogram_windows("serve.latency.");
     tpiin_obs::global().counter("serve.reloads").inc();
     Ok(epoch)
 }

@@ -11,9 +11,25 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Live occupancy counters the pool keeps up to date, shared with the
+/// `/status` endpoint: how many workers exist, how many are busy right
+/// now, how many jobs wait in the queue, and the queue's capacity.
+/// All relaxed — these are human-facing telemetry, not synchronization.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    /// Worker threads in the pool.
+    pub workers: AtomicUsize,
+    /// Workers executing a job at this instant.
+    pub busy: AtomicUsize,
+    /// Jobs waiting in the queue at this instant.
+    pub queued: AtomicUsize,
+    /// Queue capacity (jobs beyond it are shed).
+    pub capacity: AtomicUsize,
+}
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -36,6 +52,7 @@ struct PoolInner {
     not_empty: Condvar,
     capacity: usize,
     shutting_down: AtomicBool,
+    metrics: Arc<PoolMetrics>,
 }
 
 /// Fixed worker threads over a bounded job queue.
@@ -48,11 +65,26 @@ impl BoundedPool {
     /// Spawns `workers` threads sharing a queue of at most
     /// `queue_capacity` waiting jobs.
     pub fn new(workers: usize, queue_capacity: usize) -> BoundedPool {
+        BoundedPool::with_metrics(workers, queue_capacity, Arc::new(PoolMetrics::default()))
+    }
+
+    /// As [`BoundedPool::new`], publishing occupancy into `metrics`
+    /// (which the caller typically shares with a status endpoint).
+    pub fn with_metrics(
+        workers: usize,
+        queue_capacity: usize,
+        metrics: Arc<PoolMetrics>,
+    ) -> BoundedPool {
+        metrics.workers.store(workers.max(1), Ordering::Relaxed);
+        metrics
+            .capacity
+            .store(queue_capacity.max(1), Ordering::Relaxed);
         let inner = Arc::new(PoolInner {
             queue: Mutex::new(VecDeque::with_capacity(queue_capacity)),
             not_empty: Condvar::new(),
             capacity: queue_capacity.max(1),
             shutting_down: AtomicBool::new(false),
+            metrics,
         });
         let workers = (0..workers.max(1))
             .map(|i| {
@@ -78,6 +110,10 @@ impl BoundedPool {
                 return Err(Saturated);
             }
             queue.push_back(Box::new(job));
+            self.inner
+                .metrics
+                .queued
+                .store(queue.len(), Ordering::Relaxed);
         }
         self.inner.not_empty.notify_one();
         Ok(())
@@ -105,6 +141,7 @@ fn worker_loop(inner: &PoolInner) {
             let mut queue = inner.queue.lock().expect("pool queue poisoned");
             loop {
                 if let Some(job) = queue.pop_front() {
+                    inner.metrics.queued.store(queue.len(), Ordering::Relaxed);
                     break job;
                 }
                 if inner.shutting_down.load(Ordering::Acquire) {
@@ -113,9 +150,11 @@ fn worker_loop(inner: &PoolInner) {
                 queue = inner.not_empty.wait(queue).expect("pool queue poisoned");
             }
         };
+        inner.metrics.busy.fetch_add(1, Ordering::Relaxed);
         // A panicking handler must not take the worker down with it;
         // the connection just closes without a response.
         let _ = catch_unwind(AssertUnwindSafe(job));
+        inner.metrics.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

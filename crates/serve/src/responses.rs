@@ -294,6 +294,75 @@ pub fn health_json(snapshot: &ServeSnapshot) -> Json {
     ])
 }
 
+/// Everything `/status` reports beyond the snapshot itself, gathered
+/// by the handler (pool occupancy, counters, process resources).
+pub struct StatusReport {
+    /// Seconds since the daemon bound its listener.
+    pub uptime_secs: f64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Workers executing a request right now.
+    pub busy_workers: usize,
+    /// Requests waiting in the pool queue right now.
+    pub queued_requests: usize,
+    /// Queue capacity before load shedding kicks in.
+    pub queue_capacity: usize,
+    /// Requests shed with 503 since start.
+    pub shed_requests: u64,
+    /// Snapshot reloads since start.
+    pub reloads: u64,
+    /// Process allocator ledger.
+    pub alloc: tpiin_obs::AllocStats,
+    /// Kernel view (`None` off Linux).
+    pub proc: Option<tpiin_obs::ProcSample>,
+}
+
+/// The `/status` body: served-epoch shape, uptime, pool occupancy and
+/// the process resource state.
+pub fn status_json(snapshot: &ServeSnapshot, report: &StatusReport) -> Json {
+    let mut fields = vec![
+        ("status", s("ok")),
+        ("epoch", num(snapshot.epoch as usize)),
+        (
+            "snapshot_bytes",
+            Json::Number(snapshot.tpiin.approx_heap_bytes() as f64),
+        ),
+        ("nodes", num(snapshot.tpiin.node_count())),
+        ("trading_arcs", num(snapshot.tpiin.trading_arc_count)),
+        ("influence_arcs", num(snapshot.tpiin.influence_arc_count)),
+        ("groups", num(snapshot.detection.group_count())),
+        ("uptime_secs", Json::Number(report.uptime_secs)),
+        ("workers", num(report.workers)),
+        ("busy_workers", num(report.busy_workers)),
+        ("queued_requests", num(report.queued_requests)),
+        ("queue_capacity", num(report.queue_capacity)),
+        ("shed_requests", Json::Number(report.shed_requests as f64)),
+        ("reloads", Json::Number(report.reloads as f64)),
+        (
+            "alloc_live_bytes",
+            Json::Number(report.alloc.live_bytes as f64),
+        ),
+        (
+            "alloc_peak_bytes",
+            Json::Number(report.alloc.peak_bytes as f64),
+        ),
+        (
+            "alloc_total_bytes",
+            Json::Number(report.alloc.total_bytes as f64),
+        ),
+        (
+            "alloc_total_allocs",
+            Json::Number(report.alloc.total_allocs as f64),
+        ),
+    ];
+    if let Some(proc) = &report.proc {
+        fields.push(("rss_bytes", Json::Number(proc.rss_bytes as f64)));
+        fields.push(("minor_faults", Json::Number(proc.minor_faults as f64)));
+        fields.push(("major_faults", Json::Number(proc.major_faults as f64)));
+    }
+    obj(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

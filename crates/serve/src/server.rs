@@ -3,7 +3,7 @@
 
 use crate::handlers::{self, ServerState};
 use crate::http::{parse_request, Response};
-use crate::pool::BoundedPool;
+use crate::pool::{BoundedPool, PoolMetrics};
 use crate::store::{ServeSnapshot, SnapshotStore};
 use parking_lot::Mutex;
 use std::io::BufReader;
@@ -119,6 +119,7 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
     watcher: Option<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
     profile_out: Option<PathBuf>,
 }
 
@@ -146,6 +147,8 @@ impl ServerHandle {
             tracing: config.tracing,
             trace_ring: config.trace_ring.max(1),
             traces: Mutex::new(std::collections::VecDeque::new()),
+            started: Instant::now(),
+            pool: Arc::new(PoolMetrics::default()),
         });
 
         let accept = {
@@ -155,6 +158,21 @@ impl ServerHandle {
                 .name("tpiin-serve-accept".to_string())
                 .spawn(move || accept_loop(&listener, &state, &config))
                 .expect("spawning accept thread")
+        };
+        // The flight recorder's OS-view sampler: refresh RSS/page-fault
+        // and allocator gauges a few times a second so `/metrics` and
+        // `/status` report a current process view, not a stale one.
+        let sampler = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("tpiin-serve-sampler".to_string())
+                .spawn(move || {
+                    while !state.is_shutting_down() {
+                        tpiin_obs::proc::record_gauges(tpiin_obs::global());
+                        std::thread::sleep(Duration::from_millis(250));
+                    }
+                })
+                .expect("spawning sampler thread")
         };
         let watcher = if config.watch && config.snapshot_path.is_some() {
             let state = Arc::clone(&state);
@@ -178,6 +196,7 @@ impl ServerHandle {
             state,
             accept: Some(accept),
             watcher: Some(watcher).flatten(),
+            sampler: Some(sampler),
             profile_out: config.profile_out,
         })
     }
@@ -218,7 +237,13 @@ impl ServerHandle {
         if let Some(watcher) = self.watcher.take() {
             let _ = watcher.join();
         }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
         if let Some(path) = self.profile_out.take() {
+            // One final sample so the flushed profile carries the
+            // process's closing resource state.
+            tpiin_obs::proc::record_gauges(tpiin_obs::global());
             let profile = tpiin_obs::RunProfile::capture();
             let _ = std::fs::write(&path, profile.to_json().to_pretty());
         }
@@ -232,7 +257,11 @@ impl Drop for ServerHandle {
 }
 
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, config: &ServeConfig) {
-    let pool = BoundedPool::new(config.workers, config.queue_capacity);
+    let pool = BoundedPool::with_metrics(
+        config.workers,
+        config.queue_capacity,
+        Arc::clone(&state.pool),
+    );
     for stream in listener.incoming() {
         if state.is_shutting_down() {
             break;

@@ -373,3 +373,100 @@ fn malformed_bytes_get_errors_not_panics() {
     assert!(body.contains("\"status\":\"ok\""));
     handle.shutdown();
 }
+
+#[test]
+fn status_endpoint_reports_runtime_state() {
+    let handle = ServerHandle::bind(fig7(), ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+    let (status, body) = get(addr, "/status");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let json = tpiin_io::json::Json::parse(&body).expect("status body is JSON");
+    let field = |key: &str| {
+        json.get(key)
+            .and_then(tpiin_io::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert_eq!(
+        json.get("status").and_then(tpiin_io::json::Json::as_str),
+        Some("ok")
+    );
+    assert_eq!(field("epoch"), 1.0);
+    assert!(field("snapshot_bytes") > 0.0, "served network has a size");
+    assert!(field("uptime_secs") >= 0.0);
+    assert!(field("workers") >= 1.0);
+    assert!(field("queue_capacity") >= 1.0);
+    assert!(
+        field("busy_workers") >= 1.0,
+        "the /status request itself occupies a worker"
+    );
+    assert!(field("shed_requests") >= 0.0);
+    assert!(field("reloads") >= 0.0);
+    assert!(field("alloc_live_bytes") > 0.0);
+    assert!(field("alloc_total_allocs") > 0.0);
+    #[cfg(target_os = "linux")]
+    assert!(field("rss_bytes") > 0.0, "kernel view present on Linux");
+    handle.shutdown();
+}
+
+/// Regression: a snapshot hot-swap mid-window must clear the sliding
+/// 60s `_window` twin series for the serve latency histograms (old
+/// epoch's latencies must not blend into the new epoch's "now" view)
+/// while the cumulative series keeps counting.
+#[test]
+fn reload_mid_window_resets_latency_window_series() {
+    let tpiin = fig7();
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "tpiin-serve-window-{}-{:?}.tpiin",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, tpiin_io::snapshot::write_snapshot(&tpiin)).expect("write snapshot");
+    let config = ServeConfig {
+        snapshot_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(tpiin, config).expect("bind");
+    let addr = handle.addr();
+
+    let series = |metrics: &str, name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|line| line.strip_prefix(name))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    // No other daemon test touches /company, but /reload from a
+    // concurrently running test clears every serve.latency window —
+    // retry until our requests and the scrape land without one.
+    let mut windowed = 0;
+    let mut cumulative_before = 0;
+    for _ in 0..10 {
+        for _ in 0..3 {
+            let (status, _) = get(addr, "/company/C3");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+        }
+        let (_, metrics) = get(addr, "/metrics");
+        windowed = series(&metrics, "tpiin_serve_latency_company_window_count ");
+        cumulative_before = series(&metrics, "tpiin_serve_latency_company_count ");
+        if windowed >= 3 {
+            break;
+        }
+    }
+    assert!(windowed >= 3, "window counts observed requests: {windowed}");
+
+    let (status, body) = post(addr, "/reload", "");
+    assert_eq!(status, "HTTP/1.1 200 OK", "reload failed: {body}");
+
+    let (_, metrics) = get(addr, "/metrics");
+    assert_eq!(
+        series(&metrics, "tpiin_serve_latency_company_window_count "),
+        0,
+        "hot swap must reset the sliding window"
+    );
+    assert!(
+        series(&metrics, "tpiin_serve_latency_company_count ") >= cumulative_before,
+        "cumulative series survives the swap"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
