@@ -5,7 +5,9 @@
 //! 2. serial mining over the frozen CSR shards,
 //! 3. work-stealing mining over the CSR shards at `THREADS` workers —
 //!
-//! and writes `BENCH_detect.json` with per-workload timings and the
+//! plus every default [`GroupMiner`](tpiin_core::GroupMiner) strategy
+//! end-to-end (segmentation included), and writes `BENCH_detect.json`
+//! with per-workload timings, the per-miner `mine_ms` entries and the
 //! derived `csr_over_nested` / `thread_speedup` ratios for CI trend
 //! tracking.  The top-level `{wall_ms, groups, subtpiins}` fields stay
 //! compatible with the old single-number schema.
@@ -16,8 +18,11 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use tpiin_bench::fixtures::tpiin_fixture;
-use tpiin_bench::record::{self, BenchMeta, DetectBench, WorkloadRecord};
-use tpiin_core::{segment_tpiin, segment_tpiin_nested, DetectionResult, Detector, DetectorConfig};
+use tpiin_bench::record::{self, BenchMeta, DetectBench, MinerTiming, WorkloadRecord};
+use tpiin_core::{
+    segment_tpiin, segment_tpiin_nested, DetectionResult, Detector, DetectorConfig, MineContext,
+    MinerRegistry,
+};
 use tpiin_datagen::fig7_registry;
 use tpiin_fusion::{fuse, Tpiin};
 
@@ -77,6 +82,33 @@ fn measure(
     assert_eq!(r1.group_count(), r2.group_count(), "{name}: arms disagree");
     assert_eq!(r2.group_count(), r3.group_count(), "{name}: arms disagree");
 
+    // Each default strategy end-to-end (segmentation included), serial
+    // so the timings are comparable across hosts with different core
+    // counts.  The `rules` entry must agree with the detection arms —
+    // the strategy facade wraps the same kernel.
+    let ctx = MineContext::with_config(DetectorConfig {
+        threads: 1,
+        ..DetectorConfig::default()
+    });
+    let miners = MinerRegistry::with_defaults()
+        .iter()
+        .map(|miner| {
+            let (mine_ms, result) = median_ms(warmup, reps, || miner.mine(tpiin, &ctx));
+            MinerTiming {
+                name: miner.name().to_string(),
+                groups: result.group_count(),
+                mine_ms,
+            }
+        })
+        .collect::<Vec<_>>();
+    if let Some(rules) = miners.iter().find(|m| m.name == tpiin_core::RULES_MINER) {
+        assert_eq!(
+            rules.groups,
+            r2.group_count(),
+            "{name}: rules miner disagrees"
+        );
+    }
+
     WorkloadRecord {
         name: name.to_string(),
         groups: r2.group_count(),
@@ -85,6 +117,7 @@ fn measure(
         csr_serial_ms,
         csr_threads_ms,
         threads,
+        miners,
     }
 }
 
@@ -115,7 +148,13 @@ fn main() {
     let mut meta = BenchMeta::new(
         "detect",
         specs.iter().map(|(name, ..)| name.clone()),
-        ["nested_serial", "csr_serial", "csr_stealing"],
+        [
+            "nested_serial",
+            "csr_serial",
+            "csr_stealing",
+            "miner:rules",
+            "miner:circular",
+        ],
     );
 
     // Each workload runs under catch_unwind so a crash partway still
@@ -152,6 +191,12 @@ fn main() {
             w.groups,
             w.subtpiins
         );
+        for m in &w.miners {
+            println!(
+                "bench detect [{}]: miner {} {:.2} ms, {} groups",
+                w.name, m.name, m.mine_ms, m.groups
+            );
+        }
     }
     record::write_enveloped(std::path::Path::new(&path), &meta, bench.to_json())
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));

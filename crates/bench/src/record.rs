@@ -198,9 +198,37 @@ impl BenchRecord {
     }
 }
 
+/// One miner strategy timed end-to-end on a workload's full TPIIN.
+///
+/// The `name` field doubles as the element label `bench_check` matches
+/// array entries by, so reordering strategies never fakes a regression
+/// while dropping one is caught; `groups` is an exact-gated count and
+/// `mine_ms` a tolerance-gated timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinerTiming {
+    /// Strategy name (`rules`, `circular`, ...).
+    pub name: String,
+    /// Suspicious groups the strategy mined.
+    pub groups: usize,
+    /// Wall-clock milliseconds for one full `mine` pass.
+    pub mine_ms: f64,
+}
+
+impl MinerTiming {
+    /// The timing as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("groups".to_string(), Json::Int(self.groups as u64)),
+            ("mine_ms".to_string(), Json::Float(self.mine_ms)),
+        ])
+    }
+}
+
 /// One workload timed across the three detection arms: the legacy
 /// nested-adjacency shards, the CSR shards run serially, and the CSR
-/// shards under the work-stealing scheduler.
+/// shards under the work-stealing scheduler — plus every registered
+/// [`GroupMiner`](tpiin_core::GroupMiner) strategy end-to-end.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadRecord {
     /// Workload label (`fig7`, `province-0.5`, ...).
@@ -217,6 +245,8 @@ pub struct WorkloadRecord {
     pub csr_threads_ms: f64,
     /// Worker-thread count of the stealing arm.
     pub threads: usize,
+    /// Per-strategy end-to-end timings (segmentation included).
+    pub miners: Vec<MinerTiming>,
 }
 
 impl WorkloadRecord {
@@ -253,6 +283,10 @@ impl WorkloadRecord {
             (
                 "thread_speedup".to_string(),
                 Json::Float(self.thread_speedup()),
+            ),
+            (
+                "miners".to_string(),
+                Json::Array(self.miners.iter().map(MinerTiming::to_json).collect()),
             ),
         ])
     }
@@ -596,6 +630,7 @@ mod tests {
             csr_serial_ms: 20.0,
             csr_threads_ms: 5.0,
             threads: 8,
+            miners: Vec::new(),
         };
         assert!((w.csr_over_nested() - 1.5).abs() < 1e-12);
         assert!((w.thread_speedup() - 4.0).abs() < 1e-12);
@@ -613,6 +648,11 @@ mod tests {
                 csr_serial_ms: 12.5,
                 csr_threads_ms: 4.0,
                 threads: 8,
+                miners: vec![MinerTiming {
+                    name: "rules".into(),
+                    groups: 42,
+                    mine_ms: 13.0,
+                }],
             }],
         };
         let text = bench.to_json().to_pretty();
@@ -622,6 +662,9 @@ mod tests {
         assert!(text.contains("\"workloads\""));
         assert!(text.contains("\"thread_speedup\""));
         assert!(text.contains("\"csr_over_nested\""));
+        assert!(text.contains("\"miners\""));
+        assert!(text.contains("\"rules\""));
+        assert!(text.contains("\"mine_ms\": 13"));
     }
 
     #[test]

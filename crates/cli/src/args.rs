@@ -48,6 +48,9 @@ pub struct Options {
     /// Group index for `explain` (also accepted as a positional
     /// argument: `tpiin explain 0`).
     pub group: Option<usize>,
+    /// Miner specs for `detect`/`serve` (repeatable `--miner NAME`).
+    /// Empty means the command's default strategy set.
+    pub miners: Vec<String>,
 }
 
 impl Default for Options {
@@ -74,6 +77,7 @@ impl Default for Options {
             metrics_out: None,
             trace_out: None,
             group: None,
+            miners: Vec::new(),
         }
     }
 }
@@ -171,6 +175,7 @@ impl Options {
                             .map_err(|e| format!("--group: {e}"))?,
                     );
                 }
+                "--miner" => opts.miners.push(value("--miner")?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -247,6 +252,10 @@ mod tests {
             "t.json",
             "--group",
             "2",
+            "--miner",
+            "rules",
+            "--miner",
+            "circular",
         ])
         .unwrap();
         assert_eq!(opts.scale, 0.5);
@@ -270,6 +279,7 @@ mod tests {
         assert_eq!(opts.metrics_out.as_deref(), Some("p.json"));
         assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
         assert_eq!(opts.group, Some(2));
+        assert_eq!(opts.miners, vec!["rules", "circular"]);
     }
 
     #[test]
@@ -292,5 +302,8 @@ mod tests {
         assert!(parse(&["--workers", "many"])
             .unwrap_err()
             .contains("--workers"));
+        assert!(parse(&["--miner"])
+            .unwrap_err()
+            .contains("requires a value"));
     }
 }

@@ -3,7 +3,10 @@
 use crate::args::Options;
 use std::time::Instant;
 use tpiin_core::baseline::detect_baseline;
-use tpiin_core::{detect, generate_pattern_base, segment_tpiin, Detector, DetectorConfig};
+use tpiin_core::{
+    detect, generate_pattern_base, mine_with_obs, segment_tpiin, Detector, DetectorConfig,
+    MineContext, MinerRegistry, RULES_MINER,
+};
 use tpiin_datagen::{
     add_random_trading, case1_registry, case2_registry, case3_registry, fig7_registry,
     generate_province, ProvinceConfig,
@@ -21,10 +24,12 @@ COMMANDS:
   stats           Fusion-stage statistics (Figs. 11-16)
   worked-example  Figs. 7-10: pattern base and groups with explanations
   cases           The three Section 3.1 case studies
-  detect          Mine one random TPIIN; print top-scored groups
+  detect          Mine one random TPIIN with each `--miner` strategy
+                  (default rules); print top-scored groups per miner
   explain         Provenance chain of one group: `explain <group-id>`
                   (without an id: list the groups; --snapshot/--dataset
-                  pick the network, default fig7)
+                  pick the network, default fig7; --miner picks the
+                  strategy that owns the group, default rules)
   query           Groups behind one trading arc (--arc SELLER,BUYER)
   save-province   Write the synthetic province as CSV files (--dir)
   import          Load a CSV registry (--dir), detect, print summary
@@ -49,6 +54,9 @@ FLAGS:
   --dir PATH    directory for save-province/import/report
   --arc S,B     seller,buyer company labels for `query`
   --company L   company label for `company`
+  --miner NAME  detection strategy for `detect`/`explain`/`serve`
+                (repeatable): rules | baseline | circular |
+                windowed:<inner>@<start>..<end>  (feed sequence numbers)
 
 SERVING (`serve` / `save-snapshot`):
   --addr A:P    listen address (default 127.0.0.1:7878; port 0 = ephemeral)
@@ -57,6 +65,8 @@ SERVING (`serve` / `save-snapshot`):
   --request-timeout-ms N  per-request deadline (default 2000)
   --dataset D   fig7 | province — dataset when no --snapshot (default fig7)
   --watch       poll the snapshot file and hot-reload on change
+  --miner NAME  strategies snapshot builds run (repeatable; default
+                rules + circular; the first is the primary /groups view)
 
 OBSERVABILITY (all commands):
   --log-level L   stderr log level: error|warn|info|debug|trace
@@ -91,6 +101,17 @@ fn detector(opts: &Options, collect: bool) -> Detector {
         threads: opts.threads,
         ..Default::default()
     })
+}
+
+/// The miner set `--miner` flags request (default: the Rule 1/Rule 2
+/// detector alone).
+fn miner_registry(opts: &Options) -> Result<MinerRegistry, tpiin::Error> {
+    if opts.miners.is_empty() {
+        MinerRegistry::from_specs([RULES_MINER])
+    } else {
+        MinerRegistry::from_specs(&opts.miners)
+    }
+    .map_err(tpiin::Error::Usage)
 }
 
 /// `tpiin table1` — one row per trading probability, same columns as the
@@ -256,32 +277,57 @@ pub fn cases() -> Result<(), tpiin::Error> {
     Ok(())
 }
 
-/// `tpiin detect` — one random TPIIN, top-scored groups printed.
+/// `tpiin detect` — one random TPIIN, mined by every requested
+/// `--miner` strategy (default: rules), top groups printed per miner.
 pub fn detect_one(opts: &Options) -> Result<(), tpiin::Error> {
+    let miners = miner_registry(opts)?;
     let (mut registry, _) = province(opts);
     let p = *opts.sweep_probs().first().unwrap_or(&0.002);
     add_random_trading(&mut registry, p, opts.seed);
     let (tpiin, _) = fuse(&registry)?;
-    let start = Instant::now();
-    let result = detector(opts, true).detect(&tpiin);
-    println!(
-        "detected {} groups ({} complex, {} simple) behind {} of {} trading arcs in {:?}",
-        result.group_count(),
-        result.complex_group_count,
-        result.simple_group_count,
-        result.suspicious_trading_arcs.len(),
-        result.total_trading_arcs,
-        start.elapsed()
-    );
-    let mut scored: Vec<_> = result
-        .groups
-        .iter()
-        .map(|g| (tpiin_core::score_group(&tpiin, g), g))
-        .collect();
-    scored.sort_by(|a, b| b.0.score.total_cmp(&a.0.score));
-    println!("\ntop {} groups by score:", opts.top.min(scored.len()));
-    for (score, group) in scored.iter().take(opts.top) {
-        println!("  [{:>12.0}] {}", score.score, group.explain(&tpiin));
+    let ctx = MineContext {
+        config: DetectorConfig {
+            collect_groups: true,
+            threads: opts.threads,
+            ..Default::default()
+        },
+        tax_rates: registry.company_tax_rates(),
+    };
+    for miner in miners.iter() {
+        let name = miner.name().to_string();
+        let start = Instant::now();
+        let result = mine_with_obs(miner, &tpiin, &ctx);
+        println!(
+            "[{name}] detected {} groups ({} complex, {} simple) behind {} of {} trading arcs in {:?}",
+            result.group_count(),
+            result.complex_group_count,
+            result.simple_group_count,
+            result.suspicious_trading_arcs.len(),
+            result.total_trading_arcs,
+            start.elapsed()
+        );
+        if miner.supports_provenance() {
+            // Rule 1/Rule 2 shaped groups rank by chain strength x
+            // trade volume.
+            let mut scored: Vec<_> = result
+                .groups
+                .iter()
+                .map(|g| (tpiin_core::score_group(&tpiin, g), g))
+                .collect();
+            scored.sort_by(|a, b| b.0.score.total_cmp(&a.0.score));
+            println!("top {} groups by score:", opts.top.min(scored.len()));
+            for (score, group) in scored.iter().take(opts.top) {
+                println!("  [{:>12.0}] {}", score.score, group.explain(&tpiin));
+            }
+        } else {
+            // Other strategies (e.g. circular trading) already order
+            // their groups by their own ranking.
+            println!("top {} groups:", opts.top.min(result.groups.len()));
+            for group in result.groups.iter().take(opts.top) {
+                println!("  {}", group.explain(&tpiin));
+            }
+        }
+        println!();
     }
     Ok(())
 }
@@ -291,27 +337,47 @@ pub fn detect_one(opts: &Options) -> Result<(), tpiin::Error> {
 /// contraction lineage and the per-term score, followed by a self-audit
 /// that every referenced node and arc exists in the TPIIN.
 pub fn explain(opts: &Options) -> Result<(), tpiin::Error> {
+    let miner = match opts.miners.as_slice() {
+        [] => MinerRegistry::resolve(RULES_MINER),
+        [spec] => MinerRegistry::resolve(spec),
+        _ => {
+            return Err(tpiin::Error::Usage(
+                "explain takes at most one --miner (one strategy owns a group id)".into(),
+            ))
+        }
+    }
+    .map_err(tpiin::Error::Usage)?;
+    let name = miner.name().to_string();
     let tpiin = serving_tpiin(opts)?;
-    let result = detector(opts, true).detect(&tpiin);
+    let ctx = MineContext::with_config(DetectorConfig {
+        collect_groups: true,
+        threads: opts.threads,
+        ..Default::default()
+    });
+    let result = miner.mine(&tpiin, &ctx);
     let Some(id) = opts.group else {
         // No id: list the groups so the investigator can pick one.
         println!(
-            "{} groups mined; rerun as `tpiin explain <group-id>`:",
+            "{} groups mined by `{name}`; rerun as `tpiin explain <group-id>`:",
             result.groups.len()
         );
         for (i, group) in result.groups.iter().enumerate() {
-            let score = tpiin_core::score_group(&tpiin, group);
-            println!(
-                "  [{i:>3}] score {:>12.0}  {}",
-                score.score,
-                group.explain(&tpiin)
-            );
+            if miner.supports_provenance() {
+                let score = tpiin_core::score_group(&tpiin, group);
+                println!(
+                    "  [{i:>3}] score {:>12.0}  {}",
+                    score.score,
+                    group.explain(&tpiin)
+                );
+            } else {
+                println!("  [{i:>3}] {}", group.explain(&tpiin));
+            }
         }
         return Ok(());
     };
     let Some(group) = result.groups.get(id) else {
         return Err(tpiin::Error::Usage(format!(
-            "no group {id}: this network has {} groups (ids 0..{})",
+            "no group {id}: miner `{name}` mined {} groups (ids 0..{})",
             result.groups.len(),
             result.groups.len().saturating_sub(1)
         )));
@@ -319,12 +385,24 @@ pub fn explain(opts: &Options) -> Result<(), tpiin::Error> {
     let assembled;
     let prov = match result.provenances.get(id) {
         Some(prov) => prov,
-        None => {
-            assembled = tpiin_core::Provenance::assemble(&tpiin, group);
-            &assembled
-        }
+        // Counting-only detections carry no pre-assembled provenance;
+        // ask the owning miner's hook (only Rule 1/Rule 2 shaped
+        // strategies have one).
+        None => match miner.provenance(&tpiin, group) {
+            Some(prov) => {
+                assembled = prov;
+                &assembled
+            }
+            None => {
+                return Err(tpiin::Error::Usage(format!(
+                    "miner `{name}` has no provenance hook: group {id} carries no \
+                     Rule 1/Rule 2 evidence chain to render (its pattern is: {})",
+                    group.explain(&tpiin)
+                )))
+            }
+        },
     };
-    println!("group {id} of {}", result.groups.len());
+    println!("group {id} of {} (miner `{name}`)", result.groups.len());
     print!("{}", prov.render(group, &tpiin));
     let (influence, trading) = prov.source_records();
     println!("  contributing records: influence feed {influence:?}, trading feed {trading:?}");
@@ -556,6 +634,7 @@ pub fn serve(opts: &Options) -> Result<(), tpiin::Error> {
         request_timeout: std::time::Duration::from_millis(opts.request_timeout_ms.max(1)),
         snapshot_path: opts.snapshot.as_ref().map(std::path::PathBuf::from),
         watch: opts.watch,
+        miners: opts.miners.clone(),
         ..Default::default()
     };
     let tpiin = serving_tpiin(opts)?;

@@ -227,6 +227,34 @@ fn explain_prints_an_audited_provenance_chain() {
 }
 
 #[test]
+fn detect_runs_every_requested_miner_strategy() {
+    let (stdout, stderr, ok) = run(&[
+        "detect", "--scale", "0.1", "--miner", "rules", "--miner", "circular",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("[rules] detected"), "{stdout}");
+    assert!(stdout.contains("[circular] detected"), "{stdout}");
+
+    let (_, stderr, ok) = run(&["detect", "--scale", "0.1", "--miner", "zebra"]);
+    assert!(!ok);
+    assert!(stderr.contains("zebra"), "{stderr}");
+}
+
+#[test]
+fn explain_names_the_owning_miner_and_rejects_provenance_less_miners() {
+    let (stdout, _, ok) = run(&["explain", "0"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("(miner `rules`)"), "{stdout}");
+
+    // The baseline oracle mines the same groups but has no provenance
+    // hook: a clear error, not a panic or an empty chain.
+    let (_, stderr, ok) = run(&["explain", "0", "--miner", "baseline"]);
+    assert!(!ok);
+    assert!(stderr.contains("no provenance hook"), "{stderr}");
+    assert!(stderr.contains("baseline"), "{stderr}");
+}
+
+#[test]
 fn trace_out_exports_one_trace_spanning_cli_pipeline_detector() {
     let path = std::env::temp_dir().join(format!("tpiin-trace-{}.json", std::process::id()));
     let path_str = path.to_str().unwrap();

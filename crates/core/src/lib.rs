@@ -17,7 +17,12 @@
 //! * a **parallel detector** over subTPIINs/roots (the paper's "parallel
 //!   and distributed computation" future-work direction);
 //! * a **weighted scoring extension** ranking groups by investment share
-//!   and trade volume ([`score::score_group`]).
+//!   and trade volume ([`score::score_group`]);
+//! * the **[`GroupMiner`] strategy API** — Rule 1/Rule 2, the baseline,
+//!   circular-trading cycle detection and time-windowed decoration all
+//!   behind one trait ([`MinerRegistry`]), so new workloads plug into
+//!   the pipeline, the serve daemon and the CLI without forking the
+//!   detector.
 //!
 //! # Counting semantics
 //!
@@ -37,6 +42,7 @@ mod detector;
 mod incremental;
 mod listd;
 mod matching;
+mod miner;
 mod nested;
 mod patterns;
 mod provenance;
@@ -52,6 +58,10 @@ pub use detector::{detect, Detector, DetectorConfig};
 pub use incremental::{BatchOutcome, IncrementalDetector, IngestStats};
 pub use listd::listd_order;
 pub use matching::match_root;
+pub use miner::{
+    mine_with_obs, BaselineMiner, CircularTradingMiner, GroupMiner, MineContext, MinerRegistry,
+    Rule12Miner, WindowedMiner, BASELINE_MINER, CIRCULAR_MINER, RULES_MINER,
+};
 pub use nested::{segment_tpiin_nested, NestedSubTpiin};
 pub use patterns::{generate_pattern_base, ComponentPattern};
 pub use provenance::{ArcProvenance, MatchedRule, MemberLineage, Provenance, ScoreBreakdown};

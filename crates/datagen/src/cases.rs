@@ -134,6 +134,153 @@ pub fn case3_registry() -> SourceRegistry {
     r
 }
 
+/// Number of companies in [`circular_case_registry`]'s planted ring.
+pub const CIRCULAR_RING_LEN: usize = 4;
+
+/// A planted circular-trading scenario (the GST fraud pattern): four
+/// companies `R0 -> R1 -> R2 -> R3 -> R0` pass goods in a ring, with
+/// statutory tax rates spread across brackets so the ring accumulates a
+/// non-zero rate differential.  Two background companies `X0`, `X1`
+/// trade acyclically.  Each company has its own legal person and there
+/// is no shared antecedent, so Rule 1/Rule 2 mining finds nothing here
+/// — the ring is visible only to the circular-trading miner, which
+/// must report exactly one group.
+pub fn circular_case_registry() -> SourceRegistry {
+    let mut r = circular_control_registry();
+    // Close the chain R0 -> R1 -> R2 -> R3 into a ring.
+    let r3 = r.company_by_name("R3").expect("control plants R3");
+    let r0 = r.company_by_name("R0").expect("control plants R0");
+    r.add_trading(TradingRecord {
+        seller: r3,
+        buyer: r0,
+        volume: 1_000.0,
+    });
+    r
+}
+
+/// The pattern-free control for [`circular_case_registry`]: identical
+/// companies, rates and background trades, but the ring is left open as
+/// the chain `R0 -> R1 -> R2 -> R3` — no trading cycle exists, so the
+/// circular-trading miner must report zero groups.
+pub fn circular_control_registry() -> SourceRegistry {
+    let mut r = SourceRegistry::new();
+    let ceo = RoleSet::of(&[Role::Ceo]);
+    let rates = [0.05, 0.17, 0.25, 0.13];
+    let ring: Vec<_> = (0..CIRCULAR_RING_LEN)
+        .map(|i| {
+            let p = r.add_person(format!("LR{i}"), ceo);
+            let c = r.add_company(format!("R{i}"));
+            r.add_influence(InfluenceRecord {
+                person: p,
+                company: c,
+                kind: InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+            r.set_company_tax_rate(c, rates[i]);
+            c
+        })
+        .collect();
+    for w in ring.windows(2) {
+        r.add_trading(TradingRecord {
+            seller: w[0],
+            buyer: w[1],
+            volume: 1_000.0,
+        });
+    }
+    for i in 0..2 {
+        let p = r.add_person(format!("LX{i}"), ceo);
+        let c = r.add_company(format!("X{i}"));
+        r.add_influence(InfluenceRecord {
+            person: p,
+            company: c,
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+    }
+    let x0 = r.company_by_name("X0").expect("just added");
+    let x1 = r.company_by_name("X1").expect("just added");
+    r.add_trading(TradingRecord {
+        seller: x0,
+        buyer: x1,
+        volume: 500.0,
+    });
+    r
+}
+
+/// Trading-feed window of [`windowed_case_registry`] containing only
+/// the early group's trade.
+pub const WINDOWED_EARLY: (u32, u32) = (0, 1);
+/// Window containing only the late group's trade.
+pub const WINDOWED_LATE: (u32, u32) = (1, 2);
+/// Window containing only the background trade — a trading arc exists
+/// in the window but no suspicious group does.
+pub const WINDOWED_QUIET: (u32, u32) = (2, 3);
+
+/// A time-windowed scenario: two independent Rule 1 structures whose
+/// suspicious trades are appended to the trading feed in a known order,
+/// plus one innocent background trade.
+///
+/// * feed record 0 — `EA1 -> EA2`, the trade of the *early* group
+///   (person `LE` controls both companies);
+/// * feed record 1 — `TB1 -> TB2`, the trade of the *late* group
+///   (person `LT` controls both);
+/// * feed record 2 — `X0 -> X1`, unrelated companies, no group.
+///
+/// Mining through `windowed:rules@start..end` with [`WINDOWED_EARLY`] /
+/// [`WINDOWED_LATE`] must each find exactly their own group; the full
+/// window `0..3` finds both; [`WINDOWED_QUIET`] finds none.
+pub fn windowed_case_registry() -> SourceRegistry {
+    let mut r = SourceRegistry::new();
+    let ceo = RoleSet::of(&[Role::Ceo]);
+    let pair = |r: &mut SourceRegistry, person: &str, a: &str, b: &str| {
+        let p = r.add_person(person, ceo);
+        let ca = r.add_company(a);
+        let cb = r.add_company(b);
+        for c in [ca, cb] {
+            r.add_influence(InfluenceRecord {
+                person: p,
+                company: c,
+                kind: InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+        }
+        (ca, cb)
+    };
+    let (ea1, ea2) = pair(&mut r, "LE", "EA1", "EA2");
+    let (tb1, tb2) = pair(&mut r, "LT", "TB1", "TB2");
+    // X0/X1 must not share an antecedent, or the background trade would
+    // itself form a group: each gets its own legal person.
+    let solo = |r: &mut SourceRegistry, person: &str, name: &str| {
+        let p = r.add_person(person, ceo);
+        let c = r.add_company(name);
+        r.add_influence(InfluenceRecord {
+            person: p,
+            company: c,
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+        c
+    };
+    let x0 = solo(&mut r, "LX0", "X0");
+    let x1 = solo(&mut r, "LX1", "X1");
+    r.add_trading(TradingRecord {
+        seller: ea1,
+        buyer: ea2,
+        volume: 10_000.0,
+    });
+    r.add_trading(TradingRecord {
+        seller: tb1,
+        buyer: tb2,
+        volume: 20_000.0,
+    });
+    r.add_trading(TradingRecord {
+        seller: x0,
+        buyer: x1,
+        volume: 50.0,
+    });
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,8 +22,12 @@ mod nation;
 mod province;
 mod trading;
 
-pub use cases::{case1_registry, case2_registry, case3_registry};
+pub use cases::{
+    case1_registry, case2_registry, case3_registry, circular_case_registry,
+    circular_control_registry, windowed_case_registry, CIRCULAR_RING_LEN, WINDOWED_EARLY,
+    WINDOWED_LATE, WINDOWED_QUIET,
+};
 pub use fig7::{fig7_registry, FIG7_EXPECTED_PATTERNS};
 pub use nation::generate_nation;
 pub use province::{generate_province, ProvinceConfig};
-pub use trading::{add_random_trading, expected_trading_arcs};
+pub use trading::{add_random_trading, expected_trading_arcs, plant_trading_ring};

@@ -62,6 +62,29 @@ pub fn add_random_trading(registry: &mut SourceRegistry, p: f64, seed: u64) -> u
     added
 }
 
+/// Plants a circular-trading ring: one trading arc from each member to
+/// the next, closing back to the first.  Returns the number of arcs
+/// appended (`members.len()`).  The ring is the pattern the
+/// circular-trading miner looks for; callers typically also spread
+/// distinct tax rates over the members so the rate-differential score
+/// is non-zero.
+///
+/// # Panics
+///
+/// Panics when fewer than two members are given (a 1-ring would be a
+/// self-trade, which registry validation rejects).
+pub fn plant_trading_ring(registry: &mut SourceRegistry, members: &[CompanyId]) -> usize {
+    assert!(members.len() >= 2, "a trading ring needs >= 2 companies");
+    for (i, &seller) in members.iter().enumerate() {
+        registry.add_trading(TradingRecord {
+            seller,
+            buyer: members[(i + 1) % members.len()],
+            volume: 1_000.0,
+        });
+    }
+    members.len()
+}
+
 /// Geometric gap: number of failures before the next success.
 fn skip(rng: &mut StdRng, log1mp: f64) -> u64 {
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);

@@ -2,6 +2,12 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Statutory tax rate assumed for a company with no recorded rate —
+/// the standard VAT rate in force when the paper's datasets were
+/// collected.  Circular-trading detection scores cycles by rate
+/// *differentials*, so a uniform default contributes zero signal.
+pub const DEFAULT_TAX_RATE: f64 = 0.17;
+
 /// A legally and separately registered company / corporate / trust /
 /// institution that pays taxes singly — a *Company* node.
 ///

@@ -23,7 +23,7 @@ mod registry;
 mod relationship;
 mod roles;
 
-pub use company::Company;
+pub use company::{Company, DEFAULT_TAX_RATE};
 pub use error::ModelError;
 pub use ids::{CompanyId, PersonId};
 pub use intern::{Interner, Symbol};

@@ -26,6 +26,11 @@ pub struct SourceRegistry {
     influences: Vec<InfluenceRecord>,
     investments: Vec<InvestmentRecord>,
     tradings: Vec<TradingRecord>,
+    /// Statutory tax rate per company, parallel to `companies`.  Grown
+    /// lazily: entries past the end mean [`crate::DEFAULT_TAX_RATE`].
+    /// Absent from older serialized registries, hence the default.
+    #[serde(default)]
+    tax_rates: Vec<f64>,
 }
 
 impl SourceRegistry {
@@ -46,6 +51,40 @@ impl SourceRegistry {
         let id = CompanyId(self.companies.len() as u32);
         self.companies.push(Company::new(name));
         id
+    }
+
+    /// Records a company's statutory tax rate (used by the
+    /// circular-trading miner's rate-differential scoring).  Companies
+    /// without a recorded rate default to [`crate::DEFAULT_TAX_RATE`].
+    pub fn set_company_tax_rate(&mut self, id: CompanyId, rate: f64) {
+        if self.tax_rates.len() <= id.index() {
+            self.tax_rates
+                .resize(id.index() + 1, crate::DEFAULT_TAX_RATE);
+        }
+        self.tax_rates[id.index()] = rate;
+    }
+
+    /// A company's statutory tax rate ([`crate::DEFAULT_TAX_RATE`] when
+    /// never set).
+    pub fn company_tax_rate(&self, id: CompanyId) -> f64 {
+        self.tax_rates
+            .get(id.index())
+            .copied()
+            .unwrap_or(crate::DEFAULT_TAX_RATE)
+    }
+
+    /// The tax rate of every company, indexed by `CompanyId` — the side
+    /// table the mining context carries.  `None` when no rate was ever
+    /// recorded (every differential would be zero anyway).
+    pub fn company_tax_rates(&self) -> Option<Vec<f64>> {
+        if self.tax_rates.is_empty() {
+            return None;
+        }
+        Some(
+            (0..self.companies.len())
+                .map(|i| self.company_tax_rate(CompanyId(i as u32)))
+                .collect(),
+        )
     }
 
     /// Records an interdependence edge between two persons.
@@ -102,6 +141,14 @@ impl SourceRegistry {
         for c in &other.companies {
             self.companies
                 .push(Company::new(format!("{prefix}{}", c.name)));
+        }
+        if !self.tax_rates.is_empty() || !other.tax_rates.is_empty() {
+            self.tax_rates
+                .resize(company_offset as usize, crate::DEFAULT_TAX_RATE);
+            for i in 0..other.companies.len() {
+                self.tax_rates
+                    .push(other.company_tax_rate(CompanyId(i as u32)));
+            }
         }
         let rp = |p: PersonId| PersonId(p.0 + person_offset);
         let rc = |c: CompanyId| CompanyId(c.0 + company_offset);

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use tpiin_core::{groups_behind_arc, IncrementalDetector};
+use tpiin_core::{groups_behind_arc, IncrementalDetector, MinerRegistry};
 use tpiin_io::json::Json;
 use tpiin_model::{CompanyId, TradingRecord};
 use tpiin_obs::{TraceContext, TraceId};
@@ -27,6 +27,7 @@ use tpiin_obs::{TraceContext, TraceId};
 /// ingest state, the shutdown latch and the recent-trace ring.
 pub struct ServerState {
     pub(crate) store: SnapshotStore,
+    pub(crate) miners: MinerRegistry,
     pub(crate) writer: Mutex<IncrementalDetector>,
     pub(crate) epoch: AtomicU64,
     pub(crate) snapshot_path: Option<PathBuf>,
@@ -122,16 +123,45 @@ fn status(state: &ServerState) -> Response {
     Response::json(200, &responses::status_json(&snap, &report))
 }
 
+/// `GET /groups[?miner=NAME&limit=N&offset=N]` — one miner's detection
+/// (the primary by default), paginated.  Unknown query parameters are a
+/// 400, not silently ignored: a typo like `?mnier=circular` must not
+/// quietly serve the full primary listing.
 fn groups(state: &ServerState, req: &Request) -> Response {
-    let limit = match req.query_param("limit") {
-        None => None,
-        Some(text) => match text.parse::<usize>() {
-            Ok(n) => Some(n),
-            Err(_) => return Response::error(400, format!("bad limit `{text}`")),
-        },
-    };
+    let mut limit = None;
+    let mut offset = 0;
+    let mut miner = None;
+    for (key, value) in &req.query {
+        match key.as_str() {
+            "limit" => match value.parse::<usize>() {
+                Ok(n) => limit = Some(n),
+                Err(_) => return Response::error(400, format!("bad limit `{value}`")),
+            },
+            "offset" => match value.parse::<usize>() {
+                Ok(n) => offset = n,
+                Err(_) => return Response::error(400, format!("bad offset `{value}`")),
+            },
+            "miner" => miner = Some(value.clone()),
+            other => {
+                return Response::error(400, format!("unknown query parameter `{other}`"));
+            }
+        }
+    }
     let snap = state.store.current();
-    Response::json(200, &responses::groups_json(&snap, limit))
+    let miner = miner.unwrap_or_else(|| snap.primary_miner().to_string());
+    let Some(detection) = snap.detection_for(&miner) else {
+        return Response::error(
+            404,
+            format!(
+                "no miner `{miner}` (serving: {})",
+                snap.miner_names().join(", ")
+            ),
+        );
+    };
+    Response::json(
+        200,
+        &responses::groups_json(&snap, &miner, detection, limit, offset),
+    )
 }
 
 fn arc_query(state: &ServerState, req: &Request) -> Response {
@@ -152,26 +182,75 @@ fn arc_query(state: &ServerState, req: &Request) -> Response {
     )
 }
 
-/// `GET /groups/{id}/provenance` — the full evidence chain behind one
-/// mined group, by its index in the `/groups` order.
+/// `GET /groups/{id}/provenance[?miner=NAME]` — the full evidence chain
+/// behind one mined group, by its index in that miner's `/groups` order
+/// (the primary miner by default).
 fn provenance(state: &ServerState, req: &Request) -> Response {
     let inner = &req.path["/groups/".len()..req.path.len() - "/provenance".len()];
     let inner = inner.trim_end_matches('/');
     let Ok(index) = inner.parse::<usize>() else {
         return Response::error(400, format!("bad group id `{inner}`"));
     };
+    let mut miner = None;
+    for (key, value) in &req.query {
+        match key.as_str() {
+            "miner" => miner = Some(value.clone()),
+            other => {
+                return Response::error(400, format!("unknown query parameter `{other}`"));
+            }
+        }
+    }
     let snap = state.store.current();
-    if index >= snap.detection.groups.len() {
+    let miner = miner.unwrap_or_else(|| snap.primary_miner().to_string());
+    let Some(detection) = snap.detection_for(&miner) else {
         return Response::error(
             404,
             format!(
-                "no group {index} (epoch {} has {})",
+                "no miner `{miner}` (serving: {})",
+                snap.miner_names().join(", ")
+            ),
+        );
+    };
+    if index >= detection.groups.len() {
+        return Response::error(
+            404,
+            format!(
+                "no group {index} for miner `{miner}` (epoch {} has {})",
                 snap.epoch,
-                snap.detection.groups.len()
+                detection.groups.len()
             ),
         );
     }
-    Response::json(200, &responses::provenance_json(&snap, index))
+    let group = &detection.groups[index];
+    let assembled;
+    let prov = match detection.provenances.get(index) {
+        Some(prov) => prov,
+        // Counting-only detections carry no pre-assembled provenance;
+        // ask the owning miner's provenance hook to build it on demand.
+        None => match state
+            .miners
+            .get(&miner)
+            .and_then(|m| m.provenance(&snap.tpiin, group))
+        {
+            Some(prov) => {
+                assembled = prov;
+                &assembled
+            }
+            None => {
+                return Response::error(
+                    422,
+                    format!(
+                        "miner `{miner}` has no provenance hook; its groups carry no \
+                         evidence chain (use /groups?miner={miner} for the group itself)"
+                    ),
+                );
+            }
+        },
+    };
+    Response::json(
+        200,
+        &responses::provenance_json(&snap, &miner, group, index, prov),
+    )
 }
 
 /// `GET /trace/{id}` — replays a recent request's trace as Chrome
@@ -265,12 +344,12 @@ fn ingest(state: &ServerState, req: &Request) -> Response {
     let stats = writer.stats();
     let tpiin = writer.tpiin().clone();
     let prev = state.store.current();
-    let detection = prev.detection_after(&outcome, &tpiin);
+    let detections = prev.detections_after(&outcome, &tpiin);
     let epoch = state.next_epoch();
     let body = responses::ingest_json(&tpiin, epoch, &outcome, stats);
     state
         .store
-        .swap(ServeSnapshot::with_detection(epoch, tpiin, detection));
+        .swap(ServeSnapshot::with_detections(epoch, tpiin, detections));
     drop(writer);
     Response::json(200, &body)
 }
@@ -288,7 +367,7 @@ pub fn reload(state: &ServerState) -> Result<u64, (u16, String)> {
 
     let mut writer = state.writer.lock();
     let epoch = state.next_epoch();
-    let snapshot = ServeSnapshot::build(epoch, tpiin.clone());
+    let snapshot = ServeSnapshot::build_with(epoch, tpiin.clone(), &state.miners);
     *writer = IncrementalDetector::new(tpiin);
     state.store.swap(snapshot);
     drop(writer);

@@ -270,6 +270,7 @@ impl Response {
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",

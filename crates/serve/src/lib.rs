@@ -15,8 +15,8 @@
 //!   when the queue is full the daemon answers 503 immediately rather
 //!   than buffering without bound.
 //! * **Snapshot hot swap** ([`store`]): every request clones an
-//!   `Arc<ServeSnapshot>` (network + full detection + label index) and
-//!   runs lock-free on that epoch; `/reload`, a snapshot-file watcher
+//!   `Arc<ServeSnapshot>` (network + per-miner detections + label
+//!   index) and runs lock-free on that epoch; `/reload`, a snapshot-file watcher
 //!   and `POST /ingest` build the next epoch off to the side and swap
 //!   it in atomically.  In-flight requests finish on the epoch they
 //!   started on.
@@ -33,6 +33,11 @@
 //!   full evidence chain behind one mined group — matched rule, arc
 //!   lineage with winning source records, contraction lineage, score
 //!   breakdown.
+//! * **Miner strategies**: every full snapshot build runs the
+//!   [`tpiin_core::GroupMiner`] set from [`ServeConfig::miners`]
+//!   (default: the Rule 1/Rule 2 detector plus the circular-trading
+//!   miner); `?miner=NAME` on `/groups` and `/groups/{id}/provenance`
+//!   selects which strategy's detection a request reads.
 //!
 //! ## Endpoints
 //!
@@ -40,8 +45,8 @@
 //! |---|---|
 //! | `GET /healthz` | liveness + current epoch and headline counts |
 //! | `GET /metrics` | Prometheus text exposition of the tpiin-obs registry |
-//! | `GET /groups` | the detection result (optionally `?limit=N`) |
-//! | `GET /groups/{id}/provenance` | the evidence chain behind group `id` |
+//! | `GET /groups` | one miner's detection (`?miner=NAME&limit=N&offset=N`; unknown params are a 400) |
+//! | `GET /groups/{id}/provenance` | the evidence chain behind group `id` (`?miner=NAME`) |
 //! | `GET /groups_behind_arc?src=..&dst=..` | Section 6: groups hiding behind one trading arc |
 //! | `GET /trace/{id}` | Chrome trace JSON of a recent request (`x-tpiin-trace`) |
 //! | `GET /company/{label}` | one node's profile and its groups |

@@ -8,7 +8,9 @@
 //! never by internal node id.
 
 use crate::store::ServeSnapshot;
-use tpiin_core::{BatchOutcome, GroupKind, IngestStats, SuspiciousGroup};
+use tpiin_core::{
+    BatchOutcome, DetectionResult, GroupKind, IngestStats, SuspiciousGroup, RULES_MINER,
+};
 use tpiin_fusion::Tpiin;
 use tpiin_graph::NodeId;
 use tpiin_io::json::Json;
@@ -34,8 +36,10 @@ fn label_array(tpiin: &Tpiin, nodes: impl IntoIterator<Item = NodeId>) -> Json {
     Json::Array(nodes.into_iter().map(|n| s(tpiin.label(n))).collect())
 }
 
-/// One suspicious group with its proof chain, fully labelled.
-pub fn group_json(tpiin: &Tpiin, group: &SuspiciousGroup) -> Json {
+/// One suspicious group with its proof chain, fully labelled.  `miner`
+/// names the strategy that mined it, so a paginated or merged listing
+/// stays self-describing.
+pub fn group_json(tpiin: &Tpiin, group: &SuspiciousGroup, miner: &str) -> Json {
     let kind = match group.kind {
         GroupKind::Circle => "circle",
         GroupKind::Matched if group.simple => "simple",
@@ -43,6 +47,7 @@ pub fn group_json(tpiin: &Tpiin, group: &SuspiciousGroup) -> Json {
     };
     obj(vec![
         ("kind", s(kind)),
+        ("miner", s(miner)),
         ("antecedent", s(tpiin.label(group.antecedent))),
         ("end", s(tpiin.label(group.end))),
         (
@@ -62,14 +67,21 @@ pub fn group_json(tpiin: &Tpiin, group: &SuspiciousGroup) -> Json {
     ])
 }
 
-/// The `/groups` body: headline counters plus (up to `limit`) groups.
-pub fn groups_json(snapshot: &ServeSnapshot, limit: Option<usize>) -> Json {
-    let detection = &snapshot.detection;
-    let shown = limit
-        .unwrap_or(detection.groups.len())
-        .min(detection.groups.len());
+/// The `/groups` body: headline counters for one miner's detection plus
+/// the `[offset, offset + limit)` page of its groups.
+pub fn groups_json(
+    snapshot: &ServeSnapshot,
+    miner: &str,
+    detection: &DetectionResult,
+    limit: Option<usize>,
+    offset: usize,
+) -> Json {
+    let total = detection.groups.len();
+    let offset = offset.min(total);
+    let shown = limit.unwrap_or(total - offset).min(total - offset);
     obj(vec![
         ("epoch", num(snapshot.epoch as usize)),
+        ("miner", s(miner)),
         ("group_count", num(detection.group_count())),
         ("complex", num(detection.complex_group_count)),
         ("simple", num(detection.simple_group_count)),
@@ -82,13 +94,14 @@ pub fn groups_json(snapshot: &ServeSnapshot, limit: Option<usize>) -> Json {
             "intra_syndicate_trades",
             num(detection.intra_syndicate_trades),
         ),
+        ("offset", num(offset)),
         ("shown", num(shown)),
         (
             "groups",
             Json::Array(
-                detection.groups[..shown]
+                detection.groups[offset..offset + shown]
                     .iter()
-                    .map(|g| group_json(&snapshot.tpiin, g))
+                    .map(|g| group_json(&snapshot.tpiin, g, miner))
                     .collect(),
             ),
         ),
@@ -114,16 +127,22 @@ pub fn arc_query_json(
         ("group_count", num(groups.len())),
         (
             "groups",
-            Json::Array(groups.iter().map(|g| group_json(tpiin, g)).collect()),
+            Json::Array(
+                groups
+                    .iter()
+                    .map(|g| group_json(tpiin, g, RULES_MINER))
+                    .collect(),
+            ),
         ),
     ])
 }
 
-/// The `/company/{id}` body: one node's profile plus the groups it
-/// belongs to.
+/// The `/company/{id}` body: one node's profile plus the primary
+/// miner's groups it belongs to.
 pub fn company_json(snapshot: &ServeSnapshot, node: NodeId) -> Json {
     let tpiin = &snapshot.tpiin;
-    let groups: Vec<&SuspiciousGroup> = snapshot.detection.groups_involving(node).collect();
+    let miner = snapshot.primary_miner();
+    let groups: Vec<&SuspiciousGroup> = snapshot.detection().groups_involving(node).collect();
     obj(vec![
         ("epoch", num(snapshot.epoch as usize)),
         ("label", s(tpiin.label(node))),
@@ -137,7 +156,7 @@ pub fn company_json(snapshot: &ServeSnapshot, node: NodeId) -> Json {
         ("group_count", num(groups.len())),
         (
             "groups",
-            Json::Array(groups.iter().map(|g| group_json(tpiin, g)).collect()),
+            Json::Array(groups.iter().map(|g| group_json(tpiin, g, miner)).collect()),
         ),
     ])
 }
@@ -154,7 +173,7 @@ pub fn ingest_json(tpiin: &Tpiin, epoch: u64, outcome: &BatchOutcome, stats: Ing
                 outcome
                     .new_groups
                     .iter()
-                    .map(|g| group_json(tpiin, g))
+                    .map(|g| group_json(tpiin, g, RULES_MINER))
                     .collect(),
             ),
         ),
@@ -205,27 +224,25 @@ fn arc_provenance_json(arc: &tpiin_core::ArcProvenance) -> Json {
 
 /// The `/groups/{id}/provenance` body: rule, arc lineage (each arc
 /// resolved to its winning source record), contraction lineage and the
-/// per-term score breakdown of one mined group.
-pub fn provenance_json(snapshot: &ServeSnapshot, index: usize) -> Json {
+/// per-term score breakdown of one mined group.  The handler resolves
+/// `prov` through the owning miner's provenance hook (or the detection's
+/// pre-assembled list) before calling this.
+pub fn provenance_json(
+    snapshot: &ServeSnapshot,
+    miner: &str,
+    group: &SuspiciousGroup,
+    index: usize,
+    prov: &tpiin_core::Provenance,
+) -> Json {
     let tpiin = &snapshot.tpiin;
-    let group = &snapshot.detection.groups[index];
-    let assembled;
-    let prov = match snapshot.detection.provenances.get(index) {
-        Some(prov) => prov,
-        // Counting-only detections carry no provenance; assemble on
-        // demand (a handful of adjacency probes).
-        None => {
-            assembled = tpiin_core::Provenance::assemble(tpiin, group);
-            &assembled
-        }
-    };
     let (influence_records, trading_records) = prov.source_records();
     let record_array =
         |records: Vec<u32>| Json::Array(records.into_iter().map(|r| num(r as usize)).collect());
     obj(vec![
         ("epoch", num(snapshot.epoch as usize)),
+        ("miner", s(miner)),
         ("group_id", num(index)),
-        ("group", group_json(tpiin, group)),
+        ("group", group_json(tpiin, group, miner)),
         ("rule", s(prov.rule.describe())),
         (
             "influence_arcs",
@@ -290,7 +307,7 @@ pub fn health_json(snapshot: &ServeSnapshot) -> Json {
         ("epoch", num(snapshot.epoch as usize)),
         ("nodes", num(snapshot.tpiin.node_count())),
         ("trading_arcs", num(snapshot.tpiin.trading_arc_count)),
-        ("groups", num(snapshot.detection.group_count())),
+        ("groups", num(snapshot.detection().group_count())),
     ])
 }
 
@@ -330,7 +347,11 @@ pub fn status_json(snapshot: &ServeSnapshot, report: &StatusReport) -> Json {
         ("nodes", num(snapshot.tpiin.node_count())),
         ("trading_arcs", num(snapshot.tpiin.trading_arc_count)),
         ("influence_arcs", num(snapshot.tpiin.influence_arc_count)),
-        ("groups", num(snapshot.detection.group_count())),
+        ("groups", num(snapshot.detection().group_count())),
+        (
+            "miners",
+            Json::Array(snapshot.miner_names().into_iter().map(s).collect()),
+        ),
         ("uptime_secs", Json::Number(report.uptime_secs)),
         ("workers", num(report.workers)),
         ("busy_workers", num(report.busy_workers)),
@@ -373,19 +394,28 @@ mod tests {
         ServeSnapshot::build(7, tpiin)
     }
 
+    fn primary_groups(snap: &ServeSnapshot, limit: Option<usize>, offset: usize) -> Json {
+        groups_json(snap, snap.primary_miner(), snap.detection(), limit, offset)
+    }
+
     #[test]
     fn groups_json_reports_fig7_counts() {
         let snap = snapshot();
-        let json = groups_json(&snap, None);
+        let json = primary_groups(&snap, None, 0);
         assert_eq!(json.get("epoch").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(json.get("miner").and_then(Json::as_str), Some("rules"));
         let count = json.get("group_count").and_then(Json::as_f64).unwrap();
         assert!(count > 0.0);
         let Some(Json::Array(groups)) = json.get("groups") else {
             panic!("groups array missing");
         };
         assert_eq!(groups.len() as f64, count);
+        // Every listed group names its owning miner.
+        for group in groups {
+            assert_eq!(group.get("miner").and_then(Json::as_str), Some("rules"));
+        }
         // Limit truncates the list but not the counters.
-        let limited = groups_json(&snap, Some(1));
+        let limited = primary_groups(&snap, Some(1), 0);
         let Some(Json::Array(one)) = limited.get("groups") else {
             panic!("groups array missing");
         };
@@ -397,10 +427,43 @@ mod tests {
     }
 
     #[test]
+    fn groups_json_paginates_with_offset() {
+        let snap = snapshot();
+        let all = primary_groups(&snap, None, 0);
+        let Some(Json::Array(every)) = all.get("groups") else {
+            panic!("groups array missing");
+        };
+        assert!(every.len() >= 2, "fig7 mines multiple groups");
+        // Page [1, 2) is the second element of the full listing.
+        let page = primary_groups(&snap, Some(1), 1);
+        assert_eq!(page.get("offset").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(page.get("shown").and_then(Json::as_f64), Some(1.0));
+        let Some(Json::Array(items)) = page.get("groups") else {
+            panic!("groups array missing");
+        };
+        assert_eq!(items[0].to_string(), every[1].to_string());
+        // An offset past the end yields an empty page, not a panic.
+        let past = primary_groups(&snap, None, 10_000);
+        assert_eq!(past.get("shown").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn groups_json_serves_secondary_miners() {
+        let snap = snapshot();
+        let detection = snap.detection_for("circular").expect("default set");
+        let json = groups_json(&snap, "circular", detection, None, 0);
+        assert_eq!(json.get("miner").and_then(Json::as_str), Some("circular"));
+        assert_eq!(
+            json.get("group_count").and_then(Json::as_f64),
+            Some(detection.group_count() as f64)
+        );
+    }
+
+    #[test]
     fn encoding_is_deterministic() {
         let snap = snapshot();
-        let a = groups_json(&snap, None).to_string();
-        let b = groups_json(&snap, None).to_string();
+        let a = primary_groups(&snap, None, 0).to_string();
+        let b = primary_groups(&snap, None, 0).to_string();
         assert_eq!(a, b);
         assert!(Json::parse(&a).is_ok(), "round-trips through the parser");
     }

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
-use tpiin_core::IncrementalDetector;
+use tpiin_core::{IncrementalDetector, MinerRegistry};
 use tpiin_fusion::Tpiin;
 
 /// How the daemon listens and sheds load.
@@ -42,6 +42,11 @@ pub struct ServeConfig {
     pub tracing: bool,
     /// How many recent request traces `GET /trace/{id}` can replay.
     pub trace_ring: usize,
+    /// Miner specs to run on every full snapshot build (startup and
+    /// reload), e.g. `["rules", "circular", "windowed:rules@0..100"]`.
+    /// The first is the primary strategy served by default.  Empty means
+    /// the built-in default set (`rules` + `circular`).
+    pub miners: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +62,7 @@ impl Default for ServeConfig {
             profile_out: None,
             tracing: true,
             trace_ring: 64,
+            miners: Vec::new(),
         }
     }
 }
@@ -80,6 +86,8 @@ pub enum ServeError {
     },
     /// The snapshot file did not parse.
     Snapshot(tpiin_io::IoError),
+    /// A configured miner spec did not resolve.
+    Miner(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -90,6 +98,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "reading {}: {source}", path.display())
             }
             ServeError::Snapshot(err) => write!(f, "snapshot: {err}"),
+            ServeError::Miner(reason) => write!(f, "miner config: {reason}"),
         }
     }
 }
@@ -99,6 +108,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Bind { source, .. } | ServeError::File { source, .. } => Some(source),
             ServeError::Snapshot(err) => Some(err),
+            ServeError::Miner(_) => None,
         }
     }
 }
@@ -136,9 +146,15 @@ impl ServerHandle {
             source,
         })?;
 
-        let snapshot = ServeSnapshot::build(1, tpiin.clone());
+        let miners = if config.miners.is_empty() {
+            MinerRegistry::with_defaults()
+        } else {
+            MinerRegistry::from_specs(&config.miners).map_err(ServeError::Miner)?
+        };
+        let snapshot = ServeSnapshot::build_with(1, tpiin.clone(), &miners);
         let state = Arc::new(ServerState {
             store: SnapshotStore::new(snapshot),
+            miners,
             writer: Mutex::new(IncrementalDetector::new(tpiin)),
             epoch: AtomicU64::new(1),
             snapshot_path: config.snapshot_path.clone(),

@@ -11,7 +11,9 @@
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use tpiin_core::{detect, BatchOutcome, DetectionResult};
+use tpiin_core::{
+    mine_with_obs, BatchOutcome, DetectionResult, MineContext, MinerRegistry, RULES_MINER,
+};
 use tpiin_fusion::Tpiin;
 use tpiin_graph::NodeId;
 
@@ -21,22 +23,51 @@ pub struct ServeSnapshot {
     pub epoch: u64,
     /// The fused network this epoch serves.
     pub tpiin: Tpiin,
-    /// Full detection over `tpiin` (groups collected).
-    pub detection: DetectionResult,
+    /// Full detection over `tpiin`, keyed by miner name in mining
+    /// order.  The primary strategy — the Rule 1/Rule 2 detector — is
+    /// always first; `/groups?miner=...` selects the others.
+    pub detections: Vec<(String, DetectionResult)>,
     /// Label -> node index for query-by-label endpoints.
     labels: BTreeMap<String, NodeId>,
 }
 
 impl ServeSnapshot {
-    /// Runs full detection over `tpiin` and indexes its labels.
+    /// Runs the default serving miner set
+    /// ([`MinerRegistry::with_defaults`]: Rule 1/Rule 2 plus
+    /// circular trading) over `tpiin` and indexes its labels.
     pub fn build(epoch: u64, tpiin: Tpiin) -> ServeSnapshot {
-        let detection = detect(&tpiin);
-        ServeSnapshot::with_detection(epoch, tpiin, detection)
+        ServeSnapshot::build_with(epoch, tpiin, &MinerRegistry::with_defaults())
     }
 
-    /// Wraps an already-computed detection result (the ingest path
-    /// extends the previous epoch's result instead of re-detecting).
+    /// Runs an explicit miner set over `tpiin`.
+    pub fn build_with(epoch: u64, tpiin: Tpiin, miners: &MinerRegistry) -> ServeSnapshot {
+        let ctx = MineContext::default();
+        let detections = miners
+            .iter()
+            .map(|m| (m.name().to_string(), mine_with_obs(m, &tpiin, &ctx)))
+            .collect();
+        ServeSnapshot::with_detections(epoch, tpiin, detections)
+    }
+
+    /// Wraps an already-computed primary detection result as a
+    /// rules-only snapshot (the ingest path extends the previous
+    /// epoch's result instead of re-detecting).
     pub fn with_detection(epoch: u64, tpiin: Tpiin, detection: DetectionResult) -> ServeSnapshot {
+        ServeSnapshot::with_detections(epoch, tpiin, vec![(RULES_MINER.to_string(), detection)])
+    }
+
+    /// Wraps already-computed per-miner detection results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `detections` is empty — a snapshot always serves at
+    /// least its primary result.
+    pub fn with_detections(
+        epoch: u64,
+        tpiin: Tpiin,
+        detections: Vec<(String, DetectionResult)>,
+    ) -> ServeSnapshot {
+        assert!(!detections.is_empty(), "a snapshot needs >= 1 detection");
         let labels = tpiin
             .graph
             .nodes()
@@ -45,9 +76,33 @@ impl ServeSnapshot {
         ServeSnapshot {
             epoch,
             tpiin,
-            detection,
+            detections,
             labels,
         }
+    }
+
+    /// The primary detection result (the first configured miner's —
+    /// the Rule 1/Rule 2 detector in every built-in configuration).
+    pub fn detection(&self) -> &DetectionResult {
+        &self.detections[0].1
+    }
+
+    /// Name of the primary miner.
+    pub fn primary_miner(&self) -> &str {
+        &self.detections[0].0
+    }
+
+    /// The detection result of the miner named `name`.
+    pub fn detection_for(&self, name: &str) -> Option<&DetectionResult> {
+        self.detections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d)
+    }
+
+    /// The served miner names, in mining order.
+    pub fn miner_names(&self) -> Vec<&str> {
+        self.detections.iter().map(|(n, _)| n.as_str()).collect()
     }
 
     /// Resolves `text` to a node: exact label first, then a bare node
@@ -60,12 +115,27 @@ impl ServeSnapshot {
         (index < self.tpiin.node_count()).then(|| NodeId::from_index(index))
     }
 
-    /// Extends this epoch's detection result with one ingest batch's
-    /// outcome, producing the detection for the *next* epoch.  The
-    /// ancestor-cone query already classified the new arcs, so nothing
-    /// is re-mined.
+    /// Extends every miner's result with one ingest batch's outcome,
+    /// producing the detection set for the *next* epoch.  Only the
+    /// primary Rule 1/Rule 2 result is extended incrementally (the
+    /// ancestor-cone query already classified the new arcs under those
+    /// rules); other miners' results are carried over unchanged and
+    /// refresh on the next full snapshot reload.
+    pub fn detections_after(
+        &self,
+        outcome: &BatchOutcome,
+        tpiin: &Tpiin,
+    ) -> Vec<(String, DetectionResult)> {
+        let mut next: Vec<(String, DetectionResult)> = self.detections.clone();
+        next[0].1 = self.detection_after(outcome, tpiin);
+        next
+    }
+
+    /// Extends this epoch's primary detection result with one ingest
+    /// batch's outcome.  The ancestor-cone query already classified the
+    /// new arcs, so nothing is re-mined.
     pub fn detection_after(&self, outcome: &BatchOutcome, tpiin: &Tpiin) -> DetectionResult {
-        let mut next = self.detection.clone();
+        let mut next = self.detection().clone();
         for group in &outcome.new_groups {
             if group.simple {
                 next.simple_group_count += 1;
@@ -125,7 +195,11 @@ mod tests {
     #[test]
     fn build_detects_and_indexes_labels() {
         let snap = fig7_snapshot();
-        assert!(snap.detection.group_count() > 0);
+        assert!(snap.detection().group_count() > 0);
+        assert_eq!(snap.primary_miner(), "rules");
+        assert_eq!(snap.miner_names(), ["rules", "circular"]);
+        assert!(snap.detection_for("circular").is_some());
+        assert!(snap.detection_for("no-such-miner").is_none());
         let c3 = snap.resolve_node("C3").expect("C3 label resolves");
         assert_eq!(snap.tpiin.label(c3), "C3");
         // Bare indexes resolve too.
@@ -145,6 +219,6 @@ mod tests {
         assert_eq!(store.current().epoch, 2);
         // The in-flight reader still owns the old epoch.
         assert_eq!(old.epoch, 1);
-        assert!(old.detection.group_count() > 0);
+        assert!(old.detection().group_count() > 0);
     }
 }

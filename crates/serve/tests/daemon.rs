@@ -328,6 +328,48 @@ fn ingested_groups_get_provenance_too() {
 }
 
 #[test]
+fn groups_endpoint_filters_by_miner_and_paginates() {
+    // The planted circular-trading case: no Rule 1/2 pattern, one ring.
+    let (tpiin, _) = fuse(&tpiin_datagen::circular_case_registry()).expect("case fuses");
+    let handle = ServerHandle::bind(tpiin, ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    // The default listing serves the primary (rules) miner.
+    let (status, body) = get(addr, "/groups");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("\"miner\":\"rules\""), "{body}");
+    assert!(body.contains("\"group_count\":0"), "{body}");
+
+    // `miner=circular` switches to the sibling strategy's detection.
+    let (status, body) = get(addr, "/groups?miner=circular");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("\"miner\":\"circular\""), "{body}");
+    assert!(body.contains("\"group_count\":1"), "{body}");
+    assert!(body.contains("\"kind\":\"circle\""), "{body}");
+
+    // Pagination: an offset past the single group shows nothing.
+    let (status, body) = get(addr, "/groups?miner=circular&limit=1&offset=1");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("\"shown\":0"), "{body}");
+
+    // Typos and unknown miners are refused, not silently ignored.
+    let (status, body) = get(addr, "/groups?mnier=circular");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request", "{body}");
+    assert!(body.contains("unknown query parameter"), "{body}");
+    let (status, body) = get(addr, "/groups?miner=zebra");
+    assert_eq!(status, "HTTP/1.1 404 Not Found", "{body}");
+
+    // Provenance follows the miner filter; the circular miner has no
+    // provenance hook, so its group answers a clear 422, not a panic.
+    let (status, body) = get(addr, "/groups/0/provenance?miner=circular");
+    assert_eq!(status, "HTTP/1.1 422 Unprocessable Entity", "{body}");
+    assert!(body.contains("no provenance hook"), "{body}");
+    let (status, _) = get(addr, "/groups/0/provenance?bogus=1");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    handle.shutdown();
+}
+
+#[test]
 fn malformed_bytes_get_errors_not_panics() {
     let handle = ServerHandle::bind(fig7(), ServeConfig::default()).expect("bind");
     let addr = handle.addr();

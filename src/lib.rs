@@ -11,8 +11,12 @@
 //! * [`model`] — taxpayer domain model (persons, roles, companies,
 //!   source relationships).
 //! * [`fusion`] — `G1 … G123 + G4 -> TPIIN` multi-network fusion.
-//! * [`mod@detect`] — Algorithm 1/2, pattern matching, baseline,
-//!   parallel detector (the paper's contribution).
+//! * [`detect`] — Algorithm 1/2, pattern matching, baseline, the
+//!   parallel detector (the paper's contribution), and the
+//!   [`detect::GroupMiner`] strategy API behind which every detection
+//!   workload — Rule 1/Rule 2, the baseline oracle, circular-trading
+//!   cycles, time-windowed variants — plugs in uniformly
+//!   ([`Pipeline::miner`]).
 //! * [`datagen`] — synthetic province generator and worked-example
 //!   builders.
 //! * [`io`] — CSV registries, the paper's edge-list format,
@@ -64,40 +68,3 @@ pub use tpiin_ite as ite;
 pub use tpiin_model as model;
 pub use tpiin_obs as obs;
 pub use tpiin_serve as serve;
-
-/// Fuses a registry into a TPIIN.
-///
-/// Thin shim over [`fusion::fuse`] kept for source compatibility.
-///
-/// ```
-/// #![allow(deprecated)]
-/// let registry = tpiin::datagen::fig7_registry();
-/// let (tpiin, report) = tpiin::fuse(&registry)?;
-/// assert_eq!(tpiin.node_count(), report.tpiin_nodes);
-/// # Ok::<(), tpiin::fusion::FusionError>(())
-/// ```
-#[deprecated(note = "use `tpiin::Pipeline::from_registry(..).run()`")]
-pub fn fuse(
-    registry: &tpiin_model::SourceRegistry,
-) -> Result<(tpiin_fusion::Tpiin, tpiin_fusion::FusionReport), tpiin_fusion::FusionError> {
-    tpiin_fusion::fuse(registry)
-}
-
-/// Mines suspicious groups with the default detector configuration.
-///
-/// Thin shim over [`detect::detect`] kept for source compatibility.
-/// (The `detect` *module* re-export above is unaffected; functions and
-/// modules live in separate namespaces.)
-///
-/// ```
-/// #![allow(deprecated)]
-/// let registry = tpiin::datagen::fig7_registry();
-/// let (tpiin, _) = tpiin::fuse(&registry)?;
-/// let result = tpiin::detect(&tpiin);
-/// assert_eq!(result.group_count(), 3);
-/// # Ok::<(), tpiin::fusion::FusionError>(())
-/// ```
-#[deprecated(note = "use `tpiin::Pipeline::from_registry(..).run()`")]
-pub fn detect(tpiin: &tpiin_fusion::Tpiin) -> tpiin_core::DetectionResult {
-    tpiin_core::detect(tpiin)
-}

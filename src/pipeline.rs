@@ -15,7 +15,7 @@
 
 use crate::error::Error;
 use std::sync::Arc;
-use tpiin_core::{DetectionResult, Detector, DetectorConfig};
+use tpiin_core::{mine_with_obs, DetectionResult, DetectorConfig, MineContext, MinerRegistry};
 use tpiin_fusion::{FuseOptions, FusionReport, Tpiin};
 use tpiin_model::SourceRegistry;
 use tpiin_obs::{Level, RunProfile, TraceContext};
@@ -27,10 +27,31 @@ pub struct RunOutput {
     pub tpiin: Tpiin,
     /// Per-stage fusion statistics and timings.
     pub report: FusionReport,
-    /// The detection result: suspicious groups, arcs, per-shard stats.
+    /// The primary detection result — the first configured miner's
+    /// (the Rule 1/Rule 2 detector unless [`Pipeline::miner`] chose
+    /// otherwise): suspicious groups, arcs, per-shard stats.
     pub groups: DetectionResult,
+    /// Name of the miner that produced [`RunOutput::groups`].
+    pub primary_miner: String,
+    /// Results of any additional miners beyond the first, in request
+    /// order; see [`RunOutput::result_for`].
+    pub miner_results: Vec<(String, DetectionResult)>,
     /// The run profile, when [`Pipeline::profile`] was enabled.
     pub profile: Option<RunProfile>,
+}
+
+impl RunOutput {
+    /// The result of the miner named `name`, whether primary or
+    /// additional.
+    pub fn result_for(&self, name: &str) -> Option<&DetectionResult> {
+        if self.primary_miner == name {
+            return Some(&self.groups);
+        }
+        self.miner_results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r)
+    }
 }
 
 /// Builder over the fuse-then-detect pipeline.
@@ -43,6 +64,7 @@ pub struct Pipeline<'a> {
     registry: &'a SourceRegistry,
     config: DetectorConfig,
     fuse_options: FuseOptions,
+    miners: Vec<String>,
     log_level: Option<Level>,
     profile: bool,
     trace: Option<Arc<TraceContext>>,
@@ -58,10 +80,32 @@ impl<'a> Pipeline<'a> {
             registry,
             config: DetectorConfig::default(),
             fuse_options: FuseOptions::from_env(),
+            miners: Vec::new(),
             log_level: None,
             profile: false,
             trace: None,
         }
+    }
+
+    /// Adds one detection strategy by spec (`rules`, `baseline`,
+    /// `circular`, `windowed:<inner>@<start>..<end>`; see
+    /// [`tpiin_core::MinerRegistry::resolve`]).  Repeatable; the first
+    /// added miner becomes [`RunOutput::groups`].  Without any call the
+    /// pipeline runs the Rule 1/Rule 2 detector alone.
+    pub fn miner(mut self, spec: impl Into<String>) -> Self {
+        self.miners.push(spec.into());
+        self
+    }
+
+    /// Adds several detection strategies at once (see
+    /// [`Pipeline::miner`]).
+    pub fn miners<I, S>(mut self, specs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.miners.extend(specs.into_iter().map(Into::into));
+        self
     }
 
     /// Worker threads for both the fusion front-end and detection;
@@ -129,8 +173,15 @@ impl<'a> Pipeline<'a> {
         Ok(tpiin_serve::ServerHandle::bind(tpiin, config)?)
     }
 
-    /// Fuses the registry and mines suspicious groups.
+    /// Fuses the registry and mines suspicious groups with every
+    /// configured strategy (the Rule 1/Rule 2 detector by default).
     pub fn run(self) -> Result<RunOutput, Error> {
+        let specs: Vec<String> = if self.miners.is_empty() {
+            vec![tpiin_core::RULES_MINER.to_string()]
+        } else {
+            self.miners.clone()
+        };
+        let registry = MinerRegistry::from_specs(&specs).map_err(Error::Usage)?;
         if self.log_level.is_some() {
             tpiin_obs::log::set_level(self.log_level);
         }
@@ -142,21 +193,31 @@ impl<'a> Pipeline<'a> {
         if let Some(trace) = &self.trace {
             tpiin_obs::set_active_trace(Some(Arc::clone(trace)));
         }
+        let ctx = MineContext {
+            config: self.config,
+            tax_rates: self.registry.company_tax_rates(),
+        };
         let outcome = (|| {
             let _root = tpiin_obs::Span::at("pipeline");
             let (tpiin, report) = tpiin_fusion::fuse_with(self.registry, self.fuse_options)?;
-            let groups = Detector::new(self.config).detect(&tpiin);
-            Ok::<_, Error>((tpiin, report, groups))
+            let results: Vec<(String, DetectionResult)> = registry
+                .iter()
+                .map(|m| (m.name().to_string(), mine_with_obs(m, &tpiin, &ctx)))
+                .collect();
+            Ok::<_, Error>((tpiin, report, results))
         })();
         if installed_trace {
             tpiin_obs::set_active_trace(None);
         }
-        let (tpiin, report, groups) = outcome?;
+        let (tpiin, report, mut results) = outcome?;
+        let (primary_miner, groups) = results.remove(0);
         let profile = self.profile.then(RunProfile::capture);
         Ok(RunOutput {
             tpiin,
             report,
             groups,
+            primary_miner,
+            miner_results: results,
             profile,
         })
     }
@@ -235,6 +296,35 @@ mod tests {
         assert!(json.contains(&format!("\"traceId\": \"{}\"", trace.id())));
         // The context uninstalls when run() returns.
         assert!(tpiin_obs::current_trace().is_none() || !tpiin_obs::tracing_enabled());
+    }
+
+    #[test]
+    fn miners_run_in_request_order_with_primary_first() {
+        let registry = tpiin_datagen::circular_case_registry();
+        let out = Pipeline::from_registry(&registry)
+            .miner("circular")
+            .miner("rules")
+            .run()
+            .expect("scenario is valid");
+        assert_eq!(out.primary_miner, "circular");
+        assert_eq!(out.groups.group_count(), 1, "the planted ring");
+        assert_eq!(out.miner_results.len(), 1);
+        assert_eq!(
+            out.result_for("rules").expect("rules ran").group_count(),
+            0,
+            "no shared antecedent in the scenario"
+        );
+        assert!(out.result_for("zebra").is_none());
+    }
+
+    #[test]
+    fn unknown_miner_spec_is_a_usage_error() {
+        let registry = tpiin_datagen::fig7_registry();
+        let err = Pipeline::from_registry(&registry)
+            .miner("zebra")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Usage(_)), "{err:?}");
     }
 
     #[test]

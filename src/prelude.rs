@@ -11,7 +11,9 @@
 pub use crate::error::Error;
 pub use crate::pipeline::{Pipeline, RunOutput};
 pub use tpiin_core::{
-    score_group, DetectionResult, Detector, DetectorConfig, GroupKind, GroupScore, SuspiciousGroup,
+    score_group, BaselineMiner, CircularTradingMiner, DetectionResult, Detector, DetectorConfig,
+    GroupKind, GroupMiner, GroupScore, MineContext, MinerRegistry, Rule12Miner, SuspiciousGroup,
+    WindowedMiner,
 };
 pub use tpiin_fusion::{FusionReport, Tpiin};
 pub use tpiin_model::{
