@@ -1,0 +1,55 @@
+//! Stage-level profiling helper for snapshot load paths.
+//!
+//! Builds the nation fixture at the given scale (default 0.5), encodes
+//! it as both text and binary snapshots, and prints per-round decode
+//! times plus the binary path's parse/materialize split.  Not a gated
+//! benchmark — use it to see *where* load time goes when tuning;
+//! `bench_serve` owns the recorded numbers.
+//!
+//! Usage: `cargo run --release -p tpiin-bench --example profile_load [SCALE]`
+
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let tpiin = tpiin_bench::fixtures::nation_tpiin_fixture(scale, 20170417);
+    let text = tpiin_io::snapshot::write_snapshot(&tpiin).into_bytes();
+    let bin = tpiin_io::snapshot_bin::write_snapshot_bin(&tpiin);
+    println!(
+        "nodes {} edges {} | text {} B, bin {} B",
+        tpiin.node_count(),
+        tpiin.graph.edge_count(),
+        text.len(),
+        bin.len()
+    );
+
+    for _ in 0..5 {
+        let start = Instant::now();
+        let a = tpiin_io::snapshot::read_snapshot_bytes(&text).unwrap();
+        let text_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let b = tpiin_io::snapshot_bin::read_snapshot_bin(&bin).unwrap();
+        let bin_ms = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box((a.node_count(), b.node_count()));
+        println!(
+            "text {text_ms:.2} ms  bin {bin_ms:.2} ms  ratio {:.1}",
+            text_ms / bin_ms
+        );
+    }
+
+    // The binary path's two stages, timed back to back: section-table
+    // parse + aligned copy, then Tpiin materialization.
+    for _ in 0..3 {
+        let start = Instant::now();
+        let view = tpiin_io::snapshot_bin::SnapshotView::parse(&bin).unwrap();
+        let parse_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let tp = view.materialize().unwrap();
+        let mat_ms = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(tp.node_count());
+        println!("parse {parse_ms:.3} ms  materialize {mat_ms:.3} ms");
+    }
+}

@@ -17,7 +17,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
-use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_bench::fixtures::{nation_tpiin_fixture, tpiin_fixture};
 use tpiin_bench::record::{self, BenchMeta, DetectBench, MinerTiming, WorkloadRecord};
 use tpiin_core::{
     segment_tpiin, segment_tpiin_nested, DetectionResult, Detector, DetectorConfig, MineContext,
@@ -137,13 +137,16 @@ fn main() {
 
     let (fig7, _) = fuse(&fig7_registry()).expect("fig7 registry fuses");
     let province = tpiin_fixture(scale, 0.004, 20170417);
+    let nation = nation_tpiin_fixture(scale, 20170417);
 
     // fig7 is tiny — repeat it enough for the timer to resolve; the
     // province run is the headline number and gets median-of-9 after
-    // two warmup passes.
+    // two warmup passes; the multi-province nation is the largest and
+    // gets median-of-5.
     let specs: Vec<(String, &Tpiin, usize, usize)> = vec![
         ("fig7".to_string(), &fig7, 10, 51),
         (format!("province-{scale}"), &province, 2, 9),
+        (format!("nation-{scale}"), &nation, 1, 5),
     ];
     let mut meta = BenchMeta::new(
         "detect",

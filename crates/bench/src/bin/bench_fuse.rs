@@ -14,7 +14,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
-use tpiin_bench::fixtures::province_with_trading;
+use tpiin_bench::fixtures::{nation_registry, province_with_trading};
 use tpiin_bench::record::{
     self, BenchMeta, FuseArmRecord, FuseBench, FuseStageMs, FuseWorkloadRecord,
 };
@@ -96,13 +96,16 @@ fn main() {
 
     let fig7 = fig7_registry();
     let province = province_with_trading(scale, 0.004, 20170417);
+    let nation = nation_registry(scale, 20170417);
 
     // fig7 is tiny — repeat it enough for the timer to resolve; the
     // province run is the headline number and gets median-of-5 after a
-    // single warmup pass.
+    // single warmup pass; the multi-province nation is the memory-lean
+    // ingest workload and gets median-of-3.
     let specs: Vec<(String, &SourceRegistry, usize, usize)> = vec![
         ("fig7".to_string(), &fig7, 10, 51),
         (format!("province-{scale}"), &province, 1, 5),
+        (format!("nation-{scale}"), &nation, 1, 3),
     ];
     let mut meta = BenchMeta::new(
         "fuse",

@@ -14,11 +14,11 @@ use std::net::{SocketAddr, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use tpiin_bench::fixtures::tpiin_fixture;
+use tpiin_bench::fixtures::{nation_tpiin_fixture, tpiin_fixture};
 use tpiin_bench::loadgen::{self, MixEntry, SweepOptions};
 use tpiin_bench::record::{
     self, BenchMeta, EndpointLatency, LoadCurve, ServeBench, ServeWorkloadRecord,
-    TracingOverheadRecord,
+    SnapshotLoadRecord, TracingOverheadRecord,
 };
 use tpiin_core::detect;
 use tpiin_datagen::fig7_registry;
@@ -220,6 +220,58 @@ fn load_curve_fig7(workers: usize) -> LoadCurve {
     curve
 }
 
+/// Times one full snapshot decode (bytes → TPIIN with frozen CSR) as
+/// the median of `rounds` passes — the latency a `serve --watch`
+/// hot-swap pays before the epoch flips.
+fn median_load_ms(bytes: &[u8], rounds: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let tpiin = tpiin_io::snapshot::read_snapshot_bytes(bytes).expect("snapshot decodes");
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            std::hint::black_box(tpiin.node_count());
+            elapsed
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The text-vs-binary snapshot load arms over the nation-scale fixture:
+/// encodes the same fused TPIIN both ways, times the decode path of
+/// each, and proves both restore to the same detection.
+fn measure_snapshot_loads(nation_scale: f64) -> Vec<SnapshotLoadRecord> {
+    let tpiin = nation_tpiin_fixture(nation_scale, 20170417);
+    let text = tpiin_io::snapshot::write_snapshot(&tpiin).into_bytes();
+    let bin = tpiin_io::snapshot_bin::write_snapshot_bin(&tpiin);
+
+    let from_text = tpiin_io::snapshot::read_snapshot_bytes(&text).expect("text decodes");
+    let from_bin = tpiin_io::snapshot::read_snapshot_bytes(&bin).expect("binary decodes");
+    let text_groups = detect(&from_text).group_count();
+    let bin_groups = detect(&from_bin).group_count();
+    assert_eq!(
+        text_groups, bin_groups,
+        "text and binary snapshots decoded to different detections"
+    );
+
+    const ROUNDS: usize = 5;
+    let workload = format!("nation-{nation_scale}");
+    vec![
+        SnapshotLoadRecord {
+            name: format!("{workload}-text"),
+            bytes: text.len(),
+            load_ms: median_load_ms(&text, ROUNDS),
+            groups: text_groups,
+        },
+        SnapshotLoadRecord {
+            name: format!("{workload}-bin"),
+            bytes: bin.len(),
+            load_ms: median_load_ms(&bin, ROUNDS),
+            groups: bin_groups,
+        },
+    ]
+}
+
 /// Runs one bench unit under `catch_unwind`: a panic marks the whole
 /// record aborted (and skips the remaining units) but still lets main
 /// write the units that completed.
@@ -254,10 +306,15 @@ fn main() {
     let workers = 4;
     let requests = 200;
     let province_name = format!("province-{scale}");
+    let nation_name = format!("nation-{scale}");
     let mut meta = BenchMeta::new(
         "serve",
-        ["fig7".to_string(), province_name.clone()],
-        ["closed_loop", "open_loop"],
+        [
+            "fig7".to_string(),
+            province_name.clone(),
+            nation_name.clone(),
+        ],
+        ["closed_loop", "open_loop", "snapshot_load"],
     );
     let mut aborted = false;
 
@@ -274,6 +331,18 @@ fn main() {
     }) {
         workloads.push(w);
     }
+    if let Some(w) = guarded(&nation_name, &mut aborted, || {
+        let nation = nation_tpiin_fixture(scale, 20170417);
+        // The nation is the largest workload; fewer requests keep the
+        // closed-loop arm bounded while the percentiles still resolve.
+        measure(&nation_name, nation, requests / 2, clients, workers)
+    }) {
+        workloads.push(w);
+    }
+    let snapshot_loads: Vec<SnapshotLoadRecord> = guarded("snapshot_loads", &mut aborted, || {
+        measure_snapshot_loads(scale)
+    })
+    .unwrap_or_default();
     let tracing_overhead = guarded("tracing_overhead", &mut aborted, || {
         measure_tracing_overhead(requests, clients, workers)
     });
@@ -290,6 +359,7 @@ fn main() {
         workloads,
         tracing_overhead,
         load_curves,
+        snapshot_loads,
     };
     for w in &bench.workloads {
         for e in &w.endpoints {
@@ -305,6 +375,18 @@ fn main() {
             overhead.tracing_on.p95_us,
             overhead.tracing_off.p95_us,
             overhead.p95_ratio()
+        );
+    }
+    for load in &bench.snapshot_loads {
+        println!(
+            "bench serve [snapshot] {:>18}: {:>9} B, load {:>8.2} ms, {} groups",
+            load.name, load.bytes, load.load_ms, load.groups
+        );
+    }
+    if let [text, bin] = bench.snapshot_loads.as_slice() {
+        println!(
+            "bench serve [snapshot] binary speedup: {:.1}x over text",
+            text.load_ms / bin.load_ms.max(1e-9)
         );
     }
     for curve in &bench.load_curves {

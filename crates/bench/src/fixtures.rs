@@ -1,6 +1,8 @@
 //! Benchmark fixtures: pre-built registries and TPIINs.
 
-use tpiin_datagen::{add_random_trading, generate_province, ProvinceConfig};
+use tpiin_datagen::{
+    add_random_trading, generate_nation_with, generate_province, NationConfig, ProvinceConfig,
+};
 use tpiin_fusion::{fuse, Tpiin};
 use tpiin_model::SourceRegistry;
 
@@ -26,5 +28,37 @@ pub fn province_with_trading(scale: f64, p: f64, seed: u64) -> SourceRegistry {
 pub fn tpiin_fixture(scale: f64, p: f64, seed: u64) -> Tpiin {
     let registry = province_with_trading(scale, p, seed);
     let (tpiin, _) = fuse(&registry).expect("generated registry always fuses");
+    tpiin
+}
+
+/// A scaled national registry: multiple provinces, intra- and
+/// cross-province trading, planted inter-province rings with their
+/// pattern-free controls (the nation-scale workload of the zero-copy
+/// snapshot benchmarks).
+///
+/// Both the province count and the per-province population scale with
+/// `scale` (floored at the ring length / a viable province), so the
+/// 0.1-scale CI gate stays cheap while `scale = 1.0` approaches the
+/// generator's 10⁵-company default.
+pub fn nation_registry(scale: f64, seed: u64) -> SourceRegistry {
+    let scaled = NationConfig::scaled(scale);
+    let base = ProvinceConfig {
+        seed,
+        ..ProvinceConfig::scaled(scale)
+    };
+    let config = NationConfig {
+        planted_rings: scaled.planted_rings.min(base.companies / 2),
+        control_chains: scaled.control_chains.min(base.companies / 2),
+        base,
+        seed,
+        ..scaled
+    };
+    generate_nation_with(&config)
+}
+
+/// Fused TPIIN for the national fixture.
+pub fn nation_tpiin_fixture(scale: f64, seed: u64) -> Tpiin {
+    let registry = nation_registry(scale, seed);
+    let (tpiin, _) = fuse(&registry).expect("generated nation always fuses");
     tpiin
 }

@@ -550,6 +550,39 @@ impl TracingOverheadRecord {
     }
 }
 
+/// One snapshot encoding timed end-to-end: bytes on disk and the
+/// median wall-clock of a full parse back into a served TPIIN.
+///
+/// Text and binary arms of the same workload appear as sibling entries
+/// (`nation-0.1-text` / `nation-0.1-bin`); `name` is the label
+/// `bench_check` matches array elements by, `groups` is an exact gate
+/// proving both encodings decode to the same detection, and `load_ms`
+/// is the tolerance-gated timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotLoadRecord {
+    /// Arm label, `<workload>-<encoding>`.
+    pub name: String,
+    /// Snapshot size on disk in bytes.
+    pub bytes: usize,
+    /// Median wall-clock milliseconds for one full load (bytes →
+    /// [`tpiin_fusion::Tpiin`] with frozen CSR).
+    pub load_ms: f64,
+    /// Suspicious groups detected over the restored network.
+    pub groups: usize,
+}
+
+impl SnapshotLoadRecord {
+    /// The load record as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("bytes".to_string(), Json::Int(self.bytes as u64)),
+            ("load_ms".to_string(), Json::Float(self.load_ms)),
+            ("groups".to_string(), Json::Int(self.groups as u64)),
+        ])
+    }
+}
+
 /// The full `BENCH_serve.json` payload.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeBench {
@@ -566,6 +599,9 @@ pub struct ServeBench {
     /// Open-loop latency-vs-offered-throughput curves, when the
     /// benchmark swept them.
     pub load_curves: Vec<LoadCurve>,
+    /// Snapshot load-time arms (text vs binary per workload), when the
+    /// benchmark measured them.
+    pub snapshot_loads: Vec<SnapshotLoadRecord>,
 }
 
 impl ServeBench {
@@ -592,6 +628,17 @@ impl ServeBench {
             fields.push((
                 "load_curves".to_string(),
                 Json::Array(self.load_curves.iter().map(LoadCurve::to_json).collect()),
+            ));
+        }
+        if !self.snapshot_loads.is_empty() {
+            fields.push((
+                "snapshot_loads".to_string(),
+                Json::Array(
+                    self.snapshot_loads
+                        .iter()
+                        .map(SnapshotLoadRecord::to_json)
+                        .collect(),
+                ),
             ));
         }
         Json::Object(fields)
@@ -687,9 +734,18 @@ mod tests {
             }],
             tracing_overhead: None,
             load_curves: Vec::new(),
+            snapshot_loads: vec![SnapshotLoadRecord {
+                name: "nation-0.1-bin".into(),
+                bytes: 1024,
+                load_ms: 2.5,
+                groups: 7,
+            }],
         };
         let text = bench.to_json().to_pretty();
         assert!(text.contains("\"workers\": 4"));
+        assert!(text.contains("\"snapshot_loads\""));
+        assert!(text.contains("\"nation-0.1-bin\""));
+        assert!(text.contains("\"load_ms\": 2.5"));
         assert!(text.contains("\"groups_behind_arc\""));
         assert!(text.contains("\"p50_us\": 120"));
         assert!(text.contains("\"p95_us\": 340.5"));
@@ -721,8 +777,11 @@ mod tests {
             workloads: Vec::new(),
             tracing_overhead: Some(overhead),
             load_curves: Vec::new(),
+            snapshot_loads: Vec::new(),
         };
         let text = bench.to_json().to_pretty();
+        // Without snapshot-load arms the field is omitted.
+        assert!(!text.contains("snapshot_loads"), "{text}");
         assert!(text.contains("\"tracing_overhead\""), "{text}");
         assert!(text.contains("\"tracing_on\""), "{text}");
         assert!(text.contains("\"tracing_off\""), "{text}");

@@ -64,6 +64,8 @@ SERVING (`serve` / `save-snapshot`):
   --workers N   request worker threads (default 4)
   --request-timeout-ms N  per-request deadline (default 2000)
   --dataset D   fig7 | province — dataset when no --snapshot (default fig7)
+  --format F    save-snapshot encoding: text | bin (zero-copy binary;
+                readers auto-detect either format by magic bytes)
   --watch       poll the snapshot file and hot-reload on change
   --miner NAME  strategies snapshot builds run (repeatable; default
                 rules + circular; the first is the primary /groups view)
@@ -654,10 +656,14 @@ pub fn save_snapshot(opts: &Options) -> Result<(), tpiin::Error> {
         .as_deref()
         .ok_or_else(|| tpiin::Error::Usage("save-snapshot requires --out".into()))?;
     let tpiin = serving_tpiin(opts)?;
-    let text = tpiin_io::snapshot::write_snapshot(&tpiin);
-    std::fs::write(out, text).map_err(|e| tpiin::Error::file(out, e))?;
+    let bytes = match opts.format.as_str() {
+        "bin" => tpiin_io::snapshot_bin::write_snapshot_bin(&tpiin),
+        _ => tpiin_io::snapshot::write_snapshot(&tpiin).into_bytes(),
+    };
+    std::fs::write(out, bytes).map_err(|e| tpiin::Error::file(out, e))?;
     println!(
-        "wrote snapshot of {} nodes / {} trading arcs to {out}",
+        "wrote {} snapshot of {} nodes / {} trading arcs to {out}",
+        opts.format,
         tpiin.node_count(),
         tpiin.trading_arc_count
     );

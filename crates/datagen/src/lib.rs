@@ -28,6 +28,9 @@ pub use cases::{
     WINDOWED_LATE, WINDOWED_QUIET,
 };
 pub use fig7::{fig7_registry, FIG7_EXPECTED_PATTERNS};
-pub use nation::generate_nation;
+pub use nation::{
+    add_cross_province_trading, generate_nation, generate_nation_with, NationConfig,
+    NATION_RATE_BRACKETS,
+};
 pub use province::{generate_province, ProvinceConfig};
 pub use trading::{add_random_trading, expected_trading_arcs, plant_trading_ring};

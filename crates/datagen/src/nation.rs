@@ -1,21 +1,116 @@
 //! Multi-province (national-scale) registry assembly.
 //!
 //! CTAIS shares data between provinces since 2000; the paper's national
-//! figures speak of 31.9 M taxpayers across 48 k offices.
-//! [`generate_nation`] assembles `k` independently-seeded provinces into
-//! one registry — antecedent networks stay province-local (ownership and
-//! kinship rarely cross provincial extracts), while the caller's trading
-//! network spans everything, exercising Algorithm 1's segmentation at
-//! scale: inter-province trades are provably unsuspicious and the
-//! subTPIIN split discards them before any pattern tree is built.
+//! figures speak of 31.9 M taxpayers across 48 k offices.  This module
+//! grows that story past a thin merge: [`generate_nation_with`] builds a
+//! registry of `k` independently-seeded provinces (antecedent networks
+//! stay province-local — ownership and kinship rarely cross provincial
+//! extracts) and then lays a national trading network over it:
+//!
+//! * **intra-province trading** — the paper's Erdős–Rényi sweep, run per
+//!   province block;
+//! * **cross-province trading arcs** — a sparse ER layer over ordered
+//!   company pairs in *different* provinces, parameterized as a target
+//!   mean degree so the arc budget stays linear in the company count;
+//! * **planted inter-province circular-trading rings** — each ring takes
+//!   one company from `ring_len` consecutive provinces, spreads statutory
+//!   tax rates across brackets (so the rate-differential score is
+//!   non-zero) and closes the loop, the national version of
+//!   [`crate::circular_case_registry`];
+//! * **pattern-free controls** — identical open chains (ring minus the
+//!   closing arc) planted alongside, which the circular-trading miner
+//!   must *not* report.
+//!
+//! Cross-province arcs outside the rings are provably unsuspicious to the
+//! Rule 1/2 miners — no influence trail crosses a province boundary — so
+//! Algorithm 1's segmentation discards them before any pattern tree is
+//! built, while the planted rings remain visible to the circular miner.
 
 use crate::province::{generate_province, ProvinceConfig};
-use tpiin_model::SourceRegistry;
+use crate::trading::{add_random_trading, plant_trading_ring, skip, unrank};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpiin_model::{CompanyId, SourceRegistry, TradingRecord};
+
+/// Statutory tax-rate brackets cycled over planted ring members, so each
+/// ring accumulates a non-zero rate differential.
+pub const NATION_RATE_BRACKETS: [f64; 6] = [0.05, 0.17, 0.25, 0.13, 0.09, 0.21];
+
+/// Parameters of the national generator.
+#[derive(Clone, Debug)]
+pub struct NationConfig {
+    /// Number of provinces; province `i` is seeded `base.seed + i` and
+    /// prefixed `"P{i}:"`.
+    pub provinces: usize,
+    /// Per-province population template.
+    pub base: ProvinceConfig,
+    /// ER probability of the intra-province trading layer (applied per
+    /// province block, like the paper's single-province sweep).
+    pub intra_trading_prob: f64,
+    /// Target mean number of *cross-province* trading arcs per company.
+    /// Expressed as a degree, not a pair probability, so the arc budget
+    /// scales linearly with the nation instead of quadratically.
+    pub cross_trading_mean_degree: f64,
+    /// Inter-province circular-trading rings to plant.
+    pub planted_rings: usize,
+    /// Companies per planted ring (must not exceed `provinces`; each
+    /// member sits in a distinct province).
+    pub ring_len: usize,
+    /// Pattern-free open chains planted alongside the rings: identical
+    /// member layout and tax rates, closing arc omitted.
+    pub control_chains: usize,
+    /// RNG seed for the trading layers.
+    pub seed: u64,
+}
+
+impl Default for NationConfig {
+    fn default() -> Self {
+        NationConfig {
+            // 41 default provinces ≈ 100 k companies — the 10⁵ floor of
+            // the nation-scale story; `scaled` shrinks for CI.
+            provinces: 41,
+            base: ProvinceConfig::default(),
+            intra_trading_prob: 0.002,
+            cross_trading_mean_degree: 1.0,
+            planted_rings: 41,
+            ring_len: 4,
+            control_chains: 41,
+            seed: 20170417,
+        }
+    }
+}
+
+impl NationConfig {
+    /// A proportionally scaled-down nation: the province count, ring
+    /// count and control count scale with `factor`, the per-province
+    /// population keeps the paper's shape.
+    pub fn scaled(factor: f64) -> Self {
+        let d = NationConfig::default();
+        let s = |x: usize| ((x as f64 * factor).round() as usize).max(1);
+        let provinces = s(d.provinces).max(d.ring_len);
+        NationConfig {
+            provinces,
+            planted_rings: s(d.planted_rings).min(provinces),
+            control_chains: s(d.control_chains).min(provinces),
+            ..d
+        }
+    }
+
+    /// Total companies the generated nation will hold.
+    pub fn company_count(&self) -> usize {
+        self.provinces * self.base.companies
+    }
+}
 
 /// Generates `provinces` independent provinces merged into one registry.
 /// Province `i` uses `base.seed + i` and prefixes its entities `"P{i}:"`.
+/// The trading network is left entirely to the caller — this is the thin
+/// merge [`generate_nation_with`] builds on.
 pub fn generate_nation(provinces: usize, base: &ProvinceConfig) -> SourceRegistry {
-    let mut nation = SourceRegistry::new();
+    let mut nation = SourceRegistry::with_capacity(
+        provinces * (base.directors + base.legal_persons),
+        provinces * base.companies,
+    );
     for i in 0..provinces {
         let config = ProvinceConfig {
             seed: base.seed.wrapping_add(i as u64),
@@ -28,9 +123,167 @@ pub fn generate_nation(provinces: usize, base: &ProvinceConfig) -> SourceRegistr
     nation
 }
 
+/// Generates the full national workload: provinces, intra- and
+/// cross-province trading, planted inter-province rings and their
+/// pattern-free controls.  Deterministic per config.
+pub fn generate_nation_with(config: &NationConfig) -> SourceRegistry {
+    assert!(config.provinces >= 2, "a nation needs >= 2 provinces");
+    assert!(
+        config.ring_len >= 2 && config.ring_len <= config.provinces,
+        "ring length {} must lie in 2..=provinces ({})",
+        config.ring_len,
+        config.provinces
+    );
+    assert!(
+        config.planted_rings + config.control_chains <= config.base.companies,
+        "rings + controls exceed the per-province company count"
+    );
+
+    let per_province = config.base.companies;
+    let mut nation = SourceRegistry::with_capacity(
+        config.provinces * (config.base.directors + config.base.legal_persons),
+        config.provinces * per_province,
+    );
+    for i in 0..config.provinces {
+        let province_config = ProvinceConfig {
+            seed: config.base.seed.wrapping_add(i as u64),
+            ..config.base.clone()
+        };
+        let mut province = generate_province(&province_config);
+        // Intra-province trading before absorption: company ids are
+        // still province-local, so the geometric-skip ER sampler works
+        // over the small block.
+        add_random_trading(
+            &mut province,
+            config.intra_trading_prob,
+            config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        nation.absorb(&province, &format!("P{i}:"));
+    }
+
+    add_cross_province_trading(
+        &mut nation,
+        per_province,
+        config.cross_trading_mean_degree,
+        config.seed ^ 0xC0FF_EE00,
+    );
+
+    // Planted rings: ring r takes the company at offset r of ring_len
+    // consecutive province blocks.  Controls use the offset range just
+    // past the rings, so the two populations never share a company.
+    let member = |province: usize, offset: usize| -> CompanyId {
+        CompanyId((province * per_province + offset) as u32)
+    };
+    for r in 0..config.planted_rings {
+        let members: Vec<CompanyId> = (0..config.ring_len)
+            .map(|s| member((r + s) % config.provinces, r))
+            .collect();
+        for (s, &c) in members.iter().enumerate() {
+            nation.set_company_tax_rate(c, NATION_RATE_BRACKETS[s % NATION_RATE_BRACKETS.len()]);
+        }
+        plant_trading_ring(&mut nation, &members);
+    }
+    for j in 0..config.control_chains {
+        let offset = config.planted_rings + j;
+        let members: Vec<CompanyId> = (0..config.ring_len)
+            .map(|s| member((j + s) % config.provinces, offset))
+            .collect();
+        for (s, &c) in members.iter().enumerate() {
+            nation.set_company_tax_rate(c, NATION_RATE_BRACKETS[s % NATION_RATE_BRACKETS.len()]);
+        }
+        // Open chain: the ring minus its closing arc — same structure,
+        // no trading cycle, so a circular-trading hit here is a false
+        // positive.
+        for w in members.windows(2) {
+            nation.add_trading(TradingRecord {
+                seller: w[0],
+                buyer: w[1],
+                volume: 1_000.0,
+            });
+        }
+    }
+
+    debug_assert!(nation.validate().is_ok());
+    nation
+}
+
+/// Sparse cross-province trading: ER over ordered company pairs whose
+/// endpoints sit in different province blocks, with the pair probability
+/// derived from `mean_degree` so the expected arc count is
+/// `companies × mean_degree`.  Samples the full pair space with
+/// geometric skips and rejects same-province pairs, so the cost is
+/// proportional to the arcs generated.
+pub fn add_cross_province_trading(
+    registry: &mut SourceRegistry,
+    per_province: usize,
+    mean_degree: f64,
+    seed: u64,
+) -> usize {
+    let n = registry.company_count();
+    assert!(
+        per_province > 0 && n.is_multiple_of(per_province),
+        "company count {n} is not a whole number of provinces of {per_province}"
+    );
+    let provinces = n / per_province;
+    if provinces < 2 || mean_degree <= 0.0 {
+        return 0;
+    }
+    let total_pairs = (n as u64) * (n as u64 - 1);
+    let intra_pairs = provinces as u64 * (per_province as u64) * (per_province as u64 - 1);
+    let cross_pairs = total_pairs - intra_pairs;
+    let p = ((n as f64 * mean_degree) / cross_pairs as f64).min(1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut added = 0usize;
+    if p >= 1.0 {
+        for idx in 0..total_pairs {
+            let (i, j) = unrank(idx, n as u64);
+            if i as usize / per_province == j as usize / per_province {
+                continue;
+            }
+            registry.add_trading(TradingRecord {
+                seller: CompanyId(i),
+                buyer: CompanyId(j),
+                volume: rng.gen_range(10.0..10_000.0),
+            });
+            added += 1;
+        }
+        return added;
+    }
+    let log1mp = (1.0 - p).ln();
+    let mut idx: u64 = skip(&mut rng, log1mp);
+    while idx < total_pairs {
+        let (i, j) = unrank(idx, n as u64);
+        if i as usize / per_province != j as usize / per_province {
+            registry.add_trading(TradingRecord {
+                seller: CompanyId(i),
+                buyer: CompanyId(j),
+                volume: rng.gen_range(10.0..10_000.0),
+            });
+            added += 1;
+        }
+        idx = idx.saturating_add(1 + skip(&mut rng, log1mp));
+    }
+    added
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpiin_core::GroupMiner;
+    use tpiin_fusion::ArcColor;
+
+    fn small_config() -> NationConfig {
+        NationConfig {
+            provinces: 4,
+            base: ProvinceConfig::scaled(0.05),
+            intra_trading_prob: 0.01,
+            cross_trading_mean_degree: 0.5,
+            planted_rings: 3,
+            ring_len: 4,
+            control_chains: 3,
+            seed: 11,
+        }
+    }
 
     #[test]
     fn nation_scales_linearly_and_validates() {
@@ -49,16 +302,102 @@ mod tests {
 
     #[test]
     fn provinces_stay_antecedent_disjoint() {
-        let base = ProvinceConfig::scaled(0.05);
-        let nation = generate_nation(2, &base);
+        let nation = generate_nation_with(&small_config());
         let (tpiin, _) = tpiin_fusion::fuse(&nation).unwrap();
         // No antecedent arc crosses the province boundary: every
-        // influence arc's endpoints share a name prefix.
+        // *influence* arc's endpoints share a name prefix.  Trading arcs
+        // are exactly what the national generator sends across.
+        let mut cross_trading = 0usize;
         for e in tpiin.graph.edges() {
             let s = tpiin.label(e.source);
             let t = tpiin.label(e.target);
             let prefix = |l: &str| l.split(':').next().unwrap().to_string();
-            assert_eq!(prefix(s), prefix(t), "{s} -> {t}");
+            match e.weight.color {
+                ArcColor::Influence => assert_eq!(prefix(s), prefix(t), "{s} -> {t}"),
+                ArcColor::Trading => {
+                    if prefix(s) != prefix(t) {
+                        cross_trading += 1;
+                    }
+                }
+            }
         }
+        assert!(cross_trading > 0, "cross-province trading arcs exist");
+    }
+
+    #[test]
+    fn full_generator_validates_and_is_deterministic() {
+        let config = small_config();
+        let a = generate_nation_with(&config);
+        assert!(a.validate().is_ok());
+        let b = generate_nation_with(&config);
+        assert_eq!(a.tradings(), b.tradings());
+        assert_eq!(a.influences(), b.influences());
+        let other = generate_nation_with(&NationConfig { seed: 12, ..config });
+        assert_ne!(a.tradings(), other.tradings());
+    }
+
+    #[test]
+    fn planted_rings_are_found_and_controls_are_not() {
+        // Trading comes only from the planted structures: every cycle the
+        // circular miner can find is a planted ring, and the open-chain
+        // controls must contribute nothing.
+        let config = NationConfig {
+            intra_trading_prob: 0.0,
+            cross_trading_mean_degree: 0.0,
+            ..small_config()
+        };
+        let nation = generate_nation_with(&config);
+        let groups = mine_circular(&nation);
+        assert_eq!(groups, config.planted_rings, "one group per planted ring");
+        let control_only = NationConfig {
+            planted_rings: 0,
+            ..config
+        };
+        let nation = generate_nation_with(&control_only);
+        assert_eq!(mine_circular(&nation), 0, "open chains are pattern-free");
+    }
+
+    fn mine_circular(registry: &SourceRegistry) -> usize {
+        let (tpiin, _) = tpiin_fusion::fuse(registry).expect("nation fuses");
+        let ctx = tpiin_core::MineContext {
+            tax_rates: registry.company_tax_rates(),
+            ..tpiin_core::MineContext::default()
+        };
+        tpiin_core::CircularTradingMiner::default()
+            .mine(&tpiin, &ctx)
+            .groups
+            .len()
+    }
+
+    #[test]
+    fn cross_trading_tracks_the_degree_budget() {
+        let mut nation = generate_nation(3, &ProvinceConfig::scaled(0.05));
+        let n = nation.company_count();
+        let added = add_cross_province_trading(&mut nation, n / 3, 2.0, 99);
+        let expect = n as f64 * 2.0;
+        assert!(
+            (added as f64 - expect).abs() < 5.0 * expect.sqrt(),
+            "added {added}, expected ≈{expect}"
+        );
+        // Every generated arc crosses a province boundary.
+        let per = n / 3;
+        for t in nation.tradings() {
+            assert_ne!(
+                t.seller.index() / per,
+                t.buyer.index() / per,
+                "intra-province pair leaked"
+            );
+        }
+        assert!(nation.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_config_keeps_ring_feasibility() {
+        for f in [0.02, 0.1, 0.5, 1.0] {
+            let c = NationConfig::scaled(f);
+            assert!(c.ring_len <= c.provinces);
+            assert!(c.planted_rings + c.control_chains <= c.base.companies);
+        }
+        assert!(NationConfig::default().company_count() >= 100_000);
     }
 }

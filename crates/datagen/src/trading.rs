@@ -86,7 +86,7 @@ pub fn plant_trading_ring(registry: &mut SourceRegistry, members: &[CompanyId]) 
 }
 
 /// Geometric gap: number of failures before the next success.
-fn skip(rng: &mut StdRng, log1mp: f64) -> u64 {
+pub(crate) fn skip(rng: &mut StdRng, log1mp: f64) -> u64 {
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let g = (u.ln() / log1mp).floor();
     if g >= u64::MAX as f64 {
@@ -97,7 +97,7 @@ fn skip(rng: &mut StdRng, log1mp: f64) -> u64 {
 }
 
 /// Maps a rank in `0..n(n-1)` to the ordered pair `(i, j)`, `i != j`.
-fn unrank(idx: u64, n: u64) -> (u32, u32) {
+pub(crate) fn unrank(idx: u64, n: u64) -> (u32, u32) {
     let i = idx / (n - 1);
     let r = idx % (n - 1);
     let j = if r >= i { r + 1 } else { r };

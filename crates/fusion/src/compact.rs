@@ -1,0 +1,310 @@
+//! Small-buffer payload types for TPIIN nodes.
+//!
+//! A nation-scale TPIIN holds 10⁵–10⁶ nodes, and almost every node is a
+//! plain (non-syndicate) entity: its label is a short generated name and
+//! its member list is a singleton.  Storing those as `String` + `Vec`
+//! costs two heap allocations per node — at ~50 ns a malloc that is the
+//! dominant cost of materializing a binary snapshot, and a large slice
+//! of the fusion pipeline's footprint.  [`Label`] and [`Members`] keep
+//! the common case inline in the node slot and spill to the heap only
+//! for long syndicate labels or merged member lists.
+//!
+//! Both types compare, hash and print exactly like the `str` / slice
+//! they represent, so the storage layout is invisible to snapshots,
+//! JSON reports and tests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Deref;
+
+/// Labels up to this many bytes are stored inline in the node slot.
+pub const INLINE_LABEL_BYTES: usize = 22;
+
+/// A node display label: inline for short strings (the overwhelmingly
+/// common case), heap-spilled otherwise.
+#[derive(Clone)]
+pub enum Label {
+    /// The label bytes live inside the enum slot.
+    Inline {
+        /// Number of meaningful bytes in `bytes`.
+        len: u8,
+        /// UTF-8 payload, zero-padded past `len`.
+        bytes: [u8; INLINE_LABEL_BYTES],
+    },
+    /// The label was too long to inline.
+    Spilled(String),
+}
+
+impl Label {
+    /// Builds a label, inlining it when it fits.
+    pub fn new(s: &str) -> Label {
+        if s.len() <= INLINE_LABEL_BYTES {
+            let mut bytes = [0u8; INLINE_LABEL_BYTES];
+            bytes[..s.len()].copy_from_slice(s.as_bytes());
+            Label::Inline {
+                len: s.len() as u8,
+                bytes,
+            }
+        } else {
+            Label::Spilled(s.to_owned())
+        }
+    }
+
+    /// The label text.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match self {
+            Label::Inline { len, bytes } => {
+                // Construction only ever copies whole `str`s, so the
+                // prefix is valid UTF-8 by invariant.
+                std::str::from_utf8(&bytes[..*len as usize]).expect("inline label is UTF-8")
+            }
+            Label::Spilled(s) => s,
+        }
+    }
+
+    /// Heap bytes owned by this label (zero when inline).
+    pub fn spilled_bytes(&self) -> usize {
+        match self {
+            Label::Inline { .. } => 0,
+            Label::Spilled(s) => s.capacity(),
+        }
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Label {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Label {
+        if s.len() <= INLINE_LABEL_BYTES {
+            Label::new(&s)
+        } else {
+            Label::Spilled(s)
+        }
+    }
+}
+
+impl Deref for Label {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Label) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Label {}
+
+impl std::hash::Hash for Label {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// The workspace's serde is a marker-trait stub (all JSON surfaces are
+// hand-written), so these impls carry no behavior — they keep `Label`
+// usable anywhere the old `String` field's derives were relied on.
+impl Serialize for Label {}
+
+impl<'de> Deserialize<'de> for Label {}
+
+/// Member lists up to this many entries are stored inline.
+pub const INLINE_MEMBERS: usize = 2;
+
+/// Provenance member ids of a TPIIN node: inline for up to
+/// [`INLINE_MEMBERS`] entries (non-syndicate nodes are singletons),
+/// heap-spilled for larger syndicates.
+#[derive(Clone)]
+pub enum Members<T> {
+    /// The ids live inside the enum slot.
+    Inline {
+        /// Number of meaningful entries in `items`.
+        len: u8,
+        /// Payload; entries past `len` duplicate the first id.
+        items: [T; INLINE_MEMBERS],
+    },
+    /// Empty or too many members to inline.
+    Spilled(Vec<T>),
+}
+
+impl<T: Copy> Members<T> {
+    /// Builds a member list, inlining it when it fits.
+    pub fn from_slice(items: &[T]) -> Members<T> {
+        match *items {
+            [a] => Members::Inline {
+                len: 1,
+                items: [a, a],
+            },
+            [a, b] => Members::Inline {
+                len: 2,
+                items: [a, b],
+            },
+            // An empty Vec does not allocate, so `[]` spills for free.
+            _ => Members::Spilled(items.to_vec()),
+        }
+    }
+
+    /// The member ids as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Members::Inline { len, items } => &items[..*len as usize],
+            Members::Spilled(v) => v,
+        }
+    }
+
+    /// The member ids as a freshly allocated `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    /// Heap bytes owned by this list (zero when inline).
+    pub fn spilled_bytes(&self) -> usize {
+        match self {
+            Members::Inline { .. } => 0,
+            Members::Spilled(v) => v.capacity() * std::mem::size_of::<T>(),
+        }
+    }
+}
+
+impl<T: Copy> From<Vec<T>> for Members<T> {
+    fn from(v: Vec<T>) -> Members<T> {
+        if v.len() <= INLINE_MEMBERS {
+            Members::from_slice(&v)
+        } else {
+            Members::Spilled(v)
+        }
+    }
+}
+
+impl<T: Copy> FromIterator<T> for Members<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Members<T> {
+        let mut iter = iter.into_iter();
+        let Some(a) = iter.next() else {
+            return Members::Spilled(Vec::new());
+        };
+        let Some(b) = iter.next() else {
+            return Members::Inline {
+                len: 1,
+                items: [a, a],
+            };
+        };
+        match iter.next() {
+            None => Members::Inline {
+                len: 2,
+                items: [a, b],
+            },
+            Some(c) => {
+                let mut v = vec![a, b, c];
+                v.extend(iter);
+                Members::Spilled(v)
+            }
+        }
+    }
+}
+
+impl<T> Deref for Members<T>
+where
+    T: Copy,
+{
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for Members<T> {
+    fn eq(&self, other: &Members<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Eq> Eq for Members<T> {}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for Members<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<T: Copy + Serialize> Serialize for Members<T> {}
+
+impl<'de, T: Copy + Deserialize<'de>> Deserialize<'de> for Members<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_labels_stay_inline() {
+        let l = Label::new("C-Shaanxi-42");
+        assert!(matches!(l, Label::Inline { .. }));
+        assert_eq!(l.as_str(), "C-Shaanxi-42");
+        assert_eq!(l.spilled_bytes(), 0);
+        assert_eq!(l, Label::from("C-Shaanxi-42".to_string()));
+    }
+
+    #[test]
+    fn long_labels_spill() {
+        let name = "Very Long Syndicate+Of Many+Member Names";
+        let l = Label::from(name.to_string());
+        assert!(matches!(l, Label::Spilled(_)));
+        assert_eq!(l.as_str(), name);
+        assert!(l.spilled_bytes() >= name.len());
+        assert_eq!(format!("{l}"), name);
+    }
+
+    #[test]
+    fn inline_boundary_is_exact() {
+        let at = "x".repeat(INLINE_LABEL_BYTES);
+        let over = "x".repeat(INLINE_LABEL_BYTES + 1);
+        assert!(matches!(Label::new(&at), Label::Inline { .. }));
+        assert!(matches!(Label::new(&over), Label::Spilled(_)));
+    }
+
+    #[test]
+    fn members_inline_and_spill() {
+        let single = Members::from_slice(&[7u32]);
+        assert_eq!(&*single, &[7]);
+        assert_eq!(single.spilled_bytes(), 0);
+        let pair: Members<u32> = [1, 2].into_iter().collect();
+        assert_eq!(&*pair, &[1, 2]);
+        assert_eq!(pair.spilled_bytes(), 0);
+        let big: Members<u32> = (0..5).collect();
+        assert_eq!(&*big, &[0, 1, 2, 3, 4]);
+        assert!(big.spilled_bytes() >= 5 * 4);
+        let empty = Members::<u32>::from_slice(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.spilled_bytes(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let inline: Members<u32> = vec![1, 2].into();
+        let spilled = Members::Spilled(vec![1, 2]);
+        assert_eq!(inline, spilled);
+        assert_eq!(Label::new("ab"), Label::Spilled("ab".to_string()));
+    }
+}

@@ -19,6 +19,7 @@
 //! numbers behind Figs. 11–16).  The intermediate graphs are also exposed
 //! individually in [`stages`] for tests and reporting.
 
+pub mod compact;
 pub mod stages;
 
 mod par;

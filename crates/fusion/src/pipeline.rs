@@ -1,5 +1,6 @@
 //! The end-to-end fusion pipeline: `SourceRegistry -> TPIIN`.
 
+use crate::compact::{Label, Members};
 use crate::par;
 use crate::report::{FusionReport, StageTiming};
 use crate::tpiin::{ArcColor, IntraSyndicateTrade, Tpiin, TpiinArc, TpiinNode};
@@ -244,7 +245,7 @@ pub fn fuse_with(
             .iter()
             .map(|members| TpiinNode::Person {
                 label: join_labels(members.iter().map(|&p| registry.person(p).name.as_str())),
-                members: members.clone(),
+                members: Members::from_slice(members),
             })
             .collect::<Vec<_>>()
     })
@@ -257,7 +258,7 @@ pub fn fuse_with(
                 .iter()
                 .map(|members| TpiinNode::Company {
                     label: join_labels(members.iter().map(|&c| registry.company(c).name.as_str())),
-                    members: members.clone(),
+                    members: Members::from_slice(members),
                 })
                 .collect::<Vec<_>>()
         })
@@ -446,14 +447,21 @@ pub fn fuse_with(
     Ok((tpiin, report))
 }
 
-fn join_labels<'a>(mut names: impl Iterator<Item = &'a str>) -> String {
+fn join_labels<'a>(mut names: impl Iterator<Item = &'a str>) -> Label {
     let first = names.next().unwrap_or_default();
+    let Some(second) = names.next() else {
+        // Singleton — the overwhelmingly common case: the label inlines
+        // into the node slot without ever building a `String`.
+        return Label::new(first);
+    };
     let mut label = String::from(first);
+    label.push('+');
+    label.push_str(second);
     for name in names {
         label.push('+');
         label.push_str(name);
     }
-    label
+    Label::from(label)
 }
 
 /// Company-syndicate labelling: Tarjan SCCs of the investment graph,

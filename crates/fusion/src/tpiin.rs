@@ -1,5 +1,6 @@
 //! The fused Taxpayer Interest Interacted Network (Definition 1).
 
+use crate::compact::{Label, Members};
 use serde::{Deserialize, Serialize};
 use tpiin_graph::{CsrGraph, DiGraph, NodeId};
 use tpiin_model::{CompanyId, PersonId};
@@ -41,23 +42,27 @@ impl ArcColor {
 
 /// Payload of a TPIIN node: color, display label and provenance (which
 /// source persons/companies were merged into this node by contraction).
+///
+/// Labels and member lists use the small-buffer types from
+/// [`crate::compact`], so plain (non-syndicate) nodes — the vast
+/// majority at nation scale — carry no heap allocations at all.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TpiinNode {
     /// A person node, possibly a syndicate of several source persons.
     Person {
         /// Display label — original name, or `+`-joined member names for
         /// syndicates.
-        label: String,
+        label: Label,
         /// Source persons merged into this node (singleton if no
         /// contraction applied).
-        members: Vec<PersonId>,
+        members: Members<PersonId>,
     },
     /// A company node, possibly a syndicate (contracted investment SCC).
     Company {
         /// Display label.
-        label: String,
+        label: Label,
         /// Source companies merged into this node.
-        members: Vec<CompanyId>,
+        members: Members<CompanyId>,
     },
 }
 
@@ -73,7 +78,7 @@ impl TpiinNode {
     /// The node's display label.
     pub fn label(&self) -> &str {
         match self {
-            TpiinNode::Person { label, .. } | TpiinNode::Company { label, .. } => label,
+            TpiinNode::Person { label, .. } | TpiinNode::Company { label, .. } => label.as_str(),
         }
     }
 
@@ -82,6 +87,17 @@ impl TpiinNode {
         match self {
             TpiinNode::Person { members, .. } => members.len() > 1,
             TpiinNode::Company { members, .. } => members.len() > 1,
+        }
+    }
+
+    /// Heap bytes owned by this payload beyond its enum slot — zero for
+    /// inline labels and member lists.
+    pub fn spilled_bytes(&self) -> usize {
+        match self {
+            TpiinNode::Person { label, members } => label.spilled_bytes() + members.spilled_bytes(),
+            TpiinNode::Company { label, members } => {
+                label.spilled_bytes() + members.spilled_bytes()
+            }
         }
     }
 }
@@ -146,6 +162,11 @@ pub struct Tpiin {
     /// packed slices instead of the mutable adjacency.  Kept private so it
     /// can only be set by [`Tpiin::assemble`] / [`Tpiin::refreeze`].
     csr: CsrGraph,
+    /// Bytes of any flat snapshot buffer still backing this network
+    /// (zero-copy binary loads); `0` for networks assembled from parsed
+    /// records.  Counted by [`Tpiin::approx_heap_bytes`] so `/status`
+    /// stays honest about what the served snapshot pins in memory.
+    backing_bytes: u64,
 }
 
 impl Tpiin {
@@ -173,7 +194,50 @@ impl Tpiin {
             intra_syndicate_trades,
             arc_sources,
             csr,
+            backing_bytes: 0,
         }
+    }
+
+    /// Like [`Tpiin::assemble`], but adopts an already-frozen CSR snapshot
+    /// instead of re-running the counting sort.  Used by the binary
+    /// snapshot loader, which ships the frozen lanes inside the file; the
+    /// caller is responsible for `csr` actually matching `graph` (the
+    /// loader cross-checks node and per-lane edge counts).
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_frozen(
+        graph: DiGraph<TpiinNode, TpiinArc>,
+        person_node: Vec<NodeId>,
+        company_node: Vec<NodeId>,
+        influence_arc_count: usize,
+        trading_arc_count: usize,
+        intra_syndicate_trades: Vec<IntraSyndicateTrade>,
+        mut arc_sources: Vec<u32>,
+        csr: CsrGraph,
+    ) -> Tpiin {
+        arc_sources.resize(graph.edge_count(), u32::MAX);
+        Tpiin {
+            graph,
+            person_node,
+            company_node,
+            influence_arc_count,
+            trading_arc_count,
+            intra_syndicate_trades,
+            arc_sources,
+            csr,
+            backing_bytes: 0,
+        }
+    }
+
+    /// Records that `bytes` of a flat snapshot buffer remain alive backing
+    /// this network (zero-copy loads keep the file image mapped so slice
+    /// views stay valid).  Reported through [`Tpiin::approx_heap_bytes`].
+    pub fn set_backing_bytes(&mut self, bytes: u64) {
+        self.backing_bytes = bytes;
+    }
+
+    /// Bytes of retained snapshot buffer (see [`Tpiin::set_backing_bytes`]).
+    pub fn backing_bytes(&self) -> u64 {
+        self.backing_bytes
     }
 
     fn freeze_graph(graph: &DiGraph<TpiinNode, TpiinArc>) -> CsrGraph {
@@ -231,37 +295,24 @@ impl Tpiin {
         tpiin_graph::edge_list(&self.graph, |arc| arc.color.code())
     }
 
-    /// An estimate of this network's heap footprint in bytes: node and
-    /// arc payloads, label strings, member lists, adjacency lists and
-    /// the frozen CSR lanes.  Estimated from counts rather than walked
-    /// exactly — the `/status` endpoint reports it so operators can see
-    /// how much of the process RSS the served snapshot accounts for.
+    /// This network's heap footprint in bytes: the graph's own buffers
+    /// (node slots, edge slots, adjacency rows — counted exactly via
+    /// [`DiGraph::heap_bytes`], whichever adjacency layout is in use),
+    /// spilled label/member allocations, the frozen CSR lanes (exact via
+    /// [`CsrGraph::heap_bytes`]), provenance side tables, and any
+    /// retained zero-copy snapshot buffer.  The `/status` endpoint
+    /// reports it so operators can see how much of the process RSS the
+    /// served snapshot accounts for.  "Approx" survives in the name only
+    /// because `Vec` capacities can exceed lengths; every component is
+    /// otherwise measured, not estimated.
     pub fn approx_heap_bytes(&self) -> u64 {
-        let node_payload: usize = self
-            .graph
-            .nodes()
-            .map(|(_, n)| {
-                let members = match n {
-                    TpiinNode::Person { members, .. } => members.len() * 4,
-                    TpiinNode::Company { members, .. } => members.len() * 4,
-                };
-                std::mem::size_of::<TpiinNode>() + n.label().len() + members
-            })
-            .sum();
-        let edges = self.graph.edge_count();
-        // Edge slot + one out-adjacency and one in-adjacency entry.
-        let edge_payload = edges * (std::mem::size_of::<TpiinArc>() + 16);
-        // Two Vec<EdgeId> headers per node (out_adj / in_adj).
-        let adjacency_headers = self.graph.node_count() * 2 * 24;
-        // CSR: per lane, offset arrays (nodes+1 each for out/in) plus
-        // target/source/edge-id entries per edge.
-        let csr = self.csr.lane_count() * (self.graph.node_count() + 1) * 8
-            + self.csr.total_edge_count() * 16;
-        let side_tables = self.person_node.len() * 4
-            + self.company_node.len() * 4
-            + self.arc_sources.len() * 4
+        let spilled_payloads: usize = self.graph.nodes().map(|(_, n)| n.spilled_bytes()).sum();
+        let side_tables = self.person_node.len() * std::mem::size_of::<NodeId>()
+            + self.company_node.len() * std::mem::size_of::<NodeId>()
+            + self.arc_sources.len() * std::mem::size_of::<u32>()
             + self.intra_syndicate_trades.len() * std::mem::size_of::<IntraSyndicateTrade>();
-        (node_payload + edge_payload + adjacency_headers + csr + side_tables) as u64
+        (self.graph.heap_bytes() + spilled_payloads + self.csr.heap_bytes() + side_tables) as u64
+            + self.backing_bytes
     }
 
     /// Mean arcs-per-node, the "average node degree" column of Table 1.
@@ -287,14 +338,14 @@ mod tests {
     fn node_accessors() {
         let p = TpiinNode::Person {
             label: "L1".into(),
-            members: vec![PersonId(0), PersonId(3)],
+            members: vec![PersonId(0), PersonId(3)].into(),
         };
         assert_eq!(p.color(), NodeColor::Person);
         assert_eq!(p.label(), "L1");
         assert!(p.is_syndicate());
         let c = TpiinNode::Company {
             label: "C1".into(),
-            members: vec![CompanyId(0)],
+            members: vec![CompanyId(0)].into(),
         };
         assert_eq!(c.color(), NodeColor::Company);
         assert!(!c.is_syndicate());

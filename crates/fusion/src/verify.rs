@@ -229,11 +229,11 @@ mod tests {
             tpiin_graph::DiGraph::new();
         let a = graph.add_node(crate::tpiin::TpiinNode::Company {
             label: "A".into(),
-            members: vec![tpiin_model::CompanyId(0)],
+            members: vec![tpiin_model::CompanyId(0)].into(),
         });
         let b = graph.add_node(crate::tpiin::TpiinNode::Company {
             label: "B".into(),
-            members: vec![tpiin_model::CompanyId(1)],
+            members: vec![tpiin_model::CompanyId(1)].into(),
         });
         graph.add_edge(
             a,

@@ -40,7 +40,7 @@ mod unionfind;
 mod wcc;
 
 pub use contraction::{dedup_edges, ContractionOutcome, Partition};
-pub use csr::{csr_index, CsrGraph};
+pub use csr::{csr_index, CsrGraph, CsrLaneParts};
 pub use digraph::{DiGraph, EdgeRef};
 pub use export::{dot, edge_list, DotStyle, EdgeRender, NodeRender};
 pub use ids::{EdgeId, NodeId};

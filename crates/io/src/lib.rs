@@ -25,6 +25,8 @@
 //!   company and its controlling persons;
 //! * [`snapshot`] — a fused-TPIIN snapshot format ("fuse nightly, detect
 //!   all day");
+//! * [`snapshot_bin`] — the binary zero-copy variant of the snapshot,
+//!   sized for nation-scale hot reloads;
 //! * [`json`] — a minimal JSON value model, writer and parser used by
 //!   the reports.
 
@@ -38,6 +40,7 @@ pub mod json;
 pub mod registry_csv;
 pub mod reports;
 pub mod snapshot;
+pub mod snapshot_bin;
 
 mod error;
 

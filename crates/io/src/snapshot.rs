@@ -145,6 +145,19 @@ impl<'a> Lines<'a> {
     }
 }
 
+/// Deserializes a snapshot in either format, auto-detected from the
+/// leading bytes: the binary magic (`TPIINBIN`) routes to
+/// [`crate::snapshot_bin::read_snapshot_bin`], anything else is decoded
+/// as UTF-8 and handed to the text parser.
+pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Tpiin, IoError> {
+    if bytes.starts_with(&crate::snapshot_bin::MAGIC) {
+        return crate::snapshot_bin::read_snapshot_bin(bytes);
+    }
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| IoError::parse("snapshot", 0, "snapshot is neither binary nor UTF-8 text"))?;
+    read_snapshot(text)
+}
+
 /// Deserializes a snapshot produced by [`write_snapshot`].
 pub fn read_snapshot(text: &str) -> Result<Tpiin, IoError> {
     let mut lines = Lines {
@@ -191,14 +204,14 @@ pub fn read_snapshot(text: &str) -> Result<Tpiin, IoError> {
         match tag {
             "P" => {
                 let node = graph.add_node(TpiinNode::Person {
-                    label,
+                    label: label.into(),
                     members: member_ids.iter().map(|&m| PersonId(m)).collect(),
                 });
                 person_node.extend(member_ids.iter().map(|&m| (m, node)));
             }
             "C" => {
                 let node = graph.add_node(TpiinNode::Company {
-                    label,
+                    label: label.into(),
                     members: member_ids.iter().map(|&m| CompanyId(m)).collect(),
                 });
                 company_node.extend(member_ids.iter().map(|&m| (m, node)));

@@ -73,4 +73,42 @@ proptest! {
             prop_assert!(prov.audit(&restored).is_ok());
         }
     }
+
+    /// The binary zero-copy decode must be bit-identical to the text
+    /// decode of the same network: same snapshot rendering, same
+    /// provenance feed, same frozen CSR lanes, same detection output.
+    #[test]
+    fn binary_and_text_decodes_are_bit_identical(seed in 0u64..32) {
+        let config = tpiin_datagen::ProvinceConfig {
+            seed,
+            ..tpiin_datagen::ProvinceConfig::scaled(0.05)
+        };
+        let mut registry = tpiin_datagen::generate_province(&config);
+        tpiin_datagen::add_random_trading(&mut registry, 0.02, seed.wrapping_add(7));
+        let (tpiin, _) = tpiin_fusion::fuse(&registry).expect("generated registry fuses");
+
+        let text = write_snapshot(&tpiin);
+        let bin = tpiin_io::snapshot_bin::write_snapshot_bin(&tpiin);
+        let from_text =
+            tpiin_io::snapshot::read_snapshot_bytes(text.as_bytes()).expect("text decodes");
+        let from_bin = tpiin_io::snapshot::read_snapshot_bytes(&bin).expect("binary decodes");
+
+        // Full-state equality via the canonical text rendering, plus
+        // the fields the rendering cannot see: provenance feed order
+        // and the frozen CSR arrays of every colour lane.
+        prop_assert_eq!(write_snapshot(&from_text), write_snapshot(&from_bin));
+        prop_assert_eq!(&from_text.arc_sources, &from_bin.arc_sources);
+        let (a, b) = (from_text.csr(), from_bin.csr());
+        for lane in 0..2 {
+            prop_assert_eq!(a.lane_out_offsets(lane), b.lane_out_offsets(lane));
+            prop_assert_eq!(a.lane_out_targets(lane), b.lane_out_targets(lane));
+            prop_assert_eq!(a.lane_out_edge_ids(lane), b.lane_out_edge_ids(lane));
+            prop_assert_eq!(a.lane_in_offsets(lane), b.lane_in_offsets(lane));
+            prop_assert_eq!(a.lane_in_sources(lane), b.lane_in_sources(lane));
+        }
+        let (da, db) = (tpiin_core::detect(&from_text), tpiin_core::detect(&from_bin));
+        prop_assert_eq!(&da.groups, &db.groups);
+        prop_assert_eq!(&da.suspicious_trading_arcs, &db.suspicious_trading_arcs);
+        prop_assert_eq!(&da.provenances, &db.provenances);
+    }
 }

@@ -39,11 +39,11 @@ impl ScreeningScope {
         let mut pairs = BTreeSet::new();
         for &(s, t) in &result.suspicious_trading_arcs {
             let sellers: Vec<CompanyId> = match tpiin.graph.node(s) {
-                tpiin_fusion::TpiinNode::Company { members, .. } => members.clone(),
+                tpiin_fusion::TpiinNode::Company { members, .. } => members.to_vec(),
                 tpiin_fusion::TpiinNode::Person { .. } => continue,
             };
             let buyers: Vec<CompanyId> = match tpiin.graph.node(t) {
-                tpiin_fusion::TpiinNode::Company { members, .. } => members.clone(),
+                tpiin_fusion::TpiinNode::Company { members, .. } => members.to_vec(),
                 tpiin_fusion::TpiinNode::Person { .. } => continue,
             };
             for &a in &sellers {

@@ -39,6 +39,26 @@ impl SourceRegistry {
         Self::default()
     }
 
+    /// Creates an empty registry with entity storage pre-reserved.
+    /// Nation-scale generators know their totals up front; reserving
+    /// avoids the doubling reallocations that would otherwise briefly
+    /// hold two copies of multi-million-entry tables.
+    pub fn with_capacity(persons: usize, companies: usize) -> Self {
+        SourceRegistry {
+            persons: Vec::with_capacity(persons),
+            companies: Vec::with_capacity(companies),
+            ..Self::default()
+        }
+    }
+
+    /// Pre-reserves space for `additional` records of each relationship
+    /// type (influences, investments, tradings).
+    pub fn reserve_records(&mut self, influences: usize, investments: usize, tradings: usize) {
+        self.influences.reserve(influences);
+        self.investments.reserve(investments);
+        self.tradings.reserve(tradings);
+    }
+
     /// Registers a person; returns its id.
     pub fn add_person(&mut self, name: impl Into<String>, roles: RoleSet) -> PersonId {
         let id = PersonId(self.persons.len() as u32);
@@ -134,13 +154,29 @@ impl SourceRegistry {
     pub fn absorb(&mut self, other: &SourceRegistry, prefix: &str) {
         let person_offset = self.persons.len() as u32;
         let company_offset = self.companies.len() as u32;
+        // Reserve every table up front: absorbing k provinces one after
+        // another must not re-double megavector allocations mid-copy.
+        self.persons.reserve(other.persons.len());
+        self.companies.reserve(other.companies.len());
+        self.interdependencies
+            .reserve(other.interdependencies.len());
+        self.influences.reserve(other.influences.len());
+        self.investments.reserve(other.investments.len());
+        self.tradings.reserve(other.tradings.len());
+        // Exact-capacity name building: `format!` may over-allocate, and
+        // at nation scale the slack would be held for the process
+        // lifetime.
+        let prefixed = |name: &str| {
+            let mut s = String::with_capacity(prefix.len() + name.len());
+            s.push_str(prefix);
+            s.push_str(name);
+            s
+        };
         for p in &other.persons {
-            self.persons
-                .push(Person::new(format!("{prefix}{}", p.name), p.roles));
+            self.persons.push(Person::new(prefixed(&p.name), p.roles));
         }
         for c in &other.companies {
-            self.companies
-                .push(Company::new(format!("{prefix}{}", c.name)));
+            self.companies.push(Company::new(prefixed(&c.name)));
         }
         if !self.tax_rates.is_empty() || !other.tax_rates.is_empty() {
             self.tax_rates
@@ -718,6 +754,23 @@ mod tests {
         let inv = a.investments().last().unwrap();
         assert_eq!(inv.investor, CompanyId(c0 as u32));
         assert_eq!(inv.investee, CompanyId(c0 as u32 + 1));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut r = SourceRegistry::with_capacity(10, 10);
+        r.reserve_records(5, 5, 5);
+        let p = r.add_person("P", RoleSet::of(&[Role::Ceo]));
+        let c = r.add_company("C");
+        r.add_influence(InfluenceRecord {
+            person: p,
+            company: c,
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+        assert!(r.validate().is_ok());
+        assert_eq!(r.person_count(), 1);
+        assert_eq!(r.company_count(), 1);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::time::Instant;
 use tpiin_core::{groups_behind_arc, IncrementalDetector, MinerRegistry};
 use tpiin_io::json::Json;
 use tpiin_model::{CompanyId, TradingRecord};
-use tpiin_obs::{TraceContext, TraceId};
+use tpiin_obs::{Span, TraceContext, TraceId};
 
 /// Everything the handlers share: the hot-swap store, the single-writer
 /// ingest state, the shutdown latch and the recent-trace ring.
@@ -38,6 +38,10 @@ pub struct ServerState {
     pub(crate) traces: Mutex<VecDeque<Arc<TraceContext>>>,
     /// When the daemon started, for `/status` uptime.
     pub(crate) started: Instant,
+    /// Microseconds the last `/reload` (endpoint or watcher) spent
+    /// reading + parsing the snapshot file; `/status` reports it as
+    /// `snapshot_load_ms` (0 until the first reload).
+    pub(crate) last_load_micros: AtomicU64,
     /// Worker-pool occupancy, shared with the accept loop's pool.
     pub(crate) pool: Arc<PoolMetrics>,
 }
@@ -117,6 +121,7 @@ fn status(state: &ServerState) -> Response {
         queue_capacity: state.pool.capacity.load(Ordering::Relaxed),
         shed_requests: registry.counter("serve.shed").get(),
         reloads: registry.counter("serve.reloads").get(),
+        snapshot_load_ms: state.last_load_micros.load(Ordering::Relaxed) as f64 / 1_000.0,
         alloc: tpiin_obs::alloc::stats(),
         proc: tpiin_obs::proc::sample(),
     };
@@ -360,10 +365,15 @@ pub fn reload(state: &ServerState) -> Result<u64, (u16, String)> {
     let Some(path) = state.snapshot_path.as_ref() else {
         return Err((400, "no snapshot path configured".to_string()));
     };
-    let text = std::fs::read_to_string(path)
-        .map_err(|err| (500, format!("reading {}: {err}", path.display())))?;
-    let tpiin = tpiin_io::snapshot::read_snapshot(&text)
+    let span = Span::at("serve.reload");
+    let load_started = Instant::now();
+    // Bytes, not a string: the file may be the binary zero-copy format,
+    // which `read_snapshot_bytes` auto-detects by its magic prefix.
+    let bytes =
+        std::fs::read(path).map_err(|err| (500, format!("reading {}: {err}", path.display())))?;
+    let tpiin = tpiin_io::snapshot::read_snapshot_bytes(&bytes)
         .map_err(|err| (400, format!("parsing {}: {err}", path.display())))?;
+    let load_micros = load_started.elapsed().as_micros() as u64;
 
     let mut writer = state.writer.lock();
     let epoch = state.next_epoch();
@@ -371,6 +381,8 @@ pub fn reload(state: &ServerState) -> Result<u64, (u16, String)> {
     *writer = IncrementalDetector::new(tpiin);
     state.store.swap(snapshot);
     drop(writer);
+    state.last_load_micros.store(load_micros, Ordering::Relaxed);
+    drop(span);
     // The sliding 60s latency windows measured the old epoch; clear
     // them so the twin `_window` series restarts cleanly instead of
     // blending two snapshots' latencies mid-window.

@@ -328,6 +328,9 @@ pub struct StatusReport {
     pub shed_requests: u64,
     /// Snapshot reloads since start.
     pub reloads: u64,
+    /// Milliseconds the most recent snapshot load+swap took (0 until
+    /// the first startup load or `/reload`).
+    pub snapshot_load_ms: f64,
     /// Process allocator ledger.
     pub alloc: tpiin_obs::AllocStats,
     /// Kernel view (`None` off Linux).
@@ -359,6 +362,7 @@ pub fn status_json(snapshot: &ServeSnapshot, report: &StatusReport) -> Json {
         ("queue_capacity", num(report.queue_capacity)),
         ("shed_requests", Json::Number(report.shed_requests as f64)),
         ("reloads", Json::Number(report.reloads as f64)),
+        ("snapshot_load_ms", Json::Number(report.snapshot_load_ms)),
         (
             "alloc_live_bytes",
             Json::Number(report.alloc.live_bytes as f64),

@@ -113,13 +113,16 @@ impl std::error::Error for ServeError {
     }
 }
 
-/// Loads and parses a `tpiin-snapshot` file (CLI and daemon startup).
+/// Loads and parses a snapshot file (CLI and daemon startup).  The
+/// format is auto-detected: files starting with the `TPIINBIN` magic
+/// take the zero-copy binary path, everything else parses as the text
+/// `tpiin-snapshot` format.
 pub fn load_snapshot_file(path: &std::path::Path) -> Result<Tpiin, ServeError> {
-    let text = std::fs::read_to_string(path).map_err(|source| ServeError::File {
+    let bytes = std::fs::read(path).map_err(|source| ServeError::File {
         path: path.to_path_buf(),
         source,
     })?;
-    tpiin_io::snapshot::read_snapshot(&text).map_err(ServeError::Snapshot)
+    tpiin_io::snapshot::read_snapshot_bytes(&bytes).map_err(ServeError::Snapshot)
 }
 
 /// A running daemon; dropping it (or calling [`ServerHandle::shutdown`])
@@ -164,6 +167,7 @@ impl ServerHandle {
             trace_ring: config.trace_ring.max(1),
             traces: Mutex::new(std::collections::VecDeque::new()),
             started: Instant::now(),
+            last_load_micros: AtomicU64::new(0),
             pool: Arc::new(PoolMetrics::default()),
         });
 

@@ -512,3 +512,57 @@ fn reload_mid_window_resets_latency_window_series() {
     handle.shutdown();
     let _ = std::fs::remove_file(&path);
 }
+
+/// A binary zero-copy snapshot hot-swaps exactly like a text one: the
+/// watcher-facing `/reload` auto-detects the format by magic, the epoch
+/// advances, `/status` reports the load time, and the served groups are
+/// identical to what the text snapshot produces.
+#[test]
+fn binary_snapshot_hot_swap_matches_text() {
+    let tpiin = fig7();
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "tpiin-serve-bin-{}-{:?}.tpiin",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, tpiin_io::snapshot::write_snapshot(&tpiin)).expect("write snapshot");
+    let config = ServeConfig {
+        snapshot_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(tpiin.clone(), config).expect("bind");
+    let addr = handle.addr();
+    let (_, text_groups) = get(addr, "/groups");
+
+    // Overwrite the watched file with the binary encoding and reload.
+    std::fs::write(&path, tpiin_io::snapshot_bin::write_snapshot_bin(&tpiin))
+        .expect("write binary snapshot");
+    let (status, body) = post(addr, "/reload", "");
+    assert_eq!(status, "HTTP/1.1 200 OK", "binary reload failed: {body}");
+    assert!(body.contains("\"epoch\":2"), "epoch advanced: {body}");
+
+    let (status, body) = get(addr, "/status");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let json = tpiin_io::json::Json::parse(&body).expect("status is JSON");
+    let field = |key: &str| {
+        json.get(key)
+            .and_then(tpiin_io::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert_eq!(field("epoch"), 2.0);
+    assert!(
+        field("snapshot_load_ms") >= 0.0,
+        "load time reported: {body}"
+    );
+
+    // The binary epoch serves bit-identical groups (bar the epoch tag).
+    let (status, bin_groups) = get(addr, "/groups");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(
+        bin_groups.replace("\"epoch\":2", "\"epoch\":1"),
+        text_groups,
+        "binary snapshot served different groups"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
