@@ -1,0 +1,348 @@
+//! Streaming-ingest benchmark for the delta-fusion engine: replays a
+//! generated mutation feed (registry + trading batches, evasion rings
+//! planted mid-stream) through two arms —
+//!
+//! 1. `delta` — the [`tpiin_delta::DeltaEngine`] maintaining the TPIIN
+//!    incrementally (surgical trading appends, bounded re-contraction,
+//!    shard re-mining);
+//! 2. `full_rebuild` — the from-scratch comparator: apply the batch to
+//!    the registry, fuse the whole TPIIN, detect over everything —
+//!
+//! and records batches/s plus per-batch apply-latency percentiles for
+//! both.  Both arms must land on the identical detection; the benchmark
+//! asserts it against a final from-scratch fuse before writing.
+//!
+//! Two more measurements ride along:
+//!
+//! * `registry_delta` — the acceptance bar: one planted registry batch
+//!   applied through the engine's surgical company-append path vs a
+//!   from-scratch fuse + detect of the same resulting registry.  The
+//!   run *fails* if the delta apply is not at least 10x faster.
+//! * `read_while_ingesting` — `/groups` latencies sampled against a
+//!   live registry-backed daemon while the feed streams into
+//!   `POST /ingest`, proving readers never block on the writer; the
+//!   response epochs must be strictly monotonic.
+//!
+//! Usage: `bench_ingest [OUT_PATH] [SCALE] [BATCHES]` — defaults to
+//! `BENCH_ingest.json`, scale 0.5, 24 batches.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use tpiin_bench::record::{
+    self, BenchMeta, EndpointLatency, IngestArmRecord, IngestBench, LatencyUs, RegistryDeltaRecord,
+};
+use tpiin_core::detect;
+use tpiin_datagen::{generate_mutation_stream, MutationStream, MutationStreamConfig};
+use tpiin_delta::{DeltaEngine, DeltaPath};
+use tpiin_fusion::fuse;
+use tpiin_io::mutation_feed;
+use tpiin_model::{MutationBatch, SourceRegistry};
+use tpiin_serve::{ServeConfig, ServerHandle};
+
+/// Replays the feed through the delta engine, timing each apply.
+fn delta_arm(stream: &MutationStream) -> IngestArmRecord {
+    let mut engine = DeltaEngine::new(stream.base.clone()).expect("generated base fuses");
+    let mut samples = Vec::with_capacity(stream.batches.len());
+    let start = Instant::now();
+    for batch in &stream.batches {
+        let t = Instant::now();
+        engine.apply(batch).expect("generated batches are valid");
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let secs = start.elapsed().as_secs_f64();
+
+    // Correctness embed: the maintained TPIIN and detection must be
+    // bit-identical to a from-scratch fuse + detect of the replayed
+    // registry — the same bar the differential proptest holds.
+    let replayed = stream.replayed().expect("feed replays");
+    let (scratch, _) = fuse(&replayed).expect("replayed registry fuses");
+    assert_eq!(
+        engine.tpiin().edge_list(),
+        scratch.edge_list(),
+        "delta-maintained TPIIN diverged from a from-scratch fuse"
+    );
+    let groups = engine.detection().group_count();
+    assert_eq!(
+        groups,
+        detect(&scratch).group_count(),
+        "delta-maintained detection diverged from a from-scratch detect"
+    );
+
+    IngestArmRecord {
+        name: "delta".to_string(),
+        batches: stream.batches.len(),
+        groups,
+        batches_per_sec: stream.batches.len() as f64 / secs,
+        apply: LatencyUs::from_samples(&mut samples),
+    }
+}
+
+/// Replays the feed with a from-scratch fuse + detect after every
+/// batch — the fallback the delta engine escapes to, timed honestly.
+fn full_rebuild_arm(stream: &MutationStream) -> IngestArmRecord {
+    let mut registry = stream.base.clone();
+    let mut samples = Vec::with_capacity(stream.batches.len());
+    let mut groups = 0;
+    let start = Instant::now();
+    for batch in &stream.batches {
+        let t = Instant::now();
+        batch
+            .apply_to_registry(&mut registry)
+            .expect("generated batches are valid");
+        let (tpiin, _) = fuse(&registry).expect("mutated registry fuses");
+        groups = detect(&tpiin).group_count();
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    IngestArmRecord {
+        name: "full_rebuild".to_string(),
+        batches: stream.batches.len(),
+        groups,
+        batches_per_sec: stream.batches.len() as f64 / secs,
+        apply: LatencyUs::from_samples(&mut samples),
+    }
+}
+
+/// Times one planted registry batch both ways: the engine's surgical
+/// company-append apply vs a from-scratch fuse + detect of the
+/// resulting registry.  Median of `reps` fresh runs each.
+fn registry_delta(stream: &MutationStream, reps: usize) -> RegistryDeltaRecord {
+    let at = *stream
+        .planted_at
+        .first()
+        .expect("stream plants at least one ring");
+    let mut prefix = stream.base.clone();
+    for batch in &stream.batches[..at] {
+        batch
+            .apply_to_registry(&mut prefix)
+            .expect("prefix replays");
+    }
+    let batch: &MutationBatch = &stream.batches[at];
+
+    let median = |mut runs: Vec<f64>| {
+        runs.sort_by(f64::total_cmp);
+        runs[runs.len() / 2]
+    };
+    let delta_apply_ms = median(
+        (0..reps)
+            .map(|_| {
+                // Engine construction (the day-0 full fuse) is untimed;
+                // the measurement is the apply alone.
+                let mut engine = DeltaEngine::new(prefix.clone()).expect("prefix registry fuses");
+                let t = Instant::now();
+                let outcome = engine.apply(batch).expect("planted batch applies");
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    outcome.path,
+                    DeltaPath::CompanyAppend,
+                    "planted ring batch must take the surgical company-append path"
+                );
+                ms
+            })
+            .collect(),
+    );
+    let mut mutated = prefix.clone();
+    batch
+        .apply_to_registry(&mut mutated)
+        .expect("planted batch applies");
+    let full_rebuild_ms = median(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let (tpiin, _) = fuse(&mutated).expect("mutated registry fuses");
+                let _ = detect(&tpiin).group_count();
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+    RegistryDeltaRecord {
+        delta_apply_ms,
+        full_rebuild_ms,
+    }
+}
+
+/// One blocking HTTP request over a fresh connection; returns the
+/// elapsed microseconds and the response body.  Panics on non-200 so a
+/// broken endpoint cannot publish garbage percentiles.
+fn timed_request(addr: SocketAddr, request: &str) -> (f64, String) {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream.write_all(request.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let elapsed = start.elapsed().as_secs_f64() * 1e6;
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "request failed: {}",
+        response.lines().next().unwrap_or("<empty>")
+    );
+    (elapsed, response)
+}
+
+/// Boots a registry-backed daemon, streams the feed into `POST
+/// /ingest` (asserting strictly monotonic epochs), and samples
+/// `/groups` read latencies concurrently the whole time.
+fn read_while_ingesting(base: &SourceRegistry, batches: &[MutationBatch]) -> EndpointLatency {
+    let handle = ServerHandle::bind_with_registry(base.clone(), ServeConfig::default())
+        .expect("bind ephemeral registry-backed daemon");
+    let addr = handle.addr();
+    let stop = AtomicBool::new(false);
+
+    let mut sorted = std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            let mut samples = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let (us, _) =
+                    timed_request(addr, "GET /groups?limit=5 HTTP/1.1\r\nHost: bench\r\n\r\n");
+                samples.push(us);
+            }
+            samples
+        });
+
+        let mut last_epoch = 0u64;
+        for batch in batches {
+            let body = mutation_feed::batch_to_json(batch).to_string();
+            let request = format!(
+                "POST /ingest HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let (_, response) = timed_request(addr, &request);
+            let epoch: u64 = response
+                .split("\"epoch\":")
+                .nth(1)
+                .and_then(|s| s.split([',', '}']).next())
+                .and_then(|s| s.trim().parse().ok())
+                .expect("ingest response carries an epoch");
+            assert!(
+                epoch > last_epoch,
+                "epochs must be strictly monotonic: {epoch} after {last_epoch}"
+            );
+            last_epoch = epoch;
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().expect("reader thread")
+    });
+    handle.shutdown();
+
+    sorted.sort_by(f64::total_cmp);
+    let pct = |q: f64| sorted[(q * (sorted.len() - 1) as f64).round() as usize];
+    EndpointLatency {
+        endpoint: "groups".to_string(),
+        requests: sorted.len(),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("SCALE must be a number"))
+        .unwrap_or(0.5);
+    let batches: usize = args
+        .next()
+        .map(|s| s.parse().expect("BATCHES must be an integer"))
+        .unwrap_or(24);
+
+    let config = MutationStreamConfig {
+        scale,
+        batches,
+        ..MutationStreamConfig::default()
+    };
+    let stream = generate_mutation_stream(&config);
+    let mut meta = BenchMeta::new(
+        "ingest",
+        [format!("province-{scale}")],
+        ["delta", "full_rebuild"],
+    );
+
+    let measured = catch_unwind(AssertUnwindSafe(|| {
+        let delta = delta_arm(&stream);
+        let full = full_rebuild_arm(&stream);
+        assert_eq!(
+            delta.groups, full.groups,
+            "arms disagree on the final detection"
+        );
+        let registry = registry_delta(&stream, 5);
+        assert!(
+            registry.speedup() >= 10.0,
+            "acceptance bar: delta apply must be >= 10x faster than a full \
+             re-fuse for a single-batch registry delta (measured {:.1}x: \
+             {:.3} ms vs {:.3} ms)",
+            registry.speedup(),
+            registry.delta_apply_ms,
+            registry.full_rebuild_ms
+        );
+        let read = read_while_ingesting(&stream.base, &stream.batches);
+        IngestBench {
+            host_cpus: meta.host_cpus,
+            records_per_batch: config.records_per_batch,
+            planted_groups: config.planted_groups,
+            workloads: vec![delta, full],
+            registry_delta: registry,
+            read_while_ingesting: read,
+        }
+    }));
+
+    let bench = match measured {
+        Ok(bench) => bench,
+        Err(_) => {
+            eprintln!("bench ingest: PANICKED — writing an aborted record");
+            meta.aborted = true;
+            IngestBench {
+                host_cpus: meta.host_cpus,
+                records_per_batch: config.records_per_batch,
+                planted_groups: config.planted_groups,
+                workloads: Vec::new(),
+                registry_delta: RegistryDeltaRecord {
+                    delta_apply_ms: 0.0,
+                    full_rebuild_ms: 0.0,
+                },
+                read_while_ingesting: EndpointLatency {
+                    endpoint: "groups".to_string(),
+                    requests: 0,
+                    p50_us: 0.0,
+                    p95_us: 0.0,
+                    p99_us: 0.0,
+                },
+            }
+        }
+    };
+
+    for w in &bench.workloads {
+        println!(
+            "bench ingest [{}]: {:.1} batches/s, apply p50 {:.1} us / p95 {:.1} us / p99 {:.1} us, {} groups",
+            w.name, w.batches_per_sec, w.apply.p50_us, w.apply.p95_us, w.apply.p99_us, w.groups
+        );
+    }
+    if !meta.aborted {
+        println!(
+            "bench ingest [registry_delta]: delta {:.3} ms vs full {:.3} ms ({:.1}x)",
+            bench.registry_delta.delta_apply_ms,
+            bench.registry_delta.full_rebuild_ms,
+            bench.registry_delta.speedup()
+        );
+        println!(
+            "bench ingest [read while ingesting]: {} reads, p50 {:.1} us / p95 {:.1} us / p99 {:.1} us",
+            bench.read_while_ingesting.requests,
+            bench.read_while_ingesting.p50_us,
+            bench.read_while_ingesting.p95_us,
+            bench.read_while_ingesting.p99_us
+        );
+    }
+    record::write_enveloped(std::path::Path::new(&path), &meta, bench.to_json())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("record -> {path} (host_cpus = {})", bench.host_cpus);
+    if meta.aborted {
+        std::process::exit(1);
+    }
+}

@@ -56,6 +56,11 @@ const EXACT_KEYS: &[&str] = &[
     "nodes",
     "threads",
     "schema_version",
+    // Ingest-bench feed shape: pure config echoes, so any drift means
+    // the benchmark silently changed its workload.
+    "batches",
+    "records_per_batch",
+    "planted_groups",
 ];
 
 /// Keys that look numeric but are never gated.  Besides host shape

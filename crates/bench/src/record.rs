@@ -650,6 +650,168 @@ impl ServeBench {
     }
 }
 
+/// Latency percentiles of one operation family, in microseconds.
+/// `p50_us`/`p95_us` are tolerance-gated by `bench_check`; `p99_us`
+/// and `max_us` stay informational (shared-runner tail noise).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyUs {
+    /// Median latency.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+impl LatencyUs {
+    /// Percentiles over an unsorted sample (microseconds).
+    pub fn from_samples(samples: &mut [f64]) -> LatencyUs {
+        samples.sort_by(f64::total_cmp);
+        let pct = |q: f64| {
+            if samples.is_empty() {
+                0.0
+            } else {
+                samples[(q * (samples.len() - 1) as f64).round() as usize]
+            }
+        };
+        LatencyUs {
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: samples.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    /// The percentiles as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("p50_us".to_string(), Json::Float(self.p50_us)),
+            ("p95_us".to_string(), Json::Float(self.p95_us)),
+            ("p99_us".to_string(), Json::Float(self.p99_us)),
+            ("max_us".to_string(), Json::Float(self.max_us)),
+        ])
+    }
+}
+
+/// One ingest arm replaying the same mutation feed end to end.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IngestArmRecord {
+    /// Arm label (`delta`, `full_rebuild`).
+    pub name: String,
+    /// Batches replayed.
+    pub batches: usize,
+    /// Suspicious groups after the full feed (exact-gated: both arms
+    /// must land on the same detection).
+    pub groups: usize,
+    /// Batches applied per second over the whole feed.
+    pub batches_per_sec: f64,
+    /// Per-batch apply latency percentiles.
+    pub apply: LatencyUs,
+}
+
+impl IngestArmRecord {
+    /// The arm as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("batches".to_string(), Json::Int(self.batches as u64)),
+            ("groups".to_string(), Json::Int(self.groups as u64)),
+            (
+                "batches_per_sec".to_string(),
+                Json::Float(self.batches_per_sec),
+            ),
+            ("apply".to_string(), self.apply.to_json()),
+        ])
+    }
+}
+
+/// The single-batch registry-delta comparison the acceptance bar
+/// names: one planted registry batch applied through the engine's
+/// bounded incremental path vs a from-scratch fuse + detect of the
+/// same resulting registry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegistryDeltaRecord {
+    /// Median milliseconds for the engine's incremental apply.
+    pub delta_apply_ms: f64,
+    /// Median milliseconds for the from-scratch fuse + detect.
+    pub full_rebuild_ms: f64,
+}
+
+impl RegistryDeltaRecord {
+    /// How much faster the incremental path is.
+    pub fn speedup(&self) -> f64 {
+        self.full_rebuild_ms / self.delta_apply_ms
+    }
+
+    /// The comparison as a JSON value (speedup pre-computed).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "delta_apply_ms".to_string(),
+                Json::Float(self.delta_apply_ms),
+            ),
+            (
+                "full_rebuild_ms".to_string(),
+                Json::Float(self.full_rebuild_ms),
+            ),
+            ("speedup".to_string(), Json::Float(self.speedup())),
+        ])
+    }
+}
+
+/// The full `BENCH_ingest.json` payload: both replay arms, the
+/// single-batch registry-delta comparison, and read latencies observed
+/// against a live daemon *while* the feed was streaming into it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IngestBench {
+    /// Hardware threads the host actually exposes.
+    pub host_cpus: usize,
+    /// Random trading records per feed batch.
+    pub records_per_batch: usize,
+    /// Evasion rings planted mid-stream.
+    pub planted_groups: usize,
+    /// The replay arms (`delta`, `full_rebuild`).
+    pub workloads: Vec<IngestArmRecord>,
+    /// Single-batch registry-delta timing.
+    pub registry_delta: RegistryDeltaRecord,
+    /// Read-side `/groups` latencies sampled while the daemon was
+    /// ingesting the feed (readers must never block on the writer).
+    pub read_while_ingesting: EndpointLatency,
+}
+
+impl IngestBench {
+    /// The record as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("host_cpus".to_string(), Json::Int(self.host_cpus as u64)),
+            (
+                "records_per_batch".to_string(),
+                Json::Int(self.records_per_batch as u64),
+            ),
+            (
+                "planted_groups".to_string(),
+                Json::Int(self.planted_groups as u64),
+            ),
+            (
+                "workloads".to_string(),
+                Json::Array(
+                    self.workloads
+                        .iter()
+                        .map(IngestArmRecord::to_json)
+                        .collect(),
+                ),
+            ),
+            ("registry_delta".to_string(), self.registry_delta.to_json()),
+            (
+                "read_while_ingesting".to_string(),
+                self.read_while_ingesting.to_json(),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -846,6 +1008,66 @@ mod tests {
         assert!(text.contains("\"host_cpus\": 4"), "envelope wins: {text}");
         assert!(!text.contains("999"));
         assert!(text.contains("\"wall_ms\": 1.5"));
+    }
+
+    #[test]
+    fn ingest_bench_serializes_arms_and_speedup() {
+        let lat = LatencyUs {
+            p50_us: 100.0,
+            p95_us: 200.0,
+            p99_us: 900.0,
+            max_us: 1200.0,
+        };
+        let arm = |name: &str, bps: f64| IngestArmRecord {
+            name: name.into(),
+            batches: 24,
+            groups: 17,
+            batches_per_sec: bps,
+            apply: lat,
+        };
+        let bench = IngestBench {
+            host_cpus: 8,
+            records_per_batch: 64,
+            planted_groups: 3,
+            workloads: vec![arm("delta", 900.0), arm("full_rebuild", 40.0)],
+            registry_delta: RegistryDeltaRecord {
+                delta_apply_ms: 0.5,
+                full_rebuild_ms: 10.0,
+            },
+            read_while_ingesting: EndpointLatency {
+                endpoint: "groups".into(),
+                requests: 500,
+                p50_us: 150.0,
+                p95_us: 400.0,
+                p99_us: 2000.0,
+            },
+        };
+        assert!((bench.registry_delta.speedup() - 20.0).abs() < 1e-12);
+        let text = bench.to_json().to_pretty();
+        for key in [
+            "\"delta\"",
+            "\"full_rebuild\"",
+            "\"batches_per_sec\"",
+            "\"apply\"",
+            "\"speedup\": 20",
+            "\"read_while_ingesting\"",
+            "\"planted_groups\": 3",
+            "\"groups\": 17",
+        ] {
+            assert!(text.contains(key), "missing {key}: {text}");
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_come_from_the_sorted_sample() {
+        let mut samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        samples.reverse();
+        let lat = LatencyUs::from_samples(&mut samples);
+        // Nearest-rank over indices 0..=99: q * 99, rounded.
+        assert_eq!(lat.p50_us, 51.0);
+        assert_eq!(lat.p95_us, 95.0);
+        assert_eq!(lat.p99_us, 99.0);
+        assert_eq!(lat.max_us, 100.0);
     }
 
     #[test]

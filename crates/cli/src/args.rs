@@ -54,6 +54,12 @@ pub struct Options {
     /// Miner specs for `detect`/`serve` (repeatable `--miner NAME`).
     /// Empty means the command's default strategy set.
     pub miners: Vec<String>,
+    /// Batches in the feed for `mutation-stream`.
+    pub batches: usize,
+    /// Random trading records per batch for `mutation-stream`.
+    pub records: usize,
+    /// Evasion rings planted mid-stream for `mutation-stream`.
+    pub planted: usize,
 }
 
 impl Default for Options {
@@ -82,6 +88,9 @@ impl Default for Options {
             trace_out: None,
             group: None,
             miners: Vec::new(),
+            batches: 20,
+            records: 64,
+            planted: 3,
         }
     }
 }
@@ -187,6 +196,21 @@ impl Options {
                     );
                 }
                 "--miner" => opts.miners.push(value("--miner")?),
+                "--batches" => {
+                    opts.batches = value("--batches")?
+                        .parse()
+                        .map_err(|e| format!("--batches: {e}"))?;
+                }
+                "--records" => {
+                    opts.records = value("--records")?
+                        .parse()
+                        .map_err(|e| format!("--records: {e}"))?;
+                }
+                "--planted" => {
+                    opts.planted = value("--planted")?
+                        .parse()
+                        .map_err(|e| format!("--planted: {e}"))?;
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -269,6 +293,12 @@ mod tests {
             "rules",
             "--miner",
             "circular",
+            "--batches",
+            "6",
+            "--records",
+            "16",
+            "--planted",
+            "1",
         ])
         .unwrap();
         assert_eq!(opts.scale, 0.5);
@@ -294,6 +324,9 @@ mod tests {
         assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
         assert_eq!(opts.group, Some(2));
         assert_eq!(opts.miners, vec!["rules", "circular"]);
+        assert_eq!(opts.batches, 6);
+        assert_eq!(opts.records, 16);
+        assert_eq!(opts.planted, 1);
     }
 
     #[test]

@@ -32,6 +32,9 @@ COMMANDS:
                   strategy that owns the group, default rules)
   query           Groups behind one trading arc (--arc SELLER,BUYER)
   save-province   Write the synthetic province as CSV files (--dir)
+  mutation-stream Write a replayable delta feed: base registry CSV
+                  (--dir) + JSONL mutation batches (--out), planted
+                  evasion rings appearing only mid-stream
   import          Load a CSV registry (--dir), detect, print summary
   report          Detect and write susGroup/susTrade/summary files (--dir)
   two-phase       Full Fig. 4 flow: MSG + ITE screening vs one-by-one
@@ -57,6 +60,10 @@ FLAGS:
   --miner NAME  detection strategy for `detect`/`explain`/`serve`
                 (repeatable): rules | baseline | circular |
                 windowed:<inner>@<start>..<end>  (feed sequence numbers)
+  --batches N   mutation-stream: batches in the feed (default 20)
+  --records N   mutation-stream: trading records per batch (default 64)
+  --planted N   mutation-stream: evasion rings planted mid-stream
+                (default 3)
 
 SERVING (`serve` / `save-snapshot`):
   --addr A:P    listen address (default 127.0.0.1:7878; port 0 = ephemeral)
@@ -64,6 +71,9 @@ SERVING (`serve` / `save-snapshot`):
   --workers N   request worker threads (default 4)
   --request-timeout-ms N  per-request deadline (default 2000)
   --dataset D   fig7 | province — dataset when no --snapshot (default fig7)
+  --dir PATH    serve a CSV registry registry-backed: POST /ingest
+                accepts the full mutation vocabulary (e.g. the feed
+                `mutation-stream` writes), not just trading appends
   --format F    save-snapshot encoding: text | bin (zero-copy binary;
                 readers auto-detect either format by magic bytes)
   --watch       poll the snapshot file and hot-reload on change
@@ -465,6 +475,39 @@ pub fn save_province(opts: &Options) -> Result<(), tpiin::Error> {
     Ok(())
 }
 
+/// `tpiin mutation-stream` — write a replayable delta feed: the base
+/// antecedent registry as CSV (`--dir`) and the mutation batches as a
+/// JSONL feed (`--out`), one `POST /ingest` body per line.
+pub fn mutation_stream(opts: &Options) -> Result<(), tpiin::Error> {
+    let dir = opts.dir.as_deref().ok_or_else(|| {
+        tpiin::Error::Usage("mutation-stream requires --dir (base registry)".into())
+    })?;
+    let out = opts
+        .out
+        .as_deref()
+        .ok_or_else(|| tpiin::Error::Usage("mutation-stream requires --out (feed file)".into()))?;
+    let stream = tpiin_datagen::generate_mutation_stream(&tpiin_datagen::MutationStreamConfig {
+        scale: opts.scale,
+        seed: opts.seed,
+        batches: opts.batches,
+        records_per_batch: opts.records,
+        planted_groups: opts.planted,
+    });
+    tpiin_io::registry_csv::save_registry(&stream.base, std::path::Path::new(dir))?;
+    tpiin_io::mutation_feed::save_feed(&stream.batches, std::path::Path::new(out))?;
+    let mutations: usize = stream.batches.iter().map(|b| b.mutations.len()).sum();
+    println!(
+        "wrote base registry ({} persons, {} companies) to {dir}/ and {} batches \
+         ({mutations} mutations, {} rings planted at batches {:?}) to {out}",
+        stream.base.person_count(),
+        stream.base.company_count(),
+        stream.batches.len(),
+        stream.planted_at.len(),
+        stream.planted_at,
+    );
+    Ok(())
+}
+
 /// `tpiin import` — load a CSV registry, fuse, detect, print a summary.
 pub fn import(opts: &Options) -> Result<(), tpiin::Error> {
     let dir = opts
@@ -639,8 +682,15 @@ pub fn serve(opts: &Options) -> Result<(), tpiin::Error> {
         miners: opts.miners.clone(),
         ..Default::default()
     };
-    let tpiin = serving_tpiin(opts)?;
-    let handle = tpiin_serve::ServerHandle::bind(tpiin, config)?;
+    // `--dir` serves a CSV registry *registry-backed*: the daemon keeps
+    // the SourceRegistry behind the delta engine, so POST /ingest
+    // accepts the full mutation vocabulary (not just trading appends).
+    let handle = if let Some(dir) = opts.dir.as_deref() {
+        let registry = tpiin_io::registry_csv::load_registry(std::path::Path::new(dir))?;
+        tpiin_serve::ServerHandle::bind_with_registry(registry, config)?
+    } else {
+        tpiin_serve::ServerHandle::bind(serving_tpiin(opts)?, config)?
+    };
     println!("serving on http://{}", handle.addr());
     println!("stop with: curl -X POST http://{}/shutdown", handle.addr());
     handle.wait();

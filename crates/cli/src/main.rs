@@ -142,6 +142,7 @@ fn dispatch(cmd: &str, opts: &args::Options) -> Result<(), tpiin::Error> {
         "export-graphml" => commands::export_graphml(opts),
         "query" => commands::query(opts),
         "save-province" => commands::save_province(opts),
+        "mutation-stream" => commands::mutation_stream(opts),
         "import" => commands::import(opts),
         "report" => commands::report(opts),
         "two-phase" => commands::two_phase(opts),

@@ -454,6 +454,93 @@ pub fn detect(tpiin: &Tpiin) -> DetectionResult {
     Detector::default().detect(tpiin)
 }
 
+/// Everything mining one shard produces, in the shard's **local**
+/// coordinates: group node ids are local indices re-cast as [`NodeId`]s
+/// and must be remapped through [`ShardTopology::global`] before they
+/// mean anything in the full network.  Local coordinates are the point —
+/// a delta engine can cache the outcome keyed on the shard's local
+/// structure and replay it after global node ids shift.
+#[derive(Clone, Debug, Default)]
+pub struct ShardOutcome {
+    /// The shard's groups in the exact order the global merge emits them:
+    /// per root (ascending), matched groups first, then that root's
+    /// not-yet-seen circles.  Suspicious arcs are recoverable as the
+    /// distinct `trading_arc`s; complex/simple counts from the `kind` and
+    /// `simple` fields.
+    pub groups: Vec<SuspiciousGroup>,
+    /// Total patterns-tree nodes across the shard's roots.
+    pub tree_nodes: usize,
+    /// Total component patterns across the shard's roots.
+    pub patterns: usize,
+    /// Whether any root overflowed `max_tree_nodes`.
+    pub overflowed: bool,
+}
+
+/// Identity-mapped view of a shard: `global(v) = v`, so [`mine_root`]
+/// emits local ids through the one shared mining kernel.
+struct LocalShard<'a, S: ?Sized>(&'a S);
+
+impl<S: ShardTopology + ?Sized> ShardTopology for LocalShard<'_, S> {
+    fn shard_index(&self) -> usize {
+        self.0.shard_index()
+    }
+    fn node_count(&self) -> usize {
+        self.0.node_count()
+    }
+    fn global(&self, v: u32) -> NodeId {
+        NodeId::from_index(v as usize)
+    }
+    fn influence(&self, v: u32) -> &[u32] {
+        self.0.influence(v)
+    }
+    fn trading(&self, v: u32) -> &[u32] {
+        self.0.trading(v)
+    }
+    fn influence_in_degree(&self, v: u32) -> u32 {
+        self.0.influence_in_degree(v)
+    }
+    fn trading_arc_count(&self) -> usize {
+        self.0.trading_arc_count()
+    }
+    fn is_person(&self, v: u32) -> bool {
+        self.0.is_person(v)
+    }
+}
+
+/// Serially mines every root of one shard, replicating the global
+/// merge's per-shard inner loop — matched groups in root order, then
+/// per-root circles deduplicated across the shard — and returns the
+/// outcome in local coordinates (see [`ShardOutcome`]).  Groups are
+/// always collected regardless of `config.collect_groups`, and
+/// `max_tree_nodes` applies per root exactly as in [`Detector::detect`],
+/// so concatenating remapped shard outcomes over a segmentation reproduces
+/// the global result's group sequence bit for bit.
+pub fn mine_shard<S: ShardTopology + ?Sized>(sub: &S, config: &DetectorConfig) -> ShardOutcome {
+    let config = DetectorConfig {
+        collect_groups: true,
+        ..*config
+    };
+    let mut out = ShardOutcome::default();
+    if sub.trading_arc_count() == 0 {
+        return out;
+    }
+    let local = LocalShard(sub);
+    let mut seen_circles: HashSet<Vec<u32>> = HashSet::new();
+    for root in sub.zero_indegree_roots() {
+        let mined = mine_root(&local, root, &config, None);
+        out.tree_nodes += mined.tree_nodes;
+        out.patterns += mined.patterns;
+        out.overflowed |= mined.overflowed;
+        out.groups.extend(mined.groups);
+        for (key, group) in mined.circles {
+            if seen_circles.insert(key) {
+                out.groups.push(group);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,7 +39,6 @@
 
 mod baseline_impl;
 mod detector;
-mod incremental;
 mod listd;
 mod matching;
 mod miner;
@@ -54,8 +53,7 @@ mod subtpiin;
 mod topology;
 mod tree;
 
-pub use detector::{detect, Detector, DetectorConfig};
-pub use incremental::{BatchOutcome, IncrementalDetector, IngestStats};
+pub use detector::{detect, mine_shard, Detector, DetectorConfig, ShardOutcome};
 pub use listd::listd_order;
 pub use matching::match_root;
 pub use miner::{
@@ -70,7 +68,7 @@ pub use result::{DetectionResult, GroupKind, SubTpiinStats, SuspiciousGroup};
 pub use stats::{
     group_size_histogram, groups_per_suspicious_arc, node_involvement, top_involved, Involvement,
 };
-pub use subtpiin::{segment_tpiin, subtpiin_from_arcs, whole_tpiin, SubTpiin};
+pub use subtpiin::{segment_one, segment_tpiin, subtpiin_from_arcs, whole_tpiin, SubTpiin};
 pub use topology::ShardTopology;
 pub use tree::{PatternsTree, TreeNode};
 

@@ -85,10 +85,11 @@ pub trait GroupMiner: Send + Sync {
         false
     }
 
-    /// Incremental hook: whether streaming trading batches can extend
-    /// this strategy's result through [`crate::IncrementalDetector`]
-    /// instead of a full re-mine (only the Rule 1/Rule 2 ancestor-cone
-    /// query supports that today).
+    /// Incremental hook: whether streaming mutation batches can extend
+    /// this strategy's result through the delta engine's shard-cached
+    /// re-mine (`tpiin-delta`) instead of a full re-mine (only the
+    /// Rule 1/Rule 2 shard kernel — [`crate::mine_shard`] — supports
+    /// that today).
     fn supports_incremental(&self) -> bool {
         false
     }

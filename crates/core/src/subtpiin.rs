@@ -222,6 +222,49 @@ pub fn segment_tpiin(tpiin: &Tpiin) -> Vec<SubTpiin> {
         .collect()
 }
 
+/// Re-segments a *single* antecedent component whose membership is
+/// already known — the delta engine's shard-splice path, which tracks
+/// per-node component assignments across batches and rebuilds only the
+/// shards a batch touched instead of re-running [`segment_tpiin`] over
+/// the whole network.
+///
+/// `members` must list exactly the component's nodes in ascending
+/// global id order (the order [`segment_tpiin`] emits).  Trading arcs
+/// whose target falls outside `members` cross components and are
+/// skipped, just as global segmentation skips them.  The result is the
+/// [`SubTpiin`] that `segment_tpiin(tpiin)[index]` would produce.
+pub fn segment_one(tpiin: &Tpiin, index: usize, members: Vec<NodeId>) -> SubTpiin {
+    let csr = tpiin.csr();
+    let mut local_of = vec![u32::MAX; csr.node_count()];
+    for (local, &g) in members.iter().enumerate() {
+        local_of[g.index()] = local as u32;
+    }
+    let m = members.len();
+    let mut influence_out: Vec<Vec<u32>> = vec![Vec::new(); m];
+    let mut trading_out: Vec<Vec<u32>> = vec![Vec::new(); m];
+    for (local, &g) in members.iter().enumerate() {
+        let gv = g.index() as u32;
+        for &t in csr.out(INFLUENCE_LANE, gv) {
+            debug_assert_ne!(
+                local_of[t as usize],
+                u32::MAX,
+                "influence arcs never leave a weak antecedent component"
+            );
+            influence_out[local].push(local_of[t as usize]);
+        }
+        for &t in csr.out(TRADING_LANE, gv) {
+            if local_of[t as usize] != u32::MAX {
+                trading_out[local].push(local_of[t as usize]);
+            }
+        }
+    }
+    let is_person = members
+        .iter()
+        .map(|&g| tpiin.color(g) == NodeColor::Person)
+        .collect();
+    SubTpiin::from_adjacency(index, members, &influence_out, &trading_out, is_person)
+}
+
 /// Builds one [`SubTpiin`] covering the *whole* TPIIN, skipping the
 /// divide-and-conquer segmentation of Algorithm 1.  Mining it produces the
 /// same groups (trails never cross antecedent components), but without
@@ -381,6 +424,32 @@ mod tests {
             segmented.suspicious_trading_arcs,
             unsegmented.suspicious_trading_arcs
         );
+    }
+
+    #[test]
+    fn segment_one_matches_global_segmentation_per_component() {
+        let sources = [
+            tpiin_fusion::fuse(&two_component_registry()).unwrap().0,
+            tpiin_fusion::fuse(&tpiin_datagen::generate_province(
+                &tpiin_datagen::ProvinceConfig::scaled(0.05),
+            ))
+            .unwrap()
+            .0,
+        ];
+        for tpiin in &sources {
+            for sub in segment_tpiin(tpiin) {
+                let rebuilt = segment_one(tpiin, sub.index, sub.global.clone());
+                assert_eq!(rebuilt.index, sub.index);
+                assert_eq!(rebuilt.global, sub.global);
+                assert_eq!(rebuilt.is_person, sub.is_person);
+                assert_eq!(rebuilt.influence_in_degree, sub.influence_in_degree);
+                assert_eq!(rebuilt.trading_arc_count, sub.trading_arc_count);
+                for v in 0..sub.node_count() as u32 {
+                    assert_eq!(rebuilt.influence(v), sub.influence(v));
+                    assert_eq!(rebuilt.trading(v), sub.trading(v));
+                }
+            }
+        }
     }
 
     #[test]

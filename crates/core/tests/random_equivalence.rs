@@ -201,28 +201,37 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Streaming ingestion in arbitrary batch splits always converges to
-    /// the batch detection result.
+    /// Concatenating per-shard [`tpiin_core::mine_shard`] outcomes
+    /// (remapped from local to global coordinates) reproduces the global
+    /// detector's group sequence exactly — the invariant the delta
+    /// engine's shard cache rests on.
     #[test]
-    fn incremental_converges_for_any_batching(raw in arb_registry(), chunk in 1usize..6) {
+    fn shard_outcomes_concatenate_to_global_detection(raw in arb_registry()) {
         let registry = build(&raw);
-        let (batch_tpiin, _) = fuse(&registry).expect("valid registry fuses");
-        let batch = detect(&batch_tpiin);
-
-        let mut without_trades = registry.clone();
-        without_trades.clear_trading();
-        let (empty_tpiin, _) = fuse(&without_trades).expect("valid registry fuses");
-        let mut streaming = tpiin_core::IncrementalDetector::new(empty_tpiin);
-        let mut new_groups = Vec::new();
-        for batch_records in registry.tradings().chunks(chunk) {
-            new_groups.extend(streaming.ingest(batch_records).new_groups);
+        let (tpiin, _) = fuse(&registry).expect("valid registry fuses");
+        let global = detect(&tpiin);
+        let subs = tpiin_core::segment_tpiin(&tpiin);
+        let config = DetectorConfig::default();
+        let mut groups = Vec::new();
+        let mut overflowed = false;
+        for sub in &subs {
+            let out = tpiin_core::mine_shard(sub, &config);
+            overflowed |= out.overflowed;
+            for mut g in out.groups {
+                use tpiin_core::ShardTopology;
+                let map = |v: NodeId| sub.global(v.index() as u32);
+                g.antecedent = map(g.antecedent);
+                g.end = map(g.end);
+                g.trading_arc = (map(g.trading_arc.0), map(g.trading_arc.1));
+                for v in g.trail_with_trade.iter_mut().chain(g.trail_plain.iter_mut()) {
+                    *v = map(*v);
+                }
+                groups.push(g);
+            }
         }
-        prop_assert_eq!(new_groups.len(), batch.group_count());
-        prop_assert_eq!(streaming.suspicious_arcs(), &batch.suspicious_trading_arcs);
-        let mut a: Vec<_> = new_groups.iter().map(|g| g.key()).collect();
-        let mut b: Vec<_> = batch.groups.iter().map(|g| g.key()).collect();
-        a.sort();
-        b.sort();
-        prop_assert_eq!(a, b);
+        prop_assert_eq!(overflowed, global.overflowed);
+        let keys: Vec<Key> = groups.iter().map(|g| g.key()).collect();
+        let global_keys: Vec<Key> = global.groups.iter().map(|g| g.key()).collect();
+        prop_assert_eq!(keys, global_keys, "same groups in the same order");
     }
 }

@@ -18,6 +18,7 @@
 
 mod cases;
 mod fig7;
+mod mutation_stream;
 mod nation;
 mod province;
 mod trading;
@@ -28,6 +29,7 @@ pub use cases::{
     WINDOWED_LATE, WINDOWED_QUIET,
 };
 pub use fig7::{fig7_registry, FIG7_EXPECTED_PATTERNS};
+pub use mutation_stream::{generate_mutation_stream, MutationStream, MutationStreamConfig};
 pub use nation::{
     add_cross_province_trading, generate_nation, generate_nation_with, NationConfig,
     NATION_RATE_BRACKETS,

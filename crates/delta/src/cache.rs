@@ -1,0 +1,83 @@
+//! Shard-outcome cache keyed by local subTPIIN structure.
+//!
+//! [`tpiin_core::mine_shard`] is a pure function of a shard's *local*
+//! topology — node colors, influence adjacency, trading adjacency — so
+//! its outcome can be replayed whenever the same local structure
+//! reappears, even after global node ids shifted under a re-contraction.
+//! The key is a 128-bit signature (two independently seeded 64-bit
+//! hashes over the packed adjacency), making accidental collisions
+//! negligible; the differential test suite would surface a systematic
+//! one immediately.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use tpiin_core::{mine_shard, DetectorConfig, ShardOutcome, SubTpiin};
+
+/// Signature of a shard's local structure, independent of global node
+/// ids and of the shard's position in the segmentation.
+pub(crate) fn shard_signature(sub: &SubTpiin) -> (u64, u64) {
+    let mut a = DefaultHasher::new();
+    let mut b = DefaultHasher::new();
+    0x9e37_79b9_7f4a_7c15u64.hash(&mut a);
+    0xc2b2_ae3d_27d4_eb4fu64.hash(&mut b);
+    let n = sub.node_count() as u32;
+    for h in [&mut a, &mut b] {
+        n.hash(h);
+        for v in 0..n {
+            sub.is_person[v as usize].hash(h);
+            sub.influence(v).hash(h);
+            sub.trading(v).hash(h);
+        }
+    }
+    (a.finish(), b.finish())
+}
+
+/// Bounded map from shard signature to mined outcome (local
+/// coordinates).  On overflow the whole map is cleared — a rare, cheap
+/// reset that keeps the memory bound hard without an eviction list.
+pub(crate) struct ShardCache {
+    map: HashMap<(u64, u64), ShardOutcome>,
+    capacity: usize,
+}
+
+impl ShardCache {
+    pub(crate) fn new(capacity: usize) -> ShardCache {
+        ShardCache {
+            map: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Returns the shard's outcome (local coordinates) and whether it
+    /// came from the cache.  Misses mine the shard and memoize it.
+    pub(crate) fn lookup(
+        &mut self,
+        sub: &SubTpiin,
+        config: &DetectorConfig,
+    ) -> (ShardOutcome, bool) {
+        if self.capacity == 0 {
+            return (mine_shard(sub, config), false);
+        }
+        let key = shard_signature(sub);
+        if let Some(out) = self.map.get(&key) {
+            return (out.clone(), true);
+        }
+        let out = mine_shard(sub, config);
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+        }
+        self.map.insert(key, out.clone());
+        (out, false)
+    }
+
+    /// Drops every memoized outcome (full-rebuild fallback).
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of memoized shards.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}

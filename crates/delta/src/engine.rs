@@ -1,0 +1,1002 @@
+//! The delta-fusion engine: typed mutation batches in, a maintained
+//! TPIIN plus its mined groups out.
+
+use crate::cache::ShardCache;
+use crate::stats::DeltaStats;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use tpiin_core::{
+    segment_one, segment_tpiin, DetectionResult, DetectorConfig, GroupKind, Provenance,
+    ShardOutcome, SubTpiinStats, SuspiciousGroup,
+};
+use tpiin_fusion::compact::{Label, Members};
+use tpiin_fusion::incremental::{
+    assemble_from_labels, canonical_company_labels, company_scc_reps, company_scc_reps_delta,
+    dirty_companies, investment_wcc, person_syndicates,
+};
+use tpiin_fusion::{fuse, ArcColor, FusionError, IntraSyndicateTrade, Tpiin, TpiinArc, TpiinNode};
+use tpiin_graph::NodeId;
+use tpiin_model::{
+    CompanyId, InfluenceRecord, ModelError, Mutation, MutationBatch, SourceRegistry, TradingRecord,
+};
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaConfig {
+    /// Fraction of all companies a single batch may mark dirty before
+    /// the incremental path gives up and re-fuses from scratch.  `0.0`
+    /// forces the fallback for every antecedent delta (useful for
+    /// benchmarking the escape hatch); `1.0` never falls back on size.
+    pub blast_radius: f64,
+    /// Mining configuration used for shard re-mining.
+    pub detector: DetectorConfig,
+    /// Maximum memoized shard outcomes; `0` disables the cache.
+    pub shard_cache_capacity: usize,
+}
+
+impl Default for DeltaConfig {
+    fn default() -> Self {
+        DeltaConfig {
+            blast_radius: 0.25,
+            detector: DetectorConfig::default(),
+            shard_cache_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Which maintenance path absorbed a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaPath {
+    /// Surgical trading-arc append into the frozen network.
+    TradingAppend,
+    /// Surgical company registration: new company nodes and their
+    /// legal-person arcs spliced directly into the frozen network (plus
+    /// any trading appends riding in the same batch).  No existing node
+    /// id moves, so only the touched shards re-mine.
+    CompanyAppend,
+    /// Bounded re-contraction: syndicate labels patched, only dirty weak
+    /// components re-ran Tarjan, network reassembled from labels.
+    Incremental,
+    /// From-scratch fuse (entity removal or blast radius exceeded).
+    FullRebuild,
+}
+
+impl DeltaPath {
+    /// Stable lowercase name for JSON surfaces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeltaPath::TradingAppend => "trading_append",
+            DeltaPath::CompanyAppend => "company_append",
+            DeltaPath::Incremental => "incremental",
+            DeltaPath::FullRebuild => "full_rebuild",
+        }
+    }
+}
+
+/// Why a batch was rejected.  A rejected batch leaves the engine
+/// exactly as it was — mutations apply to a clone and swap on success.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// A mutation failed to apply (unknown entity, self arc).
+    Mutation(ModelError),
+    /// The mutated registry failed structural validation, or fusion
+    /// found the labels inconsistent.
+    Fusion(FusionError),
+    /// A registry mutation reached an engine constructed from a bare
+    /// TPIIN ([`DeltaEngine::from_tpiin`]); only trading appends are
+    /// possible without source records.
+    RegistryRequired,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::Mutation(e) => write!(f, "mutation failed: {e}"),
+            DeltaError::Fusion(e) => write!(f, "re-fusion failed: {e}"),
+            DeltaError::RegistryRequired => {
+                write!(f, "registry mutations require a registry-backed engine")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<ModelError> for DeltaError {
+    fn from(e: ModelError) -> Self {
+        DeltaError::Mutation(e)
+    }
+}
+
+impl From<FusionError> for DeltaError {
+    fn from(e: FusionError) -> Self {
+        DeltaError::Fusion(e)
+    }
+}
+
+/// Outcome of one applied batch.
+#[derive(Debug)]
+pub struct ApplyOutcome {
+    /// Which maintenance path ran.
+    pub path: DeltaPath,
+    /// Mutations that changed the registry (no-op removals excluded).
+    pub mutations_applied: usize,
+    /// Groups present after this batch that did not exist before it
+    /// (keyed by node labels, so stable across re-contraction).
+    pub new_groups: Vec<SuspiciousGroup>,
+    /// Suspicious trading arcs new with this batch, in current node ids.
+    pub new_suspicious_arcs: Vec<(NodeId, NodeId)>,
+    /// Trading records skipped because the arc was already present.
+    pub duplicates: usize,
+    /// Trading records that fell inside a company syndicate.
+    pub intra_syndicate: usize,
+    /// Arcs surgically appended (trading-append path only).
+    pub arcs_patched: usize,
+    /// SubTPIINs re-mined for this batch.
+    pub shards_remined: usize,
+    /// SubTPIINs replayed from the shard cache.
+    pub cache_hits: usize,
+}
+
+impl ApplyOutcome {
+    fn empty(path: DeltaPath) -> ApplyOutcome {
+        ApplyOutcome {
+            path,
+            mutations_applied: 0,
+            new_groups: Vec::new(),
+            new_suspicious_arcs: Vec::new(),
+            duplicates: 0,
+            intra_syndicate: 0,
+            arcs_patched: 0,
+            shards_remined: 0,
+            cache_hits: 0,
+        }
+    }
+}
+
+/// Stable identity of a group across node-id renumbering: kind plus the
+/// label sequences of both trails and the trading arc.  Labels name
+/// syndicate memberships, so the key survives re-contraction as long as
+/// the group's actual constituents are unchanged.
+fn group_label_key(tpiin: &Tpiin, g: &SuspiciousGroup) -> String {
+    let mut s = String::with_capacity(64);
+    s.push(match g.kind {
+        GroupKind::Matched => 'M',
+        GroupKind::Circle => 'O',
+    });
+    for v in [g.trading_arc.0, g.trading_arc.1] {
+        s.push('|');
+        s.push_str(tpiin.label(v));
+    }
+    s.push('#');
+    for v in &g.trail_with_trade {
+        s.push('|');
+        s.push_str(tpiin.label(*v));
+    }
+    s.push('#');
+    for v in &g.trail_plain {
+        s.push('|');
+        s.push_str(tpiin.label(*v));
+    }
+    s
+}
+
+fn arc_label_key(tpiin: &Tpiin, arc: (NodeId, NodeId)) -> (String, String) {
+    (
+        tpiin.label(arc.0).to_string(),
+        tpiin.label(arc.1).to_string(),
+    )
+}
+
+/// Maintains a fused TPIIN and its detection result under a stream of
+/// [`MutationBatch`]es.
+///
+/// Two construction modes exist:
+///
+/// * **registry-backed** ([`DeltaEngine::new`] /
+///   [`DeltaEngine::from_fused`]) — the engine owns the
+///   [`SourceRegistry`] and accepts the full mutation vocabulary, with
+///   the bit-identity guarantee against a from-scratch
+///   [`tpiin_fusion::fuse`] of the equivalent registry;
+/// * **TPIIN-only** ([`DeltaEngine::from_tpiin`]) — for restored
+///   snapshots where no registry exists.  Only trading appends are
+///   accepted (streamed arcs carry no source sequence); registry
+///   mutations are rejected with [`DeltaError::RegistryRequired`].
+pub struct DeltaEngine {
+    registry: Option<SourceRegistry>,
+    tpiin: Tpiin,
+    detection: DetectionResult,
+    /// Min-member SCC representative per company, carried across batches
+    /// so clean weak components skip Tarjan (registry mode only).
+    company_reps: Vec<u32>,
+    /// Trading arcs currently present, for append dedup.
+    seen_arcs: BTreeSet<(NodeId, NodeId)>,
+    /// Antecedent weak-component (shard) index per node, maintained
+    /// across batches: full re-segmentations rebuild it, surgical
+    /// appends extend it (a registered company joins its legal person's
+    /// component; trading arcs never change components).
+    shard_of: Vec<u32>,
+    /// Per-shard overflow flags: whether each shard's last mining run
+    /// hit the pattern-tree cap.  `DetectionResult::overflowed` is their
+    /// disjunction, so splicing one shard can recompute it.
+    shard_overflow: Vec<bool>,
+    /// Multiplicity of each group label key in the current detection.
+    group_keys: HashMap<String, u32>,
+    /// Multiplicity of each arc label key over the suspicious-arc set.
+    arc_keys: HashMap<(String, String), u32>,
+    cache: ShardCache,
+    config: DeltaConfig,
+    stats: DeltaStats,
+}
+
+/// Decrements a multiplicity map entry, removing it at zero.
+fn key_dec<K: std::hash::Hash + Eq>(map: &mut HashMap<K, u32>, key: K) {
+    match map.entry(key) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            if *e.get() <= 1 {
+                e.remove();
+            } else {
+                *e.get_mut() -= 1;
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(_) => {
+            debug_assert!(false, "key multiplicity underflow");
+        }
+    }
+}
+
+/// The surgical changes a batch made to the network, accumulated while
+/// mutations apply and consumed by the detection splice.
+#[derive(Default)]
+struct SpliceDelta {
+    /// Shards whose local structure changed (new nodes, arcs).
+    dirty: BTreeSet<usize>,
+    /// Intra-syndicate self pairs newly diverted by this batch.
+    new_intra: Vec<(NodeId, NodeId)>,
+    /// Trading arcs physically appended to the graph.
+    arcs_added: usize,
+    /// Trading records diverted into the intra-syndicate ledger.
+    intra_added: usize,
+}
+
+impl DeltaEngine {
+    /// Fuses `registry` and starts maintaining it (default config).
+    pub fn new(registry: SourceRegistry) -> Result<DeltaEngine, DeltaError> {
+        DeltaEngine::with_config(registry, DeltaConfig::default())
+    }
+
+    /// Fuses `registry` and starts maintaining it.
+    pub fn with_config(
+        registry: SourceRegistry,
+        config: DeltaConfig,
+    ) -> Result<DeltaEngine, DeltaError> {
+        let (tpiin, _) = fuse(&registry)?;
+        Ok(DeltaEngine::from_fused(registry, tpiin, config))
+    }
+
+    /// Wraps an already-fused pair.  `tpiin` must be the fusion of
+    /// `registry` (the caller typically just ran the pipeline); the
+    /// engine trusts it without re-fusing.
+    pub fn from_fused(registry: SourceRegistry, tpiin: Tpiin, config: DeltaConfig) -> DeltaEngine {
+        let reps = company_scc_reps(&registry);
+        DeltaEngine::assemble(Some(registry), tpiin, reps, config)
+    }
+
+    /// Starts maintaining a bare TPIIN (e.g. restored from a snapshot).
+    /// Only trading-append batches are accepted in this mode.
+    pub fn from_tpiin(tpiin: Tpiin) -> DeltaEngine {
+        DeltaEngine::from_tpiin_with(tpiin, DeltaConfig::default())
+    }
+
+    /// [`DeltaEngine::from_tpiin`] with an explicit configuration.
+    pub fn from_tpiin_with(tpiin: Tpiin, config: DeltaConfig) -> DeltaEngine {
+        DeltaEngine::assemble(None, tpiin, Vec::new(), config)
+    }
+
+    fn assemble(
+        registry: Option<SourceRegistry>,
+        tpiin: Tpiin,
+        company_reps: Vec<u32>,
+        config: DeltaConfig,
+    ) -> DeltaEngine {
+        let mut engine = DeltaEngine {
+            registry,
+            tpiin,
+            detection: DetectionResult::default(),
+            company_reps,
+            seen_arcs: BTreeSet::new(),
+            shard_of: Vec::new(),
+            shard_overflow: Vec::new(),
+            group_keys: HashMap::new(),
+            arc_keys: HashMap::new(),
+            cache: ShardCache::new(config.shard_cache_capacity),
+            config,
+            stats: DeltaStats::default(),
+        };
+        engine.reindex_arcs();
+        let (detection, _, _) = engine.remine();
+        for g in &detection.groups {
+            *engine
+                .group_keys
+                .entry(group_label_key(&engine.tpiin, g))
+                .or_insert(0) += 1;
+        }
+        for &arc in &detection.suspicious_trading_arcs {
+            *engine
+                .arc_keys
+                .entry(arc_label_key(&engine.tpiin, arc))
+                .or_insert(0) += 1;
+        }
+        engine.detection = detection;
+        engine
+    }
+
+    /// The network in its current state.
+    pub fn tpiin(&self) -> &Tpiin {
+        &self.tpiin
+    }
+
+    /// The detection result over the current network — bit-identical to
+    /// [`tpiin_core::detect`] over [`DeltaEngine::tpiin`].
+    pub fn detection(&self) -> &DetectionResult {
+        &self.detection
+    }
+
+    /// The maintained registry, when registry-backed.
+    pub fn registry(&self) -> Option<&SourceRegistry> {
+        self.registry.as_ref()
+    }
+
+    /// Lifetime counters across all batches.
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// Suspicious trading arcs of the current detection.
+    pub fn suspicious_arcs(&self) -> &BTreeSet<(NodeId, NodeId)> {
+        &self.detection.suspicious_trading_arcs
+    }
+
+    /// Cumulative groups discovered by streaming (not counting those
+    /// present at construction).
+    pub fn groups_found(&self) -> usize {
+        self.stats.groups_found as usize
+    }
+
+    /// Memoized shard count (for status surfaces).
+    pub fn cached_shards(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Label helper for reporting.
+    pub fn label(&self, node: NodeId) -> &str {
+        self.tpiin.label(node)
+    }
+
+    /// Legacy convenience: appends trading records as one batch.
+    pub fn ingest(&mut self, records: &[TradingRecord]) -> Result<ApplyOutcome, DeltaError> {
+        self.apply(&MutationBatch::trading(records.iter().copied()))
+    }
+
+    /// Applies one mutation batch atomically.  On `Err` the engine is
+    /// unchanged; on `Ok` the maintained network and detection equal a
+    /// from-scratch fuse + detect of the mutated registry.
+    pub fn apply(&mut self, batch: &MutationBatch) -> Result<ApplyOutcome, DeltaError> {
+        let _span = tpiin_obs::Span::at("delta/apply");
+        let outcome = if self.registry.is_none() {
+            if !batch.is_trading_only() {
+                return Err(DeltaError::RegistryRequired);
+            }
+            self.apply_trading(batch, false)?
+        } else if batch.is_trading_only() {
+            self.apply_trading(batch, true)?
+        } else if batch.renumbers_ids() {
+            self.apply_full(batch)?
+        } else if batch.is_company_append() {
+            self.apply_company_append(batch)?
+        } else {
+            self.apply_incremental(batch)?
+        };
+        self.stats.batches_applied += 1;
+        self.stats.publish_to(tpiin_obs::global());
+        Ok(outcome)
+    }
+
+    /// Trading-append fast path.  Appended records take the highest
+    /// source sequence numbers, so first-wins dedup in a from-scratch
+    /// fuse keeps exactly the pre-existing arcs plus the non-duplicate
+    /// appends — which is what the surgical patch produces.
+    fn apply_trading(
+        &mut self,
+        batch: &MutationBatch,
+        registry_mode: bool,
+    ) -> Result<ApplyOutcome, DeltaError> {
+        let records: Vec<TradingRecord> = batch
+            .mutations
+            .iter()
+            .map(|m| match m {
+                Mutation::AddTrading(r) => *r,
+                _ => unreachable!("caller checked is_trading_only"),
+            })
+            .collect();
+        // Validate the whole batch before touching anything (atomicity).
+        let nc = self.tpiin.company_node.len() as u32;
+        for r in &records {
+            for c in [r.seller, r.buyer] {
+                if c.0 >= nc {
+                    return Err(DeltaError::Mutation(ModelError::UnknownCompany(c)));
+                }
+            }
+            if registry_mode && r.seller == r.buyer {
+                // The registry rejects self arcs; the TPIIN-only mode
+                // keeps the retired streaming detector's behavior and
+                // treats them as (trivially) intra-syndicate.
+                return Err(DeltaError::Mutation(ModelError::SelfCompanyArc(r.seller)));
+            }
+        }
+        let mut outcome = ApplyOutcome::empty(DeltaPath::TradingAppend);
+        let mut delta = SpliceDelta::default();
+        for r in &records {
+            let seq = if registry_mode {
+                let registry = self.registry.as_mut().expect("registry mode");
+                let seq = registry.tradings().len() as u32;
+                registry.add_trading(*r);
+                seq
+            } else {
+                // Streamed arcs with no source registry have no sequence.
+                u32::MAX
+            };
+            self.patch_trading_arc(r, seq, &mut delta, &mut outcome);
+        }
+        outcome.mutations_applied = records.len();
+        self.tpiin.refreeze();
+        self.splice_detection(&delta, &mut outcome);
+        Ok(outcome)
+    }
+
+    /// Appends one trading record to the network (the registry side, if
+    /// any, is already updated): intra-syndicate records are diverted,
+    /// duplicates dropped, and a surviving arc marks its shard dirty —
+    /// unless its endpoints sit in different antecedent components, in
+    /// which case no shard owns it and nothing needs re-mining.
+    fn patch_trading_arc(
+        &mut self,
+        r: &TradingRecord,
+        seq: u32,
+        delta: &mut SpliceDelta,
+        outcome: &mut ApplyOutcome,
+    ) {
+        self.stats.records_ingested += 1;
+        let seller = self.tpiin.company_node[r.seller.index()];
+        let buyer = self.tpiin.company_node[r.buyer.index()];
+        if seller == buyer {
+            outcome.intra_syndicate += 1;
+            self.stats.intra_syndicate += 1;
+            self.tpiin.intra_syndicate_trades.push(IntraSyndicateTrade {
+                seller: r.seller,
+                buyer: r.buyer,
+                syndicate: seller,
+                volume: r.volume,
+            });
+            delta.intra_added += 1;
+            delta.new_intra.push((seller, buyer));
+            return;
+        }
+        if !self.seen_arcs.insert((seller, buyer)) {
+            outcome.duplicates += 1;
+            self.stats.duplicates += 1;
+            return;
+        }
+        self.tpiin.graph.add_edge(
+            seller,
+            buyer,
+            TpiinArc {
+                color: ArcColor::Trading,
+                weight: r.volume,
+            },
+        );
+        self.tpiin.arc_sources.push(seq);
+        self.tpiin.trading_arc_count += 1;
+        self.stats.arcs_added += 1;
+        self.stats.arcs_patched += 1;
+        outcome.arcs_patched += 1;
+        delta.arcs_added += 1;
+        let (s, b) = (self.shard_of[seller.index()], self.shard_of[buyer.index()]);
+        if s == b {
+            delta.dirty.insert(s as usize);
+        }
+    }
+
+    /// Surgical path for batches that only register companies and append
+    /// trading records.  This class never renumbers an existing node: the
+    /// fused network lays out person-syndicate nodes before company
+    /// nodes, and a freshly registered company is a singleton investment
+    /// SCC with the highest company id, so a from-scratch rebuild would
+    /// append its node at the very end of the node list — exactly what
+    /// `add_node` does.  Its legal-person arc is spliced into the
+    /// influence partition at the position the from-scratch sequence
+    /// ordering dictates, the company joins its legal person's antecedent
+    /// component, and only the touched shards re-mine.
+    fn apply_company_append(&mut self, batch: &MutationBatch) -> Result<ApplyOutcome, DeltaError> {
+        // Validate the whole batch up front (atomicity without cloning
+        // the registry), mirroring `Mutation::apply`: legal persons must
+        // exist, trading endpoints may reference companies registered
+        // earlier in the same batch, self arcs are rejected.
+        let registry = self.registry.as_ref().expect("registry mode");
+        let np = registry.person_count() as u32;
+        let mut vc = registry.company_count() as u32;
+        for m in &batch.mutations {
+            match m {
+                Mutation::AddCompany { legal_person, .. } => {
+                    if legal_person.0 >= np {
+                        return Err(DeltaError::Mutation(ModelError::UnknownPerson(
+                            *legal_person,
+                        )));
+                    }
+                    vc += 1;
+                }
+                Mutation::AddTrading(r) => {
+                    for c in [r.seller, r.buyer] {
+                        if c.0 >= vc {
+                            return Err(DeltaError::Mutation(ModelError::UnknownCompany(c)));
+                        }
+                    }
+                    if r.seller == r.buyer {
+                        return Err(DeltaError::Mutation(ModelError::SelfCompanyArc(r.seller)));
+                    }
+                }
+                _ => unreachable!("caller checked is_company_append"),
+            }
+        }
+
+        let mut outcome = ApplyOutcome::empty(DeltaPath::CompanyAppend);
+        let mut delta = SpliceDelta::default();
+        for m in &batch.mutations {
+            match m {
+                Mutation::AddCompany {
+                    name,
+                    legal_person,
+                    kind,
+                } => {
+                    let registry = self.registry.as_mut().expect("registry mode");
+                    let company = registry.add_company(name.clone());
+                    let seq = registry.influences().len() as u32;
+                    registry.add_influence(InfluenceRecord {
+                        person: *legal_person,
+                        company,
+                        kind: *kind,
+                        is_legal_person: true,
+                    });
+                    let syndicate = self.tpiin.person_node[legal_person.index()];
+                    let node = self.tpiin.graph.add_node(TpiinNode::Company {
+                        label: Label::new(name),
+                        members: Members::from_slice(&[company]),
+                    });
+                    self.tpiin.company_node.push(node);
+                    // A company with no investments is its own SCC rep.
+                    self.company_reps.push(company.0);
+                    let shard = self.shard_of[syndicate.index()];
+                    self.shard_of.push(shard);
+                    delta.dirty.insert(shard as usize);
+                    // The influence partition is ordered by source
+                    // sequence (influence records, then investments
+                    // offset past them).  The new record takes the next
+                    // record sequence, so it splices in at the seq
+                    // partition point and every investment-sourced arc
+                    // behind it shifts up by one — exactly what a
+                    // from-scratch fuse of the appended registry yields.
+                    let influence_range =
+                        &mut self.tpiin.arc_sources[..self.tpiin.influence_arc_count];
+                    let pos = influence_range.partition_point(|&s| s < seq);
+                    for s in influence_range[pos..].iter_mut() {
+                        *s += 1;
+                    }
+                    self.tpiin.arc_sources.insert(pos, seq);
+                    // Stored provenances snapshot those sequences; patch
+                    // the investment-sourced ones (>= the new record's
+                    // seq) in every kept shard so they keep matching a
+                    // from-scratch assembly.  Trading source records
+                    // index the trading feed and are unaffected.
+                    for p in &mut self.detection.provenances {
+                        for arc in &mut p.influence_arcs {
+                            if let Some(rec) = &mut arc.source_record {
+                                if *rec >= seq {
+                                    *rec += 1;
+                                }
+                            }
+                        }
+                    }
+                    self.tpiin.graph.splice_edge(
+                        pos,
+                        syndicate,
+                        node,
+                        TpiinArc {
+                            color: ArcColor::Influence,
+                            weight: 1.0,
+                        },
+                    );
+                    self.tpiin.influence_arc_count += 1;
+                    self.stats.arcs_patched += 1;
+                    outcome.arcs_patched += 1;
+                }
+                Mutation::AddTrading(r) => {
+                    let registry = self.registry.as_mut().expect("registry mode");
+                    let seq = registry.tradings().len() as u32;
+                    registry.add_trading(*r);
+                    self.patch_trading_arc(r, seq, &mut delta, &mut outcome);
+                }
+                _ => unreachable!("validated above"),
+            }
+        }
+        outcome.mutations_applied = batch.mutations.len();
+        self.stats.company_appends += 1;
+        self.tpiin.refreeze();
+        self.splice_detection(&delta, &mut outcome);
+        Ok(outcome)
+    }
+
+    /// Incremental path for antecedent mutations that keep entity ids:
+    /// patch syndicate labels, re-Tarjan only dirty weak components,
+    /// reassemble the network from labels.
+    fn apply_incremental(&mut self, batch: &MutationBatch) -> Result<ApplyOutcome, DeltaError> {
+        let mut next = self.registry.clone().expect("registry mode");
+        let applied = batch.apply_to_registry(&mut next)?;
+        next.validate()
+            .map_err(|errs| DeltaError::Fusion(FusionError::InvalidRegistry(errs)))?;
+
+        let endpoints: Vec<CompanyId> = batch
+            .mutations
+            .iter()
+            .flat_map(|m| match m {
+                Mutation::AddInvestment(r) => vec![r.investor, r.investee],
+                Mutation::RemoveInvestment { investor, investee } => vec![*investor, *investee],
+                _ => Vec::new(),
+            })
+            .collect();
+        let (wcc, n_wcc) = investment_wcc(&next);
+        let dirty = dirty_companies(&wcc, n_wcc, endpoints);
+        let nc = next.company_count();
+        if nc > 0 && dirty.len() as f64 > self.config.blast_radius * nc as f64 {
+            return self.rebuild_from(next, applied);
+        }
+        let reps = company_scc_reps_delta(&next, &self.company_reps, &dirty);
+        let rerun: HashSet<u32> = dirty.iter().map(|&c| reps[c as usize]).collect();
+        self.stats.sccs_rerun += rerun.len() as u64;
+        let (person_labels, person_nodes) = person_syndicates(&next);
+        let (company_labels, company_nodes) = canonical_company_labels(&reps);
+        let (tpiin, _) = assemble_from_labels(
+            &next,
+            &person_labels,
+            person_nodes,
+            &company_labels,
+            company_nodes,
+        )?;
+        self.install(next, tpiin, reps);
+        self.stats.arcs_patched += applied as u64;
+        let mut outcome = ApplyOutcome::empty(DeltaPath::Incremental);
+        outcome.mutations_applied = applied;
+        self.refresh_detection(&mut outcome);
+        Ok(outcome)
+    }
+
+    /// Full-rebuild escape hatch for id-renumbering batches.
+    fn apply_full(&mut self, batch: &MutationBatch) -> Result<ApplyOutcome, DeltaError> {
+        let mut next = self.registry.clone().expect("registry mode");
+        let applied = batch.apply_to_registry(&mut next)?;
+        self.rebuild_from(next, applied)
+    }
+
+    /// From-scratch fuse over `next`; the shard cache is flushed so the
+    /// rebuild's mining cost is honest.
+    fn rebuild_from(
+        &mut self,
+        next: SourceRegistry,
+        applied: usize,
+    ) -> Result<ApplyOutcome, DeltaError> {
+        let _span = tpiin_obs::Span::at("delta/refuse");
+        let (tpiin, _) = fuse(&next)?;
+        let reps = company_scc_reps(&next);
+        self.cache.clear();
+        self.install(next, tpiin, reps);
+        self.stats.full_rebuilds += 1;
+        let mut outcome = ApplyOutcome::empty(DeltaPath::FullRebuild);
+        outcome.mutations_applied = applied;
+        self.refresh_detection(&mut outcome);
+        Ok(outcome)
+    }
+
+    fn install(&mut self, registry: SourceRegistry, tpiin: Tpiin, reps: Vec<u32>) {
+        self.registry = Some(registry);
+        self.tpiin = tpiin;
+        self.company_reps = reps;
+        self.reindex_arcs();
+    }
+
+    fn reindex_arcs(&mut self) {
+        self.seen_arcs = self
+            .tpiin
+            .graph
+            .edges()
+            .filter(|e| e.weight.color == ArcColor::Trading)
+            .map(|e| (e.source, e.target))
+            .collect();
+    }
+
+    /// Splices a batch's surgical changes into the maintained detection:
+    /// only the dirty shards re-segment and re-mine, and their group and
+    /// provenance slices are replaced in place.  Untouched shards cost
+    /// nothing — no signature hashing, no result copying — which is what
+    /// makes a small batch O(changed shards) instead of O(network).
+    ///
+    /// The result is bit-identical to a full re-mine: shard membership
+    /// only grows along monotone paths (appends never merge or split
+    /// antecedent components, because trading arcs don't participate in
+    /// segmentation and a registered company joins its legal person's
+    /// component), so shard indices, group order, and per-shard stats
+    /// all keep the layout `remine` would produce.
+    fn splice_detection(&mut self, delta: &SpliceDelta, outcome: &mut ApplyOutcome) {
+        let _span = tpiin_obs::Span::at("delta/splice");
+        self.detection.total_trading_arcs += delta.arcs_added + delta.intra_added;
+        self.detection.intra_syndicate_trades += delta.intra_added;
+
+        // Key-map updates are deferred: newness is judged against the
+        // maps as they stood before this batch (matching the full
+        // refresh, which diffs the new detection against the old maps).
+        let mut group_removed: Vec<String> = Vec::new();
+        let mut group_added: Vec<String> = Vec::new();
+        let mut arc_removed: Vec<(String, String)> = Vec::new();
+        let mut arc_added: Vec<(String, String)> = Vec::new();
+
+        for &(s, b) in &delta.new_intra {
+            if self.detection.suspicious_trading_arcs.insert((s, b)) {
+                let key = arc_label_key(&self.tpiin, (s, b));
+                if !self.arc_keys.contains_key(&key) {
+                    outcome.new_suspicious_arcs.push((s, b));
+                }
+                arc_added.push(key);
+            }
+        }
+
+        for &idx in &delta.dirty {
+            // Rebuild the shard from the maintained membership map; the
+            // scan keeps ascending node-id order, which is the member
+            // order global segmentation emits.
+            let members: Vec<NodeId> = self
+                .shard_of
+                .iter()
+                .enumerate()
+                .filter(|&(_, &s)| s as usize == idx)
+                .map(|(v, _)| NodeId::from_index(v))
+                .collect();
+            let sub = segment_one(&self.tpiin, idx, members);
+
+            // This shard's slice of the group list, via per-shard counts.
+            let start: usize = self.detection.per_subtpiin[..idx]
+                .iter()
+                .map(|s| s.groups)
+                .sum();
+            let old_len = self.detection.per_subtpiin[idx].groups;
+            for i in start..start + old_len {
+                let (key, arc, complex) = {
+                    let g = &self.detection.groups[i];
+                    (
+                        group_label_key(&self.tpiin, g),
+                        g.trading_arc,
+                        g.kind == GroupKind::Matched && !g.simple,
+                    )
+                };
+                group_removed.push(key);
+                if complex {
+                    self.detection.complex_group_count -= 1;
+                } else {
+                    self.detection.simple_group_count -= 1;
+                }
+                // Group trading arcs have distinct endpoints, so this
+                // never evicts an intra-syndicate self pair.
+                if self.detection.suspicious_trading_arcs.remove(&arc) {
+                    arc_removed.push(arc_label_key(&self.tpiin, arc));
+                }
+            }
+
+            let out = if sub.trading_arc_count == 0 {
+                ShardOutcome::default()
+            } else {
+                let (out, hit) = self.cache.lookup(&sub, &self.config.detector);
+                if hit {
+                    outcome.cache_hits += 1;
+                    self.stats.shard_cache_hits += 1;
+                } else {
+                    outcome.shards_remined += 1;
+                    self.stats.shards_remined += 1;
+                }
+                out
+            };
+            let stats_entry = &mut self.detection.per_subtpiin[idx];
+            stats_entry.nodes = sub.node_count();
+            stats_entry.influence_arcs = sub.influence_arc_count();
+            stats_entry.trading_arcs = sub.trading_arc_count;
+            stats_entry.tree_nodes = out.tree_nodes;
+            stats_entry.patterns = out.patterns;
+            stats_entry.groups = out.groups.len();
+            self.shard_overflow[idx] = out.overflowed;
+
+            let mut spliced = Vec::with_capacity(out.groups.len());
+            for mut g in out.groups {
+                let map = |v: NodeId| sub.global[v.index()];
+                g.subtpiin = idx;
+                g.antecedent = map(g.antecedent);
+                g.end = map(g.end);
+                g.trading_arc = (map(g.trading_arc.0), map(g.trading_arc.1));
+                for v in g
+                    .trail_with_trade
+                    .iter_mut()
+                    .chain(g.trail_plain.iter_mut())
+                {
+                    *v = map(*v);
+                }
+                if g.kind == GroupKind::Matched && !g.simple {
+                    self.detection.complex_group_count += 1;
+                } else {
+                    self.detection.simple_group_count += 1;
+                }
+                if self.detection.suspicious_trading_arcs.insert(g.trading_arc) {
+                    let key = arc_label_key(&self.tpiin, g.trading_arc);
+                    if !self.arc_keys.contains_key(&key) {
+                        outcome.new_suspicious_arcs.push(g.trading_arc);
+                    }
+                    arc_added.push(key);
+                }
+                let gkey = group_label_key(&self.tpiin, &g);
+                if !self.group_keys.contains_key(&gkey) {
+                    outcome.new_groups.push(g.clone());
+                }
+                group_added.push(gkey);
+                spliced.push(g);
+            }
+            // Provenance only assembles for the re-mined shard's groups;
+            // every other shard's records move (not clone) in place.
+            let provs: Vec<Provenance> = spliced
+                .iter()
+                .map(|g| Provenance::assemble(&self.tpiin, g))
+                .collect();
+            self.detection
+                .provenances
+                .splice(start..start + old_len, provs);
+            self.detection
+                .groups
+                .splice(start..start + old_len, spliced);
+        }
+        self.detection.overflowed = self.shard_overflow.iter().any(|&o| o);
+        // The full refresh reports new arcs in suspicious-set order.
+        outcome.new_suspicious_arcs.sort_unstable();
+        self.stats.groups_found += outcome.new_groups.len() as u64;
+        for key in group_removed {
+            key_dec(&mut self.group_keys, key);
+        }
+        for key in group_added {
+            *self.group_keys.entry(key).or_insert(0) += 1;
+        }
+        for key in arc_removed {
+            key_dec(&mut self.arc_keys, key);
+        }
+        for key in arc_added {
+            *self.arc_keys.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    /// Re-mines the current network through the shard cache and swaps
+    /// the detection in, diffing groups and arcs by label key.
+    fn refresh_detection(&mut self, outcome: &mut ApplyOutcome) {
+        let (detection, remined, hits) = self.remine();
+        outcome.shards_remined = remined;
+        outcome.cache_hits = hits;
+        self.stats.shards_remined += remined as u64;
+        self.stats.shard_cache_hits += hits as u64;
+
+        let mut next_group_keys: HashMap<String, u32> =
+            HashMap::with_capacity(detection.groups.len());
+        for g in &detection.groups {
+            let key = group_label_key(&self.tpiin, g);
+            if !self.group_keys.contains_key(&key) {
+                outcome.new_groups.push(g.clone());
+            }
+            *next_group_keys.entry(key).or_insert(0) += 1;
+        }
+        let mut next_arc_keys: HashMap<(String, String), u32> =
+            HashMap::with_capacity(detection.suspicious_trading_arcs.len());
+        for &arc in &detection.suspicious_trading_arcs {
+            let key = arc_label_key(&self.tpiin, arc);
+            if !self.arc_keys.contains_key(&key) {
+                outcome.new_suspicious_arcs.push(arc);
+            }
+            *next_arc_keys.entry(key).or_insert(0) += 1;
+        }
+        self.stats.groups_found += outcome.new_groups.len() as u64;
+        self.group_keys = next_group_keys;
+        self.arc_keys = next_arc_keys;
+        self.detection = detection;
+    }
+
+    /// Rebuilds the full [`DetectionResult`] by concatenating per-shard
+    /// outcomes, replaying cached shards.  Replicates the global
+    /// detector's merge exactly (the shard-concatenation invariant is
+    /// property-tested in `tpiin-core`), so the result is bit-identical
+    /// to [`tpiin_core::detect`] over the current network.
+    fn remine(&mut self) -> (DetectionResult, usize, usize) {
+        let tpiin = &self.tpiin;
+        let subs = segment_tpiin(tpiin);
+        // Refresh the shard membership map the splice paths extend.
+        self.shard_of = vec![u32::MAX; tpiin.node_count()];
+        for sub in &subs {
+            for &g in &sub.global {
+                self.shard_of[g.index()] = sub.index as u32;
+            }
+        }
+        self.shard_overflow = vec![false; subs.len()];
+        let mut result = DetectionResult {
+            total_trading_arcs: tpiin.trading_arc_count + tpiin.intra_syndicate_trades.len(),
+            intra_syndicate_trades: tpiin.intra_syndicate_trades.len(),
+            per_subtpiin: subs
+                .iter()
+                .map(|s| SubTpiinStats {
+                    index: s.index,
+                    nodes: s.node_count(),
+                    influence_arcs: s.influence_arc_count(),
+                    trading_arcs: s.trading_arc_count,
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        };
+        for t in &tpiin.intra_syndicate_trades {
+            result.suspicious_trading_arcs.insert((
+                tpiin.company_node[t.seller.index()],
+                tpiin.company_node[t.buyer.index()],
+            ));
+        }
+        let (mut remined, mut hits) = (0usize, 0usize);
+        for sub in &subs {
+            if sub.trading_arc_count == 0 {
+                continue;
+            }
+            let (out, hit) = self.cache.lookup(sub, &self.config.detector);
+            if hit {
+                hits += 1;
+            } else {
+                remined += 1;
+            }
+            let stats = &mut result.per_subtpiin[sub.index];
+            stats.tree_nodes = out.tree_nodes;
+            stats.patterns = out.patterns;
+            stats.groups = out.groups.len();
+            self.shard_overflow[sub.index] = out.overflowed;
+            result.overflowed |= out.overflowed;
+            for mut g in out.groups {
+                let map = |v: NodeId| sub.global[v.index()];
+                g.subtpiin = sub.index;
+                g.antecedent = map(g.antecedent);
+                g.end = map(g.end);
+                g.trading_arc = (map(g.trading_arc.0), map(g.trading_arc.1));
+                for v in g
+                    .trail_with_trade
+                    .iter_mut()
+                    .chain(g.trail_plain.iter_mut())
+                {
+                    *v = map(*v);
+                }
+                if g.kind == GroupKind::Matched && !g.simple {
+                    result.complex_group_count += 1;
+                } else {
+                    result.simple_group_count += 1;
+                }
+                result.suspicious_trading_arcs.insert(g.trading_arc);
+                result.groups.push(g);
+            }
+        }
+        result.provenances = result
+            .groups
+            .iter()
+            .map(|g| Provenance::assemble(tpiin, g))
+            .collect();
+        (result, remined, hits)
+    }
+}

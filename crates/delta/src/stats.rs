@@ -1,0 +1,62 @@
+//! Lifetime counters of one [`crate::DeltaEngine`].
+
+/// Totals accumulated across every [`crate::DeltaEngine::apply`] call.
+///
+/// The first five fields keep the semantics of the retired streaming
+/// detector's ingest gauges (`ingest.records`, `ingest.duplicates`,
+/// `ingest.intra_syndicate`, `ingest.arcs_added`, `ingest.groups`); the
+/// rest are the delta-maintenance counters surfaced by `GET /status`
+/// (`delta.batches`, `delta.arcs_patched`, `delta.company_appends`,
+/// `delta.sccs_rerun`, `delta.full_rebuilds`, `delta.shards_remined`,
+/// `delta.cache_hits`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Trading records received (including duplicates).
+    pub records_ingested: u64,
+    /// Trading records skipped because the arc was already present.
+    pub duplicates: u64,
+    /// Trading records that fell inside a contracted company syndicate.
+    pub intra_syndicate: u64,
+    /// New trading arcs appended to the network.
+    pub arcs_added: u64,
+    /// Suspicious groups discovered by streaming (cumulative new groups).
+    pub groups_found: u64,
+    /// Mutation batches applied (all paths).
+    pub batches_applied: u64,
+    /// Mutations absorbed by a bounded patch (trading appends plus
+    /// incremental-path registry changes) without a full rebuild.
+    pub arcs_patched: u64,
+    /// Batches absorbed by the surgical company-append path (new company
+    /// nodes spliced in place, only touched shards re-mined).
+    pub company_appends: u64,
+    /// Strongly connected components re-run through Tarjan on the
+    /// incremental path (distinct representatives over dirty companies).
+    pub sccs_rerun: u64,
+    /// Batches that fell back to a from-scratch fuse (entity removals or
+    /// blast radius exceeded).
+    pub full_rebuilds: u64,
+    /// SubTPIINs re-mined because their local structure changed.
+    pub shards_remined: u64,
+    /// SubTPIINs whose groups replayed from the shard cache.
+    pub shard_cache_hits: u64,
+}
+
+impl DeltaStats {
+    /// Publishes the totals as gauges on `registry`.  The engine calls
+    /// this with [`tpiin_obs::global`] after every batch.
+    pub fn publish_to(&self, registry: &tpiin_obs::MetricsRegistry) {
+        let set = |name: &str, value: u64| registry.gauge(name).set(value as f64);
+        set("ingest.records", self.records_ingested);
+        set("ingest.duplicates", self.duplicates);
+        set("ingest.intra_syndicate", self.intra_syndicate);
+        set("ingest.arcs_added", self.arcs_added);
+        set("ingest.groups", self.groups_found);
+        set("delta.batches", self.batches_applied);
+        set("delta.arcs_patched", self.arcs_patched);
+        set("delta.company_appends", self.company_appends);
+        set("delta.sccs_rerun", self.sccs_rerun);
+        set("delta.full_rebuilds", self.full_rebuilds);
+        set("delta.shards_remined", self.shards_remined);
+        set("delta.cache_hits", self.shard_cache_hits);
+    }
+}

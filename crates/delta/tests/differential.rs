@@ -1,0 +1,291 @@
+//! The delta engine's correctness bar, property-tested: after **every**
+//! batch of a random mutation sequence, the incrementally maintained
+//! TPIIN, groups and provenance are bit-identical to a from-scratch
+//! [`tpiin_fusion::fuse`] + [`tpiin_core::detect`] over a shadow
+//! registry replaying the same mutations.  Rejected batches must leave
+//! the engine untouched.
+
+use proptest::prelude::*;
+use tpiin_core::detect;
+use tpiin_delta::DeltaEngine;
+use tpiin_fusion::{fuse, Tpiin};
+use tpiin_model::{
+    CompanyId, InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, Mutation,
+    MutationBatch, PersonId, Role, RoleSet, SourceRegistry, TradingRecord,
+};
+
+/// A randomly generated but always-valid base registry (same shape as
+/// tpiin-core's differential suite, scaled down because every batch
+/// boundary pays a full fuse + detect).
+#[derive(Debug, Clone)]
+struct RawRegistry {
+    np: usize,
+    nc: usize,
+    lp_of: Vec<usize>,
+    directorships: Vec<(usize, usize)>,
+    kinship: Vec<(usize, usize)>,
+    investments: Vec<(usize, usize)>,
+    trades: Vec<(usize, usize)>,
+}
+
+fn arb_registry() -> impl Strategy<Value = RawRegistry> {
+    (2usize..5, 2usize..8).prop_flat_map(|(np, nc)| {
+        (
+            proptest::collection::vec(0..np, nc),
+            proptest::collection::vec((0..np, 0..nc), 0..6),
+            proptest::collection::vec((0..np, 0..np), 0..3),
+            proptest::collection::vec((0..nc, 0..nc), 0..8),
+            proptest::collection::vec((0..nc, 0..nc), 0..8),
+        )
+            .prop_map(
+                move |(lp_of, directorships, kinship, investments, trades)| RawRegistry {
+                    np,
+                    nc,
+                    lp_of,
+                    directorships,
+                    kinship,
+                    investments,
+                    trades,
+                },
+            )
+    })
+}
+
+fn build(raw: &RawRegistry) -> SourceRegistry {
+    let mut r = SourceRegistry::new();
+    let persons: Vec<_> = (0..raw.np)
+        .map(|i| r.add_person(format!("P{i}"), RoleSet::of(&[Role::Ceo, Role::Director])))
+        .collect();
+    let companies: Vec<_> = (0..raw.nc)
+        .map(|i| r.add_company(format!("C{i}")))
+        .collect();
+    for (c, &p) in raw.lp_of.iter().enumerate() {
+        r.add_influence(InfluenceRecord {
+            person: persons[p],
+            company: companies[c],
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+    }
+    for &(p, c) in &raw.directorships {
+        r.add_influence(InfluenceRecord {
+            person: persons[p],
+            company: companies[c],
+            kind: InfluenceKind::DirectorOf,
+            is_legal_person: false,
+        });
+    }
+    for &(a, b) in &raw.kinship {
+        if a != b {
+            r.add_interdependence(persons[a], persons[b], InterdependenceKind::Kinship);
+        }
+    }
+    for &(a, b) in &raw.investments {
+        if a != b {
+            r.add_investment(InvestmentRecord {
+                investor: companies[a],
+                investee: companies[b],
+                share: 0.5,
+            });
+        }
+    }
+    for &(a, b) in &raw.trades {
+        if a != b {
+            r.add_trading(TradingRecord {
+                seller: companies[a],
+                buyer: companies[b],
+                volume: 1.0,
+            });
+        }
+    }
+    r
+}
+
+/// Abstract mutation: raw indices are interpreted against the registry
+/// state at batch start, so a spec stays meaningful while earlier
+/// batches grow and shrink the entity space.
+#[derive(Debug, Clone)]
+enum Spec {
+    AddPerson,
+    AddCompany(usize),
+    AddInterdependence(usize, usize),
+    AddInfluence(usize, usize),
+    RemoveInfluence(usize, usize),
+    AddInvestment(usize, usize),
+    RemoveInvestment(usize, usize),
+    AddTrading(usize, usize),
+    RemoveTrading(usize, usize),
+    SetTaxRate(usize),
+    RemoveCompany(usize),
+    RemovePerson(usize),
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    // The vendored prop_oneof! has no weight syntax; repeated entries
+    // bias the draw towards the structurally interesting mutations.
+    let idx = 0..32usize;
+    prop_oneof![
+        Just(Spec::AddPerson),
+        idx.clone().prop_map(Spec::AddCompany),
+        (idx.clone(), idx.clone()).prop_map(|(a, b)| Spec::AddInterdependence(a, b)),
+        (idx.clone(), idx.clone()).prop_map(|(a, b)| Spec::AddInfluence(a, b)),
+        (idx.clone(), idx.clone()).prop_map(|(a, b)| Spec::RemoveInfluence(a, b)),
+        (idx.clone(), idx.clone()).prop_map(|(a, b)| Spec::AddInvestment(a, b)),
+        (idx.clone(), idx.clone()).prop_map(|(a, b)| Spec::AddInvestment(a, b)),
+        (idx.clone(), idx.clone()).prop_map(|(a, b)| Spec::RemoveInvestment(a, b)),
+        (idx.clone(), idx.clone()).prop_map(|(a, b)| Spec::AddTrading(a, b)),
+        (idx.clone(), idx.clone()).prop_map(|(a, b)| Spec::AddTrading(a, b)),
+        (idx.clone(), idx.clone()).prop_map(|(a, b)| Spec::RemoveTrading(a, b)),
+        idx.clone().prop_map(Spec::SetTaxRate),
+        idx.clone().prop_map(Spec::RemoveCompany),
+        idx.prop_map(Spec::RemovePerson),
+    ]
+}
+
+/// Interprets a spec against the current registry; `None` when the
+/// entity space is too small to name distinct endpoints.
+fn realize(spec: &Spec, r: &SourceRegistry) -> Option<Mutation> {
+    let np = r.person_count();
+    let nc = r.company_count();
+    let person = |i: usize| PersonId((i % np) as u32);
+    let company = |i: usize| CompanyId((i % nc) as u32);
+    let distinct = |i: usize, j: usize, n: usize| {
+        let a = i % n;
+        let mut b = j % n;
+        if a == b {
+            b = (b + 1) % n;
+        }
+        (a as u32, b as u32)
+    };
+    Some(match spec {
+        Spec::AddPerson => Mutation::AddPerson {
+            name: format!("P{np}"),
+            roles: RoleSet::of(&[Role::Ceo, Role::Director]),
+        },
+        Spec::AddCompany(lp) if np > 0 => Mutation::AddCompany {
+            name: format!("C{nc}"),
+            legal_person: person(*lp),
+            kind: InfluenceKind::CeoOf,
+        },
+        Spec::AddInterdependence(a, b) if np > 1 => {
+            let (a, b) = distinct(*a, *b, np);
+            Mutation::AddInterdependence {
+                a: PersonId(a),
+                b: PersonId(b),
+                kind: InterdependenceKind::Interlocking,
+            }
+        }
+        Spec::AddInfluence(p, c) if np > 0 && nc > 0 => Mutation::AddInfluence(InfluenceRecord {
+            person: person(*p),
+            company: company(*c),
+            kind: InfluenceKind::DirectorOf,
+            is_legal_person: false,
+        }),
+        // May remove a legal-person arc: the batch must then be rejected
+        // wholesale, which is exactly what we want to exercise.
+        Spec::RemoveInfluence(p, c) if np > 0 && nc > 0 => Mutation::RemoveInfluence {
+            person: person(*p),
+            company: company(*c),
+        },
+        Spec::AddInvestment(a, b) if nc > 1 => {
+            let (a, b) = distinct(*a, *b, nc);
+            Mutation::AddInvestment(InvestmentRecord {
+                investor: CompanyId(a),
+                investee: CompanyId(b),
+                share: 0.5,
+            })
+        }
+        Spec::RemoveInvestment(a, b) if nc > 0 => Mutation::RemoveInvestment {
+            investor: company(*a),
+            investee: company(*b),
+        },
+        Spec::AddTrading(a, b) if nc > 1 => {
+            let (a, b) = distinct(*a, *b, nc);
+            Mutation::AddTrading(TradingRecord {
+                seller: CompanyId(a),
+                buyer: CompanyId(b),
+                volume: 2.0,
+            })
+        }
+        Spec::RemoveTrading(a, b) if nc > 0 => Mutation::RemoveTrading {
+            seller: company(*a),
+            buyer: company(*b),
+        },
+        Spec::SetTaxRate(c) if nc > 0 => Mutation::SetTaxRate {
+            company: company(*c),
+            rate: 0.17,
+        },
+        Spec::RemoveCompany(c) if nc > 0 => Mutation::RemoveCompany {
+            company: company(*c),
+        },
+        Spec::RemovePerson(p) if np > 0 => Mutation::RemovePerson { person: person(*p) },
+        _ => return None,
+    })
+}
+
+fn assert_identical(a: &Tpiin, b: &Tpiin) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.edge_list(), b.edge_list());
+    prop_assert_eq!(&a.person_node, &b.person_node);
+    prop_assert_eq!(&a.company_node, &b.company_node);
+    prop_assert_eq!(&a.arc_sources, &b.arc_sources);
+    prop_assert_eq!(&a.intra_syndicate_trades, &b.intra_syndicate_trades);
+    prop_assert_eq!(a.influence_arc_count, b.influence_arc_count);
+    prop_assert_eq!(a.trading_arc_count, b.trading_arc_count);
+    let la: Vec<&str> = a.graph.nodes().map(|(_, n)| n.label()).collect();
+    let lb: Vec<&str> = b.graph.nodes().map(|(_, n)| n.label()).collect();
+    prop_assert_eq!(la, lb);
+    Ok(())
+}
+
+/// Cases default to 48 (CI-friendly); `DELTA_DIFF_CASES` cranks the
+/// count up for deeper soak runs against the splice paths.
+fn case_count() -> u32 {
+    std::env::var("DELTA_DIFF_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(case_count()))]
+
+    #[test]
+    fn delta_engine_matches_full_refuse_at_every_step(
+        raw in arb_registry(),
+        script in proptest::collection::vec(proptest::collection::vec(arb_spec(), 1..4), 1..6),
+    ) {
+        let mut shadow = build(&raw);
+        let mut engine = DeltaEngine::new(shadow.clone()).expect("valid base registry");
+        for specs in &script {
+            let mutations: Vec<Mutation> =
+                specs.iter().filter_map(|s| realize(s, &shadow)).collect();
+            if mutations.is_empty() {
+                continue;
+            }
+            let batch = MutationBatch::new(mutations);
+            if engine.apply(&batch).is_ok() {
+                let mut next = shadow.clone();
+                batch
+                    .apply_to_registry(&mut next)
+                    .expect("engine accepted the batch");
+                prop_assert!(next.validate().is_ok(), "engine accepted an invalid registry");
+                shadow = next;
+            }
+            // Accepted or rejected, the engine must now equal a
+            // from-scratch pipeline over the shadow registry.
+            let (expected_tpiin, _) = fuse(&shadow).expect("shadow fuses");
+            let expected = detect(&expected_tpiin);
+            assert_identical(engine.tpiin(), &expected_tpiin)?;
+            let got = engine.detection();
+            prop_assert_eq!(&got.groups, &expected.groups);
+            prop_assert_eq!(&got.provenances, &expected.provenances);
+            prop_assert_eq!(&got.suspicious_trading_arcs, &expected.suspicious_trading_arcs);
+            prop_assert_eq!(got.complex_group_count, expected.complex_group_count);
+            prop_assert_eq!(got.simple_group_count, expected.simple_group_count);
+            prop_assert_eq!(got.total_trading_arcs, expected.total_trading_arcs);
+            prop_assert_eq!(got.intra_syndicate_trades, expected.intra_syndicate_trades);
+            prop_assert_eq!(&got.per_subtpiin, &expected.per_subtpiin);
+            prop_assert_eq!(got.overflowed, expected.overflowed);
+        }
+    }
+}

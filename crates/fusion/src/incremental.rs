@@ -1,0 +1,566 @@
+//! Incremental fusion primitives for delta maintenance.
+//!
+//! The full pipeline ([`crate::fuse_with`]) recomputes every contraction
+//! from scratch.  A delta engine replaying registry mutations can do
+//! better: person syndicates are a monotone union–find (cheap to rebuild
+//! outright), and investment SCCs only change inside the weak components
+//! touched by added/removed investment arcs.  This module provides the
+//! pieces the `tpiin-delta` crate composes:
+//!
+//! * [`person_syndicates`] — person labels via union–find, `O(P + I)`;
+//! * [`investment_wcc`] / [`dirty_companies`] — the blast region of an
+//!   investment delta (every company whose *new* weak component contains
+//!   a delta endpoint);
+//! * [`company_scc_reps`] / [`company_scc_reps_delta`] — full vs.
+//!   bounded re-Tarjan (only the dirty subset is traversed);
+//! * [`canonical_company_labels`] — the pipeline's first-appearance
+//!   dense numbering over min-member representatives;
+//! * [`assemble_from_labels`] — rebuild the [`Tpiin`] from known labels
+//!   in one serial `O(V + E)` pass with counting-sort first-wins arc
+//!   dedup, bit-identical to what [`crate::fuse_with`] produces for the
+//!   same registry.
+//!
+//! **Soundness of the dirty rule.**  Every *present* investment record
+//! has both endpoints in one new weak component; a *removed* record's
+//! endpoints land in (up to two) new components that are both marked
+//! dirty.  A clean new component therefore has exactly the membership and
+//! internal arcs it had before the delta, so its stored min-member SCC
+//! representatives carry over unchanged.  Dirty components are re-run
+//! through a fresh [`SccScratch`] — the dirty set is a union of weak
+//! components, hence closed under investment arcs as the scratch
+//! requires.  Min-member representatives make the merged labelling
+//! independent of which side computed it.
+//!
+//! None of these functions validate the registry: the delta engine
+//! performs its own (incremental) validation before calling in.
+
+use crate::compact::Members;
+use crate::pipeline::{join_labels, FusionError};
+use crate::tpiin::{ArcColor, IntraSyndicateTrade, Tpiin, TpiinArc, TpiinNode, INFLUENCE_LANE};
+use tpiin_graph::{DiGraph, NodeId, SccScratch, UnionFind};
+use tpiin_model::{CompanyId, PersonId, SourceRegistry};
+
+/// Person-syndicate labels (`G12 -> G12'`): union–find over the
+/// interdependence edges, exactly as the full pipeline computes them.
+/// Returns `(labels, syndicate_count)`.
+pub fn person_syndicates(registry: &SourceRegistry) -> (Vec<u32>, usize) {
+    let mut uf = UnionFind::new(registry.person_count());
+    for i in registry.interdependencies() {
+        uf.union(i.a.index(), i.b.index());
+    }
+    uf.into_labels()
+}
+
+/// Weak-component labels of the investment graph.  Returns
+/// `(labels, component_count)`.
+pub fn investment_wcc(registry: &SourceRegistry) -> (Vec<u32>, usize) {
+    let mut uf = UnionFind::new(registry.company_count());
+    for inv in registry.investments() {
+        uf.union(inv.investor.index(), inv.investee.index());
+    }
+    uf.into_labels()
+}
+
+/// The companies whose SCC membership an investment delta may have
+/// changed: every member of a *new* weak component containing a delta
+/// endpoint.  `endpoints` lists both companies of every added or removed
+/// investment record; out-of-range ids (e.g. a company removed by the
+/// same batch) are ignored.  The result is ascending and closed under
+/// investment arcs — a valid [`SccScratch`] subset.
+pub fn dirty_companies(
+    wcc_labels: &[u32],
+    wcc_count: usize,
+    endpoints: impl IntoIterator<Item = CompanyId>,
+) -> Vec<u32> {
+    let mut dirty_wcc = vec![false; wcc_count];
+    for c in endpoints {
+        if let Some(&label) = wcc_labels.get(c.index()) {
+            dirty_wcc[label as usize] = true;
+        }
+    }
+    (0..wcc_labels.len() as u32)
+        .filter(|&c| dirty_wcc[wcc_labels[c as usize] as usize])
+        .collect()
+}
+
+/// Flat CSR of the investment graph (counting sort over sources), the
+/// adjacency [`SccScratch`] traverses.
+fn investment_csr(registry: &SourceRegistry) -> (Vec<u32>, Vec<u32>) {
+    let nc = registry.company_count();
+    let investments = registry.investments();
+    let mut offsets = vec![0u32; nc + 1];
+    for inv in investments {
+        offsets[inv.investor.index() + 1] += 1;
+    }
+    for i in 0..nc {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut targets = vec![0u32; investments.len()];
+    for inv in investments {
+        let s = inv.investor.index();
+        targets[cursor[s] as usize] = inv.investee.0;
+        cursor[s] += 1;
+    }
+    (offsets, targets)
+}
+
+/// Min-member SCC representative of every company, from scratch (serial
+/// Tarjan over the whole investment graph).  Seeds the delta engine's
+/// carried state.
+pub fn company_scc_reps(registry: &SourceRegistry) -> Vec<u32> {
+    let nc = registry.company_count();
+    let mut reps: Vec<u32> = (0..nc as u32).collect();
+    if nc > 0 {
+        let (offsets, targets) = investment_csr(registry);
+        let all: Vec<u32> = (0..nc as u32).collect();
+        let mut scratch = SccScratch::new(nc);
+        scratch.run(&offsets, &targets, &all, |v, rep| reps[v as usize] = rep);
+    }
+    reps
+}
+
+/// Bounded re-Tarjan: carries `old_reps` over for clean companies and
+/// re-runs Tarjan only over `dirty` (ascending, closed under investment
+/// arcs — see [`dirty_companies`]).  Companies past the end of
+/// `old_reps` (registered by the current batch) default to singleton
+/// representatives; any with investment arcs are necessarily dirty and
+/// get overwritten.  A fresh scratch is built per call: [`SccScratch`]
+/// state is single-use across disjoint subsets, never reset.
+pub fn company_scc_reps_delta(
+    registry: &SourceRegistry,
+    old_reps: &[u32],
+    dirty: &[u32],
+) -> Vec<u32> {
+    let nc = registry.company_count();
+    let mut reps: Vec<u32> = (0..nc as u32)
+        .map(|c| old_reps.get(c as usize).copied().unwrap_or(c))
+        .collect();
+    if !dirty.is_empty() {
+        let (offsets, targets) = investment_csr(registry);
+        let mut scratch = SccScratch::new(nc);
+        scratch.run(&offsets, &targets, dirty, |v, rep| reps[v as usize] = rep);
+    }
+    reps
+}
+
+/// The pipeline's canonical dense company labelling: syndicates numbered
+/// by first appearance of their representative over `CompanyId` order.
+/// Returns `(labels, syndicate_count)`.
+pub fn canonical_company_labels(reps: &[u32]) -> (Vec<u32>, usize) {
+    let nc = reps.len();
+    let mut rank = vec![u32::MAX; nc];
+    let mut labels = vec![0u32; nc];
+    let mut count = 0u32;
+    for c in 0..nc {
+        let rep = reps[c] as usize;
+        if rank[rep] == u32::MAX {
+            rank[rep] = count;
+            count += 1;
+        }
+        labels[c] = rank[rep];
+    }
+    (labels, count as usize)
+}
+
+/// Arc-drop tallies from [`assemble_from_labels`], mirroring the
+/// corresponding [`crate::FusionReport`] fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RebuildCounts {
+    /// Investment records internal to a contracted SCC.
+    pub internal_investment_arcs_dropped: usize,
+    /// Parallel same-color arcs dropped by first-wins dedup.
+    pub duplicate_arcs_dropped: usize,
+}
+
+/// One candidate arc before dedup: endpoints as TPIIN node indices, the
+/// source-record sequence, and the arc weight.
+struct Cand {
+    src: u32,
+    dst: u32,
+    seq: u32,
+    weight: f64,
+}
+
+/// First-occurrence-wins dedup of one color partition in
+/// `O(nodes + candidates)`: a stable counting sort groups candidates by
+/// source node, a stamp array keeps the first destination seen per
+/// source, and survivors are emitted in their original (ascending
+/// sequence) order — the same output [`crate::fuse_with`]'s sort-based
+/// dedup produces.  Returns `(survivors, dropped)`.
+fn dedup_first_wins_counting(n_nodes: usize, items: Vec<Cand>) -> (Vec<Cand>, usize) {
+    let before = items.len();
+    let mut offsets = vec![0u32; n_nodes + 1];
+    for it in &items {
+        offsets[it.src as usize + 1] += 1;
+    }
+    for i in 0..n_nodes {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets;
+    let mut order = vec![0u32; items.len()];
+    for (i, it) in items.iter().enumerate() {
+        order[cursor[it.src as usize] as usize] = i as u32;
+        cursor[it.src as usize] += 1;
+    }
+    // `mark[dst]` holds the last source that claimed `dst`; each source's
+    // bucket is visited exactly once, so the source id is a unique stamp.
+    let mut mark = vec![u32::MAX; n_nodes];
+    let mut keep = vec![false; items.len()];
+    for &idx in &order {
+        let it = &items[idx as usize];
+        if mark[it.dst as usize] != it.src {
+            mark[it.dst as usize] = it.src;
+            keep[idx as usize] = true;
+        }
+    }
+    let survivors: Vec<Cand> = items
+        .into_iter()
+        .zip(&keep)
+        .filter_map(|(it, &k)| k.then_some(it))
+        .collect();
+    let dropped = before - survivors.len();
+    (survivors, dropped)
+}
+
+/// Rebuilds the fused TPIIN from a registry and already-known syndicate
+/// labels, in one serial pass.  This is [`crate::fuse_with`] with the
+/// validation and contraction stages cut out: given the labels the full
+/// pipeline would have computed, the output network is **bit-identical**
+/// to the full pipeline's — same node order, edge ids, arc weights,
+/// provenance, and intra-syndicate trade list.
+///
+/// Fails with [`FusionError::AntecedentNotAcyclic`] when the labels are
+/// inconsistent with the registry's investment structure (an incremental
+/// maintenance bug — valid labels always yield a DAG, Appendix A).
+pub fn assemble_from_labels(
+    registry: &SourceRegistry,
+    person_labels: &[u32],
+    person_node_count: usize,
+    company_labels: &[u32],
+    company_node_count: usize,
+) -> Result<(Tpiin, RebuildCounts), FusionError> {
+    let mut person_members: Vec<Vec<PersonId>> = vec![Vec::new(); person_node_count];
+    for (p, &label) in person_labels.iter().enumerate() {
+        person_members[label as usize].push(PersonId(p as u32));
+    }
+    let mut company_members: Vec<Vec<CompanyId>> = vec![Vec::new(); company_node_count];
+    for (c, &label) in company_labels.iter().enumerate() {
+        company_members[label as usize].push(CompanyId(c as u32));
+    }
+
+    let n_nodes = person_node_count + company_node_count;
+    let mut graph: DiGraph<TpiinNode, TpiinArc> = DiGraph::with_capacity(
+        n_nodes,
+        registry.influences().len() + registry.investments().len() + registry.tradings().len(),
+    );
+    for members in &person_members {
+        graph.add_node(TpiinNode::Person {
+            label: join_labels(members.iter().map(|&p| registry.person(p).name.as_str())),
+            members: Members::from_slice(members),
+        });
+    }
+    for members in &company_members {
+        graph.add_node(TpiinNode::Company {
+            label: join_labels(members.iter().map(|&c| registry.company(c).name.as_str())),
+            members: Members::from_slice(members),
+        });
+    }
+    let person_node: Vec<NodeId> = person_labels
+        .iter()
+        .map(|&l| NodeId::from_index(l as usize))
+        .collect();
+    let company_node: Vec<NodeId> = company_labels
+        .iter()
+        .map(|&l| NodeId::from_index(person_node_count + l as usize))
+        .collect();
+
+    // Influence partition: influence records, then investment records
+    // offset past them — the same sequence numbering the pipeline uses.
+    let influences = registry.influences();
+    let mut counts = RebuildCounts::default();
+    let mut influence_items: Vec<Cand> =
+        Vec::with_capacity(influences.len() + registry.investments().len());
+    for (i, inf) in influences.iter().enumerate() {
+        influence_items.push(Cand {
+            src: person_node[inf.person.index()].index() as u32,
+            dst: company_node[inf.company.index()].index() as u32,
+            seq: i as u32,
+            weight: 1.0,
+        });
+    }
+    for (i, inv) in registry.investments().iter().enumerate() {
+        let s = company_node[inv.investor.index()];
+        let t = company_node[inv.investee.index()];
+        if s == t {
+            counts.internal_investment_arcs_dropped += 1;
+            continue;
+        }
+        influence_items.push(Cand {
+            src: s.index() as u32,
+            dst: t.index() as u32,
+            seq: (influences.len() + i) as u32,
+            weight: inv.share,
+        });
+    }
+    let (influence_items, dropped) = dedup_first_wins_counting(n_nodes, influence_items);
+    counts.duplicate_arcs_dropped += dropped;
+    let mut arc_sources: Vec<u32> =
+        Vec::with_capacity(influence_items.len() + registry.tradings().len());
+    for it in &influence_items {
+        graph.add_edge(
+            NodeId::from_index(it.src as usize),
+            NodeId::from_index(it.dst as usize),
+            TpiinArc {
+                color: ArcColor::Influence,
+                weight: it.weight,
+            },
+        );
+        arc_sources.push(it.seq);
+    }
+    let influence_arc_count = graph.edge_count();
+
+    // Trading partition: intra-syndicate diversion precedes dedup, so a
+    // diverted record never shadows (or is shadowed by) an external arc.
+    let mut intra_syndicate_trades = Vec::new();
+    let mut trading_items: Vec<Cand> = Vec::with_capacity(registry.tradings().len());
+    for (seq, tr) in registry.tradings().iter().enumerate() {
+        let s = company_node[tr.seller.index()];
+        let t = company_node[tr.buyer.index()];
+        if s == t {
+            intra_syndicate_trades.push(IntraSyndicateTrade {
+                seller: tr.seller,
+                buyer: tr.buyer,
+                syndicate: s,
+                volume: tr.volume,
+            });
+            continue;
+        }
+        trading_items.push(Cand {
+            src: s.index() as u32,
+            dst: t.index() as u32,
+            seq: seq as u32,
+            weight: tr.volume,
+        });
+    }
+    let (trading_items, dropped) = dedup_first_wins_counting(n_nodes, trading_items);
+    counts.duplicate_arcs_dropped += dropped;
+    for it in &trading_items {
+        graph.add_edge(
+            NodeId::from_index(it.src as usize),
+            NodeId::from_index(it.dst as usize),
+            TpiinArc {
+                color: ArcColor::Trading,
+                weight: it.weight,
+            },
+        );
+        arc_sources.push(it.seq);
+    }
+    let trading_arc_count = graph.edge_count() - influence_arc_count;
+
+    let tpiin = Tpiin::assemble(
+        graph,
+        person_node,
+        company_node,
+        influence_arc_count,
+        trading_arc_count,
+        intra_syndicate_trades,
+        arc_sources,
+    );
+    if !tpiin.csr().is_acyclic(INFLUENCE_LANE) {
+        return Err(FusionError::AntecedentNotAcyclic);
+    }
+    Ok((tpiin, counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuse;
+    use tpiin_model::{
+        InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, Role, RoleSet,
+        TradingRecord,
+    };
+
+    /// The pipeline test fixture: kin legal persons, a C3<->C4 investment
+    /// cycle, external + intra-syndicate trading, one duplicate arc.
+    fn registry() -> SourceRegistry {
+        let mut r = SourceRegistry::new();
+        let l6 = r.add_person("L6", RoleSet::of(&[Role::Ceo]));
+        let lb = r.add_person("LB", RoleSet::of(&[Role::Ceo]));
+        let l9 = r.add_person("L9", RoleSet::of(&[Role::Chairman]));
+        let c1 = r.add_company("C1");
+        let c2 = r.add_company("C2");
+        let c3 = r.add_company("C3");
+        let c4 = r.add_company("C4");
+        for (p, c) in [(l6, c1), (lb, c2), (l9, c3), (l9, c4)] {
+            r.add_influence(InfluenceRecord {
+                person: p,
+                company: c,
+                kind: InfluenceKind::CeoOf,
+                is_legal_person: true,
+            });
+        }
+        r.add_interdependence(l6, lb, InterdependenceKind::Kinship);
+        for (s, t) in [(c3, c4), (c4, c3), (c1, c3)] {
+            r.add_investment(InvestmentRecord {
+                investor: s,
+                investee: t,
+                share: 0.7,
+            });
+        }
+        r.add_trading(TradingRecord {
+            seller: c1,
+            buyer: c2,
+            volume: 5.0,
+        });
+        r.add_trading(TradingRecord {
+            seller: c3,
+            buyer: c4,
+            volume: 7.0,
+        });
+        r
+    }
+
+    fn labels_of(r: &SourceRegistry) -> (Vec<u32>, usize, Vec<u32>, usize) {
+        let (pl, np) = person_syndicates(r);
+        let reps = company_scc_reps(r);
+        let (cl, nc) = canonical_company_labels(&reps);
+        (pl, np, cl, nc)
+    }
+
+    fn assert_identical(a: &Tpiin, b: &Tpiin) {
+        assert_eq!(a.edge_list(), b.edge_list());
+        assert_eq!(a.person_node, b.person_node);
+        assert_eq!(a.company_node, b.company_node);
+        assert_eq!(a.arc_sources, b.arc_sources);
+        assert_eq!(a.intra_syndicate_trades, b.intra_syndicate_trades);
+        assert_eq!(a.influence_arc_count, b.influence_arc_count);
+        assert_eq!(a.trading_arc_count, b.trading_arc_count);
+        let la: Vec<&str> = a.graph.nodes().map(|(_, n)| n.label()).collect();
+        let lb: Vec<&str> = b.graph.nodes().map(|(_, n)| n.label()).collect();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn rebuild_from_labels_matches_full_fuse_bit_for_bit() {
+        let r = registry();
+        let (full, report) = fuse(&r).unwrap();
+        let (pl, np, cl, nc) = labels_of(&r);
+        let (rebuilt, counts) = assemble_from_labels(&r, &pl, np, &cl, nc).unwrap();
+        assert_identical(&rebuilt, &full);
+        assert_eq!(
+            counts.internal_investment_arcs_dropped,
+            report.internal_investment_arcs_dropped
+        );
+        assert_eq!(counts.duplicate_arcs_dropped, report.duplicate_arcs_dropped);
+    }
+
+    #[test]
+    fn delta_reps_match_full_recompute_after_investment_changes() {
+        let mut r = registry();
+        let old_reps = company_scc_reps(&r);
+        // Grow the cycle: C2 joins via C4 -> C2 -> C3.
+        r.add_investment(InvestmentRecord {
+            investor: CompanyId(3),
+            investee: CompanyId(1),
+            share: 0.5,
+        });
+        r.add_investment(InvestmentRecord {
+            investor: CompanyId(1),
+            investee: CompanyId(2),
+            share: 0.5,
+        });
+        let (wcc, n_wcc) = investment_wcc(&r);
+        let dirty = dirty_companies(
+            &wcc,
+            n_wcc,
+            [CompanyId(3), CompanyId(1), CompanyId(1), CompanyId(2)],
+        );
+        let delta = company_scc_reps_delta(&r, &old_reps, &dirty);
+        assert_eq!(delta, company_scc_reps(&r));
+        assert_eq!(delta[1], delta[2], "C2 merged into the syndicate");
+    }
+
+    #[test]
+    fn delta_reps_handle_scc_splits_on_removal() {
+        let mut r = registry();
+        let old_reps = company_scc_reps(&r);
+        assert_eq!(old_reps[2], old_reps[3]);
+        // Break the C3 <-> C4 cycle: the syndicate must split.
+        assert!(r.remove_investment(CompanyId(3), CompanyId(2)));
+        let (wcc, n_wcc) = investment_wcc(&r);
+        let dirty = dirty_companies(&wcc, n_wcc, [CompanyId(3), CompanyId(2)]);
+        let delta = company_scc_reps_delta(&r, &old_reps, &dirty);
+        assert_eq!(delta, company_scc_reps(&r));
+        assert_ne!(delta[2], delta[3], "syndicate split");
+    }
+
+    #[test]
+    fn clean_components_are_not_re_traversed() {
+        let r = registry();
+        let old_reps = company_scc_reps(&r);
+        // A delta touching nothing: no dirty companies, reps carry over.
+        let (wcc, n_wcc) = investment_wcc(&r);
+        let dirty = dirty_companies(&wcc, n_wcc, std::iter::empty());
+        assert!(dirty.is_empty());
+        assert_eq!(company_scc_reps_delta(&r, &old_reps, &dirty), old_reps);
+    }
+
+    #[test]
+    fn new_companies_default_to_singletons() {
+        let mut r = registry();
+        let old_reps = company_scc_reps(&r);
+        r.add_person("L5", RoleSet::of(&[Role::Ceo]));
+        let c5 = r.add_company("C5");
+        r.add_influence(InfluenceRecord {
+            person: PersonId(3),
+            company: c5,
+            kind: InfluenceKind::CeoOf,
+            is_legal_person: true,
+        });
+        let (wcc, n_wcc) = investment_wcc(&r);
+        let dirty = dirty_companies(&wcc, n_wcc, std::iter::empty());
+        let delta = company_scc_reps_delta(&r, &old_reps, &dirty);
+        assert_eq!(delta, company_scc_reps(&r));
+        assert_eq!(delta[4], 4);
+    }
+
+    #[test]
+    fn dirty_set_is_closed_under_investment_arcs() {
+        let r = registry();
+        let (wcc, n_wcc) = investment_wcc(&r);
+        // Touching C3 pulls in its whole weak component {C1, C3, C4}.
+        let dirty = dirty_companies(&wcc, n_wcc, [CompanyId(2)]);
+        assert_eq!(dirty, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn counting_dedup_keeps_first_occurrence() {
+        let items = vec![
+            Cand {
+                src: 1,
+                dst: 2,
+                seq: 0,
+                weight: 0.3,
+            },
+            Cand {
+                src: 0,
+                dst: 2,
+                seq: 1,
+                weight: 0.5,
+            },
+            Cand {
+                src: 1,
+                dst: 2,
+                seq: 2,
+                weight: 0.9,
+            },
+        ];
+        let (kept, dropped) = dedup_first_wins_counting(3, items);
+        assert_eq!(dropped, 1);
+        let seqs: Vec<u32> = kept.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, [0, 1], "survivors stay in sequence order");
+        assert_eq!(kept[0].weight, 0.3, "first occurrence wins the weight");
+    }
+}

@@ -20,6 +20,7 @@
 //! individually in [`stages`] for tests and reporting.
 
 pub mod compact;
+pub mod incremental;
 pub mod stages;
 
 mod par;

@@ -447,7 +447,7 @@ pub fn fuse_with(
     Ok((tpiin, report))
 }
 
-fn join_labels<'a>(mut names: impl Iterator<Item = &'a str>) -> Label {
+pub(crate) fn join_labels<'a>(mut names: impl Iterator<Item = &'a str>) -> Label {
     let first = names.next().unwrap_or_default();
     let Some(second) = names.next() else {
         // Singleton — the overwhelmingly common case: the label inlines

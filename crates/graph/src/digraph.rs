@@ -56,19 +56,44 @@ impl Adjacency {
         }
     }
 
-    /// Appends `id` to node `v`'s row, thawing a flat layout first
+    /// Rebuilds a flat layout into nested rows so a single row can grow
     /// (inserting mid-array would shift every later row).
-    fn push_edge(&mut self, v: usize, id: EdgeId) {
+    fn thaw(&mut self) {
         if let Adjacency::Flat { offsets, ids } = self {
             let rows = (0..offsets.len() - 1)
                 .map(|u| ids[offsets[u] as usize..offsets[u + 1] as usize].to_vec())
                 .collect();
             *self = Adjacency::Nested(rows);
         }
+    }
+
+    /// Appends `id` to node `v`'s row, thawing a flat layout first.
+    fn push_edge(&mut self, v: usize, id: EdgeId) {
+        self.thaw();
         match self {
             Adjacency::Nested(rows) => rows[v].push(id),
             Adjacency::Flat { .. } => unreachable!("thawed above"),
         }
+    }
+
+    /// Shifts every stored edge id `>= pos` up by one, then inserts the
+    /// freed id `pos` into node `v`'s row at its id-sorted position.
+    /// Requires (and preserves) rows sorted ascending by edge id.
+    fn splice_edge(&mut self, v: usize, pos: usize) {
+        self.thaw();
+        let Adjacency::Nested(rows) = self else {
+            unreachable!("thawed above")
+        };
+        for row in rows.iter_mut() {
+            for id in row.iter_mut() {
+                if id.index() >= pos {
+                    *id = EdgeId::from_index(id.index() + 1);
+                }
+            }
+        }
+        let row = &mut rows[v];
+        let at = row.partition_point(|&id| id.index() < pos);
+        row.insert(at, EdgeId::from_index(pos));
     }
 
     /// Exact heap bytes of the rows' buffers.
@@ -184,6 +209,53 @@ impl<N, E> DiGraph<N, E> {
         self.out_adj.push_edge(source.index(), id);
         self.in_adj.push_edge(target.index(), id);
         id
+    }
+
+    /// Inserts a directed edge `source -> target` *at edge id `pos`*,
+    /// shifting every existing edge id `>= pos` up by one.  The result
+    /// is identical to rebuilding the graph from scratch with the new
+    /// edge spliced into the insertion sequence at that position — the
+    /// primitive that lets incremental maintenance mirror edge orders a
+    /// from-scratch build would pin (e.g. "all antecedent arcs before
+    /// all trading arcs").
+    ///
+    /// Costs O(E) for the id shift, vs O(1) for [`DiGraph::add_edge`]:
+    /// meant for small deltas against graphs whose full rebuild would
+    /// cost far more than one linear pass.
+    ///
+    /// Requires adjacency rows sorted ascending by edge id, which every
+    /// constructor in this crate establishes ([`DiGraph::add_edge`]
+    /// appends the maximum id; [`DiGraph::from_edge_list`] scatters ids
+    /// in order) and this method preserves.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a node of this graph, if
+    /// `pos > edge_count()`, or if the edge capacity is exhausted.
+    pub fn splice_edge(&mut self, pos: usize, source: NodeId, target: NodeId, weight: E) -> EdgeId {
+        assert!(
+            source.index() < self.nodes.len(),
+            "source {source:?} out of bounds"
+        );
+        assert!(
+            target.index() < self.nodes.len(),
+            "target {target:?} out of bounds"
+        );
+        assert!(
+            pos <= self.edges.len(),
+            "splice position {pos} out of bounds"
+        );
+        assert!(self.edges.len() < EdgeId::MAX, "edge capacity exhausted");
+        self.edges.insert(
+            pos,
+            EdgeSlot {
+                source,
+                target,
+                weight,
+            },
+        );
+        self.out_adj.splice_edge(source.index(), pos);
+        self.in_adj.splice_edge(target.index(), pos);
+        EdgeId::from_index(pos)
     }
 
     /// Builds a graph from complete node and edge lists in one pass —
@@ -489,6 +561,87 @@ mod tests {
             );
         }
         assert!(bulk.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn splice_edge_matches_from_scratch_insertion_order() {
+        // Splicing "x" at position 2 must equal a clean build whose
+        // insertion sequence has "x" third.
+        let (mut spliced, n) = diamond();
+        spliced.splice_edge(2, n[3], n[0], "x");
+
+        let mut rebuilt = DiGraph::new();
+        let m: Vec<_> = (0..4u32).map(|i| rebuilt.add_node(i)).collect();
+        rebuilt.add_edge(m[0], m[1], "a");
+        rebuilt.add_edge(m[0], m[2], "b");
+        rebuilt.add_edge(m[3], m[0], "x");
+        rebuilt.add_edge(m[1], m[3], "c");
+        rebuilt.add_edge(m[2], m[3], "d");
+
+        assert_eq!(spliced.edge_count(), rebuilt.edge_count());
+        for (a, b) in spliced.edges().zip(rebuilt.edges()) {
+            assert_eq!(
+                (a.id, a.source, a.target, a.weight),
+                (b.id, b.source, b.target, b.weight)
+            );
+        }
+        for v in spliced.node_ids() {
+            assert_eq!(
+                spliced.out_edges(v).map(|e| e.id).collect::<Vec<_>>(),
+                rebuilt.out_edges(v).map(|e| e.id).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                spliced.in_edges(v).map(|e| e.id).collect::<Vec<_>>(),
+                rebuilt.in_edges(v).map(|e| e.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn splice_edge_at_end_equals_add_edge() {
+        let (mut spliced, n) = diamond();
+        let (mut appended, _) = diamond();
+        let a = spliced.splice_edge(spliced.edge_count(), n[3], n[1], "e");
+        let b = appended.add_edge(n[3], n[1], "e");
+        assert_eq!(a, b);
+        for v in spliced.node_ids() {
+            assert_eq!(
+                spliced.out_edges(v).map(|e| e.id).collect::<Vec<_>>(),
+                appended.out_edges(v).map(|e| e.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn splice_edge_thaws_flat_adjacency() {
+        let (_, n) = diamond();
+        let mut bulk = DiGraph::from_edge_list(
+            (0..4u32).collect(),
+            vec![
+                (n[0], n[1], "a"),
+                (n[0], n[2], "b"),
+                (n[1], n[3], "c"),
+                (n[2], n[3], "d"),
+            ],
+        );
+        bulk.splice_edge(0, n[3], n[0], "first");
+        assert_eq!(*bulk.edge(EdgeId::from_index(0)), "first");
+        assert_eq!(*bulk.edge(EdgeId::from_index(1)), "a");
+        assert_eq!(
+            bulk.out_edges(n[0]).map(|e| *e.weight).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(
+            bulk.in_edges(n[0]).map(|e| *e.weight).collect::<Vec<_>>(),
+            vec!["first"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "splice position")]
+    fn splice_edge_rejects_out_of_range_position() {
+        let (mut g, n) = diamond();
+        g.splice_edge(99, n[0], n[1], "z");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod edgelist;
 pub mod graphml;
 pub mod groupviz;
 pub mod json;
+pub mod mutation_feed;
 pub mod registry_csv;
 pub mod reports;
 pub mod snapshot;

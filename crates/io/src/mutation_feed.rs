@@ -1,0 +1,423 @@
+//! Mutation-feed codec: [`Mutation`] / [`MutationBatch`] ⇄ JSON, plus a
+//! JSONL stream format (one batch object per line) so a delta feed can
+//! be generated once and replayed — against a [`tpiin_model::SourceRegistry`],
+//! a delta engine, or a live daemon's `POST /ingest` (each line is a
+//! valid ingest body).
+//!
+//! Wire shape, one op per object:
+//!
+//! ```json
+//! {"op":"add_person","name":"P9","roles":"CEO+D"}
+//! {"op":"add_company","name":"C4","legal_person":9,"kind":"ceo"}
+//! {"op":"add_interdependence","a":0,"b":1,"kind":"kinship"}
+//! {"op":"add_influence","person":0,"company":1,"kind":"d","legal_person":false}
+//! {"op":"remove_influence","person":0,"company":1}
+//! {"op":"add_investment","investor":0,"investee":1,"share":0.5}
+//! {"op":"remove_investment","investor":0,"investee":1}
+//! {"op":"add_trading","seller":1,"buyer":2,"volume":3.5}
+//! {"op":"remove_trading","seller":1,"buyer":2}
+//! {"op":"set_tax_rate","company":0,"rate":0.17}
+//! {"op":"remove_company","company":0}
+//! {"op":"remove_person","person":0}
+//! ```
+//!
+//! Batches wrap the ops: `{"mutations":[...]}`.  Role and influence-kind
+//! tokens are the same ones `registry_csv` uses, so the two formats stay
+//! mutually legible.
+
+use crate::error::IoError;
+use crate::json::Json;
+use crate::registry_csv::{
+    influence_kind_from_string, influence_kind_to_string, roles_from_string, roles_to_string,
+};
+use std::path::Path;
+use tpiin_model::{
+    CompanyId, InfluenceRecord, InterdependenceKind, InvestmentRecord, Mutation, MutationBatch,
+    PersonId, TradingRecord,
+};
+
+/// Encodes one mutation as a tagged JSON object.
+pub fn mutation_to_json(m: &Mutation) -> Json {
+    let obj = |fields: Vec<(&str, Json)>| {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    };
+    let id = |i: u32| Json::int(i as usize);
+    match m {
+        Mutation::AddPerson { name, roles } => obj(vec![
+            ("op", Json::string("add_person")),
+            ("name", Json::string(name.clone())),
+            ("roles", Json::string(roles_to_string(*roles))),
+        ]),
+        Mutation::AddCompany {
+            name,
+            legal_person,
+            kind,
+        } => obj(vec![
+            ("op", Json::string("add_company")),
+            ("name", Json::string(name.clone())),
+            ("legal_person", id(legal_person.0)),
+            ("kind", Json::string(influence_kind_to_string(*kind))),
+        ]),
+        Mutation::AddInterdependence { a, b, kind } => obj(vec![
+            ("op", Json::string("add_interdependence")),
+            ("a", id(a.0)),
+            ("b", id(b.0)),
+            (
+                "kind",
+                Json::string(match kind {
+                    InterdependenceKind::Kinship => "kinship",
+                    InterdependenceKind::Interlocking => "interlocking",
+                }),
+            ),
+        ]),
+        Mutation::AddInfluence(r) => obj(vec![
+            ("op", Json::string("add_influence")),
+            ("person", id(r.person.0)),
+            ("company", id(r.company.0)),
+            ("kind", Json::string(influence_kind_to_string(r.kind))),
+            ("legal_person", Json::Bool(r.is_legal_person)),
+        ]),
+        Mutation::RemoveInfluence { person, company } => obj(vec![
+            ("op", Json::string("remove_influence")),
+            ("person", id(person.0)),
+            ("company", id(company.0)),
+        ]),
+        Mutation::AddInvestment(r) => obj(vec![
+            ("op", Json::string("add_investment")),
+            ("investor", id(r.investor.0)),
+            ("investee", id(r.investee.0)),
+            ("share", Json::Number(r.share)),
+        ]),
+        Mutation::RemoveInvestment { investor, investee } => obj(vec![
+            ("op", Json::string("remove_investment")),
+            ("investor", id(investor.0)),
+            ("investee", id(investee.0)),
+        ]),
+        Mutation::AddTrading(r) => obj(vec![
+            ("op", Json::string("add_trading")),
+            ("seller", id(r.seller.0)),
+            ("buyer", id(r.buyer.0)),
+            ("volume", Json::Number(r.volume)),
+        ]),
+        Mutation::RemoveTrading { seller, buyer } => obj(vec![
+            ("op", Json::string("remove_trading")),
+            ("seller", id(seller.0)),
+            ("buyer", id(buyer.0)),
+        ]),
+        Mutation::SetTaxRate { company, rate } => obj(vec![
+            ("op", Json::string("set_tax_rate")),
+            ("company", id(company.0)),
+            ("rate", Json::Number(*rate)),
+        ]),
+        Mutation::RemoveCompany { company } => obj(vec![
+            ("op", Json::string("remove_company")),
+            ("company", id(company.0)),
+        ]),
+        Mutation::RemovePerson { person } => obj(vec![
+            ("op", Json::string("remove_person")),
+            ("person", id(person.0)),
+        ]),
+    }
+}
+
+/// Encodes a batch as `{"mutations":[...]}` — the `POST /ingest` body.
+pub fn batch_to_json(batch: &MutationBatch) -> Json {
+    Json::Object(vec![(
+        "mutations".to_string(),
+        Json::Array(batch.mutations.iter().map(mutation_to_json).collect()),
+    )])
+}
+
+fn field<'a>(v: &'a Json, key: &str, context: &str, line: usize) -> Result<&'a Json, IoError> {
+    v.get(key)
+        .ok_or_else(|| IoError::parse(context, line, format!("missing field `{key}`")))
+}
+
+fn u32_field(v: &Json, key: &str, context: &str, line: usize) -> Result<u32, IoError> {
+    let n = field(v, key, context, line)?
+        .as_f64()
+        .ok_or_else(|| IoError::parse(context, line, format!("field `{key}` must be a number")))?;
+    if n < 0.0 || n.fract() != 0.0 || n > u32::MAX as f64 {
+        return Err(IoError::parse(
+            context,
+            line,
+            format!("field `{key}` must be a u32, found {n}"),
+        ));
+    }
+    Ok(n as u32)
+}
+
+fn f64_field(v: &Json, key: &str, context: &str, line: usize) -> Result<f64, IoError> {
+    field(v, key, context, line)?
+        .as_f64()
+        .ok_or_else(|| IoError::parse(context, line, format!("field `{key}` must be a number")))
+}
+
+fn str_field<'a>(v: &'a Json, key: &str, context: &str, line: usize) -> Result<&'a str, IoError> {
+    field(v, key, context, line)?
+        .as_str()
+        .ok_or_else(|| IoError::parse(context, line, format!("field `{key}` must be a string")))
+}
+
+fn bool_field(v: &Json, key: &str, context: &str, line: usize) -> Result<bool, IoError> {
+    match field(v, key, context, line)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(IoError::parse(
+            context,
+            line,
+            format!("field `{key}` must be a boolean"),
+        )),
+    }
+}
+
+/// Decodes one tagged mutation object; `context`/`line` flavor errors.
+pub fn mutation_from_json(v: &Json, context: &str, line: usize) -> Result<Mutation, IoError> {
+    let person = |key| u32_field(v, key, context, line).map(PersonId);
+    let company = |key| u32_field(v, key, context, line).map(CompanyId);
+    Ok(match str_field(v, "op", context, line)? {
+        "add_person" => Mutation::AddPerson {
+            name: str_field(v, "name", context, line)?.to_string(),
+            roles: roles_from_string(str_field(v, "roles", context, line)?, context, line)?,
+        },
+        "add_company" => Mutation::AddCompany {
+            name: str_field(v, "name", context, line)?.to_string(),
+            legal_person: person("legal_person")?,
+            kind: influence_kind_from_string(str_field(v, "kind", context, line)?, context, line)?,
+        },
+        "add_interdependence" => Mutation::AddInterdependence {
+            a: person("a")?,
+            b: person("b")?,
+            kind: match str_field(v, "kind", context, line)? {
+                "kinship" => InterdependenceKind::Kinship,
+                "interlocking" => InterdependenceKind::Interlocking,
+                other => {
+                    return Err(IoError::parse(
+                        context,
+                        line,
+                        format!("unknown interdependence kind `{other}`"),
+                    ))
+                }
+            },
+        },
+        "add_influence" => Mutation::AddInfluence(InfluenceRecord {
+            person: person("person")?,
+            company: company("company")?,
+            kind: influence_kind_from_string(str_field(v, "kind", context, line)?, context, line)?,
+            is_legal_person: bool_field(v, "legal_person", context, line)?,
+        }),
+        "remove_influence" => Mutation::RemoveInfluence {
+            person: person("person")?,
+            company: company("company")?,
+        },
+        "add_investment" => Mutation::AddInvestment(InvestmentRecord {
+            investor: company("investor")?,
+            investee: company("investee")?,
+            share: f64_field(v, "share", context, line)?,
+        }),
+        "remove_investment" => Mutation::RemoveInvestment {
+            investor: company("investor")?,
+            investee: company("investee")?,
+        },
+        "add_trading" => Mutation::AddTrading(TradingRecord {
+            seller: company("seller")?,
+            buyer: company("buyer")?,
+            volume: f64_field(v, "volume", context, line)?,
+        }),
+        "remove_trading" => Mutation::RemoveTrading {
+            seller: company("seller")?,
+            buyer: company("buyer")?,
+        },
+        "set_tax_rate" => Mutation::SetTaxRate {
+            company: company("company")?,
+            rate: f64_field(v, "rate", context, line)?,
+        },
+        "remove_company" => Mutation::RemoveCompany {
+            company: company("company")?,
+        },
+        "remove_person" => Mutation::RemovePerson {
+            person: person("person")?,
+        },
+        other => {
+            return Err(IoError::parse(
+                context,
+                line,
+                format!("unknown mutation op `{other}`"),
+            ))
+        }
+    })
+}
+
+/// Decodes a `{"mutations":[...]}` object.
+pub fn batch_from_json(v: &Json, context: &str, line: usize) -> Result<MutationBatch, IoError> {
+    let items = match field(v, "mutations", context, line)? {
+        Json::Array(items) => items,
+        _ => {
+            return Err(IoError::parse(
+                context,
+                line,
+                "field `mutations` must be an array",
+            ))
+        }
+    };
+    let mutations = items
+        .iter()
+        .map(|m| mutation_from_json(m, context, line))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MutationBatch::new(mutations))
+}
+
+/// Renders batches as JSONL: one compact `{"mutations":[...]}` per line.
+pub fn render_feed(batches: &[MutationBatch]) -> String {
+    let mut out = String::new();
+    for batch in batches {
+        out.push_str(&batch_to_json(batch).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL feed; blank lines are skipped.
+pub fn parse_feed(text: &str, context: &str) -> Result<Vec<MutationBatch>, IoError> {
+    let mut batches = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| IoError::parse(context, i + 1, e))?;
+        batches.push(batch_from_json(&v, context, i + 1)?);
+    }
+    Ok(batches)
+}
+
+/// Writes a feed file (see [`render_feed`]).
+pub fn save_feed(batches: &[MutationBatch], path: &Path) -> Result<(), IoError> {
+    std::fs::write(path, render_feed(batches)).map_err(|e| IoError::fs(path, e))
+}
+
+/// Reads a feed file written by [`save_feed`].
+pub fn load_feed(path: &Path) -> Result<Vec<MutationBatch>, IoError> {
+    let text = std::fs::read_to_string(path).map_err(|e| IoError::fs(path, e))?;
+    parse_feed(&text, &path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpiin_model::{InfluenceKind, Role, RoleSet};
+
+    fn every_op() -> Vec<Mutation> {
+        vec![
+            Mutation::AddPerson {
+                name: "P9".into(),
+                roles: RoleSet::of(&[Role::Ceo, Role::Director]),
+            },
+            Mutation::AddCompany {
+                name: "C4".into(),
+                legal_person: PersonId(9),
+                kind: InfluenceKind::CeoOf,
+            },
+            Mutation::AddInterdependence {
+                a: PersonId(0),
+                b: PersonId(1),
+                kind: InterdependenceKind::Kinship,
+            },
+            Mutation::AddInfluence(InfluenceRecord {
+                person: PersonId(0),
+                company: CompanyId(1),
+                kind: InfluenceKind::DirectorOf,
+                is_legal_person: false,
+            }),
+            Mutation::RemoveInfluence {
+                person: PersonId(0),
+                company: CompanyId(1),
+            },
+            Mutation::AddInvestment(InvestmentRecord {
+                investor: CompanyId(0),
+                investee: CompanyId(1),
+                share: 0.5,
+            }),
+            Mutation::RemoveInvestment {
+                investor: CompanyId(0),
+                investee: CompanyId(1),
+            },
+            Mutation::AddTrading(TradingRecord {
+                seller: CompanyId(1),
+                buyer: CompanyId(2),
+                volume: 3.5,
+            }),
+            Mutation::RemoveTrading {
+                seller: CompanyId(1),
+                buyer: CompanyId(2),
+            },
+            Mutation::SetTaxRate {
+                company: CompanyId(0),
+                rate: 0.17,
+            },
+            Mutation::RemoveCompany {
+                company: CompanyId(0),
+            },
+            Mutation::RemovePerson {
+                person: PersonId(0),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_op_roundtrips_through_json() {
+        for m in every_op() {
+            let v = mutation_to_json(&m);
+            let text = v.to_string();
+            let parsed = Json::parse(&text).unwrap();
+            assert_eq!(mutation_from_json(&parsed, "t", 1).unwrap(), m, "{text}");
+        }
+    }
+
+    #[test]
+    fn feed_roundtrips_line_by_line() {
+        let ops = every_op();
+        let batches = vec![
+            MutationBatch::new(ops[..4].to_vec()),
+            MutationBatch::new(ops[4..].to_vec()),
+        ];
+        let text = render_feed(&batches);
+        assert_eq!(text.lines().count(), 2);
+        let parsed = parse_feed(&text, "feed").unwrap();
+        assert_eq!(parsed, batches);
+    }
+
+    #[test]
+    fn each_feed_line_is_an_ingest_body() {
+        let batches = vec![MutationBatch::trading([TradingRecord {
+            seller: CompanyId(1),
+            buyer: CompanyId(2),
+            volume: 3.5,
+        }])];
+        let line = render_feed(&batches);
+        let v = Json::parse(line.trim()).unwrap();
+        assert!(matches!(v.get("mutations"), Some(Json::Array(a)) if a.len() == 1));
+    }
+
+    #[test]
+    fn unknown_op_reports_context_and_line() {
+        let err = parse_feed("{\"mutations\":[{\"op\":\"teleport\"}]}\n", "feed").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("feed:1"), "{text}");
+        assert!(text.contains("teleport"), "{text}");
+    }
+
+    #[test]
+    fn fractional_ids_are_rejected() {
+        let err = parse_feed(
+            "{\"mutations\":[{\"op\":\"remove_person\",\"person\":1.5}]}\n",
+            "feed",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("u32"), "{err}");
+    }
+}

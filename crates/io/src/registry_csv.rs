@@ -21,12 +21,16 @@ use tpiin_model::{
     Role, RoleSet, SourceRegistry, TradingRecord,
 };
 
-fn roles_to_string(roles: RoleSet) -> String {
+pub(crate) fn roles_to_string(roles: RoleSet) -> String {
     let names: Vec<String> = roles.iter().map(|r| r.to_string()).collect();
     names.join("+")
 }
 
-fn roles_from_string(text: &str, context: &str, line: usize) -> Result<RoleSet, IoError> {
+pub(crate) fn roles_from_string(
+    text: &str,
+    context: &str,
+    line: usize,
+) -> Result<RoleSet, IoError> {
     let mut set = RoleSet::EMPTY;
     if text.is_empty() {
         return Ok(set);
@@ -50,7 +54,7 @@ fn roles_from_string(text: &str, context: &str, line: usize) -> Result<RoleSet, 
     Ok(set)
 }
 
-fn influence_kind_to_string(kind: InfluenceKind) -> &'static str {
+pub(crate) fn influence_kind_to_string(kind: InfluenceKind) -> &'static str {
     match kind {
         InfluenceKind::CeoAndDirectorOf => "ceo_and_d",
         InfluenceKind::CeoOf => "ceo",
@@ -59,7 +63,7 @@ fn influence_kind_to_string(kind: InfluenceKind) -> &'static str {
     }
 }
 
-fn influence_kind_from_string(
+pub(crate) fn influence_kind_from_string(
     s: &str,
     context: &str,
     line: usize,

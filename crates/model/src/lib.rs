@@ -18,6 +18,7 @@ mod company;
 mod error;
 mod ids;
 mod intern;
+mod mutation;
 mod person;
 mod registry;
 mod relationship;
@@ -27,6 +28,7 @@ pub use company::{Company, DEFAULT_TAX_RATE};
 pub use error::ModelError;
 pub use ids::{CompanyId, PersonId};
 pub use intern::{Interner, Symbol};
+pub use mutation::{Mutation, MutationBatch};
 pub use person::Person;
 pub use registry::SourceRegistry;
 pub use relationship::{

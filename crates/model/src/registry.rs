@@ -226,6 +226,128 @@ impl SourceRegistry {
         self.tradings.clear();
     }
 
+    /// Removes the *first* influence arc `person → company`, preserving
+    /// the order of the remaining records.  First-match semantics keep
+    /// replay deterministic when duplicate arcs exist: fusion's
+    /// first-wins dedup means the surviving record after removal is the
+    /// same one a from-scratch build over the mutated registry would
+    /// pick.  Returns whether a record was removed.
+    pub fn remove_influence(&mut self, person: PersonId, company: CompanyId) -> bool {
+        match self
+            .influences
+            .iter()
+            .position(|r| r.person == person && r.company == company)
+        {
+            Some(i) => {
+                self.influences.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes the *first* investment arc `investor → investee`,
+    /// preserving record order (see [`SourceRegistry::remove_influence`]
+    /// for why first-match).  Returns whether a record was removed.
+    pub fn remove_investment(&mut self, investor: CompanyId, investee: CompanyId) -> bool {
+        match self
+            .investments
+            .iter()
+            .position(|r| r.investor == investor && r.investee == investee)
+        {
+            Some(i) => {
+                self.investments.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes the *first* trading arc `seller → buyer`, preserving
+    /// record order.  Returns whether a record was removed.
+    pub fn remove_trading(&mut self, seller: CompanyId, buyer: CompanyId) -> bool {
+        match self
+            .tradings
+            .iter()
+            .position(|r| r.seller == seller && r.buyer == buyer)
+        {
+            Some(i) => {
+                self.tradings.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Deregisters a company: drops every influence, investment, and
+    /// trading record referencing it and shifts later company ids down by
+    /// one, as if the company had never been registered.  Returns `false`
+    /// (and changes nothing) when the id is out of range.
+    pub fn remove_company(&mut self, id: CompanyId) -> bool {
+        if id.index() >= self.companies.len() {
+            return false;
+        }
+        self.companies.remove(id.index());
+        if id.index() < self.tax_rates.len() {
+            self.tax_rates.remove(id.index());
+        }
+        let shift = |c: CompanyId| if c > id { CompanyId(c.0 - 1) } else { c };
+        self.influences.retain_mut(|r| {
+            if r.company == id {
+                return false;
+            }
+            r.company = shift(r.company);
+            true
+        });
+        self.investments.retain_mut(|r| {
+            if r.investor == id || r.investee == id {
+                return false;
+            }
+            r.investor = shift(r.investor);
+            r.investee = shift(r.investee);
+            true
+        });
+        self.tradings.retain_mut(|r| {
+            if r.seller == id || r.buyer == id {
+                return false;
+            }
+            r.seller = shift(r.seller);
+            r.buyer = shift(r.buyer);
+            true
+        });
+        true
+    }
+
+    /// Deregisters a person: drops every interdependence edge and
+    /// influence record referencing them and shifts later person ids down
+    /// by one.  Removing a company's legal person leaves that company
+    /// without an LP record — [`SourceRegistry::validate`] will flag it,
+    /// so a removal batch must also deregister or re-staff the affected
+    /// companies.  Returns `false` when the id is out of range.
+    pub fn remove_person(&mut self, id: PersonId) -> bool {
+        if id.index() >= self.persons.len() {
+            return false;
+        }
+        self.persons.remove(id.index());
+        let shift = |p: PersonId| if p > id { PersonId(p.0 - 1) } else { p };
+        self.interdependencies.retain_mut(|e| {
+            if e.a == id || e.b == id {
+                return false;
+            }
+            e.a = shift(e.a);
+            e.b = shift(e.b);
+            true
+        });
+        self.influences.retain_mut(|r| {
+            if r.person == id {
+                return false;
+            }
+            r.person = shift(r.person);
+            true
+        });
+        true
+    }
+
     /// Number of registered persons.
     pub fn person_count(&self) -> usize {
         self.persons.len()
@@ -780,5 +902,60 @@ mod tests {
         r.clear_trading();
         assert!(r.tradings().is_empty());
         assert_eq!(r.investments().len(), 1);
+    }
+
+    #[test]
+    fn record_removal_is_first_match_and_order_preserving() {
+        let mut r = valid_registry();
+        // Duplicate the investment arc with a different share; removal
+        // must take the first and keep the second.
+        r.add_investment(InvestmentRecord {
+            investor: CompanyId(0),
+            investee: CompanyId(1),
+            share: 0.3,
+        });
+        assert!(r.remove_investment(CompanyId(0), CompanyId(1)));
+        assert_eq!(r.investments().len(), 1);
+        assert_eq!(r.investments()[0].share, 0.3);
+        assert!(!r.remove_investment(CompanyId(1), CompanyId(0)));
+        assert!(r.remove_trading(CompanyId(1), CompanyId(0)));
+        assert!(r.tradings().is_empty());
+        // Removing D1's (non-LP) directorship keeps the registry valid.
+        assert!(r.remove_influence(PersonId(1), CompanyId(1)));
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn remove_company_cascades_and_renumbers() {
+        let mut r = valid_registry();
+        assert!(!r.remove_company(CompanyId(9)));
+        assert!(r.remove_company(CompanyId(0)));
+        assert_eq!(r.company_count(), 1);
+        // C2 became C0; its records were remapped, C1's were dropped.
+        assert_eq!(r.investments().len(), 0);
+        assert_eq!(r.tradings().len(), 0);
+        assert_eq!(r.influences().len(), 2);
+        assert!(r.influences().iter().all(|i| i.company == CompanyId(0)));
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn remove_person_cascades_and_renumbers() {
+        let mut r = valid_registry();
+        r.add_interdependence(PersonId(0), PersonId(1), InterdependenceKind::Kinship);
+        assert!(r.remove_person(PersonId(1)));
+        assert_eq!(r.person_count(), 1);
+        assert!(r.interdependencies().is_empty());
+        assert_eq!(r.influences().len(), 2, "only D1's directorship dropped");
+        assert!(r.validate().is_ok());
+        // Removing the legal person leaves both companies LP-less.
+        assert!(r.remove_person(PersonId(0)));
+        let errs = r.validate().unwrap_err();
+        assert_eq!(
+            errs.iter()
+                .filter(|e| matches!(e, ModelError::MissingLegalPerson(_)))
+                .count(),
+            2
+        );
     }
 }

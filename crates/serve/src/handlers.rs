@@ -18,9 +18,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use tpiin_core::{groups_behind_arc, IncrementalDetector, MinerRegistry};
+use tpiin_core::{groups_behind_arc, MinerRegistry};
+use tpiin_delta::{DeltaEngine, DeltaError};
 use tpiin_io::json::Json;
-use tpiin_model::{CompanyId, TradingRecord};
+use tpiin_model::{CompanyId, MutationBatch, TradingRecord};
 use tpiin_obs::{Span, TraceContext, TraceId};
 
 /// Everything the handlers share: the hot-swap store, the single-writer
@@ -28,7 +29,7 @@ use tpiin_obs::{Span, TraceContext, TraceId};
 pub struct ServerState {
     pub(crate) store: SnapshotStore,
     pub(crate) miners: MinerRegistry,
-    pub(crate) writer: Mutex<IncrementalDetector>,
+    pub(crate) writer: Mutex<DeltaEngine>,
     pub(crate) epoch: AtomicU64,
     pub(crate) snapshot_path: Option<PathBuf>,
     pub(crate) shutting_down: AtomicBool,
@@ -122,6 +123,16 @@ fn status(state: &ServerState) -> Response {
         shed_requests: registry.counter("serve.shed").get(),
         reloads: registry.counter("serve.reloads").get(),
         snapshot_load_ms: state.last_load_micros.load(Ordering::Relaxed) as f64 / 1_000.0,
+        // The delta engine publishes its counters as gauges after every
+        // applied batch, so `/status` reads them lock-free instead of
+        // contending on the writer mutex mid-ingest.
+        batches_applied: registry.gauge("delta.batches").get() as u64,
+        arcs_patched: registry.gauge("delta.arcs_patched").get() as u64,
+        company_appends: registry.gauge("delta.company_appends").get() as u64,
+        sccs_rerun: registry.gauge("delta.sccs_rerun").get() as u64,
+        full_rebuilds: registry.gauge("delta.full_rebuilds").get() as u64,
+        shards_remined: registry.gauge("delta.shards_remined").get() as u64,
+        shard_cache_hits: registry.gauge("delta.cache_hits").get() as u64,
         alloc: tpiin_obs::alloc::stats(),
         proc: tpiin_obs::proc::sample(),
     };
@@ -318,6 +329,18 @@ fn parse_records(json: &Json) -> Result<Vec<TradingRecord>, String> {
     Ok(records)
 }
 
+/// Decodes an ingest body into a mutation batch.  Two shapes are
+/// accepted: the original trading-only `{"records": [...]}` and the
+/// full registry-mutation `{"mutations": [...]}` feed format of
+/// [`tpiin_io::mutation_feed`].
+fn parse_batch(json: &Json) -> Result<MutationBatch, String> {
+    if json.get("mutations").is_some() {
+        return tpiin_io::mutation_feed::batch_from_json(json, "ingest", 1)
+            .map_err(|err| err.to_string());
+    }
+    Ok(MutationBatch::trading(parse_records(json)?))
+}
+
 fn ingest(state: &ServerState, req: &Request) -> Response {
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "body is not UTF-8");
@@ -326,35 +349,34 @@ fn ingest(state: &ServerState, req: &Request) -> Response {
         Ok(json) => json,
         Err(err) => return Response::error(400, format!("bad JSON: {err}")),
     };
-    let records = match parse_records(&json) {
-        Ok(records) => records,
+    let batch = match parse_batch(&json) {
+        Ok(batch) => batch,
         Err(err) => return Response::error(400, err),
     };
 
-    // Single-writer section: ingest, then swap the next epoch in while
-    // still holding the writer lock so concurrent `/reload` serializes.
+    // Single-writer section: apply the delta, then swap the next epoch
+    // in while still holding the writer lock so concurrent `/reload`
+    // serializes.  Readers keep serving the previous epoch throughout.
     let mut writer = state.writer.lock();
-    let companies = writer.tpiin().company_node.len();
-    if let Some(bad) = records
-        .iter()
-        .flat_map(|r| [r.seller, r.buyer])
-        .find(|id| id.index() >= companies)
-    {
-        return Response::error(
-            400,
-            format!("company id {} out of range (have {companies})", bad.index()),
-        );
-    }
-    let outcome = writer.ingest(&records);
+    let span = Span::at("serve.ingest.delta");
+    let outcome = match writer.apply(&batch) {
+        Ok(outcome) => outcome,
+        // A rejected batch leaves the engine (and the served epoch)
+        // untouched; atomicity is the engine's contract.
+        Err(err @ DeltaError::RegistryRequired) => return Response::error(422, err.to_string()),
+        Err(err) => return Response::error(400, err.to_string()),
+    };
     let stats = writer.stats();
     let tpiin = writer.tpiin().clone();
+    let primary = writer.detection().clone();
     let prev = state.store.current();
-    let detections = prev.detections_after(&outcome, &tpiin);
+    let detections = prev.detections_with_primary(primary);
     let epoch = state.next_epoch();
-    let body = responses::ingest_json(&tpiin, epoch, &outcome, stats);
+    let body = responses::ingest_json(&tpiin, epoch, &outcome, &stats);
     state
         .store
         .swap(ServeSnapshot::with_detections(epoch, tpiin, detections));
+    drop(span);
     drop(writer);
     Response::json(200, &body)
 }
@@ -378,7 +400,10 @@ pub fn reload(state: &ServerState) -> Result<u64, (u16, String)> {
     let mut writer = state.writer.lock();
     let epoch = state.next_epoch();
     let snapshot = ServeSnapshot::build_with(epoch, tpiin.clone(), &state.miners);
-    *writer = IncrementalDetector::new(tpiin);
+    // A snapshot file carries no source registry, so the reloaded
+    // engine serves trading-append deltas only (registry mutations get
+    // 422 until the daemon is restarted with a registry).
+    *writer = DeltaEngine::from_tpiin(tpiin);
     state.store.swap(snapshot);
     drop(writer);
     state.last_load_micros.store(load_micros, Ordering::Relaxed);

@@ -20,10 +20,13 @@
 //!   and `POST /ingest` build the next epoch off to the side and swap
 //!   it in atomically.  In-flight requests finish on the epoch they
 //!   started on.
-//! * **Incremental ingest**: `POST /ingest` feeds batches through
-//!   [`tpiin_core::IncrementalDetector`] and answers with only the
-//!   *new* suspicious groups — the ancestor-cone query per arc, never a
-//!   full re-run of Algorithm 1.
+//! * **Delta ingest**: `POST /ingest` feeds mutation batches (trading
+//!   records or full registry mutations) through a
+//!   [`tpiin_delta::DeltaEngine`] and answers with only the *new*
+//!   suspicious groups — trading arcs are patched surgically, registry
+//!   deltas re-run only the touched SCCs and re-mine only the
+//!   invalidated subTPIINs, never a blanket re-fuse unless the delta's
+//!   blast radius forces one.
 //! * **Per-request tracing**: every request gets its own
 //!   [`tpiin_obs::TraceContext`]; the trace id comes back in the
 //!   `x-tpiin-trace` response header and `GET /trace/{id}` replays the

@@ -8,9 +8,8 @@
 //! never by internal node id.
 
 use crate::store::ServeSnapshot;
-use tpiin_core::{
-    BatchOutcome, DetectionResult, GroupKind, IngestStats, SuspiciousGroup, RULES_MINER,
-};
+use tpiin_core::{DetectionResult, GroupKind, SuspiciousGroup, RULES_MINER};
+use tpiin_delta::{ApplyOutcome, DeltaStats};
 use tpiin_fusion::Tpiin;
 use tpiin_graph::NodeId;
 use tpiin_io::json::Json;
@@ -161,11 +160,15 @@ pub fn company_json(snapshot: &ServeSnapshot, node: NodeId) -> Json {
     ])
 }
 
-/// The `POST /ingest` body: only what this batch changed, plus the
-/// detector's lifetime totals.
-pub fn ingest_json(tpiin: &Tpiin, epoch: u64, outcome: &BatchOutcome, stats: IngestStats) -> Json {
+/// The `POST /ingest` body: which delta path ran, only what this batch
+/// changed, plus the engine's lifetime totals.  The original
+/// trading-append fields keep their names so pre-delta clients parse
+/// the response unchanged.
+pub fn ingest_json(tpiin: &Tpiin, epoch: u64, outcome: &ApplyOutcome, stats: &DeltaStats) -> Json {
     obj(vec![
         ("epoch", num(epoch as usize)),
+        ("path", s(outcome.path.as_str())),
+        ("mutations_applied", num(outcome.mutations_applied)),
         ("new_group_count", num(outcome.new_groups.len())),
         (
             "new_groups",
@@ -189,6 +192,9 @@ pub fn ingest_json(tpiin: &Tpiin, epoch: u64, outcome: &BatchOutcome, stats: Ing
         ),
         ("duplicates", num(outcome.duplicates)),
         ("intra_syndicate", num(outcome.intra_syndicate)),
+        ("arcs_patched", num(outcome.arcs_patched)),
+        ("shards_remined", num(outcome.shards_remined)),
+        ("cache_hits", num(outcome.cache_hits)),
         (
             "totals",
             obj(vec![
@@ -197,6 +203,13 @@ pub fn ingest_json(tpiin: &Tpiin, epoch: u64, outcome: &BatchOutcome, stats: Ing
                 ("intra_syndicate", num(stats.intra_syndicate as usize)),
                 ("arcs_added", num(stats.arcs_added as usize)),
                 ("groups", num(stats.groups_found as usize)),
+                ("batches", num(stats.batches_applied as usize)),
+                ("arcs_patched", num(stats.arcs_patched as usize)),
+                ("company_appends", num(stats.company_appends as usize)),
+                ("sccs_rerun", num(stats.sccs_rerun as usize)),
+                ("full_rebuilds", num(stats.full_rebuilds as usize)),
+                ("shards_remined", num(stats.shards_remined as usize)),
+                ("cache_hits", num(stats.shard_cache_hits as usize)),
             ]),
         ),
     ])
@@ -331,6 +344,21 @@ pub struct StatusReport {
     /// Milliseconds the most recent snapshot load+swap took (0 until
     /// the first startup load or `/reload`).
     pub snapshot_load_ms: f64,
+    /// Mutation batches the delta engine applied since start.
+    pub batches_applied: u64,
+    /// Trading arcs surgically patched into the TPIIN (no re-fuse).
+    pub arcs_patched: u64,
+    /// Batches absorbed by the surgical company-append path.
+    pub company_appends: u64,
+    /// Company SCCs re-run by bounded re-Tarjan under investment deltas.
+    pub sccs_rerun: u64,
+    /// Times a delta exceeded the blast radius (or removed entities)
+    /// and fell back to a full re-fuse.
+    pub full_rebuilds: u64,
+    /// SubTPIINs re-mined across all applied batches.
+    pub shards_remined: u64,
+    /// SubTPIINs replayed from the shard cache instead of re-mined.
+    pub shard_cache_hits: u64,
     /// Process allocator ledger.
     pub alloc: tpiin_obs::AllocStats,
     /// Kernel view (`None` off Linux).
@@ -363,6 +391,21 @@ pub fn status_json(snapshot: &ServeSnapshot, report: &StatusReport) -> Json {
         ("shed_requests", Json::Number(report.shed_requests as f64)),
         ("reloads", Json::Number(report.reloads as f64)),
         ("snapshot_load_ms", Json::Number(report.snapshot_load_ms)),
+        (
+            "delta",
+            obj(vec![
+                ("batches", Json::Number(report.batches_applied as f64)),
+                ("arcs_patched", Json::Number(report.arcs_patched as f64)),
+                (
+                    "company_appends",
+                    Json::Number(report.company_appends as f64),
+                ),
+                ("sccs_rerun", Json::Number(report.sccs_rerun as f64)),
+                ("full_rebuilds", Json::Number(report.full_rebuilds as f64)),
+                ("shards_remined", Json::Number(report.shards_remined as f64)),
+                ("cache_hits", Json::Number(report.shard_cache_hits as f64)),
+            ]),
+        ),
         (
             "alloc_live_bytes",
             Json::Number(report.alloc.live_bytes as f64),

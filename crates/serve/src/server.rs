@@ -13,8 +13,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
-use tpiin_core::{IncrementalDetector, MinerRegistry};
+use tpiin_core::MinerRegistry;
+use tpiin_delta::DeltaEngine;
 use tpiin_fusion::Tpiin;
+use tpiin_model::SourceRegistry;
 
 /// How the daemon listens and sheds load.
 #[derive(Clone, Debug)]
@@ -88,6 +90,9 @@ pub enum ServeError {
     Snapshot(tpiin_io::IoError),
     /// A configured miner spec did not resolve.
     Miner(String),
+    /// The source registry handed to [`ServerHandle::bind_with_registry`]
+    /// did not fuse.
+    Registry(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -99,6 +104,7 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Snapshot(err) => write!(f, "snapshot: {err}"),
             ServeError::Miner(reason) => write!(f, "miner config: {reason}"),
+            ServeError::Registry(reason) => write!(f, "registry: {reason}"),
         }
     }
 }
@@ -108,7 +114,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Bind { source, .. } | ServeError::File { source, .. } => Some(source),
             ServeError::Snapshot(err) => Some(err),
-            ServeError::Miner(_) => None,
+            ServeError::Miner(_) | ServeError::Registry(_) => None,
         }
     }
 }
@@ -138,8 +144,28 @@ pub struct ServerHandle {
 
 impl ServerHandle {
     /// Builds the initial snapshot from `tpiin` (full detection), binds
-    /// `config.addr` and starts serving.
+    /// `config.addr` and starts serving.  The ingest writer runs in
+    /// trading-append mode: registry mutations get 422 because no
+    /// source registry backs the snapshot.
     pub fn bind(tpiin: Tpiin, config: ServeConfig) -> Result<ServerHandle, ServeError> {
+        ServerHandle::bind_engine(DeltaEngine::from_tpiin(tpiin), config)
+    }
+
+    /// Fuses `registry`, binds `config.addr` and starts serving with a
+    /// registry-backed delta engine: `POST /ingest` then accepts the
+    /// full mutation vocabulary (companies, directors, investments,
+    /// trading) and maintains the served TPIIN incrementally.
+    pub fn bind_with_registry(
+        registry: SourceRegistry,
+        config: ServeConfig,
+    ) -> Result<ServerHandle, ServeError> {
+        let engine =
+            DeltaEngine::new(registry).map_err(|err| ServeError::Registry(err.to_string()))?;
+        ServerHandle::bind_engine(engine, config)
+    }
+
+    fn bind_engine(engine: DeltaEngine, config: ServeConfig) -> Result<ServerHandle, ServeError> {
+        let tpiin = engine.tpiin().clone();
         let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
             addr: config.addr.clone(),
             source,
@@ -154,11 +180,11 @@ impl ServerHandle {
         } else {
             MinerRegistry::from_specs(&config.miners).map_err(ServeError::Miner)?
         };
-        let snapshot = ServeSnapshot::build_with(1, tpiin.clone(), &miners);
+        let snapshot = ServeSnapshot::build_with(1, tpiin, &miners);
         let state = Arc::new(ServerState {
             store: SnapshotStore::new(snapshot),
             miners,
-            writer: Mutex::new(IncrementalDetector::new(tpiin)),
+            writer: Mutex::new(engine),
             epoch: AtomicU64::new(1),
             snapshot_path: config.snapshot_path.clone(),
             shutting_down: AtomicBool::new(false),

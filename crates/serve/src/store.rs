@@ -11,9 +11,7 @@
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use tpiin_core::{
-    mine_with_obs, BatchOutcome, DetectionResult, MineContext, MinerRegistry, RULES_MINER,
-};
+use tpiin_core::{mine_with_obs, DetectionResult, MineContext, MinerRegistry, RULES_MINER};
 use tpiin_fusion::Tpiin;
 use tpiin_graph::NodeId;
 
@@ -115,41 +113,16 @@ impl ServeSnapshot {
         (index < self.tpiin.node_count()).then(|| NodeId::from_index(index))
     }
 
-    /// Extends every miner's result with one ingest batch's outcome,
-    /// producing the detection set for the *next* epoch.  Only the
-    /// primary Rule 1/Rule 2 result is extended incrementally (the
-    /// ancestor-cone query already classified the new arcs under those
-    /// rules); other miners' results are carried over unchanged and
-    /// refresh on the next full snapshot reload.
-    pub fn detections_after(
+    /// The detection set for the next epoch after an ingest batch: the
+    /// delta engine's freshly maintained primary result replaces the
+    /// Rule 1/Rule 2 entry; other miners' results are carried over
+    /// unchanged and refresh on the next full snapshot reload.
+    pub fn detections_with_primary(
         &self,
-        outcome: &BatchOutcome,
-        tpiin: &Tpiin,
+        primary: DetectionResult,
     ) -> Vec<(String, DetectionResult)> {
         let mut next: Vec<(String, DetectionResult)> = self.detections.clone();
-        next[0].1 = self.detection_after(outcome, tpiin);
-        next
-    }
-
-    /// Extends this epoch's primary detection result with one ingest
-    /// batch's outcome.  The ancestor-cone query already classified the
-    /// new arcs, so nothing is re-mined.
-    pub fn detection_after(&self, outcome: &BatchOutcome, tpiin: &Tpiin) -> DetectionResult {
-        let mut next = self.detection().clone();
-        for group in &outcome.new_groups {
-            if group.simple {
-                next.simple_group_count += 1;
-            } else {
-                next.complex_group_count += 1;
-            }
-            next.provenances
-                .push(tpiin_core::Provenance::assemble(tpiin, group));
-            next.groups.push(group.clone());
-        }
-        next.suspicious_trading_arcs
-            .extend(outcome.new_suspicious_arcs.iter().copied());
-        next.total_trading_arcs = tpiin.trading_arc_count;
-        next.intra_syndicate_trades += outcome.intra_syndicate;
+        next[0].1 = primary;
         next
     }
 }

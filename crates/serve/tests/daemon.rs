@@ -566,3 +566,102 @@ fn binary_snapshot_hot_swap_matches_text() {
     handle.shutdown();
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn registry_backed_daemon_applies_mutation_batches() {
+    // Case 2 without its trades, served with its source registry: the
+    // daemon then accepts the full mutation vocabulary, not just
+    // trading appends.
+    let mut registry = tpiin_datagen::case2_registry();
+    registry.clear_trading();
+    let next_person = registry.person_count();
+    let handle = ServerHandle::bind_with_registry(registry, ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    // A trading mutation takes the surgical append path and mines the
+    // planted group, exactly like the legacy `records` body would.
+    let (status, body) = post(
+        addr,
+        "/ingest",
+        "{\"mutations\": [{\"op\":\"add_trading\",\"seller\":1,\"buyer\":2,\"volume\":7.5}]}",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"epoch\":2"), "{body}");
+    assert!(body.contains("\"path\":\"trading_append\""), "{body}");
+    assert!(body.contains("\"new_group_count\":1"), "{body}");
+
+    // A registry delta (new person + their company) rides the
+    // incremental path: no investment arcs moved, so no SCC re-runs and
+    // no full rebuild.
+    let batch = format!(
+        "{{\"mutations\": [{{\"op\":\"add_person\",\"name\":\"PX\",\"roles\":\"CEO\"}},\
+         {{\"op\":\"add_company\",\"name\":\"CX\",\"legal_person\":{next_person},\"kind\":\"ceo\"}}]}}"
+    );
+    let (status, body) = post(addr, "/ingest", &batch);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"epoch\":3"), "{body}");
+    assert!(body.contains("\"path\":\"incremental\""), "{body}");
+    let (status, body) = get(addr, "/company/CX");
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+
+    // Registering a company under an existing person (no new person)
+    // is the id-stable class: the node is spliced in place and the
+    // batch takes the surgical company-append path.
+    let (status, body) = post(
+        addr,
+        "/ingest",
+        "{\"mutations\": [{\"op\":\"add_company\",\"name\":\"CY\",\"legal_person\":0,\"kind\":\"ceo\"}]}",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"epoch\":4"), "{body}");
+    assert!(body.contains("\"path\":\"company_append\""), "{body}");
+
+    // A batch that breaks a registry invariant is rejected atomically:
+    // same epoch, nothing changed.
+    let (status, body) = post(
+        addr,
+        "/ingest",
+        "{\"mutations\": [{\"op\":\"remove_person\",\"person\":0}]}",
+    );
+    assert_eq!(status, "HTTP/1.1 400 Bad Request", "{body}");
+    let (_, body) = get(addr, "/healthz");
+    assert!(body.contains("\"epoch\":4"), "{body}");
+
+    // `/status` surfaces the delta counters.
+    let (status, body) = get(addr, "/status");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let json = tpiin_io::json::Json::parse(&body).expect("status is JSON");
+    let delta = json.get("delta").expect("delta counters");
+    let field = |key: &str| {
+        delta
+            .get(key)
+            .and_then(tpiin_io::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert!(field("batches") >= 3.0, "{body}");
+    assert!(field("arcs_patched") >= 1.0, "{body}");
+    assert_eq!(field("company_appends"), 1.0, "{body}");
+    assert_eq!(field("full_rebuilds"), 0.0, "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn snapshot_only_daemon_rejects_registry_mutations() {
+    let handle = ServerHandle::bind(fig7(), ServeConfig::default()).expect("bind");
+    let addr = handle.addr();
+    let (status, body) = post(
+        addr,
+        "/ingest",
+        "{\"mutations\": [{\"op\":\"add_person\",\"name\":\"PX\",\"roles\":\"CEO\"}]}",
+    );
+    assert_eq!(status, "HTTP/1.1 422 Unprocessable Entity", "{body}");
+    // Trading mutations still work without a registry.
+    let (status, body) = post(
+        addr,
+        "/ingest",
+        "{\"mutations\": [{\"op\":\"add_trading\",\"seller\":0,\"buyer\":1,\"volume\":1.0}]}",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(body.contains("\"path\":\"trading_append\""), "{body}");
+    handle.shutdown();
+}

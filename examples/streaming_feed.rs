@@ -3,15 +3,16 @@
 //! The national system ingests up to ten million trading records a day;
 //! the ownership/kinship antecedent network changes far more slowly.
 //! This example fuses the antecedent network once, then replays a
-//! trading network in daily batches through [`IncrementalDetector`],
-//! printing the newly discovered suspicious groups per batch.
+//! trading network in daily batches through the delta engine
+//! ([`tpiin::delta::DeltaEngine`]), printing the newly discovered
+//! suspicious groups per batch.
 //!
 //! ```sh
 //! cargo run --release --example streaming_feed
 //! ```
 
 use tpiin::datagen::{add_random_trading, generate_province, ProvinceConfig};
-use tpiin::detect::IncrementalDetector;
+use tpiin::delta::DeltaEngine;
 use tpiin::fusion::fuse;
 
 fn main() {
@@ -23,7 +24,7 @@ fn main() {
         "antecedent network ready: {} nodes, {} influence arcs\n",
         report.tpiin_nodes, report.influence_arcs
     );
-    let mut detector = IncrementalDetector::new(tpiin);
+    let mut detector = DeltaEngine::from_tpiin(tpiin);
 
     // The feed: one month of trading relationships, replayed in five
     // "days" of roughly equal volume.
@@ -34,7 +35,7 @@ fn main() {
 
     let start = std::time::Instant::now();
     for (day, batch) in records.chunks(per_day).enumerate() {
-        let outcome = detector.ingest(batch);
+        let outcome = detector.ingest(batch).expect("trading records are valid");
         println!(
             "day {}: {} records -> {} new suspicious arcs, {} new groups ({} duplicates)",
             day + 1,

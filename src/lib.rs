@@ -19,6 +19,9 @@
 //!   ([`Pipeline::miner`]).
 //! * [`datagen`] — synthetic province generator and worked-example
 //!   builders.
+//! * [`delta`] — the delta-fusion engine: incremental TPIIN maintenance
+//!   under streaming registry + trading mutation batches
+//!   ([`Pipeline::delta`]), bit-identical to a from-scratch re-fuse.
 //! * [`io`] — CSV registries, the paper's edge-list format,
 //!   susGroup/susTrade reports, GraphML export.
 //! * [`ite`] — the ITE phase: transaction-level arm's-length screening
@@ -61,6 +64,7 @@ pub use pipeline::{Pipeline, RunOutput};
 
 pub use tpiin_core as detect;
 pub use tpiin_datagen as datagen;
+pub use tpiin_delta as delta;
 pub use tpiin_fusion as fusion;
 pub use tpiin_graph as graph;
 pub use tpiin_io as io;

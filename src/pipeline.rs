@@ -157,7 +157,10 @@ impl<'a> Pipeline<'a> {
     /// result (the [`tpiin_serve`] crate): the returned handle serves
     /// `/groups`, `/groups_behind_arc`, `/company/{id}`, `POST /ingest`
     /// and friends until shut down.  Detection runs once at startup to
-    /// build the first snapshot epoch.
+    /// build the first snapshot epoch.  The daemon keeps a copy of the
+    /// registry, so `POST /ingest` accepts the full mutation vocabulary
+    /// (companies, directors, investments, trading) and maintains the
+    /// served TPIIN via the delta engine.
     pub fn serve(
         self,
         config: tpiin_serve::ServeConfig,
@@ -169,8 +172,37 @@ impl<'a> Pipeline<'a> {
             tpiin_obs::set_profiling(true);
             tpiin_obs::global().reset();
         }
-        let (tpiin, _report) = tpiin_fusion::fuse_with(self.registry, self.fuse_options)?;
-        Ok(tpiin_serve::ServerHandle::bind(tpiin, config)?)
+        // Validate eagerly so bad registries surface as Error::Model
+        // with the full violation list, like Pipeline::run.
+        self.registry.validate()?;
+        Ok(tpiin_serve::ServerHandle::bind_with_registry(
+            self.registry.clone(),
+            config,
+        )?)
+    }
+
+    /// Fuses the registry into a streaming [`tpiin_delta::DeltaEngine`]:
+    /// the returned engine owns a copy of the registry and maintains
+    /// the fused TPIIN plus its mined groups incrementally under
+    /// [`tpiin_model::MutationBatch`]es ([`tpiin_delta::DeltaEngine::apply`]).
+    /// The detector knobs configured on this builder
+    /// ([`Pipeline::collect_groups`] is forced on — diffing needs group
+    /// bodies — and [`Pipeline::max_tree_nodes`], [`Pipeline::threads`])
+    /// carry over to every re-mine.
+    pub fn delta(self) -> Result<tpiin_delta::DeltaEngine, Error> {
+        if self.log_level.is_some() {
+            tpiin_obs::log::set_level(self.log_level);
+        }
+        let mut config = tpiin_delta::DeltaConfig::default();
+        config.detector = self.config;
+        config.detector.collect_groups = true;
+        tpiin_delta::DeltaEngine::with_config(self.registry.clone(), config).map_err(
+            |err| match err {
+                tpiin_delta::DeltaError::Fusion(e) => Error::from(e),
+                tpiin_delta::DeltaError::Mutation(e) => Error::Model(vec![e]),
+                other => Error::Usage(other.to_string()),
+            },
+        )
     }
 
     /// Fuses the registry and mines suspicious groups with every
@@ -273,6 +305,30 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200"), "{text}");
         assert!(text.contains("\"status\":\"ok\""), "{text}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn delta_builder_streams_batches_through_the_engine() {
+        use tpiin_model::{CompanyId, Mutation, MutationBatch, TradingRecord};
+        let mut registry = tpiin_datagen::case2_registry();
+        registry.clear_trading();
+        let mut engine = Pipeline::from_registry(&registry)
+            .delta()
+            .expect("case2 is valid");
+        assert_eq!(engine.detection().group_count(), 0);
+        let batch = MutationBatch::new(vec![Mutation::AddTrading(TradingRecord {
+            seller: CompanyId(1),
+            buyer: CompanyId(2),
+            volume: 7.5,
+        })]);
+        let outcome = engine.apply(&batch).expect("trading append");
+        assert_eq!(outcome.new_groups.len(), 1);
+        // The maintained state equals a from-scratch run over the
+        // mutated registry.
+        let mut shadow = registry.clone();
+        batch.apply_to_registry(&mut shadow).unwrap();
+        let full = Pipeline::from_registry(&shadow).run().unwrap();
+        assert_eq!(engine.detection().groups, full.groups.groups);
     }
 
     #[test]

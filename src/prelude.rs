@@ -15,10 +15,11 @@ pub use tpiin_core::{
     GroupKind, GroupMiner, GroupScore, MineContext, MinerRegistry, Rule12Miner, SuspiciousGroup,
     WindowedMiner,
 };
+pub use tpiin_delta::{ApplyOutcome, DeltaConfig, DeltaEngine, DeltaPath};
 pub use tpiin_fusion::{FusionReport, Tpiin};
 pub use tpiin_model::{
-    CompanyId, InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, PersonId,
-    Role, RoleSet, SourceRegistry, TradingRecord,
+    CompanyId, InfluenceKind, InfluenceRecord, InterdependenceKind, InvestmentRecord, Mutation,
+    MutationBatch, PersonId, Role, RoleSet, SourceRegistry, TradingRecord,
 };
 pub use tpiin_obs::Level;
 pub use tpiin_serve::{ServeConfig, ServerHandle};

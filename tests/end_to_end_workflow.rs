@@ -5,7 +5,8 @@
 
 use std::collections::BTreeSet;
 use tpiin::datagen::{add_random_trading, generate_province, ProvinceConfig};
-use tpiin::detect::{detect, groups_behind_arc, IncrementalDetector};
+use tpiin::delta::DeltaEngine;
+use tpiin::detect::{detect, groups_behind_arc};
 use tpiin::fusion::fuse;
 use tpiin::io::json::Json;
 use tpiin::io::{registry_csv, reports, snapshot};
@@ -45,8 +46,10 @@ fn full_workflow_round_trip() {
         .count();
     assert_eq!(queried.len(), expected);
 
-    // Day 1: a new batch of trades streams in.
-    let mut streaming = IncrementalDetector::new(restored);
+    // Day 1: a new batch of trades streams in (snapshot-only mode: the
+    // restored TPIIN has no registry behind it, so the engine patches
+    // trading arcs surgically).
+    let mut streaming = DeltaEngine::from_tpiin(restored);
     let known: BTreeSet<(u32, u32)> = loaded
         .tradings()
         .iter()
@@ -64,7 +67,7 @@ fn full_workflow_round_trip() {
             .collect()
     };
     assert!(!fresh.is_empty());
-    let outcome = streaming.ingest(&fresh);
+    let outcome = streaming.ingest(&fresh).expect("day-1 records are valid");
     // The day-1 result equals a from-scratch batch over day-0 + day-1.
     let mut combined = loaded.clone();
     for t in &fresh {
