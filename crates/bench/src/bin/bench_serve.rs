@@ -18,7 +18,7 @@ use tpiin_bench::fixtures::{nation_tpiin_fixture, tpiin_fixture};
 use tpiin_bench::loadgen::{self, MixEntry, SweepOptions};
 use tpiin_bench::record::{
     self, BenchMeta, EndpointLatency, LoadCurve, ServeBench, ServeWorkloadRecord,
-    SnapshotLoadRecord, TracingOverheadRecord,
+    SnapshotLoadRecord, TelemetryOverheadRecord, TracingOverheadRecord,
 };
 use tpiin_core::detect;
 use tpiin_datagen::fig7_registry;
@@ -180,6 +180,49 @@ fn measure_tracing_overhead(
     }
 }
 
+/// Measures the cost of the continuous-telemetry engine on the nation
+/// workload: the same `/groups` endpoint hammered against a daemon
+/// with the recorder enabled (the default — a background thread
+/// sampling every registered metric into the timeline each tick and
+/// evaluating the SLO burn rates) and one with
+/// `ServeConfig::telemetry` off.  The per-request cost is one
+/// `Instant::elapsed` comparison against the slowlog threshold; the
+/// recorder itself runs off the request path.  The acceptance bar is a
+/// p99 ratio within one percent of 1.0; `bench_check` caps both
+/// `_ratio` keys absolutely.
+fn measure_telemetry_overhead(
+    nation_scale: f64,
+    requests: usize,
+    clients: usize,
+    workers: usize,
+) -> TelemetryOverheadRecord {
+    let nation = nation_tpiin_fixture(nation_scale, 20170417);
+    let arm = |telemetry: bool| {
+        let config = ServeConfig {
+            workers,
+            queue_capacity: 4 * clients.max(1) + 16,
+            telemetry,
+            // A production-rate tick: the overhead being measured is
+            // the default recorder cadence, not a stress cadence.
+            ..ServeConfig::default()
+        };
+        let handle = ServerHandle::bind(nation.clone(), config).expect("bind ephemeral daemon");
+        let label = if telemetry {
+            "groups+telemetry"
+        } else {
+            "groups"
+        };
+        let lat = bench_endpoint(handle.addr(), label, "/groups?limit=5", requests, clients);
+        handle.shutdown();
+        lat
+    };
+    TelemetryOverheadRecord {
+        endpoint: "groups".to_string(),
+        telemetry_on: arm(true),
+        telemetry_off: arm(false),
+    }
+}
+
 /// The fig7 open-loop arm: boots a dedicated daemon and sweeps a mixed
 /// read workload (groups-heavy, with company and arc lookups) across
 /// the default offered-rate ladder.
@@ -314,7 +357,12 @@ fn main() {
             province_name.clone(),
             nation_name.clone(),
         ],
-        ["closed_loop", "open_loop", "snapshot_load"],
+        [
+            "closed_loop",
+            "open_loop",
+            "snapshot_load",
+            "telemetry_overhead",
+        ],
     );
     let mut aborted = false;
 
@@ -346,6 +394,11 @@ fn main() {
     let tracing_overhead = guarded("tracing_overhead", &mut aborted, || {
         measure_tracing_overhead(requests, clients, workers)
     });
+    let telemetry_overhead = guarded("telemetry_overhead", &mut aborted, || {
+        // Fewer requests on the nation network, like the closed-loop
+        // nation arm, so the two boots stay bounded.
+        measure_telemetry_overhead(scale, requests / 2, clients, workers)
+    });
     let load_curves: Vec<LoadCurve> =
         guarded("load_curve fig7", &mut aborted, || load_curve_fig7(workers))
             .into_iter()
@@ -358,6 +411,7 @@ fn main() {
         clients,
         workloads,
         tracing_overhead,
+        telemetry_overhead,
         load_curves,
         snapshot_loads,
     };
@@ -375,6 +429,14 @@ fn main() {
             overhead.tracing_on.p95_us,
             overhead.tracing_off.p95_us,
             overhead.p95_ratio()
+        );
+    }
+    if let Some(overhead) = &bench.telemetry_overhead {
+        println!(
+            "bench serve [nation] telemetry on/off p99: {:.1} / {:.1} us (ratio {:.3})",
+            overhead.telemetry_on.p99_us,
+            overhead.telemetry_off.p99_us,
+            overhead.p99_ratio()
         );
     }
     for load in &bench.snapshot_loads {

@@ -15,8 +15,13 @@
 //!   is a correctness change sneaking in through a perf PR, the one
 //!   thing a noisy-timing gate could never catch.
 //!
-//! Everything else — host shape (`host_cpus`, `workers`), derived
-//! ratios, memory telemetry (inherently host-dependent), request
+//! * **Overhead ratios** (`*_ratio`: tracing or telemetry on/off on
+//!   the same host in the same run) are gated against an absolute
+//!   ceiling, [`RATIO_CAP`] — host-speed tolerance does not apply to a
+//!   dimensionless same-host comparison.
+//!
+//! Everything else — host shape (`host_cpus`, `workers`), memory
+//! telemetry (inherently host-dependent), request
 //! tallies — is informational and skipped.  An `aborted: true` marker
 //! in the fresh record always fails: a bench that died partway must
 //! not pass the gate on the strength of the steps it skipped.
@@ -84,6 +89,16 @@ const SKIP_KEYS: &[&str] = &[
     "p99_us",
     "max_us",
 ];
+
+/// Ceiling for dimensionless on/off overhead ratios (`p95_ratio`,
+/// `p99_ratio`).  Both arms of a ratio are measured within one run on
+/// one host, so the host-speed `tolerance` multiplier does not apply;
+/// an absolute cap is the honest gate.  The slack over 1.0 absorbs
+/// shared-runner tail noise (both arms sample p95/p99 independently)
+/// while still catching an instrumentation path that grew a real
+/// percentage cost — the ratified baselines record ratios within a
+/// percent or two of 1.0.
+pub const RATIO_CAP: f64 = 1.5;
 
 fn is_timing_key(key: &str) -> Option<f64> {
     // Unit scale relative to milliseconds.
@@ -187,6 +202,14 @@ fn compare_leaf(
         }
         return;
     }
+    if key.ends_with("_ratio") {
+        if fresh_num > RATIO_CAP {
+            out.push(format!(
+                "{path}: overhead ratio {fresh_num:.3} exceeds the absolute cap {RATIO_CAP}"
+            ));
+        }
+        return;
+    }
     if let Some(unit_scale) = is_timing_key(key) {
         let limit = base_num * tol.ratio + tol.floor_ms * unit_scale;
         if fresh_num > limit {
@@ -271,6 +294,25 @@ mod tests {
         let regs = compare(&base, &fresh, &Tolerances::default());
         assert_eq!(regs.len(), 1);
         assert!(regs[0].contains("missing"), "{regs:?}");
+    }
+
+    #[test]
+    fn overhead_ratios_are_gated_by_the_absolute_cap() {
+        // Within the cap: fine even when worse than the baseline (both
+        // arms are same-host, but tails still jitter independently).
+        let base = parse(r#"{"p99_ratio": 1.01}"#);
+        let fresh = parse(r#"{"p99_ratio": 1.3}"#);
+        assert!(compare(&base, &fresh, &Tolerances::default()).is_empty());
+        // Past the cap: the instrumentation grew a real percentage
+        // cost, regardless of how generous the timing tolerance is.
+        let fresh = parse(r#"{"p99_ratio": 1.8}"#);
+        let loose = Tolerances {
+            ratio: 100.0,
+            floor_ms: 1000.0,
+        };
+        let regs = compare(&base, &fresh, &loose);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("p99_ratio"), "{regs:?}");
     }
 
     #[test]

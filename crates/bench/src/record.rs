@@ -550,6 +550,47 @@ impl TracingOverheadRecord {
     }
 }
 
+/// The same endpoint measured with the continuous-telemetry engine on
+/// and off — the cost of the background recorder (timeline sampling +
+/// SLO evaluation each tick) plus the per-request slowlog threshold
+/// check, expressed as on/off latency ratios.  The acceptance bar is a
+/// p99 within one percent of the off arm on the nation workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TelemetryOverheadRecord {
+    /// Endpoint the two arms hammered (`groups`, ...).
+    pub endpoint: String,
+    /// Latencies with telemetry enabled (the default daemon config).
+    pub telemetry_on: EndpointLatency,
+    /// Latencies with `ServeConfig::telemetry` disabled.
+    pub telemetry_off: EndpointLatency,
+}
+
+impl TelemetryOverheadRecord {
+    /// p95 with telemetry divided by p95 without.
+    pub fn p95_ratio(&self) -> f64 {
+        self.telemetry_on.p95_us / self.telemetry_off.p95_us
+    }
+
+    /// p99 with telemetry divided by p99 without; `1.01` means the
+    /// recorder costs one percent at the tail.
+    pub fn p99_ratio(&self) -> f64 {
+        self.telemetry_on.p99_us / self.telemetry_off.p99_us
+    }
+
+    /// The overhead record as a JSON value (ratios pre-computed; both
+    /// are `_ratio` keys, so `bench_check` gates them against its
+    /// absolute cap).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("endpoint".to_string(), Json::Str(self.endpoint.clone())),
+            ("telemetry_on".to_string(), self.telemetry_on.to_json()),
+            ("telemetry_off".to_string(), self.telemetry_off.to_json()),
+            ("p95_ratio".to_string(), Json::Float(self.p95_ratio())),
+            ("p99_ratio".to_string(), Json::Float(self.p99_ratio())),
+        ])
+    }
+}
+
 /// One snapshot encoding timed end-to-end: bytes on disk and the
 /// median wall-clock of a full parse back into a served TPIIN.
 ///
@@ -596,6 +637,8 @@ pub struct ServeBench {
     pub workloads: Vec<ServeWorkloadRecord>,
     /// Tracing on-vs-off arms, when the benchmark ran them.
     pub tracing_overhead: Option<TracingOverheadRecord>,
+    /// Telemetry-recorder on-vs-off arms, when the benchmark ran them.
+    pub telemetry_overhead: Option<TelemetryOverheadRecord>,
     /// Open-loop latency-vs-offered-throughput curves, when the
     /// benchmark swept them.
     pub load_curves: Vec<LoadCurve>,
@@ -623,6 +666,9 @@ impl ServeBench {
         ];
         if let Some(overhead) = &self.tracing_overhead {
             fields.push(("tracing_overhead".to_string(), overhead.to_json()));
+        }
+        if let Some(overhead) = &self.telemetry_overhead {
+            fields.push(("telemetry_overhead".to_string(), overhead.to_json()));
         }
         if !self.load_curves.is_empty() {
             fields.push((
@@ -895,6 +941,7 @@ mod tests {
                 }],
             }],
             tracing_overhead: None,
+            telemetry_overhead: None,
             load_curves: Vec::new(),
             snapshot_loads: vec![SnapshotLoadRecord {
                 name: "nation-0.1-bin".into(),
@@ -912,9 +959,11 @@ mod tests {
         assert!(text.contains("\"p50_us\": 120"));
         assert!(text.contains("\"p95_us\": 340.5"));
         assert!(text.contains("\"p99_us\": 900"));
-        // Without the overhead arms the field is omitted, so pre-existing
-        // trend tooling sees the exact schema it always did.
+        // Without the overhead arms the fields are omitted, so
+        // pre-existing trend tooling sees the exact schema it always
+        // did.
         assert!(!text.contains("tracing_overhead"));
+        assert!(!text.contains("telemetry_overhead"));
     }
 
     #[test]
@@ -938,6 +987,11 @@ mod tests {
             clients: 8,
             workloads: Vec::new(),
             tracing_overhead: Some(overhead),
+            telemetry_overhead: Some(TelemetryOverheadRecord {
+                endpoint: "groups".into(),
+                telemetry_on: lat(202.0),
+                telemetry_off: lat(200.0),
+            }),
             load_curves: Vec::new(),
             snapshot_loads: Vec::new(),
         };
@@ -948,6 +1002,11 @@ mod tests {
         assert!(text.contains("\"tracing_on\""), "{text}");
         assert!(text.contains("\"tracing_off\""), "{text}");
         assert!(text.contains("\"p95_ratio\": 1.05"), "{text}");
+        // The telemetry arms carry both tail ratios for the gate.
+        assert!(text.contains("\"telemetry_overhead\""), "{text}");
+        assert!(text.contains("\"telemetry_on\""), "{text}");
+        assert!(text.contains("\"telemetry_off\""), "{text}");
+        assert!(text.contains("\"p99_ratio\": 1.01"), "{text}");
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub struct Options {
     pub workers: usize,
     /// Per-request deadline for `serve`, in milliseconds.
     pub request_timeout_ms: u64,
+    /// Latency threshold for the `serve` slow-request exemplar log, in
+    /// milliseconds.
+    pub slowlog_threshold_ms: u64,
+    /// Recorder tick for the `serve` telemetry timeline, in
+    /// milliseconds.
+    pub telemetry_tick_ms: u64,
+    /// Disable the `serve` telemetry recorder (timeline + alerts).
+    pub no_telemetry: bool,
     /// Dataset for `serve`/`save-snapshot` without a snapshot file:
     /// `fig7` or `province`.
     pub dataset: Option<String>,
@@ -79,6 +87,9 @@ impl Default for Options {
             snapshot: None,
             workers: 4,
             request_timeout_ms: 2000,
+            slowlog_threshold_ms: 250,
+            telemetry_tick_ms: 1000,
+            no_telemetry: false,
             dataset: None,
             format: "text".to_string(),
             watch: false,
@@ -162,6 +173,20 @@ impl Options {
                         .parse()
                         .map_err(|e| format!("--request-timeout-ms: {e}"))?;
                 }
+                "--slowlog-threshold-ms" => {
+                    opts.slowlog_threshold_ms = value("--slowlog-threshold-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slowlog-threshold-ms: {e}"))?;
+                }
+                "--telemetry-tick-ms" => {
+                    opts.telemetry_tick_ms = value("--telemetry-tick-ms")?
+                        .parse()
+                        .map_err(|e| format!("--telemetry-tick-ms: {e}"))?;
+                    if opts.telemetry_tick_ms == 0 {
+                        return Err("--telemetry-tick-ms must be positive".into());
+                    }
+                }
+                "--no-telemetry" => opts.no_telemetry = true,
                 "--dataset" => {
                     let name = value("--dataset")?;
                     if name != "fig7" && name != "province" {
@@ -275,6 +300,11 @@ mod tests {
             "8",
             "--request-timeout-ms",
             "500",
+            "--slowlog-threshold-ms",
+            "75",
+            "--telemetry-tick-ms",
+            "200",
+            "--no-telemetry",
             "--dataset",
             "fig7",
             "--format",
@@ -314,6 +344,9 @@ mod tests {
         assert_eq!(opts.snapshot.as_deref(), Some("s.tpiin"));
         assert_eq!(opts.workers, 8);
         assert_eq!(opts.request_timeout_ms, 500);
+        assert_eq!(opts.slowlog_threshold_ms, 75);
+        assert_eq!(opts.telemetry_tick_ms, 200);
+        assert!(opts.no_telemetry);
         assert_eq!(opts.dataset.as_deref(), Some("fig7"));
         assert_eq!(opts.format, "bin");
         assert!(opts.watch);
@@ -355,5 +388,8 @@ mod tests {
         assert!(parse(&["--miner"])
             .unwrap_err()
             .contains("requires a value"));
+        assert!(parse(&["--telemetry-tick-ms", "0"])
+            .unwrap_err()
+            .contains("positive"));
     }
 }

@@ -44,6 +44,9 @@ COMMANDS:
   export-graphml  Export a generated TPIIN as GraphML (Gephi)
   serve           Run the query/ingest daemon (Section 6 online queries)
   save-snapshot   Write a fused TPIIN snapshot file (--out; for serve)
+  health          Poll a live daemon (--addr) and render its telemetry:
+                  alert states, timeline sparklines and the slowlog
+                  (--watch re-polls every two seconds)
   help            Show this help
 
 FLAGS:
@@ -77,6 +80,12 @@ SERVING (`serve` / `save-snapshot`):
   --format F    save-snapshot encoding: text | bin (zero-copy binary;
                 readers auto-detect either format by magic bytes)
   --watch       poll the snapshot file and hot-reload on change
+                (on `health`: keep polling the daemon every 2s)
+  --slowlog-threshold-ms N  requests slower than this land in the
+                GET /slowlog exemplar ring (default 250)
+  --telemetry-tick-ms N  timeline recorder tick (default 1000)
+  --no-telemetry  disable the timeline recorder and SLO alerts
+                (GET /timeline and /alerts answer 404)
   --miner NAME  strategies snapshot builds run (repeatable; default
                 rules + circular; the first is the primary /groups view)
 
@@ -677,6 +686,9 @@ pub fn serve(opts: &Options) -> Result<(), tpiin::Error> {
             .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
         workers: opts.workers,
         request_timeout: std::time::Duration::from_millis(opts.request_timeout_ms.max(1)),
+        slowlog_threshold: std::time::Duration::from_millis(opts.slowlog_threshold_ms.max(1)),
+        telemetry: !opts.no_telemetry,
+        telemetry_tick: std::time::Duration::from_millis(opts.telemetry_tick_ms.max(1)),
         snapshot_path: opts.snapshot.as_ref().map(std::path::PathBuf::from),
         watch: opts.watch,
         miners: opts.miners.clone(),
@@ -718,6 +730,241 @@ pub fn save_snapshot(opts: &Options) -> Result<(), tpiin::Error> {
         tpiin.trading_arc_count
     );
     Ok(())
+}
+
+/// `tpiin health` — poll a live daemon's telemetry endpoints and render
+/// a one-screen terminal dashboard: the health verdict and pool state
+/// from `/status`, every SLO state machine from `/alerts`, timeline
+/// sparklines for request rates and p99 latencies, and the
+/// slow-request exemplar log.  `--watch` re-polls every two seconds.
+pub fn health(opts: &Options) -> Result<(), tpiin::Error> {
+    let addr = opts
+        .addr
+        .clone()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    loop {
+        print!("{}", health_report(&addr)?);
+        if !opts.watch {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(2));
+        println!();
+    }
+}
+
+fn daemon_err(addr: &str, message: impl Into<String>) -> tpiin::Error {
+    tpiin::Error::Daemon {
+        addr: addr.to_string(),
+        message: message.into(),
+    }
+}
+
+/// One blocking HTTP GET against the daemon: `(status code, body)`.
+/// The daemon serves one request per connection and closes, so reading
+/// to EOF delimits the response.
+fn daemon_get(addr: &str, path: &str) -> Result<(u16, String), tpiin::Error> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| daemon_err(addr, format!("connect: {e}")))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: tpiin\r\n\r\n").as_bytes())
+        .map_err(|e| daemon_err(addr, format!("send {path}: {e}")))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| daemon_err(addr, format!("read {path}: {e}")))?;
+    let code: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| daemon_err(addr, format!("malformed response to {path}")))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((code, body))
+}
+
+fn daemon_json(addr: &str, path: &str) -> Result<(u16, tpiin_io::json::Json), tpiin::Error> {
+    let (code, body) = daemon_get(addr, path)?;
+    let json = tpiin_io::json::Json::parse(&body)
+        .map_err(|e| daemon_err(addr, format!("{path} returned unparseable JSON: {e}")))?;
+    Ok((code, json))
+}
+
+/// Eight-level unicode sparkline, scaled to the series' own maximum.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            if max > 0.0 {
+                BARS[(((v / max) * 7.0).round() as usize).min(7)]
+            } else {
+                BARS[0]
+            }
+        })
+        .collect()
+}
+
+/// The `value` column of a `/timeline` series response, oldest first.
+fn series_values(json: &tpiin_io::json::Json) -> Vec<f64> {
+    let Some(tpiin_io::json::Json::Array(points)) = json.get("points") else {
+        return Vec::new();
+    };
+    points
+        .iter()
+        .filter_map(|p| p.get("value").and_then(tpiin_io::json::Json::as_f64))
+        .collect()
+}
+
+/// Builds the dashboard `tpiin health` prints, one poll of the daemon.
+fn health_report(addr: &str) -> Result<String, tpiin::Error> {
+    use std::fmt::Write as _;
+    use tpiin_io::json::Json;
+    let num = |j: &Json, key: &str| j.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let text = |j: &Json, key: &str| j.get(key).and_then(Json::as_str).unwrap_or("?").to_string();
+
+    let (code, status) = daemon_json(addr, "/status")?;
+    if code != 200 {
+        return Err(daemon_err(addr, format!("/status answered {code}")));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tpiin daemon at {addr} — health {}",
+        text(&status, "health").to_uppercase()
+    );
+    let _ = writeln!(
+        out,
+        "  epoch {:.0}, uptime {:.0}s, workers {:.0}/{:.0} busy, queued {:.0}/{:.0}, shed {:.0}, reloads {:.0}",
+        num(&status, "epoch"),
+        num(&status, "uptime_secs"),
+        num(&status, "busy_workers"),
+        num(&status, "workers"),
+        num(&status, "queued_requests"),
+        num(&status, "queue_capacity"),
+        num(&status, "shed_requests"),
+        num(&status, "reloads"),
+    );
+
+    let (code, alerts) = daemon_json(addr, "/alerts")?;
+    if code == 200 {
+        let _ = writeln!(
+            out,
+            "\nalerts (worst {}, tick {:.0}):",
+            text(&alerts, "worst"),
+            num(&alerts, "last_tick")
+        );
+        if let Some(Json::Array(items)) = alerts.get("alerts") {
+            for alert in items {
+                let _ = writeln!(
+                    out,
+                    "  {:<5} {:<26} burn {:>6.2}/{:<6.2} {}",
+                    text(alert, "state"),
+                    text(alert, "name"),
+                    num(alert, "burn_short"),
+                    num(alert, "burn_long"),
+                    text(alert, "objective"),
+                );
+            }
+        }
+    } else {
+        let _ = writeln!(out, "\nalerts: telemetry recorder disabled");
+    }
+
+    let (code, index) = daemon_json(addr, "/timeline")?;
+    if code == 200 {
+        let last_tick = num(&index, "last_tick") as u64;
+        let since = last_tick.saturating_sub(60);
+        let _ = writeln!(out, "\ntimeline (ticks {since}..{last_tick}):");
+        let names: Vec<String> = match index.get("metrics") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .filter_map(|m| m.as_str().map(str::to_string))
+                .collect(),
+            _ => Vec::new(),
+        };
+        // Request rates: per-tick deltas of the cumulative counters.
+        for name in names.iter().filter(|n| n.starts_with("serve.requests.")) {
+            let (code, series) =
+                daemon_json(addr, &format!("/timeline?metric={name}&since={since}"))?;
+            if code != 200 {
+                continue;
+            }
+            let values = series_values(&series);
+            let deltas: Vec<f64> = values.windows(2).map(|w| (w[1] - w[0]).max(0.0)).collect();
+            if deltas.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<36} {}  Δ{:.0}/tick",
+                name,
+                sparkline(&deltas),
+                deltas.last().copied().unwrap_or(0.0)
+            );
+        }
+        // p99 latency, derived from the histogram bucket deltas.
+        for name in names.iter().filter(|n| n.starts_with("serve.latency.")) {
+            let metric = format!("{name}.p99_ns");
+            let (code, series) =
+                daemon_json(addr, &format!("/timeline?metric={metric}&since={since}"))?;
+            if code != 200 {
+                continue;
+            }
+            let values = series_values(&series);
+            let Some(last) = values.last().copied() else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "  {:<36} {}  p99 {:.1}ms",
+                metric,
+                sparkline(&values),
+                last / 1e6
+            );
+        }
+    }
+
+    let (code, slowlog) = daemon_json(addr, "/slowlog")?;
+    if code == 200 {
+        let _ = writeln!(
+            out,
+            "\nslowlog (threshold {:.0}ms, {:.0} captured):",
+            num(&slowlog, "threshold_ms"),
+            num(&slowlog, "count")
+        );
+        match slowlog.get("entries") {
+            Some(Json::Array(entries)) if !entries.is_empty() => {
+                // Newest last in the ring; show the most recent ten.
+                let skip = entries.len().saturating_sub(10);
+                for entry in entries.iter().skip(skip) {
+                    let _ = writeln!(
+                        out,
+                        "  +{:>8.1}s  {:<20} {:>3.0}  epoch {:<3.0} {:>8.1}ms  {}",
+                        num(entry, "at_secs"),
+                        text(entry, "endpoint"),
+                        num(entry, "status"),
+                        num(entry, "epoch"),
+                        num(entry, "latency_ms"),
+                        entry
+                            .get("trace_url")
+                            .and_then(Json::as_str)
+                            .unwrap_or("(trace off)"),
+                    );
+                }
+            }
+            _ => {
+                let _ = writeln!(out, "  (no request over the threshold yet)");
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// `tpiin company` — the Fig. 17/18 investment-tree view.
@@ -828,4 +1075,56 @@ pub fn analyze(opts: &Options) -> Result<(), tpiin::Error> {
         );
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `tpiin health` against a live daemon: the dashboard must carry
+    /// the health verdict, the alert table, at least one request-rate
+    /// sparkline and a slowlog entry linking to its trace.
+    #[test]
+    fn health_report_renders_a_live_daemon() {
+        let (tpiin, _) = fuse(&fig7_registry()).expect("fig7 fuses");
+        let config = tpiin_serve::ServeConfig {
+            telemetry_tick: std::time::Duration::from_millis(25),
+            // Zero threshold: every request becomes a slowlog exemplar,
+            // so the slowlog section renders deterministically.
+            slowlog_threshold: std::time::Duration::ZERO,
+            ..Default::default()
+        };
+        let handle = tpiin_serve::ServerHandle::bind(tpiin, config).expect("bind");
+        let addr = handle.addr().to_string();
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let (code, _) = daemon_get(&addr, "/groups").expect("daemon reachable");
+            assert_eq!(code, 200);
+            let report = health_report(&addr).expect("health report");
+            // Sparklines need two recorder samples of the counter; poll
+            // until the recorder catches up.
+            if report.contains("serve.requests.groups") {
+                assert!(report.contains("health OK"), "{report}");
+                assert!(report.contains("alerts (worst ok"), "{report}");
+                assert!(report.contains("Δ"), "rate sparkline missing: {report}");
+                assert!(report.contains("slowlog (threshold 0ms"), "{report}");
+                assert!(
+                    report.contains("/trace/"),
+                    "slowlog trace link missing: {report}"
+                );
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "recorder never sampled the counters: {report}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        handle.shutdown();
+
+        // An unreachable daemon is a clean `Daemon` error, not a panic.
+        let err = health_report("127.0.0.1:1").expect_err("nothing listens on port 1");
+        assert!(matches!(err, tpiin::Error::Daemon { .. }), "{err:?}");
+    }
 }

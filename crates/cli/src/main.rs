@@ -47,7 +47,7 @@ fn exit_code(err: &tpiin::Error) -> i32 {
         tpiin::Error::Usage(_) => 2,
         tpiin::Error::Model(_) | tpiin::Error::Fusion(_) => 3,
         tpiin::Error::Io(_) | tpiin::Error::File { .. } => 4,
-        tpiin::Error::Serve(_) => 5,
+        tpiin::Error::Serve(_) | tpiin::Error::Daemon { .. } => 5,
         _ => 1, // `Error` is non_exhaustive
     }
 }
@@ -150,6 +150,7 @@ fn dispatch(cmd: &str, opts: &args::Options) -> Result<(), tpiin::Error> {
         "analyze" => commands::analyze(opts),
         "serve" => commands::serve(opts),
         "save-snapshot" => commands::save_snapshot(opts),
+        "health" => commands::health(opts),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

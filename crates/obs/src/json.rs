@@ -35,6 +35,54 @@ impl Json {
         out
     }
 
+    /// Renders on one line with no whitespace — the JSONL form used by
+    /// the timeline export, where every record must be a single line.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -133,6 +181,18 @@ mod tests {
         assert!(text.contains("\"children\": ["));
         assert!(text.contains("\"empty\": {}"));
         assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn compact_renders_one_line() {
+        let value = Json::Object(vec![
+            ("m".to_string(), Json::Str("a".to_string())),
+            (
+                "v".to_string(),
+                Json::Array(vec![Json::Int(1), Json::Int(2)]),
+            ),
+        ]);
+        assert_eq!(value.to_compact(), "{\"m\":\"a\",\"v\":[1,2]}");
     }
 
     #[test]

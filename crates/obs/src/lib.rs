@@ -37,7 +37,9 @@ pub mod log;
 pub mod metrics;
 pub mod proc;
 pub mod profile;
+pub mod slo;
 pub mod span;
+pub mod timeline;
 pub mod trace;
 
 pub use alloc::{AllocStats, SpanResources};
@@ -47,7 +49,9 @@ pub use log::Level;
 pub use metrics::{global, Counter, Gauge, Histogram, MetricsRegistry, PhaseRow, ThreadStats};
 pub use proc::ProcSample;
 pub use profile::{HistogramSnapshot, PhaseProfile, RunProfile, ThreadProfile};
+pub use slo::{AlertState, AlertStatus, SloEngine, SloKind, SloSpec};
 pub use span::{Span, SpanHandle, TimedScope};
+pub use timeline::{HistDelta, HistPoint, Timeline, TimelineConfig, TimelinePoint};
 pub use trace::{
     current_trace, install_thread_trace, set_active_trace, tracing_enabled, TraceContext,
     TraceEvent, TraceId,

@@ -612,6 +612,32 @@ mod tests {
     }
 
     #[test]
+    fn idle_gap_longer_than_window_excludes_every_stale_slot() {
+        let h = Histogram::default();
+        // Fill several slots, then go idle for much longer than the
+        // full window (several ring revolutions), then record again.
+        // The ring slots still stamped with pre-gap periods must not
+        // leak into the window totals — only the post-gap observation
+        // counts, even though most slots were never physically
+        // reclaimed by a recorder landing on them.
+        for period in 0..4 {
+            h.record_at_period(period, Duration::from_micros(10));
+        }
+        let resume = 4 + 3 * WINDOW_SLOTS as u64 + 1;
+        h.record_at_period(resume, Duration::from_millis(7));
+        let (buckets, count, sum) = h.window_totals_at(resume);
+        assert_eq!(count, 1, "stale pre-gap slots leaked into the window");
+        assert_eq!(sum, 7_000_000);
+        assert_eq!(buckets.iter().sum::<u64>(), 1);
+        // Cumulative totals still remember everything.
+        assert_eq!(h.count(), 5);
+        // The pre-gap observations stay visible *at their own time*:
+        // totals evaluated inside the original window still see them.
+        let (_, old_count, _) = h.window_totals_at(3);
+        assert_eq!(old_count, 4);
+    }
+
+    #[test]
     fn window_ring_slot_is_reclaimed_after_wraparound() {
         let h = Histogram::default();
         h.record_at_period(1, Duration::from_nanos(10));

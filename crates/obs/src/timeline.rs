@@ -1,0 +1,715 @@
+//! The continuous telemetry timeline: a fixed-memory, two-tier ring of
+//! time-series points sampled from the [`MetricsRegistry`].
+//!
+//! `/metrics` answers "what is the value now"; the timeline answers
+//! "how did it get here".  A background recorder (the daemon's
+//! telemetry thread) calls [`Timeline::sample`] once per tick and the
+//! timeline appends one point per registered metric:
+//!
+//! * counters and gauges become scalar points `(tick, value)`;
+//! * histograms are captured as their **cumulative** bucket counts, so
+//!   any two samples can be differenced into an exact per-interval
+//!   distribution — windowed percentiles fall out of bucket deltas
+//!   without a second clock or a second ring inside the histogram.
+//!
+//! Retention is tiered, Prometheus-style: every tick lands in the
+//! *fine* ring (default 600 points — 10 minutes at a 1 s tick) and
+//! every [`TimelineConfig::coarse_every`]-th tick is also written to
+//! the *coarse* ring (default every 15 ticks, 480 points — 2 hours at
+//! a 1 s tick).  Both rings are preallocated per series, so memory is
+//! bounded by `registered series x (fine + coarse capacity)` and old
+//! points are overwritten, never reallocated.
+//!
+//! Queries ([`Timeline::query`]) address scalar series by metric name
+//! and histogram series through derived names: `{name}.p99_ns` /
+//! `{name}.p50_ns` (per-interval estimated quantiles), `{name}.rate`
+//! (events per tick) and `{name}.count` (cumulative).  The SLO engine
+//! ([`crate::slo`]) consumes the same rings through
+//! [`Timeline::hist_window_delta`] and [`Timeline::window_delta`].
+
+use crate::json::Json;
+use crate::metrics::{MetricsRegistry, BUCKET_BOUNDS_NS};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Histogram buckets per point: the bounded buckets plus overflow.
+const NUM_BUCKETS: usize = BUCKET_BOUNDS_NS.len() + 1;
+
+/// Sizing of the two retention tiers.
+#[derive(Clone, Debug)]
+pub struct TimelineConfig {
+    /// Points kept per series at full tick resolution (default 600 —
+    /// ten minutes at a one-second tick).
+    pub fine_capacity: usize,
+    /// Every n-th tick is downsampled into the coarse tier (default 15).
+    pub coarse_every: u64,
+    /// Downsampled points kept per series (default 480 — two hours at a
+    /// one-second tick with `coarse_every = 15`).
+    pub coarse_capacity: usize,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        TimelineConfig {
+            fine_capacity: 600,
+            coarse_every: 15,
+            coarse_capacity: 480,
+        }
+    }
+}
+
+/// One queryable scalar observation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimelinePoint {
+    /// Recorder tick the point was sampled at.
+    pub tick: u64,
+    /// Sampled (or derived) value.
+    pub value: f64,
+}
+
+/// A cumulative histogram capture at one tick.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistPoint {
+    /// Recorder tick the capture was taken at.
+    pub tick: u64,
+    /// Cumulative observation count.
+    pub count: u64,
+    /// Cumulative sum of observations, nanoseconds.
+    pub sum_ns: u64,
+    /// Cumulative per-bucket counts ([`BUCKET_BOUNDS_NS`] + overflow).
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+/// The exact distribution between two histogram captures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistDelta {
+    /// Observations recorded in the interval.
+    pub count: u64,
+    /// Sum of observations in the interval, nanoseconds.
+    pub sum_ns: u64,
+    /// Per-bucket counts in the interval.
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Ticks the interval spans.
+    pub span_ticks: u64,
+}
+
+/// A preallocated overwrite-oldest ring.
+#[derive(Debug)]
+struct Ring<T> {
+    data: Vec<T>,
+    /// Index of the next write (== oldest element once full).
+    head: usize,
+    len: usize,
+}
+
+impl<T: Clone> Ring<T> {
+    fn new(capacity: usize) -> Ring<T> {
+        Ring {
+            data: Vec::with_capacity(capacity.max(1)),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, value: T) {
+        let cap = self.data.capacity();
+        if self.data.len() < cap {
+            self.data.push(value);
+            self.len += 1;
+        } else {
+            self.data[self.head] = value;
+        }
+        self.head = (self.head + 1) % cap;
+    }
+
+    /// Oldest-to-newest iteration.
+    fn iter(&self) -> impl Iterator<Item = &T> {
+        let (newer, older) = if self.len < self.data.capacity() {
+            (&self.data[..self.len], &self.data[..0])
+        } else {
+            self.data.split_at(self.head)
+        };
+        older.iter().chain(newer.iter())
+    }
+}
+
+#[derive(Debug)]
+struct ScalarSeries {
+    fine: Ring<TimelinePoint>,
+    coarse: Ring<TimelinePoint>,
+}
+
+#[derive(Debug)]
+struct HistSeries {
+    fine: Ring<HistPoint>,
+    coarse: Ring<HistPoint>,
+}
+
+#[derive(Default)]
+struct TimelineInner {
+    scalars: BTreeMap<String, ScalarSeries>,
+    hists: BTreeMap<String, HistSeries>,
+    last_tick: Option<u64>,
+}
+
+/// The two-tier time-series store (see the module docs).
+pub struct Timeline {
+    config: TimelineConfig,
+    inner: Mutex<TimelineInner>,
+}
+
+impl Timeline {
+    /// An empty timeline; series appear as metrics are first sampled.
+    pub fn new(config: TimelineConfig) -> Timeline {
+        Timeline {
+            config,
+            inner: Mutex::new(TimelineInner::default()),
+        }
+    }
+
+    /// The configured tier sizing.
+    pub fn config(&self) -> &TimelineConfig {
+        &self.config
+    }
+
+    /// Samples every registered counter, gauge and histogram at `tick`.
+    /// Ticks must be monotone; a stale or duplicate tick is ignored so
+    /// a recorder racing a clock adjustment cannot corrupt the rings.
+    pub fn sample(&self, tick: u64, registry: &MetricsRegistry) {
+        let mut inner = self.inner.lock();
+        if inner.last_tick.is_some_and(|last| tick <= last) {
+            return;
+        }
+        inner.last_tick = Some(tick);
+        let coarse = self.config.coarse_every.max(1);
+        let coarse_tick = tick.is_multiple_of(coarse);
+
+        for (name, value) in registry.counters_snapshot() {
+            self.push_scalar(&mut inner, &name, tick, value as f64, coarse_tick);
+        }
+        for (name, value) in registry.gauges_snapshot() {
+            self.push_scalar(&mut inner, &name, tick, value, coarse_tick);
+        }
+        for (name, histogram) in registry.histograms_snapshot() {
+            let counts = histogram.bucket_counts();
+            let mut buckets = [0u64; NUM_BUCKETS];
+            buckets.copy_from_slice(&counts[..NUM_BUCKETS]);
+            let point = HistPoint {
+                tick,
+                count: histogram.count(),
+                sum_ns: histogram.sum_ns(),
+                buckets,
+            };
+            let series = inner.hists.entry(name).or_insert_with(|| HistSeries {
+                fine: Ring::new(self.config.fine_capacity),
+                coarse: Ring::new(self.config.coarse_capacity),
+            });
+            series.fine.push(point.clone());
+            if coarse_tick {
+                series.coarse.push(point);
+            }
+        }
+    }
+
+    fn push_scalar(
+        &self,
+        inner: &mut TimelineInner,
+        name: &str,
+        tick: u64,
+        value: f64,
+        coarse_tick: bool,
+    ) {
+        let series = inner
+            .scalars
+            .entry(name.to_string())
+            .or_insert_with(|| ScalarSeries {
+                fine: Ring::new(self.config.fine_capacity),
+                coarse: Ring::new(self.config.coarse_capacity),
+            });
+        let point = TimelinePoint { tick, value };
+        series.fine.push(point);
+        if coarse_tick {
+            series.coarse.push(point);
+        }
+    }
+
+    /// The last tick [`Timeline::sample`] recorded, if any.
+    pub fn last_tick(&self) -> Option<u64> {
+        self.inner.lock().last_tick
+    }
+
+    /// Every queryable metric name: scalar series verbatim, histogram
+    /// series through their derived `.p50_ns` / `.p99_ns` / `.rate` /
+    /// `.count` views.
+    pub fn metric_names(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut names: Vec<String> = inner.scalars.keys().cloned().collect();
+        for name in inner.hists.keys() {
+            for suffix in [".p50_ns", ".p99_ns", ".rate", ".count"] {
+                names.push(format!("{name}{suffix}"));
+            }
+        }
+        names.sort();
+        names
+    }
+
+    /// Whether `metric` resolves to a series (scalar or derived).
+    pub fn has_metric(&self, metric: &str) -> bool {
+        let inner = self.inner.lock();
+        if inner.scalars.contains_key(metric) {
+            return true;
+        }
+        split_derived(metric).is_some_and(|(base, _)| inner.hists.contains_key(base))
+    }
+
+    /// Points for `metric` with `tick >= since`, oldest first.  Coarse
+    /// history is used for the stretch the fine ring no longer covers,
+    /// so a query spanning both tiers comes back seamless (coarse
+    /// spacing on the old end, per-tick on the recent end).  Unknown
+    /// metrics return an empty vector — use [`Timeline::has_metric`]
+    /// to distinguish "no such series" from "no recent points".
+    pub fn query(&self, metric: &str, since: u64) -> Vec<TimelinePoint> {
+        let inner = self.inner.lock();
+        if let Some(series) = inner.scalars.get(metric) {
+            return merge_tiers(&series.coarse, &series.fine, since);
+        }
+        let Some((base, view)) = split_derived(metric) else {
+            return Vec::new();
+        };
+        let Some(series) = inner.hists.get(base) else {
+            return Vec::new();
+        };
+        let merged = merge_hist_tiers(&series.coarse, &series.fine, since);
+        derive_hist_view(&merged, view)
+    }
+
+    /// The exact distribution recorded for histogram `metric` between
+    /// the newest capture and the newest capture at least `window`
+    /// ticks older (clamped to the oldest retained capture).  `None`
+    /// when the series is unknown or has fewer than two captures.
+    pub fn hist_window_delta(&self, metric: &str, window: u64, now: u64) -> Option<HistDelta> {
+        let inner = self.inner.lock();
+        let series = inner.hists.get(metric)?;
+        let merged = merge_hist_tiers(&series.coarse, &series.fine, 0);
+        let newest = merged.iter().rev().find(|p| p.tick <= now)?;
+        let cutoff = now.saturating_sub(window);
+        // The newest capture at or before the window start; if the
+        // series is younger than the window, fall back to its oldest
+        // capture so early daemon life still yields a (partial) view.
+        let base = merged
+            .iter()
+            .rev()
+            .find(|p| p.tick <= cutoff)
+            .or_else(|| merged.first().filter(|p| p.tick < newest.tick))?;
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (delta, (new, old)) in buckets
+            .iter_mut()
+            .zip(newest.buckets.iter().zip(base.buckets.iter()))
+        {
+            *delta = new.saturating_sub(*old);
+        }
+        Some(HistDelta {
+            count: newest.count.saturating_sub(base.count),
+            sum_ns: newest.sum_ns.saturating_sub(base.sum_ns),
+            buckets,
+            span_ticks: newest.tick - base.tick,
+        })
+    }
+
+    /// `(value_delta, span_ticks)` for scalar `metric` between the
+    /// newest point and the newest point at least `window` ticks older
+    /// (clamped to the oldest retained point, so a young series yields
+    /// a partial window instead of nothing).
+    pub fn window_delta(&self, metric: &str, window: u64, now: u64) -> Option<(f64, u64)> {
+        let inner = self.inner.lock();
+        let series = inner.scalars.get(metric)?;
+        let merged = merge_tiers(&series.coarse, &series.fine, 0);
+        let newest = merged.iter().rev().find(|p| p.tick <= now)?;
+        let cutoff = now.saturating_sub(window);
+        let base = merged
+            .iter()
+            .rev()
+            .find(|p| p.tick <= cutoff)
+            .or_else(|| merged.first().filter(|p| p.tick < newest.tick))?;
+        Some((newest.value - base.value, newest.tick - base.tick))
+    }
+
+    /// Sums [`Timeline::window_delta`] over every scalar series named
+    /// by `metrics`; an entry ending in `.` matches as a prefix.  The
+    /// SLO ratio rules use this for denominators like "all responses".
+    pub fn window_delta_sum(&self, metrics: &[String], window: u64, now: u64) -> f64 {
+        let names: Vec<String> = {
+            let inner = self.inner.lock();
+            metrics
+                .iter()
+                .flat_map(|m| -> Vec<String> {
+                    if m.ends_with('.') {
+                        inner
+                            .scalars
+                            .keys()
+                            .filter(|name| name.starts_with(m.as_str()))
+                            .cloned()
+                            .collect()
+                    } else {
+                        vec![m.clone()]
+                    }
+                })
+                .collect()
+        };
+        names
+            .iter()
+            .filter_map(|name| self.window_delta(name, window, now))
+            .map(|(delta, _)| delta)
+            .sum()
+    }
+
+    /// The full store as JSONL: one compact JSON object per line, every
+    /// series, both tiers, oldest first.  Scalar lines carry
+    /// `metric/tier/tick/value`; histogram lines add
+    /// `count/sum_ns/buckets`.  This is the offline-analysis export
+    /// behind `GET /timeline/export`.
+    pub fn to_jsonl(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, series) in &inner.scalars {
+            for (tier, ring) in [("coarse", &series.coarse), ("fine", &series.fine)] {
+                for point in ring.iter() {
+                    let line = Json::Object(vec![
+                        ("metric".to_string(), Json::Str(name.clone())),
+                        ("tier".to_string(), Json::Str(tier.to_string())),
+                        ("tick".to_string(), Json::Int(point.tick)),
+                        ("value".to_string(), Json::Float(point.value)),
+                    ]);
+                    out.push_str(&line.to_compact());
+                    out.push('\n');
+                }
+            }
+        }
+        for (name, series) in &inner.hists {
+            for (tier, ring) in [("coarse", &series.coarse), ("fine", &series.fine)] {
+                for point in ring.iter() {
+                    let line = Json::Object(vec![
+                        ("metric".to_string(), Json::Str(name.clone())),
+                        ("tier".to_string(), Json::Str(tier.to_string())),
+                        ("tick".to_string(), Json::Int(point.tick)),
+                        ("count".to_string(), Json::Int(point.count)),
+                        ("sum_ns".to_string(), Json::Int(point.sum_ns)),
+                        (
+                            "buckets".to_string(),
+                            Json::Array(point.buckets.iter().map(|&b| Json::Int(b)).collect()),
+                        ),
+                    ]);
+                    out.push_str(&line.to_compact());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits a derived histogram metric name into `(base, view)`.
+fn split_derived(metric: &str) -> Option<(&str, &str)> {
+    for suffix in [".p50_ns", ".p99_ns", ".rate", ".count"] {
+        if let Some(base) = metric.strip_suffix(suffix) {
+            return Some((base, &suffix[1..]));
+        }
+    }
+    None
+}
+
+fn merge_tiers(
+    coarse: &Ring<TimelinePoint>,
+    fine: &Ring<TimelinePoint>,
+    since: u64,
+) -> Vec<TimelinePoint> {
+    let fine_start = fine.iter().next().map_or(u64::MAX, |p| p.tick);
+    coarse
+        .iter()
+        .filter(|p| p.tick < fine_start)
+        .chain(fine.iter())
+        .filter(|p| p.tick >= since)
+        .copied()
+        .collect()
+}
+
+fn merge_hist_tiers(
+    coarse: &Ring<HistPoint>,
+    fine: &Ring<HistPoint>,
+    since: u64,
+) -> Vec<HistPoint> {
+    let fine_start = fine.iter().next().map_or(u64::MAX, |p| p.tick);
+    coarse
+        .iter()
+        .filter(|p| p.tick < fine_start)
+        .chain(fine.iter())
+        .filter(|p| p.tick >= since)
+        .cloned()
+        .collect()
+}
+
+/// Differences consecutive cumulative captures into per-interval scalar
+/// points: quantiles and rates describe the interval *ending* at each
+/// point's tick.  Intervals with no new observations are skipped for
+/// quantile views (there is no latency to report) but emit `0` for
+/// `rate`, so rate sparklines show quiet stretches instead of gaps.
+fn derive_hist_view(points: &[HistPoint], view: &str) -> Vec<TimelinePoint> {
+    if view == "count" {
+        return points
+            .iter()
+            .map(|p| TimelinePoint {
+                tick: p.tick,
+                value: p.count as f64,
+            })
+            .collect();
+    }
+    let mut out = Vec::new();
+    for pair in points.windows(2) {
+        let (old, new) = (&pair[0], &pair[1]);
+        let count = new.count.saturating_sub(old.count);
+        let span = (new.tick - old.tick).max(1);
+        match view {
+            "rate" => out.push(TimelinePoint {
+                tick: new.tick,
+                value: count as f64 / span as f64,
+            }),
+            "p50_ns" | "p99_ns" if count > 0 => {
+                let mut buckets = [0u64; NUM_BUCKETS];
+                for (d, (n, o)) in buckets
+                    .iter_mut()
+                    .zip(new.buckets.iter().zip(old.buckets.iter()))
+                {
+                    *d = n.saturating_sub(*o);
+                }
+                let q = if view == "p50_ns" { 0.50 } else { 0.99 };
+                if let Some(value) = estimate_quantile_ns(&buckets, q) {
+                    out.push(TimelinePoint {
+                        tick: new.tick,
+                        value,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Estimates the `q`-quantile (nanoseconds) of a bucketed distribution
+/// by linear interpolation inside the target bucket.  The overflow
+/// bucket reports its lower bound (the largest finite bound): the
+/// estimate is then a known *underestimate* rather than an invented
+/// magnitude.  `None` when the distribution is empty.
+pub fn estimate_quantile_ns(buckets: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let before = cum;
+        cum += count;
+        if cum >= target {
+            let last_bound = BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1];
+            if i >= BUCKET_BOUNDS_NS.len() {
+                return Some(last_bound as f64);
+            }
+            let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_NS[i - 1] };
+            let upper = BUCKET_BOUNDS_NS[i];
+            let frac = (target - before) as f64 / count as f64;
+            return Some(lower as f64 + frac * (upper - lower) as f64);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn small() -> Timeline {
+        Timeline::new(TimelineConfig {
+            fine_capacity: 4,
+            coarse_every: 2,
+            coarse_capacity: 4,
+        })
+    }
+
+    #[test]
+    fn scalar_rings_overwrite_oldest() {
+        let registry = MetricsRegistry::new();
+        let timeline = small();
+        let counter = registry.counter("c");
+        for tick in 1..=7 {
+            counter.add(10);
+            timeline.sample(tick, &registry);
+        }
+        // Fine keeps the last 4 ticks; coarse keeps even ticks.
+        let points = timeline.query("c", 0);
+        let ticks: Vec<u64> = points.iter().map(|p| p.tick).collect();
+        assert_eq!(ticks, vec![2, 4, 5, 6, 7], "coarse fills before fine");
+        assert_eq!(points.last().unwrap().value, 70.0);
+        let recent = timeline.query("c", 6);
+        assert_eq!(recent.len(), 2);
+    }
+
+    #[test]
+    fn stale_ticks_are_ignored() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c").inc();
+        let timeline = small();
+        timeline.sample(5, &registry);
+        timeline.sample(5, &registry);
+        timeline.sample(3, &registry);
+        assert_eq!(timeline.query("c", 0).len(), 1);
+        assert_eq!(timeline.last_tick(), Some(5));
+    }
+
+    #[test]
+    fn histogram_views_derive_from_cumulative_captures() {
+        let registry = MetricsRegistry::new();
+        let timeline = small();
+        let h = registry.histogram("lat");
+        timeline.sample(1, &registry);
+        for _ in 0..100 {
+            h.record(Duration::from_micros(2)); // (1µs, 4µs] bucket
+        }
+        timeline.sample(2, &registry);
+        timeline.sample(3, &registry); // quiet interval
+        let p99 = timeline.query("lat.p99_ns", 0);
+        assert_eq!(p99.len(), 1, "quiet intervals emit no quantile point");
+        assert_eq!(p99[0].tick, 2);
+        assert!(
+            p99[0].value > 1_000.0 && p99[0].value <= 4_000.0,
+            "p99 {} outside the recorded bucket",
+            p99[0].value
+        );
+        let rate = timeline.query("lat.rate", 0);
+        assert_eq!(
+            rate.iter().map(|p| p.value).collect::<Vec<_>>(),
+            vec![100.0, 0.0],
+            "rate shows the quiet interval as zero"
+        );
+        let count = timeline.query("lat.count", 0);
+        assert_eq!(count.last().unwrap().value, 100.0);
+        assert!(timeline.has_metric("lat.p50_ns"));
+        assert!(!timeline.has_metric("lat.bogus"));
+    }
+
+    #[test]
+    fn window_deltas_clamp_to_retained_history() {
+        let registry = MetricsRegistry::new();
+        let timeline = small();
+        let counter = registry.counter("c");
+        for tick in 1..=3 {
+            counter.add(5);
+            timeline.sample(tick, &registry);
+        }
+        // Full window available.
+        assert_eq!(timeline.window_delta("c", 2, 3), Some((10.0, 2)));
+        // Window older than the series clamps to the oldest point.
+        assert_eq!(timeline.window_delta("c", 100, 3), Some((10.0, 2)));
+        assert_eq!(timeline.window_delta("missing", 2, 3), None);
+    }
+
+    #[test]
+    fn window_delta_sum_expands_prefixes() {
+        let registry = MetricsRegistry::new();
+        let timeline = small();
+        let a = registry.counter("serve.responses.2xx");
+        let b = registry.counter("serve.responses.5xx");
+        timeline.sample(1, &registry);
+        a.add(8);
+        b.add(2);
+        timeline.sample(2, &registry);
+        let total = timeline.window_delta_sum(&["serve.responses.".to_string()], 1, 2);
+        assert_eq!(total, 10.0);
+        let explicit = timeline.window_delta_sum(&["serve.responses.5xx".to_string()], 1, 2);
+        assert_eq!(explicit, 2.0);
+    }
+
+    #[test]
+    fn hist_window_delta_spans_the_window() {
+        let registry = MetricsRegistry::new();
+        let timeline = small();
+        let h = registry.histogram("lat");
+        timeline.sample(1, &registry);
+        h.record(Duration::from_millis(2));
+        timeline.sample(2, &registry);
+        h.record(Duration::from_millis(2));
+        h.record(Duration::from_millis(2));
+        timeline.sample(3, &registry);
+        let delta = timeline.hist_window_delta("lat", 1, 3).expect("delta");
+        assert_eq!(delta.count, 2, "only the last interval");
+        let delta = timeline.hist_window_delta("lat", 10, 3).expect("delta");
+        assert_eq!(delta.count, 3, "clamped to oldest capture");
+        assert_eq!(delta.span_ticks, 2);
+        assert!(timeline.hist_window_delta("nope", 1, 3).is_none());
+    }
+
+    #[test]
+    fn quantile_estimates_interpolate_and_bound_overflow() {
+        // 90 fast + 10 slow: p50 in the fast bucket, p99 in the slow one.
+        let mut buckets = [0u64; NUM_BUCKETS];
+        buckets[1] = 90; // (1µs, 4µs]
+        buckets[6] = 10; // (1ms, 4ms]
+        let p50 = estimate_quantile_ns(&buckets, 0.50).unwrap();
+        assert!(p50 > 1_000.0 && p50 <= 4_000.0, "p50 {p50}");
+        let p99 = estimate_quantile_ns(&buckets, 0.99).unwrap();
+        assert!(p99 > 1_000_000.0 && p99 <= 4_000_000.0, "p99 {p99}");
+        // Overflow reports the largest finite bound, never invents more.
+        let mut over = [0u64; NUM_BUCKETS];
+        over[NUM_BUCKETS - 1] = 5;
+        assert_eq!(
+            estimate_quantile_ns(&over, 0.99),
+            Some(*BUCKET_BOUNDS_NS.last().unwrap() as f64)
+        );
+        assert_eq!(estimate_quantile_ns(&[0u64; NUM_BUCKETS], 0.99), None);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_object_per_line() {
+        let registry = MetricsRegistry::new();
+        let timeline = small();
+        registry.counter("c").inc();
+        registry.histogram("lat").record(Duration::from_micros(3));
+        timeline.sample(1, &registry);
+        timeline.sample(2, &registry);
+        let jsonl = timeline.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines.iter().any(|l| l.contains("\"metric\":\"c\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"metric\":\"lat\"") && l.contains("\"buckets\":[")));
+    }
+
+    #[test]
+    fn metric_names_cover_scalars_and_derived_views() {
+        let registry = MetricsRegistry::new();
+        let timeline = small();
+        registry.counter("c").inc();
+        registry.gauge("g").set(1.0);
+        registry.histogram("lat").record(Duration::from_micros(3));
+        timeline.sample(1, &registry);
+        let names = timeline.metric_names();
+        for expected in [
+            "c",
+            "g",
+            "lat.p50_ns",
+            "lat.p99_ns",
+            "lat.rate",
+            "lat.count",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+}

@@ -17,12 +17,83 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tpiin_core::{groups_behind_arc, MinerRegistry};
 use tpiin_delta::{DeltaEngine, DeltaError};
 use tpiin_io::json::Json;
 use tpiin_model::{CompanyId, MutationBatch, TradingRecord};
-use tpiin_obs::{Span, TraceContext, TraceId};
+use tpiin_obs::{SloEngine, Span, Timeline, TraceContext, TraceId};
+
+/// A joinable cancellation latch for the daemon's background threads
+/// (the `/proc` sampler and the telemetry recorder).  Threads park in
+/// [`Cancel::wait_for`] instead of `thread::sleep`, so `POST /shutdown`
+/// wakes them immediately and the join in `shutdown_impl` never waits
+/// out a sleep interval.
+pub(crate) struct Cancel {
+    cancelled: std::sync::Mutex<bool>,
+    wake: std::sync::Condvar,
+}
+
+impl Cancel {
+    pub(crate) fn new() -> Cancel {
+        Cancel {
+            cancelled: std::sync::Mutex::new(false),
+            wake: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Latches cancellation and wakes every parked waiter.
+    pub(crate) fn cancel(&self) {
+        *self.cancelled.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.wake.notify_all();
+    }
+
+    /// Parks for up to `timeout`; returns `true` once cancelled
+    /// (immediately if cancellation already latched).
+    pub(crate) fn wait_for(&self, timeout: Duration) -> bool {
+        let cancelled = self.cancelled.lock().unwrap_or_else(|e| e.into_inner());
+        if *cancelled {
+            return true;
+        }
+        let (cancelled, _) = self
+            .wake
+            .wait_timeout(cancelled, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        *cancelled
+    }
+}
+
+/// The continuous-telemetry half of the daemon: the timeline store and
+/// the SLO health engine, fed once per tick by the recorder thread.
+pub(crate) struct Telemetry {
+    pub(crate) timeline: Timeline,
+    pub(crate) slo: SloEngine,
+    /// Wall-clock length of one recorder tick.
+    pub(crate) tick: Duration,
+}
+
+/// One slow-request exemplar: everything needed to chase a latency
+/// outlier to its trace without grepping logs.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// Daemon uptime (seconds) when the request finished.
+    pub at_secs: f64,
+    /// Endpoint slug (as used in `serve.latency.*`).
+    pub endpoint: &'static str,
+    /// HTTP status the request was answered with.
+    pub status: u16,
+    /// Epoch being served when the request finished.
+    pub epoch: u64,
+    /// Wall-clock latency in microseconds.
+    pub latency_us: u64,
+    /// The request's trace id, when tracing was on — resolvable at
+    /// `/trace/{id}` while the trace ring still holds it.
+    pub trace: Option<String>,
+    /// Bytes allocated on the handling thread during the request.
+    pub alloc_bytes: u64,
+    /// Allocation calls on the handling thread during the request.
+    pub allocs: u64,
+}
 
 /// Everything the handlers share: the hot-swap store, the single-writer
 /// ingest state, the shutdown latch and the recent-trace ring.
@@ -45,6 +116,18 @@ pub struct ServerState {
     pub(crate) last_load_micros: AtomicU64,
     /// Worker-pool occupancy, shared with the accept loop's pool.
     pub(crate) pool: Arc<PoolMetrics>,
+    /// Timeline + SLO engine; `None` when telemetry is configured off
+    /// (overhead benchmarking), in which case `/timeline`, `/alerts`
+    /// and `/slowlog`'s alert summary answer 404 / `off`.
+    pub(crate) telemetry: Option<Arc<Telemetry>>,
+    /// The slow-request exemplar ring, newest at the back.
+    pub(crate) slowlog: Mutex<VecDeque<SlowEntry>>,
+    /// Requests at or above this latency enter the slowlog.
+    pub(crate) slowlog_threshold: Duration,
+    /// Entries the slowlog ring retains.
+    pub(crate) slowlog_capacity: usize,
+    /// Wakes the sampler + recorder threads for a prompt join.
+    pub(crate) cancel: Cancel,
 }
 
 impl ServerState {
@@ -72,6 +155,23 @@ impl ServerState {
     pub(crate) fn find_trace(&self, id: TraceId) -> Option<Arc<TraceContext>> {
         self.traces.lock().iter().find(|t| t.id() == id).cloned()
     }
+
+    /// Latches the shutdown flag, wakes the background threads and
+    /// pokes the accept loop so everything exits without more traffic.
+    pub(crate) fn request_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        self.cancel.cancel();
+        let _ = std::net::TcpStream::connect(self.addr);
+    }
+
+    /// Pushes a slow-request exemplar, evicting the oldest at capacity.
+    pub(crate) fn remember_slow(&self, entry: SlowEntry) {
+        let mut ring = self.slowlog.lock();
+        while ring.len() >= self.slowlog_capacity.max(1) {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
 }
 
 /// Dispatches one parsed request; returns the endpoint slug used for
@@ -81,6 +181,10 @@ pub fn route(state: &ServerState, req: &Request) -> (&'static str, Response) {
         ("GET", "/healthz") => ("healthz", health(state)),
         ("GET", "/metrics") => ("metrics", metrics()),
         ("GET", "/status") => ("status", status(state)),
+        ("GET", "/timeline") => ("timeline", timeline(state, req)),
+        ("GET", "/timeline/export") => ("timeline_export", timeline_export(state)),
+        ("GET", "/alerts") => ("alerts", alerts(state)),
+        ("GET", "/slowlog") => ("slowlog", slowlog(state)),
         ("GET", "/groups") => ("groups", groups(state, req)),
         ("GET", "/groups_behind_arc") => ("groups_behind_arc", arc_query(state, req)),
         ("GET", path) if path.starts_with("/groups/") && path.ends_with("/provenance") => {
@@ -105,6 +209,87 @@ fn metrics() -> Response {
     Response::text(200, tpiin_obs::text_exposition(tpiin_obs::global()))
 }
 
+/// `GET /timeline[?metric=NAME&since=TICK]` — without `metric`, the
+/// queryable series index; with it, that series' points from `since`
+/// (tick 0 by default) to now, coarse tier seamlessly backing the fine
+/// tier.  Unknown query parameters are a 400, like `/groups`.
+fn timeline(state: &ServerState, req: &Request) -> Response {
+    let Some(telemetry) = &state.telemetry else {
+        return Response::error(404, "telemetry recorder is disabled");
+    };
+    let mut metric = None;
+    let mut since = 0u64;
+    for (key, value) in &req.query {
+        match key.as_str() {
+            "metric" => metric = Some(value.clone()),
+            "since" => match value.parse::<u64>() {
+                Ok(tick) => since = tick,
+                Err(_) => return Response::error(400, format!("bad since `{value}`")),
+            },
+            other => {
+                return Response::error(400, format!("unknown query parameter `{other}`"));
+            }
+        }
+    }
+    let timeline = &telemetry.timeline;
+    match metric {
+        None => Response::json(
+            200,
+            &responses::timeline_index_json(
+                &timeline.metric_names(),
+                timeline.last_tick(),
+                timeline.config(),
+            ),
+        ),
+        Some(metric) => {
+            if !timeline.has_metric(&metric) {
+                return Response::error(404, format!("no timeline series `{metric}`"));
+            }
+            let points = timeline.query(&metric, since);
+            Response::json(200, &responses::timeline_json(&metric, since, &points))
+        }
+    }
+}
+
+/// `GET /timeline/export` — the whole store as JSONL, one compact JSON
+/// object per line, for offline analysis (CI archives this artifact).
+fn timeline_export(state: &ServerState) -> Response {
+    let Some(telemetry) = &state.telemetry else {
+        return Response::error(404, "telemetry recorder is disabled");
+    };
+    Response::text(200, telemetry.timeline.to_jsonl())
+}
+
+/// `GET /alerts` — every SLO state machine's standing as of the last
+/// recorder tick.
+fn alerts(state: &ServerState) -> Response {
+    let Some(telemetry) = &state.telemetry else {
+        return Response::error(404, "telemetry recorder is disabled");
+    };
+    Response::json(
+        200,
+        &responses::alerts_json(
+            &telemetry.slo.statuses(),
+            telemetry.slo.worst(),
+            telemetry.timeline.last_tick(),
+        ),
+    )
+}
+
+/// `GET /slowlog` — the slow-request exemplar ring, oldest first, each
+/// entry linking to its `/trace/{id}` replay.
+fn slowlog(state: &ServerState) -> Response {
+    let entries: Vec<SlowEntry> = state.slowlog.lock().iter().cloned().collect();
+    Response::json(
+        200,
+        &responses::slowlog_json(
+            state.slowlog_threshold.as_secs_f64() * 1e3,
+            state.slowlog_capacity,
+            &entries,
+        ),
+    )
+}
+
 /// `GET /status` — one JSON view of the daemon's runtime health: the
 /// served epoch and its approximate heap size, uptime, worker-pool
 /// occupancy, shed/reload counters and the process resource state
@@ -114,7 +299,27 @@ fn metrics() -> Response {
 fn status(state: &ServerState) -> Response {
     let snap = state.store.current();
     let registry = tpiin_obs::global();
+    // Summarize the SLO machines so one `/status` call answers "is the
+    // daemon healthy" without also fetching `/alerts`.
+    let (health, alerts_ok, alerts_warn, alerts_page) = match &state.telemetry {
+        Some(telemetry) => {
+            let statuses = telemetry.slo.statuses();
+            let count =
+                |state: tpiin_obs::AlertState| statuses.iter().filter(|s| s.state == state).count();
+            (
+                telemetry.slo.worst().as_str().to_string(),
+                count(tpiin_obs::AlertState::Ok),
+                count(tpiin_obs::AlertState::Warn),
+                count(tpiin_obs::AlertState::Page),
+            )
+        }
+        None => ("off".to_string(), 0, 0, 0),
+    };
     let report = responses::StatusReport {
+        health,
+        alerts_ok,
+        alerts_warn,
+        alerts_page,
         uptime_secs: state.started.elapsed().as_secs_f64(),
         workers: state.pool.workers.load(Ordering::Relaxed),
         busy_workers: state.pool.busy.load(Ordering::Relaxed),
@@ -430,10 +635,9 @@ fn reload_endpoint(state: &ServerState) -> Response {
 }
 
 fn shutdown(state: &ServerState) -> Response {
-    state.shutting_down.store(true, Ordering::Release);
-    // Poke the accept loop so it notices the latch without another
-    // client connecting.
-    let _ = std::net::TcpStream::connect(state.addr);
+    // Latch, wake the sampler/recorder out of their waits, and poke the
+    // accept loop so it notices without another client connecting.
+    state.request_shutdown();
     Response::json(
         200,
         &Json::Object(vec![("shutting_down".to_string(), Json::Bool(true))]),

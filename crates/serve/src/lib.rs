@@ -48,6 +48,11 @@
 //! |---|---|
 //! | `GET /healthz` | liveness + current epoch and headline counts |
 //! | `GET /metrics` | Prometheus text exposition of the tpiin-obs registry |
+//! | `GET /status` | one-call operator snapshot: epoch, pool occupancy, delta counters, alert summary |
+//! | `GET /timeline` | continuous telemetry: series index, or `?metric=..&since=..` points |
+//! | `GET /timeline/export` | the whole timeline store as JSONL for offline analysis |
+//! | `GET /alerts` | every SLO state machine's standing (ok/warn/page, burn rates) |
+//! | `GET /slowlog` | slow-request exemplars, each linking to its `/trace/{id}` |
 //! | `GET /groups` | one miner's detection (`?miner=NAME&limit=N&offset=N`; unknown params are a 400) |
 //! | `GET /groups/{id}/provenance` | the evidence chain behind group `id` (`?miner=NAME`) |
 //! | `GET /groups_behind_arc?src=..&dst=..` | Section 6: groups hiding behind one trading arc |
@@ -72,7 +77,8 @@ pub mod responses;
 pub mod server;
 pub mod store;
 
+pub use handlers::SlowEntry;
 pub use http::{Request, Response};
 pub use pool::{BoundedPool, Saturated};
-pub use server::{load_snapshot_file, ServeConfig, ServeError, ServerHandle};
+pub use server::{default_slos, load_snapshot_file, ServeConfig, ServeError, ServerHandle};
 pub use store::{ServeSnapshot, SnapshotStore};

@@ -363,6 +363,15 @@ pub struct StatusReport {
     pub alloc: tpiin_obs::AllocStats,
     /// Kernel view (`None` off Linux).
     pub proc: Option<tpiin_obs::ProcSample>,
+    /// Worst SLO alert state across the health engine (`ok`/`warn`/
+    /// `page`), or `off` when the daemon runs without telemetry.
+    pub health: String,
+    /// SLO specs currently at `ok`.
+    pub alerts_ok: usize,
+    /// SLO specs currently at `warn`.
+    pub alerts_warn: usize,
+    /// SLO specs currently at `page`.
+    pub alerts_page: usize,
 }
 
 /// The `/status` body: served-epoch shape, uptime, pool occupancy and
@@ -391,6 +400,15 @@ pub fn status_json(snapshot: &ServeSnapshot, report: &StatusReport) -> Json {
         ("shed_requests", Json::Number(report.shed_requests as f64)),
         ("reloads", Json::Number(report.reloads as f64)),
         ("snapshot_load_ms", Json::Number(report.snapshot_load_ms)),
+        ("health", s(report.health.clone())),
+        (
+            "alerts",
+            obj(vec![
+                ("ok", num(report.alerts_ok)),
+                ("warn", num(report.alerts_warn)),
+                ("page", num(report.alerts_page)),
+            ]),
+        ),
         (
             "delta",
             obj(vec![
@@ -429,6 +447,120 @@ pub fn status_json(snapshot: &ServeSnapshot, report: &StatusReport) -> Json {
         fields.push(("major_faults", Json::Number(proc.major_faults as f64)));
     }
     obj(fields)
+}
+
+/// `GET /timeline` with no `metric` parameter: the queryable series
+/// index plus the recorder's tier configuration, so a client can pick
+/// a series and know what resolution to expect.
+pub fn timeline_index_json(
+    names: &[String],
+    last_tick: Option<u64>,
+    config: &tpiin_obs::TimelineConfig,
+) -> Json {
+    obj(vec![
+        ("last_tick", num(last_tick.unwrap_or(0) as usize)),
+        ("fine_capacity", num(config.fine_capacity)),
+        ("coarse_every", num(config.coarse_every as usize)),
+        ("coarse_capacity", num(config.coarse_capacity)),
+        (
+            "metrics",
+            Json::Array(names.iter().map(|n| s(n.clone())).collect()),
+        ),
+    ])
+}
+
+/// `GET /timeline?metric=..&since=..` — one series' points.
+pub fn timeline_json(metric: &str, since: u64, points: &[tpiin_obs::TimelinePoint]) -> Json {
+    obj(vec![
+        ("metric", s(metric)),
+        ("since", num(since as usize)),
+        (
+            "points",
+            Json::Array(
+                points
+                    .iter()
+                    .map(|p| {
+                        obj(vec![
+                            ("tick", num(p.tick as usize)),
+                            ("value", Json::Number(p.value)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `GET /alerts` — every SLO state machine's standing.
+pub fn alerts_json(
+    statuses: &[tpiin_obs::AlertStatus],
+    worst: tpiin_obs::AlertState,
+    last_tick: Option<u64>,
+) -> Json {
+    obj(vec![
+        ("worst", s(worst.as_str())),
+        ("last_tick", num(last_tick.unwrap_or(0) as usize)),
+        (
+            "alerts",
+            Json::Array(
+                statuses
+                    .iter()
+                    .map(|status| {
+                        obj(vec![
+                            ("name", s(status.name.clone())),
+                            ("state", s(status.state.as_str())),
+                            ("objective", s(status.objective.clone())),
+                            ("burn_short", Json::Number(status.burn_short)),
+                            ("burn_long", Json::Number(status.burn_long)),
+                            ("since_tick", num(status.since_tick as usize)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `GET /slowlog` — the slow-request exemplar ring, oldest first.
+/// Every entry links to its trace replay so a latency outlier is one
+/// request away from its span breakdown.
+pub fn slowlog_json(
+    threshold_ms: f64,
+    capacity: usize,
+    entries: &[crate::handlers::SlowEntry],
+) -> Json {
+    obj(vec![
+        ("threshold_ms", Json::Number(threshold_ms)),
+        ("capacity", num(capacity)),
+        ("count", num(entries.len())),
+        (
+            "entries",
+            Json::Array(
+                entries
+                    .iter()
+                    .map(|entry| {
+                        let mut fields = vec![
+                            ("at_secs", Json::Number(entry.at_secs)),
+                            ("endpoint", s(entry.endpoint)),
+                            ("status", num(entry.status as usize)),
+                            ("epoch", num(entry.epoch as usize)),
+                            ("latency_ms", Json::Number(entry.latency_us as f64 / 1e3)),
+                            ("alloc_bytes", Json::Number(entry.alloc_bytes as f64)),
+                            ("allocs", Json::Number(entry.allocs as f64)),
+                        ];
+                        match &entry.trace {
+                            Some(id) => {
+                                fields.push(("trace", s(id.clone())));
+                                fields.push(("trace_url", s(format!("/trace/{id}"))));
+                            }
+                            None => fields.push(("trace", Json::Null)),
+                        }
+                        obj(fields)
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 #[cfg(test)]

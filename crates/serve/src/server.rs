@@ -49,6 +49,23 @@ pub struct ServeConfig {
     /// The first is the primary strategy served by default.  Empty means
     /// the built-in default set (`rules` + `circular`).
     pub miners: Vec<String>,
+    /// Run the continuous telemetry recorder (timeline sampling + SLO
+    /// evaluation once per [`ServeConfig::telemetry_tick`]).  Off for
+    /// overhead benchmarking; `/timeline` and `/alerts` then 404.
+    pub telemetry: bool,
+    /// Wall-clock length of one recorder tick (default 1 s).
+    pub telemetry_tick: Duration,
+    /// Timeline retention tiers (default: 600 fine points, one coarse
+    /// point per 15 ticks, 480 coarse points — 10 min + 2 h at a 1 s
+    /// tick).
+    pub timeline: tpiin_obs::TimelineConfig,
+    /// SLO specs for the health engine; `None` means the built-in serve
+    /// objectives ([`default_slos`]).
+    pub slos: Option<Vec<tpiin_obs::SloSpec>>,
+    /// Requests at or above this latency enter the slowlog ring.
+    pub slowlog_threshold: Duration,
+    /// Slow-request exemplars the slowlog ring retains.
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,8 +82,54 @@ impl Default for ServeConfig {
             tracing: true,
             trace_ring: 64,
             miners: Vec::new(),
+            telemetry: true,
+            telemetry_tick: Duration::from_secs(1),
+            timeline: tpiin_obs::TimelineConfig::default(),
+            slos: None,
+            slowlog_threshold: Duration::from_millis(250),
+            slowlog_capacity: 64,
         }
     }
+}
+
+/// The built-in serve objectives: per-endpoint p99 latency, error and
+/// shed fractions, reload latency, and the delta engine's full-rebuild
+/// rate.  Windows assume the default 1 s tick (short 60 ticks / long
+/// 300 ticks); thresholds are deliberately loose — they are floors for
+/// "something is clearly wrong", not tuning targets.
+pub fn default_slos() -> Vec<tpiin_obs::SloSpec> {
+    use tpiin_obs::SloSpec;
+    vec![
+        SloSpec::latency_p99("serve.groups.p99", "serve.latency.groups", 250e6),
+        SloSpec::latency_p99(
+            "serve.groups_behind_arc.p99",
+            "serve.latency.groups_behind_arc",
+            250e6,
+        ),
+        SloSpec::latency_p99("serve.company.p99", "serve.latency.company", 250e6),
+        SloSpec::latency_p99("serve.healthz.p99", "serve.latency.healthz", 50e6),
+        SloSpec::latency_p99("serve.ingest.p99", "serve.latency.ingest", 1e9),
+        SloSpec::latency_p99("serve.reload.p99", "serve.latency.reload", 4e9),
+        // 5xx responses against a 1% error budget.
+        SloSpec::rate_ratio(
+            "serve.error_rate",
+            &["serve.responses.5xx"],
+            &["serve.responses."],
+            0.01,
+        ),
+        // Shed connections never reach the response counters, so the
+        // denominator is answered + shed.
+        SloSpec::rate_ratio(
+            "serve.shed_rate",
+            &["serve.shed"],
+            &["serve.responses.", "serve.shed"],
+            0.01,
+        ),
+        // The delta engine budgets one full rebuild per minute of
+        // ticks; a rebuild storm means the surgical paths stopped
+        // absorbing the feed.
+        SloSpec::event_rate("delta.full_rebuilds", "delta.full_rebuilds", 1.0 / 60.0),
+    ]
 }
 
 /// Errors starting or feeding the daemon.
@@ -139,6 +202,7 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
     watcher: Option<JoinHandle<()>>,
     sampler: Option<JoinHandle<()>>,
+    recorder: Option<JoinHandle<()>>,
     profile_out: Option<PathBuf>,
 }
 
@@ -181,6 +245,13 @@ impl ServerHandle {
             MinerRegistry::from_specs(&config.miners).map_err(ServeError::Miner)?
         };
         let snapshot = ServeSnapshot::build_with(1, tpiin, &miners);
+        let telemetry = config.telemetry.then(|| {
+            Arc::new(handlers::Telemetry {
+                timeline: tpiin_obs::Timeline::new(config.timeline.clone()),
+                slo: tpiin_obs::SloEngine::new(config.slos.clone().unwrap_or_else(default_slos)),
+                tick: config.telemetry_tick.max(Duration::from_millis(1)),
+            })
+        });
         let state = Arc::new(ServerState {
             store: SnapshotStore::new(snapshot),
             miners,
@@ -195,6 +266,11 @@ impl ServerHandle {
             started: Instant::now(),
             last_load_micros: AtomicU64::new(0),
             pool: Arc::new(PoolMetrics::default()),
+            telemetry,
+            slowlog: Mutex::new(std::collections::VecDeque::new()),
+            slowlog_threshold: config.slowlog_threshold,
+            slowlog_capacity: config.slowlog_capacity.max(1),
+            cancel: handlers::Cancel::new(),
         });
 
         let accept = {
@@ -208,18 +284,44 @@ impl ServerHandle {
         // The flight recorder's OS-view sampler: refresh RSS/page-fault
         // and allocator gauges a few times a second so `/metrics` and
         // `/status` report a current process view, not a stale one.
+        // Parks on the cancellation latch (not `thread::sleep`), so
+        // `POST /shutdown` wakes and joins it without waiting out the
+        // sampling interval.
         let sampler = {
             let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name("tpiin-serve-sampler".to_string())
-                .spawn(move || {
-                    while !state.is_shutting_down() {
-                        tpiin_obs::proc::record_gauges(tpiin_obs::global());
-                        std::thread::sleep(Duration::from_millis(250));
+                .spawn(move || loop {
+                    tpiin_obs::proc::record_gauges(tpiin_obs::global());
+                    if state.cancel.wait_for(Duration::from_millis(250)) {
+                        break;
                     }
                 })
                 .expect("spawning sampler thread")
         };
+        // The telemetry recorder: once per tick, snapshot every
+        // registered metric into the timeline and run the SLO machines.
+        // Ticks are derived from uptime, so a stalled recorder skips
+        // ticks instead of drifting the timeline's clock.
+        let recorder = state.telemetry.as_ref().map(|telemetry| {
+            let telemetry = Arc::clone(telemetry);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("tpiin-serve-telemetry".to_string())
+                .spawn(move || {
+                    let tick_len = telemetry.tick;
+                    loop {
+                        if state.cancel.wait_for(tick_len) {
+                            break;
+                        }
+                        let tick = (state.started.elapsed().as_nanos() / tick_len.as_nanos()).max(1)
+                            as u64;
+                        telemetry.timeline.sample(tick, tpiin_obs::global());
+                        telemetry.slo.evaluate(tick, &telemetry.timeline);
+                    }
+                })
+                .expect("spawning telemetry recorder thread")
+        });
         let watcher = if config.watch && config.snapshot_path.is_some() {
             let state = Arc::clone(&state);
             Some(
@@ -243,6 +345,7 @@ impl ServerHandle {
             accept: Some(accept),
             watcher: Some(watcher).flatten(),
             sampler: Some(sampler),
+            recorder,
             profile_out: config.profile_out,
         })
     }
@@ -273,10 +376,10 @@ impl ServerHandle {
     }
 
     fn shutdown_impl(&mut self) {
-        self.state.shutting_down.store(true, Ordering::Release);
-        // Unblock `listener.incoming()` so the accept loop observes the
-        // latch even with no traffic.
-        let _ = TcpStream::connect(self.addr);
+        // Latches the flag, wakes the sampler/recorder waits, and
+        // connects once to unblock `listener.incoming()` so the accept
+        // loop observes the latch even with no traffic.
+        self.state.request_shutdown();
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
@@ -285,6 +388,9 @@ impl ServerHandle {
         }
         if let Some(sampler) = self.sampler.take() {
             let _ = sampler.join();
+        }
+        if let Some(recorder) = self.recorder.take() {
+            let _ = recorder.join();
         }
         if let Some(path) = self.profile_out.take() {
             // One final sample so the flushed profile carries the
@@ -324,7 +430,9 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, config: &ServeC
         if accepted.is_err() {
             tpiin_obs::global().counter("serve.shed").inc();
             if let Ok(mut stream) = shed_handle {
-                let _ = Response::error(503, "server saturated, retry later").write_to(&mut stream);
+                let _ = Response::error(503, "server saturated, retry later")
+                    .with_header("Retry-After", retry_after_secs(&state.pool).to_string())
+                    .write_to(&mut stream);
             }
         }
     }
@@ -333,8 +441,23 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, config: &ServeC
     pool.shutdown();
 }
 
+/// How long a shed client should back off, derived from how deep the
+/// queue is relative to the worker pool: a full queue on a 4-worker
+/// pool suggests waiting several service rounds, an empty one means
+/// "a beat".  Clamped to [1, 30] so the header is always honest but
+/// never tells a client to go away for minutes.
+fn retry_after_secs(pool: &PoolMetrics) -> u64 {
+    let queued = pool.queued.load(Ordering::Relaxed) as u64;
+    let workers = pool.workers.load(Ordering::Relaxed).max(1) as u64;
+    (1 + queued / workers).clamp(1, 30)
+}
+
 fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body_bytes: usize) {
     let started = Instant::now();
+    // Thread-local allocator window: the delta at the end attributes
+    // the request's allocations to its slowlog exemplar, if it becomes
+    // one.
+    let alloc_start = tpiin_obs::alloc::checkpoint();
     // Per-request trace: installed for this thread only, so concurrent
     // requests each collect their own spans; the id goes back to the
     // client in `x-tpiin-trace` and the context into the replay ring.
@@ -352,6 +475,7 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body_b
         Ok(request) => handlers::route(state, &request),
         Err(err) => ("malformed", Response::error(err.status(), err.reason())),
     };
+    let trace_id = trace.as_ref().map(|t| t.id().to_string());
     if let Some(trace) = &trace {
         trace.record_span(&format!("serve/{endpoint}"), started, started.elapsed());
         response = response.with_header("x-tpiin-trace", trace.id().to_string());
@@ -360,6 +484,23 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body_b
     drop(trace_guard);
     if let Some(trace) = trace {
         state.remember_trace(trace);
+    }
+
+    let elapsed = started.elapsed();
+    let alloc_used = tpiin_obs::alloc::consume(alloc_start);
+    if elapsed >= state.slowlog_threshold {
+        // A latency outlier: capture the exemplar with its trace id so
+        // `/slowlog` links straight to `/trace/{id}`.
+        state.remember_slow(handlers::SlowEntry {
+            at_secs: state.started.elapsed().as_secs_f64(),
+            endpoint,
+            status: response.status,
+            epoch: state.epoch.load(Ordering::Relaxed),
+            latency_us: elapsed.as_micros().min(u64::MAX as u128) as u64,
+            trace: trace_id,
+            alloc_bytes: alloc_used.alloc_bytes,
+            allocs: alloc_used.allocs,
+        });
     }
 
     let registry = tpiin_obs::global();
@@ -371,7 +512,7 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body_b
         .inc();
     registry
         .histogram(&format!("serve.latency.{endpoint}"))
-        .record(started.elapsed());
+        .record(elapsed);
 }
 
 /// Polls the snapshot file's mtime and hot-reloads on change.

@@ -6,7 +6,8 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use tpiin_core::{detect, groups_behind_arc};
 use tpiin_datagen::fig7_registry;
@@ -207,6 +208,14 @@ fn saturated_daemon_sheds_load_with_503() {
         let mut response = String::new();
         if stream.read_to_string(&mut response).is_ok() && response.starts_with("HTTP/1.1 503") {
             shed += 1;
+            // Every shed response tells the client when to come back,
+            // scaled to the backlog the daemon is looking at.
+            let retry = response
+                .lines()
+                .find_map(|line| line.strip_prefix("Retry-After: "))
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("503 without usable Retry-After: {response:?}"));
+            assert!((1..=30).contains(&retry), "implausible Retry-After {retry}");
         }
     }
     assert!(shed >= 1, "no connection was shed under saturation");
@@ -643,6 +652,273 @@ fn registry_backed_daemon_applies_mutation_batches() {
     assert_eq!(field("company_appends"), 1.0, "{body}");
     assert_eq!(field("full_rebuilds"), 0.0, "{body}");
     handle.shutdown();
+}
+
+/// Drips a GET request's header bytes so the worker that picked the
+/// connection up measures a genuinely slow request: `started` is
+/// stamped before the request is parsed, so the stall lands in the
+/// request's latency histogram and its slowlog eligibility check.
+/// Returns `None` if the daemon shed or dropped the connection.
+fn slow_get(addr: SocketAddr, path: &str, stall: Duration) -> Option<(String, String)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n").as_bytes())
+        .ok()?;
+    stream.flush().ok()?;
+    std::thread::sleep(stall);
+    stream.write_all(b"\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let head = response
+        .split_once("\r\n\r\n")
+        .map(|(h, _)| h.to_string())
+        .unwrap_or_default();
+    Some((status, head))
+}
+
+/// Polls `/alerts` until its `worst` field reaches `expected`.
+fn wait_for_worst(addr: SocketAddr, expected: &str, deadline: Duration) {
+    let begin = Instant::now();
+    loop {
+        let (status, body) = get(addr, "/alerts");
+        assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+        if body.contains(&format!("\"worst\":\"{expected}\"")) {
+            return;
+        }
+        assert!(
+            begin.elapsed() < deadline,
+            "alerts never reached `{expected}` within {deadline:?}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn timeline_records_queryable_series_and_exports_jsonl() {
+    let config = ServeConfig {
+        telemetry_tick: Duration::from_millis(25),
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(fig7(), config).expect("bind");
+    let addr = handle.addr();
+
+    // Generate traffic, then wait until the recorder has sampled it.
+    let begin = Instant::now();
+    loop {
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let (status, index) = get(addr, "/timeline");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        if index.contains("serve.requests.healthz") {
+            break;
+        }
+        assert!(
+            begin.elapsed() < Duration::from_secs(10),
+            "recorder never sampled the request counter: {index}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The index advertises the recorder's shape and its series.
+    let (_, index) = get(addr, "/timeline");
+    let json = tpiin_io::json::Json::parse(&index).expect("index is JSON");
+    assert!(
+        json.get("last_tick")
+            .and_then(tpiin_io::json::Json::as_f64)
+            .unwrap_or(0.0)
+            >= 1.0,
+        "{index}"
+    );
+    assert!(index.contains("\"fine_capacity\":"), "{index}");
+    assert!(index.contains("\"coarse_every\":"), "{index}");
+
+    // One series, as points: cumulative counter samples never decrease.
+    let (status, body) = get(addr, "/timeline?metric=serve.requests.healthz&since=0");
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    let json = tpiin_io::json::Json::parse(&body).expect("series is JSON");
+    assert_eq!(
+        json.get("metric").and_then(tpiin_io::json::Json::as_str),
+        Some("serve.requests.healthz")
+    );
+    assert!(body.contains("\"points\":["), "{body}");
+    assert!(body.contains("\"tick\":"), "{body}");
+
+    // The JSONL export is one self-describing object per line.
+    let (status, export) = get(addr, "/timeline/export");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(!export.trim().is_empty(), "export is empty");
+    for line in export.lines() {
+        let row = tpiin_io::json::Json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable JSONL line {line:?}: {e:?}"));
+        assert!(row.get("metric").is_some(), "{line}");
+        assert!(row.get("tick").is_some(), "{line}");
+    }
+
+    // Unknown series 404, malformed queries 400.
+    let (status, _) = get(addr, "/timeline?metric=no.such.series");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let (status, _) = get(addr, "/timeline?metric=serve.requests.healthz&since=zebra");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    let (status, _) = get(addr, "/timeline?bogus=1");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+
+    // `/status` folds the health verdict in next to the runtime state.
+    let (_, status_body) = get(addr, "/status");
+    assert!(status_body.contains("\"health\":\"ok\""), "{status_body}");
+    handle.shutdown();
+}
+
+#[test]
+fn telemetry_disabled_turns_recorder_endpoints_off() {
+    let config = ServeConfig {
+        telemetry: false,
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(fig7(), config).expect("bind");
+    let addr = handle.addr();
+    for path in ["/timeline", "/timeline/export", "/alerts"] {
+        let (status, body) = get(addr, path);
+        assert_eq!(status, "HTTP/1.1 404 Not Found", "{path}: {body}");
+        assert!(body.contains("disabled"), "{path}: {body}");
+    }
+    // The slowlog ring still works — it is fed inline, not by the
+    // recorder thread — and `/status` says the health engine is off.
+    let (status, body) = get(addr, "/slowlog");
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    let (_, body) = get(addr, "/status");
+    assert!(body.contains("\"health\":\"off\""), "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn slowlog_captures_slow_requests_and_links_their_traces() {
+    let config = ServeConfig {
+        slowlog_threshold: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(fig7(), config).expect("bind");
+    let addr = handle.addr();
+
+    // Fast traffic stays out of the exemplar ring.
+    for _ in 0..5 {
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+    }
+    let (status, body) = get(addr, "/slowlog");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        body.contains("\"count\":0"),
+        "fast requests captured: {body}"
+    );
+    assert!(body.contains("\"threshold_ms\":50"), "{body}");
+
+    // A stalled request crosses the threshold and is captured with its
+    // trace id, which must resolve to a replayable trace.
+    let (status, head) =
+        slow_get(addr, "/groups", Duration::from_millis(150)).expect("slow request answered");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let id = trace_id_of(&head).expect("slow response still carries its trace id");
+
+    let (status, body) = get(addr, "/slowlog");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(body.contains("\"endpoint\":\"groups\""), "{body}");
+    assert!(body.contains(&format!("\"trace\":\"{id}\"")), "{body}");
+    assert!(
+        body.contains(&format!("\"trace_url\":\"/trace/{id}\"")),
+        "{body}"
+    );
+    assert!(body.contains("\"alloc_bytes\":"), "{body}");
+
+    let (status, trace_body) = get(addr, &format!("/trace/{id}"));
+    assert_eq!(status, "HTTP/1.1 200 OK", "slowlog trace must replay");
+    assert!(trace_body.contains("serve/groups"), "{trace_body}");
+    handle.shutdown();
+}
+
+/// The acceptance walk for the health engine: sustained degradation
+/// drives an SLO from ok to warn (p99 a little over objective), a worse
+/// spike drives it to page (p99 far over), and recovery de-escalates
+/// only after the hysteresis streak — never on one calm tick.
+///
+/// Thresholds are bucket-aware: the recorder estimates quantiles by
+/// interpolating histogram buckets, so a uniform window estimates its
+/// bucket's upper bound.  A ~30ms stall lands in the (16ms, 64ms]
+/// bucket (estimate 64ms → burn 1.28 against a 50ms objective: warn);
+/// a ~300ms stall lands in (256ms, 1s] (estimate 1s → burn 20: page).
+#[test]
+fn alerts_walk_ok_warn_page_and_recover_with_hysteresis() {
+    let mut spec = tpiin_obs::SloSpec::latency_p99("healthz.p99", "serve.latency.healthz", 50e6);
+    spec.short_ticks = 12; // 300ms of 25ms ticks
+    spec.long_ticks = 24; // 600ms
+    spec.clear_ticks = 4; // ≥100ms of calm before de-escalating
+    let config = ServeConfig {
+        telemetry_tick: Duration::from_millis(25),
+        slos: Some(vec![spec]),
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(fig7(), config).expect("bind");
+    let addr = handle.addr();
+
+    wait_for_worst(addr, "ok", Duration::from_secs(5));
+
+    let stop_warn = AtomicBool::new(false);
+    let stop_page = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Phase 1: sustained ~30ms stalls — over budget, but only just.
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while !stop_warn.load(Ordering::Relaxed) {
+                    let _ = slow_get(addr, "/healthz", Duration::from_millis(30));
+                }
+            });
+        }
+        wait_for_worst(addr, "warn", Duration::from_secs(20));
+
+        // Phase 2: add ~300ms stalls on top — now far over budget.
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while !stop_page.load(Ordering::Relaxed) {
+                    let _ = slow_get(addr, "/healthz", Duration::from_millis(300));
+                }
+            });
+        }
+        wait_for_worst(addr, "page", Duration::from_secs(20));
+
+        // Phase 3: the spike ends; the alert must clear all the way
+        // back down once the burn windows drain and the calm streak
+        // outlasts `clear_ticks`.
+        stop_warn.store(true, Ordering::Relaxed);
+        stop_page.store(true, Ordering::Relaxed);
+    });
+    wait_for_worst(addr, "ok", Duration::from_secs(20));
+    handle.shutdown();
+}
+
+/// Satellite of the telemetry work: `shutdown` must join the 250ms
+/// `/proc` sampler and the recorder thread promptly even when the
+/// recorder tick is enormous — the cancellation latch wakes them out
+/// of their parks instead of letting the join wait out a sleep.
+#[test]
+fn shutdown_joins_background_threads_promptly() {
+    let config = ServeConfig {
+        telemetry_tick: Duration::from_secs(3600),
+        ..ServeConfig::default()
+    };
+    let handle = ServerHandle::bind(fig7(), config).expect("bind");
+    let addr = handle.addr();
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let begin = Instant::now();
+    handle.shutdown();
+    assert!(
+        begin.elapsed() < Duration::from_secs(5),
+        "shutdown blocked on a parked background thread for {:?}",
+        begin.elapsed()
+    );
 }
 
 #[test]

@@ -41,6 +41,14 @@ pub enum Error {
     /// The serving daemon failed to start or reload
     /// (see [`tpiin_serve::ServeError`]).
     Serve(tpiin_serve::ServeError),
+    /// Talking to a live daemon (`tpiin health`) failed: connection
+    /// refused, a malformed response, or an error status.
+    Daemon {
+        /// The daemon address that was polled.
+        addr: String,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl Error {
@@ -67,6 +75,7 @@ impl fmt::Display for Error {
             Error::File { path, source } => write!(f, "{}: {}", path.display(), source),
             Error::Usage(msg) => f.write_str(msg),
             Error::Serve(e) => e.fmt(f),
+            Error::Daemon { addr, message } => write!(f, "daemon at {addr}: {message}"),
         }
     }
 }
@@ -82,6 +91,7 @@ impl std::error::Error for Error {
             Error::File { source, .. } => Some(source),
             Error::Usage(_) => None,
             Error::Serve(e) => Some(e),
+            Error::Daemon { .. } => None,
         }
     }
 }
